@@ -1,0 +1,52 @@
+// Ablation (DESIGN.md §5.1): Alg. 1's "any worker triggers sync" rule vs
+// majority and unanimity quorums, at a fixed δ.
+//
+// The any-worker rule is the conservative end: it synchronizes whenever even
+// one replica sees a significant gradient change, trading communication for
+// statistical safety. Raising the quorum raises the LSSR (fewer syncs) and
+// shifts the method toward local SGD.
+#include "bench_common.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Ablation — sync trigger rule: any vs majority vs unanimity",
+               "(extension; the paper fixes the any-worker rule of Alg. 1)");
+
+  CsvWriter csv(results_dir() + "/ablation_sync_rule.csv",
+                {"quorum", "delta", "lssr", "top1", "sim_time_s"});
+
+  const Workload w = workload_resnet();
+  struct Rule {
+    const char* name;
+    double quorum;
+  };
+  const std::vector<Rule> rules{
+      {"any (Alg. 1)", 0.0}, {"quarter", 0.25}, {"majority", 0.5},
+      {"unanimity", 1.0}};
+
+  for (double delta : {0.1, 0.15}) {
+    std::printf("\ndelta = %.2f\n%-14s %8s %8s %12s\n", delta, "rule", "LSSR",
+                "top1", "sim time[s]");
+    for (const Rule& rule : rules) {
+      TrainJob job = make_job(w, StrategyKind::kSelSync, 16, 400);
+      job.selsync.delta = delta;
+      job.selsync.sync_quorum = rule.quorum;
+      const TrainResult r = run_training(job);
+      std::printf("%-14s %8.3f %8.3f %12.1f\n", rule.name, r.lssr(),
+                  r.best_top1, r.sim_time_s);
+      csv.row({CsvWriter::format_double(rule.quorum),
+               CsvWriter::format_double(delta),
+               CsvWriter::format_double(r.lssr()),
+               CsvWriter::format_double(r.best_top1),
+               CsvWriter::format_double(r.sim_time_s)});
+    }
+  }
+
+  std::printf(
+      "\nReading: LSSR rises (and simulated time falls) as the quorum "
+      "tightens; the any-worker rule buys accuracy insurance with extra "
+      "rounds.\n");
+  return 0;
+}

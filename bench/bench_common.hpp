@@ -1,0 +1,39 @@
+// Shared harness pieces for the figure/table reproduction benches: the
+// standard workloads (re-exported from core/workloads) plus output helpers.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "core/workloads.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+
+namespace selsync::bench {
+
+using selsync::Workload;
+using selsync::all_workloads;
+using selsync::make_job;
+using selsync::metric_improves;
+using selsync::metric_name;
+using selsync::primary_metric;
+using selsync::workload_alexnet;
+using selsync::workload_by_name;
+using selsync::workload_resnet;
+using selsync::workload_transformer;
+using selsync::workload_vgg;
+
+/// Maps the paper's δ settings onto each workload's own Δ(g_i) scale
+/// (model families differ; the mapping targets the published LSSR band,
+/// see EXPERIMENTS.md). `paper_delta` is 0.25, 0.3 or 0.5.
+double mapped_delta(const std::string& workload, double paper_delta);
+
+/// Directory all benches write CSV series into (created on demand).
+std::string results_dir();
+
+/// Banner helper: names the paper artifact a bench reproduces.
+void print_banner(const std::string& figure, const std::string& claim);
+
+}  // namespace selsync::bench

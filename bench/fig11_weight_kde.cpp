@@ -1,0 +1,74 @@
+// Fig. 11: distribution (KDE) of one layer's weights at two epochs, for
+// three independent runs: BSP, SelSync-PA and SelSync-GA.
+//
+// Paper result: BSP and SelSync-PA have similar weight distributions at
+// both epochs; SelSync-GA drifts apart (spread early, over-narrow late) —
+// PA bounds the local/global divergence, GA does not.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "stats/kde.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 11 — weight KDE: BSP vs SelSync-PA vs SelSync-GA",
+               "PA's weight distribution stays close to BSP's; GA's drifts");
+
+  CsvWriter csv(results_dir() + "/fig11_weight_kde.csv",
+                {"method", "epoch", "weight", "density"});
+
+  const Workload w = workload_resnet();
+  // The paper snapshots epochs 25 and 50 of ~150; our runs span ~40 epochs,
+  // so snapshot at the same relative positions.
+  const std::vector<double> snapshot_epochs{6.0, 12.0};
+
+  struct Run {
+    const char* name;
+    StrategyKind strategy;
+    AggregationMode agg;
+  };
+  const std::vector<Run> runs{
+      {"BSP", StrategyKind::kBsp, AggregationMode::kGradients},
+      {"SelSync-PA", StrategyKind::kSelSync, AggregationMode::kParameters},
+      {"SelSync-GA", StrategyKind::kSelSync, AggregationMode::kGradients}};
+
+  std::map<std::string, std::map<double, std::vector<float>>> snaps;
+  for (const Run& run : runs) {
+    TrainJob job = make_job(w, run.strategy, 16, 400);
+    job.selsync.delta = mapped_delta(w.name, 0.25);
+    job.selsync.aggregation = run.agg;
+    job.snapshot_epochs = snapshot_epochs;
+    const TrainResult r = run_training(job);
+    snaps[run.name] = r.weight_snapshots;
+  }
+
+  for (double epoch : snapshot_epochs) {
+    std::printf("\nEpoch %.0f:\n", epoch);
+    for (const Run& run : runs) {
+      const auto& weights = snaps[run.name].at(epoch);
+      const KdeResult kde = gaussian_kde(weights, 96);
+      for (size_t i = 0; i < kde.grid.size(); ++i)
+        csv.row({run.name, CsvWriter::format_double(epoch),
+                 CsvWriter::format_double(kde.grid[i]),
+                 CsvWriter::format_double(kde.density[i])});
+      double rms = 0;
+      for (float v : weights) rms += static_cast<double>(v) * v;
+      std::printf("  %-10s weight RMS %.4f, KDE bandwidth %.4f\n", run.name,
+                  std::sqrt(rms / weights.size()), kde.bandwidth);
+    }
+    const double d_pa = kde_l1_distance(snaps["BSP"].at(epoch),
+                                        snaps["SelSync-PA"].at(epoch));
+    const double d_ga = kde_l1_distance(snaps["BSP"].at(epoch),
+                                        snaps["SelSync-GA"].at(epoch));
+    std::printf("  L1 distance to BSP's distribution:  PA %.3f  vs  GA %.3f"
+                "  -> %s\n",
+                d_pa, d_ga,
+                d_pa <= d_ga ? "PA closer to BSP (as published)"
+                             : "GA closer (differs from paper)");
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 12: non-IID training — SelSync with randomized data injection at
+// (α, β, δ) ∈ {(0.5,0.5,0.05), (0.5,0.5,0.3), (0.75,0.75,0.3)} vs FedAvg.
+//
+// Paper result: FedAvg oscillates/saturates at low accuracy on label-skewed
+// shards; injection lifts SelSync well above it, and larger (α, β) lifts it
+// further: (0.75,0.75,0.3) > (0.5,0.5,0.3) > (0.5,0.5,0.05).
+#include "bench_common.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+namespace {
+
+SyntheticClassData noniid_data() {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 3000;
+  cfg.test_samples = 600;
+  cfg.classes = 10;
+  cfg.feature_dim = 32;
+  cfg.class_separation = 1.8;
+  cfg.noise_stddev = 1.2;
+  cfg.seed = 41;
+  return make_synthetic_classification(cfg);
+}
+
+TrainJob base_job(const SyntheticClassData& data) {
+  TrainJob job;
+  job.workers = 10;  // the paper's non-IID cluster: 1 label per worker
+  job.batch_size = 16;
+  job.max_iterations = 700;
+  job.eval_interval = 50;
+  job.train_data = data.train;
+  job.test_data = data.test;
+  job.partition = PartitionScheme::kNonIidLabel;
+  job.labels_per_worker = 1;
+  job.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.input_dim = 32;
+    cfg.classes = 10;
+    cfg.hidden = 32;
+    cfg.resnet_blocks = 2;
+    return make_resnet_mlp(cfg, seed);
+  };
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                 SgdOptions{.momentum = 0.9});
+  };
+  return job;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Fig. 12 — data injection in SelSync vs FedAvg (non-IID)",
+               "larger (α, β) raises accuracy; all injection configs beat "
+               "FedAvg");
+
+  CsvWriter csv(results_dir() + "/fig12_injection.csv",
+                {"config", "epoch", "top1"});
+  const SyntheticClassData data = noniid_data();
+
+  struct Config {
+    std::string label;
+    bool fedavg;
+    double alpha, beta, delta;
+  };
+  // δ mapping: the paper's {0.05, 0.3} scale to {0.025, 0.15} on our Δ
+  // distribution (see EXPERIMENTS.md).
+  const std::vector<Config> configs{
+      {"FedAvg(C=1, 1/epoch)", true, 0, 0, 0},
+      {"SelSync(0.5,0.5,0.05)", false, 0.5, 0.5, 0.025},
+      {"SelSync(0.5,0.5,0.3)", false, 0.5, 0.5, 0.15},
+      {"SelSync(0.75,0.75,0.3)", false, 0.75, 0.75, 0.15}};
+
+  std::printf("%-26s %10s %8s\n", "config", "best-top1", "LSSR");
+  for (const Config& c : configs) {
+    TrainJob job = base_job(data);
+    if (c.fedavg) {
+      job.strategy = StrategyKind::kFedAvg;
+      job.fedavg = {1.0, 1.0};  // once per epoch at this dataset scale
+    } else {
+      job.strategy = StrategyKind::kSelSync;
+      job.selsync.delta = c.delta;
+      job.injection = {true, c.alpha, c.beta};
+    }
+    const TrainResult r = run_training(job);
+    std::printf("%-26s %10.3f %8.3f\n", c.label.c_str(), r.best_top1,
+                r.lssr());
+    for (const EvalPoint& pt : r.eval_history)
+      csv.row({c.label, CsvWriter::format_double(pt.epoch),
+               CsvWriter::format_double(pt.top1)});
+  }
+
+  std::printf(
+      "\nExpected ordering (paper): SelSync(0.75,0.75,0.3) >= "
+      "SelSync(0.5,0.5,0.3) >= SelSync(0.5,0.5,0.05) > FedAvg.\n");
+  return 0;
+}

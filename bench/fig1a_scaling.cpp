@@ -1,0 +1,63 @@
+// Fig. 1a: relative training throughput vs cluster size under PS training
+// over the 5 Gbps testbed network.
+//
+// Paper result: throughput scales sublinearly — ResNet101 gains only ~3x
+// from 1 -> 16 workers; VGG11 (507 MB of parameters) drops below 1.0x at 2
+// workers because one synchronization outweighs a whole step of compute.
+#include "bench_common.hpp"
+
+#include "comm/cost_model.hpp"
+#include "nn/paper_profiles.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)",
+               "sublinear scaling; ~3x for ResNet101 at 16 workers; VGG11 "
+               "below 1.0 at 2 workers");
+
+  const CostModel cost(paper_network_5gbps());
+  const DeviceProfile v100 = device_v100();
+  const std::vector<size_t> sizes{1, 2, 4, 8, 16};
+  // Per-worker batch sizes from the paper's recipes (§IV-A).
+  auto paper_batch = [](const std::string& name) -> size_t {
+    if (name == "AlexNet") return 128;
+    if (name == "Transformer") return 20;
+    return 32;
+  };
+
+  CsvWriter csv(results_dir() + "/fig1a_scaling.csv",
+                {"model", "workers", "relative_throughput"});
+
+  std::printf("%-12s", "workers:");
+  for (size_t n : sizes) std::printf("%8zu", n);
+  std::printf("\n");
+
+  std::vector<AsciiSeries> series;
+  for (const PaperModelProfile& model : all_paper_models()) {
+    std::printf("%-12s", model.name.c_str());
+    AsciiSeries s{model.name, {}};
+    for (size_t n : sizes) {
+      const double t_compute =
+          compute_time_s(model, v100, static_cast<double>(paper_batch(model.name)));
+      const double t_sync =
+          cost.ps_sync_time(static_cast<size_t>(model.param_bytes()), n);
+      // Throughput relative to 1 worker: N workers each complete a step in
+      // t_c + t_s, vs t_c alone on a single GPU.
+      const double relative =
+          static_cast<double>(n) * t_compute / (t_compute + t_sync);
+      std::printf("%8.2f", relative);
+      csv.row({model.name, std::to_string(n),
+               CsvWriter::format_double(relative)});
+      s.y.push_back(relative);
+    }
+    std::printf("\n");
+    series.push_back(std::move(s));
+  }
+
+  std::printf("\n%s", ascii_plot(series, 60, 14).c_str());
+  std::printf("(x-axis: cluster size 1,2,4,8,16; CSV: %s/fig1a_scaling.csv)\n",
+              results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 1b: FedAvg accuracy on IID vs non-IID data (10 workers; CIFAR10 with
+// 1 label/worker on ResNet101, CIFAR100 with 10 labels/worker on VGG11;
+// C=1, E=0.1).
+//
+// Paper result: non-IID shards cost substantial accuracy under FedAvg.
+#include "bench_common.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+namespace {
+
+/// Harder variant of a synthetic task: with well-separated clusters,
+/// averaging single-label experts hides the non-IID damage (see
+/// tests/integration/noniid_test.cpp for the same calibration).
+SyntheticClassData hard_data(size_t classes, uint64_t seed) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 3000;
+  cfg.test_samples = 600;
+  cfg.classes = classes;
+  cfg.feature_dim = 32;
+  cfg.class_separation = 1.8;
+  cfg.noise_stddev = 1.2;
+  cfg.seed = seed;
+  return make_synthetic_classification(cfg);
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Fig. 1b — FedAvg: IID vs non-IID data (10 workers)",
+               "non-IID label-skewed shards lose significant accuracy");
+
+  CsvWriter csv(results_dir() + "/fig1b_fedavg_noniid.csv",
+                {"workload", "labels_per_worker", "distribution", "epoch",
+                 "top1"});
+
+  struct Case {
+    const char* name;
+    size_t classes;
+    size_t labels_per_worker;
+    uint64_t seed;
+  };
+  // The paper's pairs: ResNet101/CIFAR10 (1 label/worker) and VGG11/CIFAR100
+  // (10 labels/worker).
+  const std::vector<Case> cases{{"ResNet101/CIFAR10", 10, 1, 31},
+                                {"VGG11/CIFAR100", 20, 10, 32}};
+
+  for (const Case& c : cases) {
+    const SyntheticClassData data = hard_data(c.classes, c.seed);
+    for (const bool noniid : {false, true}) {
+      TrainJob job;
+      job.strategy = StrategyKind::kFedAvg;
+      job.workers = 10;
+      job.batch_size = 16;
+      job.max_iterations = 600;
+      job.eval_interval = 50;
+      job.train_data = data.train;
+      job.test_data = data.test;
+      job.partition =
+          noniid ? PartitionScheme::kNonIidLabel : PartitionScheme::kSelSync;
+      job.labels_per_worker = c.labels_per_worker;
+      const size_t classes = c.classes;
+      job.model_factory = [classes](uint64_t seed) {
+        ClassifierConfig cfg;
+        cfg.input_dim = 32;
+        cfg.classes = classes;
+        cfg.hidden = 32;
+        cfg.resnet_blocks = 2;
+        return make_resnet_mlp(cfg, seed);
+      };
+      job.optimizer_factory = [] {
+        return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                     SgdOptions{.momentum = 0.9});
+      };
+      // Paper setting (C=1, E=0.1) scaled to our steps/epoch: aggregate once
+      // per epoch so local drift is visible at this dataset size.
+      job.fedavg = {1.0, 1.0};
+
+      const TrainResult r = run_training(job);
+      std::printf("%-20s %-8s best-top1 = %.3f (LSSR %.2f)\n", c.name,
+                  noniid ? "non-IID" : "IID", r.best_top1, r.lssr());
+      for (const EvalPoint& pt : r.eval_history)
+        csv.row({c.name, std::to_string(c.labels_per_worker),
+                 noniid ? "noniid" : "iid", CsvWriter::format_double(pt.epoch),
+                 CsvWriter::format_double(pt.top1)});
+    }
+  }
+
+  std::printf("\nExpected shape: the non-IID row trails its IID twin.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 2: per-iteration compute time (a) and training memory (b) vs batch
+// size on a Tesla K80, for the four paper models.
+//
+// Paper result: both grow with batch size; ResNet101 (deepest) dominates
+// compute; the Transformer OOMs at batch 64 on the 12 GB K80; AlexNet's
+// ImageFolder staging inflates its memory at large batches.
+#include "bench_common.hpp"
+
+#include "nn/paper_profiles.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 2 — compute time & memory vs batch size (Tesla K80)",
+               "monotone growth; Transformer OOM at b=64 on 12 GB");
+
+  const DeviceProfile k80 = device_k80();
+  const std::vector<double> batches{16, 32, 64, 128, 256, 512};
+
+  CsvWriter csv(results_dir() + "/fig2_batchsize.csv",
+                {"model", "batch", "compute_time_s", "memory_gb", "oom"});
+
+  std::printf("\n(a) compute time per iteration [s]\n%-12s", "batch:");
+  for (double b : batches) std::printf("%8.0f", b);
+  std::printf("\n");
+  for (const auto& model : all_paper_models()) {
+    std::printf("%-12s", model.name.c_str());
+    for (double b : batches)
+      std::printf("%8.2f", compute_time_s(model, k80, b));
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) training memory [GB] (x = does not fit in 12 GB)\n%-12s",
+              "batch:");
+  for (double b : batches) std::printf("%8.0f", b);
+  std::printf("\n");
+  for (const auto& model : all_paper_models()) {
+    std::printf("%-12s", model.name.c_str());
+    for (double b : batches) {
+      const double gb =
+          training_memory_bytes(model, k80, b) / (1024.0 * 1024.0 * 1024.0);
+      const bool oom = would_oom(model, k80, b);
+      char cell[16];
+      std::snprintf(cell, sizeof(cell), oom ? "%7.1fx" : "%7.1f ", gb);
+      std::printf("%s", cell);
+      csv.row({model.name, CsvWriter::format_double(b),
+               CsvWriter::format_double(compute_time_s(model, k80, b)),
+               CsvWriter::format_double(gb), oom ? "1" : "0"});
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nTransformer fits at b=32 (%s) but OOMs at b=64 (%s), matching the "
+      "paper.\n",
+      would_oom(paper_transformer(), k80, 32) ? "NO" : "yes",
+      would_oom(paper_transformer(), k80, 64) ? "yes" : "NO");
+  return 0;
+}

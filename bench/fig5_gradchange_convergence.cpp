@@ -1,0 +1,93 @@
+// Fig. 5: the relative gradient change Δ(g_i) (EWMA window 25) plotted
+// against the convergence curve for the four workloads under BSP.
+//
+// Paper result: Δ(g_i) is large while accuracy/perplexity moves sharply,
+// flattens when convergence plateaus, and spikes at learning-rate decays
+// (the ResNet101 spike after step 10K).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 5 — Δ(g_i) vs convergence under BSP",
+               "Δ(g_i) tracks accuracy/perplexity movement and spikes at LR "
+               "decay");
+
+  CsvWriter csv(results_dir() + "/fig5_gradchange.csv",
+                {"workload", "iteration", "delta_g"});
+  CsvWriter curve_csv(results_dir() + "/fig5_convergence.csv",
+                      {"workload", "iteration", "metric"});
+
+  for (const Workload& w : all_workloads()) {
+    TrainJob job = make_job(w, StrategyKind::kBsp, 8, 700);
+    job.eval_interval = 25;
+    job.record_delta_trace = true;
+    const TrainResult r = run_training(job);
+
+    for (size_t i = 0; i < r.delta_trace.size(); ++i)
+      csv.row({w.name, std::to_string(i),
+               CsvWriter::format_double(r.delta_trace[i])});
+    std::vector<double> metric;
+    for (const EvalPoint& pt : r.eval_history) {
+      metric.push_back(primary_metric(w, pt));
+      curve_csv.row({w.name, std::to_string(pt.iteration),
+                     CsvWriter::format_double(metric.back())});
+    }
+
+    // Downsample Δ(g_i) to the eval cadence, keeping each window's MAX so
+    // the spikes the figure highlights (early phase, LR decay) survive.
+    std::vector<double> delta_ds;
+    for (size_t start = 0; start < r.delta_trace.size();
+         start += job.eval_interval) {
+      double mx = 0.0;
+      for (size_t i = start;
+           i < std::min(start + job.eval_interval, r.delta_trace.size()); ++i)
+        mx = std::max(mx, r.delta_trace[i]);
+      delta_ds.push_back(mx);
+    }
+
+    std::printf("\n%s (%s; LR decays per the paper's schedule)\n",
+                w.name.c_str(), metric_name(w));
+    std::printf("%s", ascii_plot({{"delta", delta_ds}, {"metric", metric}}, 64,
+                                 10)
+                          .c_str());
+
+    // Quantify the figure's two claims:
+    //  (a) Δ(g_i) is elevated in the volatile early phase vs the plateau;
+    //  (b) Δ(g_i) spikes at the learning-rate decay steps.
+    const size_t n_steps = r.delta_trace.size();
+    auto mean_over = [&](size_t lo, size_t hi) {
+      double acc = 0;
+      size_t cnt = 0;
+      for (size_t i = lo; i < std::min(hi, n_steps); ++i, ++cnt)
+        acc += r.delta_trace[i];
+      return cnt ? acc / cnt : 0.0;
+    };
+    // Early volatility: the first ~20 steps, while the randomly initialized
+    // model adjusts aggressively (paper §II-E), vs the settled stretch that
+    // follows.
+    const double early_mean = mean_over(1, 20);
+    const double settled_mean = mean_over(20, 70);
+    std::printf("first-20-steps mean Δ = %.4f vs settled mean Δ = %.4f (%s)\n",
+                early_mean, settled_mean,
+                early_mean >= settled_mean ? "elevated early, as published"
+                                           : "not elevated");
+    // LR-decay spike (only the SGD step-decay recipes decay by epoch:
+    // ResNet101 and VGG11).
+    const uint64_t spe = job.steps_per_epoch();
+    const size_t first_decay = static_cast<size_t>(12 * spe);
+    if (!w.is_lm && !w.top5_metric && first_decay + 26 < n_steps) {
+      const double baseline = mean_over(first_decay - 60, first_decay);
+      double spike = 0;
+      for (size_t i = first_decay; i < first_decay + 26; ++i)
+        spike = std::max(spike, r.delta_trace[i]);
+      std::printf("max Δ within 25 steps of the first LR decay = %.4f "
+                  "(%.1fx the pre-decay mean — the paper's decay spike)\n",
+                  spike, spike / std::max(baseline, 1e-12));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 8b: one-time cost of building SelDP vs DefDP partitions for the
+// paper's dataset sizes.
+//
+// Paper result: identical for CIFAR-scale data; SelDP costs a few extra
+// seconds on ImageNet-1K / WikiText-103-scale data — a one-time
+// preprocessing overhead, negligible against training.
+#include "bench_common.hpp"
+
+#include "data/partition.hpp"
+#include "util/timer.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 8b — SelDP vs DefDP partitioning overhead",
+               "near-identical on small datasets; a modest one-time extra "
+               "cost on large ones");
+
+  CsvWriter csv(results_dir() + "/fig8b_partition_overhead.csv",
+                {"dataset", "samples", "scheme", "ms"});
+
+  struct DatasetSize {
+    const char* name;
+    size_t samples;
+  };
+  // The paper's datasets by index count (WikiText counted in bptt windows).
+  const std::vector<DatasetSize> datasets{
+      {"CIFAR10", 50'000},
+      {"CIFAR100", 50'000},
+      {"ImageNet-1K", 1'281'167},
+      {"WikiText-103", 103'000'000 / 35}};
+  constexpr size_t kWorkers = 16;
+
+  std::printf("%-14s %12s %12s %12s\n", "dataset", "samples", "DefDP[ms]",
+              "SelDP[ms]");
+  for (const DatasetSize& d : datasets) {
+    WallTimer t1;
+    const Partition def = partition_default(d.samples, kWorkers, 1);
+    const double def_ms = t1.elapsed_ms();
+    WallTimer t2;
+    const Partition sel = partition_selsync(d.samples, kWorkers, 1);
+    const double sel_ms = t2.elapsed_ms();
+    std::printf("%-14s %12zu %12.1f %12.1f\n", d.name, d.samples, def_ms,
+                sel_ms);
+    csv.row({d.name, std::to_string(d.samples), "DefDP",
+             CsvWriter::format_double(def_ms)});
+    csv.row({d.name, std::to_string(d.samples), "SelDP",
+             CsvWriter::format_double(sel_ms)});
+    // Keep the partitions alive until after timing so allocation isn't
+    // reclaimed mid-measurement.
+    if (def.worker_order.empty() || sel.worker_order.empty()) return 1;
+  }
+
+  std::printf(
+      "\nSelDP materializes an N x larger index stream (every worker sees "
+      "all chunks), so its cost grows on ImageNet/WikiText-scale data — the "
+      "paper's 'margin of only a few seconds', incurred once before "
+      "training.\n");
+  return 0;
+}

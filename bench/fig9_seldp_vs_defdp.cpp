@@ -1,0 +1,56 @@
+// Fig. 9: SelSync (δ=0.25, gradient aggregation) trained with SelDP vs the
+// default partitioning DefDP, per workload.
+//
+// Paper result: SelDP reaches better test accuracy/perplexity for the same
+// epochs — with mostly-local updates, DefDP workers never learn the other
+// shards (ResNet101 97.6 vs 96.8; VGG11 90.9 vs 64.1; AlexNet 81.1 vs 61.2
+// top-5; Transformer 92.6 vs 94.9 ppl).
+//
+// δ note: our scaled models have a ~2x compressed Δ(g_i) distribution, so
+// the paper's δ=0.25 maps to δ=0.125 here (see EXPERIMENTS.md).
+#include "bench_common.hpp"
+
+using namespace selsync;
+using namespace selsync::bench;
+
+int main() {
+  print_banner("Fig. 9 — SelSync with SelDP vs DefDP (GA, δ≈0.25 paper-scale)",
+               "SelDP converges to better test performance than DefDP");
+
+  CsvWriter csv(results_dir() + "/fig9_seldp_vs_defdp.csv",
+                {"workload", "partitioning", "epoch", "metric"});
+
+  // Print the Fig. 7 layout once, for reference.
+  std::printf("Partition layouts (Fig. 7), 4-worker illustration:\n");
+  std::printf("  DefDP:  worker w consumes only chunk DP_w\n");
+  std::printf(
+      "  SelDP:  worker w consumes DP_w, DP_{w+1}, ... (circular queue)\n\n");
+
+  for (const Workload& w : all_workloads()) {
+    std::printf("%s:\n", w.name.c_str());
+    for (const PartitionScheme scheme :
+         {PartitionScheme::kSelSync, PartitionScheme::kDefault}) {
+      TrainJob job = make_job(w, StrategyKind::kSelSync, 16, 600);
+      job.partition = scheme;
+      job.selsync.delta = mapped_delta(w.name, 0.25);
+      job.selsync.aggregation = AggregationMode::kGradients;  // as in Fig. 9
+      const TrainResult r = run_training(job);
+      const double final_metric = w.is_lm
+                                      ? r.best_perplexity
+                                      : (w.top5_metric ? r.best_top5
+                                                       : r.best_top1);
+      std::printf("  %-6s  best %s = %-8.3f (LSSR %.2f)\n",
+                  partition_scheme_name(scheme), metric_name(w), final_metric,
+                  r.lssr());
+      for (const EvalPoint& pt : r.eval_history)
+        csv.row({w.name, partition_scheme_name(scheme),
+                 CsvWriter::format_double(pt.epoch),
+                 CsvWriter::format_double(primary_metric(w, pt))});
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: SelDP matches or beats DefDP on every workload "
+      "(the gap widens with more labels and higher LSSR).\n");
+  return 0;
+}

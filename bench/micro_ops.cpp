@@ -1,0 +1,176 @@
+// google-benchmark microbenchmarks for the hot operations: tensor kernels,
+// the Δ(g_i) statistic, KDE, collectives and the parameter server.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/collectives.hpp"
+#include "comm/parameter_server.hpp"
+#include "nn/models.hpp"
+#include "stats/grad_change.hpp"
+#include "stats/kde.hpp"
+#include "tensor/ops.hpp"
+
+namespace selsync {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulNT)->Arg(64);
+
+void BM_Conv2d(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor input = Tensor::randn({8, 3, 8, 8}, rng);
+  const Tensor weight = Tensor::randn({8, 3, 3, 3}, rng);
+  const Tensor bias = Tensor::randn({8}, rng);
+  for (auto _ : state) {
+    Tensor out = ops::conv2d(input, weight, bias, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2d);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({64, 1000}, rng);
+  for (auto _ : state) {
+    Tensor p = ops::softmax_rows(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_RelativeGradChange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> grad(n);
+  for (auto& g : grad) g = static_cast<float>(rng.normal());
+  RelativeGradChange gc(0.16, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gc.update_from_grad(grad));
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(float));
+}
+BENCHMARK(BM_RelativeGradChange)->Arg(1 << 16)->Arg(1 << 20)->Arg(44500000);
+
+void BM_GaussianKde(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> samples(static_cast<size_t>(state.range(0)));
+  for (auto& s : samples) s = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    KdeResult kde = gaussian_kde(samples, 128);
+    benchmark::DoNotOptimize(kde.density.data());
+  }
+}
+BENCHMARK(BM_GaussianKde)->Arg(256)->Arg(2048);
+
+void BM_SharedAllreduce(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const size_t dim = 1 << 14;
+  SharedCollectives coll(workers);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] {
+        std::vector<float> data(dim, static_cast<float>(r));
+        coll.allreduce_sum(r, data);
+        benchmark::DoNotOptimize(data.data());
+      });
+    for (auto& t : threads) t.join();
+  }
+}
+BENCHMARK(BM_SharedAllreduce)->Arg(4)->Arg(8);
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const size_t dim = 1 << 14;
+  RingAllreduce ring(workers);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] {
+        std::vector<float> data(dim, static_cast<float>(r));
+        ring.run(r, data);
+        benchmark::DoNotOptimize(data.data());
+      });
+    for (auto& t : threads) t.join();
+  }
+}
+BENCHMARK(BM_RingAllreduce)->Arg(4)->Arg(8);
+
+void BM_FlagAllgather(benchmark::State& state) {
+  const size_t workers = 8;
+  SharedCollectives coll(workers);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] {
+        auto flags = coll.allgather_byte(r, r % 2);
+        benchmark::DoNotOptimize(flags.data());
+      });
+    for (auto& t : threads) t.join();
+  }
+}
+BENCHMARK(BM_FlagAllgather);
+
+void BM_PsPushAverage(benchmark::State& state) {
+  const size_t workers = 4;
+  const size_t dim = 1 << 14;
+  ParameterServer ps(std::vector<float>(dim, 0.f), workers);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] {
+        std::vector<float> mine(dim, static_cast<float>(r));
+        auto avg =
+            ps.push_and_average(mine, AggregationMode::kParameters, workers);
+        benchmark::DoNotOptimize(avg.data());
+      });
+    for (auto& t : threads) t.join();
+  }
+}
+BENCHMARK(BM_PsPushAverage);
+
+void BM_TrainStepResNetMLP(benchmark::State& state) {
+  ClassifierConfig cfg;
+  cfg.input_dim = 48;
+  cfg.classes = 10;
+  cfg.hidden = 48;
+  cfg.resnet_blocks = 3;
+  auto model = make_resnet_mlp(cfg, 1);
+  Rng rng(7);
+  Batch batch;
+  batch.x = Tensor::randn({16, 48}, rng);
+  batch.targets.resize(16);
+  for (int i = 0; i < 16; ++i) batch.targets[i] = i % 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->train_step(batch));
+  }
+}
+BENCHMARK(BM_TrainStepResNetMLP);
+
+}  // namespace
+}  // namespace selsync
+
+BENCHMARK_MAIN();

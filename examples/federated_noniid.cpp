@@ -1,0 +1,109 @@
+// Federated non-IID scenario: ten workers each hold a single class label
+// (the paper's CIFAR10 federated split). Shows the failure of pure local
+// training, the partial fix from FedAvg, and SelSync + randomized data
+// injection recovering most of the lost accuracy (paper §III-E, Fig. 12).
+//
+// Run: ./build/examples/federated_noniid
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "data/injection.hpp"
+#include "data/synthetic.hpp"
+#include "nn/eval_report.hpp"
+#include "nn/models.hpp"
+#include "optim/optimizer.hpp"
+
+using namespace selsync;
+
+int main() {
+  SyntheticClassConfig data_cfg;
+  data_cfg.train_samples = 3000;
+  data_cfg.test_samples = 600;
+  data_cfg.classes = 10;
+  data_cfg.feature_dim = 32;
+  data_cfg.class_separation = 1.8;  // harder task, where non-IID damage shows
+  data_cfg.noise_stddev = 1.2;
+  data_cfg.seed = 41;  // the Fig. 12 bench's data split
+  const SyntheticClassData data = make_synthetic_classification(data_cfg);
+
+  auto make_job = [&](StrategyKind strategy) {
+    TrainJob job;
+    job.strategy = strategy;
+    job.workers = 10;
+    job.batch_size = 16;
+    job.max_iterations = 700;
+    job.eval_interval = 50;
+    job.train_data = data.train;
+    job.test_data = data.test;
+    job.partition = PartitionScheme::kNonIidLabel;
+    job.labels_per_worker = 1;  // fully skewed: one class per device
+    job.model_factory = [](uint64_t seed) {
+      ClassifierConfig cfg;
+      cfg.input_dim = 32;
+      cfg.classes = 10;
+      cfg.hidden = 32;
+      cfg.resnet_blocks = 2;
+      return make_resnet_mlp(cfg, seed);
+    };
+    job.optimizer_factory = [] {
+      return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                   SgdOptions{.momentum = 0.9});
+    };
+    return job;
+  };
+
+  std::printf("== Federated non-IID: 10 devices, 1 label each ==\n\n");
+
+  TrainJob local = make_job(StrategyKind::kLocalSgd);
+  const TrainResult r_local = run_training(local);
+  std::printf("local SGD only:               top1 = %.3f  (collapses: each "
+              "device knows one class)\n",
+              r_local.best_top1);
+
+  // Show the collapse signature: a fresh worker-0 replica trained on a
+  // single label predicts almost nothing else.
+  {
+    auto model = local.model_factory(local.seed);
+    const Partition part = partition_noniid_by_label(
+        *data.train, local.workers, 1, local.seed ^ 0xDA7AULL);
+    ShardLoader loader(data.train, part.worker_order[0], 16);
+    auto opt = local.optimizer_factory();
+    for (int it = 0; it < 200; ++it) {
+      model->train_step(loader.next_batch());
+      opt->step(model->params(), it, 0.0);
+    }
+    const ConfusionMatrix cm = evaluate_confusion(*model, *data.test);
+    std::printf("  worker-0 alone never predicts %zu of 10 classes "
+                "(macro-F1 %.2f)\n",
+                cm.never_predicted_classes(), cm.macro_f1());
+  }
+
+  TrainJob fedavg = make_job(StrategyKind::kFedAvg);
+  fedavg.fedavg = {1.0, 1.0};
+  const TrainResult r_fed = run_training(fedavg);
+  std::printf("FedAvg (C=1, 1x/epoch):       top1 = %.3f\n", r_fed.best_top1);
+
+  TrainJob selsync = make_job(StrategyKind::kSelSync);
+  selsync.selsync.delta = 0.15;
+  const TrainResult r_sel = run_training(selsync);
+  std::printf("SelSync, no injection:        top1 = %.3f  (LSSR %.2f)\n",
+              r_sel.best_top1, r_sel.lssr());
+
+  TrainJob injected = make_job(StrategyKind::kSelSync);
+  injected.selsync.delta = 0.15;
+  injected.injection = {true, 0.75, 0.75};
+  // Eqn. 3 keeps the effective batch at b: b' = b / (1 + alpha*beta*N).
+  std::printf("\n  (injection shrinks the local batch to b' = %zu per "
+              "Eqn. 3)\n\n",
+              injection_adjusted_batch(16, 0.75, 0.75, 10));
+  const TrainResult r_inj = run_training(injected);
+  std::printf("SelSync + injection (.75,.75): top1 = %.3f  (LSSR %.2f)\n",
+              r_inj.best_top1, r_inj.lssr());
+
+  std::printf(
+      "\nData injection lets mostly-local workers see a trickle of other\n"
+      "devices' samples each step, repairing the label skew at a per-step\n"
+      "cost of a few KB instead of a full model exchange.\n");
+  return 0;
+}

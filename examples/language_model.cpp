@@ -1,0 +1,77 @@
+// Language-model scenario: a causal Transformer encoder trained on a
+// synthetic Markov token stream (the paper's Transformer/WikiText-103
+// workload), under BSP and SelSync with the paper's per-iteration LR decay.
+//
+// Run: ./build/examples/language_model
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/transformer_lm.hpp"
+#include "optim/optimizer.hpp"
+
+using namespace selsync;
+
+int main() {
+  SyntheticTextConfig text_cfg;
+  text_cfg.train_tokens = 40000;
+  text_cfg.test_tokens = 6000;
+  text_cfg.vocab = 48;
+  text_cfg.seq_len = 12;
+  const SyntheticTextData data = make_synthetic_text(text_cfg);
+
+  auto make_job = [&](StrategyKind strategy) {
+    TrainJob job;
+    job.strategy = strategy;
+    job.workers = 8;
+    job.batch_size = 4;  // sequences per step (the paper uses 20 @ bptt 35)
+    job.max_iterations = 500;
+    job.eval_interval = 100;
+    job.train_data = data.train;
+    job.test_data = data.test;
+    job.model_factory = [](uint64_t seed) {
+      TransformerConfig cfg;
+      cfg.vocab = 48;
+      cfg.model_dim = 24;
+      cfg.ff_dim = 48;
+      cfg.num_heads = 2;
+      cfg.num_layers = 2;
+      cfg.seq_len = 12;
+      cfg.dropout = 0.1f;
+      return std::make_unique<TransformerLM>(cfg, seed);
+    };
+    // Paper schedule: SGD with lr decaying x0.8 every 2000 iterations
+    // (scaled to our shorter runs).
+    job.optimizer_factory = [] {
+      return std::make_unique<Sgd>(
+          std::make_shared<IterationExpDecay>(0.25, 200, 0.8));
+    };
+    job.paper_model = paper_transformer();
+    return job;
+  };
+
+  std::printf("== Transformer LM on a synthetic Markov stream ==\n");
+  std::printf("(uniform-guess perplexity would be %d)\n\n", 48);
+
+  const TrainResult bsp = run_training(make_job(StrategyKind::kBsp));
+  std::printf("BSP:     best ppl = %-7.2f  sim time = %.0fs\n",
+              bsp.best_perplexity, bsp.sim_time_s);
+
+  TrainJob sel = make_job(StrategyKind::kSelSync);
+  sel.selsync.delta = 0.1;
+  const TrainResult selres = run_training(sel);
+  std::printf("SelSync: best ppl = %-7.2f  sim time = %.0fs  (LSSR %.2f)\n",
+              selres.best_perplexity, selres.sim_time_s, selres.lssr());
+
+  std::printf("\nPerplexity trajectory (BSP): ");
+  for (const EvalPoint& pt : bsp.eval_history)
+    std::printf(" %.1f", pt.perplexity);
+  std::printf("\nPerplexity trajectory (Sel): ");
+  for (const EvalPoint& pt : selres.eval_history)
+    std::printf(" %.1f", pt.perplexity);
+  std::printf(
+      "\n\nBoth runs should drive perplexity well below the uniform limit;\n"
+      "SelSync does it with a fraction of the synchronization rounds.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: train one model with BSP and with SelSync on a synthetic
+// 10-class task and compare accuracy, LSSR and simulated training time.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "optim/optimizer.hpp"
+
+using namespace selsync;
+
+namespace {
+
+TrainJob base_job(const SyntheticClassData& data) {
+  TrainJob job;
+  job.workers = 4;
+  job.batch_size = 32;
+  job.max_iterations = 600;
+  job.eval_interval = 100;
+  job.train_data = data.train;
+  job.test_data = data.test;
+  job.partition = PartitionScheme::kSelSync;
+  job.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.input_dim = 64;
+    cfg.classes = 10;
+    return make_resnet_mlp(cfg, seed);
+  };
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                 SgdOptions{.momentum = 0.9});
+  };
+  job.paper_model = paper_resnet101();
+  return job;
+}
+
+void report(const char* name, const TrainResult& r) {
+  std::printf("%-10s iters=%5llu  top1=%.3f  LSSR=%.3f  sim_time=%.1fs\n",
+              name, static_cast<unsigned long long>(r.iterations),
+              r.final_eval.top1, r.lssr_applicable ? r.lssr() : 0.0,
+              r.sim_time_s);
+}
+
+}  // namespace
+
+int main() {
+  SyntheticClassConfig data_cfg;
+  data_cfg.train_samples = 4096;
+  data_cfg.test_samples = 1024;
+  const SyntheticClassData data = make_synthetic_classification(data_cfg);
+
+  std::printf("== SelSync quickstart: 4 workers, synthetic 10-class task ==\n");
+
+  TrainJob bsp = base_job(data);
+  bsp.strategy = StrategyKind::kBsp;
+  report("BSP", run_training(bsp));
+
+  TrainJob sel = base_job(data);
+  sel.strategy = StrategyKind::kSelSync;
+  sel.selsync.delta = 0.04;
+  sel.selsync.aggregation = AggregationMode::kParameters;
+  report("SelSync", run_training(sel));
+
+  std::printf(
+      "\nSelSync skips communication whenever relative gradient change stays\n"
+      "below delta, so it should reach comparable accuracy with a high LSSR\n"
+      "and a much lower simulated training time.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Cyclic barrier with abort support.
+//
+// std::barrier cannot be torn down while a worker is waiting, which turns
+// any worker exception into a cluster deadlock. This barrier lets the
+// cluster runner abort(): every current and future wait() throws
+// BarrierAborted, unwinding all workers cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+namespace selsync {
+
+struct BarrierAborted : std::runtime_error {
+  BarrierAborted() : std::runtime_error("cluster barrier aborted") {}
+};
+
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(size_t parties) : parties_(parties) {
+    if (parties == 0) throw std::invalid_argument("barrier: zero parties");
+  }
+
+  /// Blocks until all parties arrive (or abort() is called).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw BarrierAborted();
+    const size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+    if (aborted_ && generation_ == my_generation) throw BarrierAborted();
+  }
+
+  /// Wakes all waiters with BarrierAborted; subsequent waits throw too.
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+  size_t parties() const { return parties_; }
+
+ private:
+  const size_t parties_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  size_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace selsync

@@ -1,0 +1,66 @@
+// Bounded-unbounded MPSC/SPSC channel used for point-to-point messaging
+// between simulated workers (ring collectives, data injection transport).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace selsync {
+
+template <typename T>
+class Channel {
+ public:
+  /// Enqueues a message; never blocks (unbounded queue).
+  void send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) throw std::runtime_error("Channel: send after close");
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available or the channel is closed.
+  /// Returns nullopt if closed and drained.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace selsync

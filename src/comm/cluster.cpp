@@ -1,0 +1,38 @@
+#include "comm/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace selsync {
+
+void run_cluster(size_t workers,
+                 const std::function<void(WorkerContext&)>& body) {
+  SharedCollectives collectives(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t rank = 0; rank < workers; ++rank) {
+    threads.emplace_back([&, rank] {
+      WorkerContext ctx{rank, workers, &collectives};
+      try {
+        body(ctx);
+      } catch (const BarrierAborted&) {
+        // Another worker failed first; unwind quietly.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        collectives.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace selsync

@@ -1,0 +1,26 @@
+// Simulated cluster runner: one OS thread per worker, shared collectives,
+// exception-safe teardown. The worker body is the analogue of the per-rank
+// main() of an MPI program.
+#pragma once
+
+#include <functional>
+
+#include "comm/collectives.hpp"
+
+namespace selsync {
+
+struct WorkerContext {
+  size_t rank = 0;
+  size_t size = 1;
+  SharedCollectives* collectives = nullptr;
+
+  bool is_root() const { return rank == 0; }
+};
+
+/// Spawns `workers` threads running `body(ctx)` and joins them. If any
+/// worker throws, the cluster barrier is aborted (unblocking the others)
+/// and the first exception is rethrown on the caller's thread.
+void run_cluster(size_t workers,
+                 const std::function<void(WorkerContext&)>& body);
+
+}  // namespace selsync

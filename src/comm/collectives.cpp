@@ -1,0 +1,118 @@
+#include "comm/collectives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace selsync {
+
+SharedCollectives::SharedCollectives(size_t workers)
+    : workers_(workers), barrier_(workers) {
+  if (workers == 0)
+    throw std::invalid_argument("SharedCollectives: zero workers");
+  double_buf_.resize(workers);
+  byte_buf_.resize(workers);
+}
+
+void SharedCollectives::allreduce_sum(size_t rank, std::span<float> data) {
+  // Contributions land in per-rank slots and every rank reduces them in
+  // rank order, so the float summation order is fixed: results are
+  // bit-identical across ranks and across runs regardless of thread
+  // scheduling (the determinism the paper gets from NCCL's fixed reduction
+  // trees).
+  barrier();
+  if (rank == 0) float_buf_.assign(data.size() * workers_, 0.f);
+  barrier();
+  if (float_buf_.size() != data.size() * workers_)
+    throw std::invalid_argument("allreduce_sum: length mismatch");
+  std::copy(data.begin(), data.end(), float_buf_.begin() + rank * data.size());
+  barrier();
+  for (size_t i = 0; i < data.size(); ++i) {
+    float acc = 0.f;
+    for (size_t w = 0; w < workers_; ++w)
+      acc += float_buf_[w * data.size() + i];
+    data[i] = acc;
+  }
+  barrier();
+}
+
+void SharedCollectives::allreduce_mean(size_t rank, std::span<float> data) {
+  allreduce_sum(rank, data);
+  const float inv = 1.f / static_cast<float>(workers_);
+  for (auto& v : data) v *= inv;
+}
+
+double SharedCollectives::allreduce_max(size_t rank, double value) {
+  barrier();
+  double_buf_[rank] = value;
+  barrier();
+  const double result = *std::max_element(double_buf_.begin(), double_buf_.end());
+  barrier();
+  return result;
+}
+
+std::vector<uint8_t> SharedCollectives::allgather_byte(size_t rank,
+                                                       uint8_t value) {
+  barrier();
+  byte_buf_[rank] = value;
+  barrier();
+  std::vector<uint8_t> result = byte_buf_;
+  barrier();
+  return result;
+}
+
+void SharedCollectives::broadcast(size_t rank, size_t root,
+                                  std::span<float> data) {
+  barrier();
+  if (rank == root) float_buf_.assign(data.begin(), data.end());
+  barrier();
+  if (rank != root) {
+    if (float_buf_.size() != data.size())
+      throw std::invalid_argument("broadcast: length mismatch");
+    std::copy(float_buf_.begin(), float_buf_.end(), data.begin());
+  }
+  barrier();
+}
+
+RingAllreduce::RingAllreduce(size_t workers) : workers_(workers) {
+  if (workers == 0) throw std::invalid_argument("RingAllreduce: zero workers");
+  links_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    links_.push_back(std::make_unique<Channel<std::vector<float>>>());
+}
+
+void RingAllreduce::run(size_t rank, std::span<float> data) {
+  if (workers_ == 1) return;
+  const size_t n = data.size();
+  const size_t chunks = workers_;
+  auto chunk_begin = [&](size_t c) { return c * n / chunks; };
+  auto chunk_end = [&](size_t c) { return (c + 1) * n / chunks; };
+
+  Channel<std::vector<float>>& out = *links_[rank];
+  Channel<std::vector<float>>& in = *links_[(rank + workers_ - 1) % workers_];
+
+  // Reduce-scatter: after step s, each rank accumulates into chunk
+  // (rank - s - 1) mod N; after N-1 steps rank r owns the fully reduced
+  // chunk (r + 1) mod N.
+  for (size_t s = 0; s < workers_ - 1; ++s) {
+    const size_t send_c = (rank + workers_ - s) % workers_;
+    const size_t recv_c = (rank + workers_ - s - 1) % workers_;
+    out.send(std::vector<float>(data.begin() + chunk_begin(send_c),
+                                data.begin() + chunk_end(send_c)));
+    auto msg = in.recv();
+    if (!msg) throw std::runtime_error("ring allreduce: channel closed");
+    float* dst = data.data() + chunk_begin(recv_c);
+    for (size_t i = 0; i < msg->size(); ++i) dst[i] += (*msg)[i];
+  }
+  // Allgather: circulate the reduced chunks.
+  for (size_t s = 0; s < workers_ - 1; ++s) {
+    const size_t send_c = (rank + 1 + workers_ - s) % workers_;
+    const size_t recv_c = (rank + workers_ - s) % workers_;
+    out.send(std::vector<float>(data.begin() + chunk_begin(send_c),
+                                data.begin() + chunk_end(send_c)));
+    auto msg = in.recv();
+    if (!msg) throw std::runtime_error("ring allreduce: channel closed");
+    std::copy(msg->begin(), msg->end(), data.data() + chunk_begin(recv_c));
+  }
+}
+
+}  // namespace selsync

@@ -1,0 +1,84 @@
+// Shared-memory collectives for the simulated cluster.
+//
+// SharedCollectives gives N worker threads MPI-style bulk-synchronous ops
+// (allreduce, allgather, broadcast, max-reduction for clock alignment). All
+// N workers must call each collective in the same order — the same contract
+// MPI imposes on communicators. The data moves through shared buffers; the
+// *time* the equivalent network transfer would take is charged separately
+// via comm/cost_model.
+//
+// RingAllreduce is a faithful message-passing implementation of the
+// bandwidth-optimal ring algorithm (reduce-scatter + allgather) over
+// per-link channels; it exists to validate the algorithm the cost model
+// prices and to serve the microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/barrier.hpp"
+#include "comm/channel.hpp"
+
+namespace selsync {
+
+class SharedCollectives {
+ public:
+  explicit SharedCollectives(size_t workers);
+
+  size_t workers() const { return workers_; }
+
+  void barrier() { barrier_.wait(); }
+  void abort() { barrier_.abort(); }
+  bool aborted() const { return barrier_.aborted(); }
+
+  /// In-place sum-allreduce over all workers' `data` (equal lengths).
+  void allreduce_sum(size_t rank, std::span<float> data);
+
+  /// In-place mean-allreduce (sum / N): the paper's parameter averaging.
+  void allreduce_mean(size_t rank, std::span<float> data);
+
+  /// Max-reduction of one double; used to align simulated worker clocks at
+  /// synchronization points.
+  double allreduce_max(size_t rank, double value);
+
+  /// Each worker contributes one byte; returns all N bytes in rank order.
+  /// This is Alg. 1's allgather_status over the sync-flag bits.
+  std::vector<uint8_t> allgather_byte(size_t rank, uint8_t value);
+
+  /// Root's data overwrites everyone's.
+  void broadcast(size_t rank, size_t root, std::span<float> data);
+
+ private:
+  size_t workers_;
+  AbortableBarrier barrier_;
+  std::vector<float> float_buf_;  // N slots of equal length (allreduce) or
+                                  // one payload (broadcast)
+  std::vector<double> double_buf_;
+  std::vector<uint8_t> byte_buf_;
+};
+
+/// Bandwidth-optimal ring allreduce over point-to-point channels.
+/// Each of the N participants calls run(rank, data); chunks circulate
+/// 2*(N-1) steps (reduce-scatter, then allgather).
+class RingAllreduce {
+ public:
+  explicit RingAllreduce(size_t workers);
+
+  /// In-place sum-allreduce of `data` (same length on every rank).
+  void run(size_t rank, std::span<float> data);
+
+  /// Messages sent per participant for a vector of `n` elements (the cost
+  /// model's volume assumption: 2*(N-1) chunk transfers of n/N elements).
+  static size_t messages_per_rank(size_t workers) {
+    return workers <= 1 ? 0 : 2 * (workers - 1);
+  }
+
+ private:
+  size_t workers_;
+  // links_[r] carries messages from rank r to rank (r+1) % N.
+  std::vector<std::unique_ptr<Channel<std::vector<float>>>> links_;
+};
+
+}  // namespace selsync

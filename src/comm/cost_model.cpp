@@ -1,0 +1,80 @@
+#include "comm/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selsync {
+
+NetworkProfile paper_network_5gbps() {
+  NetworkProfile net;
+  net.name = "5Gbps-docker-swarm";
+  net.bandwidth_bps = 5e9;
+  net.server_bandwidth_bps = 40e9;
+  net.latency_s = 200e-6;  // container overlay network
+  net.op_overhead_s = 1e-3;
+  net.wire_compression = 0.5;  // fp16 payloads
+  net.overlap_factor = 1.0;
+  return net;
+}
+
+NetworkProfile network_25gbps() {
+  NetworkProfile net;
+  net.name = "25Gbps-datacenter";
+  net.bandwidth_bps = 25e9;
+  net.server_bandwidth_bps = 200e9;
+  net.latency_s = 50e-6;
+  net.op_overhead_s = 0.5e-3;
+  net.wire_compression = 0.5;
+  net.overlap_factor = 1.0;
+  return net;
+}
+
+double CostModel::ps_sync_time(size_t bytes, size_t workers) const {
+  if (workers <= 1) return 0.0;
+  const double n = static_cast<double>(workers);
+  const double transfer =
+      2.0 * n * wire_bytes(static_cast<double>(bytes)) * 8.0 /
+      net_.server_bandwidth_bps;
+  return net_.overlap_factor * transfer + 2.0 * net_.latency_s +
+         net_.op_overhead_s;
+}
+
+double CostModel::ps_oneway_time(size_t bytes, size_t active) const {
+  const double contention = static_cast<double>(std::max<size_t>(active, 1));
+  const double transfer = contention *
+                          wire_bytes(static_cast<double>(bytes)) * 8.0 /
+                          net_.server_bandwidth_bps;
+  return net_.overlap_factor * transfer + net_.latency_s + net_.op_overhead_s;
+}
+
+double CostModel::ring_allreduce_time(size_t bytes, size_t workers) const {
+  if (workers <= 1) return 0.0;
+  const double n = static_cast<double>(workers);
+  const double transfer = 2.0 * (n - 1.0) / n *
+                          wire_bytes(static_cast<double>(bytes)) * 8.0 /
+                          net_.bandwidth_bps;
+  return net_.overlap_factor * transfer + 2.0 * (n - 1.0) * net_.latency_s +
+         net_.op_overhead_s;
+}
+
+double CostModel::tree_allreduce_time(size_t bytes, size_t workers) const {
+  if (workers <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(workers)));
+  const double transfer =
+      wire_bytes(static_cast<double>(bytes)) * 8.0 / net_.bandwidth_bps;
+  return net_.overlap_factor * 2.0 * rounds * (transfer + net_.latency_s) +
+         net_.op_overhead_s;
+}
+
+double CostModel::flag_allgather_time(size_t workers) const {
+  if (workers <= 1) return 0.0;
+  // One bit per worker; entirely latency/overhead bound (paper: ~2-4 ms).
+  return 2.0 * net_.latency_s + 2.5e-3;
+}
+
+double CostModel::p2p_time(size_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 / net_.bandwidth_bps +
+         net_.latency_s;
+}
+
+}  // namespace selsync

@@ -1,0 +1,75 @@
+// Analytic communication/computation cost model.
+//
+// The paper's wall-clock numbers come from 16 V100 workers behind a 5 Gbps
+// NIC; this repo executes the same algorithms in-process and *charges* each
+// operation simulated time from this model instead (DESIGN.md §2). The
+// formulas are the standard alpha-beta costs plus three calibration knobs
+// that stand in for effects we cannot reproduce mechanically but the paper's
+// own measurements imply (Fig. 1a shows ~3x relative throughput for
+// ResNet101 at 16 workers, which a naive 5 Gbps incast model cannot yield):
+//
+//   wire_compression       fp16 gradient/parameter payloads (GradientFlow-
+//                          style mixed precision; halves the bytes)
+//   server_bandwidth_bps   effective aggregate PS ingest: intra-node workers
+//                          (4 GPUs/node) reach the PS via host loopback and
+//                          the docker overlay meshes several NICs, so the
+//                          server absorbs far more than one 5 Gbps link
+//   overlap_factor         fraction of communication NOT hidden behind
+//                          backprop (PyTorch overlaps bucketed transfers)
+//
+// With these, the published *shape* (PS incast saturation in Fig. 1a, the
+// speedup ordering of Table I) is reproduced; EXPERIMENTS.md records the
+// calibration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace selsync {
+
+struct NetworkProfile {
+  std::string name;
+  double bandwidth_bps = 5e9;          // one worker NIC
+  double server_bandwidth_bps = 40e9;  // effective PS aggregate ingest
+  double latency_s = 200e-6;
+  double op_overhead_s = 1e-3;  // serialization / RPC dispatch per op
+  double wire_compression = 0.5;  // fp16 payloads
+  double overlap_factor = 1.0;    // 1 = no comm/compute overlap
+};
+
+/// The paper's testbed: 5 Gbps NIC between docker-swarm containers,
+/// 4 V100 per physical node, fp16 wire payloads.
+NetworkProfile paper_network_5gbps();
+/// A faster datacenter profile for ablations.
+NetworkProfile network_25gbps();
+
+class CostModel {
+ public:
+  explicit CostModel(NetworkProfile net) : net_(net) {}
+
+  const NetworkProfile& network() const { return net_; }
+
+  /// Full PS round trip: every worker pushes `bytes` and pulls `bytes`;
+  /// the server ingest serializes all 2N transfers.
+  double ps_sync_time(size_t bytes, size_t workers) const;
+
+  /// One-way PS transfer (SSP's asynchronous update), contended by `active`
+  /// concurrent transfers on the server ingest.
+  double ps_oneway_time(size_t bytes, size_t active) const;
+
+  double ring_allreduce_time(size_t bytes, size_t workers) const;
+  double tree_allreduce_time(size_t bytes, size_t workers) const;
+
+  /// SelSync's 1-bit-per-worker flag allgather (Alg. 1 line 12). Latency
+  /// bound; the paper measured 2-4 ms.
+  double flag_allgather_time(size_t workers) const;
+
+  /// Point-to-point transfer (data injection), full fidelity payload.
+  double p2p_time(size_t bytes) const;
+
+ private:
+  double wire_bytes(double bytes) const { return bytes * net_.wire_compression; }
+  NetworkProfile net_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,165 @@
+#include "comm/network_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace selsync {
+
+NetworkSimulator::NetworkSimulator(std::vector<double> nic_bandwidth_bps,
+                                   double latency_s)
+    : egress_bw_(nic_bandwidth_bps),
+      ingress_bw_(std::move(nic_bandwidth_bps)),
+      latency_s_(latency_s) {
+  if (egress_bw_.empty())
+    throw std::invalid_argument("NetworkSimulator: no nodes");
+  for (double bw : egress_bw_)
+    if (bw <= 0) throw std::invalid_argument("NetworkSimulator: bad NIC bw");
+}
+
+size_t NetworkSimulator::submit(size_t src, size_t dst, double bytes,
+                                double start_time_s) {
+  if (src >= node_count() || dst >= node_count())
+    throw std::out_of_range("NetworkSimulator: bad node id");
+  if (bytes <= 0) throw std::invalid_argument("NetworkSimulator: bytes <= 0");
+  Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.bytes_remaining = bytes * 8.0;  // track bits against bps capacities
+  f.start_time = start_time_s + latency_s_;  // propagation before first bit
+  flows_.push_back(f);
+  return flows_.size() - 1;
+}
+
+void NetworkSimulator::assign_rates(std::vector<Flow*>& active) {
+  // Progressive filling: repeatedly find the most contended link, give each
+  // of its unfrozen flows an equal share, freeze them, subtract, repeat.
+  std::vector<double> egress_left = egress_bw_;
+  std::vector<double> ingress_left = ingress_bw_;
+  std::vector<Flow*> unfrozen = active;
+  for (Flow* f : unfrozen) f->rate = 0.0;
+
+  while (!unfrozen.empty()) {
+    // Count unfrozen flows per link and find the bottleneck share.
+    std::vector<size_t> egress_count(node_count(), 0);
+    std::vector<size_t> ingress_count(node_count(), 0);
+    for (const Flow* f : unfrozen) {
+      ++egress_count[f->src];
+      ++ingress_count[f->dst];
+    }
+    double min_share = std::numeric_limits<double>::infinity();
+    for (size_t n = 0; n < node_count(); ++n) {
+      if (egress_count[n])
+        min_share = std::min(min_share, egress_left[n] / egress_count[n]);
+      if (ingress_count[n])
+        min_share = std::min(min_share, ingress_left[n] / ingress_count[n]);
+    }
+    // Freeze every flow crossing a bottleneck link at min_share.
+    std::vector<Flow*> next;
+    for (Flow* f : unfrozen) {
+      const bool src_tight =
+          egress_left[f->src] / egress_count[f->src] <= min_share + 1e-9;
+      const bool dst_tight =
+          ingress_left[f->dst] / ingress_count[f->dst] <= min_share + 1e-9;
+      if (src_tight || dst_tight) {
+        f->rate = min_share;
+        egress_left[f->src] -= min_share;
+        ingress_left[f->dst] -= min_share;
+      } else {
+        next.push_back(f);
+      }
+    }
+    if (next.size() == unfrozen.size()) {
+      // Numerical stall: give everyone the min share and stop.
+      for (Flow* f : next) f->rate = min_share;
+      break;
+    }
+    unfrozen = std::move(next);
+  }
+}
+
+double NetworkSimulator::run() {
+  double now = 0.0;
+  double makespan = 0.0;
+  for (;;) {
+    // Activate flows whose start time has arrived; find the next start.
+    std::vector<Flow*> active;
+    double next_start = std::numeric_limits<double>::infinity();
+    for (Flow& f : flows_) {
+      if (f.done) continue;
+      if (f.start_time <= now + 1e-12) {
+        f.active = true;
+        active.push_back(&f);
+      } else {
+        next_start = std::min(next_start, f.start_time);
+      }
+    }
+    if (active.empty()) {
+      if (next_start == std::numeric_limits<double>::infinity()) break;
+      now = next_start;
+      continue;
+    }
+
+    assign_rates(active);
+
+    // Advance to the earliest of: a flow finishing, or a new flow starting.
+    double dt = next_start - now;
+    for (const Flow* f : active)
+      if (f->rate > 0)
+        dt = std::min(dt, f->bytes_remaining / f->rate);
+    if (!(dt > 0) || dt == std::numeric_limits<double>::infinity())
+      throw std::logic_error("NetworkSimulator: stalled event loop");
+
+    now += dt;
+    for (Flow* f : active) {
+      f->bytes_remaining -= f->rate * dt;
+      if (f->bytes_remaining <= 1e-6) {
+        f->done = true;
+        f->active = false;
+        f->completion = now;
+        makespan = std::max(makespan, now);
+      }
+    }
+  }
+  return makespan;
+}
+
+double NetworkSimulator::completion_time(size_t flow_id) const {
+  const Flow& f = flows_.at(flow_id);
+  if (!f.done)
+    throw std::logic_error("NetworkSimulator: flow not completed (run() it)");
+  return f.completion;
+}
+
+void NetworkSimulator::clear() { flows_.clear(); }
+
+double des_ps_sync_time(size_t workers, double bytes, double worker_bw_bps,
+                        double server_bw_bps, double latency_s) {
+  if (workers == 0) throw std::invalid_argument("des_ps_sync_time: 0 workers");
+  // Node 0 is the server; nodes 1..N are workers.
+  std::vector<double> bw(workers + 1, worker_bw_bps);
+  bw[0] = server_bw_bps;
+  NetworkSimulator net(bw, latency_s);
+  for (size_t w = 1; w <= workers; ++w) net.submit(w, 0, bytes, 0.0);
+  const double push_done = net.run();
+  NetworkSimulator pull(bw, latency_s);
+  for (size_t w = 1; w <= workers; ++w) pull.submit(0, w, bytes, 0.0);
+  return push_done + pull.run();
+}
+
+double des_ring_allreduce_time(size_t workers, double bytes, double bw_bps,
+                               double latency_s) {
+  if (workers <= 1) return 0.0;
+  const double chunk = bytes / static_cast<double>(workers);
+  double total = 0.0;
+  std::vector<double> bw(workers, bw_bps);
+  for (size_t round = 0; round < 2 * (workers - 1); ++round) {
+    NetworkSimulator net(bw, latency_s);
+    for (size_t n = 0; n < workers; ++n)
+      net.submit(n, (n + 1) % workers, chunk, 0.0);
+    total += net.run();
+  }
+  return total;
+}
+
+}  // namespace selsync

@@ -1,0 +1,72 @@
+// Discrete-event network simulation with max-min fair bandwidth sharing.
+//
+// The closed-form CostModel prices each collective with alpha-beta formulas;
+// this simulator derives the same quantities from first principles: flows
+// traverse their source and destination NICs, concurrent flows share link
+// capacity max-min fairly, and the event loop advances from one flow
+// completion to the next. Unit tests check the two models agree, which is
+// the evidence the analytic charges used throughout the trainer are sound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace selsync {
+
+/// A network of nodes, each behind one full-duplex NIC of fixed capacity.
+/// Flows consume capacity on the sender's egress and the receiver's ingress;
+/// rates are assigned by progressive filling (max-min fairness), recomputed
+/// whenever a flow starts or finishes.
+class NetworkSimulator {
+ public:
+  /// `nic_bandwidth_bps[i]` is node i's NIC capacity (each direction).
+  NetworkSimulator(std::vector<double> nic_bandwidth_bps, double latency_s);
+
+  /// Schedules `bytes` from `src` to `dst` starting at `start_time_s`.
+  /// Returns a flow id.
+  size_t submit(size_t src, size_t dst, double bytes, double start_time_s);
+
+  /// Runs to completion of all submitted flows; afterwards,
+  /// completion_time(id) is valid. Returns the makespan (latest completion).
+  double run();
+
+  double completion_time(size_t flow_id) const;
+  size_t node_count() const { return egress_bw_.size(); }
+
+  /// Resets all flows (topology kept) so the instance can be reused.
+  void clear();
+
+ private:
+  struct Flow {
+    size_t src, dst;
+    double bytes_remaining;
+    double start_time;
+    double completion = -1.0;
+    bool active = false;
+    bool done = false;
+    double rate = 0.0;
+  };
+
+  /// Progressive-filling max-min allocation over the active flows.
+  void assign_rates(std::vector<Flow*>& active);
+
+  std::vector<double> egress_bw_;
+  std::vector<double> ingress_bw_;
+  double latency_s_;
+  std::vector<Flow> flows_;
+};
+
+/// Convenience drivers mirroring the CostModel's collectives. All return
+/// makespans in seconds for payloads of `bytes` per worker.
+
+/// N workers push `bytes` to the server, then pull `bytes` back (pulls start
+/// only after every push landed, like a blocking aggregation round).
+double des_ps_sync_time(size_t workers, double bytes, double worker_bw_bps,
+                        double server_bw_bps, double latency_s);
+
+/// Ring allreduce: 2*(N-1) rounds; in each round every node sends one
+/// `bytes/N` chunk to its successor (all transfers of a round concurrent).
+double des_ring_allreduce_time(size_t workers, double bytes, double bw_bps,
+                               double latency_s);
+
+}  // namespace selsync

@@ -1,0 +1,118 @@
+#include "comm/parameter_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace selsync {
+
+const char* aggregation_mode_name(AggregationMode mode) {
+  return mode == AggregationMode::kParameters ? "PA" : "GA";
+}
+
+ParameterServer::ParameterServer(std::vector<float> initial, size_t workers)
+    : global_(std::move(initial)),
+      workers_(workers),
+      worker_iteration_(workers, 0),
+      worker_done_(workers, false) {
+  if (workers == 0) throw std::invalid_argument("ParameterServer: 0 workers");
+  if (global_.empty())
+    throw std::invalid_argument("ParameterServer: empty model");
+}
+
+std::vector<float> ParameterServer::pull() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return global_;
+}
+
+std::vector<float> ParameterServer::push_and_average(
+    std::span<const float> data, AggregationMode mode, size_t participants) {
+  if (participants == 0 || participants > workers_)
+    throw std::invalid_argument("push_and_average: bad participant count");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (data.size() != global_.size())
+    throw std::invalid_argument("push_and_average: dim mismatch");
+
+  // Join (or open) the current round.
+  if (arrived_ == 0) {
+    accum_.assign(global_.size(), 0.f);
+    expected_ = participants;
+  } else if (expected_ != participants) {
+    throw std::logic_error("push_and_average: inconsistent participants");
+  }
+  for (size_t i = 0; i < data.size(); ++i) accum_[i] += data[i];
+  const uint64_t my_round = round_;
+
+  if (++arrived_ == expected_) {
+    const float inv = 1.f / static_cast<float>(expected_);
+    for (auto& v : accum_) v *= inv;
+    round_result_ = accum_;
+    if (mode == AggregationMode::kParameters) global_ = round_result_;
+    arrived_ = 0;
+    ++round_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return round_ != my_round; });
+  }
+  return round_result_;
+}
+
+void ParameterServer::store(std::span<const float> params) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (params.size() != global_.size())
+    throw std::invalid_argument("store: dim mismatch");
+  std::copy(params.begin(), params.end(), global_.begin());
+}
+
+void ParameterServer::apply_gradient_async(std::span<const float> grad,
+                                           double lr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (grad.size() != global_.size())
+    throw std::invalid_argument("apply_gradient_async: dim mismatch");
+  const float flr = static_cast<float>(lr);
+  for (size_t i = 0; i < grad.size(); ++i) global_[i] -= flr * grad[i];
+  ++async_updates_;
+}
+
+void ParameterServer::apply_delta_async(std::span<const float> delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (delta.size() != global_.size())
+    throw std::invalid_argument("apply_delta_async: dim mismatch");
+  for (size_t i = 0; i < delta.size(); ++i) global_[i] += delta[i];
+  ++async_updates_;
+}
+
+uint64_t ParameterServer::min_active_iteration_locked() const {
+  uint64_t min_iter = std::numeric_limits<uint64_t>::max();
+  bool any = false;
+  for (size_t w = 0; w < workers_; ++w)
+    if (!worker_done_[w]) {
+      min_iter = std::min(min_iter, worker_iteration_[w]);
+      any = true;
+    }
+  return any ? min_iter : std::numeric_limits<uint64_t>::max();
+}
+
+void ParameterServer::enforce_staleness(size_t rank, uint64_t iteration,
+                                        uint64_t staleness) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  worker_iteration_[rank] = iteration;
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    const uint64_t floor = min_active_iteration_locked();
+    return floor == std::numeric_limits<uint64_t>::max() ||
+           iteration <= floor + staleness;
+  });
+}
+
+void ParameterServer::finish(size_t rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_done_[rank] = true;
+  cv_.notify_all();
+}
+
+uint64_t ParameterServer::async_updates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return async_updates_;
+}
+
+}  // namespace selsync

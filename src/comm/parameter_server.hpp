@@ -1,0 +1,90 @@
+// Central parameter server (paper [4], §III).
+//
+// Holds the global model state. Two usage patterns:
+//  * Synchronous (BSP/FedAvg/SelSync sync phase): workers call
+//    push_and_average(); the last arriving contribution triggers the
+//    average, and every caller leaves with the new global parameters
+//    (pushToPS + pullFromPS of Alg. 1 lines 14-15, fused).
+//  * Asynchronous (SSP): workers apply_gradient_async() at their own pace
+//    and pull() whenever they like; enforce_staleness() blocks workers that
+//    run more than `s` iterations ahead of the slowest one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace selsync {
+
+enum class AggregationMode { kParameters, kGradients };
+
+const char* aggregation_mode_name(AggregationMode mode);
+
+class ParameterServer {
+ public:
+  ParameterServer(std::vector<float> initial, size_t workers);
+
+  size_t dim() const { return global_.size(); }
+  size_t workers() const { return workers_; }
+
+  /// Initial model distribution (Alg. 1 line 3).
+  std::vector<float> pull() const;
+
+  /// Synchronous group aggregation. `participants` workers contribute
+  /// `data`; once all arrive the mean is computed. For kParameters the mean
+  /// *replaces* the global state; for kGradients the mean is returned for
+  /// workers to apply locally (global state is updated by the subsequent
+  /// parameter push in PA mode, or left to drift in GA mode — the paper's
+  /// §III-C inconsistency). Returns the aggregated vector.
+  std::vector<float> push_and_average(std::span<const float> data,
+                                      AggregationMode mode,
+                                      size_t participants);
+
+  /// Overwrites the global state (used to keep GA-mode bookkeeping honest
+  /// and by tests).
+  void store(std::span<const float> params);
+
+  /// ---- SSP support -------------------------------------------------------
+  /// Applies w -= lr * grad to the global parameters atomically.
+  void apply_gradient_async(std::span<const float> grad, double lr);
+
+  /// Adds a parameter delta atomically (the delta-push variant of
+  /// asynchronous PS training: workers run their own optimizer locally and
+  /// ship the resulting parameter displacement).
+  void apply_delta_async(std::span<const float> delta);
+
+  /// Records that `rank` finished `iteration`, then blocks while
+  /// iteration > min(other unfinished workers) + staleness.
+  void enforce_staleness(size_t rank, uint64_t iteration, uint64_t staleness);
+
+  /// Marks `rank` as finished so it no longer gates faster workers.
+  void finish(size_t rank);
+
+  /// How many async pushes the server has absorbed (test/metric hook).
+  uint64_t async_updates() const;
+
+ private:
+  uint64_t min_active_iteration_locked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<float> global_;
+  size_t workers_;
+
+  // Synchronous aggregation round state.
+  std::vector<float> accum_;
+  size_t arrived_ = 0;
+  size_t expected_ = 0;
+  uint64_t round_ = 0;
+  std::vector<float> round_result_;
+
+  // SSP bookkeeping.
+  std::vector<uint64_t> worker_iteration_;
+  std::vector<bool> worker_done_;
+  uint64_t async_updates_ = 0;
+};
+
+}  // namespace selsync

@@ -1,0 +1,98 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace selsync {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+
+void write_u64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+void check_magic(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint file?)");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, Model& model,
+                     const Optimizer* optimizer, uint64_t iteration) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, iteration);
+
+  const std::vector<float> params = model.get_flat_params();
+  write_u64(out, params.size());
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+
+  std::ostringstream opt_state;
+  if (optimizer) optimizer->save_state(opt_state);
+  const std::string blob = opt_state.str();
+  write_u64(out, blob.size());
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+CheckpointInfo load_checkpoint(const std::string& path, Model& model,
+                               Optimizer* optimizer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  check_magic(in);
+
+  CheckpointInfo info;
+  info.iteration = read_u64(in);
+  info.param_count = read_u64(in);
+  if (info.param_count != model.param_count())
+    throw std::runtime_error(
+        "checkpoint: parameter count mismatch (file " +
+        std::to_string(info.param_count) + ", model " +
+        std::to_string(model.param_count()) + ")");
+
+  std::vector<float> params(info.param_count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint: truncated parameters");
+  model.set_flat_params(params);
+
+  const uint64_t blob_size = read_u64(in);
+  std::string blob(blob_size, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(blob_size));
+  if (!in) throw std::runtime_error("checkpoint: truncated optimizer state");
+  if (optimizer && blob_size > 0) {
+    std::istringstream opt_state(blob);
+    optimizer->load_state(opt_state);
+  }
+  return info;
+}
+
+CheckpointInfo peek_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  check_magic(in);
+  CheckpointInfo info;
+  info.iteration = read_u64(in);
+  info.param_count = read_u64(in);
+  return info;
+}
+
+}  // namespace selsync

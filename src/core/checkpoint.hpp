@@ -1,0 +1,40 @@
+// Checkpointing: binary save/restore of a model replica (flat parameters),
+// its optimizer state and the training position, so long runs can resume
+// after interruption — and so experiments can branch from a common warm
+// state (e.g. the Fig. 11 weight-distribution runs).
+//
+// Format (little-endian, versioned):
+//   magic "SSCKPT01"
+//   u64 iteration
+//   u64 param_count,  float[param_count] parameters
+//   u64 optimizer_state_size, bytes (opaque, produced by Optimizer)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model.hpp"
+#include "optim/optimizer.hpp"
+
+namespace selsync {
+
+struct CheckpointInfo {
+  uint64_t iteration = 0;
+  size_t param_count = 0;
+};
+
+/// Writes model parameters, optimizer state (if any) and the iteration
+/// counter to `path`. Throws on I/O failure.
+void save_checkpoint(const std::string& path, Model& model,
+                     const Optimizer* optimizer, uint64_t iteration);
+
+/// Restores a checkpoint into `model` (and `optimizer` when provided; pass
+/// the same optimizer type that wrote the file). Returns the stored
+/// metadata. Throws on corrupt/missing files or a parameter-count mismatch.
+CheckpointInfo load_checkpoint(const std::string& path, Model& model,
+                               Optimizer* optimizer);
+
+/// Reads only the header (cheap existence/compatibility probe).
+CheckpointInfo peek_checkpoint(const std::string& path);
+
+}  // namespace selsync

@@ -1,0 +1,120 @@
+#include "core/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace selsync {
+
+const char* compression_kind_name(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kTopK:
+      return "topk";
+    case CompressionKind::kSignSgd:
+      return "signsgd";
+    case CompressionKind::kQuant8:
+      return "quant8";
+  }
+  return "?";
+}
+
+GradientCompressor::GradientCompressor(CompressionConfig config)
+    : config_(config) {
+  if (config.kind == CompressionKind::kTopK &&
+      (config.topk_fraction <= 0.0 || config.topk_fraction > 1.0))
+    throw std::invalid_argument("GradientCompressor: topk fraction in (0,1]");
+}
+
+size_t GradientCompressor::wire_bytes(const CompressionConfig& config,
+                                      size_t values) {
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      return values * sizeof(float);
+    case CompressionKind::kTopK: {
+      const auto k = static_cast<size_t>(
+          std::ceil(config.topk_fraction * static_cast<double>(values)));
+      return std::max<size_t>(k, 1) * (sizeof(float) + sizeof(uint32_t));
+    }
+    case CompressionKind::kSignSgd:
+      return values / 8 + sizeof(float);
+    case CompressionKind::kQuant8:
+      return values + 2 * sizeof(float);
+  }
+  return values * sizeof(float);
+}
+
+size_t GradientCompressor::compress(std::vector<float>& grad, double delta) {
+  if (config_.kind == CompressionKind::kNone) {
+    last_ratio_ = 1.0;
+    return grad.size() * sizeof(float);
+  }
+
+  CompressionConfig effective = config_;
+  if (config_.adaptive && config_.kind == CompressionKind::kTopK &&
+      delta >= config_.critical_delta)
+    effective.topk_fraction = config_.topk_fraction_critical;
+
+  if (config_.error_feedback) {
+    if (residual_.size() != grad.size()) residual_.assign(grad.size(), 0.f);
+    for (size_t i = 0; i < grad.size(); ++i) grad[i] += residual_[i];
+  }
+
+  switch (config_.kind) {
+    case CompressionKind::kTopK: {
+      const auto k = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(effective.topk_fraction *
+                                           static_cast<double>(grad.size()))));
+      // Threshold = k-th largest magnitude (nth_element on a copy).
+      std::vector<float> magnitudes(grad.size());
+      for (size_t i = 0; i < grad.size(); ++i)
+        magnitudes[i] = std::fabs(grad[i]);
+      std::nth_element(magnitudes.begin(),
+                       magnitudes.begin() + static_cast<long>(k - 1),
+                       magnitudes.end(), std::greater<float>());
+      const float threshold = magnitudes[k - 1];
+      for (size_t i = 0; i < grad.size(); ++i) {
+        const float kept = std::fabs(grad[i]) >= threshold ? grad[i] : 0.f;
+        if (config_.error_feedback) residual_[i] = grad[i] - kept;
+        grad[i] = kept;
+      }
+      break;
+    }
+    case CompressionKind::kSignSgd: {
+      // g -> sign(g) * mean(|g|), the scale-preserving signSGD variant.
+      double mean_abs = 0.0;
+      for (float g : grad) mean_abs += std::fabs(g);
+      mean_abs /= std::max<size_t>(grad.size(), 1);
+      for (size_t i = 0; i < grad.size(); ++i) {
+        const float kept = grad[i] > 0   ? static_cast<float>(mean_abs)
+                           : grad[i] < 0 ? static_cast<float>(-mean_abs)
+                                         : 0.f;
+        if (config_.error_feedback) residual_[i] = grad[i] - kept;
+        grad[i] = kept;
+      }
+      break;
+    }
+    case CompressionKind::kQuant8: {
+      float max_abs = 0.f;
+      for (float g : grad) max_abs = std::max(max_abs, std::fabs(g));
+      const float scale = max_abs > 0 ? max_abs / 127.f : 1.f;
+      for (size_t i = 0; i < grad.size(); ++i) {
+        const float q =
+            std::round(grad[i] / scale) * scale;  // 8-bit linear levels
+        if (config_.error_feedback) residual_[i] = grad[i] - q;
+        grad[i] = q;
+      }
+      break;
+    }
+    case CompressionKind::kNone:
+      break;
+  }
+
+  const size_t bytes = wire_bytes(effective, grad.size());
+  last_ratio_ = static_cast<double>(bytes) /
+                static_cast<double>(grad.size() * sizeof(float));
+  return bytes;
+}
+
+}  // namespace selsync

@@ -1,0 +1,66 @@
+// Gradient compression baselines (paper §II-D): Top-k sparsification
+// (DGC/Top-k), sign quantization (signSGD) and 8-bit linear quantization
+// (Terngrad-family). SelSync is positioned against these: they shrink each
+// synchronization, SelSync skips synchronizations outright.
+//
+// All codecs run compress->decompress in place (the simulated cluster moves
+// data through shared memory; only the *wire* payload differs) and support
+// DGC-style error feedback: the residual each codec drops is fed back into
+// the next iteration's gradient so the update is unbiased over time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace selsync {
+
+enum class CompressionKind { kNone, kTopK, kSignSgd, kQuant8 };
+
+const char* compression_kind_name(CompressionKind kind);
+
+struct CompressionConfig {
+  CompressionKind kind = CompressionKind::kNone;
+  /// Fraction of entries kept by Top-k (DGC uses 0.1%-1%).
+  double topk_fraction = 0.01;
+  /// Enable error-feedback residual accumulation.
+  bool error_feedback = true;
+
+  /// Accordion/GraVAC-style adaptation (paper references [27]/[29]): in
+  /// critical regimes — when the caller's Δ(g_i) is at or above
+  /// `critical_delta` — Top-k switches to the conservative
+  /// `topk_fraction_critical` so important updates ship nearly intact,
+  /// reverting to the aggressive `topk_fraction` once gradients stabilize.
+  bool adaptive = false;
+  double critical_delta = 0.1;
+  double topk_fraction_critical = 0.25;
+};
+
+class GradientCompressor {
+ public:
+  explicit GradientCompressor(CompressionConfig config);
+
+  /// Applies compress->decompress to `grad` in place (adding and updating
+  /// the error-feedback residual) and returns the wire payload in bytes for
+  /// a gradient of this length. `delta` is the caller's current relative
+  /// gradient change, consumed only by the adaptive mode.
+  size_t compress(std::vector<float>& grad, double delta = 0.0);
+
+  /// Wire bytes / uncompressed bytes for the last compress() call (1.0 for
+  /// kNone). Drives the paper-scale communication cost.
+  double last_wire_ratio() const { return last_ratio_; }
+
+  const CompressionConfig& config() const { return config_; }
+
+  /// Wire payload for a `values`-element gradient under this codec:
+  ///   TopK:   k * (4 value bytes + 4 index bytes)
+  ///   Sign:   1 bit per value + one scale float
+  ///   Quant8: 1 byte per value + two scale floats
+  static size_t wire_bytes(const CompressionConfig& config, size_t values);
+
+ private:
+  CompressionConfig config_;
+  std::vector<float> residual_;
+  double last_ratio_ = 1.0;
+};
+
+}  // namespace selsync

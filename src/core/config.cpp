@@ -1,0 +1,73 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace selsync {
+
+const char* strategy_kind_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBsp:
+      return "BSP";
+    case StrategyKind::kLocalSgd:
+      return "LocalSGD";
+    case StrategyKind::kFedAvg:
+      return "FedAvg";
+    case StrategyKind::kSsp:
+      return "SSP";
+    case StrategyKind::kSelSync:
+      return "SelSync";
+    case StrategyKind::kEasgd:
+      return "EASGD";
+  }
+  return "?";
+}
+
+uint64_t TrainJob::steps_per_epoch() const {
+  if (!train_data) throw std::logic_error("steps_per_epoch: no dataset");
+  const uint64_t global_batch =
+      static_cast<uint64_t>(workers) * static_cast<uint64_t>(batch_size);
+  const uint64_t steps = train_data->size() / global_batch;
+  return steps == 0 ? 1 : steps;
+}
+
+void TrainJob::validate() const {
+  if (workers == 0) throw std::invalid_argument("TrainJob: zero workers");
+  if (batch_size == 0) throw std::invalid_argument("TrainJob: zero batch");
+  if (max_iterations == 0)
+    throw std::invalid_argument("TrainJob: zero iterations");
+  if (!train_data || !test_data)
+    throw std::invalid_argument("TrainJob: datasets required");
+  if (!model_factory) throw std::invalid_argument("TrainJob: model factory");
+  if (!optimizer_factory)
+    throw std::invalid_argument("TrainJob: optimizer factory");
+  if (strategy == StrategyKind::kFedAvg) {
+    if (fedavg.participation <= 0.0 || fedavg.participation > 1.0)
+      throw std::invalid_argument("TrainJob: FedAvg C in (0,1]");
+    if (fedavg.sync_factor <= 0.0 || fedavg.sync_factor > 1.0)
+      throw std::invalid_argument("TrainJob: FedAvg E in (0,1]");
+  }
+  if (strategy == StrategyKind::kSelSync && selsync.delta < 0.0)
+    throw std::invalid_argument("TrainJob: SelSync delta >= 0");
+  if (strategy == StrategyKind::kEasgd) {
+    if (easgd.alpha <= 0.0 || easgd.alpha > 1.0 || easgd.beta <= 0.0 ||
+        easgd.beta > 1.0)
+      throw std::invalid_argument("TrainJob: EASGD alpha/beta in (0,1]");
+    if (easgd.tau == 0)
+      throw std::invalid_argument("TrainJob: EASGD tau must be > 0");
+  }
+  if (injection.enabled &&
+      (injection.alpha < 0.0 || injection.alpha > 1.0 ||
+       injection.beta < 0.0 || injection.beta > 1.0))
+    throw std::invalid_argument("TrainJob: injection alpha/beta in [0,1]");
+  if (ema_decay < 0.0 || ema_decay >= 1.0)
+    throw std::invalid_argument("TrainJob: ema_decay in [0, 1)");
+  if (!worker_speed.empty()) {
+    if (worker_speed.size() != workers)
+      throw std::invalid_argument("TrainJob: worker_speed size != workers");
+    for (double s : worker_speed)
+      if (s <= 0.0)
+        throw std::invalid_argument("TrainJob: worker_speed must be > 0");
+  }
+}
+
+}  // namespace selsync

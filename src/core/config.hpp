@@ -1,0 +1,146 @@
+// Training-job configuration: everything needed to launch one distributed
+// training run under any of the five strategies the paper compares.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/parameter_server.hpp"
+#include "core/compression.hpp"
+#include "data/partition.hpp"
+#include "nn/models.hpp"
+#include "nn/paper_profiles.hpp"
+#include "optim/optimizer.hpp"
+
+namespace selsync {
+
+enum class StrategyKind { kBsp, kLocalSgd, kFedAvg, kSsp, kSelSync, kEasgd };
+
+const char* strategy_kind_name(StrategyKind kind);
+
+enum class Topology { kParameterServer, kRingAllreduce };
+
+/// How aggregation payloads physically move between the simulated workers.
+/// kSharedMemory uses the barrier-synchronous shared-buffer collectives
+/// (bit-deterministic, the default). kMessagePassingRing routes every
+/// allreduce through the channel-based ring algorithm — the actual
+/// bandwidth-optimal protocol the cost model prices — exercising real
+/// message passing at the cost of a different (but still deterministic)
+/// float summation order.
+enum class Transport { kSharedMemory, kMessagePassingRing };
+
+/// FedAvg (C, E) (paper §II-B): updates from fraction C of workers are
+/// aggregated x = 1/E times per epoch, i.e. every E * steps_per_epoch steps.
+struct FedAvgConfig {
+  double participation = 1.0;  // C
+  double sync_factor = 0.25;   // E
+};
+
+/// SSP (paper §II-C): workers run asynchronously but may not lead the
+/// slowest worker by more than `staleness` iterations.
+struct SspConfig {
+  uint64_t staleness = 100;
+};
+
+/// SelSync (paper §III): synchronize when any worker's Δ(g_i) >= delta.
+struct SelSyncConfig {
+  double delta = 0.3;
+  AggregationMode aggregation = AggregationMode::kParameters;
+  size_t ewma_window = 25;
+  /// EWMA smoothing factor; the paper uses N/100 (<= 1). <= 0 selects
+  /// N/100 automatically from the cluster size.
+  double ewma_alpha = -1.0;
+  /// Fraction of workers that must vote before the cluster synchronizes.
+  /// The paper's Alg. 1 rule is "any worker" (quorum <= 1/N, the default 0);
+  /// 0.5 is a majority rule, 1.0 requires unanimity. Exposed as the
+  /// DESIGN.md §5.1 ablation.
+  double sync_quorum = 0.0;
+};
+
+/// Elastic Averaging SGD (the paper's reference [37], the method it cites
+/// for the local-exploration benefit SelSync inherits): workers train
+/// locally and, every `tau` steps, are pulled elastically toward a center
+/// variable that in turn moves toward the worker average.
+struct EasgdConfig {
+  double alpha = 0.5;  // worker pull strength toward the center
+  double beta = 0.5;   // center pull strength toward the worker mean
+  uint64_t tau = 4;    // steps between elastic updates
+};
+
+/// Randomized data-injection for non-IID training (paper §III-E).
+struct InjectionJobConfig {
+  bool enabled = false;
+  double alpha = 0.5;
+  double beta = 0.5;
+};
+
+struct TrainJob {
+  StrategyKind strategy = StrategyKind::kBsp;
+  size_t workers = 4;
+  size_t batch_size = 32;
+  uint64_t max_iterations = 1000;  // per-worker step budget
+  uint64_t eval_interval = 100;    // steps between test-set evaluations
+  uint64_t seed = 1;
+
+  DatasetPtr train_data;
+  DatasetPtr test_data;
+  PartitionScheme partition = PartitionScheme::kSelSync;
+  size_t labels_per_worker = 1;  // used by PartitionScheme::kNonIidLabel
+
+  /// Every worker replica is built by this factory from the same seed, so
+  /// all replicas start identical (the paper's initial pullFromPS).
+  std::function<std::unique_ptr<Model>(uint64_t seed)> model_factory;
+  std::function<std::unique_ptr<Optimizer>()> optimizer_factory;
+
+  FedAvgConfig fedavg;
+  SspConfig ssp;
+  SelSyncConfig selsync;
+  EasgdConfig easgd;
+  InjectionJobConfig injection;
+  /// Gradient compression (paper §II-D baselines). Applies to
+  /// gradient-aggregation payloads only (BSP, SelSync-GA): the paper notes
+  /// parameters compress poorly via pruning, so PA payloads ship dense.
+  CompressionConfig compression;
+
+  /// Per-worker compute-speed multipliers for systems heterogeneity
+  /// (paper §II-A: BSP is "limited by the slowest worker or straggler").
+  /// Empty = homogeneous; element r scales worker r's compute time
+  /// (2.0 = twice as slow). Affects simulated time only.
+  std::vector<double> worker_speed;
+
+  /// Simulated-time accounting (DESIGN.md §2): which paper-scale model /
+  /// device / network this run stands in for.
+  PaperModelProfile paper_model = paper_resnet101();
+  DeviceProfile device = device_v100();
+  NetworkProfile network = paper_network_5gbps();
+  Topology topology = Topology::kParameterServer;
+  Transport transport = Transport::kSharedMemory;
+
+  /// Early stopping: stop once worker 0's evaluation reaches the target
+  /// (accuracy >= target_top1, or perplexity <= target_perplexity).
+  std::optional<double> target_top1;
+  std::optional<double> target_perplexity;
+
+  /// Polyak averaging: when > 0, worker 0 maintains an exponential moving
+  /// average of its parameters with this decay and all evaluations use the
+  /// averaged weights (the live weights keep training). Composes with every
+  /// strategy; 0 disables.
+  double ema_decay = 0.0;
+
+  /// Instrumentation.
+  bool record_delta_trace = false;     // worker 0's Δ(g_i) per step (Fig. 5)
+  bool record_grad_sq_trace = false;   // worker 0's ||g||² per step
+  std::vector<double> snapshot_epochs;  // worker-0 weight snapshots (Fig. 11)
+
+  /// Per-worker steps that make up one epoch of global progress: the
+  /// cluster jointly consumes the dataset once every
+  /// |D| / (N * b) iterations, matching BSP epoch accounting.
+  uint64_t steps_per_epoch() const;
+
+  void validate() const;
+};
+
+}  // namespace selsync

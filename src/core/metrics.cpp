@@ -1,0 +1,21 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace selsync {
+
+EvalStats evaluate_dataset(Model& model, const Dataset& data,
+                           size_t batch_size) {
+  EvalStats total;
+  std::vector<size_t> indices;
+  indices.reserve(batch_size);
+  for (size_t start = 0; start < data.size(); start += batch_size) {
+    indices.clear();
+    const size_t end = std::min(start + batch_size, data.size());
+    for (size_t i = start; i < end; ++i) indices.push_back(i);
+    total.merge(model.eval_batch(data.make_batch(indices)));
+  }
+  return total;
+}
+
+}  // namespace selsync

@@ -1,0 +1,74 @@
+// Run metrics: the quantities Table I and the convergence figures report.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace selsync {
+
+struct EvalPoint {
+  uint64_t iteration = 0;
+  double epoch = 0.0;
+  double sim_time_s = 0.0;
+  double loss = 0.0;
+  double top1 = 0.0;
+  double top5 = 0.0;
+  double perplexity = 0.0;
+};
+
+struct TrainResult {
+  uint64_t iterations = 0;   // per-worker steps executed
+  uint64_t sync_steps = 0;   // cluster-wide synchronization rounds
+  uint64_t local_steps = 0;  // steps applied with local updates only
+
+  /// False for SSP: workers never aggregate, so the LSSR has no meaning
+  /// (Table I prints "-" there).
+  bool lssr_applicable = true;
+
+  /// Local-to-synchronous step ratio, Eqn. 4 of the paper.
+  double lssr() const {
+    const uint64_t total = sync_steps + local_steps;
+    return total == 0 ? 0.0
+                      : static_cast<double>(local_steps) /
+                            static_cast<double>(total);
+  }
+  /// Communication reduction w.r.t. BSP implied by the LSSR: 1/(1-LSSR).
+  double comm_reduction() const {
+    const double l = lssr();
+    return l >= 1.0 ? std::numeric_limits<double>::infinity()
+                    : 1.0 / (1.0 - l);
+  }
+
+  double sim_time_s = 0.0;        // simulated cluster time at completion
+  double comm_bytes = 0.0;        // per-worker paper-scale bytes moved
+  double wall_time_s = 0.0;       // actual host time the run took
+
+  std::vector<EvalPoint> eval_history;
+  EvalPoint final_eval;
+  double best_top1 = 0.0;
+  double best_top5 = 0.0;
+  double best_perplexity = std::numeric_limits<double>::infinity();
+  bool reached_target = false;
+  /// True when training was cut short because the loss became non-finite
+  /// (e.g. a learning rate too hot for long local phases).
+  bool diverged = false;
+
+  /// Worker-0 traces (enabled via TrainJob flags).
+  std::vector<double> delta_trace;
+  std::vector<double> grad_sq_trace;
+
+  /// Worker-0 parameter snapshots keyed by the epoch they were taken at
+  /// (Fig. 11's weight-distribution comparison).
+  std::map<double, std::vector<float>> weight_snapshots;
+};
+
+/// Evaluates `model` over the whole dataset in `batch_size` chunks.
+EvalStats evaluate_dataset(Model& model, const Dataset& data,
+                           size_t batch_size);
+
+}  // namespace selsync

@@ -1,0 +1,116 @@
+#include "core/run_record.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace selsync {
+
+JsonValue job_to_json(const TrainJob& job) {
+  JsonValue j = JsonValue::object();
+  j.set("strategy", strategy_kind_name(job.strategy));
+  j.set("workers", static_cast<double>(job.workers));
+  j.set("batch_size", static_cast<double>(job.batch_size));
+  j.set("max_iterations", static_cast<double>(job.max_iterations));
+  j.set("eval_interval", static_cast<double>(job.eval_interval));
+  j.set("seed", static_cast<double>(job.seed));
+  j.set("partition", partition_scheme_name(job.partition));
+  j.set("topology", job.topology == Topology::kParameterServer
+                        ? "parameter-server"
+                        : "ring-allreduce");
+  j.set("paper_model", job.paper_model.name);
+  j.set("network", job.network.name);
+
+  switch (job.strategy) {
+    case StrategyKind::kFedAvg: {
+      JsonValue f = JsonValue::object();
+      f.set("participation", job.fedavg.participation);
+      f.set("sync_factor", job.fedavg.sync_factor);
+      j.set("fedavg", std::move(f));
+      break;
+    }
+    case StrategyKind::kSsp:
+      j.set("staleness", static_cast<double>(job.ssp.staleness));
+      break;
+    case StrategyKind::kEasgd: {
+      JsonValue e = JsonValue::object();
+      e.set("alpha", job.easgd.alpha);
+      e.set("beta", job.easgd.beta);
+      e.set("tau", static_cast<double>(job.easgd.tau));
+      j.set("easgd", std::move(e));
+      break;
+    }
+    case StrategyKind::kSelSync: {
+      JsonValue s = JsonValue::object();
+      s.set("delta", job.selsync.delta);
+      s.set("aggregation", aggregation_mode_name(job.selsync.aggregation));
+      s.set("ewma_window", static_cast<double>(job.selsync.ewma_window));
+      s.set("sync_quorum", job.selsync.sync_quorum);
+      j.set("selsync", std::move(s));
+      break;
+    }
+    default:
+      break;
+  }
+  if (job.injection.enabled) {
+    JsonValue inj = JsonValue::object();
+    inj.set("alpha", job.injection.alpha);
+    inj.set("beta", job.injection.beta);
+    j.set("injection", std::move(inj));
+  }
+  if (job.compression.kind != CompressionKind::kNone) {
+    JsonValue c = JsonValue::object();
+    c.set("kind", compression_kind_name(job.compression.kind));
+    c.set("topk_fraction", job.compression.topk_fraction);
+    c.set("error_feedback", job.compression.error_feedback);
+    j.set("compression", std::move(c));
+  }
+  return j;
+}
+
+JsonValue result_to_json(const TrainResult& result) {
+  JsonValue j = JsonValue::object();
+  j.set("iterations", static_cast<double>(result.iterations));
+  j.set("sync_steps", static_cast<double>(result.sync_steps));
+  j.set("local_steps", static_cast<double>(result.local_steps));
+  if (result.lssr_applicable) {
+    j.set("lssr", result.lssr());
+  } else {
+    j.set("lssr", nullptr);
+  }
+  j.set("sim_time_s", result.sim_time_s);
+  j.set("wall_time_s", result.wall_time_s);
+  j.set("comm_bytes", result.comm_bytes);
+  j.set("reached_target", result.reached_target);
+  j.set("diverged", result.diverged);
+  j.set("best_top1", result.best_top1);
+  j.set("best_top5", result.best_top5);
+  j.set("best_perplexity", result.best_perplexity);
+
+  JsonValue history = JsonValue::array();
+  for (const EvalPoint& pt : result.eval_history) {
+    JsonValue p = JsonValue::object();
+    p.set("iteration", static_cast<double>(pt.iteration));
+    p.set("epoch", pt.epoch);
+    p.set("sim_time_s", pt.sim_time_s);
+    p.set("loss", pt.loss);
+    p.set("top1", pt.top1);
+    p.set("top5", pt.top5);
+    p.set("perplexity", pt.perplexity);
+    history.push(std::move(p));
+  }
+  j.set("eval_history", std::move(history));
+  return j;
+}
+
+void write_run_record(const std::string& path, const TrainJob& job,
+                      const TrainResult& result) {
+  JsonValue record = JsonValue::object();
+  record.set("job", job_to_json(job));
+  record.set("result", result_to_json(result));
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_run_record: cannot open " + path);
+  out << record.dump(2) << "\n";
+  if (!out) throw std::runtime_error("write_run_record: write failed");
+}
+
+}  // namespace selsync

@@ -1,0 +1,25 @@
+// Run recording: serializes a training configuration + result to JSON so
+// experiment sweeps are machine-readable (consumed by the CLI and by any
+// external plotting pipeline).
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "util/json.hpp"
+
+namespace selsync {
+
+/// Structured description of the job (strategy, cluster, knobs).
+JsonValue job_to_json(const TrainJob& job);
+
+/// Structured result: step accounting, LSSR, final/best metrics, the full
+/// evaluation history, and simulated/real time.
+JsonValue result_to_json(const TrainResult& result);
+
+/// {"job": ..., "result": ...} written to `path` (pretty-printed).
+void write_run_record(const std::string& path, const TrainJob& job,
+                      const TrainResult& result);
+
+}  // namespace selsync

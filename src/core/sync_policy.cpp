@@ -1,0 +1,50 @@
+#include "core/sync_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+
+FedAvgPolicy::FedAvgPolicy(const FedAvgConfig& config, size_t workers,
+                           uint64_t steps_per_epoch, uint64_t seed)
+    : workers_(workers), seed_(seed) {
+  interval_ = static_cast<uint64_t>(std::llround(
+      config.sync_factor * static_cast<double>(steps_per_epoch)));
+  interval_ = std::max<uint64_t>(interval_, 1);
+  participants_ = static_cast<size_t>(std::llround(
+      config.participation * static_cast<double>(workers)));
+  participants_ = std::clamp<size_t>(participants_, 1, workers);
+}
+
+bool FedAvgPolicy::participates(uint64_t sync_round, size_t rank) const {
+  if (participants_ == workers_) return true;
+  // Same seed on every worker -> identical sample without coordination.
+  Rng rng(seed_ ^ (sync_round * 0xA24BAED4963EE407ULL + 5));
+  const auto picks = rng.sample_without_replacement(workers_, participants_);
+  return std::find(picks.begin(), picks.end(), rank) != picks.end();
+}
+
+std::unique_ptr<SyncPolicy> make_sync_policy(const TrainJob& job) {
+  switch (job.strategy) {
+    case StrategyKind::kBsp:
+      return std::make_unique<BspPolicy>(job.workers);
+    case StrategyKind::kLocalSgd:
+      return std::make_unique<LocalSgdPolicy>(job.workers);
+    case StrategyKind::kFedAvg:
+      return std::make_unique<FedAvgPolicy>(job.fedavg, job.workers,
+                                            job.steps_per_epoch(), job.seed);
+    case StrategyKind::kSelSync:
+      return std::make_unique<SelSyncPolicy>(job.selsync.delta, job.workers);
+    case StrategyKind::kEasgd:
+      return std::make_unique<EasgdPolicy>(job.easgd.tau, job.workers);
+    case StrategyKind::kSsp:
+      throw std::invalid_argument(
+          "make_sync_policy: SSP is asynchronous and has no sync policy");
+  }
+  throw std::invalid_argument("make_sync_policy: unknown strategy");
+}
+
+}  // namespace selsync

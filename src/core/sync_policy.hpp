@@ -1,0 +1,127 @@
+// Per-iteration synchronization policies.
+//
+// Each worker holds one policy instance and casts a vote per step; the
+// cluster synchronizes when the combined votes say so. SelSync is the only
+// policy whose votes depend on local state (Δ(g_i)) and therefore the only
+// one that needs the 1-bit flag allgather of Alg. 1; the others are
+// deterministic functions of the iteration number, so every worker derives
+// the cluster decision locally — exactly why BSP/FedAvg pay no flag
+// exchange in the paper's overhead accounting.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+
+namespace selsync {
+
+class SyncPolicy {
+ public:
+  virtual ~SyncPolicy() = default;
+
+  /// This worker's vote for synchronizing at `iteration`, given its Δ(g_i).
+  virtual bool local_vote(uint64_t iteration, double delta_g) const = 0;
+
+  /// True if votes differ across workers and must be allgathered.
+  virtual bool needs_flag_exchange() const = 0;
+
+  /// Whether `rank` contributes to aggregation round `sync_round`
+  /// (FedAvg's fraction C; everyone else always participates).
+  virtual bool participates(uint64_t sync_round, size_t rank) const {
+    (void)sync_round;
+    (void)rank;
+    return true;
+  }
+
+  /// Number of contributors per aggregation round.
+  virtual size_t participant_count() const = 0;
+};
+
+class BspPolicy : public SyncPolicy {
+ public:
+  explicit BspPolicy(size_t workers) : workers_(workers) {}
+  bool local_vote(uint64_t, double) const override { return true; }
+  bool needs_flag_exchange() const override { return false; }
+  size_t participant_count() const override { return workers_; }
+
+ private:
+  size_t workers_;
+};
+
+class LocalSgdPolicy : public SyncPolicy {
+ public:
+  explicit LocalSgdPolicy(size_t workers) : workers_(workers) {}
+  bool local_vote(uint64_t, double) const override { return false; }
+  bool needs_flag_exchange() const override { return false; }
+  size_t participant_count() const override { return workers_; }
+
+ private:
+  size_t workers_;
+};
+
+/// FedAvg(C, E): synchronize every round(E * steps_per_epoch) steps; a
+/// deterministic pseudo-random C-fraction of workers contributes each round
+/// (consistent across workers without coordination, like the paper's
+/// server-driven client sampling).
+class FedAvgPolicy : public SyncPolicy {
+ public:
+  FedAvgPolicy(const FedAvgConfig& config, size_t workers,
+               uint64_t steps_per_epoch, uint64_t seed);
+
+  bool local_vote(uint64_t iteration, double) const override {
+    return (iteration + 1) % interval_ == 0;
+  }
+  bool needs_flag_exchange() const override { return false; }
+  bool participates(uint64_t sync_round, size_t rank) const override;
+  size_t participant_count() const override { return participants_; }
+
+  uint64_t sync_interval() const { return interval_; }
+
+ private:
+  size_t workers_;
+  uint64_t interval_;
+  size_t participants_;
+  uint64_t seed_;
+};
+
+/// EASGD(τ): elastic update every tau steps (deterministic interval; the
+/// elastic math itself lives in the trainer's aggregation branch).
+class EasgdPolicy : public SyncPolicy {
+ public:
+  EasgdPolicy(uint64_t tau, size_t workers) : tau_(tau), workers_(workers) {}
+
+  bool local_vote(uint64_t iteration, double) const override {
+    return (iteration + 1) % tau_ == 0;
+  }
+  bool needs_flag_exchange() const override { return false; }
+  size_t participant_count() const override { return workers_; }
+
+ private:
+  uint64_t tau_;
+  size_t workers_;
+};
+
+/// SelSync(δ): vote when Δ(g_i) >= δ (Alg. 1 lines 10-11).
+class SelSyncPolicy : public SyncPolicy {
+ public:
+  SelSyncPolicy(double delta, size_t workers)
+      : delta_(delta), workers_(workers) {}
+
+  bool local_vote(uint64_t, double delta_g) const override {
+    return delta_g >= delta_;
+  }
+  bool needs_flag_exchange() const override { return true; }
+  size_t participant_count() const override { return workers_; }
+
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+  size_t workers_;
+};
+
+/// Builds the policy for `job` (SSP has no policy; it never takes the
+/// bulk-synchronous path).
+std::unique_ptr<SyncPolicy> make_sync_policy(const TrainJob& job);
+
+}  // namespace selsync

@@ -1,0 +1,62 @@
+#include "core/time_model.hpp"
+
+#include <algorithm>
+
+namespace selsync {
+
+StepTimeModel::StepTimeModel(const PaperModelProfile& model,
+                             const DeviceProfile& device,
+                             const NetworkProfile& network, Topology topology,
+                             size_t workers)
+    : model_(model),
+      device_(device),
+      cost_(network),
+      topology_(topology),
+      workers_(workers) {}
+
+double StepTimeModel::compute_time(size_t batch) const {
+  return compute_time_s(model_, device_, static_cast<double>(batch));
+}
+
+double StepTimeModel::sync_time() const {
+  return sync_time_for_bytes(payload_bytes());
+}
+
+double StepTimeModel::sync_time_for_bytes(size_t wire_bytes) const {
+  const double transfer =
+      topology_ == Topology::kParameterServer
+          ? cost_.ps_sync_time(wire_bytes, workers_)
+          : cost_.ring_allreduce_time(wire_bytes, workers_);
+  // Codec cost when the payload was shrunk: compress + decompress over the
+  // full dense gradient at ~4 GB/s effective (GraVAC-range overhead).
+  const double codec =
+      wire_bytes < payload_bytes()
+          ? static_cast<double>(payload_bytes()) / 4e9
+          : 0.0;
+  return transfer + codec;
+}
+
+double StepTimeModel::flag_time() const {
+  return cost_.flag_allgather_time(workers_);
+}
+
+double StepTimeModel::ssp_step_comm_time(size_t batch) const {
+  // Push gradients + pull parameters, both one-way and layer-by-layer,
+  // overlapped with the next step's compute; only the excess over the
+  // compute time is visible. Contention: on average half the cluster is
+  // mid-transfer.
+  const double oneway =
+      2.0 * cost_.ps_oneway_time(payload_bytes(), std::max<size_t>(workers_ / 2, 1));
+  const double hidden = compute_time(batch);
+  return std::max(0.0, oneway - hidden);
+}
+
+double StepTimeModel::injection_time(size_t bytes) const {
+  return cost_.p2p_time(bytes);
+}
+
+size_t StepTimeModel::payload_bytes() const {
+  return static_cast<size_t>(model_.param_bytes());
+}
+
+}  // namespace selsync

@@ -1,0 +1,57 @@
+// Bridges real algorithm execution and paper-scale simulated time.
+//
+// Training dynamics (loss curves, sync decisions, LSSR) come from actually
+// running the scaled-down models; *time* is charged per event as if the
+// paper-scale model were training on the paper's testbed. This is the
+// substitution that lets Table I's speedup structure be reproduced without
+// 16 V100s (DESIGN.md §2).
+#pragma once
+
+#include "comm/cost_model.hpp"
+#include "core/config.hpp"
+#include "nn/paper_profiles.hpp"
+
+namespace selsync {
+
+class StepTimeModel {
+ public:
+  StepTimeModel(const PaperModelProfile& model, const DeviceProfile& device,
+                const NetworkProfile& network, Topology topology,
+                size_t workers);
+
+  /// Forward + backward on `batch` samples.
+  double compute_time(size_t batch) const;
+
+  /// One full synchronization round (PS push+pull or an allreduce,
+  /// depending on the topology).
+  double sync_time() const;
+
+  /// Synchronization round with an explicit wire payload (compressed
+  /// gradients), plus the codec's own compute cost (compression is not
+  /// zero-cost, §II-D).
+  double sync_time_for_bytes(size_t wire_bytes) const;
+
+  /// SelSync's per-step 1-bit flag allgather.
+  double flag_time() const;
+
+  /// SSP's per-step asynchronous push+pull, overlapped with compute: the
+  /// visible cost is the part of the transfer compute cannot hide.
+  double ssp_step_comm_time(size_t batch) const;
+
+  /// Data-injection transfer of `bytes` of raw samples.
+  double injection_time(size_t bytes) const;
+
+  /// Paper-scale payload of one model/gradient exchange.
+  size_t payload_bytes() const;
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  PaperModelProfile model_;
+  DeviceProfile device_;
+  CostModel cost_;
+  Topology topology_;
+  size_t workers_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,462 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "comm/cluster.hpp"
+#include "core/sync_policy.hpp"
+#include "core/time_model.hpp"
+#include "data/injection.hpp"
+#include "optim/ema_tracker.hpp"
+#include "stats/grad_change.hpp"
+#include "util/timer.hpp"
+
+namespace selsync {
+
+namespace {
+
+constexpr size_t kEvalBatch = 256;
+
+double ewma_alpha_for(const TrainJob& job) {
+  if (job.selsync.ewma_alpha > 0.0) return std::min(job.selsync.ewma_alpha, 1.0);
+  // Paper: smoothing factor N/100 (0.16 for a 16-node cluster).
+  return std::clamp(static_cast<double>(job.workers) / 100.0, 0.02, 1.0);
+}
+
+double sq_norm(const std::vector<float>& v) {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * x;
+  return s;
+}
+
+EvalPoint make_eval_point(Model& model, const Dataset& test, uint64_t iteration,
+                          double epoch, double sim_time) {
+  const EvalStats stats =
+      evaluate_dataset(model, test, std::min<size_t>(kEvalBatch, test.size()));
+  EvalPoint pt;
+  pt.iteration = iteration;
+  pt.epoch = epoch;
+  pt.sim_time_s = sim_time;
+  pt.loss = stats.mean_loss();
+  pt.top1 = stats.top1_accuracy();
+  pt.top5 = stats.top5_accuracy();
+  pt.perplexity = stats.perplexity();
+  return pt;
+}
+
+bool target_reached(const TrainJob& job, const EvalPoint& pt) {
+  if (job.target_top1 && pt.top1 >= *job.target_top1) return true;
+  if (job.target_perplexity && pt.perplexity <= *job.target_perplexity)
+    return true;
+  return false;
+}
+
+void update_bests(TrainResult& result, const EvalPoint& pt) {
+  result.best_top1 = std::max(result.best_top1, pt.top1);
+  result.best_top5 = std::max(result.best_top5, pt.top5);
+  result.best_perplexity = std::min(result.best_perplexity, pt.perplexity);
+}
+
+/// Which payload the aggregation rounds move for a given job (§III-C).
+AggregationMode aggregation_for(const TrainJob& job) {
+  switch (job.strategy) {
+    case StrategyKind::kBsp:
+      return AggregationMode::kGradients;  // classic BSP allreduce
+    case StrategyKind::kSelSync:
+      return job.selsync.aggregation;
+    default:
+      return AggregationMode::kParameters;  // FedAvg averages models
+  }
+}
+
+struct SharedSyncState {
+  std::mutex mutex;
+  TrainResult result;
+  std::vector<std::vector<size_t>> injection_proposals;
+  /// EASGD center variable (initialized to the common seed model before the
+  /// cluster starts; only touched between barriers during elastic updates).
+  std::vector<float> easgd_center;
+};
+
+void run_synchronous_worker(const TrainJob& job, WorkerContext& ctx,
+                            const Partition& partition, size_t local_batch,
+                            const DataInjector* injector, RingAllreduce* ring,
+                            SharedSyncState& shared) {
+  auto model = job.model_factory(job.seed);
+  auto optimizer = job.optimizer_factory();
+  auto policy = make_sync_policy(job);
+  GradientCompressor compressor(job.compression);
+  RelativeGradChange grad_change(ewma_alpha_for(job), job.selsync.ewma_window);
+  ShardLoader loader(job.train_data, partition.worker_order[ctx.rank],
+                     local_batch);
+  StepTimeModel time(job.paper_model, job.device, job.network, job.topology,
+                     job.workers);
+  const AggregationMode agg = aggregation_for(job);
+  const uint64_t steps_per_epoch = job.steps_per_epoch();
+  SharedCollectives& coll = *ctx.collectives;
+  // Payload transport: shared-memory collectives or the channel-based ring.
+  auto allreduce = [&](std::vector<float>& data) {
+    if (ring)
+      ring->run(ctx.rank, data);
+    else
+      coll.allreduce_sum(ctx.rank, data);
+  };
+  // Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
+  const double speed =
+      job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank];
+
+  double sim_time = 0.0;
+  double comm_bytes = 0.0;
+  uint64_t sync_steps = 0, local_steps = 0, sync_rounds = 0;
+  uint64_t executed = 0;
+  bool reached = false;
+  bool diverged = false;
+
+  // Worker-0 instrumentation, moved into `shared` at the end.
+  std::unique_ptr<EmaTracker> ema;
+  if (ctx.is_root() && job.ema_decay > 0.0)
+    ema = std::make_unique<EmaTracker>(job.ema_decay);
+  std::vector<double> delta_trace, grad_sq_trace;
+  std::vector<EvalPoint> eval_history;
+  std::map<double, std::vector<float>> snapshots;
+  TrainResult local_bests;
+  size_t next_snapshot = 0;
+
+  for (uint64_t it = 0; it < job.max_iterations; ++it) {
+    const double epoch =
+        static_cast<double>(it) / static_cast<double>(steps_per_epoch);
+
+    // ---- data (with optional injection) ---------------------------------
+    Batch batch;
+    if (injector) {
+      const std::vector<size_t> mine = loader.next_indices();
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.injection_proposals[ctx.rank] = mine;
+      }
+      coll.barrier();
+      const InjectionRound round = injector->run(
+          it, shared.injection_proposals, job.train_data->sample_bytes());
+      coll.barrier();  // proposals no longer read after this point
+      std::vector<size_t> combined = mine;
+      combined.insert(combined.end(), round.pool.begin(), round.pool.end());
+      batch = job.train_data->make_batch(combined);
+      sim_time += time.injection_time(round.bytes_transferred);
+      comm_bytes += static_cast<double>(round.bytes_transferred);
+    } else {
+      batch = loader.next_batch();
+    }
+
+    // ---- local gradients + Δ(g_i) ---------------------------------------
+    model->train_step(batch);
+    sim_time += speed * time.compute_time(job.batch_size);
+    std::vector<float> grads = model->get_flat_grads();
+    const double delta = grad_change.update(sq_norm(grads));
+    if (ctx.is_root()) {
+      if (job.record_delta_trace) delta_trace.push_back(delta);
+      if (job.record_grad_sq_trace)
+        grad_sq_trace.push_back(grad_change.smoothed_sq_norm());
+    }
+
+    // ---- combine votes ---------------------------------------------------
+    const bool vote = policy->local_vote(it, delta);
+    bool any_sync = vote;
+    if (policy->needs_flag_exchange()) {
+      const std::vector<uint8_t> flags =
+          coll.allgather_byte(ctx.rank, vote ? 1 : 0);
+      const size_t votes = static_cast<size_t>(
+          std::count_if(flags.begin(), flags.end(),
+                        [](uint8_t f) { return f != 0; }));
+      // Alg. 1 synchronizes when ANY worker votes; sync_quorum generalizes
+      // the rule for the §5.1 ablation (majority, unanimity, ...).
+      const size_t needed = std::max<size_t>(
+          1, static_cast<size_t>(
+                 std::ceil(job.selsync.sync_quorum * job.workers)));
+      any_sync = votes >= needed;
+      sim_time += time.flag_time();
+      comm_bytes += static_cast<double>(job.workers) / 8.0;  // 1 bit each
+    }
+
+    // ---- apply update ----------------------------------------------------
+    if (any_sync) {
+      const bool participant = policy->participates(sync_rounds, ctx.rank);
+      const float weight =
+          participant
+              ? 1.f / static_cast<float>(policy->participant_count())
+              : 0.f;
+      if (job.strategy == StrategyKind::kEasgd) {
+        // Elastic update (reference [37]): local models are pulled toward
+        // the center, the center toward the worker mean. The center sits in
+        // shared state; barriers order the read-update-read sequence.
+        optimizer->step(model->params(), it, epoch);
+        std::vector<float> params = model->get_flat_params();
+        std::vector<float> diff(params.size());
+        for (size_t i = 0; i < params.size(); ++i)
+          diff[i] = params[i] - shared.easgd_center[i];
+        // Workers move first (using the pre-update center)...
+        const float a = static_cast<float>(job.easgd.alpha);
+        for (size_t i = 0; i < params.size(); ++i)
+          params[i] -= a * diff[i];
+        model->set_flat_params(params);
+        // ...then the center absorbs the mean displacement.
+        coll.allreduce_mean(ctx.rank, diff);
+        coll.barrier();
+        if (ctx.is_root()) {
+          const float b = static_cast<float>(job.easgd.beta);
+          for (size_t i = 0; i < diff.size(); ++i)
+            shared.easgd_center[i] += b * diff[i];
+        }
+        coll.barrier();
+      } else if (agg == AggregationMode::kGradients) {
+        // Gradient payloads may be compressed (§II-D baselines); the codec
+        // runs compress->decompress in place and reports the wire ratio.
+        compressor.compress(grads, delta);
+        // Aggregate gradients, everyone applies the same averaged update
+        // (local models may still drift through optimizer state, §III-C).
+        for (auto& g : grads) g *= weight;
+        allreduce(grads);
+        model->set_flat_grads(grads);
+        optimizer->step(model->params(), it, epoch);
+      } else {
+        // Alg. 1: local update first (line 9), then parameter averaging
+        // (lines 14-15) makes all replicas consistent.
+        optimizer->step(model->params(), it, epoch);
+        std::vector<float> params = model->get_flat_params();
+        for (auto& p : params) p *= weight;
+        allreduce(params);
+        model->set_flat_params(params);
+      }
+      const size_t wire_bytes =
+          agg == AggregationMode::kGradients
+              ? static_cast<size_t>(static_cast<double>(time.payload_bytes()) *
+                                    compressor.last_wire_ratio())
+              : time.payload_bytes();
+      sim_time = coll.allreduce_max(ctx.rank, sim_time) +
+                 time.sync_time_for_bytes(wire_bytes);
+      comm_bytes += 2.0 * static_cast<double>(wire_bytes);
+      ++sync_steps;
+      ++sync_rounds;
+    } else {
+      optimizer->step(model->params(), it, epoch);
+      ++local_steps;
+    }
+    executed = it + 1;
+    if (ema) ema->update(*model);
+
+    // ---- worker-0 snapshots (Fig. 11) ------------------------------------
+    if (ctx.is_root() && next_snapshot < job.snapshot_epochs.size()) {
+      const double boundary = job.snapshot_epochs[next_snapshot];
+      if (static_cast<double>(it + 1) / steps_per_epoch >= boundary) {
+        snapshots[boundary] = model->get_flat_params();
+        ++next_snapshot;
+      }
+    }
+
+    // ---- evaluation + early stop -----------------------------------------
+    if ((it + 1) % job.eval_interval == 0 || it + 1 == job.max_iterations) {
+      double stop_vote = 0.0;
+      if (ctx.is_root()) {
+        EvalPoint pt;
+        if (ema) {
+          EmaEvalScope scope(*ema, *model);  // evaluate the averaged weights
+          pt = make_eval_point(*model, *job.test_data, it + 1,
+                               static_cast<double>(it + 1) / steps_per_epoch,
+                               sim_time);
+        } else {
+          pt = make_eval_point(*model, *job.test_data, it + 1,
+                               static_cast<double>(it + 1) / steps_per_epoch,
+                               sim_time);
+        }
+        eval_history.push_back(pt);
+        update_bests(local_bests, pt);
+        if (target_reached(job, pt)) stop_vote = 1.0;
+        if (!std::isfinite(pt.loss)) {
+          diverged = true;  // non-finite loss: stop instead of burning budget
+          stop_vote = 1.0;
+        }
+      }
+      if (coll.allreduce_max(ctx.rank, stop_vote) > 0.5) {
+        double diverged_vote = diverged ? 1.0 : 0.0;
+        diverged = coll.allreduce_max(ctx.rank, diverged_vote) > 0.5;
+        reached = !diverged;
+        break;
+      }
+    }
+  }
+
+  // ---- publish results ----------------------------------------------------
+  const double cluster_time = coll.allreduce_max(ctx.rank, sim_time);
+  if (ctx.is_root()) {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    TrainResult& r = shared.result;
+    r.iterations = executed;
+    r.sync_steps = sync_steps;
+    r.local_steps = local_steps;
+    r.sim_time_s = cluster_time;
+    r.comm_bytes = comm_bytes;
+    r.eval_history = std::move(eval_history);
+    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
+    r.best_top1 = local_bests.best_top1;
+    r.best_top5 = local_bests.best_top5;
+    r.best_perplexity = local_bests.best_perplexity;
+    r.reached_target = reached;
+    r.diverged = diverged;
+    r.delta_trace = std::move(delta_trace);
+    r.grad_sq_trace = std::move(grad_sq_trace);
+    r.weight_snapshots = std::move(snapshots);
+  }
+}
+
+TrainResult run_synchronous(const TrainJob& job) {
+  const Partition partition =
+      make_partition(job.partition, *job.train_data, job.workers,
+                     job.labels_per_worker, job.seed ^ 0xDA7AULL);
+
+  size_t local_batch = job.batch_size;
+  std::unique_ptr<DataInjector> injector;
+  if (job.injection.enabled) {
+    local_batch = injection_adjusted_batch(job.batch_size, job.injection.alpha,
+                                           job.injection.beta, job.workers);
+    injector = std::make_unique<DataInjector>(
+        InjectionConfig{job.injection.alpha, job.injection.beta,
+                        job.seed ^ 0x12171217ULL},
+        job.workers);
+  }
+
+  SharedSyncState shared;
+  shared.injection_proposals.resize(job.workers);
+  if (job.strategy == StrategyKind::kEasgd)
+    shared.easgd_center = job.model_factory(job.seed)->get_flat_params();
+  std::unique_ptr<RingAllreduce> ring;
+  if (job.transport == Transport::kMessagePassingRing)
+    ring = std::make_unique<RingAllreduce>(job.workers);
+  WallTimer wall;
+  run_cluster(job.workers, [&](WorkerContext& ctx) {
+    run_synchronous_worker(job, ctx, partition, local_batch, injector.get(),
+                           ring.get(), shared);
+  });
+  shared.result.wall_time_s = wall.elapsed_s();
+  return shared.result;
+}
+
+struct SharedSspState {
+  std::mutex mutex;
+  TrainResult result;
+  std::atomic<bool> stop{false};
+  std::vector<double> worker_sim_time;
+};
+
+void run_ssp_worker(const TrainJob& job, WorkerContext& ctx,
+                    const Partition& partition, ParameterServer& ps,
+                    SharedSspState& shared) {
+  auto model = job.model_factory(job.seed);
+  auto optimizer = job.optimizer_factory();  // provides the LR schedule
+  ShardLoader loader(job.train_data, partition.worker_order[ctx.rank],
+                     job.batch_size);
+  StepTimeModel time(job.paper_model, job.device, job.network, job.topology,
+                     job.workers);
+  const uint64_t steps_per_epoch = job.steps_per_epoch();
+  const double speed =
+      job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank];
+
+  double sim_time = 0.0;
+  double comm_bytes = 0.0;
+  uint64_t executed = 0;
+  bool reached = false;
+  bool diverged = false;
+  std::vector<EvalPoint> eval_history;
+  TrainResult local_bests;
+
+  for (uint64_t it = 0; it < job.max_iterations; ++it) {
+    if (shared.stop.load()) break;
+    const double epoch =
+        static_cast<double>(it) / static_cast<double>(steps_per_epoch);
+
+    // Pull the (possibly stale) global parameters, take one step with the
+    // local optimizer (its momentum/Adam state stays worker-local), and push
+    // the resulting parameter delta asynchronously (paper §II-C: workers
+    // "independently update the global parameters on the central PS in a
+    // non-blocking manner").
+    const std::vector<float> pulled = ps.pull();
+    model->set_flat_params(pulled);
+    const Batch batch = loader.next_batch();
+    model->train_step(batch);
+    optimizer->step(model->params(), it, epoch);
+    std::vector<float> delta = model->get_flat_params();
+    for (size_t i = 0; i < delta.size(); ++i) delta[i] -= pulled[i];
+    ps.apply_delta_async(delta);
+
+    sim_time += speed * time.compute_time(job.batch_size) +
+                time.ssp_step_comm_time(job.batch_size);
+    comm_bytes += 2.0 * static_cast<double>(time.payload_bytes());
+    executed = it + 1;
+
+    ps.enforce_staleness(ctx.rank, it + 1, job.ssp.staleness);
+
+    if (ctx.is_root() &&
+        ((it + 1) % job.eval_interval == 0 || it + 1 == job.max_iterations)) {
+      model->set_flat_params(ps.pull());
+      const EvalPoint pt = make_eval_point(
+          *model, *job.test_data, it + 1,
+          static_cast<double>(it + 1) / steps_per_epoch, sim_time);
+      eval_history.push_back(pt);
+      update_bests(local_bests, pt);
+      if (target_reached(job, pt)) {
+        reached = true;
+        shared.stop.store(true);
+      }
+      if (!std::isfinite(pt.loss)) {
+        diverged = true;  // stop the cluster; the run is unrecoverable
+        shared.stop.store(true);
+      }
+    }
+  }
+  ps.finish(ctx.rank);
+
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  shared.worker_sim_time[ctx.rank] = sim_time;
+  if (ctx.is_root()) {
+    TrainResult& r = shared.result;
+    r.iterations = executed;
+    r.lssr_applicable = false;
+    r.comm_bytes = comm_bytes;
+    r.eval_history = std::move(eval_history);
+    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
+    r.best_top1 = local_bests.best_top1;
+    r.best_top5 = local_bests.best_top5;
+    r.best_perplexity = local_bests.best_perplexity;
+    r.reached_target = reached;
+    r.diverged = diverged;
+  }
+}
+
+TrainResult run_ssp(const TrainJob& job) {
+  auto reference = job.model_factory(job.seed);
+  ParameterServer ps(reference->get_flat_params(), job.workers);
+  const Partition partition =
+      make_partition(job.partition, *job.train_data, job.workers,
+                     job.labels_per_worker, job.seed ^ 0xDA7AULL);
+
+  SharedSspState shared;
+  shared.worker_sim_time.assign(job.workers, 0.0);
+  WallTimer wall;
+  run_cluster(job.workers, [&](WorkerContext& ctx) {
+    run_ssp_worker(job, ctx, partition, ps, shared);
+  });
+  shared.result.sim_time_s = *std::max_element(shared.worker_sim_time.begin(),
+                                               shared.worker_sim_time.end());
+  shared.result.wall_time_s = wall.elapsed_s();
+  return shared.result;
+}
+
+}  // namespace
+
+TrainResult run_training(const TrainJob& job) {
+  job.validate();
+  return job.strategy == StrategyKind::kSsp ? run_ssp(job)
+                                            : run_synchronous(job);
+}
+
+}  // namespace selsync

@@ -1,0 +1,23 @@
+// Distributed training driver.
+//
+// run_training() launches one simulated worker thread per cluster member and
+// executes the requested strategy end to end:
+//
+//   BSP / LocalSGD / FedAvg / SelSync  -> bulk-synchronous loop (Alg. 1):
+//     compute grads -> Δ(g_i) -> policy votes (flag allgather for SelSync)
+//     -> aggregate parameters/gradients or apply the local update.
+//   SSP                                -> asynchronous loop against the
+//     parameter server with a staleness bound.
+//
+// Training dynamics are real (the scaled-down models actually train);
+// wall-clock is charged through StepTimeModel at paper scale (DESIGN.md §2).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace selsync {
+
+TrainResult run_training(const TrainJob& job);
+
+}  // namespace selsync

@@ -1,0 +1,228 @@
+#include "core/workloads.hpp"
+
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+
+namespace selsync {
+
+namespace {
+
+SyntheticClassData& resnet_data() {
+  static SyntheticClassData data = [] {
+    SyntheticClassConfig cfg;
+    cfg.train_samples = 4096;
+    cfg.test_samples = 768;
+    cfg.classes = 10;
+    cfg.feature_dim = 48;
+    cfg.class_separation = 2.0;  // hard enough that every update matters
+    cfg.noise_stddev = 1.0;
+    cfg.seed = 21;
+    return make_synthetic_classification(cfg);
+  }();
+  return data;
+}
+
+SyntheticClassData& vgg_data() {
+  static SyntheticClassData data = [] {
+    SyntheticClassConfig cfg;
+    cfg.train_samples = 4096;
+    cfg.test_samples = 768;
+    cfg.classes = 20;  // CIFAR100's "many labels" role at tractable size
+    cfg.image_mode = true;
+    cfg.channels = 3;
+    cfg.height = 8;
+    cfg.width = 8;
+    cfg.class_separation = 0.8;  // keep the task non-trivial for the convnet
+    cfg.noise_stddev = 1.2;
+    cfg.seed = 22;
+    return make_synthetic_classification(cfg);
+  }();
+  return data;
+}
+
+SyntheticClassData& alexnet_data() {
+  static SyntheticClassData data = [] {
+    SyntheticClassConfig cfg;
+    cfg.train_samples = 4096;
+    cfg.test_samples = 768;
+    cfg.classes = 32;  // many labels, so top-5 does not saturate
+    cfg.image_mode = true;
+    cfg.channels = 3;
+    cfg.height = 8;
+    cfg.width = 8;
+    cfg.class_separation = 0.55;
+    cfg.noise_stddev = 1.4;
+    cfg.seed = 23;
+    return make_synthetic_classification(cfg);
+  }();
+  return data;
+}
+
+SyntheticTextData& transformer_data() {
+  static SyntheticTextData data = [] {
+    SyntheticTextConfig cfg;
+    cfg.train_tokens = 40000;
+    cfg.test_tokens = 6000;
+    cfg.vocab = 48;
+    cfg.seq_len = 12;
+    cfg.seed = 24;
+    return make_synthetic_text(cfg);
+  }();
+  return data;
+}
+
+}  // namespace
+
+Workload workload_resnet() {
+  Workload w;
+  w.name = "ResNet101";
+  w.train = resnet_data().train;
+  w.test = resnet_data().test;
+  w.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.input_dim = 48;
+    cfg.classes = 10;
+    cfg.hidden = 48;
+    cfg.resnet_blocks = 3;
+    return make_resnet_mlp(cfg, seed);
+  };
+  // Paper: SGD lr 0.1, momentum 0.9, wd 4e-4, x0.1 after epochs 110/150;
+  // our runs span ~40 epochs, so the decay points scale to 12/24.
+  w.optimizer_factory = [] {
+    return std::make_unique<Sgd>(
+        std::make_shared<EpochStepDecay>(0.1, std::vector<double>{12.0, 24.0},
+                                         0.1),
+        SgdOptions{.momentum = 0.9, .weight_decay = 4e-4});
+  };
+  w.profile = paper_resnet101();
+  return w;
+}
+
+Workload workload_vgg() {
+  Workload w;
+  w.name = "VGG11";
+  w.train = vgg_data().train;
+  w.test = vgg_data().test;
+  w.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.channels = 3;
+    cfg.height = 8;
+    cfg.width = 8;
+    cfg.classes = 20;
+    cfg.hidden = 48;
+    return make_vggnet(cfg, seed);
+  };
+  // Paper: SGD lr 0.01, momentum 0.9, wd 5e-4, x0.1 after epochs 50/75
+  // (scaled to 10/20). The conv net needs a slightly hotter start at our
+  // scale, so we keep the paper's relative decay schedule on lr 0.05.
+  w.optimizer_factory = [] {
+    return std::make_unique<Sgd>(
+        std::make_shared<EpochStepDecay>(0.05, std::vector<double>{10.0, 20.0},
+                                         0.1),
+        SgdOptions{.momentum = 0.9, .weight_decay = 5e-4});
+  };
+  w.profile = paper_vgg11();
+  return w;
+}
+
+Workload workload_alexnet() {
+  Workload w;
+  w.name = "AlexNet";
+  w.top5_metric = true;
+  w.train = alexnet_data().train;
+  w.test = alexnet_data().test;
+  w.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.channels = 3;
+    cfg.height = 8;
+    cfg.width = 8;
+    cfg.classes = 32;
+    cfg.hidden = 48;
+    return make_alexnet_like(cfg, seed);
+  };
+  // Paper: Adam with fixed lr 1e-4 (scaled up for the small model).
+  w.optimizer_factory = [] {
+    return std::make_unique<Adam>(std::make_shared<ConstantLr>(1e-3));
+  };
+  w.profile = paper_alexnet();
+  w.batch_size = 32;  // the paper uses the largest batch here (128)
+  return w;
+}
+
+Workload workload_transformer() {
+  Workload w;
+  w.name = "Transformer";
+  w.is_lm = true;
+  w.train = transformer_data().train;
+  w.test = transformer_data().test;
+  w.model_factory = [](uint64_t seed) {
+    TransformerConfig cfg;
+    cfg.vocab = 48;
+    cfg.model_dim = 24;
+    cfg.ff_dim = 48;
+    cfg.num_heads = 2;
+    cfg.num_layers = 2;
+    cfg.seq_len = 12;
+    cfg.dropout = 0.1f;
+    return std::make_unique<TransformerLM>(cfg, seed);
+  };
+  // Paper: SGD lr 2.0, x0.8 every 2000 iterations (scaled to every 200).
+  // lr 0.25: hot enough for fast convergence, cool enough that long local
+  // phases (FedAvg/SelSync) remain stable.
+  w.optimizer_factory = [] {
+    return std::make_unique<Sgd>(
+        std::make_shared<IterationExpDecay>(0.25, 200, 0.8));
+  };
+  w.profile = paper_transformer();
+  w.batch_size = 4;
+  return w;
+}
+
+std::vector<Workload> all_workloads() {
+  return {workload_resnet(), workload_vgg(), workload_alexnet(),
+          workload_transformer()};
+}
+
+TrainJob make_job(const Workload& w, StrategyKind strategy, size_t workers,
+                  uint64_t max_iterations) {
+  TrainJob job;
+  job.strategy = strategy;
+  job.workers = workers;
+  job.batch_size = w.batch_size;
+  job.max_iterations = max_iterations;
+  job.eval_interval = 50;
+  job.train_data = w.train;
+  job.test_data = w.test;
+  job.partition = PartitionScheme::kSelSync;
+  job.model_factory = w.model_factory;
+  job.optimizer_factory = w.optimizer_factory;
+  job.paper_model = w.profile;
+  job.device = device_v100();
+  job.network = paper_network_5gbps();
+  return job;
+}
+
+double primary_metric(const Workload& w, const EvalPoint& pt) {
+  if (w.is_lm) return pt.perplexity;
+  return w.top5_metric ? pt.top5 : pt.top1;
+}
+
+bool metric_improves(const Workload& w, double candidate, double incumbent) {
+  return w.is_lm ? candidate < incumbent : candidate > incumbent;
+}
+
+const char* metric_name(const Workload& w) {
+  if (w.is_lm) return "perplexity";
+  return w.top5_metric ? "top5-acc" : "top1-acc";
+}
+
+Workload workload_by_name(const std::string& name) {
+  for (Workload& w : all_workloads())
+    if (w.name == name) return w;
+  throw std::invalid_argument("unknown workload: " + name +
+                              " (expected ResNet101, VGG11, AlexNet or "
+                              "Transformer)");
+}
+
+}  // namespace selsync

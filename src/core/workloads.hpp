@@ -1,0 +1,67 @@
+// Standard experiment workloads: scaled-down analogues of the four DNN
+// families the paper evaluates (ResNet101/CIFAR10, VGG11/CIFAR100,
+// AlexNet/ImageNet-1K, Transformer/WikiText-103), each with the matching
+// training recipe (optimizer, LR schedule, batch size) and the paper-scale
+// profile that drives simulated-time accounting (DESIGN.md SS2).
+//
+// Used by the benchmark harness, the CLI runner and the examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "optim/optimizer.hpp"
+
+namespace selsync {
+
+struct Workload {
+  std::string name;        // paper name, e.g. "ResNet101"
+  bool is_lm = false;
+  bool top5_metric = false;  // AlexNet reports top-5 in the paper
+  DatasetPtr train;
+  DatasetPtr test;
+  std::function<std::unique_ptr<Model>(uint64_t)> model_factory;
+  std::function<std::unique_ptr<Optimizer>()> optimizer_factory;
+  PaperModelProfile profile;
+  size_t batch_size = 16;
+};
+
+/// ResNet101-on-CIFAR10 analogue: residual MLP, 10-class synthetic task,
+/// SGD + momentum with the paper's two-stage LR decay (scaled epochs).
+Workload workload_resnet();
+
+/// VGG11-on-CIFAR100 analogue: plain conv net, 20-class synthetic images.
+Workload workload_vgg();
+
+/// AlexNet-on-ImageNet analogue: wide shallow conv net, Adam, fixed LR,
+/// top-5 metric.
+Workload workload_alexnet();
+
+/// Transformer-on-WikiText analogue: 2-layer causal encoder LM on a Markov
+/// stream; SGD with per-iteration exponential decay; perplexity metric.
+Workload workload_transformer();
+
+std::vector<Workload> all_workloads();
+
+/// Looks a workload up by its paper name ("ResNet101", "VGG11", "AlexNet",
+/// "Transformer"); throws std::invalid_argument on unknown names.
+Workload workload_by_name(const std::string& name);
+
+/// Builds a TrainJob for `w` under `strategy` with the repo's standard
+/// 16-worker cluster and the paper's network/device profiles.
+TrainJob make_job(const Workload& w, StrategyKind strategy, size_t workers = 16,
+                  uint64_t max_iterations = 600);
+
+/// Primary metric of an eval point: top-1/top-5 accuracy (classifiers, in
+/// [0,1], higher better) or perplexity (LM, lower better).
+double primary_metric(const Workload& w, const EvalPoint& pt);
+bool metric_improves(const Workload& w, double candidate, double incumbent);
+const char* metric_name(const Workload& w);
+
+}  // namespace selsync

@@ -1,0 +1,74 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace selsync {
+
+ClassificationDataset::ClassificationDataset(std::vector<float> features,
+                                             size_t feature_dim,
+                                             std::vector<int> labels,
+                                             size_t num_classes,
+                                             std::vector<size_t> image_shape)
+    : features_(std::move(features)),
+      feature_dim_(feature_dim),
+      labels_(std::move(labels)),
+      num_classes_(num_classes),
+      image_shape_(std::move(image_shape)) {
+  if (features_.size() != labels_.size() * feature_dim_)
+    throw std::invalid_argument("ClassificationDataset: feature size");
+  if (!image_shape_.empty()) {
+    if (image_shape_.size() != 3)
+      throw std::invalid_argument("ClassificationDataset: image shape rank");
+    if (image_shape_[0] * image_shape_[1] * image_shape_[2] != feature_dim_)
+      throw std::invalid_argument(
+          "ClassificationDataset: image shape does not match feature dim");
+  }
+}
+
+Batch ClassificationDataset::make_batch(
+    const std::vector<size_t>& indices) const {
+  const size_t b = indices.size();
+  Batch batch;
+  std::vector<size_t> shape =
+      image_shape_.empty()
+          ? std::vector<size_t>{b, feature_dim_}
+          : std::vector<size_t>{b, image_shape_[0], image_shape_[1],
+                                image_shape_[2]};
+  batch.x = Tensor(std::move(shape));
+  batch.targets.resize(b);
+  for (size_t i = 0; i < b; ++i) {
+    const size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("make_batch: index");
+    std::memcpy(batch.x.data() + i * feature_dim_,
+                features_.data() + src * feature_dim_,
+                feature_dim_ * sizeof(float));
+    batch.targets[i] = labels_[src];
+  }
+  return batch;
+}
+
+SequenceDataset::SequenceDataset(std::vector<int> tokens, size_t vocab,
+                                 size_t seq_len)
+    : tokens_(std::move(tokens)), vocab_(vocab), seq_len_(seq_len) {
+  if (tokens_.size() < seq_len_ + 1)
+    throw std::invalid_argument("SequenceDataset: stream too short");
+  windows_ = (tokens_.size() - 1) / seq_len_;
+}
+
+Batch SequenceDataset::make_batch(const std::vector<size_t>& indices) const {
+  Batch batch;
+  batch.tokens.reserve(indices.size() * seq_len_);
+  batch.targets.reserve(indices.size() * seq_len_);
+  for (size_t w : indices) {
+    if (w >= windows_) throw std::out_of_range("make_batch: window index");
+    const size_t start = w * seq_len_;
+    for (size_t t = 0; t < seq_len_; ++t) {
+      batch.tokens.push_back(tokens_[start + t]);
+      batch.targets.push_back(tokens_[start + t + 1]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace selsync

@@ -1,0 +1,87 @@
+// Dataset abstractions.
+//
+// A Dataset is an indexed collection of samples; batches are materialized
+// from index lists so the partitioners (DefDP / SelDP / non-IID, §III-D) and
+// the data-injection mechanism (§III-E) can be expressed purely as index
+// streams — the same way the paper's partitioner reorders chunks without
+// copying the underlying data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace selsync {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Number of addressable samples (classification rows or LM windows).
+  virtual size_t size() const = 0;
+
+  /// Materializes the samples at `indices` into a training batch.
+  virtual Batch make_batch(const std::vector<size_t>& indices) const = 0;
+
+  /// Class label of sample i, or -1 when labels do not apply (LM data).
+  virtual int label_of(size_t index) const {
+    (void)index;
+    return -1;
+  }
+
+  /// Distinct labels present (0 for LM data).
+  virtual size_t num_classes() const { return 0; }
+
+  /// Approximate wire size of one sample; drives the data-injection
+  /// communication cost (§III-E quotes ~3 KB/image for CIFAR).
+  virtual size_t sample_bytes() const = 0;
+};
+
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// Classification dataset with dense float features. `image_shape` empty
+/// means flat {dim} features; {C,H,W} means batches come out as rank-4.
+class ClassificationDataset : public Dataset {
+ public:
+  ClassificationDataset(std::vector<float> features, size_t feature_dim,
+                        std::vector<int> labels, size_t num_classes,
+                        std::vector<size_t> image_shape = {});
+
+  size_t size() const override { return labels_.size(); }
+  Batch make_batch(const std::vector<size_t>& indices) const override;
+  int label_of(size_t index) const override { return labels_.at(index); }
+  size_t num_classes() const override { return num_classes_; }
+  size_t sample_bytes() const override { return feature_dim_ * sizeof(float); }
+
+  size_t feature_dim() const { return feature_dim_; }
+  const std::vector<size_t>& image_shape() const { return image_shape_; }
+
+ private:
+  std::vector<float> features_;  // size() * feature_dim_
+  size_t feature_dim_;
+  std::vector<int> labels_;
+  size_t num_classes_;
+  std::vector<size_t> image_shape_;  // {} or {C, H, W} with C*H*W == dim
+};
+
+/// Language-modelling dataset: a token stream cut into fixed-length windows
+/// (the paper's bptt batching). Sample i = tokens [i*T, (i+1)*T), target is
+/// the stream shifted by one.
+class SequenceDataset : public Dataset {
+ public:
+  SequenceDataset(std::vector<int> tokens, size_t vocab, size_t seq_len);
+
+  size_t size() const override { return windows_; }
+  Batch make_batch(const std::vector<size_t>& indices) const override;
+  size_t sample_bytes() const override { return seq_len_ * sizeof(int); }
+
+  size_t vocab() const { return vocab_; }
+  size_t seq_len() const { return seq_len_; }
+
+ private:
+  std::vector<int> tokens_;
+  size_t vocab_, seq_len_, windows_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,53 @@
+#include "data/injection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+
+size_t injection_adjusted_batch(size_t batch, double alpha, double beta,
+                                size_t cluster_size) {
+  const double denom = 1.0 + alpha * beta * static_cast<double>(cluster_size);
+  const auto b = static_cast<size_t>(
+      std::lround(static_cast<double>(batch) / denom));
+  return b == 0 ? 1 : b;
+}
+
+DataInjector::DataInjector(InjectionConfig config, size_t cluster_size)
+    : config_(config), cluster_size_(cluster_size) {
+  if (config.alpha < 0.0 || config.alpha > 1.0 || config.beta < 0.0 ||
+      config.beta > 1.0)
+    throw std::invalid_argument("DataInjector: alpha/beta in [0,1]");
+  if (cluster_size == 0)
+    throw std::invalid_argument("DataInjector: empty cluster");
+  donor_count_ = static_cast<size_t>(
+      std::ceil(config.alpha * static_cast<double>(cluster_size)));
+}
+
+InjectionRound DataInjector::run(
+    uint64_t iteration, const std::vector<std::vector<size_t>>& proposed,
+    size_t sample_bytes) const {
+  if (proposed.size() != cluster_size_)
+    throw std::invalid_argument("DataInjector: proposal count mismatch");
+
+  InjectionRound round;
+  if (donor_count_ == 0 || config_.beta == 0.0) return round;
+
+  // Deterministic per-iteration donor pick, identical on every worker.
+  Rng rng(config_.seed ^ (iteration * 0x9E3779B97F4A7C15ULL + 1));
+  round.donors = rng.sample_without_replacement(cluster_size_, donor_count_);
+
+  for (size_t donor : round.donors) {
+    const auto& batch = proposed[donor];
+    const auto share = static_cast<size_t>(
+        std::lround(config_.beta * static_cast<double>(batch.size())));
+    for (size_t i = 0; i < share && i < batch.size(); ++i)
+      round.pool.push_back(batch[i]);
+  }
+  round.bytes_transferred = round.pool.size() * sample_bytes;
+  return round;
+}
+
+}  // namespace selsync

@@ -1,0 +1,54 @@
+// Randomized data-injection for non-IID training (paper §III-E).
+//
+// Each iteration, a random α-fraction of workers donates a β-fraction of its
+// mini-batch to a shared pool that every worker appends to its own batch.
+// To keep the effective batch at the originally configured b, the local
+// batch shrinks to b' = b / (1 + αβN) (Eqn. 3). Donor selection uses a seed
+// shared by all workers (derived from the iteration number) so the choice is
+// consistent cluster-wide without extra coordination traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace selsync {
+
+struct InjectionConfig {
+  double alpha = 0.5;  // fraction of workers donating
+  double beta = 0.5;   // fraction of the donor batch donated
+  uint64_t seed = 101;
+};
+
+/// Eqn. 3: b' = b / (1 + alpha*beta*N), rounded to at least 1.
+size_t injection_adjusted_batch(size_t batch, double alpha, double beta,
+                                size_t cluster_size);
+
+/// Outcome of one injection round.
+struct InjectionRound {
+  std::vector<size_t> donors;  // worker ranks selected this iteration
+  std::vector<size_t> pool;    // donated sample indices (global ids)
+  size_t bytes_transferred = 0;
+};
+
+class DataInjector {
+ public:
+  DataInjector(InjectionConfig config, size_t cluster_size);
+
+  /// Runs one round: picks ceil(alpha*N) donors from a per-iteration seed and
+  /// takes the first round(beta*|batch|) indices of each donor's proposed
+  /// batch. `proposed[w]` is worker w's local mini-batch (b' indices).
+  InjectionRound run(uint64_t iteration,
+                     const std::vector<std::vector<size_t>>& proposed,
+                     size_t sample_bytes) const;
+
+  size_t donor_count() const { return donor_count_; }
+  const InjectionConfig& config() const { return config_; }
+
+ private:
+  InjectionConfig config_;
+  size_t cluster_size_;
+  size_t donor_count_;
+};
+
+}  // namespace selsync

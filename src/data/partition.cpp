@@ -1,0 +1,149 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+
+namespace {
+
+/// One global shuffle split into `workers` near-equal contiguous chunks.
+std::vector<std::vector<size_t>> shuffled_chunks(size_t n, size_t workers,
+                                                 uint64_t seed) {
+  if (workers == 0) throw std::invalid_argument("partition: zero workers");
+  if (n < workers)
+    throw std::invalid_argument("partition: fewer samples than workers");
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  Rng rng(seed);
+  rng.shuffle(all);
+
+  std::vector<std::vector<size_t>> chunks(workers);
+  const size_t base = n / workers;
+  const size_t extra = n % workers;
+  size_t pos = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t len = base + (w < extra ? 1 : 0);
+    chunks[w].assign(all.begin() + pos, all.begin() + pos + len);
+    pos += len;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+const char* partition_scheme_name(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kDefault:
+      return "DefDP";
+    case PartitionScheme::kSelSync:
+      return "SelDP";
+    case PartitionScheme::kNonIidLabel:
+      return "NonIID";
+  }
+  return "?";
+}
+
+Partition partition_default(size_t n, size_t workers, uint64_t seed) {
+  Partition p;
+  p.worker_order = shuffled_chunks(n, workers, seed);
+  return p;
+}
+
+Partition partition_selsync(size_t n, size_t workers, uint64_t seed) {
+  const auto chunks = shuffled_chunks(n, workers, seed);
+  Partition p;
+  p.worker_order.resize(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    auto& order = p.worker_order[w];
+    order.reserve(n);
+    // Circular queue: worker w starts at its own chunk and wraps.
+    for (size_t j = 0; j < workers; ++j) {
+      const auto& chunk = chunks[(w + j) % workers];
+      order.insert(order.end(), chunk.begin(), chunk.end());
+    }
+  }
+  return p;
+}
+
+Partition partition_noniid_by_label(const Dataset& dataset, size_t workers,
+                                    size_t labels_per_worker, uint64_t seed) {
+  const size_t num_labels = dataset.num_classes();
+  if (num_labels == 0)
+    throw std::invalid_argument("non-IID partition: dataset has no labels");
+  if (labels_per_worker == 0)
+    throw std::invalid_argument("non-IID partition: zero labels per worker");
+
+  // Group sample indices by label.
+  std::vector<std::vector<size_t>> by_label(num_labels);
+  for (size_t i = 0; i < dataset.size(); ++i)
+    by_label[static_cast<size_t>(dataset.label_of(i))].push_back(i);
+
+  // Deal labels to workers round-robin (shuffled), wrapping if the workers
+  // jointly need more label slots than exist (labels are then shared).
+  std::vector<size_t> label_ids(num_labels);
+  for (size_t l = 0; l < num_labels; ++l) label_ids[l] = l;
+  Rng rng(seed);
+  rng.shuffle(label_ids);
+
+  Partition p;
+  p.worker_order.resize(workers);
+  size_t slot = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    auto& order = p.worker_order[w];
+    for (size_t k = 0; k < labels_per_worker; ++k, ++slot) {
+      const auto& members = by_label[label_ids[slot % num_labels]];
+      order.insert(order.end(), members.begin(), members.end());
+    }
+    rng.shuffle(order);
+    if (order.empty())
+      throw std::runtime_error("non-IID partition: worker got no samples");
+  }
+  return p;
+}
+
+Partition make_partition(PartitionScheme scheme, const Dataset& dataset,
+                         size_t workers, size_t labels_per_worker,
+                         uint64_t seed) {
+  switch (scheme) {
+    case PartitionScheme::kDefault:
+      return partition_default(dataset.size(), workers, seed);
+    case PartitionScheme::kSelSync:
+      return partition_selsync(dataset.size(), workers, seed);
+    case PartitionScheme::kNonIidLabel:
+      return partition_noniid_by_label(dataset, workers, labels_per_worker,
+                                       seed);
+  }
+  throw std::invalid_argument("make_partition: unknown scheme");
+}
+
+ShardLoader::ShardLoader(DatasetPtr dataset, std::vector<size_t> order,
+                         size_t batch_size)
+    : dataset_(std::move(dataset)),
+      order_(std::move(order)),
+      batch_size_(batch_size) {
+  if (!dataset_) throw std::invalid_argument("ShardLoader: null dataset");
+  if (order_.empty()) throw std::invalid_argument("ShardLoader: empty order");
+  if (batch_size_ == 0) throw std::invalid_argument("ShardLoader: batch 0");
+}
+
+const std::vector<size_t>& ShardLoader::next_indices() {
+  scratch_.clear();
+  for (size_t i = 0; i < batch_size_; ++i) {
+    scratch_.push_back(order_[cursor_]);
+    cursor_ = (cursor_ + 1) % order_.size();
+  }
+  consumed_ += batch_size_;
+  return scratch_;
+}
+
+Batch ShardLoader::next_batch() { return dataset_->make_batch(next_indices()); }
+
+void ShardLoader::set_batch_size(size_t b) {
+  if (b == 0) throw std::invalid_argument("ShardLoader: batch 0");
+  batch_size_ = b;
+}
+
+}  // namespace selsync

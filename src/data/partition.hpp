@@ -1,0 +1,80 @@
+// Data partitioning schemes (paper §III-D, Fig. 7).
+//
+// A partitioner maps a dataset onto per-worker *ordered index streams*; the
+// shard loader then walks each stream cyclically. DefDP gives each worker a
+// single disjoint chunk (classic BSP). SelDP gives every worker the whole
+// dataset as a circular queue whose head is rotated by the worker id, so
+// (a) any iteration that synchronizes still combines updates from N distinct
+// chunks, and (b) a worker that mostly trains locally still sees all data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace selsync {
+
+enum class PartitionScheme { kDefault, kSelSync, kNonIidLabel };
+
+const char* partition_scheme_name(PartitionScheme scheme);
+
+struct Partition {
+  /// worker_order[w] = ordered sample indices worker w consumes (cyclically).
+  std::vector<std::vector<size_t>> worker_order;
+
+  size_t workers() const { return worker_order.size(); }
+};
+
+/// DefDP: one shuffle, then contiguous equal chunks; worker w owns chunk w
+/// only. Trailing remainder samples are spread over the first workers.
+Partition partition_default(size_t n, size_t workers, uint64_t seed);
+
+/// SelDP: same chunks as DefDP, but worker w's stream is the concatenation
+/// of all chunks starting from chunk w (circular rotation), covering all n
+/// samples.
+Partition partition_selsync(size_t n, size_t workers, uint64_t seed);
+
+/// Non-IID label partitioning (paper §IV-A: 1 label/worker for CIFAR10,
+/// 10 labels/worker for CIFAR100): labels are dealt round-robin to workers;
+/// each worker's stream is a shuffle of the samples of its labels.
+Partition partition_noniid_by_label(const Dataset& dataset, size_t workers,
+                                    size_t labels_per_worker, uint64_t seed);
+
+/// Dispatch helper used by the trainer configs.
+Partition make_partition(PartitionScheme scheme, const Dataset& dataset,
+                         size_t workers, size_t labels_per_worker,
+                         uint64_t seed);
+
+/// Walks one worker's index stream cyclically in fixed-size batches.
+class ShardLoader {
+ public:
+  ShardLoader(DatasetPtr dataset, std::vector<size_t> order,
+              size_t batch_size);
+
+  /// Next batch of indices (wraps around at the end of the stream).
+  const std::vector<size_t>& next_indices();
+
+  /// Materializes the next batch.
+  Batch next_batch();
+
+  /// Fraction of the stream consumed so far (epochs in stream units).
+  double epochs_consumed() const {
+    return static_cast<double>(consumed_) / static_cast<double>(order_.size());
+  }
+
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t b);
+  const std::vector<size_t>& order() const { return order_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  DatasetPtr dataset_;
+  std::vector<size_t> order_;
+  size_t batch_size_;
+  size_t cursor_ = 0;
+  size_t consumed_ = 0;
+  std::vector<size_t> scratch_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,189 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace selsync {
+
+namespace {
+
+/// Samples `count` labelled feature rows (flat mode). Class k's raw vector
+/// is mean_k + noise; the raw vector is then warped by a fixed random tanh
+/// layer shared between train and test so both splits come from the same
+/// distribution.
+void sample_split_flat(const SyntheticClassConfig& cfg, size_t count,
+                       const std::vector<float>& means,
+                       const std::vector<float>& warp, Rng& rng,
+                       std::vector<float>& features, std::vector<int>& labels) {
+  const size_t d = cfg.feature_dim;
+  features.resize(count * d);
+  labels.resize(count);
+  std::vector<float> raw(d);
+  for (size_t i = 0; i < count; ++i) {
+    const int k = static_cast<int>(rng.next_below(cfg.classes));
+    labels[i] = k;
+    const float* mean = means.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j)
+      raw[j] =
+          mean[j] + static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+    // Fixed random rotation + tanh nonlinearity: y_j = tanh(sum_m W_jm x_m).
+    float* out = features.data() + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      float acc = 0.f;
+      const float* wrow = warp.data() + j * d;
+      for (size_t m = 0; m < d; ++m) acc += wrow[m] * raw[m];
+      out[j] = std::tanh(acc);
+    }
+  }
+}
+
+/// Builds smooth per-class image prototypes: a coarse 4x4 random grid per
+/// channel, bilinearly upsampled to H x W. Smoothness gives the data the
+/// local spatial correlations natural images have, so convolutional models
+/// (the VGG/AlexNet analogues) can exploit locality the way they do on
+/// CIFAR/ImageNet.
+std::vector<float> make_image_prototypes(const SyntheticClassConfig& cfg,
+                                         Rng& rng) {
+  constexpr size_t kCoarse = 4;
+  const size_t d = cfg.channels * cfg.height * cfg.width;
+  std::vector<float> prototypes(cfg.classes * d);
+  std::vector<float> coarse(cfg.channels * kCoarse * kCoarse);
+  for (size_t k = 0; k < cfg.classes; ++k) {
+    for (auto& v : coarse)
+      v = static_cast<float>(rng.normal(0.0, cfg.class_separation));
+    float* proto = prototypes.data() + k * d;
+    for (size_t c = 0; c < cfg.channels; ++c) {
+      const float* grid = coarse.data() + c * kCoarse * kCoarse;
+      for (size_t y = 0; y < cfg.height; ++y) {
+        const double gy = static_cast<double>(y) * (kCoarse - 1) /
+                          std::max<size_t>(cfg.height - 1, 1);
+        const size_t y0 = static_cast<size_t>(gy);
+        const size_t y1 = std::min(y0 + 1, kCoarse - 1);
+        const double fy = gy - y0;
+        for (size_t x = 0; x < cfg.width; ++x) {
+          const double gx = static_cast<double>(x) * (kCoarse - 1) /
+                            std::max<size_t>(cfg.width - 1, 1);
+          const size_t x0 = static_cast<size_t>(gx);
+          const size_t x1 = std::min(x0 + 1, kCoarse - 1);
+          const double fx = gx - x0;
+          const double value =
+              (1 - fy) * ((1 - fx) * grid[y0 * kCoarse + x0] +
+                          fx * grid[y0 * kCoarse + x1]) +
+              fy * ((1 - fx) * grid[y1 * kCoarse + x0] +
+                    fx * grid[y1 * kCoarse + x1]);
+          proto[(c * cfg.height + y) * cfg.width + x] =
+              static_cast<float>(value);
+        }
+      }
+    }
+  }
+  return prototypes;
+}
+
+/// Samples labelled images: smooth class prototype + pixel noise, squashed
+/// by tanh to the natural [-1, 1] pixel range.
+void sample_split_image(const SyntheticClassConfig& cfg, size_t count,
+                        const std::vector<float>& prototypes, Rng& rng,
+                        std::vector<float>& features,
+                        std::vector<int>& labels) {
+  const size_t d = cfg.channels * cfg.height * cfg.width;
+  features.resize(count * d);
+  labels.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int k = static_cast<int>(rng.next_below(cfg.classes));
+    labels[i] = k;
+    const float* proto = prototypes.data() + static_cast<size_t>(k) * d;
+    float* out = features.data() + i * d;
+    for (size_t j = 0; j < d; ++j)
+      out[j] = std::tanh(
+          proto[j] + static_cast<float>(rng.normal(0.0, cfg.noise_stddev)));
+  }
+}
+
+}  // namespace
+
+SyntheticClassData make_synthetic_classification(
+    const SyntheticClassConfig& cfg) {
+  const size_t d = cfg.image_mode ? cfg.channels * cfg.height * cfg.width
+                                  : cfg.feature_dim;
+  if (d == 0 || cfg.classes == 0)
+    throw std::invalid_argument("make_synthetic_classification: empty dims");
+
+  Rng rng(cfg.seed);
+  std::vector<float> means, warp, prototypes;
+  if (cfg.image_mode) {
+    prototypes = make_image_prototypes(cfg, rng);
+  } else {
+    // Class means on a scaled Gaussian cloud.
+    means.resize(cfg.classes * d);
+    for (auto& v : means)
+      v = static_cast<float>(rng.normal(
+          0.0, cfg.class_separation / std::sqrt(static_cast<double>(d))));
+    // Fixed random warp, variance-preserving scale 1/sqrt(d).
+    warp.resize(d * d);
+    for (auto& v : warp)
+      v = static_cast<float>(
+          rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(d))));
+  }
+
+  std::vector<size_t> image_shape;
+  if (cfg.image_mode) image_shape = {cfg.channels, cfg.height, cfg.width};
+
+  auto make_split = [&](size_t count, uint64_t stream) {
+    std::vector<float> features;
+    std::vector<int> labels;
+    Rng split_rng = rng.fork(stream);
+    if (cfg.image_mode)
+      sample_split_image(cfg, count, prototypes, split_rng, features, labels);
+    else
+      sample_split_flat(cfg, count, means, warp, split_rng, features, labels);
+    return std::make_shared<ClassificationDataset>(
+        std::move(features), d, std::move(labels), cfg.classes, image_shape);
+  };
+
+  SyntheticClassData out;
+  out.train = make_split(cfg.train_samples, 1);
+  out.test = make_split(cfg.test_samples, 2);
+  return out;
+}
+
+SyntheticTextData make_synthetic_text(const SyntheticTextConfig& cfg) {
+  if (cfg.vocab < 2 || cfg.branching == 0 || cfg.branching > cfg.vocab)
+    throw std::invalid_argument("make_synthetic_text: bad config");
+  Rng rng(cfg.seed);
+
+  // Each token prefers `branching` successors that share (1 - temperature)
+  // of the probability mass; the rest is spread uniformly.
+  std::vector<std::vector<int>> successors(cfg.vocab);
+  for (size_t t = 0; t < cfg.vocab; ++t) {
+    auto picks = rng.sample_without_replacement(cfg.vocab, cfg.branching);
+    successors[t].assign(picks.begin(), picks.end());
+  }
+
+  auto sample_stream = [&](size_t count, Rng& stream_rng) {
+    std::vector<int> tokens(count);
+    int cur = static_cast<int>(stream_rng.next_below(cfg.vocab));
+    for (size_t i = 0; i < count; ++i) {
+      tokens[i] = cur;
+      if (stream_rng.uniform() < 1.0 - cfg.temperature) {
+        const auto& succ = successors[static_cast<size_t>(cur)];
+        cur = succ[stream_rng.next_below(succ.size())];
+      } else {
+        cur = static_cast<int>(stream_rng.next_below(cfg.vocab));
+      }
+    }
+    return tokens;
+  };
+
+  SyntheticTextData out;
+  Rng train_rng = rng.fork(1);
+  Rng test_rng = rng.fork(2);
+  out.train = std::make_shared<SequenceDataset>(
+      sample_stream(cfg.train_tokens, train_rng), cfg.vocab, cfg.seq_len);
+  out.test = std::make_shared<SequenceDataset>(
+      sample_stream(cfg.test_tokens, test_rng), cfg.vocab, cfg.seq_len);
+  return out;
+}
+
+}  // namespace selsync

@@ -1,0 +1,59 @@
+// Synthetic workload generators standing in for CIFAR10/100, ImageNet-1K
+// and WikiText-103 (see DESIGN.md §2 for the substitution rationale).
+//
+// Classification: Gaussian class clusters pushed through a fixed random
+// tanh projection, so the task is learnable but not linearly separable and
+// accuracy improves over many epochs like the paper's curves.
+//
+// Language modelling: a sparse Markov chain over the vocabulary, so the
+// optimal perplexity is well below vocab size and models must learn the
+// transition structure.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace selsync {
+
+struct SyntheticClassConfig {
+  size_t train_samples = 4096;
+  size_t test_samples = 1024;
+  size_t classes = 10;
+  size_t feature_dim = 64;       // flat mode
+  bool image_mode = false;       // emit {C,H,W} samples instead
+  size_t channels = 3;
+  size_t height = 8;
+  size_t width = 8;
+  double class_separation = 2.5;  // distance between class means
+  double noise_stddev = 1.0;
+  uint64_t seed = 7;
+};
+
+struct SyntheticClassData {
+  std::shared_ptr<ClassificationDataset> train;
+  std::shared_ptr<ClassificationDataset> test;
+};
+
+SyntheticClassData make_synthetic_classification(
+    const SyntheticClassConfig& config);
+
+struct SyntheticTextConfig {
+  size_t train_tokens = 60000;
+  size_t test_tokens = 8000;
+  size_t vocab = 64;
+  size_t seq_len = 16;
+  size_t branching = 4;       // likely successors per token
+  double temperature = 0.12;  // mass left for non-preferred successors
+  uint64_t seed = 11;
+};
+
+struct SyntheticTextData {
+  std::shared_ptr<SequenceDataset> train;
+  std::shared_ptr<SequenceDataset> test;
+};
+
+SyntheticTextData make_synthetic_text(const SyntheticTextConfig& config);
+
+}  // namespace selsync

@@ -1,0 +1,67 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace selsync {
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.flat())
+    if (v < 0.f) v = 0.f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (size_t i = 0; i < grad_in.size(); ++i)
+    if (cached_input_[i] <= 0.f) grad_in[i] = 0.f;
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (auto& v : out.flat()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (size_t i = 0; i < grad_in.size(); ++i) {
+    const float t = cached_output_[i];
+    grad_in[i] *= (1.f - t * t);
+  }
+  return grad_in;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+inline float gelu_fwd(float x) {
+  return 0.5f * x * (1.f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+}
+
+inline float gelu_bwd(float x) {
+  const float x3 = x * x * x;
+  const float t = std::tanh(kGeluC * (x + 0.044715f * x3));
+  const float dt = (1.f - t * t) * kGeluC * (1.f + 3.f * 0.044715f * x * x);
+  return 0.5f * (1.f + t) + 0.5f * x * dt;
+}
+}  // namespace
+
+Tensor GELU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.flat()) v = gelu_fwd(v);
+  return out;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (size_t i = 0; i < grad_in.size(); ++i)
+    grad_in[i] *= gelu_bwd(cached_input_[i]);
+  return grad_in;
+}
+
+}  // namespace selsync

@@ -1,0 +1,40 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Gaussian Error Linear Unit, tanh approximation (as used by transformer
+/// stacks).
+class GELU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "gelu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace selsync

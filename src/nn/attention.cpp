@@ -1,0 +1,148 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace selsync {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t model_dim,
+                                               size_t num_heads,
+                                               size_t seq_len, Rng& rng,
+                                               bool causal,
+                                               const std::string& name)
+    : dim_(model_dim),
+      heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      seq_len_(seq_len),
+      causal_(causal),
+      name_(name),
+      qkv_(model_dim, 3 * model_dim, rng, true, name + ".qkv"),
+      proj_(model_dim, model_dim, rng, true, name + ".proj") {
+  if (model_dim % num_heads != 0)
+    throw std::invalid_argument("MHSA: model_dim % num_heads != 0");
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& input) {
+  const size_t rows = input.dim(0);
+  if (rows % seq_len_ != 0)
+    throw std::invalid_argument("MHSA: rows not a multiple of seq_len");
+  const size_t B = rows / seq_len_, T = seq_len_, H = heads_, Dh = head_dim_;
+
+  cached_qkv_ = qkv_.forward(input);  // {B*T, 3D}
+  cached_batch_ = B;
+  cached_attn_.assign(B * H * T * T, 0.f);
+
+  Tensor context({rows, dim_});
+  const float scale = 1.f / std::sqrt(static_cast<float>(Dh));
+  const float neg_inf = -std::numeric_limits<float>::infinity();
+
+  // QKV row layout: [Q(D) | K(D) | V(D)]; head h occupies columns
+  // [h*Dh, (h+1)*Dh) within each of the three blocks.
+  for (size_t b = 0; b < B; ++b) {
+    const float* qkv_rows = cached_qkv_.data() + b * T * 3 * dim_;
+    float* ctx_rows = context.data() + b * T * dim_;
+    for (size_t h = 0; h < H; ++h) {
+      float* attn = cached_attn_.data() + ((b * H + h) * T) * T;
+      const size_t qo = h * Dh, ko = dim_ + h * Dh, vo = 2 * dim_ + h * Dh;
+      // scores + row softmax
+      for (size_t i = 0; i < T; ++i) {
+        const float* qi = qkv_rows + i * 3 * dim_ + qo;
+        float* arow = attn + i * T;
+        float mx = neg_inf;
+        for (size_t j = 0; j < T; ++j) {
+          if (causal_ && j > i) {
+            arow[j] = neg_inf;
+            continue;
+          }
+          const float* kj = qkv_rows + j * 3 * dim_ + ko;
+          float s = 0.f;
+          for (size_t d = 0; d < Dh; ++d) s += qi[d] * kj[d];
+          arow[j] = s * scale;
+          if (arow[j] > mx) mx = arow[j];
+        }
+        float denom = 0.f;
+        for (size_t j = 0; j < T; ++j) {
+          arow[j] = (arow[j] == neg_inf) ? 0.f : std::exp(arow[j] - mx);
+          denom += arow[j];
+        }
+        const float inv = 1.f / denom;
+        for (size_t j = 0; j < T; ++j) arow[j] *= inv;
+        // context_i = sum_j a_ij * v_j
+        float* ci = ctx_rows + i * dim_ + h * Dh;
+        for (size_t d = 0; d < Dh; ++d) ci[d] = 0.f;
+        for (size_t j = 0; j < T; ++j) {
+          const float a = arow[j];
+          if (a == 0.f) continue;
+          const float* vj = qkv_rows + j * 3 * dim_ + vo;
+          for (size_t d = 0; d < Dh; ++d) ci[d] += a * vj[d];
+        }
+      }
+    }
+  }
+  return proj_.forward(context);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  const Tensor grad_ctx = proj_.backward(grad_out);  // {B*T, D}
+  const size_t B = cached_batch_, T = seq_len_, H = heads_, Dh = head_dim_;
+  const float scale = 1.f / std::sqrt(static_cast<float>(Dh));
+
+  Tensor grad_qkv({B * T, 3 * dim_});
+  std::vector<float> grad_attn(T * T);
+
+  for (size_t b = 0; b < B; ++b) {
+    const float* qkv_rows = cached_qkv_.data() + b * T * 3 * dim_;
+    float* gqkv_rows = grad_qkv.data() + b * T * 3 * dim_;
+    const float* gctx_rows = grad_ctx.data() + b * T * dim_;
+    for (size_t h = 0; h < H; ++h) {
+      const float* attn = cached_attn_.data() + ((b * H + h) * T) * T;
+      const size_t qo = h * Dh, ko = dim_ + h * Dh, vo = 2 * dim_ + h * Dh;
+      // dV and dA from context = A V.
+      for (size_t i = 0; i < T; ++i) {
+        const float* gci = gctx_rows + i * dim_ + h * Dh;
+        const float* arow = attn + i * T;
+        float* garow = grad_attn.data() + i * T;
+        for (size_t j = 0; j < T; ++j) {
+          const float a = arow[j];
+          float* gvj = gqkv_rows + j * 3 * dim_ + vo;
+          const float* vj = qkv_rows + j * 3 * dim_ + vo;
+          float ga = 0.f;
+          for (size_t d = 0; d < Dh; ++d) {
+            gvj[d] += a * gci[d];
+            ga += gci[d] * vj[d];
+          }
+          garow[j] = ga;
+        }
+      }
+      // Softmax backward per row: dS_j = A_j * (dA_j - sum_k A_k dA_k),
+      // then dQ_i += dS_j * K_j * scale, dK_j += dS_j * Q_i * scale.
+      for (size_t i = 0; i < T; ++i) {
+        const float* arow = attn + i * T;
+        float* garow = grad_attn.data() + i * T;
+        float dot = 0.f;
+        for (size_t j = 0; j < T; ++j) dot += arow[j] * garow[j];
+        const float* qi = qkv_rows + i * 3 * dim_ + qo;
+        float* gqi = gqkv_rows + i * 3 * dim_ + qo;
+        for (size_t j = 0; j < T; ++j) {
+          const float ds = arow[j] * (garow[j] - dot) * scale;
+          if (ds == 0.f) continue;
+          const float* kj = qkv_rows + j * 3 * dim_ + ko;
+          float* gkj = gqkv_rows + j * 3 * dim_ + ko;
+          for (size_t d = 0; d < Dh; ++d) {
+            gqi[d] += ds * kj[d];
+            gkj[d] += ds * qi[d];
+          }
+        }
+      }
+    }
+  }
+  return qkv_.backward(grad_qkv);
+}
+
+void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+}  // namespace selsync

@@ -1,0 +1,40 @@
+// Multi-head self-attention over a flattened sequence batch.
+//
+// The transformer stack keeps activations as rank-2 tensors {B*T, D} so the
+// generic Linear/LayerNorm/Dropout modules compose directly; the attention
+// layer is told the sequence length T at construction and re-folds rows into
+// (batch, time) internally. Causal masking matches the paper's LM setup
+// (Transformer encoder trained with bptt windows on WikiText-103).
+#pragma once
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(size_t model_dim, size_t num_heads, size_t seq_len,
+                         Rng& rng, bool causal = true,
+                         const std::string& name = "mhsa");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  size_t num_heads() const { return heads_; }
+
+ private:
+  size_t dim_, heads_, head_dim_, seq_len_;
+  bool causal_;
+  std::string name_;
+  Linear qkv_;    // D -> 3D
+  Linear proj_;   // D -> D
+  // Forward caches (per call): packed QKV and attention weights.
+  Tensor cached_qkv_;               // {B*T, 3D}
+  std::vector<float> cached_attn_;  // B * heads * T * T softmax weights
+  size_t cached_batch_ = 0;
+};
+
+}  // namespace selsync

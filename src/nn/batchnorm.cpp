@@ -1,0 +1,97 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace selsync {
+
+BatchNorm1d::BatchNorm1d(size_t features, const std::string& name, float eps,
+                         float momentum)
+    : features_(features),
+      eps_(eps),
+      momentum_(momentum),
+      name_(name),
+      gamma_(name + ".gamma", Tensor::full({features}, 1.f)),
+      beta_(name + ".beta", Tensor({features})),
+      running_mean_(features, 0.f),
+      running_var_(features, 1.f) {}
+
+Tensor BatchNorm1d::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm1d: expected {B, " +
+                                std::to_string(features_) + "} input");
+  const size_t rows = input.dim(0);
+  Tensor out(input.shape());
+
+  if (training_) {
+    if (rows < 2)
+      throw std::invalid_argument("BatchNorm1d: batch of >= 2 required");
+    cached_rows_ = rows;
+    cached_norm_ = Tensor(input.shape());
+    inv_std_.assign(features_, 0.f);
+    for (size_t j = 0; j < features_; ++j) {
+      double mean = 0.0;
+      for (size_t r = 0; r < rows; ++r) mean += input.at(r, j);
+      mean /= rows;
+      double var = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        const double d = input.at(r, j) - mean;
+        var += d * d;
+      }
+      var /= rows;
+      const float inv = 1.f / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std_[j] = inv;
+      for (size_t r = 0; r < rows; ++r) {
+        const float xhat = (input.at(r, j) - static_cast<float>(mean)) * inv;
+        cached_norm_.at(r, j) = xhat;
+        out.at(r, j) = gamma_.value[j] * xhat + beta_.value[j];
+      }
+      running_mean_[j] = (1.f - momentum_) * running_mean_[j] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[j] = (1.f - momentum_) * running_var_[j] +
+                        momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (size_t j = 0; j < features_; ++j) {
+      const float inv = 1.f / std::sqrt(running_var_[j] + eps_);
+      for (size_t r = 0; r < rows; ++r)
+        out.at(r, j) =
+            gamma_.value[j] * (input.at(r, j) - running_mean_[j]) * inv +
+            beta_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  if (cached_rows_ == 0)
+    throw std::logic_error("BatchNorm1d: backward before training forward");
+  const size_t rows = cached_rows_;
+  Tensor grad_in(grad_out.shape());
+  const float inv_n = 1.f / static_cast<float>(rows);
+  for (size_t j = 0; j < features_; ++j) {
+    float sum_g = 0.f, sum_gx = 0.f;
+    for (size_t r = 0; r < rows; ++r) {
+      const float go = grad_out.at(r, j);
+      sum_g += go;
+      sum_gx += go * cached_norm_.at(r, j);
+      gamma_.grad[j] += go * cached_norm_.at(r, j);
+      beta_.grad[j] += go;
+    }
+    const float g = gamma_.value[j];
+    for (size_t r = 0; r < rows; ++r) {
+      const float go = grad_out.at(r, j);
+      grad_in.at(r, j) =
+          g * inv_std_[j] *
+          (go - inv_n * sum_g - cached_norm_.at(r, j) * inv_n * sum_gx);
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm1d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace selsync

@@ -1,0 +1,45 @@
+// 1-D batch normalization (per-feature over the batch dimension).
+//
+// Relevant to the distributed setting: the running mean/variance buffers
+// are *local state*, not parameters — they are not shipped by PA/GA
+// synchronization (exactly like PyTorch DDP, which broadcasts buffers only
+// at startup). Under semi-synchronous training each replica's BN statistics
+// therefore drift with its local data, one of the effects that makes plain
+// conv stacks harder to average than norm-free or LayerNorm models.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(size_t features, const std::string& name = "batchnorm",
+                       float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override { training_ = training; }
+  std::string name() const override { return name_; }
+
+  const std::vector<float>& running_mean() const { return running_mean_; }
+  const std::vector<float>& running_var() const { return running_var_; }
+
+ private:
+  size_t features_;
+  float eps_, momentum_;
+  bool training_ = true;
+  std::string name_;
+  Param gamma_;
+  Param beta_;
+  // Buffers (local state, never synchronized).
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  // Forward caches for backward.
+  Tensor cached_norm_;
+  std::vector<float> inv_std_;
+  size_t cached_rows_ = 0;
+};
+
+}  // namespace selsync

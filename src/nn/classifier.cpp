@@ -1,0 +1,35 @@
+#include "nn/classifier.hpp"
+
+#include <stdexcept>
+
+namespace selsync {
+
+ClassifierModel::ClassifierModel(std::unique_ptr<Sequential> net,
+                                 size_t num_classes)
+    : net_(std::move(net)), num_classes_(num_classes) {
+  if (!net_) throw std::invalid_argument("ClassifierModel: null net");
+}
+
+float ClassifierModel::train_step(const Batch& batch) {
+  zero_grad();
+  const Tensor logits = net_->forward(batch.x);
+  LossResult loss = softmax_cross_entropy(logits, batch.targets);
+  net_->backward(loss.grad_logits);
+  return loss.loss;
+}
+
+EvalStats ClassifierModel::eval_batch(const Batch& batch) {
+  net_->set_training(false);
+  const Tensor logits = net_->forward(batch.x);
+  net_->set_training(true);
+  const LossResult loss = softmax_cross_entropy(logits, batch.targets);
+  EvalStats stats;
+  stats.loss_sum = loss.loss;
+  stats.batches = 1;
+  stats.examples = batch.targets.size();
+  stats.top1 = count_top1(logits, batch.targets);
+  stats.top5 = count_topk(logits, batch.targets, 5);
+  return stats;
+}
+
+}  // namespace selsync

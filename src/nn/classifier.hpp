@@ -1,0 +1,33 @@
+// Classification model: an arbitrary Module stack followed by softmax
+// cross-entropy.
+#pragma once
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/sequential.hpp"
+
+namespace selsync {
+
+class ClassifierModel : public Model {
+ public:
+  /// `net` must map the batch input to {B, num_classes} logits.
+  ClassifierModel(std::unique_ptr<Sequential> net, size_t num_classes);
+
+  float train_step(const Batch& batch) override;
+  EvalStats eval_batch(const Batch& batch) override;
+  void set_training(bool training) override { net_->set_training(training); }
+
+  Sequential& net() { return *net_; }
+  size_t num_classes() const { return num_classes_; }
+
+ protected:
+  void collect_model_params(std::vector<Param*>& out) override {
+    net_->collect_params(out);
+  }
+
+ private:
+  std::unique_ptr<Sequential> net_;
+  size_t num_classes_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,120 @@
+#include "nn/conv.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace selsync {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel,
+               size_t pad, Rng& rng, const std::string& name)
+    : pad_(pad),
+      name_(name),
+      weight_(name + ".weight",
+              Tensor::kaiming({out_channels, in_channels, kernel, kernel}, rng,
+                              in_channels * kernel * kernel)),
+      bias_(name + ".bias", Tensor({out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  cached_input_ = input;
+  return ops::conv2d(input, weight_.value, bias_.value, pad_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  Tensor grad_input, grad_weight, grad_bias;
+  ops::conv2d_backward(cached_input_, weight_.value, pad_, grad_out,
+                       grad_input, grad_weight, grad_bias);
+  weight_.grad.add_(grad_weight);
+  bias_.grad.add_(grad_bias);
+  return grad_input;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+Tensor MaxPool2x2::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  return ops::maxpool2x2(input, argmax_);
+}
+
+Tensor MaxPool2x2::backward(const Tensor& grad_out) {
+  return ops::maxpool2x2_backward(grad_out, argmax_, input_shape_);
+}
+
+Tensor AvgPool2x2::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  const size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+               W = input.dim(3);
+  const size_t Ho = H / 2, Wo = W / 2;
+  Tensor out({N, C, Ho, Wo});
+  size_t oi = 0;
+  for (size_t nc = 0; nc < N * C; ++nc) {
+    const float* in = input.data() + nc * H * W;
+    for (size_t oy = 0; oy < Ho; ++oy)
+      for (size_t ox = 0; ox < Wo; ++ox, ++oi)
+        out[oi] = 0.25f * (in[(oy * 2) * W + ox * 2] +
+                           in[(oy * 2) * W + ox * 2 + 1] +
+                           in[(oy * 2 + 1) * W + ox * 2] +
+                           in[(oy * 2 + 1) * W + ox * 2 + 1]);
+  }
+  return out;
+}
+
+Tensor AvgPool2x2::backward(const Tensor& grad_out) {
+  Tensor grad_in(input_shape_);
+  const size_t N = input_shape_[0], C = input_shape_[1], H = input_shape_[2],
+               W = input_shape_[3];
+  const size_t Ho = H / 2, Wo = W / 2;
+  size_t oi = 0;
+  for (size_t nc = 0; nc < N * C; ++nc) {
+    float* gi = grad_in.data() + nc * H * W;
+    for (size_t oy = 0; oy < Ho; ++oy)
+      for (size_t ox = 0; ox < Wo; ++ox, ++oi) {
+        const float g = 0.25f * grad_out[oi];
+        gi[(oy * 2) * W + ox * 2] += g;
+        gi[(oy * 2) * W + ox * 2 + 1] += g;
+        gi[(oy * 2 + 1) * W + ox * 2] += g;
+        gi[(oy * 2 + 1) * W + ox * 2 + 1] += g;
+      }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  const size_t N = input.dim(0), C = input.dim(1);
+  const size_t hw = input.dim(2) * input.dim(3);
+  Tensor out({N, C});
+  for (size_t nc = 0; nc < N * C; ++nc) {
+    const float* in = input.data() + nc * hw;
+    float acc = 0.f;
+    for (size_t i = 0; i < hw; ++i) acc += in[i];
+    out[nc] = acc / static_cast<float>(hw);
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor grad_in(input_shape_);
+  const size_t N = input_shape_[0], C = input_shape_[1];
+  const size_t hw = input_shape_[2] * input_shape_[3];
+  const float inv = 1.f / static_cast<float>(hw);
+  for (size_t nc = 0; nc < N * C; ++nc) {
+    float* gi = grad_in.data() + nc * hw;
+    const float g = grad_out[nc] * inv;
+    for (size_t i = 0; i < hw; ++i) gi[i] += g;
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  const size_t n = input.dim(0);
+  return input.reshaped({n, input.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(input_shape_);
+}
+
+}  // namespace selsync

@@ -1,0 +1,70 @@
+// Convolutional layers (NCHW, stride 1) plus pooling and flatten.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(size_t in_channels, size_t out_channels, size_t kernel, size_t pad,
+         Rng& rng, const std::string& name = "conv");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  size_t pad_;
+  std::string name_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+class MaxPool2x2 : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "maxpool2x2"; }
+
+ private:
+  std::vector<uint32_t> argmax_;
+  std::vector<size_t> input_shape_;
+};
+
+/// 2x2 average pooling with stride 2.
+class AvgPool2x2 : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "avgpool2x2"; }
+
+ private:
+  std::vector<size_t> input_shape_;
+};
+
+/// Global average pooling: {N, C, H, W} -> {N, C}.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "globalavgpool"; }
+
+ private:
+  std::vector<size_t> input_shape_;
+};
+
+/// {N, C, H, W} -> {N, C*H*W}.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<size_t> input_shape_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,33 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace selsync {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  if (p < 0.f || p >= 1.f) throw std::invalid_argument("Dropout: p in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.f) {
+    mask_.clear();
+    return input;
+  }
+  const float keep_scale = 1.f / (1.f - p_);
+  mask_.resize(input.size());
+  Tensor out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    mask_[i] = rng_->bernoulli(p_) ? 0.f : keep_scale;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  Tensor grad_in = grad_out;
+  for (size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+}  // namespace selsync

@@ -1,0 +1,26 @@
+// Inverted dropout: scales kept activations by 1/(1-p) at train time so no
+// rescale is needed at eval time.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class Dropout : public Module {
+ public:
+  /// `rng` must outlive the module (the owning model holds the stream).
+  Dropout(float p, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void set_training(bool training) override { training_ = training; }
+  std::string name() const override { return "dropout"; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  bool training_ = true;
+  std::vector<float> mask_;
+};
+
+}  // namespace selsync

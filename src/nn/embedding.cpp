@@ -1,0 +1,58 @@
+#include "nn/embedding.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace selsync {
+
+Embedding::Embedding(size_t vocab, size_t dim, Rng& rng,
+                     const std::string& name)
+    : vocab_(vocab),
+      dim_(dim),
+      table_(name + ".table",
+             Tensor::randn({vocab, dim}, rng, 0.f,
+                           1.f / std::sqrt(static_cast<float>(dim)))) {}
+
+Tensor Embedding::forward(const std::vector<int>& tokens) {
+  cached_tokens_ = tokens;
+  Tensor out({tokens.size(), dim_});
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const int t = tokens[i];
+    if (t < 0 || static_cast<size_t>(t) >= vocab_)
+      throw std::out_of_range("Embedding: token id out of range");
+    std::memcpy(out.data() + i * dim_, table_.value.data() + t * dim_,
+                dim_ * sizeof(float));
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& grad_out) {
+  if (grad_out.dim(0) != cached_tokens_.size())
+    throw std::invalid_argument("Embedding::backward: row mismatch");
+  for (size_t i = 0; i < cached_tokens_.size(); ++i) {
+    float* g = table_.grad.data() + cached_tokens_[i] * dim_;
+    const float* go = grad_out.data() + i * dim_;
+    for (size_t d = 0; d < dim_; ++d) g[d] += go[d];
+  }
+}
+
+void Embedding::collect_params(std::vector<Param*>& out) {
+  out.push_back(&table_);
+}
+
+void add_positional_encoding(Tensor& x, size_t seq_len) {
+  const size_t rows = x.dim(0), dim = x.dim(1);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t pos = r % seq_len;
+    float* row = x.data() + r * dim;
+    for (size_t d = 0; d < dim; d += 2) {
+      const double freq =
+          std::pow(10000.0, -static_cast<double>(d) / static_cast<double>(dim));
+      row[d] += static_cast<float>(std::sin(pos * freq));
+      if (d + 1 < dim) row[d + 1] += static_cast<float>(std::cos(pos * freq));
+    }
+  }
+}
+
+}  // namespace selsync

@@ -1,0 +1,40 @@
+// Token embedding table plus fixed sinusoidal positional encoding.
+//
+// Token ids are integral, so Embedding does not implement the Tensor->Tensor
+// Module interface; the TransformerLM model drives it directly.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class Embedding {
+ public:
+  Embedding(size_t vocab, size_t dim, Rng& rng,
+            const std::string& name = "embedding");
+
+  /// Looks up `tokens` (length B*T) -> {B*T, dim} rows.
+  Tensor forward(const std::vector<int>& tokens);
+
+  /// Accumulates gradients for the rows used in the last forward().
+  void backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out);
+
+  size_t vocab() const { return vocab_; }
+  size_t dim() const { return dim_; }
+  Param& table() { return table_; }
+
+ private:
+  size_t vocab_, dim_;
+  Param table_;  // {vocab, dim}
+  std::vector<int> cached_tokens_;
+};
+
+/// Adds sin/cos positional encodings in-place to `x` (rows = B*T, sequence
+/// position = row index modulo seq_len).
+void add_positional_encoding(Tensor& x, size_t seq_len);
+
+}  // namespace selsync

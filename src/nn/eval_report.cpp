@@ -1,0 +1,133 @@
+#include "nn/eval_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/classifier.hpp"
+
+namespace selsync {
+
+ConfusionMatrix::ConfusionMatrix(size_t classes)
+    : classes_(classes), cells_(classes * classes, 0) {
+  if (classes == 0) throw std::invalid_argument("ConfusionMatrix: 0 classes");
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || static_cast<size_t>(truth) >= classes_ || predicted < 0 ||
+      static_cast<size_t>(predicted) >= classes_)
+    throw std::out_of_range("ConfusionMatrix: class id out of range");
+  ++cells_[static_cast<size_t>(truth) * classes_ +
+           static_cast<size_t>(predicted)];
+  ++total_;
+}
+
+size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_.at(static_cast<size_t>(truth) * classes_ +
+                   static_cast<size_t>(predicted));
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t c = 0; c < classes_; ++c) hits += cells_[c * classes_ + c];
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  size_t predicted = 0;
+  for (size_t t = 0; t < classes_; ++t)
+    predicted += cells_[t * classes_ + static_cast<size_t>(cls)];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  size_t actual = 0;
+  for (size_t p = 0; p < classes_; ++p)
+    actual += cells_[static_cast<size_t>(cls) * classes_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls), r = recall(cls);
+  return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (size_t c = 0; c < classes_; ++c) sum += f1(static_cast<int>(c));
+  return sum / static_cast<double>(classes_);
+}
+
+size_t ConfusionMatrix::never_predicted_classes() const {
+  size_t missing = 0;
+  for (size_t p = 0; p < classes_; ++p) {
+    size_t predicted = 0;
+    for (size_t t = 0; t < classes_; ++t) predicted += cells_[t * classes_ + p];
+    if (predicted == 0) ++missing;
+  }
+  return missing;
+}
+
+std::string ConfusionMatrix::to_string(size_t max_classes) const {
+  const size_t shown = std::min(classes_, max_classes);
+  std::ostringstream out;
+  char buf[64];
+  out << "truth\\pred";
+  for (size_t p = 0; p < shown; ++p) {
+    std::snprintf(buf, sizeof(buf), "%6zu", p);
+    out << buf;
+  }
+  out << (shown < classes_ ? "  ..." : "") << "\n";
+  for (size_t t = 0; t < shown; ++t) {
+    std::snprintf(buf, sizeof(buf), "%9zu ", t);
+    out << buf;
+    for (size_t p = 0; p < shown; ++p) {
+      std::snprintf(buf, sizeof(buf), "%6zu", count(static_cast<int>(t),
+                                                    static_cast<int>(p)));
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "   recall %.2f",
+                  recall(static_cast<int>(t)));
+    out << buf << "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "accuracy %.3f, macro-F1 %.3f\n",
+                accuracy(), macro_f1());
+  out << buf;
+  return out.str();
+}
+
+ConfusionMatrix evaluate_confusion(Model& model, const Dataset& data,
+                                   size_t batch_size) {
+  const size_t classes = data.num_classes();
+  if (classes == 0)
+    throw std::invalid_argument("evaluate_confusion: unlabelled dataset");
+  auto* classifier = dynamic_cast<ClassifierModel*>(&model);
+  if (!classifier)
+    throw std::invalid_argument("evaluate_confusion: not a classifier model");
+
+  ConfusionMatrix cm(classes);
+  model.set_training(false);
+  std::vector<size_t> indices;
+  for (size_t start = 0; start < data.size(); start += batch_size) {
+    indices.clear();
+    const size_t end = std::min(start + batch_size, data.size());
+    for (size_t i = start; i < end; ++i) indices.push_back(i);
+    const Batch batch = data.make_batch(indices);
+    const Tensor logits = classifier->net().forward(batch.x);
+    const size_t k = logits.dim(1);
+    for (size_t row = 0; row < logits.dim(0); ++row) {
+      const float* r = logits.data() + row * k;
+      const int pred = static_cast<int>(std::max_element(r, r + k) - r);
+      cm.add(batch.targets[row], pred);
+    }
+  }
+  model.set_training(true);
+  return cm;
+}
+
+}  // namespace selsync

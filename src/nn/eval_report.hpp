@@ -1,0 +1,49 @@
+// Per-class evaluation: confusion matrix, precision/recall/F1 — the
+// diagnostics that reveal *how* non-IID training fails (each worker's label
+// collapses, §III-E) rather than just the aggregate accuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace selsync {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t classes);
+
+  void add(int truth, int predicted);
+
+  size_t classes() const { return classes_; }
+  size_t count(int truth, int predicted) const;
+  size_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Precision/recall/F1 for one class (0 when the denominator is empty).
+  double precision(int cls) const;
+  double recall(int cls) const;
+  double f1(int cls) const;
+  /// Unweighted mean F1 over classes (macro average).
+  double macro_f1() const;
+  /// Number of classes the model never predicts — the collapse signature of
+  /// label-skewed local training.
+  size_t never_predicted_classes() const;
+
+  /// Printable table (rows = truth, columns = prediction).
+  std::string to_string(size_t max_classes = 16) const;
+
+ private:
+  size_t classes_;
+  size_t total_ = 0;
+  std::vector<size_t> cells_;  // classes_ x classes_
+};
+
+/// Evaluates `model` over `data` and fills a confusion matrix from the
+/// arg-max predictions (classification datasets only).
+ConfusionMatrix evaluate_confusion(Model& model, const Dataset& data,
+                                   size_t batch_size = 256);
+
+}  // namespace selsync

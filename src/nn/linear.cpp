@@ -1,0 +1,38 @@
+#include "nn/linear.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace selsync {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng, bool bias,
+               const std::string& name)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      name_(name),
+      weight_(name + ".weight",
+              Tensor::xavier({out_features, in_features}, rng, in_features,
+                             out_features)),
+      bias_(name + ".bias", Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = ops::matmul_nt(input, weight_.value);  // {B,in} x {out,in}^T
+  if (has_bias_) ops::add_row_bias(out, bias_.value);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  // dW = grad_out^T (B x out) * input (B x in) -> {out, in}
+  weight_.grad.add_(ops::matmul_tn(grad_out, cached_input_));
+  if (has_bias_) bias_.grad.add_(ops::sum_rows(grad_out));
+  // dX = grad_out (B x out) * W (out x in)
+  return ops::matmul(grad_out, weight_.value);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace selsync

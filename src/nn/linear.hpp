@@ -1,0 +1,34 @@
+// Fully-connected layer: y = x W^T + b, x is {batch, in}, W is {out, in}.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng& rng,
+         bool bias = true, const std::string& name = "linear");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  size_t in_, out_;
+  bool has_bias_;
+  std::string name_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace selsync

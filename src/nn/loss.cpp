@@ -1,0 +1,79 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace selsync {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& targets,
+                                 float label_smoothing) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("softmax_cross_entropy: logits rank != 2");
+  if (label_smoothing < 0.f || label_smoothing >= 1.f)
+    throw std::invalid_argument("softmax_cross_entropy: smoothing in [0,1)");
+  const size_t b = logits.dim(0), k = logits.dim(1);
+  if (targets.size() != b)
+    throw std::invalid_argument("softmax_cross_entropy: target count");
+
+  // Smoothed target distribution: 1 - s on the true class, s/K elsewhere
+  // (s/K added to the true class too, the usual convention).
+  const float off = label_smoothing / static_cast<float>(k);
+  const float on = 1.f - label_smoothing + off;
+
+  LossResult res;
+  res.grad_logits = ops::softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_b = 1.f / static_cast<float>(b);
+  for (size_t i = 0; i < b; ++i) {
+    const int t = targets[i];
+    if (t < 0 || static_cast<size_t>(t) >= k)
+      throw std::out_of_range("softmax_cross_entropy: bad target id");
+    float* row = res.grad_logits.data() + i * k;
+    if (label_smoothing == 0.f) {
+      loss -= std::log(std::max(row[t], 1e-12f));
+      row[t] -= 1.f;
+    } else {
+      for (size_t j = 0; j < k; ++j) {
+        const float target_p = (static_cast<int>(j) == t) ? on : off;
+        loss -= target_p * std::log(std::max(row[j], 1e-12f));
+        row[j] -= target_p;
+      }
+    }
+    for (size_t j = 0; j < k; ++j) row[j] *= inv_b;
+  }
+  res.loss = static_cast<float>(loss / b);
+  return res;
+}
+
+size_t count_top1(const Tensor& logits, const std::vector<int>& targets) {
+  const size_t b = logits.dim(0), k = logits.dim(1);
+  size_t hits = 0;
+  for (size_t i = 0; i < b; ++i) {
+    const float* row = logits.data() + i * k;
+    const size_t arg =
+        std::max_element(row, row + k) - row;
+    if (static_cast<int>(arg) == targets[i]) ++hits;
+  }
+  return hits;
+}
+
+size_t count_topk(const Tensor& logits, const std::vector<int>& targets,
+                  size_t topk) {
+  const size_t b = logits.dim(0), k = logits.dim(1);
+  size_t hits = 0;
+  for (size_t i = 0; i < b; ++i) {
+    const float* row = logits.data() + i * k;
+    const float target_score = row[targets[i]];
+    size_t better = 0;
+    for (size_t j = 0; j < k; ++j)
+      if (row[j] > target_score) ++better;
+    if (better < topk) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace selsync

@@ -1,0 +1,30 @@
+// Softmax cross-entropy over class logits; shared by the classifiers and,
+// per-token, by the language model (perplexity = exp(mean token loss)).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace selsync {
+
+struct LossResult {
+  float loss = 0.f;      // mean over the batch
+  Tensor grad_logits;    // dLoss/dLogits, already divided by batch size
+};
+
+/// logits: {B, K}; targets: B class ids in [0, K). `label_smoothing` in
+/// [0, 1) spreads that much probability mass uniformly over the classes
+/// (the standard regularizer for over-confident heads).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& targets,
+                                 float label_smoothing = 0.f);
+
+/// Count of rows whose arg-max matches the target (top-1 hits).
+size_t count_top1(const Tensor& logits, const std::vector<int>& targets);
+
+/// Count of rows whose target is among the k largest logits.
+size_t count_topk(const Tensor& logits, const std::vector<int>& targets,
+                  size_t k);
+
+}  // namespace selsync

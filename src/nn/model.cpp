@@ -1,0 +1,53 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+
+namespace selsync {
+
+void EvalStats::merge(const EvalStats& o) {
+  loss_sum += o.loss_sum;
+  batches += o.batches;
+  top1 += o.top1;
+  top5 += o.top5;
+  examples += o.examples;
+}
+
+double EvalStats::top1_accuracy() const {
+  return examples ? static_cast<double>(top1) / examples : 0.0;
+}
+
+double EvalStats::top5_accuracy() const {
+  return examples ? static_cast<double>(top5) / examples : 0.0;
+}
+
+double EvalStats::perplexity() const { return std::exp(mean_loss()); }
+
+const std::vector<Param*>& Model::params() {
+  if (!params_built_) {
+    collect_model_params(params_cache_);
+    params_built_ = true;
+  }
+  return params_cache_;
+}
+
+size_t Model::param_count() { return total_param_count(params()); }
+
+std::vector<float> Model::get_flat_params() { return pack_values(params()); }
+
+void Model::set_flat_params(const std::vector<float>& flat) {
+  unpack_values(flat, params());
+}
+
+std::vector<float> Model::get_flat_grads() { return pack_grads(params()); }
+
+void Model::set_flat_grads(const std::vector<float>& flat) {
+  unpack_grads(flat, params());
+}
+
+void Model::zero_grad() { zero_grads(params()); }
+
+void Model::apply_sgd(float lr) {
+  for (Param* p : params()) p->value.axpy_(-lr, p->grad);
+}
+
+}  // namespace selsync

@@ -1,0 +1,86 @@
+// Model: the unit the distributed strategies train.
+//
+// A Model owns its parameters and exposes them as one flat float vector in a
+// canonical order — exactly the payload the paper's pushToPS/pullFromPS (or
+// an allreduce) would move. Workers construct identical replicas from the
+// same seed, mirroring the paper's "pull initial model state from the PS".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+/// One training/eval batch. Classification fills `x` + `targets`; language
+/// modelling fills `tokens` + `targets` (next-token ids, length B*T).
+struct Batch {
+  Tensor x;
+  std::vector<int> tokens;
+  std::vector<int> targets;
+
+  bool is_lm() const { return !tokens.empty(); }
+  /// Number of examples: rows of x, or token count for LM batches.
+  size_t example_count() const {
+    return is_lm() ? tokens.size() : (x.rank() ? x.dim(0) : 0);
+  }
+};
+
+/// Accumulated evaluation statistics; merge() combines shards.
+struct EvalStats {
+  double loss_sum = 0.0;
+  size_t batches = 0;
+  size_t top1 = 0;
+  size_t top5 = 0;
+  size_t examples = 0;
+
+  void merge(const EvalStats& o);
+  double mean_loss() const { return batches ? loss_sum / batches : 0.0; }
+  double top1_accuracy() const;
+  double top5_accuracy() const;
+  /// exp(mean loss); the paper's perplexity metric for the Transformer.
+  double perplexity() const;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Zeroes gradients, runs forward + backward on `batch`, leaves mean
+  /// gradients in the parameters, and returns the mean loss.
+  virtual float train_step(const Batch& batch) = 0;
+
+  /// Forward-only evaluation.
+  virtual EvalStats eval_batch(const Batch& batch) = 0;
+
+  virtual void set_training(bool training) = 0;
+  virtual bool is_language_model() const { return false; }
+
+  /// Stable list of parameters (built lazily on first use).
+  const std::vector<Param*>& params();
+  size_t param_count();
+  /// Payload size of one full parameter (or gradient) exchange.
+  size_t param_bytes() { return param_count() * sizeof(float); }
+
+  std::vector<float> get_flat_params();
+  void set_flat_params(const std::vector<float>& flat);
+  std::vector<float> get_flat_grads();
+  void set_flat_grads(const std::vector<float>& flat);
+  void zero_grad();
+
+  /// Applies a plain SGD step w -= lr * grad directly to the parameters
+  /// (used by the Hessian probe and a few tests; real training goes through
+  /// src/optim).
+  void apply_sgd(float lr);
+
+ protected:
+  /// Subclasses append their parameter pointers here exactly once.
+  virtual void collect_model_params(std::vector<Param*>& out) = 0;
+
+ private:
+  std::vector<Param*> params_cache_;
+  bool params_built_ = false;
+};
+
+}  // namespace selsync

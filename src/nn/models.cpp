@@ -1,0 +1,139 @@
+#include "nn/models.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/classifier.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
+
+namespace selsync {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNetMLP:
+      return "ResNetMLP";
+    case ModelKind::kVGGNet:
+      return "VGGNet";
+    case ModelKind::kAlexNetLike:
+      return "AlexNetLike";
+    case ModelKind::kTransformerLM:
+      return "TransformerLM";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> make_resnet_mlp(const ClassifierConfig& config,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Linear>(config.input_dim, config.hidden, rng, true,
+                                    "stem"));
+  net->add(std::make_unique<ReLU>());
+  for (size_t b = 0; b < config.resnet_blocks; ++b) {
+    const std::string base = "block" + std::to_string(b);
+    auto inner = std::make_unique<Sequential>();
+    inner->add(std::make_unique<LayerNorm>(config.hidden, base + ".norm"));
+    inner->add(std::make_unique<Linear>(config.hidden, config.hidden, rng,
+                                        true, base + ".fc1"));
+    inner->add(std::make_unique<ReLU>());
+    inner->add(std::make_unique<Linear>(config.hidden, config.hidden, rng,
+                                        true, base + ".fc2"));
+    net->add(std::make_unique<Residual>(std::move(inner)));
+  }
+  net->add(std::make_unique<LayerNorm>(config.hidden, "final_norm"));
+  net->add(std::make_unique<Linear>(config.hidden, config.classes, rng, true,
+                                    "head"));
+  return std::make_unique<ClassifierModel>(std::move(net), config.classes);
+}
+
+std::unique_ptr<Model> make_vggnet(const ClassifierConfig& config,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  if (config.height % 4 != 0 || config.width % 4 != 0)
+    throw std::invalid_argument("make_vggnet: H and W must be multiples of 4");
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(config.channels, 8, 3, 1, rng, "conv1"));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2x2>());
+  net->add(std::make_unique<Conv2d>(8, 16, 3, 1, rng, "conv2"));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2x2>());
+  net->add(std::make_unique<Flatten>());
+  const size_t flat = 16 * (config.height / 4) * (config.width / 4);
+  net->add(std::make_unique<Linear>(flat, config.hidden, rng, true, "fc1"));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(config.hidden, config.classes, rng, true,
+                                    "fc2"));
+  return std::make_unique<ClassifierModel>(std::move(net), config.classes);
+}
+
+std::unique_ptr<Model> make_alexnet_like(const ClassifierConfig& config,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  if (config.height % 2 != 0 || config.width % 2 != 0)
+    throw std::invalid_argument(
+        "make_alexnet_like: H and W must be multiples of 2");
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(config.channels, 12, 5, 2, rng, "conv1"));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2x2>());
+  net->add(std::make_unique<Flatten>());
+  const size_t flat = 12 * (config.height / 2) * (config.width / 2);
+  net->add(std::make_unique<Linear>(flat, 2 * config.hidden, rng, true, "fc1"));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(2 * config.hidden, config.classes, rng,
+                                    true, "fc2"));
+  return std::make_unique<ClassifierModel>(std::move(net), config.classes);
+}
+
+std::unique_ptr<Model> make_resnet_conv(const ClassifierConfig& config,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  if (config.height % 2 != 0 || config.width % 2 != 0)
+    throw std::invalid_argument(
+        "make_resnet_conv: H and W must be multiples of 2");
+  constexpr size_t kChannels = 12;
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(config.channels, kChannels, 3, 1, rng,
+                                    "stem"));
+  net->add(std::make_unique<ReLU>());
+  for (size_t b = 0; b < config.resnet_blocks; ++b) {
+    const std::string base = "block" + std::to_string(b);
+    auto inner = std::make_unique<Sequential>();
+    inner->add(std::make_unique<Conv2d>(kChannels, kChannels, 3, 1, rng,
+                                        base + ".conv1"));
+    inner->add(std::make_unique<ReLU>());
+    inner->add(std::make_unique<Conv2d>(kChannels, kChannels, 3, 1, rng,
+                                        base + ".conv2"));
+    net->add(std::make_unique<Residual>(std::move(inner)));
+    net->add(std::make_unique<ReLU>());
+  }
+  net->add(std::make_unique<MaxPool2x2>());
+  net->add(std::make_unique<Flatten>());
+  const size_t flat = kChannels * (config.height / 2) * (config.width / 2);
+  net->add(std::make_unique<Linear>(flat, config.classes, rng, true, "head"));
+  return std::make_unique<ClassifierModel>(std::move(net), config.classes);
+}
+
+std::unique_ptr<Model> make_classifier(ModelKind kind,
+                                       const ClassifierConfig& config,
+                                       uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kResNetMLP:
+      return make_resnet_mlp(config, seed);
+    case ModelKind::kVGGNet:
+      return make_vggnet(config, seed);
+    case ModelKind::kAlexNetLike:
+      return make_alexnet_like(config, seed);
+    case ModelKind::kTransformerLM:
+      throw std::invalid_argument(
+          "make_classifier: TransformerLM is not a classifier; construct "
+          "TransformerLM directly");
+  }
+  throw std::invalid_argument("make_classifier: unknown kind");
+}
+
+}  // namespace selsync

@@ -1,0 +1,64 @@
+#include "nn/module.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace selsync {
+
+size_t total_param_count(const std::vector<Param*>& params) {
+  size_t n = 0;
+  for (const Param* p : params) n += p->value.size();
+  return n;
+}
+
+std::vector<float> pack_values(const std::vector<Param*>& params) {
+  std::vector<float> flat(total_param_count(params));
+  size_t off = 0;
+  for (const Param* p : params) {
+    std::memcpy(flat.data() + off, p->value.data(),
+                p->value.size() * sizeof(float));
+    off += p->value.size();
+  }
+  return flat;
+}
+
+std::vector<float> pack_grads(const std::vector<Param*>& params) {
+  std::vector<float> flat(total_param_count(params));
+  size_t off = 0;
+  for (const Param* p : params) {
+    std::memcpy(flat.data() + off, p->grad.data(),
+                p->grad.size() * sizeof(float));
+    off += p->grad.size();
+  }
+  return flat;
+}
+
+void unpack_values(const std::vector<float>& flat,
+                   const std::vector<Param*>& params) {
+  if (flat.size() != total_param_count(params))
+    throw std::invalid_argument("unpack_values: size mismatch");
+  size_t off = 0;
+  for (Param* p : params) {
+    std::memcpy(p->value.data(), flat.data() + off,
+                p->value.size() * sizeof(float));
+    off += p->value.size();
+  }
+}
+
+void unpack_grads(const std::vector<float>& flat,
+                  const std::vector<Param*>& params) {
+  if (flat.size() != total_param_count(params))
+    throw std::invalid_argument("unpack_grads: size mismatch");
+  size_t off = 0;
+  for (Param* p : params) {
+    std::memcpy(p->grad.data(), flat.data() + off,
+                p->grad.size() * sizeof(float));
+    off += p->grad.size();
+  }
+}
+
+void zero_grads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->grad.zero();
+}
+
+}  // namespace selsync

@@ -1,0 +1,65 @@
+// Layer abstraction: explicit forward/backward modules (no tape autograd).
+//
+// Each module caches whatever it needs from forward() so that backward()
+// can produce input gradients and accumulate parameter gradients. This
+// mirrors how static-graph DDP frameworks drive backpropagation and keeps
+// the per-iteration allocation profile predictable, which matters for the
+// wall-clock overhead experiments (Fig. 8a).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace selsync {
+
+/// A trainable tensor together with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output; must be called before backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends pointers to this module's parameters (stable across calls).
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Train/eval mode switch (dropout etc.). Default: no-op.
+  virtual void set_training(bool training) { (void)training; }
+
+  virtual std::string name() const = 0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// ---- Flat parameter/gradient packing -------------------------------------
+/// Distributed strategies ship parameters and gradients as one contiguous
+/// float vector (what the paper's pushToPS/pullFromPS exchange). These
+/// helpers define the canonical packing order: params in collection order,
+/// each row-major.
+
+size_t total_param_count(const std::vector<Param*>& params);
+std::vector<float> pack_values(const std::vector<Param*>& params);
+std::vector<float> pack_grads(const std::vector<Param*>& params);
+void unpack_values(const std::vector<float>& flat,
+                   const std::vector<Param*>& params);
+void unpack_grads(const std::vector<float>& flat,
+                  const std::vector<Param*>& params);
+void zero_grads(const std::vector<Param*>& params);
+
+}  // namespace selsync

@@ -1,0 +1,76 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace selsync {
+
+LayerNorm::LayerNorm(size_t dim, const std::string& name, float eps)
+    : dim_(dim),
+      eps_(eps),
+      name_(name),
+      gamma_(name + ".gamma", Tensor::full({dim}, 1.f)),
+      beta_(name + ".beta", Tensor({dim})) {}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  // Treat the input as {rows, dim_} regardless of leading shape.
+  if (input.size() % dim_ != 0)
+    throw std::invalid_argument("LayerNorm: input not divisible by dim");
+  const size_t rows = input.size() / dim_;
+  Tensor out(input.shape());
+  cached_norm_ = Tensor(input.shape());
+  inv_std_.assign(rows, 0.f);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = input.data() + r * dim_;
+    float* o = out.data() + r * dim_;
+    float* xh = cached_norm_.data() + r * dim_;
+    float mean = 0.f;
+    for (size_t j = 0; j < dim_; ++j) mean += x[j];
+    mean /= static_cast<float>(dim_);
+    float var = 0.f;
+    for (size_t j = 0; j < dim_; ++j) {
+      const float d = x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv = 1.f / std::sqrt(var + eps_);
+    inv_std_[r] = inv;
+    for (size_t j = 0; j < dim_; ++j) {
+      xh[j] = (x[j] - mean) * inv;
+      o[j] = gamma_.value[j] * xh[j] + beta_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const size_t rows = grad_out.size() / dim_;
+  Tensor grad_in(grad_out.shape());
+  for (size_t r = 0; r < rows; ++r) {
+    const float* go = grad_out.data() + r * dim_;
+    const float* xh = cached_norm_.data() + r * dim_;
+    float* gi = grad_in.data() + r * dim_;
+    // Accumulate param grads and the two row sums needed for dX.
+    float sum_g = 0.f, sum_gx = 0.f;
+    for (size_t j = 0; j < dim_; ++j) {
+      const float g = go[j] * gamma_.value[j];
+      sum_g += g;
+      sum_gx += g * xh[j];
+      gamma_.grad[j] += go[j] * xh[j];
+      beta_.grad[j] += go[j];
+    }
+    const float inv_n = 1.f / static_cast<float>(dim_);
+    for (size_t j = 0; j < dim_; ++j) {
+      const float g = go[j] * gamma_.value[j];
+      gi[j] = inv_std_[r] * (g - inv_n * sum_g - xh[j] * inv_n * sum_gx);
+    }
+  }
+  return grad_in;
+}
+
+void LayerNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace selsync

@@ -1,0 +1,28 @@
+// Layer normalization over the last dimension (per row of a {B, D} input).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(size_t dim, const std::string& name = "layernorm",
+                     float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  size_t dim_;
+  float eps_;
+  std::string name_;
+  Param gamma_;
+  Param beta_;
+  Tensor cached_norm_;       // normalized input x_hat
+  std::vector<float> inv_std_;
+};
+
+}  // namespace selsync

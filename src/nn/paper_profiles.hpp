@@ -1,0 +1,66 @@
+// Analytic profiles of the *paper-scale* models and devices.
+//
+// The paper measures wall-clock properties (compute time and memory vs batch
+// size on a K80, Fig. 2; throughput scaling over a 5 Gbps NIC, Fig. 1a;
+// end-to-end speedups, Table I) on hardware we do not have. These profiles
+// reproduce those experiments analytically: each paper model is described by
+// its parameter count, per-sample forward FLOPs and per-sample activation
+// footprint, and each device by peak throughput and memory capacity. The
+// numbers are calibrated so the published *shape* holds (e.g. Transformer
+// OOM at batch 64 on the 12 GB K80; VGG11's 507 MB parameter payload makes
+// its 2-worker relative throughput < 1.0).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace selsync {
+
+struct PaperModelProfile {
+  std::string name;
+  double param_count;             // trainable parameters
+  double flops_per_sample;        // forward FLOPs; backward costs 2x forward
+  double activation_bytes_per_sample;
+  double host_bytes_per_sample;   // input pipeline staging (ImageFolder etc.)
+
+  double param_bytes() const { return param_count * 4.0; }
+};
+
+struct DeviceProfile {
+  std::string name;
+  double peak_flops;          // sustained peak, FP32
+  double memory_bytes;        // device memory capacity
+  double batch_half_sat;      // batch size at which utilization reaches 50%
+  double fixed_overhead_bytes;  // context + framework buffers
+};
+
+/// The four models of the paper's evaluation (§IV-A).
+PaperModelProfile paper_resnet101();
+PaperModelProfile paper_vgg11();
+PaperModelProfile paper_alexnet();
+PaperModelProfile paper_transformer();
+std::vector<PaperModelProfile> all_paper_models();
+
+/// NVIDIA Tesla K80 (Fig. 2) and V100 (Figs. 1/5, Table I).
+DeviceProfile device_k80();
+DeviceProfile device_v100();
+
+/// Per-iteration compute time for one worker processing `batch` samples
+/// (forward + backward = 3x forward FLOPs), with a utilization ramp
+/// b/(b + half_sat) modelling poor GPU occupancy at small batches.
+double compute_time_s(const PaperModelProfile& model,
+                      const DeviceProfile& device, double batch);
+
+/// Device memory needed to train at the given batch size: 3 copies of the
+/// parameters (weights, gradients, optimizer state) + activations + input
+/// staging + fixed overhead.
+double training_memory_bytes(const PaperModelProfile& model,
+                             const DeviceProfile& device, double batch);
+
+/// True when the batch does not fit on the device (the paper's Transformer
+/// OOM at b=64 on the K80).
+bool would_oom(const PaperModelProfile& model, const DeviceProfile& device,
+               double batch);
+
+}  // namespace selsync

@@ -1,0 +1,47 @@
+#include "nn/sequential.hpp"
+
+namespace selsync {
+
+Sequential& Sequential::add(ModulePtr layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+void Sequential::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+Tensor Residual::forward(const Tensor& input) {
+  Tensor out = inner_->forward(input);
+  out.add_(input);
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = inner_->backward(grad_out);
+  g.add_(grad_out);
+  return g;
+}
+
+void Residual::collect_params(std::vector<Param*>& out) {
+  inner_->collect_params(out);
+}
+
+}  // namespace selsync

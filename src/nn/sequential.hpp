@@ -1,0 +1,47 @@
+// Composition modules: Sequential chains and Residual (skip-connection)
+// blocks, the structural difference the paper leans on when contrasting
+// ResNet-style vs plain architectures (§IV-C).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace selsync {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> layers)
+      : layers_(std::move(layers)) {}
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(ModulePtr layer);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override;
+  std::string name() const override { return "sequential"; }
+
+  size_t layer_count() const { return layers_.size(); }
+  Module& layer(size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+/// y = x + inner(x). Input and output shapes of `inner` must match.
+class Residual : public Module {
+ public:
+  explicit Residual(ModulePtr inner) : inner_(std::move(inner)) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void set_training(bool training) override { inner_->set_training(training); }
+  std::string name() const override { return "residual"; }
+
+ private:
+  ModulePtr inner_;
+};
+
+}  // namespace selsync

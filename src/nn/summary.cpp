@@ -1,0 +1,45 @@
+#include "nn/summary.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace selsync {
+
+std::vector<ParamSummary> summarize_params(Model& model) {
+  std::vector<ParamSummary> rows;
+  for (const Param* p : model.params()) {
+    ParamSummary row;
+    row.name = p->name;
+    row.shape = p->value.shape_str();
+    row.count = p->value.size();
+    row.value_rms =
+        row.count ? std::sqrt(p->value.sq_norm() / row.count) : 0.0;
+    row.grad_rms = row.count ? std::sqrt(p->grad.sq_norm() / row.count) : 0.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string describe_model(Model& model) {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %-14s %10s %12s %12s\n", "param",
+                "shape", "count", "value RMS", "grad RMS");
+  out << line;
+  size_t total = 0;
+  for (const ParamSummary& row : summarize_params(model)) {
+    std::snprintf(line, sizeof(line), "%-32s %-14s %10zu %12.4g %12.4g\n",
+                  row.name.c_str(), row.shape.c_str(), row.count,
+                  row.value_rms, row.grad_rms);
+    out << line;
+    total += row.count;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %zu parameters (%.2f KB per exchange)\n", total,
+                static_cast<double>(total) * sizeof(float) / 1024.0);
+  out << line;
+  return out.str();
+}
+
+}  // namespace selsync

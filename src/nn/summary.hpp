@@ -1,0 +1,25 @@
+// Model introspection helpers: per-parameter summary table and parameter
+// statistics, for debugging and for the CLI's --describe mode.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace selsync {
+
+struct ParamSummary {
+  std::string name;
+  std::string shape;
+  size_t count = 0;
+  double value_rms = 0.0;
+  double grad_rms = 0.0;
+};
+
+/// One row per parameter tensor, in the canonical packing order.
+std::vector<ParamSummary> summarize_params(Model& model);
+
+/// Human-readable table: name, shape, #params, RMS values, total footprint.
+std::string describe_model(Model& model);
+
+}  // namespace selsync

@@ -1,0 +1,83 @@
+#include "nn/transformer_lm.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/norm.hpp"
+
+namespace selsync {
+
+TransformerLM::TransformerLM(const TransformerConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      embedding_(config.vocab, config.model_dim, rng_) {
+  encoder_ = std::make_unique<Sequential>();
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    const std::string base = "layer" + std::to_string(l);
+    auto attn_block = std::make_unique<Sequential>();
+    attn_block->add(std::make_unique<LayerNorm>(config_.model_dim, base + ".norm1"));
+    attn_block->add(std::make_unique<MultiHeadSelfAttention>(
+        config_.model_dim, config_.num_heads, config_.seq_len, rng_,
+        /*causal=*/true, base + ".attn"));
+    attn_block->add(std::make_unique<Dropout>(config_.dropout, rng_));
+    encoder_->add(std::make_unique<Residual>(std::move(attn_block)));
+
+    auto ff_block = std::make_unique<Sequential>();
+    ff_block->add(std::make_unique<LayerNorm>(config_.model_dim, base + ".norm2"));
+    ff_block->add(std::make_unique<Linear>(config_.model_dim, config_.ff_dim,
+                                           rng_, true, base + ".ff1"));
+    ff_block->add(std::make_unique<GELU>());
+    ff_block->add(std::make_unique<Linear>(config_.ff_dim, config_.model_dim,
+                                           rng_, true, base + ".ff2"));
+    ff_block->add(std::make_unique<Dropout>(config_.dropout, rng_));
+    encoder_->add(std::make_unique<Residual>(std::move(ff_block)));
+  }
+  decoder_ = std::make_unique<Linear>(config_.model_dim, config_.vocab, rng_,
+                                      true, "decoder");
+}
+
+Tensor TransformerLM::forward_logits(const std::vector<int>& tokens) {
+  Tensor x = embedding_.forward(tokens);
+  add_positional_encoding(x, config_.seq_len);
+  x = encoder_->forward(x);
+  return decoder_->forward(x);
+}
+
+float TransformerLM::train_step(const Batch& batch) {
+  zero_grad();
+  const Tensor logits = forward_logits(batch.tokens);
+  LossResult loss = softmax_cross_entropy(logits, batch.targets);
+  Tensor g = decoder_->backward(loss.grad_logits);
+  g = encoder_->backward(g);
+  embedding_.backward(g);
+  return loss.loss;
+}
+
+EvalStats TransformerLM::eval_batch(const Batch& batch) {
+  set_training(false);
+  const Tensor logits = forward_logits(batch.tokens);
+  set_training(true);
+  const LossResult loss = softmax_cross_entropy(logits, batch.targets);
+  EvalStats stats;
+  stats.loss_sum = loss.loss;
+  stats.batches = 1;
+  stats.examples = batch.targets.size();
+  stats.top1 = count_top1(logits, batch.targets);
+  stats.top5 = count_topk(logits, batch.targets, 5);
+  return stats;
+}
+
+void TransformerLM::set_training(bool training) {
+  encoder_->set_training(training);
+  decoder_->set_training(training);
+}
+
+void TransformerLM::collect_model_params(std::vector<Param*>& out) {
+  embedding_.collect_params(out);
+  encoder_->collect_params(out);
+  decoder_->collect_params(out);
+}
+
+}  // namespace selsync

@@ -1,0 +1,47 @@
+// Causal Transformer-encoder language model (the paper's WikiText-103
+// workload, scaled down: same 2-layer/2-head shape class, smaller dims).
+#pragma once
+
+#include "nn/embedding.hpp"
+#include "nn/model.hpp"
+#include "nn/sequential.hpp"
+
+namespace selsync {
+
+struct TransformerConfig {
+  size_t vocab = 64;
+  size_t model_dim = 32;
+  size_t ff_dim = 64;
+  size_t num_heads = 2;
+  size_t num_layers = 2;
+  size_t seq_len = 16;  // the paper's bptt window
+  float dropout = 0.2f;
+};
+
+class TransformerLM : public Model {
+ public:
+  TransformerLM(const TransformerConfig& config, uint64_t seed);
+
+  /// batch.tokens: inputs (B*T); batch.targets: next-token ids (B*T).
+  float train_step(const Batch& batch) override;
+  EvalStats eval_batch(const Batch& batch) override;
+  void set_training(bool training) override;
+  bool is_language_model() const override { return true; }
+
+  const TransformerConfig& config() const { return config_; }
+
+ protected:
+  void collect_model_params(std::vector<Param*>& out) override;
+
+ private:
+  Tensor forward_logits(const std::vector<int>& tokens);
+  float backward_from_loss(const Tensor& grad_logits);
+
+  TransformerConfig config_;
+  Rng rng_;
+  Embedding embedding_;
+  std::unique_ptr<Sequential> encoder_;  // pre-norm residual blocks
+  std::unique_ptr<Module> decoder_;      // D -> vocab
+};
+
+}  // namespace selsync

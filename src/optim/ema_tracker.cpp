@@ -1,0 +1,40 @@
+#include "optim/ema_tracker.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace selsync {
+
+EmaTracker::EmaTracker(double decay) : decay_(decay) {
+  if (decay < 0.0 || decay >= 1.0)
+    throw std::invalid_argument("EmaTracker: decay in [0, 1)");
+}
+
+void EmaTracker::update(Model& model) {
+  const std::vector<float> current = model.get_flat_params();
+  if (average_.empty()) {
+    average_ = current;
+    return;
+  }
+  if (average_.size() != current.size())
+    throw std::invalid_argument("EmaTracker: model changed size");
+  const float d = static_cast<float>(decay_);
+  for (size_t i = 0; i < average_.size(); ++i)
+    average_[i] = d * average_[i] + (1.f - d) * current[i];
+}
+
+const std::vector<float>& EmaTracker::average() const {
+  if (average_.empty())
+    throw std::logic_error("EmaTracker: no updates recorded");
+  return average_;
+}
+
+void EmaTracker::swap_into(Model& model) {
+  if (average_.empty())
+    throw std::logic_error("EmaTracker: no updates recorded");
+  std::vector<float> current = model.get_flat_params();
+  model.set_flat_params(average_);
+  average_ = std::move(current);
+}
+
+}  // namespace selsync

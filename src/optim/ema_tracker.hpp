@@ -1,0 +1,53 @@
+// Polyak/exponential moving averaging of model parameters.
+//
+// Semi-synchronous methods trade per-step noise for communication savings;
+// evaluating an EMA of the weights recovers much of the lost smoothness for
+// free. The tracker lives outside the exchanged payload (like optimizer
+// state), so it composes with every strategy.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace selsync {
+
+class EmaTracker {
+ public:
+  /// `decay` in [0, 1): the averaged weights move (1 - decay) of the way to
+  /// the current weights on each update. 0.99-0.999 is typical.
+  explicit EmaTracker(double decay);
+
+  /// Folds the model's current parameters into the average (the first call
+  /// initializes the average to them).
+  void update(Model& model);
+
+  bool initialized() const { return !average_.empty(); }
+  const std::vector<float>& average() const;
+
+  /// Swaps the model's parameters with the tracked average (call again to
+  /// restore — the RAII helper below automates this).
+  void swap_into(Model& model);
+
+ private:
+  double decay_;
+  std::vector<float> average_;
+};
+
+/// Scope guard: evaluates with the EMA weights, restores on destruction.
+class EmaEvalScope {
+ public:
+  EmaEvalScope(EmaTracker& tracker, Model& model)
+      : tracker_(tracker), model_(model) {
+    tracker_.swap_into(model_);
+  }
+  ~EmaEvalScope() { tracker_.swap_into(model_); }
+  EmaEvalScope(const EmaEvalScope&) = delete;
+  EmaEvalScope& operator=(const EmaEvalScope&) = delete;
+
+ private:
+  EmaTracker& tracker_;
+  Model& model_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,113 @@
+// Learning-rate schedules used in the paper's training recipes (§IV-A):
+// step decay at fixed epochs (ResNet101, VGG11), a constant rate (AlexNet),
+// and per-iteration exponential decay (Transformer: x0.8 every 2000 steps).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace selsync {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for the given global step/epoch position.
+  virtual double lr_at(size_t iteration, double epoch) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double lr_at(size_t, double) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Multiplies the base rate by `factor` once each listed epoch is passed.
+class EpochStepDecay : public LrSchedule {
+ public:
+  EpochStepDecay(double base_lr, std::vector<double> decay_epochs,
+                 double factor)
+      : base_lr_(base_lr),
+        decay_epochs_(std::move(decay_epochs)),
+        factor_(factor) {}
+
+  double lr_at(size_t, double epoch) const override {
+    double lr = base_lr_;
+    for (double e : decay_epochs_)
+      if (epoch >= e) lr *= factor_;
+    return lr;
+  }
+
+ private:
+  double base_lr_;
+  std::vector<double> decay_epochs_;
+  double factor_;
+};
+
+/// Multiplies the base rate by `factor` every `interval` iterations.
+class IterationExpDecay : public LrSchedule {
+ public:
+  IterationExpDecay(double base_lr, size_t interval, double factor)
+      : base_lr_(base_lr), interval_(interval), factor_(factor) {}
+
+  double lr_at(size_t iteration, double) const override {
+    double lr = base_lr_;
+    for (size_t k = interval_; k <= iteration; k += interval_) lr *= factor_;
+    return lr;
+  }
+
+ private:
+  double base_lr_;
+  size_t interval_;
+  double factor_;
+};
+
+/// Cosine annealing from `base_lr` down to `min_lr` over `total_steps`
+/// iterations (constant at min_lr afterwards).
+class CosineAnnealing : public LrSchedule {
+ public:
+  CosineAnnealing(double base_lr, size_t total_steps, double min_lr = 0.0)
+      : base_lr_(base_lr), total_steps_(total_steps), min_lr_(min_lr) {}
+
+  double lr_at(size_t iteration, double) const override {
+    if (total_steps_ == 0 || iteration >= total_steps_) return min_lr_;
+    const double progress =
+        static_cast<double>(iteration) / static_cast<double>(total_steps_);
+    return min_lr_ + 0.5 * (base_lr_ - min_lr_) *
+                         (1.0 + std::cos(progress * 3.14159265358979323846));
+  }
+
+ private:
+  double base_lr_;
+  size_t total_steps_;
+  double min_lr_;
+};
+
+/// Linear warmup wrapped around any base schedule: the rate ramps from
+/// base/warmup_steps to the base schedule's value over the first
+/// `warmup_steps` iterations (standard practice for large global batches,
+/// the regime N-worker BSP puts a model in).
+class LinearWarmup : public LrSchedule {
+ public:
+  LinearWarmup(std::shared_ptr<const LrSchedule> base, size_t warmup_steps)
+      : base_(std::move(base)), warmup_steps_(warmup_steps) {}
+
+  double lr_at(size_t iteration, double epoch) const override {
+    const double base_lr = base_->lr_at(iteration, epoch);
+    if (warmup_steps_ == 0 || iteration >= warmup_steps_) return base_lr;
+    return base_lr * static_cast<double>(iteration + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+
+ private:
+  std::shared_ptr<const LrSchedule> base_;
+  size_t warmup_steps_;
+};
+
+using LrSchedulePtr = std::shared_ptr<const LrSchedule>;
+
+}  // namespace selsync

@@ -1,0 +1,149 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace selsync {
+
+namespace {
+
+void write_u64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("optimizer state: truncated stream");
+  return v;
+}
+
+void write_floats(std::ostream& out, const std::vector<float>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& in) {
+  std::vector<float> v(read_u64(in));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("optimizer state: truncated stream");
+  return v;
+}
+
+void write_nested(std::ostream& out,
+                  const std::vector<std::vector<float>>& vv) {
+  write_u64(out, vv.size());
+  for (const auto& v : vv) write_floats(out, v);
+}
+
+std::vector<std::vector<float>> read_nested(std::istream& in) {
+  std::vector<std::vector<float>> vv(read_u64(in));
+  for (auto& v : vv) v = read_floats(in);
+  return vv;
+}
+
+}  // namespace
+
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
+  if (max_norm <= 0) throw std::invalid_argument("clip_grad_norm: max <= 0");
+  double sq = 0.0;
+  for (const Param* p : params) sq += p->grad.sq_norm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Param* p : params) p->grad.scale_(scale);
+  }
+  return norm;
+}
+
+void Optimizer::save_state(std::ostream& out) const { (void)out; }
+void Optimizer::load_state(std::istream& in) { (void)in; }
+
+void Optimizer::step(const std::vector<Param*>& params, size_t iteration,
+                     double epoch) {
+  apply(params, schedule_->lr_at(iteration, epoch));
+}
+
+Sgd::Sgd(LrSchedulePtr schedule, SgdOptions options)
+    : Optimizer(std::move(schedule)), options_(options) {}
+
+void Sgd::apply(const std::vector<Param*>& params, double lr) {
+  if (velocity_.size() != params.size()) {
+    velocity_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i)
+      velocity_[i].assign(params[i]->value.size(), 0.f);
+  }
+  const float flr = static_cast<float>(lr);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    auto& vel = velocity_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    for (size_t j = 0; j < p.value.size(); ++j) {
+      float grad = g[j] + wd * w[j];
+      if (mu != 0.f) {
+        vel[j] = mu * vel[j] + grad;
+        grad = options_.nesterov ? grad + mu * vel[j] : vel[j];
+      }
+      w[j] -= flr * grad;
+    }
+  }
+}
+
+void Sgd::save_state(std::ostream& out) const { write_nested(out, velocity_); }
+void Sgd::load_state(std::istream& in) { velocity_ = read_nested(in); }
+
+Adam::Adam(LrSchedulePtr schedule, AdamOptions options)
+    : Optimizer(std::move(schedule)), options_(options) {}
+
+void Adam::save_state(std::ostream& out) const {
+  write_u64(out, t_);
+  write_nested(out, m_);
+  write_nested(out, v_);
+}
+
+void Adam::load_state(std::istream& in) {
+  t_ = read_u64(in);
+  m_ = read_nested(in);
+  v_ = read_nested(in);
+}
+
+void Adam::apply(const std::vector<Param*>& params, double lr) {
+  if (m_.size() != params.size()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i]->value.size(), 0.f);
+      v_[i].assign(params[i]->value.size(), 0.f);
+    }
+  }
+  ++t_;
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double step_size = lr / bias1;
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    for (size_t j = 0; j < p.value.size(); ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = static_cast<float>(b1 * m[j] + (1.0 - b1) * grad);
+      v[j] = static_cast<float>(b2 * v[j] + (1.0 - b2) * grad * grad);
+      const double vhat = v[j] / bias2;
+      w[j] -= static_cast<float>(step_size * m[j] /
+                                 (std::sqrt(vhat) + options_.eps));
+    }
+  }
+}
+
+}  // namespace selsync

@@ -1,0 +1,90 @@
+// Optimizers. Each worker replica owns one optimizer instance; its state
+// (momentum / Adam moments) is local and is *not* synchronized, matching the
+// paper's implementation where only gradients or parameters are exchanged.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace selsync {
+
+/// Scales all gradients so the global L2 norm does not exceed `max_norm`
+/// (the paper §II-E lists gradient clipping among the hyperparameters that
+/// shape gradient sensitivity). Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm);
+
+class Optimizer {
+ public:
+  explicit Optimizer(LrSchedulePtr schedule) : schedule_(std::move(schedule)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in `params`.
+  /// `iteration`/`epoch` feed the learning-rate schedule.
+  void step(const std::vector<Param*>& params, size_t iteration, double epoch);
+
+  double current_lr(size_t iteration, double epoch) const {
+    return schedule_->lr_at(iteration, epoch);
+  }
+
+  /// Serializes the optimizer's mutable state (momenta etc.) for
+  /// checkpointing; the schedule and hyperparameters are reconstructed by
+  /// the factory, not stored. Base implementation stores nothing.
+  virtual void save_state(std::ostream& out) const;
+  virtual void load_state(std::istream& in);
+
+ protected:
+  virtual void apply(const std::vector<Param*>& params, double lr) = 0;
+
+ private:
+  LrSchedulePtr schedule_;
+};
+
+struct SgdOptions {
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  bool nesterov = false;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(LrSchedulePtr schedule, SgdOptions options = {});
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+ protected:
+  void apply(const std::vector<Param*>& params, double lr) override;
+
+ private:
+  SgdOptions options_;
+  std::vector<std::vector<float>> velocity_;  // lazily sized per param
+};
+
+struct AdamOptions {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(LrSchedulePtr schedule, AdamOptions options = {});
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+ protected:
+  void apply(const std::vector<Param*>& params, double lr) override;
+
+ private:
+  AdamOptions options_;
+  size_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,36 @@
+#include "stats/ewma.hpp"
+
+namespace selsync {
+
+Ewma::Ewma(double alpha, size_t window) : alpha_(alpha), window_(window) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("Ewma: alpha in (0, 1]");
+  if (window == 0) throw std::invalid_argument("Ewma: window must be > 0");
+}
+
+double Ewma::windowed_variance() const {
+  if (history_.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : history_) mean += v;
+  mean /= static_cast<double>(history_.size());
+  double var = 0.0;
+  for (double v : history_) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(history_.size());
+}
+
+double Ewma::update(double observation) {
+  if (!initialized_) {
+    value_ = observation;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * observation + (1.0 - alpha_) * value_;
+  }
+  history_.push_back(observation);
+  if (history_.size() > window_) history_.pop_front();
+  return value_;
+}
+
+}  // namespace selsync

@@ -1,0 +1,41 @@
+// Exponentially weighted moving average (paper [43]) used to smooth the
+// noisy per-iteration squared gradient norms before computing Δ(g_i).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace selsync {
+
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation. The paper uses
+  /// alpha = N/100 (0.16 on a 16-node cluster) and, in addition, keeps a
+  /// bounded window of recent observations (window-size 25) whose cost is
+  /// what Fig. 8a measures — `window` only bounds the retained history, the
+  /// smoothed value itself is the classic recursive EWMA.
+  explicit Ewma(double alpha, size_t window = 25);
+
+  /// Feeds an observation, returns the updated smoothed value.
+  double update(double observation);
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  size_t observations_retained() const { return history_.size(); }
+  const std::deque<double>& history() const { return history_; }
+
+  /// Variance of the retained window (the per-iteration statistic the
+  /// paper's RelativeGradChange maintains; O(window) — this is exactly the
+  /// cost Fig. 8a measures growing with the window size).
+  double windowed_variance() const;
+
+ private:
+  double alpha_;
+  size_t window_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  std::deque<double> history_;
+};
+
+}  // namespace selsync

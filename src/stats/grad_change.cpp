@@ -1,0 +1,31 @@
+#include "stats/grad_change.hpp"
+
+#include <cmath>
+
+namespace selsync {
+
+RelativeGradChange::RelativeGradChange(double alpha, size_t window)
+    : ewma_(alpha, window) {}
+
+double RelativeGradChange::update(double sq_grad_norm) {
+  ++iterations_;
+  const bool had_prev = ewma_.initialized();
+  const double prev = ewma_.value();
+  const double smoothed = ewma_.update(sq_grad_norm);
+  if (!had_prev || prev == 0.0) {
+    prev_smoothed_ = smoothed;
+    last_delta_ = 0.0;
+    return 0.0;
+  }
+  last_delta_ = std::fabs((smoothed - prev) / prev);
+  prev_smoothed_ = smoothed;
+  return last_delta_;
+}
+
+double RelativeGradChange::update_from_grad(std::span<const float> grad) {
+  double sq = 0.0;
+  for (float g : grad) sq += static_cast<double>(g) * g;
+  return update(sq);
+}
+
+}  // namespace selsync

@@ -1,0 +1,42 @@
+// Relative gradient change Δ(g_i), the paper's core signal (Eqn. 2):
+//
+//   Δ(g_i) = | (E[||∇F_i||²] − E[||∇F_{i−1}||²]) / E[||∇F_{i−1}||²] |
+//
+// where E[·] is the EWMA-smoothed squared L2 norm of the mini-batch
+// gradient. SelSync synchronizes whenever any worker's Δ(g_i) ≥ δ.
+#pragma once
+
+#include <span>
+
+#include "stats/ewma.hpp"
+
+namespace selsync {
+
+class RelativeGradChange {
+ public:
+  /// `alpha`/`window` parameterize the EWMA (paper: window 25, alpha N/100).
+  explicit RelativeGradChange(double alpha = 0.16, size_t window = 25);
+
+  /// Feeds this iteration's squared gradient norm; returns Δ(g_i).
+  /// The first observation returns 0 (no previous smoothed value).
+  double update(double sq_grad_norm);
+
+  /// Convenience: computes ||g||² from a flat gradient and updates.
+  double update_from_grad(std::span<const float> grad);
+
+  double last_delta() const { return last_delta_; }
+  double smoothed_sq_norm() const { return ewma_.value(); }
+  size_t iterations() const { return iterations_; }
+
+  /// Variance of the retained norm window; part of the per-iteration
+  /// statistic whose cost Fig. 8a measures.
+  double windowed_variance() const { return ewma_.windowed_variance(); }
+
+ private:
+  Ewma ewma_;
+  double prev_smoothed_ = 0.0;
+  double last_delta_ = 0.0;
+  size_t iterations_ = 0;
+};
+
+}  // namespace selsync

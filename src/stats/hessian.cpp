@@ -1,0 +1,94 @@
+#include "stats/hessian.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+
+HessianProbeResult hessian_top_eigenvalue(Model& model, const Batch& batch,
+                                          const HessianProbeOptions& options) {
+  const std::vector<float> w0 = model.get_flat_params();
+  const size_t n = w0.size();
+
+  model.train_step(batch);
+  const std::vector<float> g0 = model.get_flat_grads();
+
+  HessianProbeResult res;
+  for (float g : g0) res.grad_sq_norm += static_cast<double>(g) * g;
+
+  Rng rng(options.seed);
+  std::vector<float> v(n);
+  double norm = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng.normal());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x = static_cast<float>(x / norm);
+
+  std::vector<float> w_pert(n), hv(n);
+  double eigen = 0.0;
+  for (size_t it = 0; it < options.power_iterations; ++it) {
+    for (size_t i = 0; i < n; ++i)
+      w_pert[i] = w0[i] + static_cast<float>(options.epsilon) * v[i];
+    model.set_flat_params(w_pert);
+    model.train_step(batch);
+    const std::vector<float> g1 = model.get_flat_grads();
+
+    double rayleigh = 0.0, hv_norm = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      hv[i] = static_cast<float>((g1[i] - g0[i]) / options.epsilon);
+      rayleigh += static_cast<double>(v[i]) * hv[i];
+      hv_norm += static_cast<double>(hv[i]) * hv[i];
+    }
+    eigen = rayleigh;
+    res.iterations_used = it + 1;
+    hv_norm = std::sqrt(hv_norm);
+    if (hv_norm < 1e-12) break;  // flat direction; eigenvalue ~ 0
+    for (size_t i = 0; i < n; ++i)
+      v[i] = static_cast<float>(hv[i] / hv_norm);
+  }
+
+  model.set_flat_params(w0);
+  res.top_eigenvalue = eigen;
+  return res;
+}
+
+HutchinsonResult hessian_trace_hutchinson(Model& model, const Batch& batch,
+                                          const HutchinsonOptions& options) {
+  const std::vector<float> w0 = model.get_flat_params();
+  const size_t n = w0.size();
+
+  model.train_step(batch);
+  const std::vector<float> g0 = model.get_flat_grads();
+
+  Rng rng(options.seed);
+  std::vector<float> z(n), w_pert(n);
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t p = 0; p < options.probes; ++p) {
+    for (auto& v : z) v = rng.bernoulli(0.5) ? 1.f : -1.f;
+    for (size_t i = 0; i < n; ++i)
+      w_pert[i] = w0[i] + static_cast<float>(options.epsilon) * z[i];
+    model.set_flat_params(w_pert);
+    model.train_step(batch);
+    const std::vector<float> g1 = model.get_flat_grads();
+    // z^T H z ~ z . (g1 - g0) / eps.
+    double quad = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      quad += static_cast<double>(z[i]) * (g1[i] - g0[i]) / options.epsilon;
+    sum += quad;
+    sum_sq += quad * quad;
+  }
+  model.set_flat_params(w0);
+
+  HutchinsonResult res;
+  res.probes_used = options.probes;
+  res.trace_estimate = sum / options.probes;
+  const double var =
+      sum_sq / options.probes - res.trace_estimate * res.trace_estimate;
+  res.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return res;
+}
+
+}  // namespace selsync

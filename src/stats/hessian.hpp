@@ -1,0 +1,53 @@
+// Largest Hessian eigenvalue via power iteration on finite-difference
+// Hessian-vector products (Fig. 4: the expensive second-order signal that
+// first-order gradient variance approximates).
+//
+//   H v ≈ (∇F(w + εv) − ∇F(w)) / ε
+//
+// Each power-iteration step costs one extra forward+backward pass, which is
+// exactly why the paper tracks Δ(g_i) instead during real training.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.hpp"
+
+namespace selsync {
+
+struct HessianProbeOptions {
+  size_t power_iterations = 8;
+  double epsilon = 1e-3;
+  uint64_t seed = 42;
+};
+
+struct HessianProbeResult {
+  double top_eigenvalue = 0.0;
+  size_t iterations_used = 0;
+  double grad_sq_norm = 0.0;  // ||∇F(w)||² at the probe point, for free
+};
+
+/// Estimates the top Hessian eigenvalue of `model`'s loss on `batch`.
+/// Parameters are restored to their original values before returning.
+HessianProbeResult hessian_top_eigenvalue(Model& model, const Batch& batch,
+                                          const HessianProbeOptions& options = {});
+
+struct HutchinsonOptions {
+  size_t probes = 8;       // Rademacher probe vectors
+  double epsilon = 1e-3;   // finite-difference step
+  uint64_t seed = 43;
+};
+
+struct HutchinsonResult {
+  double trace_estimate = 0.0;
+  double stddev = 0.0;  // across probes; the estimator's own noise
+  size_t probes_used = 0;
+};
+
+/// Hutchinson estimator for the Hessian trace: tr(H) = E_z[z^T H z] with
+/// Rademacher z, each H z by finite differences (two grad evaluations per
+/// probe). Complements the top-eigenvalue probe of Fig. 4: the trace tracks
+/// overall curvature mass, not just the sharpest direction.
+HutchinsonResult hessian_trace_hutchinson(Model& model, const Batch& batch,
+                                          const HutchinsonOptions& options = {});
+
+}  // namespace selsync

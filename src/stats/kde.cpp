@@ -1,0 +1,90 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace selsync {
+
+double silverman_bandwidth(std::span<const float> samples) {
+  const size_t n = samples.size();
+  if (n < 2) return 1.0;
+  double mean = 0.0;
+  for (float v : samples) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (float v : samples) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+  const double sigma = std::sqrt(var);
+  const double h =
+      1.06 * sigma * std::pow(static_cast<double>(n), -0.2);
+  return h > 0.0 ? h : 1e-6;
+}
+
+KdeResult gaussian_kde(std::span<const float> samples, size_t grid_points,
+                       double bandwidth) {
+  if (samples.empty()) throw std::invalid_argument("gaussian_kde: no samples");
+  if (grid_points < 2) throw std::invalid_argument("gaussian_kde: small grid");
+
+  KdeResult res;
+  res.bandwidth = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(samples);
+  const auto [mn_it, mx_it] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *mn_it - 3.0 * res.bandwidth;
+  const double hi = *mx_it + 3.0 * res.bandwidth;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+
+  res.grid.resize(grid_points);
+  res.density.assign(grid_points, 0.0);
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * res.bandwidth *
+             std::sqrt(2.0 * std::numbers::pi));
+  const double inv_2h2 = 1.0 / (2.0 * res.bandwidth * res.bandwidth);
+  for (size_t g = 0; g < grid_points; ++g) {
+    const double x = lo + step * static_cast<double>(g);
+    res.grid[g] = x;
+    double acc = 0.0;
+    for (float s : samples) {
+      const double d = x - s;
+      acc += std::exp(-d * d * inv_2h2);
+    }
+    res.density[g] = acc * norm;
+  }
+  return res;
+}
+
+double kde_l1_distance(std::span<const float> a, std::span<const float> b,
+                       size_t grid_points) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("kde_l1_distance: empty samples");
+  // Build a common grid spanning both sample sets.
+  const double ha = silverman_bandwidth(a), hb = silverman_bandwidth(b);
+  const auto [amin, amax] = std::minmax_element(a.begin(), a.end());
+  const auto [bmin, bmax] = std::minmax_element(b.begin(), b.end());
+  const double lo = std::min<double>(*amin - 3 * ha, *bmin - 3 * hb);
+  const double hi = std::max<double>(*amax + 3 * ha, *bmax + 3 * hb);
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+
+  auto density_at = [&](std::span<const float> s, double h, double x) {
+    const double inv_2h2 = 1.0 / (2.0 * h * h);
+    double acc = 0.0;
+    for (float v : s) {
+      const double d = x - v;
+      acc += std::exp(-d * d * inv_2h2);
+    }
+    return acc / (static_cast<double>(s.size()) * h *
+                  std::sqrt(2.0 * std::numbers::pi));
+  };
+
+  double l1 = 0.0;
+  for (size_t g = 0; g < grid_points; ++g) {
+    const double x = lo + step * static_cast<double>(g);
+    l1 += std::fabs(density_at(a, ha, x) - density_at(b, hb, x)) * step;
+  }
+  return l1;
+}
+
+}  // namespace selsync

@@ -1,0 +1,31 @@
+// Gaussian kernel density estimation, used to reproduce the gradient
+// distribution plots (Fig. 3) and the weight distribution comparison of
+// BSP vs SelSync-PA vs SelSync-GA (Fig. 11).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace selsync {
+
+struct KdeResult {
+  std::vector<double> grid;     // evaluation points
+  std::vector<double> density;  // estimated density at each grid point
+  double bandwidth = 0.0;
+};
+
+/// Silverman's rule-of-thumb bandwidth: 1.06 * sigma * n^(-1/5).
+double silverman_bandwidth(std::span<const float> samples);
+
+/// Evaluates the Gaussian KDE of `samples` on `grid_points` evenly spaced
+/// points spanning [min - 3h, max + 3h]. `bandwidth` <= 0 selects Silverman.
+KdeResult gaussian_kde(std::span<const float> samples, size_t grid_points = 128,
+                       double bandwidth = 0.0);
+
+/// Total-variation style distance between two KDEs evaluated on a common
+/// grid: 0 = identical distributions, 2 = disjoint. Used by tests and the
+/// Fig. 11 bench to quantify "PA stays close to BSP, GA drifts".
+double kde_l1_distance(std::span<const float> a, std::span<const float> b,
+                       size_t grid_points = 256);
+
+}  // namespace selsync

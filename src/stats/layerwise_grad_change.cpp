@@ -1,0 +1,35 @@
+#include "stats/layerwise_grad_change.hpp"
+
+namespace selsync {
+
+LayerwiseGradChange::LayerwiseGradChange(Model& model, double alpha,
+                                         size_t window)
+    : model_(&model), global_(alpha, window) {
+  for (const Param* p : model.params()) {
+    trackers_.emplace_back(alpha, window);
+    names_.push_back(p->name);
+  }
+  last_deltas_.assign(trackers_.size(), 0.0);
+}
+
+const std::vector<double>& LayerwiseGradChange::update() {
+  double total_sq = 0.0;
+  const auto& params = model_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const double sq = params[i]->grad.sq_norm();
+    total_sq += sq;
+    last_deltas_[i] = trackers_[i].update(sq);
+  }
+  global_.update(total_sq);
+  return last_deltas_;
+}
+
+double LayerwiseGradChange::fraction_above(double delta) const {
+  if (last_deltas_.empty()) return 0.0;
+  size_t count = 0;
+  for (double d : last_deltas_)
+    if (d >= delta) ++count;
+  return static_cast<double>(count) / static_cast<double>(last_deltas_.size());
+}
+
+}  // namespace selsync

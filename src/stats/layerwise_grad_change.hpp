@@ -1,0 +1,48 @@
+// Per-layer relative gradient change (extension beyond the paper).
+//
+// The paper computes one Δ(g_i) over the whole flattened gradient; layers
+// saturate at very different times (Fig. 3 shows the KDE of a single layer),
+// so tracking Δ per parameter tensor exposes which layers still carry
+// significant updates — the information a future layer-selective SelSync
+// (communicating only the still-moving layers, GradientFlow-style) would
+// act on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "stats/grad_change.hpp"
+
+namespace selsync {
+
+class LayerwiseGradChange {
+ public:
+  /// Binds to `model`'s parameter list (one tracker per parameter tensor).
+  LayerwiseGradChange(Model& model, double alpha = 0.16, size_t window = 25);
+
+  /// Feeds the current per-layer gradients (after a train_step); returns
+  /// the per-layer Δ(g_i) values in parameter order.
+  const std::vector<double>& update();
+
+  size_t layers() const { return trackers_.size(); }
+  const std::string& layer_name(size_t i) const { return names_[i]; }
+  const std::vector<double>& last_deltas() const { return last_deltas_; }
+
+  /// Fraction of layers whose Δ exceeds `delta` at the last update — how
+  /// much of the model a layer-selective policy would still synchronize.
+  double fraction_above(double delta) const;
+
+  /// The whole-model Δ(g_i) computed over the same step, for comparison
+  /// against the paper's single-threshold rule.
+  double global_delta() const { return global_.last_delta(); }
+
+ private:
+  Model* model_;
+  std::vector<RelativeGradChange> trackers_;
+  std::vector<std::string> names_;
+  std::vector<double> last_deltas_;
+  RelativeGradChange global_;
+};
+
+}  // namespace selsync

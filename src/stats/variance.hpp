@@ -1,0 +1,35 @@
+// Numerically stable running statistics (Welford), used for the gradient
+// variance traces of Figs. 4/5.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace selsync {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void reset() { *this = RunningStats(); }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (0 with fewer than 2 observations).
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace selsync

@@ -1,0 +1,256 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace selsync::ops {
+
+namespace {
+void check_rank2(const Tensor& t, const char* who) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(who) + ": need rank-2 tensor");
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* Ai = A + i * k;
+    float* Ci = C + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float aip = Ai[p];
+      if (aip == 0.f) continue;
+      const float* Bp = B + p * n;
+      for (size_t j = 0; j < n; ++j) Ci[j] += aip * Bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k)
+    throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* Ai = A + i * k;
+    float* Ci = C + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* Bj = B + j * k;
+      float acc = 0.f;
+      for (size_t p = 0; p < k; ++p) acc += Ai[p] * Bj[p];
+      Ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k)
+    throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor c({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (size_t p = 0; p < k; ++p) {
+    const float* Ap = A + p * m;
+    const float* Bp = B + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float api = Ap[i];
+      if (api == 0.f) continue;
+      float* Ci = C + i * n;
+      for (size_t j = 0; j < n; ++j) Ci[j] += api * Bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (size_t i = 0; i < m; ++i)
+    for (size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+void add_row_bias(Tensor& a, const Tensor& bias) {
+  check_rank2(a, "add_row_bias");
+  const size_t m = a.dim(0), n = a.dim(1);
+  if (bias.size() != n)
+    throw std::invalid_argument("add_row_bias: bias length mismatch");
+  for (size_t i = 0; i < m; ++i) {
+    float* row = a.data() + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_rank2(a, "sum_rows");
+  const size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    for (size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "softmax_rows");
+  const size_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out({m, n});
+  for (size_t i = 0; i < m; ++i) {
+    const float* in = logits.data() + i * n;
+    float* o = out.data() + i * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (size_t j = 0; j < n; ++j) mx = std::max(mx, in[j]);
+    float denom = 0.f;
+    for (size_t j = 0; j < n; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = 1.f / denom;
+    for (size_t j = 0; j < n; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              size_t pad) {
+  const size_t N = input.dim(0), Cin = input.dim(1), H = input.dim(2),
+               W = input.dim(3);
+  const size_t Cout = weight.dim(0), Kh = weight.dim(2), Kw = weight.dim(3);
+  if (weight.dim(1) != Cin)
+    throw std::invalid_argument("conv2d: channel mismatch");
+  const size_t Ho = H + 2 * pad - Kh + 1, Wo = W + 2 * pad - Kw + 1;
+  Tensor out({N, Cout, Ho, Wo});
+  for (size_t n = 0; n < N; ++n)
+    for (size_t co = 0; co < Cout; ++co) {
+      float* o = out.data() + ((n * Cout + co) * Ho) * Wo;
+      const float b = bias.empty() ? 0.f : bias[co];
+      for (size_t y = 0; y < Ho * Wo; ++y) o[y] = b;
+      for (size_t ci = 0; ci < Cin; ++ci) {
+        const float* in = input.data() + ((n * Cin + ci) * H) * W;
+        const float* w = weight.data() + ((co * Cin + ci) * Kh) * Kw;
+        for (size_t ky = 0; ky < Kh; ++ky)
+          for (size_t kx = 0; kx < Kw; ++kx) {
+            const float wv = w[ky * Kw + kx];
+            if (wv == 0.f) continue;
+            for (size_t oy = 0; oy < Ho; ++oy) {
+              const long iy = static_cast<long>(oy + ky) - static_cast<long>(pad);
+              if (iy < 0 || iy >= static_cast<long>(H)) continue;
+              const float* in_row = in + iy * W;
+              float* o_row = o + oy * Wo;
+              for (size_t ox = 0; ox < Wo; ++ox) {
+                const long ix = static_cast<long>(ox + kx) - static_cast<long>(pad);
+                if (ix < 0 || ix >= static_cast<long>(W)) continue;
+                o_row[ox] += wv * in_row[ix];
+              }
+            }
+          }
+      }
+    }
+  return out;
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight, size_t pad,
+                     const Tensor& grad_out, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias) {
+  const size_t N = input.dim(0), Cin = input.dim(1), H = input.dim(2),
+               W = input.dim(3);
+  const size_t Cout = weight.dim(0), Kh = weight.dim(2), Kw = weight.dim(3);
+  const size_t Ho = grad_out.dim(2), Wo = grad_out.dim(3);
+
+  grad_input = Tensor(input.shape());
+  grad_weight = Tensor(weight.shape());
+  grad_bias = Tensor({Cout});
+
+  for (size_t n = 0; n < N; ++n)
+    for (size_t co = 0; co < Cout; ++co) {
+      const float* go = grad_out.data() + ((n * Cout + co) * Ho) * Wo;
+      for (size_t y = 0; y < Ho * Wo; ++y) grad_bias[co] += go[y];
+      for (size_t ci = 0; ci < Cin; ++ci) {
+        const float* in = input.data() + ((n * Cin + ci) * H) * W;
+        float* gi = grad_input.data() + ((n * Cin + ci) * H) * W;
+        const float* w = weight.data() + ((co * Cin + ci) * Kh) * Kw;
+        float* gw = grad_weight.data() + ((co * Cin + ci) * Kh) * Kw;
+        for (size_t ky = 0; ky < Kh; ++ky)
+          for (size_t kx = 0; kx < Kw; ++kx) {
+            const float wv = w[ky * Kw + kx];
+            float gw_acc = 0.f;
+            for (size_t oy = 0; oy < Ho; ++oy) {
+              const long iy = static_cast<long>(oy + ky) - static_cast<long>(pad);
+              if (iy < 0 || iy >= static_cast<long>(H)) continue;
+              const float* in_row = in + iy * W;
+              float* gi_row = gi + iy * W;
+              const float* go_row = go + oy * Wo;
+              for (size_t ox = 0; ox < Wo; ++ox) {
+                const long ix = static_cast<long>(ox + kx) - static_cast<long>(pad);
+                if (ix < 0 || ix >= static_cast<long>(W)) continue;
+                gw_acc += go_row[ox] * in_row[ix];
+                gi_row[ix] += go_row[ox] * wv;
+              }
+            }
+            gw[ky * Kw + kx] += gw_acc;
+          }
+      }
+    }
+}
+
+Tensor maxpool2x2(const Tensor& input, std::vector<uint32_t>& argmax) {
+  const size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+               W = input.dim(3);
+  const size_t Ho = H / 2, Wo = W / 2;
+  Tensor out({N, C, Ho, Wo});
+  argmax.assign(out.size(), 0);
+  size_t oi = 0;
+  for (size_t nc = 0; nc < N * C; ++nc) {
+    const float* in = input.data() + nc * H * W;
+    for (size_t oy = 0; oy < Ho; ++oy)
+      for (size_t ox = 0; ox < Wo; ++ox, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        uint32_t best_idx = 0;
+        for (size_t dy = 0; dy < 2; ++dy)
+          for (size_t dx = 0; dx < 2; ++dx) {
+            const size_t idx = (oy * 2 + dy) * W + (ox * 2 + dx);
+            if (in[idx] > best) {
+              best = in[idx];
+              best_idx = static_cast<uint32_t>(nc * H * W + idx);
+            }
+          }
+        out[oi] = best;
+        argmax[oi] = best_idx;
+      }
+  }
+  return out;
+}
+
+Tensor maxpool2x2_backward(const Tensor& grad_out,
+                           const std::vector<uint32_t>& argmax,
+                           const std::vector<size_t>& input_shape) {
+  Tensor grad_in(input_shape);
+  assert(argmax.size() == grad_out.size());
+  for (size_t i = 0; i < grad_out.size(); ++i)
+    grad_in[argmax[i]] += grad_out[i];
+  return grad_in;
+}
+
+}  // namespace selsync::ops

@@ -1,0 +1,49 @@
+// Dense compute kernels used by the NN layers.
+//
+// All kernels are single-threaded: in this repo, parallelism is expressed at
+// the *cluster* level (one thread per simulated worker, see src/comm), so
+// per-worker math stays serial exactly like one GPU stream in the paper's
+// setup.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace selsync::ops {
+
+/// C = A (m x k) * B (k x n). Blocked i-k-j loop order for cache locality.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A (m x k) * B^T where B is (n x k). Used by Linear backward.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A^T (k x m -> m x k view) * B (k x n). Used by weight gradients.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+Tensor transpose(const Tensor& a);
+
+/// Adds row vector `bias` (shape {n}) to every row of `a` (shape {m, n}).
+void add_row_bias(Tensor& a, const Tensor& bias);
+
+/// Sums rows of `a` (m x n) into a length-n vector; bias gradient.
+Tensor sum_rows(const Tensor& a);
+
+/// Row-wise softmax of logits (m x n).
+Tensor softmax_rows(const Tensor& logits);
+
+/// 2-D convolution, NCHW layout, stride 1, symmetric zero padding.
+/// input {N,Cin,H,W}, weight {Cout,Cin,Kh,Kw}, bias {Cout}.
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              size_t pad);
+
+/// Gradients of conv2d. `grad_out` has the forward output's shape.
+void conv2d_backward(const Tensor& input, const Tensor& weight, size_t pad,
+                     const Tensor& grad_out, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias);
+
+/// 2x2 max pooling with stride 2. Also records argmax indices for backward.
+Tensor maxpool2x2(const Tensor& input, std::vector<uint32_t>& argmax);
+Tensor maxpool2x2_backward(const Tensor& grad_out,
+                           const std::vector<uint32_t>& argmax,
+                           const std::vector<size_t>& input_shape);
+
+}  // namespace selsync::ops

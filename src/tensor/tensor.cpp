@@ -1,0 +1,155 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace selsync {
+
+size_t shape_numel(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.f) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+Tensor Tensor::full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<size_t> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::xavier(std::vector<size_t> shape, Rng& rng, size_t fan_in,
+                      size_t fan_out) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(-limit, limit));
+  return t;
+}
+
+Tensor Tensor::kaiming(std::vector<size_t> shape, Rng& rng, size_t fan_in) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return randn(std::move(shape), rng, 0.f, static_cast<float>(stddev));
+}
+
+float& Tensor::at(size_t r, size_t c) {
+  assert(rank() == 2);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(size_t r, size_t c) const {
+  assert(rank() == 2);
+  return data_[r * shape_[1] + c];
+}
+
+Tensor Tensor::reshaped(std::vector<size_t> new_shape) const {
+  if (shape_numel(new_shape) != size())
+    throw std::invalid_argument("reshaped: element count mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  assert(same_shape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  assert(same_shape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  assert(same_shape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float s, const Tensor& other) {
+  assert(same_shape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out.sub_(other);
+  return out;
+}
+
+Tensor Tensor::operator*(float s) const {
+  Tensor out = *this;
+  out.scale_(s);
+  return out;
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.f);
+}
+
+float Tensor::mean() const {
+  return data_.empty() ? 0.f : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  return data_.empty() ? 0.f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  return data_.empty() ? 0.f : *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::sq_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double Tensor::l2_norm() const { return std::sqrt(sq_norm()); }
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << 'x';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace selsync

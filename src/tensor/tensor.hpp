@@ -1,0 +1,97 @@
+// Dense float32 tensor with row-major contiguous storage.
+//
+// Deliberately small: the NN layers in src/nn own their backward passes, so
+// the tensor type only needs storage, shape bookkeeping and elementwise
+// helpers. Heavy kernels (matmul, conv) live in tensor/ops.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Tensor with explicit contents; `data.size()` must equal the shape
+  /// element count.
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<size_t> shape, float value);
+  /// i.i.d. N(mean, stddev) entries.
+  static Tensor randn(std::vector<size_t> shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// Xavier/Glorot uniform init for a weight of shape {fan_out, fan_in}.
+  static Tensor xavier(std::vector<size_t> shape, Rng& rng, size_t fan_in,
+                       size_t fan_out);
+  /// He/Kaiming normal init (preferred before ReLU).
+  static Tensor kaiming(std::vector<size_t> shape, Rng& rng, size_t fan_in);
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t i) const { return shape_.at(i); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// 2-D accessor; tensor must have rank 2.
+  float& at(size_t r, size_t c);
+  float at(size_t r, size_t c) const;
+
+  /// Reinterprets the buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<size_t> new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.f); }
+
+  /// In-place elementwise operations (shapes must match).
+  Tensor& add_(const Tensor& other);
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(const Tensor& other);
+  Tensor& scale_(float s);
+  /// this += s * other  (axpy).
+  Tensor& axpy_(float s, const Tensor& other);
+
+  /// Out-of-place counterparts.
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  Tensor operator*(float s) const;
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Squared L2 norm (sum of squares).
+  double sq_norm() const;
+  double l2_norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count implied by a shape.
+size_t shape_numel(const std::vector<size_t>& shape);
+
+}  // namespace selsync

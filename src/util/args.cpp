@@ -1,0 +1,95 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace selsync {
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_[name] = Spec{help, default_value, false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_switch(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, "", true};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    const std::string name = arg.substr(2);
+    const auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw std::invalid_argument("unknown flag: " + arg);
+    if (it->second.is_switch) {
+      switches_[name] = true;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("flag " + arg + " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0 || switches_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end())
+    throw std::invalid_argument("get of unregistered flag: " + name);
+  return spec->second.default_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  size_t consumed = 0;
+  const double d = std::stod(v, &consumed);
+  if (consumed != v.size())
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  return d;
+}
+
+int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  size_t consumed = 0;
+  const long long i = std::stoll(v, &consumed);
+  if (consumed != v.size())
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  return i;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return switches_.count(name) > 0 && switches_.at(name);
+}
+
+std::string ArgParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n\nflags:\n";
+  for (const std::string& name : order_) {
+    const Spec& spec = specs_.at(name);
+    out << "  --" << name;
+    if (!spec.is_switch) out << " <value>";
+    out << "\n      " << spec.help;
+    if (!spec.default_value.empty())
+      out << " (default: " << spec.default_value << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace selsync

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the CLI tools: --key value and
+// --flag forms, with typed accessors, defaults and an auto-generated help
+// listing.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace selsync {
+
+class ArgParser {
+ public:
+  /// Registers a flag with its help text (all flags must be registered
+  /// before parse() so that unknown arguments can be rejected and --help
+  /// output is complete).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was
+  /// requested. Throws std::invalid_argument on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;  // switch presence
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_switch = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> switches_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,112 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace selsync {
+
+namespace {
+constexpr const char* kMarkers = "*o+x#@%&";
+
+void min_max(const std::vector<AsciiSeries>& series, double& lo, double& hi) {
+  lo = std::numeric_limits<double>::infinity();
+  hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series)
+    for (double v : s.y)
+      if (std::isfinite(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+}
+}  // namespace
+
+std::string ascii_plot(const std::vector<AsciiSeries>& series, int width,
+                       int height) {
+  double lo, hi;
+  min_max(series, lo, hi);
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  size_t max_n = 0;
+  for (const auto& s : series) max_n = std::max(max_n, s.y.size());
+  if (max_n == 0) return "(empty plot)\n";
+
+  for (size_t si = 0; si < series.size(); ++si) {
+    const auto& y = series[si].y;
+    const char mark = kMarkers[si % 8];
+    for (size_t i = 0; i < y.size(); ++i) {
+      if (!std::isfinite(y[i])) continue;
+      const int col = max_n == 1
+                          ? 0
+                          : static_cast<int>(static_cast<double>(i) *
+                                             (width - 1) / (max_n - 1));
+      const int row =
+          height - 1 -
+          static_cast<int>(std::lround((y[i] - lo) / (hi - lo) * (height - 1)));
+      grid[std::clamp(row, 0, height - 1)][std::clamp(col, 0, width - 1)] =
+          mark;
+    }
+  }
+
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%11.4g |", hi);
+  out << buf << grid[0] << "\n";
+  for (int r = 1; r < height - 1; ++r) out << "            |" << grid[r] << "\n";
+  std::snprintf(buf, sizeof(buf), "%11.4g |", lo);
+  out << buf << grid[height - 1] << "\n";
+  out << "            +" << std::string(width, '-') << "\n";
+  out << "  legend:";
+  for (size_t si = 0; si < series.size(); ++si)
+    out << "  [" << kMarkers[si % 8] << "] " << series[si].name;
+  out << "\n";
+  return out.str();
+}
+
+std::string sparkline(const std::vector<double>& y, int width) {
+  static const char* kLevels = " .:-=+*#%@";
+  if (y.empty()) return "";
+  double lo = *std::min_element(y.begin(), y.end());
+  double hi = *std::max_element(y.begin(), y.end());
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  std::string out;
+  const int n = std::min<int>(width, static_cast<int>(y.size()));
+  for (int i = 0; i < n; ++i) {
+    const size_t src = static_cast<size_t>(
+        static_cast<double>(i) * (y.size() - 1) / std::max(1, n - 1));
+    const int level =
+        static_cast<int>(std::lround((y[src] - lo) / (hi - lo) * 9));
+    out += kLevels[std::clamp(level, 0, 9)];
+  }
+  return out;
+}
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                       int width) {
+  if (bars.empty()) return "";
+  size_t label_w = 0;
+  double hi = 0.0;
+  for (const auto& [label, v] : bars) {
+    label_w = std::max(label_w, label.size());
+    hi = std::max(hi, v);
+  }
+  if (hi <= 0.0) hi = 1.0;
+  std::ostringstream out;
+  for (const auto& [label, v] : bars) {
+    const int n = static_cast<int>(std::lround(v / hi * width));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %10.4g", v);
+    out << "  " << label << std::string(label_w - label.size(), ' ') << " |"
+        << std::string(std::clamp(n, 0, width), '#') << buf << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace selsync

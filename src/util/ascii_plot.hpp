@@ -1,0 +1,27 @@
+// Terminal plotting helpers so every figure-reproduction bench can render
+// its series inline (in addition to the CSV it writes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace selsync {
+
+struct AsciiSeries {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Renders one or more series as a fixed-size character plot. All series
+/// share the y-range; x is the sample index (assumed uniform spacing).
+std::string ascii_plot(const std::vector<AsciiSeries>& series, int width = 72,
+                       int height = 16);
+
+/// One-line sparkline for quick inspection of a single series.
+std::string sparkline(const std::vector<double>& y, int width = 60);
+
+/// Renders a horizontal bar chart: one labelled bar per (label, value) pair.
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                       int width = 50);
+
+}  // namespace selsync

@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace selsync {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), arity_(header.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch in " + path_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(format_double(v));
+  row(s);
+}
+
+std::string CsvWriter::format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace selsync

@@ -1,0 +1,33 @@
+// CSV writer used by the benchmark harness to dump figure/table series so
+// they can be re-plotted outside the repo.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace selsync {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must match the header arity.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload for numeric rows.
+  void row(std::initializer_list<double> cells);
+
+  const std::string& path() const { return path_; }
+
+  static std::string format_double(double v);
+
+ private:
+  std::string path_;
+  size_t arity_;
+  std::ofstream out_;
+};
+
+}  // namespace selsync

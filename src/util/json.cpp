@@ -1,0 +1,141 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace selsync {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.value_ = Object{};
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.value_ = Array{};
+  return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (!is_object()) throw std::logic_error("JsonValue::set on non-object");
+  std::get<Object>(value_)[key] = std::move(value);
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (!is_array()) throw std::logic_error("JsonValue::push on non-array");
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+bool JsonValue::is_object() const {
+  return std::holds_alternative<Object>(value_);
+}
+
+bool JsonValue::is_array() const {
+  return std::holds_alternative<Array>(value_);
+}
+
+std::string JsonValue::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (std::holds_alternative<bool>(value_)) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<double>(value_)) {
+    const double d = std::get<double>(value_);
+    if (!std::isfinite(d)) {
+      out += "null";  // JSON has no inf/nan
+    } else if (d == std::floor(d) && std::fabs(d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", d);
+      out += buf;
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.10g", d);
+      out += buf;
+    }
+  } else if (std::holds_alternative<std::string>(value_)) {
+    out += '"' + escape(std::get<std::string>(value_)) + '"';
+  } else if (is_object()) {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, val] : obj) {
+      if (!first) out += ',';
+      first = false;
+      out += nl + pad + '"' + escape(key) + "\":";
+      if (indent > 0) out += ' ';
+      val.dump_to(out, indent, depth + 1);
+    }
+    out += nl + close_pad + '}';
+  } else {
+    const auto& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& val : arr) {
+      if (!first) out += ',';
+      first = false;
+      out += nl + pad;
+      val.dump_to(out, indent, depth + 1);
+    }
+    out += nl + close_pad + ']';
+  }
+}
+
+}  // namespace selsync

@@ -1,0 +1,53 @@
+// Minimal JSON value builder and writer (output only, no parsing of
+// arbitrary documents). Used by the run recorder and the CLI to emit
+// machine-readable experiment results without external dependencies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace selsync {
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(unsigned long long u) : value_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+
+  /// Builds an empty object / array.
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Object access: inserts or overwrites a key. Throws if not an object.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Array access: appends an element. Throws if not an array.
+  JsonValue& push(JsonValue value);
+
+  bool is_object() const;
+  bool is_array() const;
+
+  /// Serializes with deterministic key order (std::map) and `indent`-space
+  /// pretty printing (0 = compact).
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string for embedding in JSON output.
+  static std::string escape(const std::string& s);
+
+ private:
+  using Object = std::map<std::string, JsonValue>;
+  using Array = std::vector<JsonValue>;
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array>
+      value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace selsync

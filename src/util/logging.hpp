@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe; each line is written atomically so
+// interleaved worker-thread output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace selsync {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr ("[LEVEL] message").
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SELSYNC_LOG(level)                               \
+  if (static_cast<int>(level) <                          \
+      static_cast<int>(::selsync::log_level())) {        \
+  } else                                                 \
+    ::selsync::detail::LogStream(level)
+
+#define LOG_DEBUG SELSYNC_LOG(::selsync::LogLevel::kDebug)
+#define LOG_INFO SELSYNC_LOG(::selsync::LogLevel::kInfo)
+#define LOG_WARN SELSYNC_LOG(::selsync::LogLevel::kWarn)
+#define LOG_ERROR SELSYNC_LOG(::selsync::LogLevel::kError)
+
+}  // namespace selsync

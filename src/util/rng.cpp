@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace selsync {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Rng Rng::fork(uint64_t stream_id) const {
+  // Mix the current state with the stream id through SplitMix64 so forked
+  // streams are decorrelated from the parent and from each other.
+  SplitMix64 sm(s_[0] ^ rotl(s_[2], 17) ^ (stream_id * 0x9E3779B97F4A7C15ULL +
+                                           0xD1B54A32D192ED03ULL));
+  Rng child(sm.next());
+  return child;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 must be > 0.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  assert(n > 0 && "next_below requires n > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::randint(int64_t lo, int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("randint: lo > hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<size_t> Rng::sample_without_replacement(size_t n, size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Partial Fisher-Yates on an index vector; O(n) setup, fine at our scales.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace selsync

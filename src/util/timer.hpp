@@ -1,0 +1,27 @@
+// Wall-clock timing for the real-overhead experiments (Fig. 8a/8b of the
+// paper). Simulated time lives in comm/cost_model.hpp, not here.
+#pragma once
+
+#include <chrono>
+
+namespace selsync {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace selsync

@@ -1,0 +1,75 @@
+#include "comm/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  AbortableBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.wait();
+}
+
+TEST(Barrier, AllPartiesMeet) {
+  constexpr size_t kParties = 4;
+  AbortableBarrier b(kParties);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kParties; ++i)
+    threads.emplace_back([&] {
+      ++before;
+      b.wait();
+      // After the barrier, every thread must observe all arrivals.
+      EXPECT_EQ(before.load(), static_cast<int>(kParties));
+      ++after;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(after.load(), static_cast<int>(kParties));
+}
+
+TEST(Barrier, CyclicReuseAcrossGenerations) {
+  constexpr size_t kParties = 3;
+  constexpr int kRounds = 50;
+  AbortableBarrier b(kParties);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kParties; ++i)
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        ++counter;
+        b.wait();
+        // Between two barriers the counter is a multiple of kParties.
+        EXPECT_EQ(counter.load() % kParties, 0);
+        b.wait();
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), static_cast<int>(kParties) * kRounds);
+}
+
+TEST(Barrier, AbortWakesWaiters) {
+  AbortableBarrier b(2);
+  std::thread waiter([&] { EXPECT_THROW(b.wait(), BarrierAborted); });
+  // Give the waiter time to block, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b.abort();
+  waiter.join();
+}
+
+TEST(Barrier, AbortedBarrierRejectsFutureWaits) {
+  AbortableBarrier b(2);
+  b.abort();
+  EXPECT_THROW(b.wait(), BarrierAborted);
+  EXPECT_TRUE(b.aborted());
+}
+
+TEST(Barrier, RejectsZeroParties) {
+  EXPECT_THROW(AbortableBarrier(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,88 @@
+#include "comm/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  EXPECT_EQ(ch.recv().value(), 1);
+  EXPECT_EQ(ch.recv().value(), 2);
+  EXPECT_EQ(ch.recv().value(), 3);
+}
+
+TEST(Channel, TryRecvNonBlocking) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(7);
+  EXPECT_EQ(ch.try_recv().value(), 7);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Channel<int> ch;
+  std::thread producer([&] { ch.send(42); });
+  EXPECT_EQ(ch.recv().value(), 42);
+  producer.join();
+}
+
+TEST(Channel, CloseUnblocksReceivers) {
+  Channel<int> ch;
+  std::thread consumer([&] { EXPECT_FALSE(ch.recv().has_value()); });
+  ch.close();
+  consumer.join();
+}
+
+TEST(Channel, CloseDrainsPendingFirst) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  EXPECT_EQ(ch.recv().value(), 1);
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(Channel, SendAfterCloseThrows) {
+  Channel<int> ch;
+  ch.close();
+  EXPECT_THROW(ch.send(1), std::runtime_error);
+}
+
+TEST(Channel, PendingCount) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.pending(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.pending(), 2u);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel<int> ch;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.send(p * kPerProducer + i);
+    });
+  long long sum = 0;
+  for (int i = 0; i < 4 * kPerProducer; ++i) sum += ch.recv().value();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum, (800LL * 799) / 2);
+}
+
+TEST(Channel, MovesLargePayloads) {
+  Channel<std::vector<float>> ch;
+  ch.send(std::vector<float>(1000, 1.f));
+  const auto msg = ch.recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->size(), 1000u);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,84 @@
+#include "comm/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace selsync {
+namespace {
+
+TEST(Cluster, RunsAllRanks) {
+  std::atomic<int> count{0};
+  std::mutex mutex;
+  std::set<size_t> ranks;
+  run_cluster(6, [&](WorkerContext& ctx) {
+    EXPECT_EQ(ctx.size, 6u);
+    ++count;
+    std::lock_guard<std::mutex> lock(mutex);
+    ranks.insert(ctx.rank);
+  });
+  EXPECT_EQ(count.load(), 6);
+  EXPECT_EQ(ranks.size(), 6u);
+}
+
+TEST(Cluster, RootIsRankZero) {
+  run_cluster(3, [](WorkerContext& ctx) {
+    EXPECT_EQ(ctx.is_root(), ctx.rank == 0);
+  });
+}
+
+TEST(Cluster, CollectivesWiredUp) {
+  run_cluster(4, [](WorkerContext& ctx) {
+    std::vector<float> v{1.f};
+    ctx.collectives->allreduce_sum(ctx.rank, v);
+    EXPECT_FLOAT_EQ(v[0], 4.f);
+  });
+}
+
+TEST(Cluster, WorkerExceptionPropagates) {
+  EXPECT_THROW(
+      run_cluster(4,
+                  [](WorkerContext& ctx) {
+                    if (ctx.rank == 2) throw std::runtime_error("boom");
+                    // Everyone else parks at a barrier that the abort must
+                    // release — this is the deadlock case a plain
+                    // std::barrier would hit.
+                    ctx.collectives->barrier();
+                    ctx.collectives->barrier();
+                  }),
+      std::runtime_error);
+}
+
+TEST(Cluster, FirstExceptionWins) {
+  try {
+    run_cluster(2, [](WorkerContext& ctx) {
+      if (ctx.rank == 0) throw std::runtime_error("first");
+      ctx.collectives->barrier();  // aborted; unwinds quietly
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(Cluster, SingleWorkerCluster) {
+  int runs = 0;
+  run_cluster(1, [&](WorkerContext& ctx) {
+    EXPECT_EQ(ctx.rank, 0u);
+    ctx.collectives->barrier();
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Cluster, ManySequentialClustersAreIndependent) {
+  for (int i = 0; i < 5; ++i) {
+    std::atomic<int> count{0};
+    run_cluster(3, [&](WorkerContext&) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace selsync

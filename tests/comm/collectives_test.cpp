@@ -1,0 +1,160 @@
+#include "comm/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+namespace {
+
+/// Runs `body(rank)` on `n` threads and joins.
+template <typename F>
+void spawn(size_t n, F body) {
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < n; ++r) threads.emplace_back([&, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+TEST(SharedCollectives, AllreduceSumIsExact) {
+  constexpr size_t kN = 4, kDim = 16;
+  SharedCollectives coll(kN);
+  std::vector<std::vector<float>> data(kN, std::vector<float>(kDim));
+  for (size_t r = 0; r < kN; ++r)
+    for (size_t i = 0; i < kDim; ++i)
+      data[r][i] = static_cast<float>(r + 1) * static_cast<float>(i);
+  spawn(kN, [&](size_t r) { coll.allreduce_sum(r, data[r]); });
+  // sum over ranks of (r+1)*i = 10*i for N=4.
+  for (size_t r = 0; r < kN; ++r)
+    for (size_t i = 0; i < kDim; ++i)
+      EXPECT_FLOAT_EQ(data[r][i], 10.f * i) << "rank " << r << " i " << i;
+}
+
+TEST(SharedCollectives, AllreduceMeanDividesByN) {
+  constexpr size_t kN = 5;
+  SharedCollectives coll(kN);
+  std::vector<std::vector<float>> data(kN, std::vector<float>(3));
+  for (size_t r = 0; r < kN; ++r) data[r].assign(3, static_cast<float>(r));
+  spawn(kN, [&](size_t r) { coll.allreduce_mean(r, data[r]); });
+  for (size_t r = 0; r < kN; ++r)
+    EXPECT_FLOAT_EQ(data[r][0], 2.f);  // mean of 0..4
+}
+
+TEST(SharedCollectives, SequentialCollectivesDoNotInterfere) {
+  constexpr size_t kN = 3;
+  SharedCollectives coll(kN);
+  std::vector<std::vector<float>> a(kN, {1.f}), b(kN, {10.f});
+  spawn(kN, [&](size_t r) {
+    coll.allreduce_sum(r, a[r]);
+    coll.allreduce_sum(r, b[r]);
+  });
+  for (size_t r = 0; r < kN; ++r) {
+    EXPECT_FLOAT_EQ(a[r][0], 3.f);
+    EXPECT_FLOAT_EQ(b[r][0], 30.f);
+  }
+}
+
+TEST(SharedCollectives, AllreduceMax) {
+  constexpr size_t kN = 6;
+  SharedCollectives coll(kN);
+  std::vector<double> out(kN);
+  spawn(kN, [&](size_t r) {
+    out[r] = coll.allreduce_max(r, static_cast<double>(r) * 1.5);
+  });
+  for (size_t r = 0; r < kN; ++r) EXPECT_DOUBLE_EQ(out[r], 7.5);
+}
+
+TEST(SharedCollectives, AllgatherByteMatchesAlg1Flags) {
+  // Alg. 1 line 12: index n of the gathered array holds worker n's bit.
+  constexpr size_t kN = 8;
+  SharedCollectives coll(kN);
+  std::vector<std::vector<uint8_t>> out(kN);
+  spawn(kN, [&](size_t r) {
+    out[r] = coll.allgather_byte(r, r % 3 == 0 ? 1 : 0);
+  });
+  for (size_t r = 0; r < kN; ++r) {
+    ASSERT_EQ(out[r].size(), kN);
+    for (size_t w = 0; w < kN; ++w)
+      EXPECT_EQ(out[r][w], w % 3 == 0 ? 1 : 0);
+  }
+}
+
+TEST(SharedCollectives, BroadcastFromEveryRoot) {
+  constexpr size_t kN = 4;
+  SharedCollectives coll(kN);
+  for (size_t root = 0; root < kN; ++root) {
+    std::vector<std::vector<float>> data(kN, std::vector<float>(2, -1.f));
+    data[root] = {static_cast<float>(root), 42.f};
+    spawn(kN, [&](size_t r) { coll.broadcast(r, root, data[r]); });
+    for (size_t r = 0; r < kN; ++r) {
+      EXPECT_FLOAT_EQ(data[r][0], static_cast<float>(root));
+      EXPECT_FLOAT_EQ(data[r][1], 42.f);
+    }
+  }
+}
+
+TEST(SharedCollectives, SingleWorkerDegenerate) {
+  SharedCollectives coll(1);
+  std::vector<float> v{3.f};
+  coll.allreduce_mean(0, v);
+  EXPECT_FLOAT_EQ(v[0], 3.f);
+  EXPECT_DOUBLE_EQ(coll.allreduce_max(0, 2.5), 2.5);
+}
+
+TEST(RingAllreduce, MatchesSharedMemoryResult) {
+  constexpr size_t kN = 4, kDim = 23;  // non-divisible length exercises
+                                       // uneven chunking
+  RingAllreduce ring(kN);
+  std::vector<std::vector<float>> data(kN, std::vector<float>(kDim));
+  std::vector<float> expected(kDim, 0.f);
+  Rng rng(3);
+  for (size_t r = 0; r < kN; ++r)
+    for (size_t i = 0; i < kDim; ++i) {
+      data[r][i] = static_cast<float>(rng.normal());
+      expected[i] += data[r][i];
+    }
+  spawn(kN, [&](size_t r) { ring.run(r, data[r]); });
+  for (size_t r = 0; r < kN; ++r)
+    for (size_t i = 0; i < kDim; ++i)
+      EXPECT_NEAR(data[r][i], expected[i], 1e-4) << "rank " << r << " i " << i;
+}
+
+TEST(RingAllreduce, TwoWorkers) {
+  RingAllreduce ring(2);
+  std::vector<std::vector<float>> data{{1.f, 2.f, 3.f}, {10.f, 20.f, 30.f}};
+  spawn(2, [&](size_t r) { ring.run(r, data[r]); });
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_FLOAT_EQ(data[r][0], 11.f);
+    EXPECT_FLOAT_EQ(data[r][2], 33.f);
+  }
+}
+
+TEST(RingAllreduce, SingleWorkerIsNoop) {
+  RingAllreduce ring(1);
+  std::vector<float> v{5.f};
+  ring.run(0, v);
+  EXPECT_FLOAT_EQ(v[0], 5.f);
+}
+
+TEST(RingAllreduce, RepeatedRunsStayCorrect) {
+  constexpr size_t kN = 3;
+  RingAllreduce ring(kN);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::vector<float>> data(
+        kN, std::vector<float>(8, static_cast<float>(round + 1)));
+    spawn(kN, [&](size_t r) { ring.run(r, data[r]); });
+    for (size_t r = 0; r < kN; ++r)
+      EXPECT_FLOAT_EQ(data[r][0], 3.f * (round + 1));
+  }
+}
+
+TEST(RingAllreduce, MessageCountFormula) {
+  EXPECT_EQ(RingAllreduce::messages_per_rank(1), 0u);
+  EXPECT_EQ(RingAllreduce::messages_per_rank(4), 6u);
+  EXPECT_EQ(RingAllreduce::messages_per_rank(16), 30u);
+}
+
+}  // namespace
+}  // namespace selsync

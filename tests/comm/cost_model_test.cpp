@@ -1,0 +1,105 @@
+#include "comm/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/paper_profiles.hpp"
+
+namespace selsync {
+namespace {
+
+constexpr size_t kMB = 1024 * 1024;
+
+TEST(CostModel, SingleWorkerNeedsNoSync) {
+  CostModel cm(paper_network_5gbps());
+  EXPECT_DOUBLE_EQ(cm.ps_sync_time(100 * kMB, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.ring_allreduce_time(100 * kMB, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.flag_allgather_time(1), 0.0);
+}
+
+TEST(CostModel, PsSyncGrowsLinearlyWithWorkers) {
+  CostModel cm(paper_network_5gbps());
+  const double t4 = cm.ps_sync_time(100 * kMB, 4);
+  const double t16 = cm.ps_sync_time(100 * kMB, 16);
+  EXPECT_GT(t16, 3.5 * t4);
+  EXPECT_LT(t16, 4.5 * t4);
+}
+
+TEST(CostModel, PsSyncGrowsLinearlyWithBytes) {
+  CostModel cm(paper_network_5gbps());
+  EXPECT_GT(cm.ps_sync_time(507 * kMB, 8), 4.0 * cm.ps_sync_time(100 * kMB, 8));
+}
+
+TEST(CostModel, RingAllreduceIsBandwidthOptimal) {
+  // Ring volume per worker ~ 2B regardless of N; PS incast grows with N, so
+  // for large clusters ring must win (the paper's §III closing remark).
+  CostModel cm(paper_network_5gbps());
+  EXPECT_LT(cm.ring_allreduce_time(170 * kMB, 16) /
+                cm.ring_allreduce_time(170 * kMB, 4),
+            2.0);
+}
+
+TEST(CostModel, TreeAllreduceLogarithmicRounds) {
+  CostModel cm(paper_network_5gbps());
+  const double t4 = cm.tree_allreduce_time(100 * kMB, 4);    // 2 rounds
+  const double t16 = cm.tree_allreduce_time(100 * kMB, 16);  // 4 rounds
+  EXPECT_NEAR(t16 / t4, 2.0, 0.1);
+}
+
+TEST(CostModel, FlagAllgatherInPaperRange) {
+  // Paper: "this op had a negligible overhead ... ~2-4 ms".
+  CostModel cm(paper_network_5gbps());
+  const double t = cm.flag_allgather_time(16);
+  EXPECT_GE(t, 0.002);
+  EXPECT_LE(t, 0.004);
+}
+
+TEST(CostModel, FlagAllgatherIsTinyVsModelSync) {
+  CostModel cm(paper_network_5gbps());
+  EXPECT_LT(cm.flag_allgather_time(16) * 20,
+            cm.ps_sync_time(170 * kMB, 16));
+}
+
+TEST(CostModel, OnewayCheaperThanRoundTrip) {
+  CostModel cm(paper_network_5gbps());
+  EXPECT_LT(cm.ps_oneway_time(100 * kMB, 1), cm.ps_sync_time(100 * kMB, 16));
+}
+
+TEST(CostModel, ContentionScalesOneway) {
+  CostModel cm(paper_network_5gbps());
+  EXPECT_GT(cm.ps_oneway_time(100 * kMB, 8), 4 * cm.ps_oneway_time(100 * kMB, 1));
+}
+
+TEST(CostModel, P2pChargesRawSampleBytes) {
+  CostModel cm(paper_network_5gbps());
+  // 132 KB of CIFAR samples (the paper's 16-worker injection example) must
+  // cost well under a millisecond of transfer on 5 Gbps.
+  EXPECT_LT(cm.p2p_time(132 * 1024), 1e-3);
+}
+
+TEST(CostModel, FasterNetworkIsFaster) {
+  CostModel slow(paper_network_5gbps());
+  CostModel fast(network_25gbps());
+  EXPECT_LT(fast.ps_sync_time(100 * kMB, 16), slow.ps_sync_time(100 * kMB, 16));
+}
+
+TEST(CostModel, Fig1aShapeRelativeThroughput) {
+  // Fig. 1a reproduction invariants: relative throughput is sublinear for
+  // all models; VGG11 (507 MB) is below 1.0 at 2 workers; ResNet101 ends
+  // well above 1 at 16 workers.
+  CostModel cm(paper_network_5gbps());
+  const auto v100 = device_v100();
+  auto rel_throughput = [&](const PaperModelProfile& m, size_t n) {
+    const double tc = compute_time_s(m, v100, 32);
+    const double ts = cm.ps_sync_time(static_cast<size_t>(m.param_bytes()), n);
+    return static_cast<double>(n) * tc / (tc + ts);
+  };
+  EXPECT_LT(rel_throughput(paper_vgg11(), 2), 1.0);
+  EXPECT_GT(rel_throughput(paper_resnet101(), 16), 1.5);
+  EXPECT_LT(rel_throughput(paper_resnet101(), 16), 16.0);
+  // Monotone but saturating for ResNet101.
+  EXPECT_GT(rel_throughput(paper_resnet101(), 16),
+            rel_throughput(paper_resnet101(), 4));
+}
+
+}  // namespace
+}  // namespace selsync

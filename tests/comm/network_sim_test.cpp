@@ -1,0 +1,143 @@
+// Discrete-event network simulator, and its agreement with the closed-form
+// CostModel — the evidence behind every simulated-time number in the repo.
+#include "comm/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/cost_model.hpp"
+
+namespace selsync {
+namespace {
+
+constexpr double kGbps = 1e9;
+constexpr double kMB = 1024.0 * 1024.0;
+
+TEST(NetworkSim, SingleFlowIsBytesOverBandwidthPlusLatency) {
+  NetworkSimulator net({10 * kGbps, 10 * kGbps}, 1e-3);
+  const size_t id = net.submit(0, 1, 100 * kMB, 0.0);
+  net.run();
+  const double expected = 1e-3 + 100 * kMB * 8 / (10 * kGbps);
+  EXPECT_NEAR(net.completion_time(id), expected, 1e-6);
+}
+
+TEST(NetworkSim, TwoFlowsShareIngressFairly) {
+  // Two senders into one receiver: each gets half the receiver NIC, so both
+  // take twice the solo time.
+  NetworkSimulator net({10 * kGbps, 10 * kGbps, 10 * kGbps}, 0.0);
+  const size_t a = net.submit(0, 2, 10 * kMB, 0.0);
+  const size_t b = net.submit(1, 2, 10 * kMB, 0.0);
+  net.run();
+  const double solo = 10 * kMB * 8 / (10 * kGbps);
+  EXPECT_NEAR(net.completion_time(a), 2 * solo, 1e-6);
+  EXPECT_NEAR(net.completion_time(b), 2 * solo, 1e-6);
+}
+
+TEST(NetworkSim, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  NetworkSimulator net({10 * kGbps, 10 * kGbps, 10 * kGbps}, 0.0);
+  const size_t small = net.submit(0, 2, 5 * kMB, 0.0);
+  const size_t big = net.submit(1, 2, 20 * kMB, 0.0);
+  net.run();
+  const double unit = kMB * 8 / (10 * kGbps);  // seconds per MB at full rate
+  // Shared phase: both at half rate until small's 5 MB done -> t=10*unit.
+  EXPECT_NEAR(net.completion_time(small), 10 * unit, 1e-6);
+  // Big sent 5 MB during sharing, then 15 MB at full rate.
+  EXPECT_NEAR(net.completion_time(big), 10 * unit + 15 * unit, 1e-6);
+}
+
+TEST(NetworkSim, LateFlowWaitsForItsStartTime) {
+  NetworkSimulator net({kGbps, kGbps}, 0.0);
+  const size_t id = net.submit(0, 1, kMB, 5.0);
+  net.run();
+  EXPECT_GT(net.completion_time(id), 5.0);
+}
+
+TEST(NetworkSim, SlowNicIsTheBottleneck) {
+  // 1 Gbps sender into a 10 Gbps receiver: sender-bound.
+  NetworkSimulator net({1 * kGbps, 10 * kGbps}, 0.0);
+  const size_t id = net.submit(0, 1, 10 * kMB, 0.0);
+  net.run();
+  EXPECT_NEAR(net.completion_time(id), 10 * kMB * 8 / kGbps, 1e-6);
+}
+
+TEST(NetworkSim, Validation) {
+  EXPECT_THROW(NetworkSimulator({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(NetworkSimulator({0.0}, 0.0), std::invalid_argument);
+  NetworkSimulator net({kGbps, kGbps}, 0.0);
+  EXPECT_THROW(net.submit(0, 5, kMB, 0.0), std::out_of_range);
+  EXPECT_THROW(net.submit(0, 1, -1.0, 0.0), std::invalid_argument);
+  const size_t id = net.submit(0, 1, kMB, 0.0);
+  EXPECT_THROW(net.completion_time(id), std::logic_error);  // before run()
+}
+
+TEST(NetworkSim, PsIncastMakespanIsServerBound) {
+  // 16 workers of 5 Gbps pushing into a 40 Gbps server: the server ingress
+  // carries 16*B, so makespan ~= 16*B*8/40G per direction.
+  const double t =
+      des_ps_sync_time(16, 170 * kMB, 5 * kGbps, 40 * kGbps, 0.0);
+  const double expected = 2 * 16 * 170 * kMB * 8 / (40 * kGbps);
+  EXPECT_NEAR(t, expected, expected * 0.05);
+}
+
+TEST(NetworkSim, PsSyncAgreesWithCostModelInServerBoundRegime) {
+  // The closed form assumes the server ingest is the bottleneck, which
+  // holds once N >= server_bw / worker_bw (= 8 on the paper profile).
+  NetworkProfile net = paper_network_5gbps();
+  net.wire_compression = 1.0;  // compare raw payloads
+  net.op_overhead_s = 0.0;
+  net.latency_s = 0.0;
+  const CostModel cm(net);
+  for (size_t workers : {8, 16, 32}) {
+    const double closed = cm.ps_sync_time(170 * kMB, workers);
+    const double des =
+        des_ps_sync_time(workers, 170 * kMB, net.bandwidth_bps,
+                         net.server_bandwidth_bps, 0.0);
+    EXPECT_NEAR(des, closed, closed * 0.25) << workers << " workers";
+  }
+}
+
+TEST(NetworkSim, SmallClustersAreWorkerNicBound) {
+  // Below the crossover the worker NIC binds: the DES gives
+  // 2 * B / worker_bw regardless of N, which the server-only closed form
+  // underestimates — a documented simplification of the cost model (its
+  // Table I / Fig. 1a experiments all run at N = 16, in the server-bound
+  // regime).
+  const double des =
+      des_ps_sync_time(2, 170 * kMB, 5 * kGbps, 40 * kGbps, 0.0);
+  EXPECT_NEAR(des, 2 * 170 * kMB * 8 / (5 * kGbps), 1e-3);
+}
+
+TEST(NetworkSim, RingAllreduceAgreesWithCostModelClosedForm) {
+  NetworkProfile net = paper_network_5gbps();
+  net.wire_compression = 1.0;
+  net.op_overhead_s = 0.0;
+  const CostModel cm(net);
+  for (size_t workers : {4, 8, 16}) {
+    const double closed = cm.ring_allreduce_time(170 * kMB, workers);
+    const double des = des_ring_allreduce_time(workers, 170 * kMB,
+                                               net.bandwidth_bps,
+                                               net.latency_s);
+    EXPECT_NEAR(des, closed, closed * 0.25) << workers << " workers";
+  }
+}
+
+TEST(NetworkSim, RingBeatsPsIncastAtScale) {
+  // The §III closing claim, derived from first principles this time.
+  const double ring =
+      des_ring_allreduce_time(16, 170 * kMB, 5 * kGbps, 200e-6);
+  const double ps = des_ps_sync_time(16, 170 * kMB, 5 * kGbps, 40 * kGbps,
+                                     200e-6);
+  EXPECT_LT(ring, ps);
+}
+
+TEST(NetworkSim, ClearAllowsReuse) {
+  NetworkSimulator net({kGbps, kGbps}, 0.0);
+  net.submit(0, 1, kMB, 0.0);
+  net.run();
+  net.clear();
+  const size_t id = net.submit(1, 0, kMB, 0.0);
+  net.run();
+  EXPECT_GT(net.completion_time(id), 0.0);
+}
+
+}  // namespace
+}  // namespace selsync

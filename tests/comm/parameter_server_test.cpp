@@ -1,0 +1,165 @@
+#include "comm/parameter_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+TEST(ParameterServer, PullReturnsInitialState) {
+  ParameterServer ps({1.f, 2.f, 3.f}, 4);
+  EXPECT_EQ(ps.pull(), (std::vector<float>{1.f, 2.f, 3.f}));
+}
+
+TEST(ParameterServer, Validation) {
+  EXPECT_THROW(ParameterServer({}, 4), std::invalid_argument);
+  EXPECT_THROW(ParameterServer({1.f}, 0), std::invalid_argument);
+}
+
+TEST(ParameterServer, ParameterAveragingUpdatesGlobal) {
+  constexpr size_t kN = 4;
+  ParameterServer ps(std::vector<float>(2, 0.f), kN);
+  std::vector<std::thread> threads;
+  std::vector<std::vector<float>> results(kN);
+  for (size_t r = 0; r < kN; ++r)
+    threads.emplace_back([&, r] {
+      const std::vector<float> mine{static_cast<float>(r), 1.f};
+      results[r] =
+          ps.push_and_average(mine, AggregationMode::kParameters, kN);
+    });
+  for (auto& t : threads) t.join();
+  for (size_t r = 0; r < kN; ++r) {
+    EXPECT_FLOAT_EQ(results[r][0], 1.5f);  // mean of 0..3
+    EXPECT_FLOAT_EQ(results[r][1], 1.f);
+  }
+  // PA mode replaces the global state (Alg. 1 line 15).
+  EXPECT_FLOAT_EQ(ps.pull()[0], 1.5f);
+}
+
+TEST(ParameterServer, GradientAveragingLeavesGlobalUntouched) {
+  constexpr size_t kN = 2;
+  ParameterServer ps({7.f}, kN);
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < kN; ++r)
+    threads.emplace_back([&, r] {
+      const std::vector<float> grad{static_cast<float>(r + 1)};
+      const auto mean =
+          ps.push_and_average(grad, AggregationMode::kGradients, kN);
+      EXPECT_FLOAT_EQ(mean[0], 1.5f);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FLOAT_EQ(ps.pull()[0], 7.f);  // GA does not move global params
+}
+
+TEST(ParameterServer, SequentialRoundsProduceFreshAverages) {
+  constexpr size_t kN = 2;
+  ParameterServer ps({0.f}, kN);
+  for (int round = 1; round <= 3; ++round) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < kN; ++r)
+      threads.emplace_back([&, r] {
+        const std::vector<float> v{static_cast<float>(round * 10 + r)};
+        const auto mean =
+            ps.push_and_average(v, AggregationMode::kParameters, kN);
+        EXPECT_FLOAT_EQ(mean[0], round * 10 + 0.5f);
+      });
+    for (auto& t : threads) t.join();
+  }
+}
+
+TEST(ParameterServer, StoreOverwrites) {
+  ParameterServer ps({0.f, 0.f}, 2);
+  ps.store(std::vector<float>{4.f, 5.f});
+  EXPECT_EQ(ps.pull(), (std::vector<float>{4.f, 5.f}));
+  EXPECT_THROW(ps.store(std::vector<float>{1.f}), std::invalid_argument);
+}
+
+TEST(ParameterServer, AsyncGradientAppliesSgd) {
+  ParameterServer ps({1.f, 2.f}, 2);
+  ps.apply_gradient_async(std::vector<float>{10.f, -10.f}, 0.1);
+  const auto params = ps.pull();
+  EXPECT_FLOAT_EQ(params[0], 0.f);
+  EXPECT_FLOAT_EQ(params[1], 3.f);
+  EXPECT_EQ(ps.async_updates(), 1u);
+}
+
+TEST(ParameterServer, AsyncUpdatesFromManyThreadsAllLand) {
+  ParameterServer ps({0.f}, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i)
+        ps.apply_gradient_async(std::vector<float>{-1.f}, 1.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FLOAT_EQ(ps.pull()[0], 400.f);
+  EXPECT_EQ(ps.async_updates(), 400u);
+}
+
+TEST(ParameterServer, DeltaPushAccumulates) {
+  ParameterServer ps({1.f, 2.f}, 2);
+  ps.apply_delta_async(std::vector<float>{0.5f, -0.5f});
+  ps.apply_delta_async(std::vector<float>{0.5f, -0.5f});
+  const auto params = ps.pull();
+  EXPECT_FLOAT_EQ(params[0], 2.f);
+  EXPECT_FLOAT_EQ(params[1], 1.f);
+  EXPECT_EQ(ps.async_updates(), 2u);
+  EXPECT_THROW(ps.apply_delta_async(std::vector<float>{1.f}),
+               std::invalid_argument);
+}
+
+TEST(ParameterServer, StalenessBlocksFastWorker) {
+  // Worker 0 races ahead; with staleness 3 it must block until worker 1
+  // catches up.
+  ParameterServer ps({0.f}, 2);
+  std::atomic<uint64_t> fast_progress{0};
+  std::thread fast([&] {
+    for (uint64_t it = 1; it <= 10; ++it) {
+      ps.enforce_staleness(0, it, 3);
+      fast_progress = it;
+    }
+    ps.finish(0);
+  });
+  // Give the fast worker a head start; it must stall at iteration 4
+  // (1 <= min(0) + 3 fails at it=4 while worker 1 sits at 0).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(fast_progress.load(), 3u);
+  std::thread slow([&] {
+    for (uint64_t it = 1; it <= 10; ++it) ps.enforce_staleness(1, it, 3);
+    ps.finish(1);
+  });
+  fast.join();
+  slow.join();
+  EXPECT_EQ(fast_progress.load(), 10u);
+}
+
+TEST(ParameterServer, FinishedWorkerStopsGating) {
+  ParameterServer ps({0.f}, 2);
+  ps.finish(1);  // worker 1 exits immediately
+  // Worker 0 can now run arbitrarily far ahead without blocking.
+  for (uint64_t it = 1; it <= 100; ++it) ps.enforce_staleness(0, it, 2);
+  ps.finish(0);
+  SUCCEED();
+}
+
+TEST(ParameterServer, PushAverageValidatesDims) {
+  ParameterServer ps({0.f, 0.f}, 2);
+  EXPECT_THROW(
+      ps.push_and_average(std::vector<float>{1.f},
+                          AggregationMode::kParameters, 2),
+      std::invalid_argument);
+  EXPECT_THROW(ps.push_and_average(std::vector<float>{1.f, 2.f},
+                                   AggregationMode::kParameters, 0),
+               std::invalid_argument);
+}
+
+TEST(AggregationMode, Names) {
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kParameters), "PA");
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kGradients), "GA");
+}
+
+}  // namespace
+}  // namespace selsync

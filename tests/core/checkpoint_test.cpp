@@ -1,0 +1,145 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/models.hpp"
+#include "optim/optimizer.hpp"
+
+namespace selsync {
+namespace {
+
+std::unique_ptr<Model> tiny_model(uint64_t seed = 1) {
+  ClassifierConfig cfg;
+  cfg.input_dim = 8;
+  cfg.classes = 3;
+  cfg.hidden = 8;
+  cfg.resnet_blocks = 1;
+  return make_resnet_mlp(cfg, seed);
+}
+
+Batch tiny_batch() {
+  Rng rng(9);
+  Batch b;
+  b.x = Tensor::randn({4, 8}, rng);
+  b.targets = {0, 1, 2, 0};
+  return b;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/selsync_ckpt_test.bin";
+};
+
+TEST_F(CheckpointTest, ParamsRoundTrip) {
+  auto a = tiny_model(1);
+  a->train_step(tiny_batch());
+  a->apply_sgd(0.1f);
+  save_checkpoint(path_, *a, nullptr, 42);
+
+  auto b = tiny_model(2);  // different init
+  ASSERT_NE(a->get_flat_params(), b->get_flat_params());
+  const CheckpointInfo info = load_checkpoint(path_, *b, nullptr);
+  EXPECT_EQ(info.iteration, 42u);
+  EXPECT_EQ(info.param_count, a->param_count());
+  EXPECT_EQ(a->get_flat_params(), b->get_flat_params());
+}
+
+TEST_F(CheckpointTest, OptimizerStateRoundTripKeepsTrajectory) {
+  // Train 3 steps, checkpoint, train 2 more; a resumed replica must land on
+  // bit-identical parameters (momentum restored exactly).
+  const Batch batch = tiny_batch();
+  auto reference = tiny_model(1);
+  Sgd ref_opt(std::make_shared<ConstantLr>(0.1), {.momentum = 0.9});
+  for (int i = 0; i < 3; ++i) {
+    reference->train_step(batch);
+    ref_opt.step(reference->params(), i, 0.0);
+  }
+  save_checkpoint(path_, *reference, &ref_opt, 3);
+  for (int i = 3; i < 5; ++i) {
+    reference->train_step(batch);
+    ref_opt.step(reference->params(), i, 0.0);
+  }
+
+  auto resumed = tiny_model(7);
+  Sgd res_opt(std::make_shared<ConstantLr>(0.1), {.momentum = 0.9});
+  const CheckpointInfo info = load_checkpoint(path_, *resumed, &res_opt);
+  for (uint64_t i = info.iteration; i < 5; ++i) {
+    resumed->train_step(batch);
+    res_opt.step(resumed->params(), i, 0.0);
+  }
+  EXPECT_EQ(reference->get_flat_params(), resumed->get_flat_params());
+}
+
+TEST_F(CheckpointTest, AdamStateRoundTrip) {
+  const Batch batch = tiny_batch();
+  auto reference = tiny_model(1);
+  Adam ref_opt(std::make_shared<ConstantLr>(0.01));
+  for (int i = 0; i < 4; ++i) {
+    reference->train_step(batch);
+    ref_opt.step(reference->params(), i, 0.0);
+  }
+  save_checkpoint(path_, *reference, &ref_opt, 4);
+  reference->train_step(batch);
+  ref_opt.step(reference->params(), 4, 0.0);
+
+  auto resumed = tiny_model(3);
+  Adam res_opt(std::make_shared<ConstantLr>(0.01));
+  load_checkpoint(path_, *resumed, &res_opt);
+  resumed->train_step(batch);
+  res_opt.step(resumed->params(), 4, 0.0);
+  EXPECT_EQ(reference->get_flat_params(), resumed->get_flat_params());
+}
+
+TEST_F(CheckpointTest, PeekReadsHeaderOnly) {
+  auto m = tiny_model(1);
+  save_checkpoint(path_, *m, nullptr, 7);
+  const CheckpointInfo info = peek_checkpoint(path_);
+  EXPECT_EQ(info.iteration, 7u);
+  EXPECT_EQ(info.param_count, m->param_count());
+}
+
+TEST_F(CheckpointTest, RejectsParamCountMismatch) {
+  auto small = tiny_model(1);
+  save_checkpoint(path_, *small, nullptr, 0);
+  ClassifierConfig big_cfg;
+  big_cfg.input_dim = 16;
+  big_cfg.classes = 3;
+  big_cfg.hidden = 16;
+  big_cfg.resnet_blocks = 2;
+  auto big = make_resnet_mlp(big_cfg, 1);
+  EXPECT_THROW(load_checkpoint(path_, *big, nullptr), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RejectsGarbageFile) {
+  std::ofstream(path_) << "this is not a checkpoint";
+  auto m = tiny_model(1);
+  EXPECT_THROW(load_checkpoint(path_, *m, nullptr), std::runtime_error);
+  EXPECT_THROW(peek_checkpoint(path_), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RejectsMissingFile) {
+  auto m = tiny_model(1);
+  EXPECT_THROW(load_checkpoint("/nonexistent/ckpt.bin", *m, nullptr),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  auto m = tiny_model(1);
+  save_checkpoint(path_, *m, nullptr, 1);
+  // Truncate mid-parameters.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(load_checkpoint(path_, *m, nullptr), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace selsync

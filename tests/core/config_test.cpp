@@ -1,0 +1,73 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(TrainJob, ValidJobPasses) {
+  EXPECT_NO_THROW(small_class_job(StrategyKind::kBsp).validate());
+}
+
+TEST(TrainJob, StepsPerEpochIsGlobalBatchQuotient) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  // 1024 samples / (4 workers * 16 batch) = 16 steps.
+  EXPECT_EQ(job.steps_per_epoch(), 16u);
+  job.batch_size = 1024;  // global batch exceeds dataset -> at least 1
+  EXPECT_EQ(job.steps_per_epoch(), 1u);
+}
+
+TEST(TrainJob, RejectsMissingPieces) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.workers = 0;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  job = small_class_job(StrategyKind::kBsp);
+  job.train_data = nullptr;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  job = small_class_job(StrategyKind::kBsp);
+  job.model_factory = nullptr;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  job = small_class_job(StrategyKind::kBsp);
+  job.optimizer_factory = nullptr;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(TrainJob, ValidatesFedAvgRanges) {
+  TrainJob job = small_class_job(StrategyKind::kFedAvg);
+  job.fedavg.participation = 0.0;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+  job.fedavg.participation = 0.5;
+  job.fedavg.sync_factor = 2.0;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(TrainJob, ValidatesSelSyncDelta) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync);
+  job.selsync.delta = -0.1;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(TrainJob, ValidatesInjectionRanges) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync);
+  job.injection.enabled = true;
+  job.injection.alpha = 1.5;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(StrategyNames, AllDistinct) {
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kBsp), "BSP");
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kLocalSgd), "LocalSGD");
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kFedAvg), "FedAvg");
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kSsp), "SSP");
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kSelSync), "SelSync");
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,89 @@
+// Systems heterogeneity (paper §II-A): straggler effects on simulated time.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(Heterogeneity, ValidatesSpeedVector) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 10);
+  job.worker_speed = {1.0, 1.0};  // wrong size for 4 workers
+  EXPECT_THROW(run_training(job), std::invalid_argument);
+  job.worker_speed = {1.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(run_training(job), std::invalid_argument);
+}
+
+TEST(Heterogeneity, HomogeneousExplicitMatchesDefault) {
+  TrainJob a = small_class_job(StrategyKind::kBsp, 30);
+  TrainJob b = a;
+  b.worker_speed.assign(4, 1.0);
+  EXPECT_DOUBLE_EQ(run_training(a).sim_time_s, run_training(b).sim_time_s);
+}
+
+TEST(Heterogeneity, BspIsStragglerBound) {
+  // With every step synchronized, one 3x-slow worker drags the whole
+  // cluster: compute portion of the step time triples.
+  TrainJob fast = small_class_job(StrategyKind::kBsp, 40);
+  TrainJob slow = fast;
+  slow.worker_speed.assign(4, 1.0);
+  slow.worker_speed[2] = 3.0;
+  const double t_fast = run_training(fast).sim_time_s;
+  const double t_slow = run_training(slow).sim_time_s;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+TEST(Heterogeneity, StragglerDoesNotChangeTrainingMath) {
+  TrainJob a = small_class_job(StrategyKind::kBsp, 40);
+  TrainJob b = a;
+  b.worker_speed.assign(4, 1.0);
+  b.worker_speed[1] = 4.0;
+  const TrainResult ra = run_training(a);
+  const TrainResult rb = run_training(b);
+  EXPECT_DOUBLE_EQ(ra.final_eval.top1, rb.final_eval.top1);
+}
+
+TEST(Heterogeneity, LocalSgdIgnoresStragglersForFastWorkers) {
+  // Without synchronization there is no barrier: worker 0 (fast) never
+  // waits, so cluster-completion time grows only by the straggler's own
+  // compute — and SelSync at high delta approaches that.
+  TrainJob bsp = small_class_job(StrategyKind::kBsp, 40);
+  bsp.worker_speed.assign(4, 1.0);
+  bsp.worker_speed[3] = 4.0;
+  TrainJob local = small_class_job(StrategyKind::kLocalSgd, 40);
+  local.worker_speed = bsp.worker_speed;
+
+  const TrainResult rb = run_training(bsp);
+  const TrainResult rl = run_training(local);
+  // Both are bounded by the straggler's compute, but BSP additionally pays
+  // a sync round every step.
+  EXPECT_GT(rb.sim_time_s, rl.sim_time_s);
+}
+
+TEST(Heterogeneity, SelSyncPaysStragglerOnlyOnSyncSteps) {
+  TrainJob sync_heavy = small_class_job(StrategyKind::kSelSync, 60);
+  sync_heavy.selsync.delta = 0.0;  // sync every step
+  sync_heavy.worker_speed.assign(4, 1.0);
+  sync_heavy.worker_speed[0] = 4.0;
+  TrainJob sync_light = sync_heavy;
+  sync_light.selsync.delta = 1e9;  // never sync
+  const TrainResult heavy = run_training(sync_heavy);
+  const TrainResult light = run_training(sync_light);
+  EXPECT_GT(heavy.sim_time_s, light.sim_time_s);
+}
+
+TEST(Heterogeneity, SspRunsWithStragglers) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 40);
+  job.ssp.staleness = 5;
+  job.worker_speed.assign(4, 1.0);
+  job.worker_speed[1] = 2.0;
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 40u);
+  EXPECT_GT(r.sim_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace selsync

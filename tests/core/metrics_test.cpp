@@ -1,0 +1,84 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(Lssr, MatchesEqn4) {
+  TrainResult r;
+  r.local_steps = 75;
+  r.sync_steps = 25;
+  EXPECT_DOUBLE_EQ(r.lssr(), 0.75);
+  EXPECT_DOUBLE_EQ(r.comm_reduction(), 4.0);
+}
+
+TEST(Lssr, EdgeCases) {
+  TrainResult r;
+  EXPECT_DOUBLE_EQ(r.lssr(), 0.0);  // no steps at all
+  r.sync_steps = 10;
+  EXPECT_DOUBLE_EQ(r.lssr(), 0.0);  // pure BSP
+  r.sync_steps = 0;
+  r.local_steps = 10;
+  EXPECT_DOUBLE_EQ(r.lssr(), 1.0);  // pure local
+  EXPECT_TRUE(std::isinf(r.comm_reduction()));
+}
+
+TEST(EvaluateDataset, CoversEverySampleExactlyOnce) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 64;
+  cfg.test_samples = 50;  // not a multiple of the eval batch
+  const auto data = make_synthetic_classification(cfg);
+  ClassifierConfig mc;
+  mc.input_dim = cfg.feature_dim;
+  mc.classes = 10;
+  mc.hidden = 8;
+  mc.resnet_blocks = 1;
+  auto model = make_resnet_mlp(mc, 1);
+  const EvalStats stats = evaluate_dataset(*model, *data.test, 16);
+  EXPECT_EQ(stats.examples, 50u);
+  EXPECT_EQ(stats.batches, 4u);  // 16+16+16+2
+  EXPECT_LE(stats.top1, stats.examples);
+}
+
+TEST(EvaluateDataset, DeterministicForSameModel) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 64;
+  cfg.test_samples = 32;
+  const auto data = make_synthetic_classification(cfg);
+  ClassifierConfig mc;
+  mc.input_dim = cfg.feature_dim;
+  mc.classes = 10;
+  mc.hidden = 8;
+  mc.resnet_blocks = 1;
+  auto model = make_resnet_mlp(mc, 1);
+  const EvalStats a = evaluate_dataset(*model, *data.test, 8);
+  const EvalStats b = evaluate_dataset(*model, *data.test, 8);
+  EXPECT_DOUBLE_EQ(a.loss_sum, b.loss_sum);
+  EXPECT_EQ(a.top1, b.top1);
+}
+
+TEST(EvaluateDataset, BatchSizeDoesNotChangeAccuracyCounts) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 64;
+  cfg.test_samples = 40;
+  const auto data = make_synthetic_classification(cfg);
+  ClassifierConfig mc;
+  mc.input_dim = cfg.feature_dim;
+  mc.classes = 10;
+  mc.hidden = 8;
+  mc.resnet_blocks = 1;
+  auto model = make_resnet_mlp(mc, 1);
+  const EvalStats a = evaluate_dataset(*model, *data.test, 7);
+  const EvalStats b = evaluate_dataset(*model, *data.test, 40);
+  EXPECT_EQ(a.top1, b.top1);
+  EXPECT_EQ(a.top5, b.top5);
+}
+
+}  // namespace
+}  // namespace selsync

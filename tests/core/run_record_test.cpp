@@ -1,0 +1,84 @@
+#include "core/run_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(RunRecord, JobJsonCarriesStrategySpecificKnobs) {
+  TrainJob sel = small_class_job(StrategyKind::kSelSync);
+  sel.selsync.delta = 0.25;
+  const std::string dump = job_to_json(sel).dump();
+  EXPECT_NE(dump.find("\"strategy\":\"SelSync\""), std::string::npos);
+  EXPECT_NE(dump.find("\"delta\":0.25"), std::string::npos);
+  EXPECT_NE(dump.find("\"aggregation\":\"PA\""), std::string::npos);
+
+  TrainJob fed = small_class_job(StrategyKind::kFedAvg);
+  fed.fedavg = {0.5, 0.125};
+  const std::string fed_dump = job_to_json(fed).dump();
+  EXPECT_NE(fed_dump.find("\"participation\":0.5"), std::string::npos);
+  EXPECT_EQ(fed_dump.find("delta"), std::string::npos);
+
+  TrainJob ssp = small_class_job(StrategyKind::kSsp);
+  ssp.ssp.staleness = 77;
+  EXPECT_NE(job_to_json(ssp).dump().find("\"staleness\":77"),
+            std::string::npos);
+}
+
+TEST(RunRecord, OptionalSectionsOnlyWhenEnabled) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync);
+  EXPECT_EQ(job_to_json(job).dump().find("injection"), std::string::npos);
+  EXPECT_EQ(job_to_json(job).dump().find("compression"), std::string::npos);
+  job.injection = {true, 0.5, 0.5};
+  job.compression = {CompressionKind::kTopK, 0.01, true};
+  const std::string dump = job_to_json(job).dump();
+  EXPECT_NE(dump.find("\"injection\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"topk\""), std::string::npos);
+}
+
+TEST(RunRecord, ResultJsonContainsHistory) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 60);
+  job.eval_interval = 30;
+  const TrainResult r = run_training(job);
+  const std::string dump = result_to_json(r).dump();
+  EXPECT_NE(dump.find("\"eval_history\""), std::string::npos);
+  EXPECT_NE(dump.find("\"iterations\":60"), std::string::npos);
+  EXPECT_NE(dump.find("\"lssr\":0"), std::string::npos);
+}
+
+TEST(RunRecord, SspLssrIsNull) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 30);
+  const TrainResult r = run_training(job);
+  EXPECT_NE(result_to_json(r).dump().find("\"lssr\":null"),
+            std::string::npos);
+}
+
+TEST(RunRecord, WriteProducesValidFile) {
+  const std::string path = ::testing::TempDir() + "/selsync_run_record.json";
+  TrainJob job = small_class_job(StrategyKind::kBsp, 30);
+  const TrainResult r = run_training(job);
+  write_run_record(path, job, r);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  EXPECT_NE(contents.find("\"job\""), std::string::npos);
+  EXPECT_NE(contents.find("\"result\""), std::string::npos);
+  // Braces balance (cheap structural sanity).
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '{'),
+            std::count(contents.begin(), contents.end(), '}'));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace selsync

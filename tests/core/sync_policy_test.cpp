@@ -1,0 +1,111 @@
+#include "core/sync_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(BspPolicy, AlwaysSyncsNoExchange) {
+  BspPolicy p(8);
+  for (uint64_t it = 0; it < 10; ++it) EXPECT_TRUE(p.local_vote(it, 0.0));
+  EXPECT_FALSE(p.needs_flag_exchange());
+  EXPECT_EQ(p.participant_count(), 8u);
+  EXPECT_TRUE(p.participates(0, 3));
+}
+
+TEST(LocalSgdPolicy, NeverSyncs) {
+  LocalSgdPolicy p(8);
+  for (uint64_t it = 0; it < 10; ++it)
+    EXPECT_FALSE(p.local_vote(it, 1e9));  // even huge deltas
+  EXPECT_FALSE(p.needs_flag_exchange());
+}
+
+TEST(FedAvgPolicy, SyncIntervalFromEAndStepsPerEpoch) {
+  // E=0.25 with 100 steps/epoch -> sync every 25 steps (4x per epoch).
+  FedAvgPolicy p({1.0, 0.25}, 8, 100, 1);
+  EXPECT_EQ(p.sync_interval(), 25u);
+  EXPECT_FALSE(p.local_vote(0, 0.0));
+  EXPECT_TRUE(p.local_vote(24, 0.0));   // iteration 24 is the 25th step
+  EXPECT_FALSE(p.local_vote(25, 0.0));
+  EXPECT_TRUE(p.local_vote(49, 0.0));
+}
+
+TEST(FedAvgPolicy, IntervalNeverZero) {
+  FedAvgPolicy p({1.0, 0.001}, 8, 10, 1);
+  EXPECT_GE(p.sync_interval(), 1u);
+}
+
+TEST(FedAvgPolicy, FullParticipationIncludesEveryone) {
+  FedAvgPolicy p({1.0, 0.25}, 8, 100, 1);
+  for (size_t r = 0; r < 8; ++r) EXPECT_TRUE(p.participates(5, r));
+}
+
+TEST(FedAvgPolicy, HalfParticipationSelectsExactlyHalf) {
+  FedAvgPolicy p({0.5, 0.25}, 8, 100, 7);
+  EXPECT_EQ(p.participant_count(), 4u);
+  for (uint64_t round = 0; round < 10; ++round) {
+    size_t members = 0;
+    for (size_t r = 0; r < 8; ++r)
+      if (p.participates(round, r)) ++members;
+    EXPECT_EQ(members, 4u) << "round " << round;
+  }
+}
+
+TEST(FedAvgPolicy, SelectionConsistentAcrossInstances) {
+  // Two policy instances with the same seed (two workers) must agree on the
+  // participant set without any coordination.
+  FedAvgPolicy a({0.5, 0.25}, 8, 100, 3);
+  FedAvgPolicy b({0.5, 0.25}, 8, 100, 3);
+  for (uint64_t round = 0; round < 5; ++round)
+    for (size_t r = 0; r < 8; ++r)
+      EXPECT_EQ(a.participates(round, r), b.participates(round, r));
+}
+
+TEST(FedAvgPolicy, SelectionVariesAcrossRounds) {
+  FedAvgPolicy p({0.5, 0.25}, 8, 100, 3);
+  bool varies = false;
+  for (size_t r = 0; r < 8 && !varies; ++r)
+    if (p.participates(0, r) != p.participates(1, r)) varies = true;
+  EXPECT_TRUE(varies);
+}
+
+TEST(SelSyncPolicy, ThresholdSemantics) {
+  SelSyncPolicy p(0.3, 8);
+  EXPECT_FALSE(p.local_vote(0, 0.29));
+  EXPECT_TRUE(p.local_vote(0, 0.3));   // >= threshold (Alg. 1 line 10)
+  EXPECT_TRUE(p.local_vote(0, 1.0));
+  EXPECT_TRUE(p.needs_flag_exchange());
+}
+
+TEST(SelSyncPolicy, ZeroDeltaIsBsp) {
+  // Paper: "δ=0 implies fully synchronous training".
+  SelSyncPolicy p(0.0, 8);
+  EXPECT_TRUE(p.local_vote(0, 0.0));
+}
+
+TEST(MakePolicy, DispatchesByStrategy) {
+  EXPECT_NE(dynamic_cast<BspPolicy*>(
+                make_sync_policy(small_class_job(StrategyKind::kBsp)).get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<LocalSgdPolicy*>(
+          make_sync_policy(small_class_job(StrategyKind::kLocalSgd)).get()),
+      nullptr);
+  EXPECT_NE(
+      dynamic_cast<FedAvgPolicy*>(
+          make_sync_policy(small_class_job(StrategyKind::kFedAvg)).get()),
+      nullptr);
+  EXPECT_NE(
+      dynamic_cast<SelSyncPolicy*>(
+          make_sync_policy(small_class_job(StrategyKind::kSelSync)).get()),
+      nullptr);
+  EXPECT_THROW(make_sync_policy(small_class_job(StrategyKind::kSsp)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,95 @@
+// Shared builders for small, fast training jobs used across core and
+// integration tests.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "optim/optimizer.hpp"
+
+namespace selsync::testing {
+
+inline SyntheticClassData& shared_class_data() {
+  static SyntheticClassData data = [] {
+    SyntheticClassConfig cfg;
+    cfg.train_samples = 1024;
+    cfg.test_samples = 256;
+    cfg.classes = 10;
+    cfg.feature_dim = 32;
+    return make_synthetic_classification(cfg);
+  }();
+  return data;
+}
+
+inline SyntheticTextData& shared_text_data() {
+  static SyntheticTextData data = [] {
+    SyntheticTextConfig cfg;
+    cfg.train_tokens = 8000;
+    cfg.test_tokens = 1600;
+    cfg.vocab = 32;
+    cfg.seq_len = 8;
+    return make_synthetic_text(cfg);
+  }();
+  return data;
+}
+
+/// A 4-worker classification job that runs in well under a second.
+inline TrainJob small_class_job(StrategyKind strategy,
+                                uint64_t iterations = 120) {
+  const auto& data = shared_class_data();
+  TrainJob job;
+  job.strategy = strategy;
+  job.workers = 4;
+  job.batch_size = 16;
+  job.max_iterations = iterations;
+  job.eval_interval = 60;
+  job.train_data = data.train;
+  job.test_data = data.test;
+  job.partition = PartitionScheme::kSelSync;
+  job.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.input_dim = 32;
+    cfg.classes = 10;
+    cfg.hidden = 24;
+    cfg.resnet_blocks = 1;
+    return make_resnet_mlp(cfg, seed);
+  };
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                 SgdOptions{.momentum = 0.9});
+  };
+  return job;
+}
+
+inline TrainJob small_lm_job(StrategyKind strategy, uint64_t iterations = 80) {
+  const auto& data = shared_text_data();
+  TrainJob job;
+  job.strategy = strategy;
+  job.workers = 4;
+  job.batch_size = 4;  // sequences per step
+  job.max_iterations = iterations;
+  job.eval_interval = 40;
+  job.train_data = data.train;
+  job.test_data = data.test;
+  job.partition = PartitionScheme::kSelSync;
+  job.model_factory = [](uint64_t seed) {
+    TransformerConfig cfg;
+    cfg.vocab = 32;
+    cfg.model_dim = 16;
+    cfg.ff_dim = 32;
+    cfg.num_heads = 2;
+    cfg.num_layers = 1;
+    cfg.seq_len = 8;
+    cfg.dropout = 0.0f;
+    return std::make_unique<TransformerLM>(cfg, seed);
+  };
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.5));
+  };
+  job.paper_model = paper_transformer();
+  return job;
+}
+
+}  // namespace selsync::testing

@@ -1,0 +1,56 @@
+#include "core/time_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+StepTimeModel model_for(const PaperModelProfile& m, Topology topo,
+                        size_t workers) {
+  return StepTimeModel(m, device_v100(), paper_network_5gbps(), topo, workers);
+}
+
+TEST(StepTimeModel, ComputeGrowsWithBatch) {
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
+  EXPECT_GT(tm.compute_time(128), tm.compute_time(32));
+}
+
+TEST(StepTimeModel, SyncDominatesComputeForBigModels) {
+  // The premise of the whole paper: t_s >> t_c for communication-heavy
+  // models on a 5 Gbps network.
+  const auto tm = model_for(paper_vgg11(), Topology::kParameterServer, 16);
+  EXPECT_GT(tm.sync_time(), 5.0 * tm.compute_time(32));
+}
+
+TEST(StepTimeModel, FlagExchangeIsCheap) {
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
+  EXPECT_LT(tm.flag_time(), 0.01);
+  EXPECT_LT(tm.flag_time() * 10, tm.sync_time());
+}
+
+TEST(StepTimeModel, RingTopologyCheaperAtScale) {
+  const auto ps = model_for(paper_vgg11(), Topology::kParameterServer, 16);
+  const auto ring = model_for(paper_vgg11(), Topology::kRingAllreduce, 16);
+  EXPECT_LT(ring.sync_time(), ps.sync_time());
+}
+
+TEST(StepTimeModel, PayloadBytesIsParamBytes) {
+  const auto tm = model_for(paper_vgg11(), Topology::kParameterServer, 16);
+  EXPECT_NEAR(static_cast<double>(tm.payload_bytes()),
+              paper_vgg11().param_bytes(), 1.0);
+}
+
+TEST(StepTimeModel, SspCommIsPartiallyHidden) {
+  // Visible SSP comm cost must be below the blocking PS round trip.
+  const auto tm = model_for(paper_alexnet(), Topology::kParameterServer, 16);
+  EXPECT_LT(tm.ssp_step_comm_time(128), tm.sync_time());
+}
+
+TEST(StepTimeModel, InjectionCostTiny) {
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
+  // 132 KB of CIFAR images (paper example) is sub-millisecond.
+  EXPECT_LT(tm.injection_time(132 * 1024), 1e-3);
+}
+
+}  // namespace
+}  // namespace selsync

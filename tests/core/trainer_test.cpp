@@ -1,0 +1,216 @@
+// Trainer mechanics: bookkeeping, determinism, early stopping, traces.
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+using testing::small_lm_job;
+
+TEST(Trainer, BspRunsRequestedIterations) {
+  const TrainResult r = run_training(small_class_job(StrategyKind::kBsp, 50));
+  EXPECT_EQ(r.iterations, 50u);
+  EXPECT_EQ(r.sync_steps, 50u);
+  EXPECT_EQ(r.local_steps, 0u);
+  EXPECT_DOUBLE_EQ(r.lssr(), 0.0);
+}
+
+TEST(Trainer, LocalSgdNeverSyncs) {
+  const TrainResult r =
+      run_training(small_class_job(StrategyKind::kLocalSgd, 50));
+  EXPECT_EQ(r.sync_steps, 0u);
+  EXPECT_EQ(r.local_steps, 50u);
+  EXPECT_DOUBLE_EQ(r.lssr(), 1.0);
+}
+
+TEST(Trainer, FedAvgSyncsAtConfiguredInterval) {
+  TrainJob job = small_class_job(StrategyKind::kFedAvg, 64);
+  job.fedavg = {1.0, 0.25};  // steps_per_epoch=16 -> sync every 4 steps
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.sync_steps, 16u);
+  EXPECT_EQ(r.local_steps, 48u);
+  EXPECT_NEAR(r.lssr(), 0.75, 1e-9);
+}
+
+TEST(Trainer, ResultsAreDeterministic) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync, 60);
+  job.selsync.delta = 0.05;
+  const TrainResult a = run_training(job);
+  const TrainResult b = run_training(job);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.sync_steps, b.sync_steps);
+  EXPECT_DOUBLE_EQ(a.final_eval.top1, b.final_eval.top1);
+  EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s);
+}
+
+TEST(Trainer, EvalHistoryOnSchedule) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 120);
+  job.eval_interval = 40;
+  const TrainResult r = run_training(job);
+  ASSERT_EQ(r.eval_history.size(), 3u);
+  EXPECT_EQ(r.eval_history[0].iteration, 40u);
+  EXPECT_EQ(r.eval_history[2].iteration, 120u);
+  EXPECT_GT(r.eval_history[2].epoch, 0.0);
+  EXPECT_DOUBLE_EQ(r.final_eval.top1, r.eval_history.back().top1);
+}
+
+TEST(Trainer, EarlyStopOnAccuracyTarget) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 2000);
+  job.eval_interval = 20;
+  job.target_top1 = 0.15;  // trivially reachable above 10% chance
+  const TrainResult r = run_training(job);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.iterations, 2000u);
+}
+
+TEST(Trainer, DeltaTraceRecordedWhenRequested) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.record_delta_trace = true;
+  job.record_grad_sq_trace = true;
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.delta_trace.size(), 40u);
+  EXPECT_EQ(r.grad_sq_trace.size(), 40u);
+  EXPECT_DOUBLE_EQ(r.delta_trace[0], 0.0);  // first step has no history
+  for (double d : r.delta_trace) EXPECT_GE(d, 0.0);
+  for (double g : r.grad_sq_trace) EXPECT_GT(g, 0.0);
+}
+
+TEST(Trainer, TracesEmptyWhenDisabled) {
+  const TrainResult r = run_training(small_class_job(StrategyKind::kBsp, 20));
+  EXPECT_TRUE(r.delta_trace.empty());
+  EXPECT_TRUE(r.grad_sq_trace.empty());
+}
+
+TEST(Trainer, WeightSnapshotsAtEpochBoundaries) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 48);  // 3 epochs
+  job.snapshot_epochs = {1.0, 2.0};
+  const TrainResult r = run_training(job);
+  ASSERT_EQ(r.weight_snapshots.size(), 2u);
+  EXPECT_TRUE(r.weight_snapshots.count(1.0));
+  EXPECT_TRUE(r.weight_snapshots.count(2.0));
+  EXPECT_FALSE(r.weight_snapshots.at(1.0).empty());
+  // Training moved on between the snapshots.
+  EXPECT_NE(r.weight_snapshots.at(1.0), r.weight_snapshots.at(2.0));
+}
+
+TEST(Trainer, SimTimeAccumulatesAndSyncCostsMore) {
+  const TrainResult bsp = run_training(small_class_job(StrategyKind::kBsp, 40));
+  const TrainResult local =
+      run_training(small_class_job(StrategyKind::kLocalSgd, 40));
+  EXPECT_GT(bsp.sim_time_s, 0.0);
+  EXPECT_GT(local.sim_time_s, 0.0);
+  EXPECT_GT(bsp.sim_time_s, 2.0 * local.sim_time_s);
+  EXPECT_GT(bsp.comm_bytes, local.comm_bytes);
+}
+
+TEST(Trainer, WallTimeRecorded) {
+  const TrainResult r = run_training(small_class_job(StrategyKind::kBsp, 20));
+  EXPECT_GT(r.wall_time_s, 0.0);
+}
+
+TEST(Trainer, SspRunsAndReportsNoLssr) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 60);
+  job.ssp.staleness = 10;
+  const TrainResult r = run_training(job);
+  EXPECT_FALSE(r.lssr_applicable);
+  EXPECT_EQ(r.iterations, 60u);
+  EXPECT_FALSE(r.eval_history.empty());
+  EXPECT_GT(r.sim_time_s, 0.0);
+}
+
+TEST(Trainer, SspEarlyStopPropagates) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 5000);
+  job.eval_interval = 20;
+  job.ssp.staleness = 50;
+  job.target_top1 = 0.15;
+  const TrainResult r = run_training(job);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.iterations, 5000u);
+}
+
+TEST(Trainer, LanguageModelJobTrainsAndReportsPerplexity) {
+  const TrainResult r = run_training(small_lm_job(StrategyKind::kBsp, 40));
+  EXPECT_GT(r.final_eval.perplexity, 1.0);
+  EXPECT_LT(r.final_eval.perplexity, 40.0);  // below uniform 32-vocab ppl + slack
+}
+
+TEST(Trainer, PerplexityTargetStopsLmJob) {
+  TrainJob job = small_lm_job(StrategyKind::kBsp, 4000);
+  job.eval_interval = 25;
+  job.target_perplexity = 31.0;
+  const TrainResult r = run_training(job);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.iterations, 4000u);
+}
+
+TEST(Trainer, DivergenceDetectedAndStopsEarly) {
+  // An absurd learning rate blows the loss up to inf/NaN; the trainer must
+  // flag it and stop instead of burning the whole budget.
+  TrainJob job = small_class_job(StrategyKind::kBsp, 4000);
+  job.eval_interval = 10;
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(1e9));
+  };
+  const TrainResult r = run_training(job);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_FALSE(r.reached_target);
+  EXPECT_LT(r.iterations, 4000u);
+}
+
+TEST(Trainer, HealthyRunIsNotFlaggedDiverged) {
+  const TrainResult r = run_training(small_class_job(StrategyKind::kBsp, 30));
+  EXPECT_FALSE(r.diverged);
+}
+
+TEST(Trainer, SspDivergenceStopsCluster) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 4000);
+  job.eval_interval = 10;
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(1e9));
+  };
+  const TrainResult r = run_training(job);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_LT(r.iterations, 4000u);
+}
+
+TEST(Trainer, EmaEvaluationChangesEvalNotTraining) {
+  TrainJob plain = small_class_job(StrategyKind::kBsp, 60);
+  TrainJob ema = plain;
+  ema.ema_decay = 0.95;
+  const TrainResult rp = run_training(plain);
+  const TrainResult re = run_training(ema);
+  // Same training trajectory (EMA only affects what gets evaluated)...
+  EXPECT_EQ(rp.iterations, re.iterations);
+  // ...but a different evaluation path; both sane.
+  EXPECT_TRUE(std::isfinite(re.final_eval.loss));
+  EXPECT_GT(re.best_top1, 0.15);
+}
+
+TEST(Trainer, EmaDecayValidated) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 10);
+  job.ema_decay = 1.0;
+  EXPECT_THROW(run_training(job), std::invalid_argument);
+}
+
+TEST(Trainer, ValidatesJobBeforeRunning) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.batch_size = 0;
+  EXPECT_THROW(run_training(job), std::invalid_argument);
+}
+
+TEST(TrainResult, CommReductionFromLssr) {
+  TrainResult r;
+  r.local_steps = 90;
+  r.sync_steps = 10;
+  EXPECT_NEAR(r.lssr(), 0.9, 1e-9);
+  EXPECT_NEAR(r.comm_reduction(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace selsync

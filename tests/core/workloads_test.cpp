@@ -1,0 +1,84 @@
+#include "core/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+TEST(Workloads, FourStandardWorkloads) {
+  const auto all = all_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "ResNet101");
+  EXPECT_EQ(all[1].name, "VGG11");
+  EXPECT_EQ(all[2].name, "AlexNet");
+  EXPECT_EQ(all[3].name, "Transformer");
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_EQ(workload_by_name("VGG11").name, "VGG11");
+  EXPECT_TRUE(workload_by_name("Transformer").is_lm);
+  EXPECT_TRUE(workload_by_name("AlexNet").top5_metric);
+  EXPECT_THROW(workload_by_name("GPT-5"), std::invalid_argument);
+}
+
+TEST(Workloads, DatasetsAndFactoriesWiredUp) {
+  for (const Workload& w : all_workloads()) {
+    ASSERT_TRUE(w.train) << w.name;
+    ASSERT_TRUE(w.test) << w.name;
+    EXPECT_GT(w.train->size(), w.test->size()) << w.name;
+    auto model = w.model_factory(1);
+    ASSERT_TRUE(model) << w.name;
+    EXPECT_GT(model->param_count(), 0u) << w.name;
+    EXPECT_EQ(model->is_language_model(), w.is_lm) << w.name;
+    auto optimizer = w.optimizer_factory();
+    ASSERT_TRUE(optimizer) << w.name;
+  }
+}
+
+TEST(Workloads, ProfilesMatchPaperModels) {
+  EXPECT_EQ(workload_resnet().profile.name, "ResNet101");
+  EXPECT_EQ(workload_vgg().profile.name, "VGG11");
+  EXPECT_EQ(workload_alexnet().profile.name, "AlexNet");
+  EXPECT_EQ(workload_transformer().profile.name, "Transformer");
+}
+
+TEST(Workloads, MakeJobIsValid) {
+  for (const Workload& w : all_workloads()) {
+    const TrainJob job = make_job(w, StrategyKind::kBsp, 4, 50);
+    EXPECT_NO_THROW(job.validate()) << w.name;
+    EXPECT_EQ(job.workers, 4u);
+    EXPECT_EQ(job.max_iterations, 50u);
+  }
+}
+
+TEST(Workloads, MetricHelpersDispatch) {
+  const Workload lm = workload_transformer();
+  const Workload cls = workload_resnet();
+  EvalPoint pt;
+  pt.top1 = 0.8;
+  pt.perplexity = 12.0;
+  EXPECT_DOUBLE_EQ(primary_metric(lm, pt), 12.0);
+  EXPECT_DOUBLE_EQ(primary_metric(cls, pt), 0.8);
+  EXPECT_TRUE(metric_improves(lm, 10.0, 12.0));   // lower ppl is better
+  EXPECT_FALSE(metric_improves(lm, 14.0, 12.0));
+  EXPECT_TRUE(metric_improves(cls, 0.9, 0.8));    // higher acc is better
+  EXPECT_STREQ(metric_name(lm), "perplexity");
+  EXPECT_STREQ(metric_name(cls), "top1-acc");
+  EXPECT_STREQ(metric_name(workload_alexnet()), "top5-acc");
+}
+
+TEST(Workloads, EachTrainsOneStep) {
+  for (const Workload& w : all_workloads()) {
+    auto model = w.model_factory(1);
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < w.batch_size; ++i) idx.push_back(i);
+    const float loss = model->train_step(w.train->make_batch(idx));
+    EXPECT_TRUE(std::isfinite(loss)) << w.name;
+    EXPECT_GT(loss, 0.f) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,92 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+ClassificationDataset tiny_flat() {
+  // 4 samples, 2 features.
+  return ClassificationDataset({0, 1, 2, 3, 4, 5, 6, 7}, 2, {0, 1, 0, 1}, 2);
+}
+
+TEST(ClassificationDataset, SizeAndLabels) {
+  const auto ds = tiny_flat();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.label_of(0), 0);
+  EXPECT_EQ(ds.label_of(3), 1);
+  EXPECT_EQ(ds.sample_bytes(), 2 * sizeof(float));
+}
+
+TEST(ClassificationDataset, MakeBatchGathersRows) {
+  const auto ds = tiny_flat();
+  const Batch b = ds.make_batch({2, 0});
+  EXPECT_EQ(b.x.dim(0), 2u);
+  EXPECT_EQ(b.x.dim(1), 2u);
+  EXPECT_FLOAT_EQ(b.x.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(b.x.at(1, 1), 1.f);
+  EXPECT_EQ(b.targets, (std::vector<int>{0, 0}));
+}
+
+TEST(ClassificationDataset, MakeBatchRejectsBadIndex) {
+  const auto ds = tiny_flat();
+  EXPECT_THROW(ds.make_batch({4}), std::out_of_range);
+}
+
+TEST(ClassificationDataset, ImageShapeProducesRank4Batches) {
+  std::vector<float> features(2 * 12, 1.f);
+  ClassificationDataset ds(std::move(features), 12, {0, 1}, 2, {3, 2, 2});
+  const Batch b = ds.make_batch({0, 1});
+  ASSERT_EQ(b.x.rank(), 4u);
+  EXPECT_EQ(b.x.dim(1), 3u);
+  EXPECT_EQ(b.x.dim(2), 2u);
+}
+
+TEST(ClassificationDataset, ValidatesShapes) {
+  EXPECT_THROW(ClassificationDataset({1, 2, 3}, 2, {0, 1}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ClassificationDataset(std::vector<float>(8, 0.f), 4, {0, 1}, 2, {2, 3}),
+      std::invalid_argument);
+  EXPECT_THROW(ClassificationDataset(std::vector<float>(8, 0.f), 4, {0, 1}, 2,
+                                     {1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(SequenceDataset, WindowsAndTargetsShiftByOne) {
+  SequenceDataset ds({0, 1, 2, 3, 4, 5, 6, 7, 8}, 10, 4);
+  EXPECT_EQ(ds.size(), 2u);  // (9-1)/4
+  const Batch b = ds.make_batch({0, 1});
+  EXPECT_EQ(b.tokens.size(), 8u);
+  EXPECT_EQ(b.tokens[0], 0);
+  EXPECT_EQ(b.targets[0], 1);  // next token
+  EXPECT_EQ(b.tokens[4], 4);
+  EXPECT_EQ(b.targets[7], 8);
+  EXPECT_TRUE(b.is_lm());
+}
+
+TEST(SequenceDataset, RejectsShortStream) {
+  EXPECT_THROW(SequenceDataset({0, 1}, 10, 4), std::invalid_argument);
+}
+
+TEST(SequenceDataset, RejectsBadWindow) {
+  SequenceDataset ds({0, 1, 2, 3, 4, 5, 6, 7, 8}, 10, 4);
+  EXPECT_THROW(ds.make_batch({2}), std::out_of_range);
+}
+
+TEST(Batch, ExampleCountBothKinds) {
+  Batch lm;
+  lm.tokens = {1, 2, 3};
+  lm.targets = {2, 3, 4};
+  EXPECT_EQ(lm.example_count(), 3u);
+
+  Batch cls;
+  cls.x = Tensor({5, 2});
+  cls.targets = {0, 0, 0, 0, 0};
+  EXPECT_EQ(cls.example_count(), 5u);
+  EXPECT_FALSE(cls.is_lm());
+}
+
+}  // namespace
+}  // namespace selsync

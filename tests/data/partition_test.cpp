@@ -1,0 +1,187 @@
+// Properties of the three partitioning schemes (paper §III-D, Fig. 7).
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(DefDP, ChunksAreDisjointAndCoverAll) {
+  const Partition p = partition_default(100, 4, 1);
+  ASSERT_EQ(p.workers(), 4u);
+  std::set<size_t> all;
+  for (const auto& order : p.worker_order) {
+    EXPECT_EQ(order.size(), 25u);
+    all.insert(order.begin(), order.end());
+  }
+  EXPECT_EQ(all.size(), 100u);  // disjoint union == full dataset
+}
+
+TEST(DefDP, UnevenSplitSpreadsRemainder) {
+  const Partition p = partition_default(10, 3, 1);
+  std::vector<size_t> sizes;
+  for (const auto& o : p.worker_order) sizes.push_back(o.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 4}));
+}
+
+TEST(DefDP, DeterministicBySeed) {
+  EXPECT_EQ(partition_default(50, 4, 7).worker_order,
+            partition_default(50, 4, 7).worker_order);
+  EXPECT_NE(partition_default(50, 4, 7).worker_order,
+            partition_default(50, 4, 8).worker_order);
+}
+
+TEST(SelDP, EveryWorkerSeesWholeDataset) {
+  // The paper: "SelDP ensures all training samples are available to every
+  // worker".
+  const Partition p = partition_selsync(60, 4, 2);
+  for (const auto& order : p.worker_order) {
+    EXPECT_EQ(order.size(), 60u);
+    std::set<size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 60u);
+  }
+}
+
+TEST(SelDP, HeadsAreRotatedChunks) {
+  // Worker w's first chunk equals DefDP's chunk w (same seed): at any
+  // synchronized iteration each worker contributes a distinct chunk.
+  const size_t n = 64, workers = 4, seed = 3;
+  const Partition def = partition_default(n, workers, seed);
+  const Partition sel = partition_selsync(n, workers, seed);
+  const size_t chunk = n / workers;
+  for (size_t w = 0; w < workers; ++w)
+    for (size_t i = 0; i < chunk; ++i)
+      EXPECT_EQ(sel.worker_order[w][i], def.worker_order[w][i])
+          << "worker " << w << " pos " << i;
+}
+
+TEST(SelDP, CircularRotationOrder) {
+  // Worker w's stream is chunks (w, w+1, ..., w-1): worker 1's first chunk
+  // is worker 0's second chunk.
+  const Partition sel = partition_selsync(40, 4, 9);
+  const size_t chunk = 10;
+  for (size_t i = 0; i < chunk; ++i)
+    EXPECT_EQ(sel.worker_order[1][i], sel.worker_order[0][chunk + i]);
+  // ...and worker 3's last chunk is worker 0's third chunk.
+  for (size_t i = 0; i < chunk; ++i)
+    EXPECT_EQ(sel.worker_order[3][3 * chunk + i],
+              sel.worker_order[0][2 * chunk + i]);
+}
+
+TEST(Partition, RejectsDegenerateInputs) {
+  EXPECT_THROW(partition_default(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(partition_default(3, 4, 1), std::invalid_argument);
+}
+
+TEST(NonIid, OneLabelPerWorkerIsPure) {
+  // The paper's CIFAR10 non-IID split: 10 workers, 1 label each.
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 1000;
+  cfg.classes = 10;
+  const auto data = make_synthetic_classification(cfg);
+  const Partition p = partition_noniid_by_label(*data.train, 10, 1, 4);
+  std::set<int> labels_used;
+  for (size_t w = 0; w < 10; ++w) {
+    std::set<int> labels;
+    for (size_t idx : p.worker_order[w])
+      labels.insert(data.train->label_of(idx));
+    EXPECT_EQ(labels.size(), 1u) << "worker " << w;
+    labels_used.insert(*labels.begin());
+  }
+  EXPECT_EQ(labels_used.size(), 10u);  // each worker a distinct label
+}
+
+TEST(NonIid, MultipleLabelsPerWorker) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 2000;
+  cfg.classes = 20;
+  const auto data = make_synthetic_classification(cfg);
+  const Partition p = partition_noniid_by_label(*data.train, 4, 5, 4);
+  for (size_t w = 0; w < 4; ++w) {
+    std::set<int> labels;
+    for (size_t idx : p.worker_order[w])
+      labels.insert(data.train->label_of(idx));
+    EXPECT_EQ(labels.size(), 5u);
+  }
+}
+
+TEST(NonIid, RejectsUnlabelledData) {
+  SequenceDataset lm({0, 1, 2, 3, 4, 5, 6, 7, 8}, 10, 4);
+  EXPECT_THROW(partition_noniid_by_label(lm, 2, 1, 1), std::invalid_argument);
+}
+
+TEST(MakePartition, DispatchesAllSchemes) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 100;
+  cfg.classes = 10;
+  const auto data = make_synthetic_classification(cfg);
+  EXPECT_EQ(make_partition(PartitionScheme::kDefault, *data.train, 4, 1, 1)
+                .worker_order[0]
+                .size(),
+            25u);
+  EXPECT_EQ(make_partition(PartitionScheme::kSelSync, *data.train, 4, 1, 1)
+                .worker_order[0]
+                .size(),
+            100u);
+  EXPECT_EQ(
+      make_partition(PartitionScheme::kNonIidLabel, *data.train, 10, 1, 1)
+          .workers(),
+      10u);
+}
+
+TEST(SchemeNames, AreStable) {
+  EXPECT_STREQ(partition_scheme_name(PartitionScheme::kDefault), "DefDP");
+  EXPECT_STREQ(partition_scheme_name(PartitionScheme::kSelSync), "SelDP");
+  EXPECT_STREQ(partition_scheme_name(PartitionScheme::kNonIidLabel), "NonIID");
+}
+
+TEST(ShardLoader, WrapsAroundCyclically) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 10;
+  const auto data = make_synthetic_classification(cfg);
+  ShardLoader loader(data.train, {0, 1, 2}, 2);
+  EXPECT_EQ(loader.next_indices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(loader.next_indices(), (std::vector<size_t>{2, 0}));
+  EXPECT_EQ(loader.next_indices(), (std::vector<size_t>{1, 2}));
+}
+
+TEST(ShardLoader, EpochAccounting) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 10;
+  const auto data = make_synthetic_classification(cfg);
+  ShardLoader loader(data.train, {0, 1, 2, 3}, 2);
+  EXPECT_DOUBLE_EQ(loader.epochs_consumed(), 0.0);
+  loader.next_indices();
+  loader.next_indices();
+  EXPECT_DOUBLE_EQ(loader.epochs_consumed(), 1.0);
+}
+
+TEST(ShardLoader, NextBatchMaterializes) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 10;
+  const auto data = make_synthetic_classification(cfg);
+  ShardLoader loader(data.train, {5, 6}, 2);
+  const Batch b = loader.next_batch();
+  EXPECT_EQ(b.x.dim(0), 2u);
+}
+
+TEST(ShardLoader, Validation) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 10;
+  const auto data = make_synthetic_classification(cfg);
+  EXPECT_THROW(ShardLoader(nullptr, {0}, 1), std::invalid_argument);
+  EXPECT_THROW(ShardLoader(data.train, {}, 1), std::invalid_argument);
+  EXPECT_THROW(ShardLoader(data.train, {0}, 0), std::invalid_argument);
+  ShardLoader ok(data.train, {0}, 1);
+  EXPECT_THROW(ok.set_batch_size(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

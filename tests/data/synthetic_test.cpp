@@ -1,0 +1,196 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace selsync {
+namespace {
+
+TEST(SyntheticClassification, SizesAndLabelRange) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 200;
+  cfg.test_samples = 50;
+  cfg.classes = 5;
+  const auto data = make_synthetic_classification(cfg);
+  EXPECT_EQ(data.train->size(), 200u);
+  EXPECT_EQ(data.test->size(), 50u);
+  for (size_t i = 0; i < data.train->size(); ++i) {
+    EXPECT_GE(data.train->label_of(i), 0);
+    EXPECT_LT(data.train->label_of(i), 5);
+  }
+}
+
+TEST(SyntheticClassification, AllClassesPresent) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 500;
+  cfg.classes = 10;
+  const auto data = make_synthetic_classification(cfg);
+  std::set<int> seen;
+  for (size_t i = 0; i < data.train->size(); ++i)
+    seen.insert(data.train->label_of(i));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SyntheticClassification, DeterministicBySeed) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 50;
+  const auto a = make_synthetic_classification(cfg);
+  const auto b = make_synthetic_classification(cfg);
+  const Batch ba = a.train->make_batch({0, 1, 2});
+  const Batch bb = b.train->make_batch({0, 1, 2});
+  for (size_t i = 0; i < ba.x.size(); ++i) EXPECT_EQ(ba.x[i], bb.x[i]);
+  EXPECT_EQ(ba.targets, bb.targets);
+}
+
+TEST(SyntheticClassification, DifferentSeedsDiffer) {
+  SyntheticClassConfig a_cfg, b_cfg;
+  a_cfg.train_samples = b_cfg.train_samples = 50;
+  b_cfg.seed = a_cfg.seed + 1;
+  const auto a = make_synthetic_classification(a_cfg);
+  const auto b = make_synthetic_classification(b_cfg);
+  const Batch ba = a.train->make_batch({0});
+  const Batch bb = b.train->make_batch({0});
+  bool identical = ba.targets == bb.targets;
+  for (size_t i = 0; identical && i < ba.x.size(); ++i)
+    identical = ba.x[i] == bb.x[i];
+  EXPECT_FALSE(identical);
+}
+
+TEST(SyntheticClassification, FeaturesBoundedByTanhWarp) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 100;
+  const auto data = make_synthetic_classification(cfg);
+  const Batch b = data.train->make_batch({0, 1, 2, 3, 4});
+  for (size_t i = 0; i < b.x.size(); ++i) {
+    EXPECT_GE(b.x[i], -1.f);
+    EXPECT_LE(b.x[i], 1.f);
+  }
+}
+
+TEST(SyntheticClassification, ImageModeShape) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 20;
+  cfg.test_samples = 10;
+  cfg.image_mode = true;
+  cfg.channels = 3;
+  cfg.height = 8;
+  cfg.width = 8;
+  const auto data = make_synthetic_classification(cfg);
+  const Batch b = data.train->make_batch({0, 1});
+  ASSERT_EQ(b.x.rank(), 4u);
+  EXPECT_EQ(b.x.dim(1), 3u);
+  EXPECT_EQ(b.x.dim(2), 8u);
+  EXPECT_EQ(b.x.dim(3), 8u);
+}
+
+TEST(SyntheticClassification, TaskIsLearnableAboveChance) {
+  // A nearest-class-mean classifier on the warped features must beat 1/K
+  // chance, i.e. the generator preserves class structure through the warp.
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 1500;
+  cfg.test_samples = 300;
+  cfg.classes = 5;
+  cfg.feature_dim = 32;
+  const auto data = make_synthetic_classification(cfg);
+
+  const size_t d = 32;
+  std::vector<std::vector<double>> means(5, std::vector<double>(d, 0.0));
+  std::vector<size_t> counts(5, 0);
+  for (size_t i = 0; i < data.train->size(); ++i) {
+    const Batch b = data.train->make_batch({i});
+    const int y = b.targets[0];
+    for (size_t j = 0; j < d; ++j) means[y][j] += b.x[j];
+    ++counts[y];
+  }
+  for (int k = 0; k < 5; ++k)
+    for (size_t j = 0; j < d; ++j) means[k][j] /= counts[k];
+
+  size_t hits = 0;
+  for (size_t i = 0; i < data.test->size(); ++i) {
+    const Batch b = data.test->make_batch({i});
+    double best = 1e30;
+    int arg = -1;
+    for (int k = 0; k < 5; ++k) {
+      double dist = 0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = b.x[j] - means[k][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        arg = k;
+      }
+    }
+    if (arg == b.targets[0]) ++hits;
+  }
+  const double acc = static_cast<double>(hits) / data.test->size();
+  EXPECT_GT(acc, 0.4) << "chance is 0.2";
+}
+
+TEST(SyntheticText, StreamAndWindowSizes) {
+  SyntheticTextConfig cfg;
+  cfg.train_tokens = 1000;
+  cfg.test_tokens = 200;
+  cfg.vocab = 16;
+  cfg.seq_len = 8;
+  const auto data = make_synthetic_text(cfg);
+  EXPECT_EQ(data.train->size(), (1000 - 1) / 8);
+  EXPECT_EQ(data.train->vocab(), 16u);
+  EXPECT_EQ(data.train->seq_len(), 8u);
+}
+
+TEST(SyntheticText, TokensInVocab) {
+  SyntheticTextConfig cfg;
+  cfg.train_tokens = 500;
+  cfg.vocab = 12;
+  const auto data = make_synthetic_text(cfg);
+  const Batch b = data.train->make_batch({0, 1, 2});
+  for (int t : b.tokens) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 12);
+  }
+}
+
+TEST(SyntheticText, MarkovStructureIsPredictable) {
+  // With low temperature, the empirical conditional entropy must be far
+  // below log(vocab): the LM task has learnable structure.
+  SyntheticTextConfig cfg;
+  cfg.train_tokens = 20000;
+  cfg.vocab = 16;
+  cfg.branching = 3;
+  cfg.temperature = 0.1;
+  const auto data = make_synthetic_text(cfg);
+  // Count distinct successors per token over the stream.
+  std::vector<std::set<int>> succ(16);
+  Batch all = data.train->make_batch([&] {
+    std::vector<size_t> idx(data.train->size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    return idx;
+  }());
+  size_t dominant = 0;
+  std::map<std::pair<int, int>, int> bigram;
+  std::map<int, int> unigram;
+  for (size_t i = 0; i < all.tokens.size(); ++i) {
+    bigram[{all.tokens[i], all.targets[i]}]++;
+    unigram[all.tokens[i]]++;
+  }
+  for (const auto& [pair, count] : bigram)
+    if (count > unigram[pair.first] / 8) ++dominant;
+  // Each token should have a handful of dominant successors, not all 16.
+  EXPECT_LT(dominant, 16 * 8);
+  EXPECT_GT(dominant, 0u);
+}
+
+TEST(SyntheticText, RejectsBadConfig) {
+  SyntheticTextConfig cfg;
+  cfg.branching = 0;
+  EXPECT_THROW(make_synthetic_text(cfg), std::invalid_argument);
+  cfg.branching = 100;
+  cfg.vocab = 10;
+  EXPECT_THROW(make_synthetic_text(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

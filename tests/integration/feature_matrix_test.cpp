@@ -1,0 +1,108 @@
+// Feature-composition matrix: the orthogonal knobs (strategy, transport,
+// compression, quorum, stragglers, injection) must compose without breaking
+// the trainer's invariants. Each combination runs end to end and must keep
+// accounting consistent, stay finite, and be deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+struct Combo {
+  const char* name;
+  StrategyKind strategy;
+  Transport transport;
+  CompressionKind compression;
+  double quorum;
+  bool straggler;
+  bool injection;
+};
+
+class FeatureMatrix : public ::testing::TestWithParam<Combo> {};
+
+TrainJob job_for(const Combo& combo) {
+  TrainJob job = small_class_job(combo.strategy, 60);
+  job.transport = combo.transport;
+  if (combo.compression != CompressionKind::kNone) {
+    job.compression = {combo.compression, 0.05, true};
+    if (combo.strategy == StrategyKind::kSelSync)
+      job.selsync.aggregation = AggregationMode::kGradients;
+  }
+  job.selsync.delta = 0.02;
+  job.selsync.sync_quorum = combo.quorum;
+  if (combo.straggler) {
+    job.worker_speed.assign(job.workers, 1.0);
+    job.worker_speed.back() = 3.0;
+  }
+  if (combo.injection) {
+    job.partition = PartitionScheme::kNonIidLabel;
+    job.labels_per_worker = 3;  // 4 workers x 3 labels over 10 classes
+    job.injection = {true, 0.5, 0.5};
+  }
+  return job;
+}
+
+TEST_P(FeatureMatrix, RunsWithConsistentAccounting) {
+  const TrainResult r = run_training(job_for(GetParam()));
+  EXPECT_EQ(r.iterations, 60u);
+  if (r.lssr_applicable)
+    EXPECT_EQ(r.sync_steps + r.local_steps, r.iterations);
+  EXPECT_TRUE(std::isfinite(r.final_eval.loss));
+  EXPECT_FALSE(r.diverged);
+  EXPECT_GE(r.comm_bytes, 0.0);
+  EXPECT_GT(r.sim_time_s, 0.0);
+}
+
+TEST_P(FeatureMatrix, Deterministic) {
+  if (GetParam().strategy == StrategyKind::kSsp)
+    GTEST_SKIP() << "SSP is asynchronous by design: thread interleaving "
+                    "legitimately changes the update order";
+  const TrainJob job = job_for(GetParam());
+  const TrainResult a = run_training(job);
+  const TrainResult b = run_training(job);
+  EXPECT_EQ(a.sync_steps, b.sync_steps);
+  EXPECT_DOUBLE_EQ(a.final_eval.loss, b.final_eval.loss);
+  EXPECT_DOUBLE_EQ(a.sim_time_s, b.sim_time_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FeatureMatrix,
+    ::testing::Values(
+        Combo{"selsync_ring_topk", StrategyKind::kSelSync,
+              Transport::kMessagePassingRing, CompressionKind::kTopK, 0.0,
+              false, false},
+        Combo{"selsync_quorum_straggler", StrategyKind::kSelSync,
+              Transport::kSharedMemory, CompressionKind::kNone, 0.5, true,
+              false},
+        Combo{"selsync_injection_noniid", StrategyKind::kSelSync,
+              Transport::kSharedMemory, CompressionKind::kNone, 0.0, false,
+              true},
+        Combo{"bsp_ring_signsgd_straggler", StrategyKind::kBsp,
+              Transport::kMessagePassingRing, CompressionKind::kSignSgd, 0.0,
+              true, false},
+        Combo{"bsp_quant8", StrategyKind::kBsp, Transport::kSharedMemory,
+              CompressionKind::kQuant8, 0.0, false, false},
+        Combo{"fedavg_ring", StrategyKind::kFedAvg,
+              Transport::kMessagePassingRing, CompressionKind::kNone, 0.0,
+              false, false},
+        Combo{"easgd_straggler", StrategyKind::kEasgd,
+              Transport::kSharedMemory, CompressionKind::kNone, 0.0, true,
+              false},
+        Combo{"easgd_ring", StrategyKind::kEasgd,
+              Transport::kMessagePassingRing, CompressionKind::kNone, 0.0,
+              false, false},
+        Combo{"local_injection", StrategyKind::kLocalSgd,
+              Transport::kSharedMemory, CompressionKind::kNone, 0.0, false,
+              true},
+        Combo{"ssp_straggler", StrategyKind::kSsp, Transport::kSharedMemory,
+              CompressionKind::kNone, 0.0, true, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace selsync

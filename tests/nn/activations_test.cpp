@@ -1,0 +1,81 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+TEST(ReLU, ClampsNegativesForwardAndBackward) {
+  ReLU relu;
+  const Tensor x({4}, {-2, -0.5f, 0.5f, 2});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 2.f);
+
+  const Tensor g = Tensor::full({4}, 1.f);
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.f);
+  EXPECT_FLOAT_EQ(gx[2], 1.f);
+}
+
+TEST(ReLU, ZeroInputHasZeroGradient) {
+  ReLU relu;
+  const Tensor x({1}, {0.f});
+  (void)relu.forward(x);
+  const Tensor gx = relu.backward(Tensor::full({1}, 1.f));
+  EXPECT_FLOAT_EQ(gx[0], 0.f);
+}
+
+TEST(Tanh, MatchesStdTanh) {
+  Tanh tanh_layer;
+  const Tensor x({3}, {-1.f, 0.f, 1.f});
+  const Tensor y = tanh_layer.forward(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], std::tanh(x[i]), 1e-6);
+}
+
+TEST(Tanh, DerivativeIsOneMinusSquare) {
+  Tanh tanh_layer;
+  const Tensor x({1}, {0.7f});
+  const Tensor y = tanh_layer.forward(x);
+  const Tensor gx = tanh_layer.backward(Tensor::full({1}, 1.f));
+  EXPECT_NEAR(gx[0], 1.f - y[0] * y[0], 1e-6);
+}
+
+TEST(GELU, KnownValues) {
+  GELU gelu;
+  const Tensor x({3}, {-10.f, 0.f, 10.f});
+  const Tensor y = gelu.forward(x);
+  EXPECT_NEAR(y[0], 0.f, 1e-4);   // far negative saturates to 0
+  EXPECT_NEAR(y[1], 0.f, 1e-6);   // gelu(0) = 0
+  EXPECT_NEAR(y[2], 10.f, 1e-4);  // far positive is identity
+}
+
+TEST(GELU, GradientMatchesFiniteDifference) {
+  GELU gelu;
+  for (float v : {-1.5f, -0.3f, 0.2f, 1.1f}) {
+    const Tensor x({1}, {v});
+    (void)gelu.forward(x);
+    const Tensor gx = gelu.backward(Tensor::full({1}, 1.f));
+    const float eps = 1e-3f;
+    GELU probe;
+    const float up = probe.forward(Tensor({1}, {v + eps}))[0];
+    const float down = probe.forward(Tensor({1}, {v - eps}))[0];
+    EXPECT_NEAR(gx[0], (up - down) / (2 * eps), 1e-3) << "at x=" << v;
+  }
+}
+
+TEST(Activations, UpstreamGradientScales) {
+  ReLU relu;
+  const Tensor x({2}, {1.f, 2.f});
+  (void)relu.forward(x);
+  const Tensor gx = relu.backward(Tensor({2}, {3.f, -4.f}));
+  EXPECT_FLOAT_EQ(gx[0], 3.f);
+  EXPECT_FLOAT_EQ(gx[1], -4.f);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,100 @@
+#include "nn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(Attention, OutputShapeMatchesInput) {
+  Rng rng(1);
+  MultiHeadSelfAttention attn(16, 2, 4, rng);
+  const Tensor x = Tensor::randn({8, 16}, rng);  // B=2, T=4
+  const Tensor y = attn.forward(x);
+  EXPECT_EQ(y.dim(0), 8u);
+  EXPECT_EQ(y.dim(1), 16u);
+}
+
+TEST(Attention, RejectsBadRowCount) {
+  Rng rng(2);
+  MultiHeadSelfAttention attn(8, 2, 4, rng);
+  const Tensor x = Tensor::zeros({6, 8});  // 6 not divisible by T=4
+  EXPECT_THROW(attn.forward(x), std::invalid_argument);
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  Rng rng(3);
+  EXPECT_THROW(MultiHeadSelfAttention(10, 3, 4, rng), std::invalid_argument);
+}
+
+TEST(Attention, CausalMaskingFirstTokenSeesOnlyItself) {
+  // With causal masking, output row 0 of each sequence depends only on
+  // input row 0: changing later tokens must not change it.
+  Rng rng(4);
+  MultiHeadSelfAttention attn(8, 2, 3, rng);
+  Tensor x = Tensor::randn({3, 8}, rng);  // B=1, T=3
+  const Tensor y1 = attn.forward(x);
+  for (size_t c = 0; c < 8; ++c) x.at(2, c) += 1.f;  // perturb last token
+  const Tensor y2 = attn.forward(x);
+  for (size_t c = 0; c < 8; ++c)
+    EXPECT_FLOAT_EQ(y1.at(0, c), y2.at(0, c)) << "col " << c;
+  // ...but the last token's output must change.
+  bool changed = false;
+  for (size_t c = 0; c < 8; ++c)
+    if (y1.at(2, c) != y2.at(2, c)) changed = true;
+  EXPECT_TRUE(changed);
+}
+
+TEST(Attention, BatchesAreIndependent) {
+  Rng rng(5);
+  MultiHeadSelfAttention attn(8, 2, 2, rng);
+  Tensor x = Tensor::randn({4, 8}, rng);  // B=2, T=2
+  const Tensor y1 = attn.forward(x);
+  for (size_t c = 0; c < 8; ++c) x.at(3, c) += 2.f;  // perturb batch 1 only
+  const Tensor y2 = attn.forward(x);
+  for (size_t r = 0; r < 2; ++r)  // batch 0 rows unchanged
+    for (size_t c = 0; c < 8; ++c) EXPECT_FLOAT_EQ(y1.at(r, c), y2.at(r, c));
+}
+
+TEST(Attention, CollectsQkvAndProjParams) {
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, 2, rng, true, "a0");
+  std::vector<Param*> params;
+  attn.collect_params(params);
+  // qkv weight+bias, proj weight+bias
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->value.size(), 3u * 8 * 8);
+  EXPECT_EQ(params[2]->value.size(), 8u * 8);
+}
+
+TEST(Attention, GradientMatchesFiniteDifferenceOnInput) {
+  Rng rng(7);
+  MultiHeadSelfAttention attn(8, 2, 3, rng);
+  const Tensor x = Tensor::randn({3, 8}, rng, 0.f, 0.5f);
+  Tensor probe = Tensor::randn({3, 8}, rng);
+
+  auto objective = [&](const Tensor& in) {
+    const Tensor y = attn.forward(in);
+    double acc = 0;
+    for (size_t i = 0; i < y.size(); ++i)
+      acc += static_cast<double>(y[i]) * probe[i];
+    return acc;
+  };
+
+  (void)attn.forward(x);
+  std::vector<Param*> params;
+  attn.collect_params(params);
+  zero_grads(params);
+  const Tensor gx = attn.backward(probe);
+
+  const float eps = 1e-2f;
+  for (size_t i = 0; i < x.size(); i += 5) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd = (objective(xp) - objective(xm)) / (2.0 * eps);
+    EXPECT_NEAR(gx[i], fd, 3e-2) << "input grad " << i;
+  }
+}
+
+}  // namespace
+}  // namespace selsync

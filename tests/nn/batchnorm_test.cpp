@@ -1,0 +1,93 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/nn/gradcheck.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(BatchNorm, NormalizesColumnsInTraining) {
+  BatchNorm1d bn(3);
+  Rng rng(1);
+  const Tensor x = Tensor::randn({16, 3}, rng, 4.f, 2.f);
+  const Tensor y = bn.forward(x);
+  for (size_t j = 0; j < 3; ++j) {
+    double mean = 0, var = 0;
+    for (size_t r = 0; r < 16; ++r) mean += y.at(r, j);
+    mean /= 16;
+    for (size_t r = 0; r < 16; ++r) {
+      const double d = y.at(r, j) - mean;
+      var += d * d;
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  BatchNorm1d bn(1);
+  std::vector<Param*> params;
+  bn.collect_params(params);
+  params[0]->value[0] = 3.f;   // gamma
+  params[1]->value[0] = -1.f;  // beta
+  const Tensor x({4, 1}, {0.f, 1.f, 2.f, 3.f});
+  const Tensor y = bn.forward(x);
+  // normalized column has mean 0, so scaled outputs average to beta.
+  float mean = 0;
+  for (size_t r = 0; r < 4; ++r) mean += y.at(r, 0);
+  EXPECT_NEAR(mean / 4, -1.f, 1e-5);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  BatchNorm1d bn(2, "bn", 1e-5f, 0.2f);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i)
+    (void)bn.forward(Tensor::randn({32, 2}, rng, 5.f, 3.f));
+  EXPECT_NEAR(bn.running_mean()[0], 5.f, 0.5f);
+  EXPECT_NEAR(bn.running_var()[1], 9.f, 1.5f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm1d bn(1, "bn", 1e-5f, 1.0f);  // momentum 1: adopt last batch
+  const Tensor train_batch({4, 1}, {2.f, 4.f, 6.f, 8.f});  // mean 5, var 5
+  (void)bn.forward(train_batch);
+  bn.set_training(false);
+  const Tensor x({1, 1}, {5.f});
+  const Tensor y = bn.forward(x);
+  EXPECT_NEAR(y[0], 0.f, 1e-3);  // (5 - 5)/sqrt(5) = 0
+  // Eval output is deterministic regardless of batch composition.
+  const Tensor x2({2, 1}, {5.f, 100.f});
+  EXPECT_NEAR(bn.forward(x2)[0], y[0], 1e-6);
+}
+
+TEST(BatchNorm, RejectsBadShapes) {
+  BatchNorm1d bn(4);
+  EXPECT_THROW(bn.forward(Tensor::zeros({2, 3})), std::invalid_argument);
+  EXPECT_THROW(bn.forward(Tensor::zeros({1, 4})), std::invalid_argument);
+}
+
+TEST(BatchNorm, GradCheck) {
+  Rng rng(3);
+  BatchNorm1d bn(5);
+  testing::GradCheckOptions opt;
+  opt.tolerance = 3e-2f;
+  testing::check_module_gradients(bn, Tensor::randn({6, 5}, rng), opt);
+}
+
+TEST(BatchNorm, BuffersAreNotParameters) {
+  // The DDP-relevant property: running stats must not appear in the flat
+  // parameter payload (they are local state, like PyTorch buffers).
+  BatchNorm1d bn(4);
+  std::vector<Param*> params;
+  bn.collect_params(params);
+  size_t total = 0;
+  for (const Param* p : params) total += p->value.size();
+  EXPECT_EQ(total, 8u);  // gamma + beta only, not mean/var
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,77 @@
+#include "nn/conv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(Conv2dModule, ForwardShapeWithPadding) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, rng);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 8u);
+  EXPECT_EQ(y.dim(3), 8u);
+}
+
+TEST(Conv2dModule, ParamsAreWeightAndBias) {
+  Rng rng(2);
+  Conv2d conv(2, 4, 3, 1, rng, "c1");
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.size(), 4u * 2 * 3 * 3);
+  EXPECT_EQ(params[1]->value.size(), 4u);
+}
+
+TEST(Conv2dModule, BackwardAccumulates) {
+  Rng rng(3);
+  Conv2d conv(1, 2, 3, 1, rng);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor y = conv.forward(x);
+  const Tensor g = Tensor::full(y.shape(), 1.f);
+  (void)conv.backward(g);
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  const Tensor after_one = params[0]->grad;
+  (void)conv.forward(x);
+  (void)conv.backward(g);
+  for (size_t i = 0; i < after_one.size(); ++i)
+    EXPECT_NEAR(params[0]->grad[i], 2.f * after_one[i], 1e-4);
+}
+
+TEST(MaxPool2x2Module, ForwardBackwardRoundTrip) {
+  MaxPool2x2 pool;
+  const Tensor x({1, 1, 4, 4}, {1, 2, 3, 4,    //
+                                5, 6, 7, 8,    //
+                                9, 10, 11, 12,  //
+                                13, 14, 15, 16});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+  EXPECT_FLOAT_EQ(y[3], 16.f);
+
+  const Tensor g({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[5], 1.f);    // position of 6
+  EXPECT_FLOAT_EQ(gx[15], 4.f);   // position of 16
+  EXPECT_FLOAT_EQ(gx[0], 0.f);
+}
+
+TEST(FlattenModule, ForwardAndBackwardPreserveData) {
+  Flatten flatten;
+  Rng rng(4);
+  const Tensor x = Tensor::randn({2, 3, 2, 2}, rng);
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 12u);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+
+  const Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace selsync

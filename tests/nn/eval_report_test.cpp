@@ -1,0 +1,92 @@
+#include "nn/eval_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  // Class 0: predicted 3 times (2 correct), actually appears twice.
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 1.0);
+  const double p = 2.0 / 3.0, r = 1.0;
+  EXPECT_DOUBLE_EQ(cm.f1(0), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, EmptyDenominatorsAreZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // never appears
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+  EXPECT_EQ(cm.never_predicted_classes(), 2u);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, ToStringContainsSummary) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("accuracy 1.000"), std::string::npos);
+}
+
+TEST(EvaluateConfusion, MatchesModelAccuracy) {
+  SyntheticClassConfig cfg;
+  cfg.train_samples = 256;
+  cfg.test_samples = 128;
+  cfg.classes = 5;
+  cfg.feature_dim = 16;
+  const auto data = make_synthetic_classification(cfg);
+  ClassifierConfig mc;
+  mc.input_dim = 16;
+  mc.classes = 5;
+  mc.hidden = 16;
+  mc.resnet_blocks = 1;
+  auto model = make_resnet_mlp(mc, 1);
+
+  const ConfusionMatrix cm = evaluate_confusion(*model, *data.test, 32);
+  EXPECT_EQ(cm.total(), data.test->size());
+  const EvalStats stats = evaluate_dataset(*model, *data.test, 32);
+  EXPECT_NEAR(cm.accuracy(), stats.top1_accuracy(), 1e-9);
+}
+
+TEST(EvaluateConfusion, RejectsUnlabelledOrNonClassifier) {
+  SequenceDataset lm({0, 1, 2, 3, 4, 5, 6, 7, 8}, 10, 4);
+  ClassifierConfig mc;
+  mc.input_dim = 16;
+  mc.classes = 5;
+  mc.hidden = 16;
+  mc.resnet_blocks = 1;
+  auto model = make_resnet_mlp(mc, 1);
+  EXPECT_THROW(evaluate_confusion(*model, lm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,73 @@
+// Shared finite-difference gradient checker for Module implementations.
+//
+// Objective: L = sum(forward(x) ⊙ R) for a fixed random projection R, so
+// dL/dOutput = R. backward(R) must then match central differences both for
+// the input gradient and every parameter gradient.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "nn/module.hpp"
+
+namespace selsync::testing {
+
+struct GradCheckOptions {
+  float eps = 1e-2f;
+  float tolerance = 2e-2f;
+  size_t max_coords = 24;  // coordinates probed per tensor
+  uint64_t seed = 99;
+};
+
+inline void check_module_gradients(Module& module, const Tensor& input,
+                                   const GradCheckOptions& opt = {}) {
+  Rng rng(opt.seed);
+
+  Tensor out = module.forward(input);
+  Tensor probe = Tensor::randn(out.shape(), rng);
+
+  auto objective = [&](const Tensor& x) {
+    const Tensor y = module.forward(x);
+    double acc = 0.0;
+    for (size_t i = 0; i < y.size(); ++i)
+      acc += static_cast<double>(y[i]) * probe[i];
+    return acc;
+  };
+
+  std::vector<Param*> params;
+  module.collect_params(params);
+  zero_grads(params);
+  // Forward once more so module caches match the unperturbed input, then
+  // backprop the probe.
+  (void)module.forward(input);
+  const Tensor grad_in = module.backward(probe);
+  ASSERT_TRUE(grad_in.same_shape(input));
+
+  // Input gradient.
+  const size_t in_stride = std::max<size_t>(1, input.size() / opt.max_coords);
+  for (size_t i = 0; i < input.size(); i += in_stride) {
+    Tensor xp = input, xm = input;
+    xp[i] += opt.eps;
+    xm[i] -= opt.eps;
+    const double fd = (objective(xp) - objective(xm)) / (2.0 * opt.eps);
+    EXPECT_NEAR(grad_in[i], fd, opt.tolerance)
+        << module.name() << " input grad at " << i;
+  }
+
+  // Parameter gradients.
+  for (Param* p : params) {
+    const size_t stride = std::max<size_t>(1, p->value.size() / opt.max_coords);
+    for (size_t i = 0; i < p->value.size(); i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + opt.eps;
+      const double up = objective(input);
+      p->value[i] = saved - opt.eps;
+      const double down = objective(input);
+      p->value[i] = saved;
+      const double fd = (up - down) / (2.0 * opt.eps);
+      EXPECT_NEAR(p->grad[i], fd, opt.tolerance)
+          << module.name() << " param " << p->name << " grad at " << i;
+    }
+  }
+}
+
+}  // namespace selsync::testing

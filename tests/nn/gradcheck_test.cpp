@@ -1,0 +1,109 @@
+// Finite-difference gradient checks across every Module type: the single
+// most load-bearing correctness property of the NN substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
+#include "tests/nn/gradcheck.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::check_module_gradients;
+using testing::GradCheckOptions;
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  Linear layer(6, 4, rng);
+  check_module_gradients(layer, Tensor::randn({3, 6}, rng));
+}
+
+TEST(GradCheck, LinearNoBias) {
+  Rng rng(2);
+  Linear layer(5, 3, rng, false);
+  check_module_gradients(layer, Tensor::randn({2, 5}, rng));
+}
+
+TEST(GradCheck, ReLU) {
+  Rng rng(3);
+  ReLU relu;
+  // Keep inputs away from the kink at 0 where FD is invalid.
+  Tensor x = Tensor::randn({4, 5}, rng);
+  for (auto& v : x.flat())
+    if (std::fabs(v) < 0.1f) v = 0.2f;
+  check_module_gradients(relu, x);
+}
+
+TEST(GradCheck, TanhLayer) {
+  Rng rng(4);
+  Tanh layer;
+  check_module_gradients(layer, Tensor::randn({3, 4}, rng));
+}
+
+TEST(GradCheck, GELULayer) {
+  Rng rng(5);
+  GELU layer;
+  check_module_gradients(layer, Tensor::randn({3, 4}, rng));
+}
+
+TEST(GradCheck, LayerNormModule) {
+  Rng rng(6);
+  LayerNorm ln(6);
+  GradCheckOptions opt;
+  opt.tolerance = 3e-2f;
+  check_module_gradients(ln, Tensor::randn({4, 6}, rng), opt);
+}
+
+TEST(GradCheck, Conv2dModule) {
+  Rng rng(7);
+  Conv2d conv(2, 3, 3, 1, rng);
+  check_module_gradients(conv, Tensor::randn({2, 2, 4, 4}, rng));
+}
+
+TEST(GradCheck, AttentionModule) {
+  Rng rng(8);
+  MultiHeadSelfAttention attn(8, 2, 3, rng);
+  GradCheckOptions opt;
+  opt.tolerance = 3e-2f;
+  check_module_gradients(attn, Tensor::randn({3, 8}, rng, 0.f, 0.5f), opt);
+}
+
+TEST(GradCheck, SequentialStack) {
+  Rng rng(9);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Linear>(6, 8, rng));
+  net->add(std::make_unique<Tanh>());
+  net->add(std::make_unique<Linear>(8, 4, rng));
+  check_module_gradients(*net, Tensor::randn({3, 6}, rng));
+}
+
+TEST(GradCheck, ResidualBlock) {
+  Rng rng(10);
+  auto inner = std::make_unique<Sequential>();
+  inner->add(std::make_unique<Linear>(5, 5, rng));
+  inner->add(std::make_unique<Tanh>());
+  Residual block(std::move(inner));
+  check_module_gradients(block, Tensor::randn({3, 5}, rng));
+}
+
+TEST(GradCheck, ConvPoolStack) {
+  Rng rng(11);
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(1, 2, 3, 1, rng));
+  net->add(std::make_unique<Tanh>());
+  net->add(std::make_unique<MaxPool2x2>());
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(2 * 2 * 2, 3, rng));
+  GradCheckOptions opt;
+  opt.tolerance = 3e-2f;
+  check_module_gradients(*net, Tensor::randn({2, 1, 4, 4}, rng), opt);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,81 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(Linear, ForwardShape) {
+  Rng rng(1);
+  Linear layer(8, 5, rng);
+  const Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.dim(0), 3u);
+  EXPECT_EQ(y.dim(1), 5u);
+}
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Rng rng(2);
+  Linear layer(2, 2, rng);
+  layer.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  layer.bias().value = Tensor({2}, {0.5f, -0.5f});
+  const Tensor x({1, 2}, {1, 1});
+  const Tensor y = layer.forward(x);
+  // y = x W^T + b = [1+2, 3+4] + [0.5, -0.5]
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(4, 3, rng, /*bias=*/false);
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  EXPECT_EQ(params.size(), 1u);
+  const Tensor x = Tensor::zeros({2, 4});
+  const Tensor y = layer.forward(x);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.f);
+}
+
+TEST(Linear, CollectParamsExposesWeightAndBias) {
+  Rng rng(4);
+  Linear layer(4, 3, rng, true, "fc");
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "fc.weight");
+  EXPECT_EQ(params[1]->name, "fc.bias");
+  EXPECT_EQ(params[0]->value.size(), 12u);
+  EXPECT_EQ(params[1]->value.size(), 3u);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  Linear layer(3, 2, rng);
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor g = Tensor::full({2, 2}, 1.f);
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  const Tensor once = layer.weight().grad;
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  for (size_t i = 0; i < once.size(); ++i)
+    EXPECT_NEAR(layer.weight().grad[i], 2.f * once[i], 1e-5);
+}
+
+TEST(Linear, BiasGradEqualsColumnSumsOfUpstream) {
+  Rng rng(6);
+  Linear layer(3, 2, rng);
+  const Tensor x = Tensor::randn({4, 3}, rng);
+  Tensor g({4, 2});
+  for (size_t i = 0; i < g.size(); ++i) g[i] = static_cast<float>(i);
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  EXPECT_FLOAT_EQ(layer.bias().grad[0], 0 + 2 + 4 + 6);
+  EXPECT_FLOAT_EQ(layer.bias().grad[1], 1 + 3 + 5 + 7);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,143 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  const Tensor logits = Tensor::zeros({2, 4});
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.f), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({1, 3});
+  logits[1] = 20.f;  // class 1 dominates
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(CrossEntropy, ConfidentWrongPredictionHasHighLoss) {
+  Tensor logits({1, 3});
+  logits[1] = 20.f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_GT(r.loss, 10.f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverBatch) {
+  const Tensor logits = Tensor::zeros({2, 2});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1});
+  // softmax = 0.5 everywhere; grad = (0.5 - onehot)/B with B=2.
+  EXPECT_NEAR(r.grad_logits.at(0, 0), (0.5f - 1.f) / 2, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at(0, 1), 0.5f / 2, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at(1, 1), (0.5f - 1.f) / 2, 1e-6);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(1);
+  const Tensor logits = Tensor::randn({4, 7}, rng, 0.f, 2.f);
+  const LossResult r = softmax_cross_entropy(logits, {1, 3, 0, 6});
+  for (size_t i = 0; i < 4; ++i) {
+    float sum = 0;
+    for (size_t j = 0; j < 7; ++j) sum += r.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.f, 1e-5);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  const Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> targets{0, 2, 4};
+  const LossResult r = softmax_cross_entropy(logits, targets);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < logits.size(); i += 2) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float fd = (softmax_cross_entropy(lp, targets).loss -
+                      softmax_cross_entropy(lm, targets).loss) /
+                     (2 * eps);
+    EXPECT_NEAR(r.grad_logits[i], fd, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadTargets) {
+  const Tensor logits = Tensor::zeros({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(CrossEntropy, LabelSmoothingZeroMatchesPlain) {
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> targets{0, 2, 4};
+  const LossResult a = softmax_cross_entropy(logits, targets);
+  const LossResult b = softmax_cross_entropy(logits, targets, 0.f);
+  EXPECT_FLOAT_EQ(a.loss, b.loss);
+}
+
+TEST(CrossEntropy, LabelSmoothingRaisesLossOfPerfectPrediction) {
+  Tensor logits({1, 4});
+  logits[1] = 30.f;  // near-certain correct prediction
+  const float plain = softmax_cross_entropy(logits, {1}).loss;
+  const float smoothed = softmax_cross_entropy(logits, {1}, 0.1f).loss;
+  EXPECT_LT(plain, 1e-4);
+  EXPECT_GT(smoothed, plain + 0.1f);  // over-confidence now penalized
+}
+
+TEST(CrossEntropy, LabelSmoothingGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  const Tensor logits = Tensor::randn({2, 4}, rng);
+  const std::vector<int> targets{1, 3};
+  const float s = 0.2f;
+  const LossResult r = softmax_cross_entropy(logits, targets, s);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float fd = (softmax_cross_entropy(lp, targets, s).loss -
+                      softmax_cross_entropy(lm, targets, s).loss) /
+                     (2 * eps);
+    EXPECT_NEAR(r.grad_logits[i], fd, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadSmoothing) {
+  const Tensor logits = Tensor::zeros({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}, 1.0f),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}, -0.1f),
+               std::invalid_argument);
+}
+
+TEST(Accuracy, Top1CountsArgmaxHits) {
+  const Tensor logits({2, 3}, {1, 5, 2,  //
+                               4, 0, 1});
+  EXPECT_EQ(count_top1(logits, {1, 0}), 2u);
+  EXPECT_EQ(count_top1(logits, {0, 0}), 1u);
+}
+
+TEST(Accuracy, TopKIncludesLowerRanks) {
+  const Tensor logits({1, 5}, {5, 4, 3, 2, 1});
+  EXPECT_EQ(count_topk(logits, {2}, 1), 0u);
+  EXPECT_EQ(count_topk(logits, {2}, 3), 1u);
+  EXPECT_EQ(count_topk(logits, {4}, 5), 1u);
+}
+
+TEST(Accuracy, Top5OnWideLogits) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({1, 100}, rng);
+  // Force target into exactly 5th place.
+  for (int i = 0; i < 4; ++i) logits[i] = 50.f + i;
+  logits[99] = 49.f;  // target: 4 strictly better scores exist
+  EXPECT_EQ(count_topk(logits, {99}, 5), 1u);
+  EXPECT_EQ(count_topk(logits, {99}, 4), 0u);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,146 @@
+// Model interface: flat param/grad packing, the payload every distributed
+// strategy exchanges.
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/classifier.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+
+namespace selsync {
+namespace {
+
+std::unique_ptr<Model> small_model(uint64_t seed = 1) {
+  ClassifierConfig cfg;
+  cfg.input_dim = 8;
+  cfg.classes = 3;
+  cfg.hidden = 8;
+  cfg.resnet_blocks = 1;
+  return make_resnet_mlp(cfg, seed);
+}
+
+Batch small_batch(uint64_t seed = 2) {
+  Rng rng(seed);
+  Batch b;
+  b.x = Tensor::randn({4, 8}, rng);
+  b.targets = {0, 1, 2, 0};
+  return b;
+}
+
+TEST(Model, ParamCountStableAndPositive) {
+  auto m = small_model();
+  const size_t n = m->param_count();
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(m->param_count(), n);
+  EXPECT_EQ(m->param_bytes(), n * sizeof(float));
+}
+
+TEST(Model, FlatParamsRoundTrip) {
+  auto m = small_model();
+  std::vector<float> flat = m->get_flat_params();
+  for (auto& v : flat) v += 1.f;
+  m->set_flat_params(flat);
+  EXPECT_EQ(m->get_flat_params(), flat);
+}
+
+TEST(Model, SetFlatParamsRejectsWrongSize) {
+  auto m = small_model();
+  std::vector<float> tiny(3, 0.f);
+  EXPECT_THROW(m->set_flat_params(tiny), std::invalid_argument);
+}
+
+TEST(Model, SameSeedGivesIdenticalReplicas) {
+  auto a = small_model(7);
+  auto b = small_model(7);
+  EXPECT_EQ(a->get_flat_params(), b->get_flat_params());
+}
+
+TEST(Model, DifferentSeedsGiveDifferentReplicas) {
+  auto a = small_model(7);
+  auto b = small_model(8);
+  EXPECT_NE(a->get_flat_params(), b->get_flat_params());
+}
+
+TEST(Model, TrainStepProducesNonZeroGrads) {
+  auto m = small_model();
+  const float loss = m->train_step(small_batch());
+  EXPECT_GT(loss, 0.f);
+  const auto grads = m->get_flat_grads();
+  double sq = 0;
+  for (float g : grads) sq += g * g;
+  EXPECT_GT(sq, 0.0);
+}
+
+TEST(Model, TrainStepIsDeterministic) {
+  auto a = small_model(3);
+  auto b = small_model(3);
+  const Batch batch = small_batch();
+  EXPECT_EQ(a->train_step(batch), b->train_step(batch));
+  EXPECT_EQ(a->get_flat_grads(), b->get_flat_grads());
+}
+
+TEST(Model, ZeroGradClears) {
+  auto m = small_model();
+  m->train_step(small_batch());
+  m->zero_grad();
+  for (float g : m->get_flat_grads()) EXPECT_EQ(g, 0.f);
+}
+
+TEST(Model, ApplySgdMovesAgainstGradient) {
+  auto m = small_model();
+  const float loss_before = m->train_step(small_batch());
+  m->apply_sgd(0.05f);
+  m->zero_grad();
+  const float loss_after = m->train_step(small_batch());
+  EXPECT_LT(loss_after, loss_before);
+}
+
+TEST(Model, EvalBatchCountsExamples) {
+  auto m = small_model();
+  const EvalStats stats = m->eval_batch(small_batch());
+  EXPECT_EQ(stats.examples, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_LE(stats.top1, stats.examples);
+  EXPECT_LE(stats.top1, stats.top5);
+}
+
+TEST(EvalStats, MergeAccumulates) {
+  EvalStats a, b;
+  a.loss_sum = 1.0;
+  a.batches = 1;
+  a.top1 = 3;
+  a.examples = 10;
+  b.loss_sum = 3.0;
+  b.batches = 1;
+  b.top1 = 7;
+  b.examples = 10;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean_loss(), 2.0);
+  EXPECT_DOUBLE_EQ(a.top1_accuracy(), 0.5);
+}
+
+TEST(EvalStats, PerplexityIsExpOfMeanLoss) {
+  EvalStats s;
+  s.loss_sum = 2.0;
+  s.batches = 2;
+  EXPECT_NEAR(s.perplexity(), std::exp(1.0), 1e-9);
+}
+
+TEST(PackUnpack, OrderIsStable) {
+  Rng rng(1);
+  Linear l1(3, 2, rng, true, "a");
+  Linear l2(2, 2, rng, true, "b");
+  std::vector<Param*> params;
+  l1.collect_params(params);
+  l2.collect_params(params);
+  const auto flat = pack_values(params);
+  EXPECT_EQ(flat.size(), total_param_count(params));
+  // First 6 entries are l1's weight row-major.
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(flat[i], l1.weight().value[i]);
+}
+
+}  // namespace
+}  // namespace selsync

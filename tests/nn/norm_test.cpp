@@ -1,0 +1,74 @@
+#include "nn/norm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+TEST(LayerNorm, NormalizesRowsToZeroMeanUnitVar) {
+  LayerNorm ln(8);
+  Rng rng(1);
+  const Tensor x = Tensor::randn({4, 8}, rng, 5.f, 3.f);
+  const Tensor y = ln.forward(x);
+  for (size_t r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (size_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (size_t c = 0; c < 8; ++c) {
+      const double d = y.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GammaBetaAffineApplied) {
+  LayerNorm ln(2);
+  std::vector<Param*> params;
+  ln.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  params[0]->value = Tensor({2}, {2.f, 2.f});   // gamma
+  params[1]->value = Tensor({2}, {10.f, 10.f});  // beta
+  const Tensor x({1, 2}, {-1.f, 1.f});
+  const Tensor y = ln.forward(x);
+  // normalized x = [-1, 1]; y = 2 * xhat + 10
+  EXPECT_NEAR(y[0], 8.f, 1e-3);
+  EXPECT_NEAR(y[1], 12.f, 1e-3);
+}
+
+TEST(LayerNorm, WorksOnFoldedSequenceRows) {
+  // Rank-2 {B*T, D} treated as independent rows.
+  LayerNorm ln(4);
+  Rng rng(2);
+  const Tensor x = Tensor::randn({6, 4}, rng);
+  EXPECT_NO_THROW(ln.forward(x));
+}
+
+TEST(LayerNorm, RejectsIndivisibleInput) {
+  LayerNorm ln(5);
+  const Tensor x = Tensor::zeros({2, 4});
+  EXPECT_THROW(ln.forward(x), std::invalid_argument);
+}
+
+TEST(LayerNorm, BackwardRowsSumToZeroWhenGammaUniform) {
+  // With gamma=1, dL/dx of a layernorm row is orthogonal to the constant
+  // vector: sum_j dx_j = 0.
+  LayerNorm ln(6);
+  Rng rng(3);
+  const Tensor x = Tensor::randn({3, 6}, rng);
+  (void)ln.forward(x);
+  const Tensor g = Tensor::randn({3, 6}, rng);
+  const Tensor gx = ln.backward(g);
+  for (size_t r = 0; r < 3; ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < 6; ++c) sum += gx.at(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace selsync

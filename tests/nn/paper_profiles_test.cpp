@@ -1,0 +1,110 @@
+// The analytic paper-scale profiles must reproduce the published Fig. 2
+// facts: compute time grows with batch, ResNet101 is the slowest, and the
+// Transformer OOMs at batch 64 on the 12 GB K80.
+#include "nn/paper_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(PaperProfiles, FourModelsExist) {
+  const auto models = all_paper_models();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name, "ResNet101");
+  EXPECT_EQ(models[3].name, "Transformer");
+}
+
+TEST(PaperProfiles, Vgg11Is507MB) {
+  // The paper repeatedly cites VGG11's 507 MB parameter payload.
+  const double mb = paper_vgg11().param_bytes() / (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 507.0, 10.0);
+}
+
+TEST(PaperProfiles, ComputeTimeMonotoneInBatch) {
+  const auto k80 = device_k80();
+  for (const auto& model : all_paper_models()) {
+    double prev = 0.0;
+    for (double b : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+      const double t = compute_time_s(model, k80, b);
+      EXPECT_GT(t, prev) << model.name << " at b=" << b;
+      prev = t;
+    }
+  }
+}
+
+TEST(PaperProfiles, ResNet101IsSlowestPerIteration) {
+  // Fig. 2a: ResNet101 (deepest) dominates compute time at every batch.
+  const auto k80 = device_k80();
+  const double rn = compute_time_s(paper_resnet101(), k80, 64);
+  EXPECT_GT(rn, compute_time_s(paper_vgg11(), k80, 64));
+  EXPECT_GT(rn, compute_time_s(paper_alexnet(), k80, 64));
+  EXPECT_GT(rn, compute_time_s(paper_transformer(), k80, 64));
+}
+
+TEST(PaperProfiles, K80TimesInFig2aRange) {
+  // Fig. 2a shows ResNet101 well under a second at b=32 and a few seconds
+  // by b=512.
+  const auto k80 = device_k80();
+  const double t32 = compute_time_s(paper_resnet101(), k80, 32);
+  const double t512 = compute_time_s(paper_resnet101(), k80, 512);
+  EXPECT_GT(t32, 0.2);
+  EXPECT_LT(t32, 1.5);
+  EXPECT_GT(t512, 4.0 * t32);
+}
+
+TEST(PaperProfiles, V100FasterThanK80) {
+  for (const auto& model : all_paper_models())
+    EXPECT_LT(compute_time_s(model, device_v100(), 64),
+              compute_time_s(model, device_k80(), 64))
+        << model.name;
+}
+
+TEST(PaperProfiles, MemoryMonotoneInBatch) {
+  const auto k80 = device_k80();
+  for (const auto& model : all_paper_models())
+    EXPECT_GT(training_memory_bytes(model, k80, 128),
+              training_memory_bytes(model, k80, 16))
+        << model.name;
+}
+
+TEST(PaperProfiles, TransformerOomAtBatch64OnK80) {
+  // The paper: "Transformer ... failed to scale beyond b=64 due to OOM ...
+  // as memory requirements exceeded the GPU's 12GB capacity."
+  const auto k80 = device_k80();
+  const auto tf = paper_transformer();
+  EXPECT_FALSE(would_oom(tf, k80, 32));
+  EXPECT_TRUE(would_oom(tf, k80, 64));
+}
+
+TEST(PaperProfiles, OtherModelsFitAt64OnK80) {
+  const auto k80 = device_k80();
+  EXPECT_FALSE(would_oom(paper_resnet101(), k80, 64));
+  EXPECT_FALSE(would_oom(paper_vgg11(), k80, 64));
+  EXPECT_FALSE(would_oom(paper_alexnet(), k80, 64));
+}
+
+TEST(PaperProfiles, AlexNetHostStagingDominatesAtLargeBatch) {
+  // Fig. 2b calls out AlexNet's ImageFolder staging: at large batches its
+  // memory grows faster than ResNet101's despite similar activations.
+  const auto k80 = device_k80();
+  const auto alex = paper_alexnet();
+  const auto rn = paper_resnet101();
+  const double alex_growth = training_memory_bytes(alex, k80, 512) -
+                             training_memory_bytes(alex, k80, 16);
+  const double rn_growth = training_memory_bytes(rn, k80, 512) -
+                           training_memory_bytes(rn, k80, 16);
+  EXPECT_GT(alex_growth, 0.2 * rn_growth);
+}
+
+TEST(PaperProfiles, UtilizationRampPenalizesSmallBatches) {
+  // Per-sample time should fall as batch grows (better occupancy).
+  const auto k80 = device_k80();
+  const auto model = paper_resnet101();
+  const double per16 = compute_time_s(model, k80, 16) / 16.0;
+  const double per256 = compute_time_s(model, k80, 256) / 256.0;
+  EXPECT_GT(per16, per256);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+#include "tests/nn/gradcheck.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(AvgPool, AveragesWindows) {
+  AvgPool2x2 pool;
+  const Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool, BackwardSpreadsGradientEvenly) {
+  AvgPool2x2 pool;
+  const Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  (void)pool.forward(x);
+  const Tensor gx = pool.backward(Tensor({1, 1, 1, 1}, {4.f}));
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 1.f);
+}
+
+TEST(AvgPool, HalvesSpatialDims) {
+  Rng rng(1);
+  AvgPool2x2 pool;
+  const Tensor y = pool.forward(Tensor::randn({2, 3, 8, 6}, rng));
+  EXPECT_EQ(y.dim(2), 4u);
+  EXPECT_EQ(y.dim(3), 3u);
+}
+
+TEST(AvgPool, GradCheck) {
+  Rng rng(2);
+  AvgPool2x2 pool;
+  testing::check_module_gradients(pool, Tensor::randn({2, 2, 4, 4}, rng));
+}
+
+TEST(GlobalAvgPool, ReducesToPerChannelMeans) {
+  GlobalAvgPool pool;
+  const Tensor x({1, 2, 2, 2}, {1, 2, 3, 4,  //
+                                10, 20, 30, 40});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.dim(0), 1u);
+  ASSERT_EQ(y.dim(1), 2u);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 25.f);
+}
+
+TEST(GlobalAvgPool, GradCheck) {
+  Rng rng(3);
+  GlobalAvgPool pool;
+  testing::check_module_gradients(pool, Tensor::randn({2, 3, 4, 4}, rng));
+}
+
+}  // namespace
+}  // namespace selsync

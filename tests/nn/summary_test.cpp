@@ -1,0 +1,60 @@
+#include "nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace selsync {
+namespace {
+
+std::unique_ptr<Model> tiny_model() {
+  ClassifierConfig cfg;
+  cfg.input_dim = 8;
+  cfg.classes = 3;
+  cfg.hidden = 8;
+  cfg.resnet_blocks = 1;
+  return make_resnet_mlp(cfg, 1);
+}
+
+TEST(Summary, RowsMatchParams) {
+  auto model = tiny_model();
+  const auto rows = summarize_params(*model);
+  ASSERT_EQ(rows.size(), model->params().size());
+  size_t total = 0;
+  for (const auto& row : rows) total += row.count;
+  EXPECT_EQ(total, model->param_count());
+  EXPECT_EQ(rows.front().name, model->params().front()->name);
+}
+
+TEST(Summary, RmsReflectsValues) {
+  auto model = tiny_model();
+  const auto rows = summarize_params(*model);
+  // Xavier-initialized weights have non-zero RMS; fresh grads are zero.
+  EXPECT_GT(rows[0].value_rms, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].grad_rms, 0.0);
+}
+
+TEST(Summary, GradRmsAfterTrainStep) {
+  auto model = tiny_model();
+  Rng rng(1);
+  Batch batch;
+  batch.x = Tensor::randn({4, 8}, rng);
+  batch.targets = {0, 1, 2, 0};
+  model->train_step(batch);
+  bool any_grad = false;
+  for (const auto& row : summarize_params(*model))
+    if (row.grad_rms > 0) any_grad = true;
+  EXPECT_TRUE(any_grad);
+}
+
+TEST(Summary, DescribeContainsAllNamesAndTotal) {
+  auto model = tiny_model();
+  const std::string table = describe_model(*model);
+  for (const Param* p : model->params())
+    EXPECT_NE(table.find(p->name), std::string::npos) << p->name;
+  EXPECT_NE(table.find("total: " + std::to_string(model->param_count())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace selsync

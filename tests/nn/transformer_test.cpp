@@ -1,0 +1,144 @@
+#include "nn/transformer_lm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/embedding.hpp"
+
+namespace selsync {
+namespace {
+
+TransformerConfig tiny_config() {
+  TransformerConfig cfg;
+  cfg.vocab = 16;
+  cfg.model_dim = 8;
+  cfg.ff_dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.seq_len = 4;
+  cfg.dropout = 0.0f;  // deterministic for tests
+  return cfg;
+}
+
+Batch lm_batch(const TransformerConfig& cfg, uint64_t seed = 3) {
+  Rng rng(seed);
+  Batch b;
+  const size_t n = 2 * cfg.seq_len;  // B=2
+  for (size_t i = 0; i < n; ++i) {
+    b.tokens.push_back(static_cast<int>(rng.next_below(cfg.vocab)));
+    b.targets.push_back(static_cast<int>(rng.next_below(cfg.vocab)));
+  }
+  return b;
+}
+
+TEST(TransformerLM, InitialLossNearLogVocab) {
+  // An untrained model should sit in the vicinity of the uniform-prediction
+  // loss log(V): clearly above half of it and below twice it.
+  TransformerLM model(tiny_config(), 1);
+  const Batch b = lm_batch(tiny_config());
+  const float loss = model.train_step(b);
+  EXPECT_GT(loss, 0.5f * std::log(16.f));
+  EXPECT_LT(loss, 2.0f * std::log(16.f));
+}
+
+TEST(TransformerLM, MemorizesFixedBatch) {
+  TransformerLM model(tiny_config(), 2);
+  const Batch b = lm_batch(tiny_config());
+  const float first = model.train_step(b);
+  float last = first;
+  for (int i = 0; i < 60; ++i) {
+    model.apply_sgd(0.1f);
+    last = model.train_step(b);
+  }
+  EXPECT_LT(last, first * 0.7f);
+}
+
+TEST(TransformerLM, IsLanguageModel) {
+  TransformerLM model(tiny_config(), 1);
+  EXPECT_TRUE(model.is_language_model());
+}
+
+TEST(TransformerLM, ReplicasFromSameSeedIdentical) {
+  TransformerLM a(tiny_config(), 9), b(tiny_config(), 9);
+  EXPECT_EQ(a.get_flat_params(), b.get_flat_params());
+}
+
+TEST(TransformerLM, ParamCountMatchesArchitecture) {
+  const TransformerConfig cfg = tiny_config();
+  TransformerLM model(cfg, 1);
+  // embedding(16x8) + 2 layers x (2 layernorms(2*8) + qkv(8x24+24) +
+  // proj(8x8+8) + ff1(8x16+16) + ff2(16x8+8)) + decoder(8x16+16).
+  const size_t expected =
+      16 * 8 +
+      2 * (2 * (8 + 8) + (8 * 24 + 24) + (8 * 8 + 8) + (8 * 16 + 16) +
+           (16 * 8 + 8)) +
+      (8 * 16 + 16);
+  EXPECT_EQ(model.param_count(), expected);
+}
+
+TEST(TransformerLM, EvalPerplexityIsExpLoss) {
+  TransformerLM model(tiny_config(), 1);
+  const Batch b = lm_batch(tiny_config());
+  const EvalStats stats = model.eval_batch(b);
+  EXPECT_NEAR(stats.perplexity(), std::exp(stats.mean_loss()), 1e-6);
+  EXPECT_EQ(stats.examples, b.targets.size());
+}
+
+TEST(TransformerLM, DropoutChangesTrainButNotEval) {
+  TransformerConfig cfg = tiny_config();
+  cfg.dropout = 0.5f;
+  TransformerLM model(cfg, 4);
+  const Batch b = lm_batch(cfg);
+  // Two eval passes are deterministic.
+  const EvalStats e1 = model.eval_batch(b);
+  const EvalStats e2 = model.eval_batch(b);
+  EXPECT_DOUBLE_EQ(e1.loss_sum, e2.loss_sum);
+  // Two train passes differ (different dropout masks).
+  const float t1 = model.train_step(b);
+  const float t2 = model.train_step(b);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(Embedding, LookupReturnsTableRows) {
+  Rng rng(1);
+  Embedding emb(10, 4, rng);
+  const Tensor out = emb.forward({3, 7});
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(out.at(0, d), emb.table().value.at(3, d));
+    EXPECT_EQ(out.at(1, d), emb.table().value.at(7, d));
+  }
+}
+
+TEST(Embedding, BackwardAccumulatesPerToken) {
+  Rng rng(2);
+  Embedding emb(6, 3, rng);
+  (void)emb.forward({2, 2, 5});  // token 2 used twice
+  Tensor g({3, 3});
+  g.fill(1.f);
+  emb.backward(g);
+  EXPECT_FLOAT_EQ(emb.table().grad.at(2, 0), 2.f);
+  EXPECT_FLOAT_EQ(emb.table().grad.at(5, 0), 1.f);
+  EXPECT_FLOAT_EQ(emb.table().grad.at(0, 0), 0.f);
+}
+
+TEST(Embedding, RejectsOutOfRangeToken) {
+  Rng rng(3);
+  Embedding emb(4, 2, rng);
+  EXPECT_THROW(emb.forward({4}), std::out_of_range);
+  EXPECT_THROW(emb.forward({-1}), std::out_of_range);
+}
+
+TEST(PositionalEncoding, PeriodicInSeqLen) {
+  Tensor a = Tensor::zeros({8, 4});  // two sequences of length 4
+  add_positional_encoding(a, 4);
+  for (size_t d = 0; d < 4; ++d)
+    EXPECT_FLOAT_EQ(a.at(1, d), a.at(5, d));  // same position, same code
+  bool differs = false;
+  for (size_t d = 0; d < 4; ++d)
+    if (a.at(0, d) != a.at(1, d)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace selsync

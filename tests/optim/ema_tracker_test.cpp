@@ -1,0 +1,86 @@
+#include "optim/ema_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace selsync {
+namespace {
+
+std::unique_ptr<Model> tiny_model(uint64_t seed = 1) {
+  ClassifierConfig cfg;
+  cfg.input_dim = 8;
+  cfg.classes = 3;
+  cfg.hidden = 8;
+  cfg.resnet_blocks = 1;
+  return make_resnet_mlp(cfg, seed);
+}
+
+TEST(EmaTracker, FirstUpdateCopies) {
+  auto model = tiny_model();
+  EmaTracker ema(0.9);
+  EXPECT_FALSE(ema.initialized());
+  ema.update(*model);
+  EXPECT_TRUE(ema.initialized());
+  EXPECT_EQ(ema.average(), model->get_flat_params());
+}
+
+TEST(EmaTracker, MovesTowardCurrentWeights) {
+  auto model = tiny_model();
+  EmaTracker ema(0.5);
+  ema.update(*model);
+  auto shifted = model->get_flat_params();
+  for (auto& v : shifted) v += 1.f;
+  model->set_flat_params(shifted);
+  ema.update(*model);
+  // Average moved halfway toward the shifted weights.
+  const auto& avg = ema.average();
+  for (size_t i = 0; i < avg.size(); ++i)
+    EXPECT_NEAR(avg[i], shifted[i] - 0.5f, 1e-5);
+}
+
+TEST(EmaTracker, HighDecayMovesSlower) {
+  auto a = tiny_model(1);
+  auto b = tiny_model(1);
+  EmaTracker slow(0.99), fast(0.5);
+  slow.update(*a);
+  fast.update(*b);
+  auto shifted = a->get_flat_params();
+  for (auto& v : shifted) v += 1.f;
+  a->set_flat_params(shifted);
+  b->set_flat_params(shifted);
+  slow.update(*a);
+  fast.update(*b);
+  EXPECT_LT(std::abs(slow.average()[0] - (shifted[0] - 1.f)),
+            std::abs(fast.average()[0] - (shifted[0] - 1.f)) + 1.f);
+  EXPECT_GT(shifted[0] - slow.average()[0], shifted[0] - fast.average()[0]);
+}
+
+TEST(EmaTracker, SwapIsItsOwnInverse) {
+  auto model = tiny_model();
+  EmaTracker ema(0.9);
+  ema.update(*model);
+  auto shifted = model->get_flat_params();
+  for (auto& v : shifted) v += 2.f;
+  model->set_flat_params(shifted);
+  ema.update(*model);
+
+  const auto live = model->get_flat_params();
+  {
+    EmaEvalScope scope(ema, *model);
+    EXPECT_NE(model->get_flat_params(), live);  // evaluating the average
+  }
+  EXPECT_EQ(model->get_flat_params(), live);  // restored
+}
+
+TEST(EmaTracker, Validation) {
+  EXPECT_THROW(EmaTracker(1.0), std::invalid_argument);
+  EXPECT_THROW(EmaTracker(-0.1), std::invalid_argument);
+  EmaTracker ema(0.9);
+  EXPECT_THROW(ema.average(), std::logic_error);
+  auto model = tiny_model();
+  EXPECT_THROW(ema.swap_into(*model), std::logic_error);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,92 @@
+#include "optim/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(ConstantLr, AlwaysSame) {
+  ConstantLr lr(0.01);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 0.01);
+  EXPECT_DOUBLE_EQ(lr.lr_at(100000, 500.0), 0.01);
+}
+
+TEST(EpochStepDecay, PaperResNetSchedule) {
+  // ResNet101: lr 0.1, x0.1 after epochs 110 and 150 (paper §IV-A).
+  EpochStepDecay lr(0.1, {110.0, 150.0}, 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 109.9), 0.1);
+  EXPECT_NEAR(lr.lr_at(0, 110.0), 0.01, 1e-12);
+  EXPECT_NEAR(lr.lr_at(0, 149.0), 0.01, 1e-12);
+  EXPECT_NEAR(lr.lr_at(0, 151.0), 0.001, 1e-12);
+}
+
+TEST(EpochStepDecay, UnsortedEpochsStillApplyAll) {
+  EpochStepDecay lr(1.0, {20.0, 10.0}, 0.5);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 15.0), 0.5);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 25.0), 0.25);
+}
+
+TEST(IterationExpDecay, PaperTransformerSchedule) {
+  // Transformer: lr 2.0, x0.8 every 2000 iterations (paper §IV-A).
+  IterationExpDecay lr(2.0, 2000, 0.8);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(1999, 0.0), 2.0);
+  EXPECT_NEAR(lr.lr_at(2000, 0.0), 1.6, 1e-12);
+  EXPECT_NEAR(lr.lr_at(4000, 0.0), 1.28, 1e-12);
+  EXPECT_NEAR(lr.lr_at(4500, 0.0), 1.28, 1e-12);
+}
+
+TEST(CosineAnnealing, EndpointsAndMidpoint) {
+  CosineAnnealing lr(1.0, 100, 0.1);
+  EXPECT_NEAR(lr.lr_at(0, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(lr.lr_at(50, 0.0), 0.55, 1e-9);  // halfway: mid of 1.0 and 0.1
+  EXPECT_NEAR(lr.lr_at(100, 0.0), 0.1, 1e-9);
+  EXPECT_NEAR(lr.lr_at(5000, 0.0), 0.1, 1e-9);  // floor afterwards
+}
+
+TEST(CosineAnnealing, MonotoneNonIncreasing) {
+  CosineAnnealing lr(0.5, 200);
+  double prev = 1.0;
+  for (size_t it = 0; it <= 220; it += 10) {
+    const double v = lr.lr_at(it, 0.0);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(LinearWarmup, RampsToBaseRate) {
+  LinearWarmup lr(std::make_shared<ConstantLr>(1.0), 10);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 0.1);   // (0+1)/10
+  EXPECT_DOUBLE_EQ(lr.lr_at(4, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(lr.lr_at(9, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(10, 0.0), 1.0);  // warmup over
+  EXPECT_DOUBLE_EQ(lr.lr_at(1000, 0.0), 1.0);
+}
+
+TEST(LinearWarmup, ComposesWithStepDecay) {
+  LinearWarmup lr(
+      std::make_shared<EpochStepDecay>(1.0, std::vector<double>{5.0}, 0.1),
+      4);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 0.25);       // warming
+  EXPECT_DOUBLE_EQ(lr.lr_at(100, 2.0), 1.0);      // warm, before decay
+  EXPECT_NEAR(lr.lr_at(100, 6.0), 0.1, 1e-12);    // decayed
+}
+
+TEST(LinearWarmup, ZeroWarmupIsIdentity) {
+  LinearWarmup lr(std::make_shared<ConstantLr>(0.3), 0);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0, 0.0), 0.3);
+}
+
+TEST(IterationExpDecay, MonotoneNonIncreasing) {
+  IterationExpDecay lr(1.0, 100, 0.9);
+  double prev = 10.0;
+  for (size_t it = 0; it < 1000; it += 50) {
+    const double v = lr.lr_at(it, 0.0);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,159 @@
+#include "optim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+/// 1-D quadratic f(w) = 0.5*(w-3)^2; grad = w-3.
+struct Quadratic {
+  Param w{"w", Tensor({1})};
+  std::vector<Param*> params{&w};
+
+  void compute_grad() {
+    w.grad[0] = w.value[0] - 3.f;
+  }
+  float loss() const {
+    const float d = w.value[0] - 3.f;
+    return 0.5f * d * d;
+  }
+};
+
+TEST(Sgd, PlainStepMatchesFormula) {
+  Quadratic q;
+  q.w.value[0] = 0.f;
+  Sgd opt(std::make_shared<ConstantLr>(0.1));
+  q.compute_grad();
+  opt.step(q.params, 0, 0.0);
+  EXPECT_NEAR(q.w.value[0], 0.f - 0.1f * (0.f - 3.f), 1e-6);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Quadratic q;
+  q.w.value[0] = -5.f;
+  Sgd opt(std::make_shared<ConstantLr>(0.2));
+  for (int i = 0; i < 100; ++i) {
+    q.compute_grad();
+    opt.step(q.params, i, 0.0);
+  }
+  EXPECT_NEAR(q.w.value[0], 3.f, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Quadratic plain_q, mom_q;
+  plain_q.w.value[0] = mom_q.w.value[0] = -5.f;
+  Sgd plain(std::make_shared<ConstantLr>(0.02));
+  Sgd momentum(std::make_shared<ConstantLr>(0.02), {.momentum = 0.9});
+  for (int i = 0; i < 20; ++i) {
+    plain_q.compute_grad();
+    plain.step(plain_q.params, i, 0.0);
+    mom_q.compute_grad();
+    momentum.step(mom_q.params, i, 0.0);
+  }
+  EXPECT_LT(mom_q.loss(), plain_q.loss());
+}
+
+TEST(Sgd, NesterovDiffersFromHeavyBall) {
+  Quadratic a, b;
+  a.w.value[0] = b.w.value[0] = -5.f;
+  Sgd heavy(std::make_shared<ConstantLr>(0.05), {.momentum = 0.9});
+  Sgd nesterov(std::make_shared<ConstantLr>(0.05),
+               {.momentum = 0.9, .nesterov = true});
+  for (int i = 0; i < 3; ++i) {
+    a.compute_grad();
+    heavy.step(a.params, i, 0.0);
+    b.compute_grad();
+    nesterov.step(b.params, i, 0.0);
+  }
+  EXPECT_NE(a.w.value[0], b.w.value[0]);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param w{"w", Tensor({1})};
+  w.value[0] = 2.f;
+  w.grad[0] = 0.f;  // pure decay
+  std::vector<Param*> params{&w};
+  Sgd opt(std::make_shared<ConstantLr>(0.1), {.weight_decay = 0.5});
+  opt.step(params, 0, 0.0);
+  EXPECT_NEAR(w.value[0], 2.f - 0.1f * 0.5f * 2.f, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q;
+  q.w.value[0] = -5.f;
+  Adam opt(std::make_shared<ConstantLr>(0.3));
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    opt.step(q.params, i, 0.0);
+  }
+  EXPECT_NEAR(q.w.value[0], 3.f, 0.05);
+}
+
+TEST(Adam, FirstStepSizeIsLrScaled) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Quadratic q;
+  q.w.value[0] = 0.f;
+  Adam opt(std::make_shared<ConstantLr>(0.1));
+  q.compute_grad();  // grad = -3
+  opt.step(q.params, 0, 0.0);
+  EXPECT_NEAR(q.w.value[0], 0.1f, 1e-3);
+}
+
+TEST(Adam, HandlesSparseZeroGradsWithoutNan) {
+  Param w{"w", Tensor({2})};
+  w.grad[0] = 0.f;
+  w.grad[1] = 1.f;
+  std::vector<Param*> params{&w};
+  Adam opt(std::make_shared<ConstantLr>(0.1));
+  opt.step(params, 0, 0.0);
+  EXPECT_TRUE(std::isfinite(w.value[0]));
+  EXPECT_TRUE(std::isfinite(w.value[1]));
+  EXPECT_EQ(w.value[0], 0.f);  // no update where grad was 0
+}
+
+TEST(ClipGradNorm, ScalesDownOnlyWhenExceeding) {
+  Param w{"w", Tensor({2})};
+  w.grad[0] = 3.f;
+  w.grad[1] = 4.f;  // norm 5
+  std::vector<Param*> params{&w};
+  EXPECT_DOUBLE_EQ(clip_grad_norm(params, 10.0), 5.0);
+  EXPECT_FLOAT_EQ(w.grad[0], 3.f);  // untouched below the cap
+  EXPECT_DOUBLE_EQ(clip_grad_norm(params, 1.0), 5.0);
+  EXPECT_NEAR(w.grad[0], 0.6f, 1e-6);  // rescaled to norm 1
+  EXPECT_NEAR(w.grad[1], 0.8f, 1e-6);
+}
+
+TEST(ClipGradNorm, SpansMultipleParams) {
+  Param a{"a", Tensor({1})}, b{"b", Tensor({1})};
+  a.grad[0] = 3.f;
+  b.grad[0] = 4.f;
+  std::vector<Param*> params{&a, &b};
+  clip_grad_norm(params, 2.5);  // global norm 5 -> halved
+  EXPECT_NEAR(a.grad[0], 1.5f, 1e-6);
+  EXPECT_NEAR(b.grad[0], 2.0f, 1e-6);
+}
+
+TEST(ClipGradNorm, RejectsNonPositiveCap) {
+  Param w{"w", Tensor({1})};
+  std::vector<Param*> params{&w};
+  EXPECT_THROW(clip_grad_norm(params, 0.0), std::invalid_argument);
+}
+
+TEST(Optimizer, UsesScheduleEpoch) {
+  Quadratic q;
+  q.w.value[0] = 0.f;
+  Sgd opt(std::make_shared<EpochStepDecay>(1.0, std::vector<double>{10.0}, 0.1));
+  q.compute_grad();
+  opt.step(q.params, 0, 20.0);  // past the decay epoch -> lr = 0.1
+  EXPECT_NEAR(q.w.value[0], 0.f - 0.1f * (0.f - 3.f), 1e-5);
+}
+
+TEST(Optimizer, CurrentLrExposed) {
+  Sgd opt(std::make_shared<ConstantLr>(0.25));
+  EXPECT_DOUBLE_EQ(opt.current_lr(0, 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,71 @@
+#include "stats/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(Ewma, FirstObservationSeedsValue) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+  EXPECT_TRUE(e.initialized());
+}
+
+TEST(Ewma, RecursiveFormula) {
+  Ewma e(0.25);
+  e.update(4.0);
+  EXPECT_DOUBLE_EQ(e.update(8.0), 0.25 * 8.0 + 0.75 * 4.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.16);
+  for (int i = 0; i < 200; ++i) e.update(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsNoise) {
+  // The smoothed sequence must vary far less than the raw input.
+  Ewma e(0.1);
+  double prev = e.update(0.0);
+  double max_jump = 0.0;
+  for (int i = 1; i < 100; ++i) {
+    const double raw = (i % 2 == 0) ? 0.0 : 10.0;  // oscillates by 10
+    const double v = e.update(raw);
+    max_jump = std::max(max_jump, std::abs(v - prev));
+    prev = v;
+  }
+  EXPECT_LT(max_jump, 2.0);
+}
+
+TEST(Ewma, AlphaOneTracksInputExactly) {
+  Ewma e(1.0);
+  e.update(3.0);
+  EXPECT_DOUBLE_EQ(e.update(5.0), 5.0);
+}
+
+TEST(Ewma, WindowBoundsRetainedHistory) {
+  Ewma e(0.2, 25);
+  for (int i = 0; i < 100; ++i) e.update(i);
+  EXPECT_EQ(e.observations_retained(), 25u);
+  EXPECT_DOUBLE_EQ(e.history().front(), 75.0);
+  EXPECT_DOUBLE_EQ(e.history().back(), 99.0);
+}
+
+TEST(Ewma, HigherAlphaReactsFaster) {
+  Ewma slow(0.05), fast(0.5);
+  slow.update(0.0);
+  fast.update(0.0);
+  slow.update(10.0);
+  fast.update(10.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, RejectsBadParameters) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_THROW(Ewma(0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,91 @@
+// Relative gradient change Δ(g_i), Eqn. 2 of the paper.
+#include "stats/grad_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+TEST(RelativeGradChange, FirstObservationIsZero) {
+  RelativeGradChange gc(0.16);
+  EXPECT_DOUBLE_EQ(gc.update(5.0), 0.0);
+}
+
+TEST(RelativeGradChange, MatchesEqn2OnSecondStep) {
+  RelativeGradChange gc(0.5);
+  gc.update(4.0);  // smoothed = 4
+  // new smoothed = 0.5*8 + 0.5*4 = 6; delta = |6-4|/4 = 0.5.
+  EXPECT_NEAR(gc.update(8.0), 0.5, 1e-12);
+}
+
+TEST(RelativeGradChange, AbsoluteValueOfDecline) {
+  RelativeGradChange gc(0.5);
+  gc.update(8.0);
+  // smoothed: 0.5*0 + 0.5*8 = 4; delta = |4-8|/8 = 0.5 (positive).
+  EXPECT_NEAR(gc.update(0.0), 0.5, 1e-12);
+}
+
+TEST(RelativeGradChange, ConstantNormsGiveZeroDelta) {
+  RelativeGradChange gc(0.16);
+  gc.update(3.0);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(gc.update(3.0), 0.0, 1e-12);
+}
+
+TEST(RelativeGradChange, SaturatingGradientsDriveDeltaToZero) {
+  // The paper's core observation: as gradients saturate, Δ(g_i) -> 0.
+  RelativeGradChange gc(0.16);
+  double last = 1.0;
+  for (int i = 0; i < 300; ++i)
+    last = gc.update(10.0 * std::exp(-i / 30.0) + 1.0);
+  EXPECT_LT(last, 0.01);
+}
+
+TEST(RelativeGradChange, SpikeProducesLargeDelta) {
+  // A sudden regime change (e.g. LR decay, Fig. 5) must register.
+  RelativeGradChange gc(0.5);
+  for (int i = 0; i < 20; ++i) gc.update(1.0);
+  const double spike = gc.update(100.0);
+  EXPECT_GT(spike, 10.0);
+}
+
+TEST(RelativeGradChange, SmoothingSuppressesSingleOutliers) {
+  // With a small alpha, one noisy batch must not look like a regime change.
+  RelativeGradChange smooth(0.05), reactive(0.9);
+  for (int i = 0; i < 20; ++i) {
+    smooth.update(1.0);
+    reactive.update(1.0);
+  }
+  EXPECT_LT(smooth.update(5.0), reactive.update(5.0));
+}
+
+TEST(RelativeGradChange, UpdateFromGradComputesSquaredNorm) {
+  RelativeGradChange gc(1.0);
+  const std::vector<float> g1{3.f, 4.f};  // ||g||² = 25
+  gc.update_from_grad(g1);
+  EXPECT_DOUBLE_EQ(gc.smoothed_sq_norm(), 25.0);
+  const std::vector<float> g2{6.f, 8.f};  // ||g||² = 100
+  // alpha=1 -> smoothed jumps to 100; delta = 75/25 = 3.
+  EXPECT_NEAR(gc.update_from_grad(g2), 3.0, 1e-9);
+}
+
+TEST(RelativeGradChange, IterationsCounted) {
+  RelativeGradChange gc(0.2);
+  for (int i = 0; i < 7; ++i) gc.update(1.0);
+  EXPECT_EQ(gc.iterations(), 7u);
+}
+
+TEST(RelativeGradChange, DeltaThresholdSemantics) {
+  // delta >= 0 always: a zero threshold means "synchronize every step"
+  // (paper: δ=0 <=> BSP).
+  RelativeGradChange gc(0.16);
+  for (int i = 0; i < 10; ++i) {
+    const double d = gc.update(1.0 + 0.01 * i);
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,99 @@
+#include "stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+namespace {
+
+std::vector<float> gaussian_samples(size_t n, float mean, float stddev,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> s(n);
+  for (auto& v : s) v = static_cast<float>(rng.normal(mean, stddev));
+  return s;
+}
+
+TEST(Silverman, ScalesWithSpreadAndCount) {
+  const auto narrow = gaussian_samples(500, 0.f, 0.5f, 1);
+  const auto wide = gaussian_samples(500, 0.f, 2.0f, 2);
+  EXPECT_GT(silverman_bandwidth(wide), silverman_bandwidth(narrow));
+
+  const auto few = gaussian_samples(50, 0.f, 1.f, 3);
+  const auto many = gaussian_samples(5000, 0.f, 1.f, 4);
+  EXPECT_GT(silverman_bandwidth(few), silverman_bandwidth(many));
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  const auto s = gaussian_samples(400, 1.f, 1.5f, 5);
+  const KdeResult kde = gaussian_kde(s, 256);
+  double integral = 0.0;
+  for (size_t i = 1; i < kde.grid.size(); ++i)
+    integral += 0.5 * (kde.density[i] + kde.density[i - 1]) *
+                (kde.grid[i] - kde.grid[i - 1]);
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeaksNearTrueMean) {
+  const auto s = gaussian_samples(2000, 3.f, 0.5f, 6);
+  const KdeResult kde = gaussian_kde(s, 256);
+  size_t arg = 0;
+  for (size_t i = 1; i < kde.density.size(); ++i)
+    if (kde.density[i] > kde.density[arg]) arg = i;
+  EXPECT_NEAR(kde.grid[arg], 3.0, 0.15);
+}
+
+TEST(Kde, RecoversGaussianShape) {
+  const auto s = gaussian_samples(5000, 0.f, 1.f, 7);
+  const KdeResult kde = gaussian_kde(s, 128);
+  // Compare against the true pdf at a few points.
+  for (double x : {-1.0, 0.0, 1.0}) {
+    // Find the nearest grid point.
+    size_t best = 0;
+    for (size_t i = 1; i < kde.grid.size(); ++i)
+      if (std::fabs(kde.grid[i] - x) < std::fabs(kde.grid[best] - x)) best = i;
+    const double truth =
+        std::exp(-x * x / 2.0) / std::sqrt(2.0 * 3.14159265358979);
+    EXPECT_NEAR(kde.density[best], truth, 0.05) << "at x=" << x;
+  }
+}
+
+TEST(Kde, ExplicitBandwidthRespected) {
+  const auto s = gaussian_samples(100, 0.f, 1.f, 8);
+  const KdeResult kde = gaussian_kde(s, 64, 0.33);
+  EXPECT_DOUBLE_EQ(kde.bandwidth, 0.33);
+}
+
+TEST(Kde, RejectsDegenerateInputs) {
+  EXPECT_THROW(gaussian_kde({}, 64), std::invalid_argument);
+  const std::vector<float> one{1.f};
+  EXPECT_THROW(gaussian_kde(one, 1), std::invalid_argument);
+}
+
+TEST(KdeDistance, IdenticalDistributionsNearZero) {
+  const auto a = gaussian_samples(1000, 0.f, 1.f, 9);
+  const auto b = gaussian_samples(1000, 0.f, 1.f, 10);
+  EXPECT_LT(kde_l1_distance(a, b), 0.25);
+}
+
+TEST(KdeDistance, SeparatedDistributionsNearTwo) {
+  const auto a = gaussian_samples(500, 0.f, 0.3f, 11);
+  const auto b = gaussian_samples(500, 10.f, 0.3f, 12);
+  EXPECT_GT(kde_l1_distance(a, b), 1.7);
+}
+
+TEST(KdeDistance, MonotoneInSeparation) {
+  // Fig. 11's usage: "distance from BSP's weight distribution" must grow as
+  // distributions drift apart.
+  const auto base = gaussian_samples(800, 0.f, 1.f, 13);
+  const auto near = gaussian_samples(800, 0.5f, 1.f, 14);
+  const auto far = gaussian_samples(800, 3.f, 1.f, 15);
+  EXPECT_LT(kde_l1_distance(base, near), kde_l1_distance(base, far));
+}
+
+}  // namespace
+}  // namespace selsync

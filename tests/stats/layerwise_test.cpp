@@ -1,0 +1,143 @@
+#include "stats/layerwise_grad_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/models.hpp"
+#include "stats/hessian.hpp"
+
+namespace selsync {
+namespace {
+
+std::unique_ptr<Model> tiny_model(uint64_t seed = 1) {
+  ClassifierConfig cfg;
+  cfg.input_dim = 8;
+  cfg.classes = 3;
+  cfg.hidden = 8;
+  cfg.resnet_blocks = 1;
+  return make_resnet_mlp(cfg, seed);
+}
+
+Batch tiny_batch(uint64_t seed = 2) {
+  Rng rng(seed);
+  Batch b;
+  b.x = Tensor::randn({8, 8}, rng);
+  b.targets = {0, 1, 2, 0, 1, 2, 0, 1};
+  return b;
+}
+
+TEST(LayerwiseGradChange, OneTrackerPerParameterTensor) {
+  auto model = tiny_model();
+  LayerwiseGradChange lw(*model);
+  EXPECT_EQ(lw.layers(), model->params().size());
+  EXPECT_EQ(lw.layer_name(0), model->params()[0]->name);
+}
+
+TEST(LayerwiseGradChange, FirstUpdateIsZeroDeltas) {
+  auto model = tiny_model();
+  LayerwiseGradChange lw(*model);
+  model->train_step(tiny_batch());
+  const auto& deltas = lw.update();
+  for (double d : deltas) EXPECT_DOUBLE_EQ(d, 0.0);
+  EXPECT_DOUBLE_EQ(lw.fraction_above(0.01), 0.0);
+}
+
+TEST(LayerwiseGradChange, TracksPerLayerMovement) {
+  auto model = tiny_model();
+  LayerwiseGradChange lw(*model, 0.5);
+  const Batch batch = tiny_batch();
+  for (int i = 0; i < 5; ++i) {
+    model->train_step(batch);
+    model->apply_sgd(0.1f);
+    lw.update();
+  }
+  // After several SGD steps on a fixed batch, at least one layer's gradient
+  // norm is still changing.
+  EXPECT_GT(lw.fraction_above(1e-4), 0.0);
+  EXPECT_GE(lw.global_delta(), 0.0);
+}
+
+TEST(LayerwiseGradChange, FractionAboveMonotoneInThreshold) {
+  auto model = tiny_model();
+  LayerwiseGradChange lw(*model, 0.5);
+  const Batch batch = tiny_batch();
+  for (int i = 0; i < 4; ++i) {
+    model->train_step(batch);
+    model->apply_sgd(0.1f);
+    lw.update();
+  }
+  EXPECT_GE(lw.fraction_above(0.001), lw.fraction_above(0.01));
+  EXPECT_GE(lw.fraction_above(0.01), lw.fraction_above(1.0));
+  EXPECT_DOUBLE_EQ(lw.fraction_above(1e12), 0.0);
+}
+
+TEST(LayerwiseGradChange, LayersSaturateAtDifferentRates) {
+  // The motivation for per-layer tracking: after training a while, deltas
+  // differ across layers (not all identical).
+  auto model = tiny_model();
+  LayerwiseGradChange lw(*model, 0.3);
+  const Batch batch = tiny_batch();
+  for (int i = 0; i < 12; ++i) {
+    model->train_step(batch);
+    model->apply_sgd(0.05f);
+    lw.update();
+  }
+  const auto& d = lw.last_deltas();
+  bool differs = false;
+  for (size_t i = 1; i < d.size(); ++i)
+    if (std::abs(d[i] - d[0]) > 1e-9) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Hutchinson, TraceOfKnownDiagonalQuadratic) {
+  // Reuses the DiagonalQuadratic idea: loss = 0.5 sum a_i w_i^2 has
+  // tr(H) = sum a_i exactly, and Rademacher probes are exact for diagonal
+  // Hessians (z_i^2 = 1).
+  class DiagQuad : public Model {
+   public:
+    explicit DiagQuad(std::vector<float> a) : a_(std::move(a)), w_("w", Tensor({a_.size()})) {
+      w_.value.fill(1.f);
+    }
+    float train_step(const Batch&) override {
+      zero_grad();
+      float loss = 0.f;
+      for (size_t i = 0; i < a_.size(); ++i) {
+        w_.grad[i] = a_[i] * w_.value[i];
+        loss += 0.5f * a_[i] * w_.value[i] * w_.value[i];
+      }
+      return loss;
+    }
+    EvalStats eval_batch(const Batch&) override { return {}; }
+    void set_training(bool) override {}
+
+   protected:
+    void collect_model_params(std::vector<Param*>& out) override {
+      out.push_back(&w_);
+    }
+
+   private:
+    std::vector<float> a_;
+    Param w_;
+  };
+
+  DiagQuad model({1.f, 2.f, 3.f, 4.f});
+  HutchinsonOptions opt;
+  opt.probes = 4;
+  const HutchinsonResult res = hessian_trace_hutchinson(model, Batch{}, opt);
+  EXPECT_NEAR(res.trace_estimate, 10.0, 0.5);
+  EXPECT_EQ(res.probes_used, 4u);
+  // Parameters restored.
+  EXPECT_FLOAT_EQ(model.get_flat_params()[0], 1.f);
+}
+
+TEST(Hutchinson, WorksOnRealModel) {
+  auto model = tiny_model();
+  const HutchinsonResult res =
+      hessian_trace_hutchinson(*model, tiny_batch(), {.probes = 4});
+  EXPECT_TRUE(std::isfinite(res.trace_estimate));
+  EXPECT_GE(res.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace selsync

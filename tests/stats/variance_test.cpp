@@ -1,0 +1,57 @@
+#include "stats/variance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace selsync {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSet) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStats, MatchesGaussianMoments) {
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.variance(), 9.0, 0.2);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  // Welford's point: huge common offsets must not destroy the variance.
+  RunningStats s;
+  for (double x : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace selsync

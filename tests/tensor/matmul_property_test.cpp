@@ -1,0 +1,81 @@
+// Property sweeps over the matmul kernels: algebraic identities that must
+// hold for every shape (TEST_P over a shape grid).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.hpp"
+
+namespace selsync::ops {
+namespace {
+
+using Shape = std::tuple<size_t, size_t, size_t>;  // m, k, n
+
+class MatmulShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MatmulShapes, VariantsAgreeWithTransposedForms) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+
+  const Tensor direct = matmul(a, b);
+  const Tensor via_nt = matmul_nt(a, transpose(b));
+  const Tensor via_tn = matmul_tn(transpose(a), b);
+  ASSERT_TRUE(direct.same_shape(via_nt));
+  ASSERT_TRUE(direct.same_shape(via_tn));
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_nt[i], 1e-3);
+    EXPECT_NEAR(direct[i], via_tn[i], 1e-3);
+  }
+}
+
+TEST_P(MatmulShapes, DistributesOverAddition) {
+  // A(B + C) = AB + AC.
+  const auto [m, k, n] = GetParam();
+  Rng rng(42 + m + k + n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor c = Tensor::randn({k, n}, rng);
+  const Tensor lhs = matmul(a, b + c);
+  Tensor rhs = matmul(a, b);
+  rhs.add_(matmul(a, c));
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-3);
+}
+
+TEST_P(MatmulShapes, ScalarCommutes) {
+  // (s A) B = s (A B).
+  const auto [m, k, n] = GetParam();
+  Rng rng(7 + m * k * n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor lhs = matmul(a * 2.5f, b);
+  const Tensor rhs = matmul(a, b) * 2.5f;
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-3);
+}
+
+TEST_P(MatmulShapes, TransposeReversesProduct) {
+  // (A B)^T = B^T A^T.
+  const auto [m, k, n] = GetParam();
+  Rng rng(13 * m + k - n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor lhs = transpose(matmul(a, b));
+  const Tensor rhs = matmul(transpose(b), transpose(a));
+  ASSERT_TRUE(lhs.same_shape(rhs));
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, MatmulShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 7, 3}, Shape{5, 1, 4},
+                      Shape{4, 4, 4}, Shape{3, 17, 5}, Shape{16, 8, 32},
+                      Shape{31, 13, 7}),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace selsync::ops

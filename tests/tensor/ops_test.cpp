@@ -1,0 +1,217 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync::ops {
+namespace {
+
+TEST(Matmul, SmallKnownProduct) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor eye({2, 2}, {1, 0, 0, 1});
+  const Tensor c = matmul(a, eye);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Matmul, DimMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(MatmulVariants, NtMatchesExplicitTranspose) {
+  Rng rng(1);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor direct = matmul_nt(a, b);
+  const Tensor via_t = matmul(a, transpose(b));
+  ASSERT_TRUE(direct.same_shape(via_t));
+  for (size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct[i], via_t[i], 1e-4);
+}
+
+TEST(MatmulVariants, TnMatchesExplicitTranspose) {
+  Rng rng(2);
+  const Tensor a = Tensor::randn({6, 4}, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  const Tensor direct = matmul_tn(a, b);
+  const Tensor via_t = matmul(transpose(a), b);
+  ASSERT_TRUE(direct.same_shape(via_t));
+  for (size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(direct[i], via_t[i], 1e-4);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({3, 7}, rng);
+  const Tensor tt = transpose(transpose(a));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], tt[i]);
+}
+
+TEST(Bias, AddRowBiasBroadcasts) {
+  Tensor a({2, 3}, {0, 0, 0, 1, 1, 1});
+  const Tensor b({3}, {1, 2, 3});
+  add_row_bias(a, b);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 3.f);
+  EXPECT_FLOAT_EQ(a.at(1, 0), 2.f);
+}
+
+TEST(Bias, SumRowsIsBiasGradient) {
+  const Tensor a({2, 3}, {1, 2, 3, 10, 20, 30});
+  const Tensor s = sum_rows(a);
+  EXPECT_FLOAT_EQ(s[0], 11.f);
+  EXPECT_FLOAT_EQ(s[1], 22.f);
+  EXPECT_FLOAT_EQ(s[2], 33.f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({5, 9}, rng, 0.f, 3.f);
+  const Tensor p = softmax_rows(logits);
+  for (size_t r = 0; r < 5; ++r) {
+    float sum = 0.f;
+    for (size_t c = 0; c < 9; ++c) {
+      EXPECT_GT(p.at(r, c), 0.f);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits({1, 3}, {1000.f, 1001.f, 999.f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const Tensor a({1, 3}, {1.f, 2.f, 3.f});
+  const Tensor b({1, 3}, {11.f, 12.f, 13.f});
+  const Tensor pa = softmax_rows(a);
+  const Tensor pb = softmax_rows(b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6);
+}
+
+TEST(Conv2d, IdentityKernelPreservesInput) {
+  // 1x1 kernel with weight 1 and no padding is the identity map.
+  Rng rng(5);
+  const Tensor input = Tensor::randn({2, 1, 4, 4}, rng);
+  const Tensor weight({1, 1, 1, 1}, {1.f});
+  const Tensor bias({1});
+  const Tensor out = conv2d(input, weight, bias, 0);
+  ASSERT_TRUE(out.same_shape(input));
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out[i], input[i]);
+}
+
+TEST(Conv2d, KnownSmallConvolution) {
+  // 1x3x3 input, 2x2 kernel of ones, no padding -> 2x2 sums.
+  const Tensor input({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor weight({1, 1, 2, 2}, {1, 1, 1, 1});
+  const Tensor bias({1}, {0.5f});
+  const Tensor out = conv2d(input, weight, bias, 0);
+  EXPECT_EQ(out.dim(2), 2u);
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 4 + 5 + 0.5f);
+  EXPECT_FLOAT_EQ(out[3], 5 + 6 + 8 + 9 + 0.5f);
+}
+
+TEST(Conv2d, PaddingPreservesSpatialDims) {
+  Rng rng(6);
+  const Tensor input = Tensor::randn({1, 2, 6, 6}, rng);
+  const Tensor weight = Tensor::randn({3, 2, 3, 3}, rng);
+  const Tensor bias({3});
+  const Tensor out = conv2d(input, weight, bias, 1);
+  EXPECT_EQ(out.dim(1), 3u);
+  EXPECT_EQ(out.dim(2), 6u);
+  EXPECT_EQ(out.dim(3), 6u);
+}
+
+TEST(Conv2dBackward, MatchesFiniteDifferences) {
+  Rng rng(7);
+  Tensor input = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor weight = Tensor::randn({2, 2, 3, 3}, rng, 0.f, 0.5f);
+  Tensor bias = Tensor::randn({2}, rng);
+  const size_t pad = 1;
+
+  // Scalar objective: sum of outputs.
+  auto objective = [&](const Tensor& in, const Tensor& w, const Tensor& b) {
+    return conv2d(in, w, b, pad).sum();
+  };
+
+  Tensor grad_out(conv2d(input, weight, bias, pad).shape());
+  grad_out.fill(1.f);
+  Tensor gi, gw, gb;
+  conv2d_backward(input, weight, pad, grad_out, gi, gw, gb);
+
+  const float eps = 1e-2f;
+  // Spot-check several coordinates of each gradient.
+  for (size_t idx : {0ul, 7ul, 15ul, 31ul}) {
+    Tensor ip = input, im = input;
+    ip[idx] += eps;
+    im[idx] -= eps;
+    const float fd =
+        (objective(ip, weight, bias) - objective(im, weight, bias)) / (2 * eps);
+    EXPECT_NEAR(gi[idx], fd, 2e-2) << "input grad at " << idx;
+  }
+  for (size_t idx : {0ul, 9ul, 17ul, 35ul}) {
+    Tensor wp = weight, wm = weight;
+    wp[idx] += eps;
+    wm[idx] -= eps;
+    const float fd =
+        (objective(input, wp, bias) - objective(input, wm, bias)) / (2 * eps);
+    EXPECT_NEAR(gw[idx], fd, 2e-2) << "weight grad at " << idx;
+  }
+  for (size_t idx : {0ul, 1ul}) {
+    Tensor bp = bias, bm = bias;
+    bp[idx] += eps;
+    bm[idx] -= eps;
+    const float fd =
+        (objective(input, weight, bp) - objective(input, weight, bm)) /
+        (2 * eps);
+    EXPECT_NEAR(gb[idx], fd, 2e-2) << "bias grad at " << idx;
+  }
+}
+
+TEST(MaxPool, SelectsMaxAndRecordsArgmax) {
+  const Tensor input({1, 1, 2, 2}, {1, 5, 3, 2});
+  std::vector<uint32_t> argmax;
+  const Tensor out = maxpool2x2(input, argmax);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 5.f);
+  EXPECT_EQ(argmax[0], 1u);
+}
+
+TEST(MaxPool, BackwardRoutesGradientToArgmax) {
+  const Tensor input({1, 1, 2, 2}, {1, 5, 3, 2});
+  std::vector<uint32_t> argmax;
+  (void)maxpool2x2(input, argmax);
+  const Tensor grad_out({1, 1, 1, 1}, {2.f});
+  const Tensor grad_in = maxpool2x2_backward(grad_out, argmax, input.shape());
+  EXPECT_FLOAT_EQ(grad_in[0], 0.f);
+  EXPECT_FLOAT_EQ(grad_in[1], 2.f);
+  EXPECT_FLOAT_EQ(grad_in[2], 0.f);
+}
+
+TEST(MaxPool, HalvesSpatialDims) {
+  Rng rng(8);
+  const Tensor input = Tensor::randn({2, 3, 8, 6}, rng);
+  std::vector<uint32_t> argmax;
+  const Tensor out = maxpool2x2(input, argmax);
+  EXPECT_EQ(out.dim(2), 4u);
+  EXPECT_EQ(out.dim(3), 3u);
+}
+
+}  // namespace
+}  // namespace selsync::ops

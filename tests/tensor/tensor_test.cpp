@@ -1,0 +1,135 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace selsync {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(1), 5u);
+  EXPECT_EQ(t.dim(2), 6u);
+  EXPECT_EQ(t.shape_str(), "[4x5x6]");
+}
+
+TEST(Tensor, ConstructWithDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({3}, 2.5f);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.f);
+  EXPECT_EQ(t.at(0, 2), 2.f);
+  EXPECT_EQ(t.at(1, 0), 3.f);
+  EXPECT_EQ(t.at(1, 2), 5.f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.at(2, 1), 5.f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseInPlaceOps) {
+  Tensor a({3}, {1, 2, 3});
+  const Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[1], 22.f);
+  a.sub_(b);
+  EXPECT_EQ(a[1], 2.f);
+  a.mul_(b);
+  EXPECT_EQ(a[2], 90.f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a[0], 5.f);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({2}, {1, 1});
+  const Tensor b({2}, {2, 4});
+  a.axpy_(-0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 0.f);
+  EXPECT_FLOAT_EQ(a[1], -1.f);
+}
+
+TEST(Tensor, OutOfPlaceOps) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {3, 4});
+  const Tensor sum = a + b;
+  const Tensor diff = b - a;
+  const Tensor scaled = a * 3.f;
+  EXPECT_EQ(sum[1], 6.f);
+  EXPECT_EQ(diff[0], 2.f);
+  EXPECT_EQ(scaled[1], 6.f);
+  EXPECT_EQ(a[0], 1.f);  // operands untouched
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.min(), -4.f);
+  EXPECT_FLOAT_EQ(t.max(), 3.f);
+  EXPECT_DOUBLE_EQ(t.sq_norm(), 1 + 4 + 9 + 16);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(30.0), 1e-9);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({10000}, rng, 1.f, 2.f);
+  EXPECT_NEAR(t.mean(), 1.f, 0.1f);
+  double var = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const double d = t[i] - t.mean();
+    var += d * d;
+  }
+  EXPECT_NEAR(var / t.size(), 4.0, 0.3);
+}
+
+TEST(Tensor, XavierBounded) {
+  Rng rng(2);
+  const Tensor t = Tensor::xavier({64, 32}, rng, 32, 64);
+  const double limit = std::sqrt(6.0 / (32 + 64));
+  EXPECT_LE(t.max(), limit + 1e-6);
+  EXPECT_GE(t.min(), -limit - 1e-6);
+}
+
+TEST(Tensor, KaimingVarianceScalesWithFanIn) {
+  Rng rng(3);
+  const Tensor t = Tensor::kaiming({128, 50}, rng, 50);
+  double sq = t.sq_norm() / t.size();
+  EXPECT_NEAR(sq, 2.0 / 50, 0.01);
+}
+
+TEST(Tensor, DeterministicInitForSameSeed) {
+  Rng a(9), b(9);
+  const Tensor ta = Tensor::randn({16}, a);
+  const Tensor tb = Tensor::randn({16}, b);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+TEST(ShapeNumel, EmptyShapeIsZero) {
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,75 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+ArgParser standard_parser() {
+  ArgParser p;
+  p.add_option("delta", "threshold", "0.3");
+  p.add_option("workers", "cluster size", "16");
+  p.add_switch("quiet", "no output");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApplyWhenAbsent) {
+  ArgParser p = standard_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("delta"), "0.3");
+  EXPECT_DOUBLE_EQ(p.get_double("delta"), 0.3);
+  EXPECT_EQ(p.get_int("workers"), 16);
+  EXPECT_FALSE(p.get_bool("quiet"));
+}
+
+TEST(Args, ParsesValuesAndSwitches) {
+  ArgParser p = standard_parser();
+  ASSERT_TRUE(parse(p, {"--delta", "0.5", "--quiet", "--workers", "8"}));
+  EXPECT_DOUBLE_EQ(p.get_double("delta"), 0.5);
+  EXPECT_EQ(p.get_int("workers"), 8);
+  EXPECT_TRUE(p.get_bool("quiet"));
+  EXPECT_TRUE(p.has("delta"));
+}
+
+TEST(Args, HelpReturnsFalse) {
+  ArgParser p = standard_parser();
+  EXPECT_FALSE(parse(p, {"--help"}));
+}
+
+TEST(Args, RejectsUnknownFlag) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"--nope", "1"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsMissingValue) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"--delta"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsPositional) {
+  ArgParser p = standard_parser();
+  EXPECT_THROW(parse(p, {"stray"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+  ArgParser p = standard_parser();
+  ASSERT_TRUE(parse(p, {"--delta", "abc", "--workers", "3.5"}));
+  EXPECT_THROW(p.get_double("delta"), std::invalid_argument);
+  EXPECT_THROW(p.get_int("workers"), std::invalid_argument);
+}
+
+TEST(Args, UsageListsAllFlags) {
+  ArgParser p = standard_parser();
+  const std::string usage = p.usage("prog");
+  EXPECT_NE(usage.find("--delta"), std::string::npos);
+  EXPECT_NE(usage.find("--quiet"), std::string::npos);
+  EXPECT_NE(usage.find("default: 0.3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selsync

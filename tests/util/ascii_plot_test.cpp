@@ -1,0 +1,49 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesWithLegend) {
+  const std::string out =
+      ascii_plot({{"acc", {0.1, 0.5, 0.9}}, {"loss", {0.9, 0.5, 0.1}}}, 40, 8);
+  EXPECT_NE(out.find("acc"), std::string::npos);
+  EXPECT_NE(out.find("loss"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+  const std::string out = ascii_plot({{"flat", {1.0, 1.0, 1.0}}}, 20, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlot, HandlesEmptySeries) {
+  const std::string out = ascii_plot({{"none", {}}}, 20, 5);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(Sparkline, MonotoneRampUsesIncreasingLevels) {
+  const std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_LT(s.front(), s.back());  // denser glyph later in the ramp
+}
+
+TEST(Sparkline, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(sparkline({}, 10).empty());
+}
+
+TEST(AsciiBars, ScalesToLargestValue) {
+  const std::string out = ascii_bars({{"small", 1.0}, {"big", 10.0}}, 20);
+  // The largest bar should reach the full width.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(out.find("small"), std::string::npos);
+}
+
+TEST(AsciiBars, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(ascii_bars({}, 10).empty());
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace selsync {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/selsync_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row({"1", "x"});
+    csv.row({2.5, 3.0});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST_F(CsvTest, RejectsArityMismatch) {
+  CsvWriter csv(path_, {"a", "b", "c"});
+  EXPECT_THROW(csv.row({"only", "two"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvFormat, FormatsDoublesCompactly) {
+  EXPECT_EQ(CsvWriter::format_double(1.0), "1");
+  EXPECT_EQ(CsvWriter::format_double(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::format_double(1234567.0), "1.23457e+06");
+}
+
+}  // namespace
+}  // namespace selsync

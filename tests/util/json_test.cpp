@@ -1,0 +1,75 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(Json, ObjectDeterministicKeyOrder) {
+  JsonValue o = JsonValue::object();
+  o.set("zebra", 1).set("alpha", 2);
+  EXPECT_EQ(o.dump(), "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(Json, NestedStructures) {
+  JsonValue arr = JsonValue::array();
+  arr.push(1).push("two");
+  JsonValue o = JsonValue::object();
+  o.set("list", std::move(arr));
+  EXPECT_EQ(o.dump(), "{\"list\":[1,\"two\"]}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+  EXPECT_EQ(JsonValue::object().dump(2), "{}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonValue o = JsonValue::object();
+  o.set("a", 1);
+  EXPECT_EQ(o.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  JsonValue num(1);
+  EXPECT_THROW(num.set("k", 1), std::logic_error);
+  EXPECT_THROW(num.push(1), std::logic_error);
+  JsonValue arr = JsonValue::array();
+  EXPECT_THROW(arr.set("k", 1), std::logic_error);
+}
+
+TEST(Json, SetOverwrites) {
+  JsonValue o = JsonValue::object();
+  o.set("k", 1);
+  o.set("k", 2);
+  EXPECT_EQ(o.dump(), "{\"k\":2}");
+}
+
+TEST(Json, LargeIntegersKeptExact) {
+  EXPECT_EQ(JsonValue(123456789.0).dump(), "123456789");
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selsync {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Logging, MacrosRespectThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Below-threshold macros must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return "msg";
+  };
+  LOG_DEBUG << touch();
+  LOG_INFO << touch();
+  EXPECT_EQ(evaluations, 0);
+  testing::internal::CaptureStderr();
+  LOG_ERROR << touch();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("[ERROR] msg"), std::string::npos);
+}
+
+TEST(Logging, FormatsLevelTags) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  LOG_WARN << "attention " << 42;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN] attention 42"), std::string::npos);
+}
+
+TEST(Logging, LogLineDirect) {
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "direct");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO] direct"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,188 @@
+// selsync_cli — run any distributed-training experiment from the command
+// line, no C++ required.
+//
+//   selsync_cli --workload ResNet101 --strategy selsync --delta 0.15
+//               --workers 16 --iterations 500 --json run.json
+//
+// Prints a human-readable summary and (optionally) writes the full run
+// record (job + result + evaluation history) as JSON.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/run_record.hpp"
+#include "core/trainer.hpp"
+#include "core/workloads.hpp"
+#include "nn/summary.hpp"
+#include "util/args.hpp"
+
+using namespace selsync;
+
+namespace {
+
+StrategyKind parse_strategy(const std::string& name) {
+  if (name == "bsp") return StrategyKind::kBsp;
+  if (name == "local") return StrategyKind::kLocalSgd;
+  if (name == "fedavg") return StrategyKind::kFedAvg;
+  if (name == "ssp") return StrategyKind::kSsp;
+  if (name == "selsync") return StrategyKind::kSelSync;
+  if (name == "easgd") return StrategyKind::kEasgd;
+  throw std::invalid_argument(
+      "unknown strategy '" + name +
+      "' (expected bsp, local, fedavg, ssp, selsync or easgd)");
+}
+
+CompressionKind parse_compression(const std::string& name) {
+  if (name == "none") return CompressionKind::kNone;
+  if (name == "topk") return CompressionKind::kTopK;
+  if (name == "signsgd") return CompressionKind::kSignSgd;
+  if (name == "quant8") return CompressionKind::kQuant8;
+  throw std::invalid_argument("unknown compression '" + name + "'");
+}
+
+int run(int argc, const char* const* argv) {
+  ArgParser args;
+  args.add_option("workload",
+                  "ResNet101 | VGG11 | AlexNet | Transformer", "ResNet101");
+  args.add_option("strategy", "bsp | local | fedavg | ssp | selsync | easgd",
+                  "selsync");
+  args.add_option("workers", "cluster size", "16");
+  args.add_option("iterations", "per-worker step budget", "500");
+  args.add_option("eval-interval", "steps between test evaluations", "50");
+  args.add_option("seed", "experiment seed", "1");
+  args.add_option("delta", "SelSync threshold on relative gradient change",
+                  "0.15");
+  args.add_option("aggregation", "SelSync sync payload: pa | ga", "pa");
+  args.add_option("quorum", "fraction of votes required to sync (0 = any)",
+                  "0");
+  args.add_option("fedavg-c", "FedAvg participation fraction C", "1.0");
+  args.add_option("fedavg-e", "FedAvg sync factor E (syncs 1/E per epoch)",
+                  "0.25");
+  args.add_option("staleness", "SSP staleness bound s", "100");
+  args.add_option("easgd-alpha", "EASGD worker pull strength", "0.5");
+  args.add_option("easgd-beta", "EASGD center pull strength", "0.5");
+  args.add_option("easgd-tau", "EASGD steps between elastic updates", "4");
+  args.add_option("partition", "seldp | defdp | noniid", "seldp");
+  args.add_option("labels-per-worker", "labels per worker (noniid)", "1");
+  args.add_option("inject-alpha", "data-injection worker fraction (0 = off)",
+                  "0");
+  args.add_option("inject-beta", "data-injection batch fraction", "0.5");
+  args.add_option("compression", "none | topk | signsgd | quant8", "none");
+  args.add_option("topk", "Top-k kept fraction", "0.01");
+  args.add_option("ema", "Polyak-average decay for evaluation (0 = off)",
+                  "0");
+  args.add_option("target-top1", "stop when top-1 accuracy reaches this", "");
+  args.add_option("target-ppl", "stop when perplexity reaches this", "");
+  args.add_option("json", "write the run record to this file", "");
+  args.add_option("save-checkpoint", "write a model checkpoint here", "");
+  args.add_switch("quiet", "suppress the evaluation trajectory");
+  args.add_switch("describe", "print the model's parameter table and exit");
+
+  if (!args.parse(argc, argv)) return 0;
+
+  const Workload w = workload_by_name(args.get("workload"));
+  TrainJob job = make_job(w, parse_strategy(args.get("strategy")),
+                          static_cast<size_t>(args.get_int("workers")),
+                          static_cast<uint64_t>(args.get_int("iterations")));
+  job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
+  job.seed = static_cast<uint64_t>(args.get_int("seed"));
+  job.selsync.delta = args.get_double("delta");
+  job.selsync.aggregation = args.get("aggregation") == "ga"
+                                ? AggregationMode::kGradients
+                                : AggregationMode::kParameters;
+  job.selsync.sync_quorum = args.get_double("quorum");
+  job.fedavg = {args.get_double("fedavg-c"), args.get_double("fedavg-e")};
+  job.ssp.staleness = static_cast<uint64_t>(args.get_int("staleness"));
+  job.easgd = {args.get_double("easgd-alpha"), args.get_double("easgd-beta"),
+               static_cast<uint64_t>(args.get_int("easgd-tau"))};
+
+  const std::string partition = args.get("partition");
+  if (partition == "defdp") {
+    job.partition = PartitionScheme::kDefault;
+  } else if (partition == "noniid") {
+    job.partition = PartitionScheme::kNonIidLabel;
+    job.labels_per_worker =
+        static_cast<size_t>(args.get_int("labels-per-worker"));
+  } else if (partition != "seldp") {
+    throw std::invalid_argument("unknown partition '" + partition + "'");
+  }
+
+  if (args.get_double("inject-alpha") > 0) {
+    job.injection = {true, args.get_double("inject-alpha"),
+                     args.get_double("inject-beta")};
+  }
+  job.compression.kind = parse_compression(args.get("compression"));
+  job.compression.topk_fraction = args.get_double("topk");
+  job.ema_decay = args.get_double("ema");
+  if (!args.get("target-top1").empty())
+    job.target_top1 = args.get_double("target-top1");
+  if (!args.get("target-ppl").empty())
+    job.target_perplexity = args.get_double("target-ppl");
+
+  if (args.get_bool("describe")) {
+    auto model = job.model_factory(job.seed);
+    std::fputs(describe_model(*model).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("running %s on %s: %zu workers, %llu iterations...\n",
+              strategy_kind_name(job.strategy), w.name.c_str(), job.workers,
+              static_cast<unsigned long long>(job.max_iterations));
+  const TrainResult result = run_training(job);
+
+  std::printf("\n%-24s %llu\n", "iterations:",
+              static_cast<unsigned long long>(result.iterations));
+  if (result.lssr_applicable) {
+    if (result.lssr() >= 1.0)
+      std::printf("%-24s 1.000 (no synchronization at all)\n", "LSSR:");
+    else
+      std::printf("%-24s %.3f (comm reduced %.1fx vs BSP)\n",
+                  "LSSR:", result.lssr(), result.comm_reduction());
+  }
+  std::printf("%-24s %.3f\n",
+              w.is_lm ? "best perplexity:"
+                      : (w.top5_metric ? "best top-5:" : "best top-1:"),
+              w.is_lm ? result.best_perplexity
+                      : (w.top5_metric ? result.best_top5 : result.best_top1));
+  std::printf("%-24s %.1f s (simulated, paper scale)\n",
+              "training time:", result.sim_time_s);
+  std::printf("%-24s %.2f GB (paper scale, per worker)\n", "communication:",
+              result.comm_bytes / (1024.0 * 1024.0 * 1024.0));
+  std::printf("%-24s %.2f s\n", "wall time:", result.wall_time_s);
+  if (result.reached_target) std::printf("stopped early: target reached\n");
+
+  if (!args.get_bool("quiet")) {
+    std::printf("\n%-10s %-8s %-10s\n", "iteration", "epoch",
+                metric_name(w));
+    for (const EvalPoint& pt : result.eval_history)
+      std::printf("%-10llu %-8.2f %-10.3f\n",
+                  static_cast<unsigned long long>(pt.iteration), pt.epoch,
+                  primary_metric(w, pt));
+  }
+
+  if (!args.get("json").empty()) {
+    write_run_record(args.get("json"), job, result);
+    std::printf("\nrun record written to %s\n", args.get("json").c_str());
+  }
+  if (!args.get("save-checkpoint").empty()) {
+    auto model = job.model_factory(job.seed);
+    // The trainer's replicas are gone; checkpoint a fresh replica of the
+    // job's initial state so sweeps can branch from a common seed.
+    save_checkpoint(args.get("save-checkpoint"), *model, nullptr, 0);
+    std::printf("seed checkpoint written to %s\n",
+                args.get("save-checkpoint").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selsync_cli: %s\n", e.what());
+    return 1;
+  }
+}

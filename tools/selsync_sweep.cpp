@@ -1,0 +1,108 @@
+// selsync_sweep — sweep one SelSync knob (δ, quorum, workers or the EWMA
+// window) over a list of values and print a comparison table + CSV.
+//
+//   ./build/tools/selsync_sweep --workload ResNet101 --knob delta \
+//       --values 0,0.05,0.1,0.15,0.25 --iterations 400 --csv sweep.csv
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "core/workloads.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+
+using namespace selsync;
+
+namespace {
+
+std::vector<double> parse_values(const std::string& csv_list) {
+  std::vector<double> values;
+  std::stringstream ss(csv_list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    values.push_back(std::stod(token));
+  }
+  if (values.empty())
+    throw std::invalid_argument("--values: no values parsed from '" +
+                                csv_list + "'");
+  return values;
+}
+
+int run(int argc, const char* const* argv) {
+  ArgParser args;
+  args.add_option("workload", "ResNet101 | VGG11 | AlexNet | Transformer",
+                  "ResNet101");
+  args.add_option("knob", "delta | quorum | workers | window | ema",
+                  "delta");
+  args.add_option("values", "comma-separated values to sweep",
+                  "0,0.05,0.1,0.15,0.2,0.3");
+  args.add_option("workers", "cluster size (fixed unless swept)", "16");
+  args.add_option("iterations", "per-worker step budget", "400");
+  args.add_option("delta", "SelSync delta (fixed unless swept)", "0.15");
+  args.add_option("csv", "write the sweep table to this CSV file", "");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Workload w = workload_by_name(args.get("workload"));
+  const std::string knob = args.get("knob");
+  const std::vector<double> values = parse_values(args.get("values"));
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!args.get("csv").empty())
+    csv = std::make_unique<CsvWriter>(
+        args.get("csv"),
+        std::vector<std::string>{"knob", "value", "lssr", "metric",
+                                 "sim_time_s", "comm_gb"});
+
+  std::printf("sweeping %s on %s (%s)\n\n", knob.c_str(), w.name.c_str(),
+              metric_name(w));
+  std::printf("%10s %8s %10s %12s %10s\n", knob.c_str(), "LSSR",
+              metric_name(w), "sim time[s]", "comm [GB]");
+
+  for (double value : values) {
+    TrainJob job = make_job(w, StrategyKind::kSelSync,
+                            static_cast<size_t>(args.get_int("workers")),
+                            static_cast<uint64_t>(args.get_int("iterations")));
+    job.selsync.delta = args.get_double("delta");
+    if (knob == "delta") {
+      job.selsync.delta = value;
+    } else if (knob == "quorum") {
+      job.selsync.sync_quorum = value;
+    } else if (knob == "workers") {
+      job.workers = static_cast<size_t>(value);
+    } else if (knob == "window") {
+      job.selsync.ewma_window = static_cast<size_t>(value);
+    } else if (knob == "ema") {
+      job.ema_decay = value;
+    } else {
+      throw std::invalid_argument("unknown knob '" + knob + "'");
+    }
+    const TrainResult r = run_training(job);
+    const EvalPoint& final = r.final_eval;
+    const double metric = primary_metric(w, final);
+    const double comm_gb = r.comm_bytes / (1024.0 * 1024.0 * 1024.0);
+    std::printf("%10.4g %8.3f %10.3f %12.1f %10.2f\n", value, r.lssr(),
+                metric, r.sim_time_s, comm_gb);
+    if (csv)
+      csv->row({knob, CsvWriter::format_double(value),
+                CsvWriter::format_double(r.lssr()),
+                CsvWriter::format_double(metric),
+                CsvWriter::format_double(r.sim_time_s),
+                CsvWriter::format_double(comm_gb)});
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selsync_sweep: %s\n", e.what());
+    return 1;
+  }
+}
