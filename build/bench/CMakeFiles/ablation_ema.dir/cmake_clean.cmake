@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ema.dir/ablation_ema.cpp.o"
+  "CMakeFiles/ablation_ema.dir/ablation_ema.cpp.o.d"
+  "ablation_ema"
+  "ablation_ema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

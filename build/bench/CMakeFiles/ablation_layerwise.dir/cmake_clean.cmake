@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layerwise.dir/ablation_layerwise.cpp.o"
+  "CMakeFiles/ablation_layerwise.dir/ablation_layerwise.cpp.o.d"
+  "ablation_layerwise"
+  "ablation_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stragglers.dir/ablation_stragglers.cpp.o"
+  "CMakeFiles/ablation_stragglers.dir/ablation_stragglers.cpp.o.d"
+  "ablation_stragglers"
+  "ablation_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_rule.dir/ablation_sync_rule.cpp.o"
+  "CMakeFiles/ablation_sync_rule.dir/ablation_sync_rule.cpp.o.d"
+  "ablation_sync_rule"
+  "ablation_sync_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ga_vs_pa.dir/fig10_ga_vs_pa.cpp.o"
+  "CMakeFiles/fig10_ga_vs_pa.dir/fig10_ga_vs_pa.cpp.o.d"
+  "fig10_ga_vs_pa"
+  "fig10_ga_vs_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ga_vs_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_weight_kde.dir/fig11_weight_kde.cpp.o"
+  "CMakeFiles/fig11_weight_kde.dir/fig11_weight_kde.cpp.o.d"
+  "fig11_weight_kde"
+  "fig11_weight_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_weight_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_injection_noniid.dir/fig12_injection_noniid.cpp.o"
+  "CMakeFiles/fig12_injection_noniid.dir/fig12_injection_noniid.cpp.o.d"
+  "fig12_injection_noniid"
+  "fig12_injection_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_injection_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_scaling.dir/fig1a_scaling.cpp.o"
+  "CMakeFiles/fig1a_scaling.dir/fig1a_scaling.cpp.o.d"
+  "fig1a_scaling"
+  "fig1a_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_fedavg_noniid.dir/fig1b_fedavg_noniid.cpp.o"
+  "CMakeFiles/fig1b_fedavg_noniid.dir/fig1b_fedavg_noniid.cpp.o.d"
+  "fig1b_fedavg_noniid"
+  "fig1b_fedavg_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_fedavg_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

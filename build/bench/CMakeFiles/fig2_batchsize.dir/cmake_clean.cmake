@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_batchsize.dir/fig2_batchsize.cpp.o"
+  "CMakeFiles/fig2_batchsize.dir/fig2_batchsize.cpp.o.d"
+  "fig2_batchsize"
+  "fig2_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

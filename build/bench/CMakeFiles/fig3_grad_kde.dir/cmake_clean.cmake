@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_grad_kde.dir/fig3_grad_kde.cpp.o"
+  "CMakeFiles/fig3_grad_kde.dir/fig3_grad_kde.cpp.o.d"
+  "fig3_grad_kde"
+  "fig3_grad_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_grad_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hessian_vs_variance.dir/fig4_hessian_vs_variance.cpp.o"
+  "CMakeFiles/fig4_hessian_vs_variance.dir/fig4_hessian_vs_variance.cpp.o.d"
+  "fig4_hessian_vs_variance"
+  "fig4_hessian_vs_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hessian_vs_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gradchange_convergence.dir/fig5_gradchange_convergence.cpp.o"
+  "CMakeFiles/fig5_gradchange_convergence.dir/fig5_gradchange_convergence.cpp.o.d"
+  "fig5_gradchange_convergence"
+  "fig5_gradchange_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gradchange_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_delta_dial.dir/fig6_delta_dial.cpp.o"
+  "CMakeFiles/fig6_delta_dial.dir/fig6_delta_dial.cpp.o.d"
+  "fig6_delta_dial"
+  "fig6_delta_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_delta_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_delta_dial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_gradchange_overhead.dir/fig8a_gradchange_overhead.cpp.o"
+  "CMakeFiles/fig8a_gradchange_overhead.dir/fig8a_gradchange_overhead.cpp.o.d"
+  "fig8a_gradchange_overhead"
+  "fig8a_gradchange_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_gradchange_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_partition_overhead.dir/fig8b_partition_overhead.cpp.o"
+  "CMakeFiles/fig8b_partition_overhead.dir/fig8b_partition_overhead.cpp.o.d"
+  "fig8b_partition_overhead"
+  "fig8b_partition_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_partition_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_seldp_vs_defdp.dir/fig9_seldp_vs_defdp.cpp.o"
+  "CMakeFiles/fig9_seldp_vs_defdp.dir/fig9_seldp_vs_defdp.cpp.o.d"
+  "fig9_seldp_vs_defdp"
+  "fig9_seldp_vs_defdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_seldp_vs_defdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_noniid.dir/federated_noniid.cpp.o"
+  "CMakeFiles/federated_noniid.dir/federated_noniid.cpp.o.d"
+  "federated_noniid"
+  "federated_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

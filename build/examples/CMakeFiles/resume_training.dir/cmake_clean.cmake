@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resume_training.dir/resume_training.cpp.o"
+  "CMakeFiles/resume_training.dir/resume_training.cpp.o.d"
+  "resume_training"
+  "resume_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resume_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/selsync_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/cluster.cpp.o.d"
+  "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/selsync_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/collectives.cpp.o.d"
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/selsync_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/network_sim.cpp" "src/comm/CMakeFiles/selsync_comm.dir/network_sim.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/network_sim.cpp.o.d"
+  "/root/repo/src/comm/parameter_server.cpp" "src/comm/CMakeFiles/selsync_comm.dir/parameter_server.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/parameter_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

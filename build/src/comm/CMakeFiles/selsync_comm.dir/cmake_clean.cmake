@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_comm.dir/cluster.cpp.o"
+  "CMakeFiles/selsync_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/selsync_comm.dir/collectives.cpp.o"
+  "CMakeFiles/selsync_comm.dir/collectives.cpp.o.d"
+  "CMakeFiles/selsync_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/selsync_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/selsync_comm.dir/network_sim.cpp.o"
+  "CMakeFiles/selsync_comm.dir/network_sim.cpp.o.d"
+  "CMakeFiles/selsync_comm.dir/parameter_server.cpp.o"
+  "CMakeFiles/selsync_comm.dir/parameter_server.cpp.o.d"
+  "libselsync_comm.a"
+  "libselsync_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

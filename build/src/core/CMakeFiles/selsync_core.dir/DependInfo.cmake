@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/selsync_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/compression.cpp" "src/core/CMakeFiles/selsync_core.dir/compression.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/compression.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/selsync_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/selsync_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/run_record.cpp" "src/core/CMakeFiles/selsync_core.dir/run_record.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/run_record.cpp.o.d"
+  "/root/repo/src/core/sync_policy.cpp" "src/core/CMakeFiles/selsync_core.dir/sync_policy.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/sync_policy.cpp.o.d"
+  "/root/repo/src/core/time_model.cpp" "src/core/CMakeFiles/selsync_core.dir/time_model.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/time_model.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/selsync_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/core/CMakeFiles/selsync_core.dir/workloads.cpp.o" "gcc" "src/core/CMakeFiles/selsync_core.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/selsync_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/selsync_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/selsync_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/selsync_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/selsync_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/compression.cpp.o"
+  "CMakeFiles/selsync_core.dir/compression.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/config.cpp.o"
+  "CMakeFiles/selsync_core.dir/config.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/metrics.cpp.o"
+  "CMakeFiles/selsync_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/run_record.cpp.o"
+  "CMakeFiles/selsync_core.dir/run_record.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/sync_policy.cpp.o"
+  "CMakeFiles/selsync_core.dir/sync_policy.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/time_model.cpp.o"
+  "CMakeFiles/selsync_core.dir/time_model.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/trainer.cpp.o"
+  "CMakeFiles/selsync_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/selsync_core.dir/workloads.cpp.o"
+  "CMakeFiles/selsync_core.dir/workloads.cpp.o.d"
+  "libselsync_core.a"
+  "libselsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/selsync_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/selsync_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/injection.cpp" "src/data/CMakeFiles/selsync_data.dir/injection.cpp.o" "gcc" "src/data/CMakeFiles/selsync_data.dir/injection.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/selsync_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/selsync_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/selsync_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/selsync_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

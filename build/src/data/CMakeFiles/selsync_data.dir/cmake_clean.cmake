@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_data.dir/dataset.cpp.o"
+  "CMakeFiles/selsync_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/selsync_data.dir/injection.cpp.o"
+  "CMakeFiles/selsync_data.dir/injection.cpp.o.d"
+  "CMakeFiles/selsync_data.dir/partition.cpp.o"
+  "CMakeFiles/selsync_data.dir/partition.cpp.o.d"
+  "CMakeFiles/selsync_data.dir/synthetic.cpp.o"
+  "CMakeFiles/selsync_data.dir/synthetic.cpp.o.d"
+  "libselsync_data.a"
+  "libselsync_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

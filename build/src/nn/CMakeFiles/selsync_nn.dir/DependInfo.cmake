@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/selsync_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/selsync_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/selsync_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/classifier.cpp" "src/nn/CMakeFiles/selsync_nn.dir/classifier.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/classifier.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/selsync_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/selsync_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/selsync_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/eval_report.cpp" "src/nn/CMakeFiles/selsync_nn.dir/eval_report.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/eval_report.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/selsync_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/selsync_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/selsync_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/selsync_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/selsync_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/selsync_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/paper_profiles.cpp" "src/nn/CMakeFiles/selsync_nn.dir/paper_profiles.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/paper_profiles.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/selsync_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/selsync_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/summary.cpp.o.d"
+  "/root/repo/src/nn/transformer_lm.cpp" "src/nn/CMakeFiles/selsync_nn.dir/transformer_lm.cpp.o" "gcc" "src/nn/CMakeFiles/selsync_nn.dir/transformer_lm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

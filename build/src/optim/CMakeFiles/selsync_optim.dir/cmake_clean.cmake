@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_optim.dir/ema_tracker.cpp.o"
+  "CMakeFiles/selsync_optim.dir/ema_tracker.cpp.o.d"
+  "CMakeFiles/selsync_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/selsync_optim.dir/optimizer.cpp.o.d"
+  "libselsync_optim.a"
+  "libselsync_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

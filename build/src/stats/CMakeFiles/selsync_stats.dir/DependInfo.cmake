@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ewma.cpp" "src/stats/CMakeFiles/selsync_stats.dir/ewma.cpp.o" "gcc" "src/stats/CMakeFiles/selsync_stats.dir/ewma.cpp.o.d"
+  "/root/repo/src/stats/grad_change.cpp" "src/stats/CMakeFiles/selsync_stats.dir/grad_change.cpp.o" "gcc" "src/stats/CMakeFiles/selsync_stats.dir/grad_change.cpp.o.d"
+  "/root/repo/src/stats/hessian.cpp" "src/stats/CMakeFiles/selsync_stats.dir/hessian.cpp.o" "gcc" "src/stats/CMakeFiles/selsync_stats.dir/hessian.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/stats/CMakeFiles/selsync_stats.dir/kde.cpp.o" "gcc" "src/stats/CMakeFiles/selsync_stats.dir/kde.cpp.o.d"
+  "/root/repo/src/stats/layerwise_grad_change.cpp" "src/stats/CMakeFiles/selsync_stats.dir/layerwise_grad_change.cpp.o" "gcc" "src/stats/CMakeFiles/selsync_stats.dir/layerwise_grad_change.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_stats.dir/ewma.cpp.o"
+  "CMakeFiles/selsync_stats.dir/ewma.cpp.o.d"
+  "CMakeFiles/selsync_stats.dir/grad_change.cpp.o"
+  "CMakeFiles/selsync_stats.dir/grad_change.cpp.o.d"
+  "CMakeFiles/selsync_stats.dir/hessian.cpp.o"
+  "CMakeFiles/selsync_stats.dir/hessian.cpp.o.d"
+  "CMakeFiles/selsync_stats.dir/kde.cpp.o"
+  "CMakeFiles/selsync_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/selsync_stats.dir/layerwise_grad_change.cpp.o"
+  "CMakeFiles/selsync_stats.dir/layerwise_grad_change.cpp.o.d"
+  "libselsync_stats.a"
+  "libselsync_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

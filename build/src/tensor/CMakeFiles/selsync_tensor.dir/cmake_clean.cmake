@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_tensor.dir/ops.cpp.o"
+  "CMakeFiles/selsync_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/selsync_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/selsync_tensor.dir/tensor.cpp.o.d"
+  "libselsync_tensor.a"
+  "libselsync_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

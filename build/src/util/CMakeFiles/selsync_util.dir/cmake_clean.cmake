@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_util.dir/args.cpp.o"
+  "CMakeFiles/selsync_util.dir/args.cpp.o.d"
+  "CMakeFiles/selsync_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/selsync_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/selsync_util.dir/csv.cpp.o"
+  "CMakeFiles/selsync_util.dir/csv.cpp.o.d"
+  "CMakeFiles/selsync_util.dir/json.cpp.o"
+  "CMakeFiles/selsync_util.dir/json.cpp.o.d"
+  "CMakeFiles/selsync_util.dir/logging.cpp.o"
+  "CMakeFiles/selsync_util.dir/logging.cpp.o.d"
+  "CMakeFiles/selsync_util.dir/rng.cpp.o"
+  "CMakeFiles/selsync_util.dir/rng.cpp.o.d"
+  "libselsync_util.a"
+  "libselsync_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselsync_util.a"
+)

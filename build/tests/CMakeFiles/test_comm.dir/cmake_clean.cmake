@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/barrier_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/barrier_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/channel_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/channel_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/cluster_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/cluster_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/parameter_server_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/parameter_server_test.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+  "test_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

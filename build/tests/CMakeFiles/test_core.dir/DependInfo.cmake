@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/checkpoint_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/compression_test.cpp" "tests/CMakeFiles/test_core.dir/core/compression_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/compression_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/easgd_test.cpp" "tests/CMakeFiles/test_core.dir/core/easgd_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/easgd_test.cpp.o.d"
+  "/root/repo/tests/core/heterogeneity_test.cpp" "tests/CMakeFiles/test_core.dir/core/heterogeneity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/heterogeneity_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/run_record_test.cpp" "tests/CMakeFiles/test_core.dir/core/run_record_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/run_record_test.cpp.o.d"
+  "/root/repo/tests/core/strategies_test.cpp" "tests/CMakeFiles/test_core.dir/core/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/strategies_test.cpp.o.d"
+  "/root/repo/tests/core/sync_policy_test.cpp" "tests/CMakeFiles/test_core.dir/core/sync_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sync_policy_test.cpp.o.d"
+  "/root/repo/tests/core/time_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/time_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/time_model_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "/root/repo/tests/core/workloads_test.cpp" "tests/CMakeFiles/test_core.dir/core/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/selsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/selsync_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/selsync_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/selsync_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/selsync_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/compression_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/compression_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/easgd_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/easgd_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/heterogeneity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/heterogeneity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/run_record_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/run_record_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/strategies_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/strategies_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sync_policy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sync_policy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/time_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/time_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/workloads_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/workloads_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

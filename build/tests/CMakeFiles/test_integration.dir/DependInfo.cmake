@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/convergence_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/convergence_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/convergence_test.cpp.o.d"
+  "/root/repo/tests/integration/feature_matrix_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/feature_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/feature_matrix_test.cpp.o.d"
+  "/root/repo/tests/integration/noniid_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/noniid_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/noniid_test.cpp.o.d"
+  "/root/repo/tests/integration/selsync_properties_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/selsync_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/selsync_properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/selsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/selsync_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/selsync_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/selsync_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/selsync_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

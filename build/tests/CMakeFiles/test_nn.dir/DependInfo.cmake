@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activations_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o.d"
+  "/root/repo/tests/nn/attention_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/attention_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/attention_test.cpp.o.d"
+  "/root/repo/tests/nn/batchnorm_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/batchnorm_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/conv_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/conv_test.cpp.o.d"
+  "/root/repo/tests/nn/eval_report_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/eval_report_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/eval_report_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/linear_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/linear_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/model_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/model_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/model_test.cpp.o.d"
+  "/root/repo/tests/nn/models_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/models_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/models_test.cpp.o.d"
+  "/root/repo/tests/nn/norm_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/norm_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/norm_test.cpp.o.d"
+  "/root/repo/tests/nn/paper_profiles_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/paper_profiles_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/paper_profiles_test.cpp.o.d"
+  "/root/repo/tests/nn/pooling_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o.d"
+  "/root/repo/tests/nn/summary_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/summary_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/summary_test.cpp.o.d"
+  "/root/repo/tests/nn/transformer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/transformer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/transformer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/selsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/selsync_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/selsync_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/selsync_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/selsync_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/ewma_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/ewma_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/grad_change_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/grad_change_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/hessian_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/hessian_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/kde_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/kde_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/layerwise_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/layerwise_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/variance_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/variance_test.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_cli.dir/selsync_cli.cpp.o"
+  "CMakeFiles/selsync_cli.dir/selsync_cli.cpp.o.d"
+  "selsync_cli"
+  "selsync_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

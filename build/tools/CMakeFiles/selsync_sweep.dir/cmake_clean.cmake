@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selsync_sweep.dir/selsync_sweep.cpp.o"
+  "CMakeFiles/selsync_sweep.dir/selsync_sweep.cpp.o.d"
+  "selsync_sweep"
+  "selsync_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selsync_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
