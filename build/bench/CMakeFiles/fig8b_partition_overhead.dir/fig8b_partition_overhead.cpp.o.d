@@ -225,8 +225,11 @@ bench/CMakeFiles/fig8b_partition_overhead.dir/fig8b_partition_overhead.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/comm/cost_model.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/comm/parameter_server.hpp \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/comm/fault_injector.hpp /root/repo/src/util/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -234,10 +237,10 @@ bench/CMakeFiles/fig8b_partition_overhead.dir/fig8b_partition_overhead.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/span /root/repo/src/core/compression.hpp \
- /root/repo/src/data/partition.hpp /root/repo/src/data/dataset.hpp \
- /root/repo/src/nn/model.hpp /root/repo/src/nn/module.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/comm/parameter_server.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/compression.hpp /root/repo/src/data/partition.hpp \
+ /root/repo/src/data/dataset.hpp /root/repo/src/nn/model.hpp \
+ /root/repo/src/nn/module.hpp /root/repo/src/tensor/tensor.hpp \
  /root/repo/src/nn/models.hpp /root/repo/src/nn/transformer_lm.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/sequential.hpp \
  /root/repo/src/nn/paper_profiles.hpp /root/repo/src/optim/optimizer.hpp \
@@ -263,9 +266,6 @@ bench/CMakeFiles/fig8b_partition_overhead.dir/fig8b_partition_overhead.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/metrics.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/core/workloads.hpp /root/repo/src/data/synthetic.hpp \
  /root/repo/src/util/ascii_plot.hpp /root/repo/src/util/csv.hpp \
  /usr/include/c++/12/fstream \

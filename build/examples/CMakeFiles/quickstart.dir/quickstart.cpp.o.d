@@ -211,21 +211,25 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /root/repo/src/comm/cost_model.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/comm/parameter_server.hpp \
+ /root/repo/src/comm/fault_injector.hpp /root/repo/src/util/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/span /root/repo/src/core/compression.hpp \
- /root/repo/src/data/partition.hpp /root/repo/src/data/dataset.hpp \
- /root/repo/src/nn/model.hpp /root/repo/src/nn/module.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/comm/parameter_server.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/compression.hpp /root/repo/src/data/partition.hpp \
+ /root/repo/src/data/dataset.hpp /root/repo/src/nn/model.hpp \
+ /root/repo/src/nn/module.hpp /root/repo/src/tensor/tensor.hpp \
  /root/repo/src/nn/models.hpp /root/repo/src/nn/transformer_lm.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/sequential.hpp \
  /root/repo/src/nn/paper_profiles.hpp /root/repo/src/optim/optimizer.hpp \
@@ -251,7 +255,4 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/metrics.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/data/synthetic.hpp

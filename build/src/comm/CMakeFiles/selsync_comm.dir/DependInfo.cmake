@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/selsync_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/cluster.cpp.o.d"
   "/root/repo/src/comm/collectives.cpp" "src/comm/CMakeFiles/selsync_comm.dir/collectives.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/collectives.cpp.o.d"
   "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/selsync_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/fault_injector.cpp" "src/comm/CMakeFiles/selsync_comm.dir/fault_injector.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/fault_injector.cpp.o.d"
   "/root/repo/src/comm/network_sim.cpp" "src/comm/CMakeFiles/selsync_comm.dir/network_sim.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/network_sim.cpp.o.d"
   "/root/repo/src/comm/parameter_server.cpp" "src/comm/CMakeFiles/selsync_comm.dir/parameter_server.cpp.o" "gcc" "src/comm/CMakeFiles/selsync_comm.dir/parameter_server.cpp.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/selsync_comm.dir/collectives.cpp.o.d"
   "CMakeFiles/selsync_comm.dir/cost_model.cpp.o"
   "CMakeFiles/selsync_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/selsync_comm.dir/fault_injector.cpp.o"
+  "CMakeFiles/selsync_comm.dir/fault_injector.cpp.o.d"
   "CMakeFiles/selsync_comm.dir/network_sim.cpp.o"
   "CMakeFiles/selsync_comm.dir/network_sim.cpp.o.d"
   "CMakeFiles/selsync_comm.dir/parameter_server.cpp.o"

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/chaos_test.cpp" "tests/CMakeFiles/test_chaos.dir/integration/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/test_chaos.dir/integration/chaos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/selsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/selsync_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/selsync_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/selsync_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/selsync_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/selsync_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/selsync_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/selsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/comm/cluster_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/cluster_test.cpp.o.d"
   "/root/repo/tests/comm/collectives_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o.d"
   "/root/repo/tests/comm/cost_model_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o.d"
+  "/root/repo/tests/comm/fault_injector_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/fault_injector_test.cpp.o.d"
   "/root/repo/tests/comm/network_sim_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o.d"
   "/root/repo/tests/comm/parameter_server_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/parameter_server_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/parameter_server_test.cpp.o.d"
   )

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_comm.dir/comm/collectives_test.cpp.o.d"
   "CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o"
   "CMakeFiles/test_comm.dir/comm/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/fault_injector_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/fault_injector_test.cpp.o.d"
   "CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o"
   "CMakeFiles/test_comm.dir/comm/network_sim_test.cpp.o.d"
   "CMakeFiles/test_comm.dir/comm/parameter_server_test.cpp.o"

@@ -315,19 +315,20 @@ tests/CMakeFiles/test_core.dir/core/compression_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/trainer.hpp \
  /root/repo/src/core/config.hpp /root/repo/src/comm/cost_model.hpp \
- /root/repo/src/comm/parameter_server.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/comm/fault_injector.hpp /root/repo/src/util/json.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/span /root/repo/src/data/partition.hpp \
- /root/repo/src/data/dataset.hpp /root/repo/src/nn/model.hpp \
- /root/repo/src/nn/module.hpp /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/nn/models.hpp \
+ /root/repo/src/comm/parameter_server.hpp /usr/include/c++/12/span \
+ /root/repo/src/data/partition.hpp /root/repo/src/data/dataset.hpp \
+ /root/repo/src/nn/model.hpp /root/repo/src/nn/module.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/nn/models.hpp \
  /root/repo/src/nn/transformer_lm.hpp /root/repo/src/nn/embedding.hpp \
  /root/repo/src/nn/sequential.hpp /root/repo/src/nn/paper_profiles.hpp \
  /root/repo/src/optim/optimizer.hpp /root/repo/src/optim/lr_schedule.hpp \

@@ -209,21 +209,25 @@ tests/CMakeFiles/test_core.dir/core/config_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/comm/cost_model.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/comm/parameter_server.hpp \
+ /root/repo/src/comm/fault_injector.hpp /root/repo/src/util/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/span /root/repo/src/core/compression.hpp \
- /root/repo/src/data/partition.hpp /root/repo/src/data/dataset.hpp \
- /root/repo/src/nn/model.hpp /root/repo/src/nn/module.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/comm/parameter_server.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/compression.hpp /root/repo/src/data/partition.hpp \
+ /root/repo/src/data/dataset.hpp /root/repo/src/nn/model.hpp \
+ /root/repo/src/nn/module.hpp /root/repo/src/tensor/tensor.hpp \
  /root/repo/src/nn/models.hpp /root/repo/src/nn/transformer_lm.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/nn/sequential.hpp \
  /root/repo/src/nn/paper_profiles.hpp /root/repo/src/optim/optimizer.hpp \
@@ -278,7 +282,7 @@ tests/CMakeFiles/test_core.dir/core/config_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -305,10 +309,7 @@ tests/CMakeFiles/test_core.dir/core/config_test.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \

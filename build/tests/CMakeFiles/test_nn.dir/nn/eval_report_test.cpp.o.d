@@ -296,6 +296,16 @@ tests/CMakeFiles/test_nn.dir/nn/eval_report_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/metrics.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/nn/models.hpp /root/repo/src/nn/transformer_lm.hpp \
- /root/repo/src/nn/embedding.hpp /root/repo/src/nn/sequential.hpp
+ /root/repo/src/core/metrics.hpp /root/repo/src/comm/fault_injector.hpp \
+ /root/repo/src/util/json.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/nn/models.hpp \
+ /root/repo/src/nn/transformer_lm.hpp /root/repo/src/nn/embedding.hpp \
+ /root/repo/src/nn/sequential.hpp

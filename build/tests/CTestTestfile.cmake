@@ -13,3 +13,4 @@ include("/root/repo/build/tests/test_stats[1]_include.cmake")
 include("/root/repo/build/tests/test_comm[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")

@@ -24,11 +24,19 @@ class AbortableBarrier {
   }
 
   /// Blocks until all parties arrive (or abort() is called).
-  void wait() {
+  void wait() { wait_group(parties_); }
+
+  /// Group wait: blocks until `parties` arrivals complete this generation.
+  /// Used by degraded clusters where only the surviving workers take part;
+  /// every caller of one generation must pass the same count (the callers
+  /// derive it from the same deterministic fault schedule).
+  void wait_group(size_t parties) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) throw BarrierAborted();
+    if (parties == 0 || parties > parties_)
+      throw std::invalid_argument("barrier: bad group size");
     const size_t my_generation = generation_;
-    if (++arrived_ == parties_) {
+    if (++arrived_ == parties) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();

@@ -8,10 +8,12 @@
 namespace selsync {
 
 void run_cluster(size_t workers,
-                 const std::function<void(WorkerContext&)>& body) {
+                 const std::function<void(WorkerContext&)>& body,
+                 const std::function<void()>& on_abort) {
   SharedCollectives collectives(workers);
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::once_flag abort_once;
 
   std::vector<std::thread> threads;
   threads.reserve(workers);
@@ -28,6 +30,11 @@ void run_cluster(size_t workers,
           if (!first_error) first_error = std::current_exception();
         }
         collectives.abort();
+        // Release peers blocked outside the barrier too (PS condition
+        // waits, channel recv) — without this, a crash injected in one
+        // worker while the others sit in the flag allgather's follow-up
+        // waits leaves the join below stuck forever.
+        if (on_abort) std::call_once(abort_once, on_abort);
       }
     });
   }

@@ -18,9 +18,13 @@ struct WorkerContext {
 };
 
 /// Spawns `workers` threads running `body(ctx)` and joins them. If any
-/// worker throws, the cluster barrier is aborted (unblocking the others)
-/// and the first exception is rethrown on the caller's thread.
+/// worker throws, the cluster barrier is aborted (unblocking peers parked
+/// in barriers, allreduces and the flag allgather) and `on_abort` — when
+/// provided — is invoked once so the caller can release any other blocking
+/// primitives its workers use (parameter-server waits, ring channels).
+/// The first exception is rethrown on the caller's thread.
 void run_cluster(size_t workers,
-                 const std::function<void(WorkerContext&)>& body);
+                 const std::function<void(WorkerContext&)>& body,
+                 const std::function<void()>& on_abort = {});
 
 }  // namespace selsync

@@ -1,12 +1,15 @@
 #include "comm/collectives.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+
+#include "comm/fault_injector.hpp"
 
 namespace selsync {
 
 SharedCollectives::SharedCollectives(size_t workers)
-    : workers_(workers), barrier_(workers) {
+    : workers_(workers), barrier_(workers), full_(CommGroup::full(workers)) {
   if (workers == 0)
     throw std::invalid_argument("SharedCollectives: zero workers");
   double_buf_.resize(workers);
@@ -14,70 +17,160 @@ SharedCollectives::SharedCollectives(size_t workers)
 }
 
 void SharedCollectives::allreduce_sum(size_t rank, std::span<float> data) {
-  // Contributions land in per-rank slots and every rank reduces them in
+  allreduce_sum(rank, data, full_);
+}
+
+void SharedCollectives::allreduce_sum(size_t rank, std::span<float> data,
+                                      const CommGroup& group) {
+  // Contributions land in per-rank slots and every member reduces them in
   // rank order, so the float summation order is fixed: results are
   // bit-identical across ranks and across runs regardless of thread
   // scheduling (the determinism the paper gets from NCCL's fixed reduction
-  // trees).
-  barrier();
-  if (rank == 0) float_buf_.assign(data.size() * workers_, 0.f);
-  barrier();
+  // trees). The leader zeroes all N slots first, so absent ranks contribute
+  // exactly zero.
+  barrier(group);
+  if (rank == group.leader) float_buf_.assign(data.size() * workers_, 0.f);
+  barrier(group);
   if (float_buf_.size() != data.size() * workers_)
     throw std::invalid_argument("allreduce_sum: length mismatch");
   std::copy(data.begin(), data.end(), float_buf_.begin() + rank * data.size());
-  barrier();
+  barrier(group);
   for (size_t i = 0; i < data.size(); ++i) {
     float acc = 0.f;
     for (size_t w = 0; w < workers_; ++w)
       acc += float_buf_[w * data.size() + i];
     data[i] = acc;
   }
-  barrier();
+  barrier(group);
 }
 
 void SharedCollectives::allreduce_mean(size_t rank, std::span<float> data) {
-  allreduce_sum(rank, data);
-  const float inv = 1.f / static_cast<float>(workers_);
+  allreduce_mean(rank, data, full_);
+}
+
+void SharedCollectives::allreduce_mean(size_t rank, std::span<float> data,
+                                       const CommGroup& group) {
+  allreduce_sum(rank, data, group);
+  const float inv = 1.f / static_cast<float>(group.size);
   for (auto& v : data) v *= inv;
 }
 
 double SharedCollectives::allreduce_max(size_t rank, double value) {
-  barrier();
+  return allreduce_max(rank, value, full_);
+}
+
+double SharedCollectives::allreduce_max(size_t rank, double value,
+                                        const CommGroup& group) {
+  barrier(group);
+  if (rank == group.leader)
+    std::fill(double_buf_.begin(), double_buf_.end(),
+              -std::numeric_limits<double>::infinity());
+  barrier(group);
   double_buf_[rank] = value;
-  barrier();
-  const double result = *std::max_element(double_buf_.begin(), double_buf_.end());
-  barrier();
+  barrier(group);
+  const double result =
+      *std::max_element(double_buf_.begin(), double_buf_.end());
+  barrier(group);
   return result;
 }
 
 std::vector<uint8_t> SharedCollectives::allgather_byte(size_t rank,
                                                        uint8_t value) {
-  barrier();
+  return allgather_byte(rank, value, full_);
+}
+
+std::vector<uint8_t> SharedCollectives::allgather_byte(size_t rank,
+                                                       uint8_t value,
+                                                       const CommGroup& group) {
+  barrier(group);
+  if (rank == group.leader) std::fill(byte_buf_.begin(), byte_buf_.end(), 0);
+  barrier(group);
   byte_buf_[rank] = value;
-  barrier();
+  barrier(group);
   std::vector<uint8_t> result = byte_buf_;
-  barrier();
+  barrier(group);
   return result;
 }
 
 void SharedCollectives::broadcast(size_t rank, size_t root,
                                   std::span<float> data) {
-  barrier();
+  broadcast(rank, root, data, full_);
+}
+
+void SharedCollectives::broadcast(size_t rank, size_t root,
+                                  std::span<float> data,
+                                  const CommGroup& group) {
+  barrier(group);
   if (rank == root) float_buf_.assign(data.begin(), data.end());
-  barrier();
+  barrier(group);
   if (rank != root) {
     if (float_buf_.size() != data.size())
       throw std::invalid_argument("broadcast: length mismatch");
     std::copy(float_buf_.begin(), float_buf_.end(), data.begin());
   }
-  barrier();
+  barrier(group);
 }
 
-RingAllreduce::RingAllreduce(size_t workers) : workers_(workers) {
+RingAllreduce::RingAllreduce(size_t workers, FaultInjector* faults)
+    : workers_(workers), faults_(faults),
+      send_seq_(workers, 0), recv_seq_(workers, 0) {
   if (workers == 0) throw std::invalid_argument("RingAllreduce: zero workers");
   links_.reserve(workers);
   for (size_t i = 0; i < workers; ++i)
-    links_.push_back(std::make_unique<Channel<std::vector<float>>>());
+    links_.push_back(std::make_unique<Channel<Envelope>>());
+}
+
+void RingAllreduce::close_all() {
+  for (auto& link : links_) link->close();
+}
+
+void RingAllreduce::send_reliable(size_t rank, size_t link,
+                                  std::vector<float> payload) {
+  Envelope env;
+  env.seq = ++send_seq_[rank];
+  if (faults_) {
+    const uint64_t it = faults_->current_iteration(rank);
+    switch (faults_->draw_message_fate(rank)) {
+      case MessageFate::kDrop:
+        // The first copy is lost; the sender notices the missing ack after
+        // the retransmit timeout and sends again. Only the retransmission
+        // is enqueued — the wire outcome is one late delivery.
+        faults_->record(rank, FaultKind::kMessageDrop, it,
+                        faults_->plan().messages.retransmit_timeout_s);
+        faults_->add_pending_delay(
+            rank, faults_->plan().messages.retransmit_timeout_s);
+        break;
+      case MessageFate::kDelay:
+        env.delay_s = faults_->plan().messages.delay_s;
+        faults_->record(rank, FaultKind::kMessageDelay, it, env.delay_s);
+        break;
+      case MessageFate::kDuplicate: {
+        faults_->record(rank, FaultKind::kMessageDuplicate, it, 0.0);
+        Envelope dup;
+        dup.seq = env.seq;
+        dup.data = payload;  // extra copy rides ahead of the original
+        links_[link]->send(std::move(dup));
+        break;
+      }
+      case MessageFate::kDeliver:
+        break;
+    }
+  }
+  env.data = std::move(payload);
+  links_[link]->send(std::move(env));
+}
+
+std::vector<float> RingAllreduce::recv_reliable(size_t rank, size_t link) {
+  (void)rank;
+  while (true) {
+    auto msg = links_[link]->recv();
+    if (!msg) throw std::runtime_error("ring allreduce: channel closed");
+    if (msg->seq <= recv_seq_[link]) continue;  // duplicate: drop silently
+    recv_seq_[link] = msg->seq;
+    if (faults_ && msg->delay_s > 0.0)
+      faults_->add_pending_delay(rank, msg->delay_s);
+    return std::move(msg->data);
+  }
 }
 
 void RingAllreduce::run(size_t rank, std::span<float> data) {
@@ -87,8 +180,8 @@ void RingAllreduce::run(size_t rank, std::span<float> data) {
   auto chunk_begin = [&](size_t c) { return c * n / chunks; };
   auto chunk_end = [&](size_t c) { return (c + 1) * n / chunks; };
 
-  Channel<std::vector<float>>& out = *links_[rank];
-  Channel<std::vector<float>>& in = *links_[(rank + workers_ - 1) % workers_];
+  const size_t out = rank;
+  const size_t in = (rank + workers_ - 1) % workers_;
 
   // Reduce-scatter: after step s, each rank accumulates into chunk
   // (rank - s - 1) mod N; after N-1 steps rank r owns the fully reduced
@@ -96,22 +189,22 @@ void RingAllreduce::run(size_t rank, std::span<float> data) {
   for (size_t s = 0; s < workers_ - 1; ++s) {
     const size_t send_c = (rank + workers_ - s) % workers_;
     const size_t recv_c = (rank + workers_ - s - 1) % workers_;
-    out.send(std::vector<float>(data.begin() + chunk_begin(send_c),
-                                data.begin() + chunk_end(send_c)));
-    auto msg = in.recv();
-    if (!msg) throw std::runtime_error("ring allreduce: channel closed");
+    send_reliable(rank, out,
+                  std::vector<float>(data.begin() + chunk_begin(send_c),
+                                     data.begin() + chunk_end(send_c)));
+    const std::vector<float> msg = recv_reliable(rank, in);
     float* dst = data.data() + chunk_begin(recv_c);
-    for (size_t i = 0; i < msg->size(); ++i) dst[i] += (*msg)[i];
+    for (size_t i = 0; i < msg.size(); ++i) dst[i] += msg[i];
   }
   // Allgather: circulate the reduced chunks.
   for (size_t s = 0; s < workers_ - 1; ++s) {
     const size_t send_c = (rank + 1 + workers_ - s) % workers_;
     const size_t recv_c = (rank + workers_ - s) % workers_;
-    out.send(std::vector<float>(data.begin() + chunk_begin(send_c),
-                                data.begin() + chunk_end(send_c)));
-    auto msg = in.recv();
-    if (!msg) throw std::runtime_error("ring allreduce: channel closed");
-    std::copy(msg->begin(), msg->end(), data.data() + chunk_begin(recv_c));
+    send_reliable(rank, out,
+                  std::vector<float>(data.begin() + chunk_begin(send_c),
+                                     data.begin() + chunk_end(send_c)));
+    const std::vector<float> msg = recv_reliable(rank, in);
+    std::copy(msg.begin(), msg.end(), data.data() + chunk_begin(recv_c));
   }
 }
 

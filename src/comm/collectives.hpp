@@ -7,10 +7,21 @@
 // *time* the equivalent network transfer would take is charged separately
 // via comm/cost_model.
 //
+// Every op also has a group form taking a CommGroup: the degraded-cluster
+// mode used under fault injection, where only the surviving workers of an
+// iteration participate. All members of a group must agree on the member
+// mask (they derive it from the same deterministic fault schedule); absent
+// ranks contribute zero to reductions and a zero byte to the flag
+// allgather, so BSP/SelSync rounds proceed with the surviving quorum.
+//
 // RingAllreduce is a faithful message-passing implementation of the
 // bandwidth-optimal ring algorithm (reduce-scatter + allgather) over
 // per-link channels; it exists to validate the algorithm the cost model
-// prices and to serve the microbenchmarks.
+// prices and to serve the microbenchmarks. With a FaultInjector attached,
+// every chunk transfer runs over a lossy link: messages are sequence
+// numbered, drops are retransmitted after a simulated ack timeout, delays
+// accrue to the receiver's simulated clock, and duplicates are discarded by
+// the sequence check.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,39 @@
 
 namespace selsync {
 
+class FaultInjector;
+
+/// The set of workers taking part in one collective call. `mask` has one
+/// entry per cluster rank (1 = member); `size` is the member count and
+/// `leader` the lowest member rank (it owns shared-buffer setup duties that
+/// rank 0 owns in the full-cluster case).
+struct CommGroup {
+  std::vector<uint8_t> mask;
+  size_t size = 0;
+  size_t leader = 0;
+
+  static CommGroup full(size_t workers) {
+    CommGroup g;
+    g.mask.assign(workers, 1);
+    g.size = workers;
+    g.leader = 0;
+    return g;
+  }
+
+  static CommGroup from_mask(std::vector<uint8_t> member_mask) {
+    CommGroup g;
+    g.mask = std::move(member_mask);
+    g.size = 0;
+    g.leader = g.mask.size();
+    for (size_t r = 0; r < g.mask.size(); ++r)
+      if (g.mask[r]) {
+        if (g.size == 0) g.leader = r;
+        ++g.size;
+      }
+    return g;
+  }
+};
+
 class SharedCollectives {
  public:
   explicit SharedCollectives(size_t workers);
@@ -30,29 +74,42 @@ class SharedCollectives {
   size_t workers() const { return workers_; }
 
   void barrier() { barrier_.wait(); }
+  void barrier(const CommGroup& group) { barrier_.wait_group(group.size); }
   void abort() { barrier_.abort(); }
   bool aborted() const { return barrier_.aborted(); }
 
   /// In-place sum-allreduce over all workers' `data` (equal lengths).
   void allreduce_sum(size_t rank, std::span<float> data);
+  void allreduce_sum(size_t rank, std::span<float> data,
+                     const CommGroup& group);
 
-  /// In-place mean-allreduce (sum / N): the paper's parameter averaging.
+  /// In-place mean-allreduce (sum / group size): the paper's parameter
+  /// averaging.
   void allreduce_mean(size_t rank, std::span<float> data);
+  void allreduce_mean(size_t rank, std::span<float> data,
+                      const CommGroup& group);
 
   /// Max-reduction of one double; used to align simulated worker clocks at
   /// synchronization points.
   double allreduce_max(size_t rank, double value);
+  double allreduce_max(size_t rank, double value, const CommGroup& group);
 
   /// Each worker contributes one byte; returns all N bytes in rank order.
-  /// This is Alg. 1's allgather_status over the sync-flag bits.
+  /// This is Alg. 1's allgather_status over the sync-flag bits. In the
+  /// group form, absent ranks read as 0 (no vote).
   std::vector<uint8_t> allgather_byte(size_t rank, uint8_t value);
+  std::vector<uint8_t> allgather_byte(size_t rank, uint8_t value,
+                                      const CommGroup& group);
 
   /// Root's data overwrites everyone's.
   void broadcast(size_t rank, size_t root, std::span<float> data);
+  void broadcast(size_t rank, size_t root, std::span<float> data,
+                 const CommGroup& group);
 
  private:
   size_t workers_;
   AbortableBarrier barrier_;
+  CommGroup full_;
   std::vector<float> float_buf_;  // N slots of equal length (allreduce) or
                                   // one payload (broadcast)
   std::vector<double> double_buf_;
@@ -64,10 +121,21 @@ class SharedCollectives {
 /// 2*(N-1) steps (reduce-scatter, then allgather).
 class RingAllreduce {
  public:
-  explicit RingAllreduce(size_t workers);
+  /// With `faults`, link traffic passes through the injector's message-fate
+  /// draws: drops cost the sender a retransmit timeout (accrued via
+  /// FaultInjector::add_pending_delay) before the copy that does arrive,
+  /// delays accrue to the receiver, duplicates are filtered by sequence
+  /// number. The payload that lands is always correct — faults only change
+  /// timing and the event log.
+  explicit RingAllreduce(size_t workers, FaultInjector* faults = nullptr);
 
   /// In-place sum-allreduce of `data` (same length on every rank).
   void run(size_t rank, std::span<float> data);
+
+  /// Closes every link. Blocked receivers see a closed channel and throw;
+  /// used by the cluster runner's teardown path so a crashed peer cannot
+  /// strand the others in recv().
+  void close_all();
 
   /// Messages sent per participant for a vector of `n` elements (the cost
   /// model's volume assumption: 2*(N-1) chunk transfers of n/N elements).
@@ -76,9 +144,21 @@ class RingAllreduce {
   }
 
  private:
+  struct Envelope {
+    uint64_t seq = 0;
+    double delay_s = 0.0;
+    std::vector<float> data;
+  };
+
+  void send_reliable(size_t rank, size_t link, std::vector<float> payload);
+  std::vector<float> recv_reliable(size_t rank, size_t link);
+
   size_t workers_;
+  FaultInjector* faults_;
   // links_[r] carries messages from rank r to rank (r+1) % N.
-  std::vector<std::unique_ptr<Channel<std::vector<float>>>> links_;
+  std::vector<std::unique_ptr<Channel<Envelope>>> links_;
+  std::vector<uint64_t> send_seq_;  // per sending rank; owner-thread only
+  std::vector<uint64_t> recv_seq_;  // per link, highest seq seen by receiver
 };
 
 }  // namespace selsync

@@ -1,0 +1,446 @@
+#include "comm/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace selsync {
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be in [0, 1]");
+}
+
+/// Downtime of a crash; a non-restarting crash lasts forever.
+uint64_t crash_end(const CrashEvent& c) {
+  if (!c.restart) return UINT64_MAX;
+  return c.at_iteration + c.downtime_iterations;
+}
+
+}  // namespace
+
+void FaultPlan::validate(size_t workers, uint64_t max_iterations) const {
+  if (checkpoint_interval == 0)
+    throw std::invalid_argument("FaultPlan: checkpoint_interval must be > 0");
+  if (restart_cost_s < 0.0)
+    throw std::invalid_argument("FaultPlan: restart_cost_s must be >= 0");
+  check_prob(messages.drop_prob, "messages.drop_prob");
+  check_prob(messages.delay_prob, "messages.delay_prob");
+  check_prob(messages.duplicate_prob, "messages.duplicate_prob");
+  if (messages.drop_prob + messages.delay_prob + messages.duplicate_prob >
+      1.0)
+    throw std::invalid_argument(
+        "FaultPlan: message fault probabilities must sum to <= 1");
+  if (messages.delay_s < 0.0 || messages.retransmit_timeout_s < 0.0)
+    throw std::invalid_argument("FaultPlan: message delays must be >= 0");
+  check_prob(ps.timeout_prob, "ps.timeout_prob");
+  if (ps.base_backoff_s < 0.0)
+    throw std::invalid_argument("FaultPlan: ps.base_backoff_s must be >= 0");
+
+  std::vector<std::vector<const CrashEvent*>> by_rank(workers);
+  for (const CrashEvent& c : crashes) {
+    if (c.rank >= workers)
+      throw std::invalid_argument("FaultPlan: crash rank out of range");
+    if (c.at_iteration >= max_iterations)
+      throw std::invalid_argument(
+          "FaultPlan: crash at_iteration beyond the iteration budget");
+    if (c.restart) {
+      if (c.downtime_iterations == 0)
+        throw std::invalid_argument(
+            "FaultPlan: restartable crash needs downtime_iterations > 0");
+      if (crash_end(c) >= max_iterations)
+        throw std::invalid_argument(
+            "FaultPlan: crash restart lands beyond the iteration budget");
+    }
+    by_rank[c.rank].push_back(&c);
+  }
+  for (auto& list : by_rank) {
+    std::sort(list.begin(), list.end(),
+              [](const CrashEvent* a, const CrashEvent* b) {
+                return a->at_iteration < b->at_iteration;
+              });
+    for (size_t i = 1; i < list.size(); ++i) {
+      if (!list[i - 1]->restart)
+        throw std::invalid_argument(
+            "FaultPlan: crash scheduled after a non-restarting crash");
+      // `<=` (not `<`): a rank must run at least one iteration between
+      // crashes, otherwise it would be "rejoining" and "down" at once.
+      if (list[i]->at_iteration <= crash_end(*list[i - 1]))
+        throw std::invalid_argument(
+            "FaultPlan: a rank needs at least one active iteration between "
+            "crashes");
+    }
+  }
+  // Bulk-synchronous rejoin protocol requirement: someone must be around to
+  // wake a parked worker and source its recovery sync. For every restart,
+  // at least one rank has to be active at the rejoin iteration without
+  // itself rejoining there (checked here so SSP-only plans fail fast too;
+  // the constraint costs SSP nothing).
+  for (const CrashEvent& c : crashes) {
+    if (!c.restart) continue;
+    const uint64_t rejoin_it = crash_end(c);
+    bool survivor = false;
+    for (size_t r = 0; r < workers && !survivor; ++r) {
+      bool active = true, rejoining = false;
+      for (const CrashEvent* other : by_rank[r]) {
+        if (rejoin_it >= other->at_iteration &&
+            rejoin_it < crash_end(*other))
+          active = false;
+        if (other->restart && crash_end(*other) == rejoin_it)
+          rejoining = true;
+      }
+      survivor = active && !rejoining;
+    }
+    if (!survivor)
+      throw std::invalid_argument(
+          "FaultPlan: a crash restart needs at least one surviving worker "
+          "at its rejoin iteration");
+  }
+  for (const StragglerEvent& s : stragglers) {
+    if (s.rank >= workers)
+      throw std::invalid_argument("FaultPlan: straggler rank out of range");
+    if (s.slowdown < 1.0)
+      throw std::invalid_argument("FaultPlan: straggler slowdown must be >= 1");
+    if (s.duration_iterations == 0)
+      throw std::invalid_argument(
+          "FaultPlan: straggler duration_iterations must be > 0");
+  }
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kRecoverySync: return "recovery_sync";
+    case FaultKind::kCheckpoint: return "checkpoint";
+    case FaultKind::kMessageDrop: return "message_drop";
+    case FaultKind::kMessageDelay: return "message_delay";
+    case FaultKind::kMessageDuplicate: return "message_duplicate";
+    case FaultKind::kPsTimeout: return "ps_timeout";
+    case FaultKind::kPsGiveUp: return "ps_give_up";
+    case FaultKind::kStragglerStart: return "straggler_start";
+    case FaultKind::kQuorumLost: return "quorum_lost";
+  }
+  return "?";
+}
+
+namespace {
+
+double read_number(const JsonValue& obj, const char* key, double fallback) {
+  return obj.contains(key) ? obj.at(key).as_number() : fallback;
+}
+
+uint64_t read_u64(const JsonValue& obj, const char* key, uint64_t fallback) {
+  if (!obj.contains(key)) return fallback;
+  const double d = obj.at(key).as_number();
+  if (d < 0.0 || d != std::floor(d))
+    throw std::invalid_argument(std::string("fault plan: '") + key +
+                                "' must be a non-negative integer");
+  return static_cast<uint64_t>(d);
+}
+
+bool read_bool(const JsonValue& obj, const char* key, bool fallback) {
+  return obj.contains(key) ? obj.at(key).as_bool() : fallback;
+}
+
+void reject_unknown_keys(const JsonValue& obj,
+                         const std::set<std::string>& known,
+                         const char* where) {
+  for (const std::string& key : obj.keys())
+    if (!known.count(key))
+      throw std::invalid_argument(std::string("fault plan: unknown key '") +
+                                  key + "' in " + where);
+}
+
+}  // namespace
+
+FaultPlan fault_plan_from_json(const JsonValue& json) {
+  if (!json.is_object())
+    throw std::invalid_argument("fault plan: document must be an object");
+  reject_unknown_keys(json,
+                      {"seed", "checkpoint_interval", "restart_cost_s",
+                       "crashes", "stragglers", "messages", "ps"},
+                      "the plan");
+  FaultPlan plan;
+  plan.seed = read_u64(json, "seed", 0);
+  plan.checkpoint_interval = read_u64(json, "checkpoint_interval", 25);
+  plan.restart_cost_s = read_number(json, "restart_cost_s", 0.0);
+
+  if (json.contains("crashes")) {
+    const JsonValue& arr = json.at("crashes");
+    if (!arr.is_array())
+      throw std::invalid_argument("fault plan: 'crashes' must be an array");
+    for (size_t i = 0; i < arr.size(); ++i) {
+      const JsonValue& c = arr.at(i);
+      reject_unknown_keys(
+          c, {"rank", "at_iteration", "downtime_iterations", "restart"},
+          "a crash entry");
+      CrashEvent ev;
+      ev.rank = static_cast<size_t>(read_u64(c, "rank", 0));
+      ev.at_iteration = read_u64(c, "at_iteration", 0);
+      ev.downtime_iterations = read_u64(c, "downtime_iterations", 10);
+      ev.restart = read_bool(c, "restart", true);
+      plan.crashes.push_back(ev);
+    }
+  }
+  if (json.contains("stragglers")) {
+    const JsonValue& arr = json.at("stragglers");
+    if (!arr.is_array())
+      throw std::invalid_argument("fault plan: 'stragglers' must be an array");
+    for (size_t i = 0; i < arr.size(); ++i) {
+      const JsonValue& s = arr.at(i);
+      reject_unknown_keys(
+          s, {"rank", "from_iteration", "duration_iterations", "slowdown"},
+          "a straggler entry");
+      StragglerEvent ev;
+      ev.rank = static_cast<size_t>(read_u64(s, "rank", 0));
+      ev.from_iteration = read_u64(s, "from_iteration", 0);
+      ev.duration_iterations = read_u64(s, "duration_iterations", 50);
+      ev.slowdown = read_number(s, "slowdown", 2.0);
+      plan.stragglers.push_back(ev);
+    }
+  }
+  if (json.contains("messages")) {
+    const JsonValue& m = json.at("messages");
+    reject_unknown_keys(m,
+                        {"drop_prob", "delay_prob", "duplicate_prob",
+                         "delay_s", "retransmit_timeout_s"},
+                        "'messages'");
+    plan.messages.drop_prob = read_number(m, "drop_prob", 0.0);
+    plan.messages.delay_prob = read_number(m, "delay_prob", 0.0);
+    plan.messages.duplicate_prob = read_number(m, "duplicate_prob", 0.0);
+    plan.messages.delay_s = read_number(m, "delay_s", 0.002);
+    plan.messages.retransmit_timeout_s =
+        read_number(m, "retransmit_timeout_s", 0.01);
+  }
+  if (json.contains("ps")) {
+    const JsonValue& p = json.at("ps");
+    reject_unknown_keys(p, {"timeout_prob", "max_retries", "base_backoff_s"},
+                        "'ps'");
+    plan.ps.timeout_prob = read_number(p, "timeout_prob", 0.0);
+    plan.ps.max_retries = static_cast<size_t>(read_u64(p, "max_retries", 3));
+    plan.ps.base_backoff_s = read_number(p, "base_backoff_s", 0.005);
+  }
+  return plan;
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  return fault_plan_from_json(JsonValue::parse(text));
+}
+
+JsonValue fault_plan_to_json(const FaultPlan& plan) {
+  JsonValue j = JsonValue::object();
+  j.set("seed", static_cast<double>(plan.seed));
+  j.set("checkpoint_interval", static_cast<double>(plan.checkpoint_interval));
+  j.set("restart_cost_s", plan.restart_cost_s);
+  if (!plan.crashes.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const CrashEvent& c : plan.crashes) {
+      JsonValue e = JsonValue::object();
+      e.set("rank", static_cast<double>(c.rank));
+      e.set("at_iteration", static_cast<double>(c.at_iteration));
+      e.set("downtime_iterations", static_cast<double>(c.downtime_iterations));
+      e.set("restart", c.restart);
+      arr.push(std::move(e));
+    }
+    j.set("crashes", std::move(arr));
+  }
+  if (!plan.stragglers.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const StragglerEvent& s : plan.stragglers) {
+      JsonValue e = JsonValue::object();
+      e.set("rank", static_cast<double>(s.rank));
+      e.set("from_iteration", static_cast<double>(s.from_iteration));
+      e.set("duration_iterations",
+            static_cast<double>(s.duration_iterations));
+      e.set("slowdown", s.slowdown);
+      arr.push(std::move(e));
+    }
+    j.set("stragglers", std::move(arr));
+  }
+  if (plan.messages.any()) {
+    JsonValue m = JsonValue::object();
+    m.set("drop_prob", plan.messages.drop_prob);
+    m.set("delay_prob", plan.messages.delay_prob);
+    m.set("duplicate_prob", plan.messages.duplicate_prob);
+    m.set("delay_s", plan.messages.delay_s);
+    m.set("retransmit_timeout_s", plan.messages.retransmit_timeout_s);
+    j.set("messages", std::move(m));
+  }
+  if (plan.ps.any()) {
+    JsonValue p = JsonValue::object();
+    p.set("timeout_prob", plan.ps.timeout_prob);
+    p.set("max_retries", static_cast<double>(plan.ps.max_retries));
+    p.set("base_backoff_s", plan.ps.base_backoff_s);
+    j.set("ps", std::move(p));
+  }
+  return j;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, size_t workers)
+    : plan_(std::move(plan)), workers_(workers), per_rank_(workers),
+      crashes_by_rank_(workers), stragglers_by_rank_(workers) {
+  if (workers == 0) throw std::invalid_argument("FaultInjector: zero workers");
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.rank >= workers)
+      throw std::invalid_argument("FaultInjector: crash rank out of range");
+    crashes_by_rank_[c.rank].push_back(c);
+  }
+  for (auto& list : crashes_by_rank_)
+    std::sort(list.begin(), list.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                return a.at_iteration < b.at_iteration;
+              });
+  for (const StragglerEvent& s : plan_.stragglers) {
+    if (s.rank >= workers)
+      throw std::invalid_argument("FaultInjector: straggler rank out of range");
+    stragglers_by_rank_[s.rank].push_back(s);
+  }
+  const Rng root(plan_.seed ^ 0xFA017EC7ULL);
+  for (size_t r = 0; r < workers; ++r) per_rank_[r].rng = root.fork(r);
+}
+
+bool FaultInjector::active(size_t rank, uint64_t iteration) const {
+  for (const CrashEvent& c : crashes_by_rank_[rank])
+    if (iteration >= c.at_iteration && iteration < crash_end(c)) return false;
+  return true;
+}
+
+const CrashEvent* FaultInjector::crash_starting_at(size_t rank,
+                                                   uint64_t iteration) const {
+  for (const CrashEvent& c : crashes_by_rank_[rank])
+    if (c.at_iteration == iteration) return &c;
+  return nullptr;
+}
+
+std::vector<size_t> FaultInjector::rejoining_at(uint64_t iteration) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < workers_; ++r)
+    for (const CrashEvent& c : crashes_by_rank_[r])
+      if (c.restart && crash_end(c) == iteration) out.push_back(r);
+  return out;
+}
+
+std::vector<uint8_t> FaultInjector::active_mask(uint64_t iteration) const {
+  std::vector<uint8_t> mask(workers_, 0);
+  for (size_t r = 0; r < workers_; ++r)
+    mask[r] = active(r, iteration) ? 1 : 0;
+  return mask;
+}
+
+bool FaultInjector::needs_checkpoints(size_t rank) const {
+  for (const CrashEvent& c : crashes_by_rank_[rank])
+    if (c.restart) return true;
+  return false;
+}
+
+double FaultInjector::straggler_factor(size_t rank, uint64_t iteration) const {
+  double factor = 1.0;
+  for (const StragglerEvent& s : stragglers_by_rank_[rank])
+    if (iteration >= s.from_iteration &&
+        iteration < s.from_iteration + s.duration_iterations)
+      factor = std::max(factor, s.slowdown);
+  return factor;
+}
+
+const StragglerEvent* FaultInjector::straggler_starting_at(
+    size_t rank, uint64_t iteration) const {
+  for (const StragglerEvent& s : stragglers_by_rank_[rank])
+    if (s.from_iteration == iteration) return &s;
+  return nullptr;
+}
+
+MessageFate FaultInjector::draw_message_fate(size_t rank) {
+  const MessageFaultConfig& m = plan_.messages;
+  if (!m.any()) return MessageFate::kDeliver;
+  const double u = per_rank_[rank].rng.uniform();
+  if (u < m.drop_prob) return MessageFate::kDrop;
+  if (u < m.drop_prob + m.delay_prob) return MessageFate::kDelay;
+  if (u < m.drop_prob + m.delay_prob + m.duplicate_prob)
+    return MessageFate::kDuplicate;
+  return MessageFate::kDeliver;
+}
+
+size_t FaultInjector::draw_ps_timeouts(size_t rank) {
+  if (!plan_.ps.any()) return 0;
+  size_t failures = 0;
+  while (failures <= plan_.ps.max_retries &&
+         per_rank_[rank].rng.bernoulli(plan_.ps.timeout_prob))
+    ++failures;
+  return failures;
+}
+
+double FaultInjector::ps_backoff_s(size_t attempt) const {
+  return plan_.ps.base_backoff_s * std::ldexp(1.0, static_cast<int>(attempt));
+}
+
+void FaultInjector::add_pending_delay(size_t rank, double seconds) {
+  per_rank_[rank].pending_delay_s += seconds;
+}
+
+double FaultInjector::take_pending_delay(size_t rank) {
+  const double d = per_rank_[rank].pending_delay_s;
+  per_rank_[rank].pending_delay_s = 0.0;
+  return d;
+}
+
+void FaultInjector::set_current_iteration(size_t rank, uint64_t iteration) {
+  per_rank_[rank].current_iteration = iteration;
+}
+
+uint64_t FaultInjector::current_iteration(size_t rank) const {
+  return per_rank_[rank].current_iteration;
+}
+
+void FaultInjector::record(size_t rank, FaultKind kind, uint64_t iteration,
+                           double detail) {
+  PerRank& pr = per_rank_[rank];
+  pr.events.push_back({kind, rank, iteration, detail});
+  pr.event_order.push_back(pr.next_order++);
+}
+
+FaultSummary FaultInjector::summary() const {
+  FaultSummary out;
+  struct Keyed {
+    uint64_t iteration;
+    size_t rank;
+    uint64_t order;
+    const FaultEvent* event;
+  };
+  std::vector<Keyed> keyed;
+  for (size_t r = 0; r < workers_; ++r) {
+    const PerRank& pr = per_rank_[r];
+    for (size_t i = 0; i < pr.events.size(); ++i)
+      keyed.push_back({pr.events[i].iteration, r, pr.event_order[i],
+                       &pr.events[i]});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.iteration != b.iteration) return a.iteration < b.iteration;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.order < b.order;
+  });
+  out.events.reserve(keyed.size());
+  for (const Keyed& k : keyed) out.events.push_back(*k.event);
+  for (const FaultEvent& e : out.events) {
+    switch (e.kind) {
+      case FaultKind::kCrash: ++out.crashes; break;
+      case FaultKind::kRestart: ++out.restarts; break;
+      case FaultKind::kRecoverySync: ++out.recovery_syncs; break;
+      case FaultKind::kCheckpoint: break;
+      case FaultKind::kMessageDrop: ++out.messages_dropped; break;
+      case FaultKind::kMessageDelay: ++out.messages_delayed; break;
+      case FaultKind::kMessageDuplicate: ++out.messages_duplicated; break;
+      case FaultKind::kPsTimeout: ++out.ps_timeouts; break;
+      case FaultKind::kPsGiveUp: ++out.ps_give_ups; break;
+      case FaultKind::kStragglerStart: ++out.straggler_episodes; break;
+      case FaultKind::kQuorumLost: ++out.quorum_lost_rounds; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace selsync

@@ -1,0 +1,268 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan declares, ahead of time, every failure a run should suffer:
+// worker crashes (with optional checkpoint restarts), message-level faults
+// (drop / delay / duplicate) on channel and PS traffic, parameter-server
+// timeouts retried with exponential backoff, and compute stragglers. The
+// FaultInjector turns the plan into per-worker decision streams seeded from
+// (plan seed, rank), so a run with the same plan and seed produces the same
+// fault schedule, the same recovery actions and a byte-identical RunRecord
+// regardless of thread scheduling (DESIGN.md "Failure model").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace selsync {
+
+/// Crash worker `rank` at the top of iteration `at_iteration`. With
+/// `restart` the worker is down for `downtime_iterations` cluster rounds,
+/// then restores its last in-memory checkpoint and rejoins; without it the
+/// worker is gone for good and the survivors carry the run.
+struct CrashEvent {
+  size_t rank = 0;
+  uint64_t at_iteration = 0;
+  uint64_t downtime_iterations = 10;
+  bool restart = true;
+};
+
+/// Per-message fault probabilities. A dropped message is detected by the
+/// sender's (simulated) ack timeout and retransmitted after
+/// `retransmit_timeout_s`; a delayed message arrives `delay_s` late; a
+/// duplicated message is delivered twice and deduplicated by sequence
+/// number at the receiver.
+struct MessageFaultConfig {
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_s = 0.002;
+  double retransmit_timeout_s = 0.01;
+
+  bool any() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || duplicate_prob > 0.0;
+  }
+};
+
+/// Parameter-server RPC timeouts: each push/pull times out with
+/// `timeout_prob` and is retried with exponential backoff
+/// (base_backoff_s * 2^attempt). After `max_retries` failures the caller
+/// gives up: SSP workers skip that push/pull (degraded progress);
+/// synchronous rounds absorb the final backoff and complete (the aggregation
+/// itself cannot be skipped by a single worker).
+struct PsFaultConfig {
+  double timeout_prob = 0.0;
+  size_t max_retries = 3;
+  double base_backoff_s = 0.005;
+
+  bool any() const { return timeout_prob > 0.0; }
+};
+
+/// Worker `rank` computes `slowdown`x slower during
+/// [from_iteration, from_iteration + duration_iterations).
+struct StragglerEvent {
+  size_t rank = 0;
+  uint64_t from_iteration = 0;
+  uint64_t duration_iterations = 50;
+  double slowdown = 2.0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// In-memory checkpoint cadence (iterations) for workers with restartable
+  /// crashes in the plan.
+  uint64_t checkpoint_interval = 25;
+  /// Simulated seconds a restarting worker spends coming back up.
+  double restart_cost_s = 0.0;
+  std::vector<CrashEvent> crashes;
+  std::vector<StragglerEvent> stragglers;
+  MessageFaultConfig messages;
+  PsFaultConfig ps;
+
+  bool enabled() const {
+    return !crashes.empty() || !stragglers.empty() || messages.any() ||
+           ps.any();
+  }
+
+  /// Sorts per-rank crash/straggler lists and checks ranks, probabilities,
+  /// overlap and iteration bounds. Throws std::invalid_argument.
+  void validate(size_t workers, uint64_t max_iterations) const;
+};
+
+/// Builds a FaultPlan from its JSON form (see examples/fault_plan.json).
+/// Unknown keys and out-of-range values throw std::invalid_argument.
+FaultPlan fault_plan_from_json(const JsonValue& json);
+
+/// Parses JSON text into a FaultPlan (convenience for the CLI and tests).
+FaultPlan parse_fault_plan(const std::string& text);
+
+/// Serializes a plan back to JSON for the run record.
+JsonValue fault_plan_to_json(const FaultPlan& plan);
+
+enum class FaultKind {
+  kCrash,
+  kRestart,
+  kRecoverySync,
+  kCheckpoint,
+  kMessageDrop,
+  kMessageDelay,
+  kMessageDuplicate,
+  kPsTimeout,
+  kPsGiveUp,
+  kStragglerStart,
+  kQuorumLost,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault or recovery action, for the run record. `detail`
+/// carries the kind-specific magnitude (downtime iterations, delay seconds,
+/// retry attempt, slowdown factor, ...).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  size_t rank = 0;
+  uint64_t iteration = 0;
+  double detail = 0.0;
+};
+
+/// What happens to one channel message.
+enum class MessageFate { kDeliver, kDrop, kDelay, kDuplicate };
+
+/// Aggregate fault accounting attached to TrainResult.
+struct FaultSummary {
+  std::vector<FaultEvent> events;  // sorted by (iteration, rank, order)
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t recovery_syncs = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_delayed = 0;
+  uint64_t messages_duplicated = 0;
+  uint64_t ps_timeouts = 0;
+  uint64_t ps_give_ups = 0;
+  uint64_t straggler_episodes = 0;
+  uint64_t quorum_lost_rounds = 0;
+
+  bool any() const { return !events.empty(); }
+};
+
+/// Shared by all workers of one run. Schedule queries (active / crashes_at /
+/// straggler_factor) are pure functions of the plan; probabilistic draws
+/// (message fates, PS timeouts) consume a per-rank RNG stream in program
+/// order, and the event log keeps a per-rank sequence number so the merged
+/// log has one deterministic order. Per-rank state is only ever touched by
+/// the owning worker thread.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, size_t workers);
+
+  const FaultPlan& plan() const { return plan_; }
+  size_t workers() const { return workers_; }
+
+  /// ---- crash schedule (pure) -------------------------------------------
+  bool active(size_t rank, uint64_t iteration) const;
+  /// The crash starting exactly at `iteration`, if any.
+  const CrashEvent* crash_starting_at(size_t rank, uint64_t iteration) const;
+  /// Ranks whose restart lands exactly on `iteration`.
+  std::vector<size_t> rejoining_at(uint64_t iteration) const;
+  /// mask[r] == 1 iff worker r participates in iteration `iteration`.
+  std::vector<uint8_t> active_mask(uint64_t iteration) const;
+  /// True when `rank` has at least one restartable crash (needs
+  /// checkpoints).
+  bool needs_checkpoints(size_t rank) const;
+
+  /// ---- stragglers (pure) -----------------------------------------------
+  double straggler_factor(size_t rank, uint64_t iteration) const;
+  const StragglerEvent* straggler_starting_at(size_t rank,
+                                              uint64_t iteration) const;
+
+  /// ---- probabilistic draws (consume the rank's stream) -----------------
+  MessageFate draw_message_fate(size_t rank);
+  /// Number of timeouts before a PS op succeeds, capped at max_retries + 1;
+  /// a value > max_retries means the caller should give up.
+  size_t draw_ps_timeouts(size_t rank);
+  double ps_backoff_s(size_t attempt) const;
+
+  /// ---- simulated-delay accrual (per-rank, thread-local by construction) -
+  void add_pending_delay(size_t rank, double seconds);
+  double take_pending_delay(size_t rank);
+
+  /// ---- iteration context ------------------------------------------------
+  /// Workers publish their loop position so components without an iteration
+  /// argument (the ring transport) can stamp events correctly.
+  void set_current_iteration(size_t rank, uint64_t iteration);
+  uint64_t current_iteration(size_t rank) const;
+
+  /// ---- event log --------------------------------------------------------
+  void record(size_t rank, FaultKind kind, uint64_t iteration,
+              double detail = 0.0);
+  /// Merged log in (iteration, rank, per-rank order) order plus counters.
+  FaultSummary summary() const;
+
+ private:
+  struct PerRank {
+    Rng rng{0};
+    std::vector<FaultEvent> events;
+    std::vector<uint64_t> event_order;  // per-rank sequence numbers
+    uint64_t next_order = 0;
+    double pending_delay_s = 0.0;
+    uint64_t current_iteration = 0;
+  };
+
+  FaultPlan plan_;
+  size_t workers_;
+  std::vector<PerRank> per_rank_;
+  std::vector<std::vector<CrashEvent>> crashes_by_rank_;
+  std::vector<std::vector<StragglerEvent>> stragglers_by_rank_;
+};
+
+/// Rendezvous used by restarting workers in the bulk-synchronous path. A
+/// worker that is down parks here; the surviving leader releases it at the
+/// top of the rejoin iteration (so the rejoiner cannot enter a barrier
+/// generation it is not part of), and any worker leaving the training loop
+/// calls shutdown() so parked workers cannot outlive the cluster.
+class RejoinCoordinator {
+ public:
+  explicit RejoinCoordinator(size_t workers) : released_(workers, false) {}
+
+  /// Blocks until release(rank) or shutdown(). Returns true when released
+  /// for rejoin, false when the cluster stopped first.
+  bool wait_for_rejoin(size_t rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return released_[rank] || stopped_; });
+    if (released_[rank]) {
+      released_[rank] = false;  // re-arm for a later crash of the same rank
+      return true;
+    }
+    return false;
+  }
+
+  void release(size_t rank) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_[rank] = true;
+    }
+    cv_.notify_all();
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<bool> released_;
+  bool stopped_ = false;
+};
+
+}  // namespace selsync

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "comm/barrier.hpp"
+
 namespace selsync {
 
 const char* aggregation_mode_name(AggregationMode mode) {
@@ -29,6 +31,7 @@ std::vector<float> ParameterServer::push_and_average(
   if (participants == 0 || participants > workers_)
     throw std::invalid_argument("push_and_average: bad participant count");
   std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) throw BarrierAborted();
   if (data.size() != global_.size())
     throw std::invalid_argument("push_and_average: dim mismatch");
 
@@ -51,7 +54,8 @@ std::vector<float> ParameterServer::push_and_average(
     ++round_;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return round_ != my_round; });
+    cv_.wait(lock, [&] { return round_ != my_round || aborted_; });
+    if (round_ == my_round) throw BarrierAborted();
   }
   return round_result_;
 }
@@ -95,19 +99,35 @@ uint64_t ParameterServer::min_active_iteration_locked() const {
 void ParameterServer::enforce_staleness(size_t rank, uint64_t iteration,
                                         uint64_t staleness) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) throw BarrierAborted();
   worker_iteration_[rank] = iteration;
   cv_.notify_all();
   cv_.wait(lock, [&] {
+    if (aborted_) return true;
     const uint64_t floor = min_active_iteration_locked();
     return floor == std::numeric_limits<uint64_t>::max() ||
            iteration <= floor + staleness;
   });
+  if (aborted_) throw BarrierAborted();
 }
 
 void ParameterServer::finish(size_t rank) {
   std::lock_guard<std::mutex> lock(mutex_);
   worker_done_[rank] = true;
   cv_.notify_all();
+}
+
+void ParameterServer::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ParameterServer::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
 }
 
 uint64_t ParameterServer::async_updates() const {

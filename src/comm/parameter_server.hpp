@@ -63,6 +63,13 @@ class ParameterServer {
   /// Marks `rank` as finished so it no longer gates faster workers.
   void finish(size_t rank);
 
+  /// Tears the server down: every blocked push_and_average /
+  /// enforce_staleness call (current and future) throws BarrierAborted, so
+  /// a crashed worker cannot strand its peers inside a PS wait. Wired to
+  /// run_cluster's abort hook by the trainer.
+  void abort();
+  bool aborted() const;
+
   /// How many async pushes the server has absorbed (test/metric hook).
   uint64_t async_updates() const;
 
@@ -85,6 +92,7 @@ class ParameterServer {
   std::vector<uint64_t> worker_iteration_;
   std::vector<bool> worker_done_;
   uint64_t async_updates_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace selsync

@@ -68,6 +68,14 @@ void TrainJob::validate() const {
       if (s <= 0.0)
         throw std::invalid_argument("TrainJob: worker_speed must be > 0");
   }
+  if (faults.enabled()) {
+    faults.validate(workers, max_iterations);
+    if (!faults.crashes.empty() && strategy != StrategyKind::kSsp &&
+        transport == Transport::kMessagePassingRing)
+      throw std::invalid_argument(
+          "TrainJob: crash injection requires the shared-memory transport "
+          "(a degraded ring topology is not modeled)");
+  }
 }
 
 }  // namespace selsync

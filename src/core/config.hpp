@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
 #include "core/compression.hpp"
 #include "data/partition.hpp"
@@ -104,6 +105,14 @@ struct TrainJob {
   /// gradient-aggregation payloads only (BSP, SelSync-GA): the paper notes
   /// parameters compress poorly via pruning, so PA payloads ship dense.
   CompressionConfig compression;
+
+  /// Declarative fault injection (DESIGN.md "Failure model"): worker
+  /// crashes with checkpoint restarts, message drop/delay/duplication, PS
+  /// timeouts with retry, and stragglers — all scheduled deterministically
+  /// from faults.seed. An empty plan (the default) injects nothing.
+  /// Crash events require Transport::kSharedMemory for the bulk-synchronous
+  /// strategies (the degraded ring topology is not modeled).
+  FaultPlan faults;
 
   /// Per-worker compute-speed multipliers for systems heterogeneity
   /// (paper §II-A: BSP is "limited by the slowest worker or straggler").

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "comm/fault_injector.hpp"
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
 
@@ -57,6 +58,11 @@ struct TrainResult {
   /// True when training was cut short because the loss became non-finite
   /// (e.g. a learning rate too hot for long local phases).
   bool diverged = false;
+
+  /// Every fault injected and every recovery action taken, in one
+  /// deterministic order (empty when the job carries no FaultPlan). Runs
+  /// with the same job + plan produce identical summaries byte for byte.
+  FaultSummary faults;
 
   /// Worker-0 traces (enabled via TrainJob flags).
   std::vector<double> delta_trace;

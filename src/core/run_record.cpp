@@ -64,6 +64,7 @@ JsonValue job_to_json(const TrainJob& job) {
     c.set("error_feedback", job.compression.error_feedback);
     j.set("compression", std::move(c));
   }
+  if (job.faults.enabled()) j.set("faults", fault_plan_to_json(job.faults));
   return j;
 }
 
@@ -99,6 +100,33 @@ JsonValue result_to_json(const TrainResult& result) {
     history.push(std::move(p));
   }
   j.set("eval_history", std::move(history));
+
+  if (result.faults.any()) {
+    const FaultSummary& f = result.faults;
+    JsonValue fj = JsonValue::object();
+    fj.set("crashes", static_cast<double>(f.crashes));
+    fj.set("restarts", static_cast<double>(f.restarts));
+    fj.set("recovery_syncs", static_cast<double>(f.recovery_syncs));
+    fj.set("messages_dropped", static_cast<double>(f.messages_dropped));
+    fj.set("messages_delayed", static_cast<double>(f.messages_delayed));
+    fj.set("messages_duplicated",
+           static_cast<double>(f.messages_duplicated));
+    fj.set("ps_timeouts", static_cast<double>(f.ps_timeouts));
+    fj.set("ps_give_ups", static_cast<double>(f.ps_give_ups));
+    fj.set("straggler_episodes", static_cast<double>(f.straggler_episodes));
+    fj.set("quorum_lost_rounds", static_cast<double>(f.quorum_lost_rounds));
+    JsonValue events = JsonValue::array();
+    for (const FaultEvent& e : f.events) {
+      JsonValue ev = JsonValue::object();
+      ev.set("kind", fault_kind_name(e.kind));
+      ev.set("rank", static_cast<double>(e.rank));
+      ev.set("iteration", static_cast<double>(e.iteration));
+      ev.set("detail", e.detail);
+      events.push(std::move(ev));
+    }
+    fj.set("events", std::move(events));
+    j.set("faults", std::move(fj));
+  }
   return j;
 }
 

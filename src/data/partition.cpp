@@ -141,6 +141,13 @@ const std::vector<size_t>& ShardLoader::next_indices() {
 
 Batch ShardLoader::next_batch() { return dataset_->make_batch(next_indices()); }
 
+void ShardLoader::restore_position(size_t cursor, size_t consumed) {
+  if (cursor >= order_.size())
+    throw std::invalid_argument("ShardLoader: cursor out of range");
+  cursor_ = cursor;
+  consumed_ = consumed;
+}
+
 void ShardLoader::set_batch_size(size_t b) {
   if (b == 0) throw std::invalid_argument("ShardLoader: batch 0");
   batch_size_ = b;

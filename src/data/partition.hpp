@@ -68,6 +68,13 @@ class ShardLoader {
   const std::vector<size_t>& order() const { return order_; }
   const Dataset& dataset() const { return *dataset_; }
 
+  /// Checkpoint-resume of the stream position: a restarted worker restores
+  /// the cursor its checkpoint recorded so it replays the same sample
+  /// sequence it would have seen without the crash.
+  size_t cursor() const { return cursor_; }
+  size_t consumed() const { return consumed_; }
+  void restore_position(size_t cursor, size_t consumed);
+
  private:
   DatasetPtr dataset_;
   std::vector<size_t> order_;

@@ -2,9 +2,166 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace selsync {
+
+namespace {
+
+/// Recursive-descent reader over the document text. Errors carry the byte
+/// offset so fault-plan typos are easy to locate.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // Escapes are ASCII-range in every document we write/read;
+            // encode the BMP code point as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::object();
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string_body();
+        expect(':');
+        obj.set(key, parse_value());
+        const char next = peek();
+        ++pos_;
+        if (next == '}') return obj;
+        if (next != ',') fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::array();
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      while (true) {
+        arr.push(parse_value());
+        const char next = peek();
+        ++pos_;
+        if (next == ']') return arr;
+        if (next != ',') fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') return JsonValue(parse_string_body());
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    if (consume_literal("null")) return JsonValue(nullptr);
+    // Number.
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) fail("unexpected token");
+    pos_ += static_cast<size_t>(end - start);
+    return JsonValue(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
 
 JsonValue JsonValue::object() {
   JsonValue v;
@@ -30,12 +187,82 @@ JsonValue& JsonValue::push(JsonValue value) {
   return *this;
 }
 
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonReader(text).parse_document();
+}
+
 bool JsonValue::is_object() const {
   return std::holds_alternative<Object>(value_);
 }
 
 bool JsonValue::is_array() const {
   return std::holds_alternative<Array>(value_);
+}
+
+bool JsonValue::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool JsonValue::is_bool() const { return std::holds_alternative<bool>(value_); }
+
+bool JsonValue::is_number() const {
+  return std::holds_alternative<double>(value_);
+}
+
+bool JsonValue::is_string() const {
+  return std::holds_alternative<std::string>(value_);
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::invalid_argument("json: expected a boolean");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::invalid_argument("json: expected a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::invalid_argument("json: expected a string");
+  return std::get<std::string>(value_);
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return is_object() && std::get<Object>(value_).count(key) > 0;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (!is_object()) throw std::invalid_argument("json: expected an object");
+  const auto& obj = std::get<Object>(value_);
+  const auto it = obj.find(key);
+  if (it == obj.end())
+    throw std::invalid_argument("json: missing key '" + key + "'");
+  return it->second;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  if (!is_array()) throw std::invalid_argument("json: expected an array");
+  const auto& arr = std::get<Array>(value_);
+  if (index >= arr.size())
+    throw std::invalid_argument("json: array index out of range");
+  return arr[index];
+}
+
+std::vector<std::string> JsonValue::keys() const {
+  std::vector<std::string> out;
+  if (is_object())
+    for (const auto& [key, value] : std::get<Object>(value_)) {
+      (void)value;
+      out.push_back(key);
+    }
+  return out;
+}
+
+size_t JsonValue::size() const {
+  if (is_object()) return std::get<Object>(value_).size();
+  if (is_array()) return std::get<Array>(value_).size();
+  return 0;
 }
 
 std::string JsonValue::escape(const std::string& s) {

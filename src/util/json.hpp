@@ -1,6 +1,7 @@
-// Minimal JSON value builder and writer (output only, no parsing of
-// arbitrary documents). Used by the run recorder and the CLI to emit
-// machine-readable experiment results without external dependencies.
+// Minimal JSON value builder, writer and reader. Used by the run recorder
+// and the CLI to emit machine-readable experiment results, and by the
+// fault-plan loader to read declarative chaos configurations, without
+// external dependencies.
 #pragma once
 
 #include <map>
@@ -26,6 +27,11 @@ class JsonValue {
   static JsonValue object();
   static JsonValue array();
 
+  /// Parses a JSON document (objects, arrays, strings, numbers, booleans,
+  /// null). Throws std::invalid_argument with a byte offset on malformed
+  /// input or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
   /// Object access: inserts or overwrites a key. Throws if not an object.
   JsonValue& set(const std::string& key, JsonValue value);
   /// Array access: appends an element. Throws if not an array.
@@ -33,6 +39,25 @@ class JsonValue {
 
   bool is_object() const;
   bool is_array() const;
+  bool is_null() const;
+  bool is_bool() const;
+  bool is_number() const;
+  bool is_string() const;
+
+  /// Typed readers; each throws std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Object lookup. `contains` is false for non-objects; `at` throws when
+  /// the key is missing or this is not an object.
+  bool contains(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  /// Array element access; throws on out-of-range or non-array.
+  const JsonValue& at(size_t index) const;
+  /// Object key list (sorted) / array length; 0 for scalars.
+  std::vector<std::string> keys() const;
+  size_t size() const;
 
   /// Serializes with deterministic key order (std::map) and `indent`-space
   /// pretty printing (0 = compact).

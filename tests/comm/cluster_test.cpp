@@ -5,6 +5,8 @@
 #include <atomic>
 #include <set>
 
+#include "comm/parameter_server.hpp"
+
 namespace selsync {
 namespace {
 
@@ -70,6 +72,77 @@ TEST(Cluster, SingleWorkerCluster) {
     ++runs;
   });
   EXPECT_EQ(runs, 1);
+}
+
+// Regression tests for the fault-injection teardown path: a worker dying
+// mid-iteration must never strand its peers in a blocking primitive — not
+// the flag allgather, not a parameter-server wait, not a ring recv.
+
+TEST(Cluster, CrashDuringFlagAllgatherReleasesPeers) {
+  try {
+    run_cluster(4, [](WorkerContext& ctx) {
+      if (ctx.rank == 2) throw std::runtime_error("boom");
+      // Peers park in the sync-flag allgather waiting for rank 2's vote.
+      ctx.collectives->allgather_byte(ctx.rank, 1);
+      ctx.collectives->allgather_byte(ctx.rank, 0);
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Cluster, CrashDuringGroupCollectiveReleasesPeers) {
+  // Same, but on a degraded group that still contains the crashed rank.
+  const CommGroup group = CommGroup::from_mask({1, 0, 1, 1});
+  EXPECT_THROW(run_cluster(4,
+                           [&](WorkerContext& ctx) {
+                             if (ctx.rank == 1) return;  // not a member
+                             if (ctx.rank == 3)
+                               throw std::runtime_error("boom");
+                             std::vector<float> v{1.f};
+                             ctx.collectives->allreduce_sum(ctx.rank, v,
+                                                           group);
+                           }),
+               std::runtime_error);
+}
+
+TEST(Cluster, CrashDuringParameterServerWaitReleasesPeers) {
+  ParameterServer ps(std::vector<float>(8, 0.f), 4);
+  try {
+    run_cluster(
+        4,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 1) throw std::runtime_error("boom");
+          // Peers block inside the PS round waiting for all 4 pushes;
+          // only the abort hook can release them.
+          std::vector<float> data(8, 1.f);
+          ps.push_and_average(data, AggregationMode::kParameters, 4);
+        },
+        [&] { ps.abort(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_TRUE(ps.aborted());
+}
+
+TEST(Cluster, CrashDuringRingRecvReleasesPeers) {
+  RingAllreduce ring(4);
+  try {
+    run_cluster(
+        4,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 0) throw std::runtime_error("boom");
+          // Peers block in recv() on the ring link whose upstream died.
+          std::vector<float> data(16, 1.f);
+          ring.run(ctx.rank, data);
+        },
+        [&] { ring.close_all(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
 }
 
 TEST(Cluster, ManySequentialClustersAreIndependent) {

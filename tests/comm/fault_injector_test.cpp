@@ -1,0 +1,330 @@
+// Property tests for the deterministic fault-injection subsystem: the same
+// plan and seed must yield the same schedule, the same probabilistic draws
+// and the same merged event log no matter how threads interleave, and the
+// lossy ring transport must stay correct under drop/delay/duplicate faults.
+#include "comm/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "comm/cluster.hpp"
+
+namespace selsync {
+namespace {
+
+FaultPlan busy_plan() {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.checkpoint_interval = 10;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({1, 20, 10, true});
+  plan.crashes.push_back({3, 50, 0, false});
+  plan.stragglers.push_back({2, 5, 30, 4.0});
+  plan.messages.drop_prob = 0.1;
+  plan.messages.delay_prob = 0.2;
+  plan.messages.duplicate_prob = 0.05;
+  plan.ps.timeout_prob = 0.3;
+  return plan;
+}
+
+TEST(FaultPlan, EmptyPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.validate(4, 100);  // a no-op plan is always valid
+}
+
+TEST(FaultPlan, ValidateAcceptsBusyPlan) {
+  busy_plan().validate(4, 100);
+}
+
+TEST(FaultPlan, ValidateRejectsBadPlans) {
+  const auto bad = [](auto&& mutate) {
+    FaultPlan plan = busy_plan();
+    mutate(plan);
+    EXPECT_THROW(plan.validate(4, 100), std::invalid_argument);
+  };
+  bad([](FaultPlan& p) { p.checkpoint_interval = 0; });
+  bad([](FaultPlan& p) { p.restart_cost_s = -1.0; });
+  bad([](FaultPlan& p) { p.messages.drop_prob = 1.5; });
+  bad([](FaultPlan& p) {  // probabilities sum past 1
+    p.messages.drop_prob = 0.5;
+    p.messages.delay_prob = 0.6;
+  });
+  bad([](FaultPlan& p) { p.ps.timeout_prob = -0.1; });
+  bad([](FaultPlan& p) { p.crashes.push_back({9, 10, 5, true}); });  // rank
+  bad([](FaultPlan& p) { p.crashes.push_back({0, 200, 5, true}); });  // late
+  bad([](FaultPlan& p) { p.crashes.push_back({0, 90, 20, true}); });  // rejoin
+  bad([](FaultPlan& p) { p.crashes.push_back({0, 10, 0, true}); });  // no down
+  bad([](FaultPlan& p) {  // overlapping crashes on one rank
+    p.crashes.push_back({1, 25, 10, true});
+  });
+  bad([](FaultPlan& p) {  // no active iteration between crashes
+    p.crashes.push_back({1, 30, 10, true});
+  });
+  bad([](FaultPlan& p) {  // crash scheduled after a permanent one
+    p.crashes.push_back({3, 60, 5, true});
+  });
+  bad([](FaultPlan& p) { p.stragglers.push_back({2, 0, 10, 0.5}); });  // <1x
+  bad([](FaultPlan& p) { p.stragglers.push_back({2, 0, 0, 2.0}); });  // empty
+}
+
+TEST(FaultPlan, ValidateRequiresSurvivorAtRejoin) {
+  // Both workers of a 2-node cluster rejoining at iteration 30: nobody is
+  // left to wake them or source the recovery sync.
+  FaultPlan plan;
+  plan.crashes.push_back({0, 10, 20, true});
+  plan.crashes.push_back({1, 25, 5, true});
+  EXPECT_THROW(plan.validate(2, 100), std::invalid_argument);
+  // A third surviving worker makes the same schedule legal.
+  plan.validate(3, 100);
+}
+
+TEST(FaultPlan, JsonRoundTrip) {
+  const FaultPlan plan = busy_plan();
+  const FaultPlan back = fault_plan_from_json(fault_plan_to_json(plan));
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_EQ(back.checkpoint_interval, plan.checkpoint_interval);
+  EXPECT_DOUBLE_EQ(back.restart_cost_s, plan.restart_cost_s);
+  ASSERT_EQ(back.crashes.size(), plan.crashes.size());
+  EXPECT_EQ(back.crashes[0].rank, plan.crashes[0].rank);
+  EXPECT_EQ(back.crashes[0].at_iteration, plan.crashes[0].at_iteration);
+  EXPECT_EQ(back.crashes[1].restart, false);
+  ASSERT_EQ(back.stragglers.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.stragglers[0].slowdown, 4.0);
+  EXPECT_DOUBLE_EQ(back.messages.drop_prob, plan.messages.drop_prob);
+  EXPECT_DOUBLE_EQ(back.ps.timeout_prob, plan.ps.timeout_prob);
+  // Serialization is canonical: two dumps of the same plan are identical.
+  EXPECT_EQ(fault_plan_to_json(plan).dump(), fault_plan_to_json(back).dump());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedPlans) {
+  EXPECT_THROW(parse_fault_plan("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"sede": 1})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"seed": -1})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"seed": 1.5})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"crashes": {}})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"crashes": [{"rnak": 0}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"messages": {"drop": 0.1}})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(R"({"ps": {"timeout_prob": true}})"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ParseAppliesDefaults) {
+  const FaultPlan plan =
+      parse_fault_plan(R"({"crashes": [{"rank": 1, "at_iteration": 7}]})");
+  EXPECT_TRUE(plan.enabled());
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].downtime_iterations, 10u);
+  EXPECT_TRUE(plan.crashes[0].restart);
+  EXPECT_EQ(plan.checkpoint_interval, 25u);
+}
+
+TEST(FaultInjector, CrashScheduleIsPure) {
+  FaultInjector inj(busy_plan(), 4);
+  // Worker 1: down for [20, 30), back at 30.
+  EXPECT_TRUE(inj.active(1, 19));
+  EXPECT_FALSE(inj.active(1, 20));
+  EXPECT_FALSE(inj.active(1, 29));
+  EXPECT_TRUE(inj.active(1, 30));
+  // Worker 3 never comes back after 50.
+  EXPECT_TRUE(inj.active(3, 49));
+  EXPECT_FALSE(inj.active(3, 50));
+  EXPECT_FALSE(inj.active(3, 100000));
+  ASSERT_NE(inj.crash_starting_at(1, 20), nullptr);
+  EXPECT_EQ(inj.crash_starting_at(1, 21), nullptr);
+  EXPECT_EQ(inj.rejoining_at(30), std::vector<size_t>{1});
+  EXPECT_TRUE(inj.rejoining_at(29).empty());
+  EXPECT_TRUE(inj.rejoining_at(50).empty());  // permanent: no rejoin
+  EXPECT_EQ(inj.active_mask(25), (std::vector<uint8_t>{1, 0, 1, 1}));
+  EXPECT_EQ(inj.active_mask(55), (std::vector<uint8_t>{1, 1, 1, 0}));
+  EXPECT_TRUE(inj.needs_checkpoints(1));
+  EXPECT_FALSE(inj.needs_checkpoints(3));  // permanent crash: no restart
+  EXPECT_FALSE(inj.needs_checkpoints(0));
+}
+
+TEST(FaultInjector, StragglerScheduleIsPure) {
+  FaultInjector inj(busy_plan(), 4);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(2, 4), 1.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(2, 5), 4.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(2, 34), 4.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(2, 35), 1.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, 5), 1.0);
+  EXPECT_NE(inj.straggler_starting_at(2, 5), nullptr);
+  EXPECT_EQ(inj.straggler_starting_at(2, 6), nullptr);
+}
+
+TEST(FaultInjector, DrawsAreDeterministicPerRankStream) {
+  FaultInjector a(busy_plan(), 4);
+  FaultInjector b(busy_plan(), 4);
+  for (size_t rank = 0; rank < 4; ++rank)
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(static_cast<int>(a.draw_message_fate(rank)),
+                static_cast<int>(b.draw_message_fate(rank)));
+      EXPECT_EQ(a.draw_ps_timeouts(rank), b.draw_ps_timeouts(rank));
+    }
+}
+
+TEST(FaultInjector, RankStreamsAreIndependent) {
+  // Consuming rank 0's stream must not disturb rank 1's.
+  FaultInjector a(busy_plan(), 4);
+  FaultInjector b(busy_plan(), 4);
+  for (int i = 0; i < 100; ++i) a.draw_message_fate(0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(static_cast<int>(a.draw_message_fate(1)),
+              static_cast<int>(b.draw_message_fate(1)));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  FaultPlan p1 = busy_plan();
+  FaultPlan p2 = busy_plan();
+  p2.seed = 43;
+  FaultInjector a(p1, 4);
+  FaultInjector b(p2, 4);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i)
+    if (a.draw_message_fate(0) != b.draw_message_fate(0)) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, PsTimeoutsRespectRetryCap) {
+  FaultPlan plan;
+  plan.ps.timeout_prob = 1.0;  // every attempt times out
+  plan.ps.max_retries = 3;
+  FaultInjector inj(plan, 1);
+  // The draw caps at max_retries + 1 consecutive failures (= give up).
+  EXPECT_EQ(inj.draw_ps_timeouts(0), 4u);
+  EXPECT_DOUBLE_EQ(inj.ps_backoff_s(0), plan.ps.base_backoff_s);
+  EXPECT_DOUBLE_EQ(inj.ps_backoff_s(3), plan.ps.base_backoff_s * 8);
+}
+
+TEST(FaultInjector, SummaryMergesEventsDeterministically) {
+  // Record from N threads in racy order; the merged log must sort by
+  // (iteration, rank, per-rank sequence) and be identical across runs.
+  const auto run_once = [] {
+    FaultInjector inj(busy_plan(), 4);
+    std::vector<std::thread> threads;
+    for (size_t rank = 0; rank < 4; ++rank)
+      threads.emplace_back([&inj, rank] {
+        for (uint64_t it = 0; it < 50; ++it) {
+          inj.record(rank, FaultKind::kMessageDrop, it, 0.25);
+          if (it % 10 == 0) inj.record(rank, FaultKind::kPsTimeout, it, 1.0);
+        }
+      });
+    for (auto& t : threads) t.join();
+    return inj.summary();
+  };
+  const FaultSummary a = run_once();
+  const FaultSummary b = run_once();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.events.size(), 4u * (50u + 5u));
+  EXPECT_EQ(a.messages_dropped, 200u);
+  EXPECT_EQ(a.ps_timeouts, 20u);
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].rank, b.events[i].rank);
+    EXPECT_EQ(a.events[i].iteration, b.events[i].iteration);
+    EXPECT_DOUBLE_EQ(a.events[i].detail, b.events[i].detail);
+  }
+  for (size_t i = 1; i < a.events.size(); ++i) {
+    const FaultEvent& prev = a.events[i - 1];
+    const FaultEvent& cur = a.events[i];
+    EXPECT_TRUE(prev.iteration < cur.iteration ||
+                (prev.iteration == cur.iteration && prev.rank <= cur.rank));
+  }
+}
+
+TEST(FaultInjector, RejectsOutOfRangeRanks) {
+  // busy_plan schedules faults for ranks up to 3; a 2-worker injector must
+  // refuse it rather than index out of bounds.
+  EXPECT_THROW(FaultInjector(busy_plan(), 2), std::invalid_argument);
+  EXPECT_THROW(FaultInjector(FaultPlan{}, 0), std::invalid_argument);
+}
+
+TEST(FaultInjector, PendingDelayAccrues) {
+  FaultInjector inj(busy_plan(), 4);
+  EXPECT_DOUBLE_EQ(inj.take_pending_delay(0), 0.0);
+  inj.add_pending_delay(0, 0.5);
+  inj.add_pending_delay(0, 0.25);
+  EXPECT_DOUBLE_EQ(inj.take_pending_delay(0), 0.75);
+  EXPECT_DOUBLE_EQ(inj.take_pending_delay(0), 0.0);  // drained
+  EXPECT_DOUBLE_EQ(inj.take_pending_delay(1), 0.0);  // per-rank accounts
+}
+
+TEST(RingAllreduce, LossyLinksStillSumCorrectly) {
+  // Drop/delay/duplicate compose with the retransmit/dedup machinery: the
+  // payload that lands is always the exact sum, faults only cost time.
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.messages.drop_prob = 0.2;
+  plan.messages.delay_prob = 0.2;
+  plan.messages.duplicate_prob = 0.2;
+  const size_t workers = 4;
+  const auto run_once = [&] {
+    FaultInjector inj(plan, workers);
+    RingAllreduce ring(workers, &inj);
+    std::vector<double> delays(workers, 0.0);
+    run_cluster(workers, [&](WorkerContext& ctx) {
+      for (int round = 0; round < 8; ++round) {
+        std::vector<float> data(16);
+        for (size_t i = 0; i < data.size(); ++i)
+          data[i] = static_cast<float>(ctx.rank + 1) * (i + 1);
+        ring.run(ctx.rank, data);
+        for (size_t i = 0; i < data.size(); ++i)
+          EXPECT_FLOAT_EQ(data[i], 10.f * (i + 1));  // 1+2+3+4 = 10
+      }
+      delays[ctx.rank] = inj.take_pending_delay(ctx.rank);
+    });
+    return std::make_pair(inj.summary(), delays);
+  };
+  const auto [summary, delays] = run_once();
+  // With these probabilities over 8 rounds * 6 messages/rank, some of each
+  // fault kind must fire.
+  EXPECT_GT(summary.messages_dropped, 0u);
+  EXPECT_GT(summary.messages_delayed, 0u);
+  EXPECT_GT(summary.messages_duplicated, 0u);
+  // Drops cost the senders retransmit timeouts, delays cost the receivers.
+  EXPECT_GT(std::accumulate(delays.begin(), delays.end(), 0.0), 0.0);
+
+  // And the whole fault history is reproducible despite thread racing.
+  const auto [summary2, delays2] = run_once();
+  ASSERT_EQ(summary.events.size(), summary2.events.size());
+  for (size_t i = 0; i < summary.events.size(); ++i) {
+    EXPECT_EQ(summary.events[i].kind, summary2.events[i].kind);
+    EXPECT_EQ(summary.events[i].rank, summary2.events[i].rank);
+    EXPECT_DOUBLE_EQ(summary.events[i].detail, summary2.events[i].detail);
+  }
+  for (size_t r = 0; r < workers; ++r)
+    EXPECT_DOUBLE_EQ(delays[r], delays2[r]);
+}
+
+TEST(RejoinCoordinator, ReleaseWakesParkedWorker) {
+  RejoinCoordinator coord(2);
+  std::atomic<int> state{0};
+  std::thread parked([&] {
+    const bool released = coord.wait_for_rejoin(1);
+    state.store(released ? 1 : -1);
+  });
+  coord.release(1);
+  parked.join();
+  EXPECT_EQ(state.load(), 1);
+  // The slot re-arms: a second crash of the same rank parks again and a
+  // shutdown lets it exit as a casualty.
+  std::thread parked_again([&] {
+    const bool released = coord.wait_for_rejoin(1);
+    state.store(released ? 2 : -2);
+  });
+  coord.shutdown();
+  parked_again.join();
+  EXPECT_EQ(state.load(), -2);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,202 @@
+// Chaos matrix: every training strategy must survive the fault classes the
+// FaultPlan can inject — worker crashes (with and without restart), PS
+// timeouts with retry, and stragglers — finishing the run with a usable
+// model and a deterministic fault log. The acceptance scenario from the
+// failure-model design (crash at iteration 50 plus 5% message drop on an
+// 8-worker cluster) must reproduce byte for byte across invocations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/run_record.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TrainJob chaos_job(StrategyKind strategy, const FaultPlan& plan,
+                   size_t workers = 8) {
+  TrainJob job = small_class_job(strategy, 120);
+  job.workers = workers;
+  // A low delta keeps SelSync synchronizing often enough that every fault
+  // class actually exercises its synchronization path within 120 iterations.
+  job.selsync.delta = 0.02;
+  job.faults = plan;
+  job.validate();
+  return job;
+}
+
+/// The full run record with wall time (the one legitimately nondeterministic
+/// field) zeroed out.
+std::string record_string(const TrainJob& job, TrainResult result) {
+  result.wall_time_s = 0.0;
+  JsonValue record = JsonValue::object();
+  record.set("job", job_to_json(job));
+  record.set("result", result_to_json(result));
+  return record.dump();
+}
+
+void expect_trained(const TrainResult& r) {
+  EXPECT_FALSE(r.diverged);
+  EXPECT_TRUE(std::isfinite(r.final_eval.loss));
+  // Untrained 10-class loss is ln(10) ~ 2.30 and random accuracy 0.1; a run
+  // that survived its faults must still have learned something.
+  EXPECT_LT(r.final_eval.loss, 2.2);
+  EXPECT_GT(r.best_top1, 0.2);
+}
+
+class ChaosMatrix : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(ChaosMatrix, SurvivesCrashWithRestart) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.checkpoint_interval = 20;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({2, 50, 20, true});
+  const TrainJob job = chaos_job(GetParam(), plan);
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 1u);
+  if (GetParam() != StrategyKind::kSsp) {
+    // Bulk-synchronous rejoin adopts the survivors' parameters; SSP simply
+    // rewinds to its checkpoint and lets staleness absorb the gap.
+    EXPECT_EQ(r.faults.recovery_syncs, 1u);
+  }
+  bool saw_checkpoint = false;
+  for (const FaultEvent& e : r.faults.events)
+    if (e.kind == FaultKind::kCheckpoint && e.rank == 2) saw_checkpoint = true;
+  EXPECT_TRUE(saw_checkpoint);
+}
+
+TEST_P(ChaosMatrix, SurvivesPermanentCrash) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.crashes.push_back({5, 40, 0, false});
+  const TrainJob job = chaos_job(GetParam(), plan);
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);  // the root survives and finishes
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 0u);
+  EXPECT_EQ(r.faults.recovery_syncs, 0u);
+}
+
+TEST_P(ChaosMatrix, AbsorbsPsTimeoutsWithBackoff) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.ps.timeout_prob = 0.15;
+  plan.ps.max_retries = 3;
+  plan.ps.base_backoff_s = 0.002;
+  const TrainJob job = chaos_job(GetParam(), plan);
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_GT(r.faults.ps_timeouts, 0u);
+  // Only SSP may give a push/pull up entirely; synchronous rounds always
+  // absorb the backoff and complete.
+  if (GetParam() != StrategyKind::kSsp) EXPECT_EQ(r.faults.ps_give_ups, 0u);
+}
+
+TEST_P(ChaosMatrix, RecordsStragglerEpisodes) {
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.stragglers.push_back({3, 20, 60, 4.0});
+  const TrainJob job = chaos_job(GetParam(), plan);
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.straggler_episodes, 1u);
+  EXPECT_GT(r.sim_time_s, 0.0);
+}
+
+// The acceptance scenario: crash at iteration 50 + 5% message drop, 8
+// workers. Two invocations must match bitwise — the full run record for the
+// bulk-synchronous strategies, and the complete fault history for SSP
+// (whose model trajectory is legitimately timing-dependent).
+TEST_P(ChaosMatrix, AcceptanceRunIsReproducible) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.checkpoint_interval = 25;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({2, 50, 20, true});
+  plan.messages.drop_prob = 0.05;
+  const TrainJob job = chaos_job(GetParam(), plan);
+  const TrainResult a = run_training(job);
+  const TrainResult b = run_training(job);
+  EXPECT_EQ(a.iterations, 120u);
+  expect_trained(a);
+  EXPECT_TRUE(a.faults.any());
+  if (GetParam() == StrategyKind::kSsp) {
+    ASSERT_EQ(a.faults.events.size(), b.faults.events.size());
+    for (size_t i = 0; i < a.faults.events.size(); ++i) {
+      EXPECT_EQ(a.faults.events[i].kind, b.faults.events[i].kind);
+      EXPECT_EQ(a.faults.events[i].rank, b.faults.events[i].rank);
+      EXPECT_EQ(a.faults.events[i].iteration, b.faults.events[i].iteration);
+      EXPECT_DOUBLE_EQ(a.faults.events[i].detail, b.faults.events[i].detail);
+    }
+    EXPECT_EQ(a.faults.messages_dropped, b.faults.messages_dropped);
+    EXPECT_EQ(a.faults.ps_timeouts, b.faults.ps_timeouts);
+  } else {
+    EXPECT_EQ(record_string(job, a), record_string(job, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ChaosMatrix,
+                         ::testing::Values(StrategyKind::kBsp,
+                                           StrategyKind::kSelSync,
+                                           StrategyKind::kSsp,
+                                           StrategyKind::kFedAvg),
+                         [](const auto& info) {
+                           return std::string(strategy_kind_name(info.param));
+                         });
+
+// Message faults and stragglers are timing faults: the payload that lands is
+// always correct, so the model trajectory must be bit-identical to the
+// fault-free run — only the simulated clock moves.
+TEST(Chaos, TimingFaultsLeaveTheTrajectoryUntouched) {
+  const TrainJob clean = chaos_job(StrategyKind::kBsp, FaultPlan{});
+
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.stragglers.push_back({3, 10, 40, 3.0});
+  plan.messages.drop_prob = 0.1;
+  plan.messages.delay_prob = 0.1;
+  plan.messages.duplicate_prob = 0.05;
+  const TrainJob faulty = chaos_job(StrategyKind::kBsp, plan);
+
+  const TrainResult base = run_training(clean);
+  const TrainResult r = run_training(faulty);
+  ASSERT_EQ(r.eval_history.size(), base.eval_history.size());
+  for (size_t i = 0; i < r.eval_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.eval_history[i].loss, base.eval_history[i].loss);
+    EXPECT_DOUBLE_EQ(r.eval_history[i].top1, base.eval_history[i].top1);
+  }
+  EXPECT_GT(r.faults.messages_dropped, 0u);
+  EXPECT_GT(r.faults.messages_delayed, 0u);
+  EXPECT_GT(r.sim_time_s, base.sim_time_s);  // faults only cost time
+}
+
+// A crash without restart removes a shard: the run completes degraded, and
+// the flag allgather keeps working with the absent rank reading as "no
+// vote".
+TEST(Chaos, SelSyncQuorumToleratesAbsentRanks) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.crashes.push_back({1, 30, 0, false});
+  plan.crashes.push_back({6, 60, 0, false});
+  TrainJob job = chaos_job(StrategyKind::kSelSync, plan);
+  job.selsync.sync_quorum = 0.5;  // majority of the *surviving* group
+  job.validate();
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 2u);
+}
+
+}  // namespace
+}  // namespace selsync

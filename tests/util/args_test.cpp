@@ -63,6 +63,16 @@ TEST(Args, RejectsMalformedNumbers) {
   EXPECT_THROW(p.get_int("workers"), std::invalid_argument);
 }
 
+TEST(Args, InlineJsonValuesSurviveVerbatim) {
+  // The CLI's --fault-plan accepts inline JSON; the parser must hand the
+  // argument through untouched (braces, quotes, spaces and all) so the
+  // fault-plan parser sees exactly what the shell passed.
+  ArgParser p;
+  p.add_option("fault-plan", "plan JSON or file", "");
+  ASSERT_TRUE(parse(p, {"--fault-plan", R"({"seed": 7, "crashes": []})"}));
+  EXPECT_EQ(p.get("fault-plan"), R"({"seed": 7, "crashes": []})");
+}
+
 TEST(Args, UsageListsAllFlags) {
   ArgParser p = standard_parser();
   const std::string usage = p.usage("prog");

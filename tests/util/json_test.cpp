@@ -71,5 +71,63 @@ TEST(Json, LargeIntegersKeptExact) {
   EXPECT_EQ(JsonValue(123456789.0).dump(), "123456789");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const JsonValue v =
+      JsonValue::parse(R"({"list": [1, "two", {"k": false}], "n": 3})");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_TRUE(v.contains("list"));
+  EXPECT_EQ(v.at("list").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("list").at(0).as_number(), 1.0);
+  EXPECT_EQ(v.at("list").at(1).as_string(), "two");
+  EXPECT_FALSE(v.at("list").at(2).at("k").as_bool());
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), 3.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, DumpRoundTrips) {
+  JsonValue o = JsonValue::object();
+  o.set("alpha", 2.5).set("flag", true).set("name", "x\ny");
+  JsonValue arr = JsonValue::array();
+  arr.push(1).push(nullptr);
+  o.set("items", std::move(arr));
+  const std::string text = o.dump();
+  EXPECT_EQ(JsonValue::parse(text).dump(), text);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  EXPECT_THROW(JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("nul"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::invalid_argument);
+  try {
+    JsonValue::parse("[1, oops]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, AccessorMisuseThrows) {
+  const JsonValue v = JsonValue::parse("{\"k\": 1}");
+  EXPECT_THROW(v.as_number(), std::invalid_argument);
+  EXPECT_THROW(v.at("missing"), std::invalid_argument);
+  EXPECT_THROW(v.at("k").as_string(), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[0]").at(1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace selsync

@@ -8,8 +8,11 @@
 // record (job + result + evaluation history) as JSON.
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "comm/fault_injector.hpp"
 #include "core/checkpoint.hpp"
 #include "core/run_record.hpp"
 #include "core/trainer.hpp"
@@ -31,6 +34,20 @@ StrategyKind parse_strategy(const std::string& name) {
   throw std::invalid_argument(
       "unknown strategy '" + name +
       "' (expected bsp, local, fedavg, ssp, selsync or easgd)");
+}
+
+/// --fault-plan accepts either inline JSON (first non-space char '{') or a
+/// path to a JSON file (see examples/fault_plan.json).
+FaultPlan load_fault_plan(const std::string& spec) {
+  const size_t first = spec.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && spec[first] == '{')
+    return parse_fault_plan(spec);
+  std::ifstream in(spec);
+  if (!in)
+    throw std::invalid_argument("cannot open fault plan file '" + spec + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_plan(text.str());
 }
 
 CompressionKind parse_compression(const std::string& name) {
@@ -74,6 +91,8 @@ int run(int argc, const char* const* argv) {
                   "0");
   args.add_option("target-top1", "stop when top-1 accuracy reaches this", "");
   args.add_option("target-ppl", "stop when perplexity reaches this", "");
+  args.add_option("fault-plan",
+                  "fault-injection plan: JSON file path or inline {...}", "");
   args.add_option("json", "write the run record to this file", "");
   args.add_option("save-checkpoint", "write a model checkpoint here", "");
   args.add_switch("quiet", "suppress the evaluation trajectory");
@@ -119,6 +138,8 @@ int run(int argc, const char* const* argv) {
     job.target_top1 = args.get_double("target-top1");
   if (!args.get("target-ppl").empty())
     job.target_perplexity = args.get_double("target-ppl");
+  if (!args.get("fault-plan").empty())
+    job.faults = load_fault_plan(args.get("fault-plan"));
 
   if (args.get_bool("describe")) {
     auto model = job.model_factory(job.seed);
@@ -151,6 +172,27 @@ int run(int argc, const char* const* argv) {
               result.comm_bytes / (1024.0 * 1024.0 * 1024.0));
   std::printf("%-24s %.2f s\n", "wall time:", result.wall_time_s);
   if (result.reached_target) std::printf("stopped early: target reached\n");
+  if (result.faults.any()) {
+    const FaultSummary& f = result.faults;
+    std::printf("\nfaults injected (%zu events):\n", f.events.size());
+    std::printf("%-24s %llu crashed, %llu restarted, %llu re-synced\n",
+                "workers:", static_cast<unsigned long long>(f.crashes),
+                static_cast<unsigned long long>(f.restarts),
+                static_cast<unsigned long long>(f.recovery_syncs));
+    std::printf("%-24s %llu dropped, %llu delayed, %llu duplicated\n",
+                "messages:",
+                static_cast<unsigned long long>(f.messages_dropped),
+                static_cast<unsigned long long>(f.messages_delayed),
+                static_cast<unsigned long long>(f.messages_duplicated));
+    std::printf("%-24s %llu timeouts, %llu give-ups\n", "PS RPCs:",
+                static_cast<unsigned long long>(f.ps_timeouts),
+                static_cast<unsigned long long>(f.ps_give_ups));
+    if (f.straggler_episodes || f.quorum_lost_rounds)
+      std::printf("%-24s %llu straggler episodes, %llu quorum-lost rounds\n",
+                  "degradation:",
+                  static_cast<unsigned long long>(f.straggler_episodes),
+                  static_cast<unsigned long long>(f.quorum_lost_rounds));
+  }
 
   if (!args.get_bool("quiet")) {
     std::printf("\n%-10s %-8s %-10s\n", "iteration", "epoch",
