@@ -1,11 +1,15 @@
-// Fig. 1a: relative training throughput vs cluster size under PS training
-// over the 5 Gbps testbed network.
+// Fig. 1a: relative training throughput vs cluster size over the 5 Gbps
+// testbed network, swept across the pluggable communication backends.
 //
-// Paper result: throughput scales sublinearly — ResNet101 gains only ~3x
-// from 1 -> 16 workers; VGG11 (507 MB of parameters) drops below 1.0x at 2
-// workers because one synchronization outweighs a whole step of compute.
+// Paper result (PS rows): throughput scales sublinearly — ResNet101 gains
+// only ~3x from 1 -> 16 workers; VGG11 (507 MB of parameters) drops below
+// 1.0x at 2 workers because one synchronization outweighs a whole step of
+// compute. The ring and tree rows show what the same jobs would cost on the
+// bandwidth-optimal ring and the log(N) reduction tree — the backends
+// TrainJob::backend / selsync_cli --backend select at training time.
 #include "bench_common.hpp"
 
+#include "comm/comm_backend.hpp"
 #include "comm/cost_model.hpp"
 #include "nn/paper_profiles.hpp"
 
@@ -13,9 +17,10 @@ using namespace selsync;
 using namespace selsync::bench;
 
 int main() {
-  print_banner("Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)",
-               "sublinear scaling; ~3x for ResNet101 at 16 workers; VGG11 "
-               "below 1.0 at 2 workers");
+  print_banner(
+      "Fig. 1a — relative throughput vs cluster size x backend (5 Gbps)",
+      "sublinear scaling; ~3x for ResNet101 at 16 workers under PS; ring "
+      "and tree backends push the knee outward");
 
   const CostModel cost(paper_network_5gbps());
   const DeviceProfile v100 = device_v100();
@@ -27,37 +32,65 @@ int main() {
     return 32;
   };
 
-  CsvWriter csv(results_dir() + "/fig1a_scaling.csv",
-                {"model", "workers", "relative_throughput"});
-
-  std::printf("%-12s", "workers:");
-  for (size_t n : sizes) std::printf("%8zu", n);
-  std::printf("\n");
-
-  std::vector<AsciiSeries> series;
-  for (const PaperModelProfile& model : all_paper_models()) {
-    std::printf("%-12s", model.name.c_str());
-    AsciiSeries s{model.name, {}};
-    for (size_t n : sizes) {
-      const double t_compute =
-          compute_time_s(model, v100, static_cast<double>(paper_batch(model.name)));
-      const double t_sync =
-          cost.ps_sync_time(static_cast<size_t>(model.param_bytes()), n);
-      // Throughput relative to 1 worker: N workers each complete a step in
-      // t_c + t_s, vs t_c alone on a single GPU.
-      const double relative =
-          static_cast<double>(n) * t_compute / (t_compute + t_sync);
-      std::printf("%8.2f", relative);
-      csv.row({model.name, std::to_string(n),
-               CsvWriter::format_double(relative)});
-      s.y.push_back(relative);
-    }
-    std::printf("\n");
-    series.push_back(std::move(s));
+  // One pricing backend per sweep row, built through the same factory the
+  // trainer uses. The PS backend needs a (dummy) central store seed; only
+  // sync_transfer_time is exercised here.
+  struct SweepBackend {
+    const char* label;
+    std::unique_ptr<CommBackend> backend;
+  };
+  std::vector<SweepBackend> backends;
+  {
+    CommBackendConfig config;
+    config.workers = sizes.back();
+    config.kind = BackendKind::kParameterServer;
+    config.initial_params.assign(1, 0.0f);
+    backends.push_back({"ps", make_comm_backend(config)});
+    config.initial_params.clear();
+    config.kind = BackendKind::kRing;
+    config.topology = Topology::kRingAllreduce;
+    backends.push_back({"ring", make_comm_backend(config)});
+    config.kind = BackendKind::kTree;
+    backends.push_back({"tree", make_comm_backend(config)});
   }
 
-  std::printf("\n%s", ascii_plot(series, 60, 14).c_str());
-  std::printf("(x-axis: cluster size 1,2,4,8,16; CSV: %s/fig1a_scaling.csv)\n",
-              results_dir().c_str());
+  CsvWriter csv(results_dir() + "/fig1a_scaling.csv",
+                {"model", "backend", "workers", "relative_throughput"});
+
+  std::vector<AsciiSeries> series;
+  for (const SweepBackend& sweep : backends) {
+    std::printf("--- backend: %s ---\n", sweep.label);
+    std::printf("%-12s", "workers:");
+    for (size_t n : sizes) std::printf("%8zu", n);
+    std::printf("\n");
+
+    for (const PaperModelProfile& model : all_paper_models()) {
+      std::printf("%-12s", model.name.c_str());
+      AsciiSeries s{model.name + " (" + sweep.label + ")", {}};
+      for (size_t n : sizes) {
+        const double t_compute = compute_time_s(
+            model, v100, static_cast<double>(paper_batch(model.name)));
+        const double t_sync = sweep.backend->sync_transfer_time(
+            cost, static_cast<size_t>(model.param_bytes()), n);
+        // Throughput relative to 1 worker: N workers each complete a step
+        // in t_c + t_s, vs t_c alone on a single GPU.
+        const double relative =
+            static_cast<double>(n) * t_compute / (t_compute + t_sync);
+        std::printf("%8.2f", relative);
+        csv.row({model.name, sweep.label, std::to_string(n),
+                 CsvWriter::format_double(relative)});
+        if (sweep.label == std::string("ps")) s.y.push_back(relative);
+      }
+      std::printf("\n");
+      if (!s.y.empty()) series.push_back(std::move(s));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%s", ascii_plot(series, 60, 14).c_str());
+  std::printf(
+      "(plot: PS backend, the paper's Fig. 1a; x-axis: cluster size "
+      "1,2,4,8,16; all backends in %s/fig1a_scaling.csv)\n",
+      results_dir().c_str());
   return 0;
 }

@@ -11,6 +11,8 @@
 // paper's implementation.
 #include "bench_common.hpp"
 
+#include "comm/comm_backend.hpp"
+#include "comm/cost_model.hpp"
 #include "stats/grad_change.hpp"
 #include "util/timer.hpp"
 
@@ -60,6 +62,50 @@ int main() {
                CsvWriter::format_double(ms)});
     }
     std::printf("\n");
+  }
+
+  // Put the overhead in context: one synchronization round on each
+  // communication backend at the paper's 16 workers, priced by the same
+  // sync_transfer_time account the trainer charges. Δ(g_i) must stay
+  // negligible against *every* backend, not just the slow PS incast.
+  {
+    const CostModel cost(paper_network_5gbps());
+    constexpr size_t kWorkers = 16;
+    struct SweepBackend {
+      const char* label;
+      std::unique_ptr<CommBackend> backend;
+    };
+    std::vector<SweepBackend> backends;
+    CommBackendConfig config;
+    config.workers = kWorkers;
+    config.kind = BackendKind::kParameterServer;
+    config.initial_params.assign(1, 0.0f);
+    backends.push_back({"ps", make_comm_backend(config)});
+    config.initial_params.clear();
+    config.kind = BackendKind::kRing;
+    config.topology = Topology::kRingAllreduce;
+    backends.push_back({"ring", make_comm_backend(config)});
+    config.kind = BackendKind::kTree;
+    backends.push_back({"tree", make_comm_backend(config)});
+
+    CsvWriter sync_csv(results_dir() + "/fig8a_backend_sync_cost.csv",
+                       {"model", "backend", "sync_ms"});
+    std::printf("\none sync round at %zu workers (simulated ms):\n", kWorkers);
+    std::printf("%-12s", "backend:");
+    for (const SweepBackend& b : backends) std::printf("%10s", b.label);
+    std::printf("\n");
+    for (const PaperModelProfile& model : all_paper_models()) {
+      std::printf("%-12s", model.name.c_str());
+      for (const SweepBackend& b : backends) {
+        const double ms =
+            1e3 * b.backend->sync_transfer_time(
+                      cost, static_cast<size_t>(model.param_bytes()),
+                      kWorkers);
+        std::printf("%10.1f", ms);
+        sync_csv.row({model.name, b.label, CsvWriter::format_double(ms)});
+      }
+      std::printf("\n");
+    }
   }
 
   std::printf(

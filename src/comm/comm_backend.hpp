@@ -1,0 +1,135 @@
+// Pluggable communication backends for the simulated cluster.
+//
+// A CommBackend is the seam between the training loop and the machinery
+// that moves aggregation payloads (DESIGN.md §8). The WorkerLoop speaks
+// only this interface; which protocol actually carries the bytes — the
+// barrier-synchronous shared-memory collectives, the channel-based ring,
+// the log(N) reduction tree, or a central parameter server — is selected
+// once, by TrainJob::backend / selsync_cli --backend, instead of being
+// branched on inside the loop.
+//
+// Division of labour, fixed across backends so runs stay comparable:
+//  * allreduce() is the data plane: it carries the payload and accrues any
+//    backend-injected fault delay (ring/tree chunk retransmits) onto the
+//    calling worker's simulated clock.
+//  * allgather_flags / broadcast / allreduce_max / barrier are the control
+//    plane. Every backend routes them over the shared-memory bus: they are
+//    tiny, latency-bound, and keeping them on one deterministic path means
+//    the *decision* sequence (votes, stop flags, recovery syncs) is
+//    identical across backends — which is what makes cross-backend
+//    bit-parity testable at all. Their simulated cost is charged separately
+//    (StepTimeModel::flag_time).
+//  * sync_transfer_time() is the per-op cost account: the simulated seconds
+//    one synchronization round moving `wire_bytes` costs on this backend's
+//    network schedule.
+//  * sync_fault_penalty() is the per-op fault account: the simulated-time
+//    penalty injected message/RPC faults charge the rank at a
+//    synchronization point. Backends that inject per chunk inside
+//    allreduce() (ring, tree) return 0 here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/cost_model.hpp"
+
+namespace selsync {
+
+class FaultInjector;
+class ParameterServer;
+
+/// Which protocol carries aggregation payloads. kSharedMemory and kRing are
+/// the seed's two transports (bit-deterministic shared buffers; the
+/// bandwidth-optimal message-passing ring). kTree is a log(N)-deep
+/// reduction tree over point-to-point channels. kParameterServer routes
+/// synchronous rounds through a central ParameterServer instance.
+enum class BackendKind { kSharedMemory, kRing, kTree, kParameterServer };
+
+const char* backend_kind_name(BackendKind kind);
+
+/// Parses "shared" | "ring" | "tree" | "ps"; throws std::invalid_argument.
+BackendKind parse_backend_kind(const std::string& name);
+
+/// Simulated-time penalty for the two message legs (push + pull) of one PS
+/// interaction on a shared-bus transport; channel transports inject their
+/// faults per chunk instead. Drops cost the sender the retransmit timeout,
+/// delays the configured lateness; duplicates are deduplicated for free and
+/// only logged.
+double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it);
+
+/// PS-RPC timeout retries with exponential backoff. Synchronous rounds
+/// cannot be skipped by one worker, so they absorb every backoff and
+/// complete (`allow_give_up` false); SSP steps give up past max_retries and
+/// proceed degraded (`*gave_up` set).
+double ps_retry_penalty(FaultInjector& faults, size_t rank, uint64_t it,
+                        bool allow_give_up, bool* gave_up);
+
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return backend_kind_name(kind()); }
+
+  /// ---- data plane -------------------------------------------------------
+  /// In-place sum-allreduce of `data` over `group`. Fault delays the
+  /// backend injects per chunk accrue onto `clock` (simulated seconds).
+  virtual void allreduce(WorkerContext& ctx, std::vector<float>& data,
+                         const CommGroup& group, double& clock) = 0;
+
+  /// ---- control plane (shared bus on every backend; see file comment) ----
+  virtual std::vector<uint8_t> allgather_flags(WorkerContext& ctx,
+                                               uint8_t flag,
+                                               const CommGroup& group);
+  virtual void broadcast(WorkerContext& ctx, size_t root,
+                         std::vector<float>& data, const CommGroup& group);
+  virtual double allreduce_max(WorkerContext& ctx, double value,
+                               const CommGroup& group);
+  virtual void barrier(WorkerContext& ctx, const CommGroup& group);
+
+  /// ---- central store (PS-style backends only) ---------------------------
+  /// The parameter server behind this backend, or nullptr. SSP's push/pull
+  /// path and its staleness bound run against this store.
+  virtual ParameterServer* central_store() { return nullptr; }
+
+  /// ---- per-op cost accounting -------------------------------------------
+  /// Simulated seconds one synchronization round moving `wire_bytes` costs
+  /// on this backend for a `workers`-rank cluster (transfer only; codec
+  /// cost is added by StepTimeModel).
+  virtual double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
+                                    size_t workers) const = 0;
+
+  /// ---- fault-injection accounting ---------------------------------------
+  /// Simulated-time penalty injected message/RPC faults charge `rank` at a
+  /// synchronization point (drawn from the rank's deterministic fault
+  /// stream). Backends injecting per chunk inside allreduce() return 0.
+  virtual double sync_fault_penalty(FaultInjector& faults, size_t rank,
+                                    uint64_t iteration);
+
+  /// Teardown: unblock any worker parked inside a backend primitive
+  /// (channel recv, PS condition wait). Wired to run_cluster's abort hook.
+  virtual void abort() {}
+};
+
+/// Everything a backend needs at construction. `collectives` are reached
+/// through the per-call WorkerContext, so backends can be built before the
+/// cluster threads exist.
+struct CommBackendConfig {
+  BackendKind kind = BackendKind::kSharedMemory;
+  size_t workers = 1;
+  /// Which topology the shared-memory backend's cost/fault accounting
+  /// stands in for (the seed's TrainJob::topology semantics).
+  Topology topology = Topology::kParameterServer;
+  /// Optional fault injector shared by the whole run.
+  FaultInjector* faults = nullptr;
+  /// Seed model for the parameter-server backend's central store; ignored
+  /// by the others.
+  std::vector<float> initial_params;
+};
+
+std::unique_ptr<CommBackend> make_comm_backend(const CommBackendConfig& config);
+
+}  // namespace selsync

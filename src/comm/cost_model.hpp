@@ -27,6 +27,11 @@
 
 namespace selsync {
 
+/// Which aggregation topology a synchronization round is priced as: a
+/// central parameter server (push + pull through one ingest) or a
+/// bandwidth-optimal ring allreduce.
+enum class Topology { kParameterServer, kRingAllreduce };
+
 struct NetworkProfile {
   std::string name;
   double bandwidth_bps = 5e9;          // one worker NIC

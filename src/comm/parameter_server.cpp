@@ -60,6 +60,45 @@ std::vector<float> ParameterServer::push_and_average(
   return round_result_;
 }
 
+std::vector<float> ParameterServer::push_and_sum_ranked(
+    size_t rank, std::span<const float> data, size_t participants) {
+  if (rank >= workers_)
+    throw std::invalid_argument("push_and_sum_ranked: bad rank");
+  if (participants == 0 || participants > workers_)
+    throw std::invalid_argument("push_and_sum_ranked: bad participant count");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) throw BarrierAborted();
+  if (data.size() != global_.size())
+    throw std::invalid_argument("push_and_sum_ranked: dim mismatch");
+
+  if (ranked_arrived_ == 0) {
+    ranked_slots_.assign(global_.size() * workers_, 0.f);
+    ranked_expected_ = participants;
+  } else if (ranked_expected_ != participants) {
+    throw std::logic_error("push_and_sum_ranked: inconsistent participants");
+  }
+  std::copy(data.begin(), data.end(),
+            ranked_slots_.begin() + rank * data.size());
+  const uint64_t my_round = ranked_round_;
+
+  if (++ranked_arrived_ == ranked_expected_) {
+    ranked_result_.resize(global_.size());
+    for (size_t i = 0; i < global_.size(); ++i) {
+      float acc = 0.f;
+      for (size_t w = 0; w < workers_; ++w)
+        acc += ranked_slots_[w * global_.size() + i];
+      ranked_result_[i] = acc;
+    }
+    ranked_arrived_ = 0;
+    ++ranked_round_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return ranked_round_ != my_round || aborted_; });
+    if (ranked_round_ == my_round) throw BarrierAborted();
+  }
+  return ranked_result_;
+}
+
 void ParameterServer::store(std::span<const float> params) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (params.size() != global_.size())

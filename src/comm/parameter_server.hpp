@@ -47,6 +47,19 @@ class ParameterServer {
   /// and by tests).
   void store(std::span<const float> params);
 
+  /// Deterministic synchronous aggregation for the PS CommBackend:
+  /// contributions land in per-rank slots and the last arriver reduces them
+  /// in ascending rank order — the same fixed float summation order
+  /// SharedCollectives uses — so rounds are bit-reproducible regardless of
+  /// arrival order (push_and_average folds in arrival order and is not).
+  /// `participants` callers, each with a distinct `rank` < workers(), must
+  /// arrive per round; absent ranks contribute exactly zero. Returns the
+  /// sum. The global state is untouched; PA-mode bookkeeping goes through
+  /// store().
+  std::vector<float> push_and_sum_ranked(size_t rank,
+                                         std::span<const float> data,
+                                         size_t participants);
+
   /// ---- SSP support -------------------------------------------------------
   /// Applies w -= lr * grad to the global parameters atomically.
   void apply_gradient_async(std::span<const float> grad, double lr);
@@ -87,6 +100,15 @@ class ParameterServer {
   size_t expected_ = 0;
   uint64_t round_ = 0;
   std::vector<float> round_result_;
+
+  // Rank-slotted deterministic aggregation round state
+  // (push_and_sum_ranked); kept separate from the arrival-order round so
+  // the two entry points cannot corrupt each other.
+  std::vector<float> ranked_slots_;  // workers() slots of payload length
+  size_t ranked_arrived_ = 0;
+  size_t ranked_expected_ = 0;
+  uint64_t ranked_round_ = 0;
+  std::vector<float> ranked_result_;
 
   // SSP bookkeeping.
   std::vector<uint64_t> worker_iteration_;

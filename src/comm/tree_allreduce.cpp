@@ -1,0 +1,137 @@
+#include "comm/tree_allreduce.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/fault_injector.hpp"
+
+namespace selsync {
+
+TreeAllreduce::TreeAllreduce(size_t workers, FaultInjector* faults)
+    : workers_(workers),
+      faults_(faults),
+      up_send_seq_(workers, 0),
+      up_recv_seq_(workers, 0),
+      down_send_seq_(workers, 0),
+      down_recv_seq_(workers, 0) {
+  if (workers == 0) throw std::invalid_argument("TreeAllreduce: zero workers");
+  up_links_.reserve(workers);
+  down_links_.reserve(workers);
+  for (size_t r = 0; r < workers; ++r) {
+    up_links_.push_back(std::make_unique<Channel<Envelope>>());
+    down_links_.push_back(std::make_unique<Channel<Envelope>>());
+  }
+}
+
+size_t TreeAllreduce::critical_path_hops(size_t workers) {
+  if (workers <= 1) return 0;
+  return 2 * static_cast<size_t>(
+                 std::ceil(std::log2(static_cast<double>(workers))));
+}
+
+std::vector<size_t> TreeAllreduce::children_of(size_t rank) const {
+  std::vector<size_t> kids;
+  for (size_t c : {2 * rank + 1, 2 * rank + 2})
+    if (c < workers_) kids.push_back(c);
+  return kids;
+}
+
+void TreeAllreduce::close_all() {
+  for (auto& link : up_links_) link->close();
+  for (auto& link : down_links_) link->close();
+}
+
+void TreeAllreduce::send_reliable(size_t sender, Channel<Envelope>& link,
+                                  uint64_t& seq, Envelope env) {
+  env.seq = ++seq;
+  if (faults_) {
+    const uint64_t it = faults_->current_iteration(sender);
+    switch (faults_->draw_message_fate(sender)) {
+      case MessageFate::kDrop:
+        // First copy lost; the sender retransmits after the simulated ack
+        // timeout, so only the late copy is enqueued.
+        faults_->record(sender, FaultKind::kMessageDrop, it,
+                        faults_->plan().messages.retransmit_timeout_s);
+        faults_->add_pending_delay(
+            sender, faults_->plan().messages.retransmit_timeout_s);
+        break;
+      case MessageFate::kDelay:
+        env.delay_s = faults_->plan().messages.delay_s;
+        faults_->record(sender, FaultKind::kMessageDelay, it, env.delay_s);
+        break;
+      case MessageFate::kDuplicate: {
+        faults_->record(sender, FaultKind::kMessageDuplicate, it, 0.0);
+        Envelope dup = env;  // extra copy rides ahead of the original
+        link.send(std::move(dup));
+        break;
+      }
+      case MessageFate::kDeliver:
+        break;
+    }
+  }
+  link.send(std::move(env));
+}
+
+TreeAllreduce::Envelope TreeAllreduce::recv_reliable(size_t receiver,
+                                                     Channel<Envelope>& link,
+                                                     uint64_t& last_seq) {
+  while (true) {
+    auto msg = link.recv();
+    if (!msg) throw std::runtime_error("tree allreduce: channel closed");
+    if (msg->seq <= last_seq) continue;  // duplicate: drop silently
+    last_seq = msg->seq;
+    if (faults_ && msg->delay_s > 0.0)
+      faults_->add_pending_delay(receiver, msg->delay_s);
+    return std::move(*msg);
+  }
+}
+
+void TreeAllreduce::run(size_t rank, std::span<float> data) {
+  if (workers_ == 1) return;
+  const size_t n = data.size();
+
+  // ---- up sweep: gather rank-tagged contributions toward the root --------
+  std::vector<std::pair<size_t, std::vector<float>>> contribs;
+  contribs.emplace_back(rank, std::vector<float>(data.begin(), data.end()));
+  for (size_t child : children_of(rank)) {
+    Envelope env =
+        recv_reliable(rank, *up_links_[child], up_recv_seq_[child]);
+    for (auto& entry : env.contribs) {
+      if (entry.second.size() != n)
+        throw std::invalid_argument("tree allreduce: length mismatch");
+      contribs.push_back(std::move(entry));
+    }
+  }
+
+  if (rank != 0) {
+    Envelope up;
+    up.contribs = std::move(contribs);
+    send_reliable(rank, *up_links_[rank], up_send_seq_[rank], std::move(up));
+    const Envelope down =
+        recv_reliable(rank, *down_links_[rank], down_recv_seq_[rank]);
+    std::copy(down.reduced.begin(), down.reduced.end(), data.begin());
+  } else {
+    // Root: reduce all N contributions in ascending rank order — the same
+    // fixed summation order as SharedCollectives::allreduce_sum, so the
+    // result is bit-identical to the shared-memory backend.
+    std::vector<const std::vector<float>*> by_rank(workers_, nullptr);
+    for (const auto& entry : contribs) by_rank[entry.first] = &entry.second;
+    for (const auto* c : by_rank)
+      if (!c) throw std::logic_error("tree allreduce: missing contribution");
+    for (size_t i = 0; i < n; ++i) {
+      float acc = 0.f;
+      for (size_t w = 0; w < workers_; ++w) acc += (*by_rank[w])[i];
+      data[i] = acc;
+    }
+  }
+
+  // ---- down sweep: broadcast the reduced vector ---------------------------
+  for (size_t child : children_of(rank)) {
+    Envelope down;
+    down.reduced.assign(data.begin(), data.end());
+    send_reliable(rank, *down_links_[child], down_send_seq_[child],
+                  std::move(down));
+  }
+}
+
+}  // namespace selsync

@@ -1,0 +1,84 @@
+// log(N)-deep reduction tree over point-to-point channels.
+//
+// Ranks form a binary heap tree (parent(r) = (r-1)/2). An allreduce is one
+// gather sweep up the tree followed by one broadcast sweep down it —
+// 2*ceil(log2(N)) message hops on the critical path, the schedule
+// CostModel::tree_allreduce_time prices.
+//
+// Determinism contract: interior nodes do NOT fold partial sums in tree
+// order. They forward the rank-tagged contributions of their subtree, and
+// the root reduces all N contributions in ascending rank order — the exact
+// float summation order SharedCollectives::allreduce_sum fixes (and the
+// determinism real systems get from NCCL's fixed reduction trees). This is
+// what makes the tree backend bit-identical to the shared-memory backend,
+// which the golden parity tests assert; the price is gather-style payload
+// growth toward the root, which only the simulated cost model would notice
+// and which it deliberately prices as the classic 2*log2(N)*(alpha + beta*n)
+// tree schedule.
+//
+// With a FaultInjector attached, every hop runs over the same lossy-link
+// protocol as RingAllreduce: messages are sequence numbered, drops cost the
+// sender a simulated retransmit timeout, delays accrue to the receiver's
+// pending-delay account, duplicates are filtered by the sequence check. The
+// payload that lands is always correct — faults only change timing and the
+// event log.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/channel.hpp"
+
+namespace selsync {
+
+class FaultInjector;
+
+class TreeAllreduce {
+ public:
+  explicit TreeAllreduce(size_t workers, FaultInjector* faults = nullptr);
+
+  /// In-place sum-allreduce of `data` (same length on every rank). All
+  /// `workers` ranks must call per round.
+  void run(size_t rank, std::span<float> data);
+
+  /// Closes every link so blocked receivers throw instead of hanging; used
+  /// by the cluster runner's abort path.
+  void close_all();
+
+  /// Message hops on the critical path (up + down) for an N-rank tree.
+  static size_t critical_path_hops(size_t workers);
+
+ private:
+  struct Envelope {
+    uint64_t seq = 0;
+    double delay_s = 0.0;
+    /// Up-sweep payload: (rank, contribution) pairs for the sender's
+    /// subtree. Empty on down-sweep messages.
+    std::vector<std::pair<size_t, std::vector<float>>> contribs;
+    /// Down-sweep payload: the reduced vector. Empty on up-sweep messages.
+    std::vector<float> reduced;
+  };
+
+  static size_t parent_of(size_t rank) { return (rank - 1) / 2; }
+  std::vector<size_t> children_of(size_t rank) const;
+
+  void send_reliable(size_t sender, Channel<Envelope>& link, uint64_t& seq,
+                     Envelope env);
+  Envelope recv_reliable(size_t receiver, Channel<Envelope>& link,
+                         uint64_t& last_seq);
+
+  size_t workers_;
+  FaultInjector* faults_;
+  // One up link and one down link per non-root rank, indexed by that rank.
+  // up_links_[r] carries r -> parent(r); down_links_[r] carries
+  // parent(r) -> r. Each sequence counter is touched only by the one thread
+  // that owns that end of the link.
+  std::vector<std::unique_ptr<Channel<Envelope>>> up_links_;
+  std::vector<std::unique_ptr<Channel<Envelope>>> down_links_;
+  std::vector<uint64_t> up_send_seq_, up_recv_seq_;
+  std::vector<uint64_t> down_send_seq_, down_recv_seq_;
+};
+
+}  // namespace selsync

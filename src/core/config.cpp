@@ -71,10 +71,10 @@ void TrainJob::validate() const {
   if (faults.enabled()) {
     faults.validate(workers, max_iterations);
     if (!faults.crashes.empty() && strategy != StrategyKind::kSsp &&
-        transport == Transport::kMessagePassingRing)
+        (backend == BackendKind::kRing || backend == BackendKind::kTree))
       throw std::invalid_argument(
-          "TrainJob: crash injection requires the shared-memory transport "
-          "(a degraded ring topology is not modeled)");
+          "TrainJob: crash injection requires a backend without fixed "
+          "channel wiring (degraded ring/tree topologies are not modeled)");
   }
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/comm_backend.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
@@ -21,17 +22,6 @@ namespace selsync {
 enum class StrategyKind { kBsp, kLocalSgd, kFedAvg, kSsp, kSelSync, kEasgd };
 
 const char* strategy_kind_name(StrategyKind kind);
-
-enum class Topology { kParameterServer, kRingAllreduce };
-
-/// How aggregation payloads physically move between the simulated workers.
-/// kSharedMemory uses the barrier-synchronous shared-buffer collectives
-/// (bit-deterministic, the default). kMessagePassingRing routes every
-/// allreduce through the channel-based ring algorithm — the actual
-/// bandwidth-optimal protocol the cost model prices — exercising real
-/// message passing at the cost of a different (but still deterministic)
-/// float summation order.
-enum class Transport { kSharedMemory, kMessagePassingRing };
 
 /// FedAvg (C, E) (paper §II-B): updates from fraction C of workers are
 /// aggregated x = 1/E times per epoch, i.e. every E * steps_per_epoch steps.
@@ -110,8 +100,9 @@ struct TrainJob {
   /// crashes with checkpoint restarts, message drop/delay/duplication, PS
   /// timeouts with retry, and stragglers — all scheduled deterministically
   /// from faults.seed. An empty plan (the default) injects nothing.
-  /// Crash events require Transport::kSharedMemory for the bulk-synchronous
-  /// strategies (the degraded ring topology is not modeled).
+  /// Crash events require BackendKind::kSharedMemory for the
+  /// bulk-synchronous strategies (degraded channel topologies — ring with a
+  /// hole, tree with a dead subtree — are not modeled).
   FaultPlan faults;
 
   /// Per-worker compute-speed multipliers for systems heterogeneity
@@ -125,8 +116,11 @@ struct TrainJob {
   PaperModelProfile paper_model = paper_resnet101();
   DeviceProfile device = device_v100();
   NetworkProfile network = paper_network_5gbps();
+  /// Which paper-scale topology the cost model prices for the shared-memory
+  /// backend (the ring/tree/ps backends carry their own schedule).
   Topology topology = Topology::kParameterServer;
-  Transport transport = Transport::kSharedMemory;
+  /// Which CommBackend carries aggregation payloads (DESIGN.md §8).
+  BackendKind backend = BackendKind::kSharedMemory;
 
   /// Early stopping: stop once worker 0's evaluation reaches the target
   /// (accuracy >= target_top1, or perplexity <= target_perplexity).

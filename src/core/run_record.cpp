@@ -17,6 +17,7 @@ JsonValue job_to_json(const TrainJob& job) {
   j.set("topology", job.topology == Topology::kParameterServer
                         ? "parameter-server"
                         : "ring-allreduce");
+  j.set("backend", backend_kind_name(job.backend));
   j.set("paper_model", job.paper_model.name);
   j.set("network", job.network.name);
 

@@ -35,6 +35,20 @@ class SyncPolicy {
 
   /// Number of contributors per aggregation round.
   virtual size_t participant_count() const = 0;
+
+  /// Aggregation rounds the cluster has seen before `iteration` when votes
+  /// are pure functions of the iteration number. A crash-restarted worker
+  /// realigns its round counter with this so FedAvg's per-round participant
+  /// sampling stays in step with the survivors across the downtime gap.
+  /// Meaningless for policies with needs_flag_exchange() (their round count
+  /// depends on runtime Δ(g) votes); the default brute-force count is only a
+  /// fallback — concrete policies provide O(1) closed forms.
+  virtual uint64_t rounds_before(uint64_t iteration) const {
+    uint64_t rounds = 0;
+    for (uint64_t j = 0; j < iteration; ++j)
+      if (local_vote(j, 0.0)) ++rounds;
+    return rounds;
+  }
 };
 
 class BspPolicy : public SyncPolicy {
@@ -43,6 +57,9 @@ class BspPolicy : public SyncPolicy {
   bool local_vote(uint64_t, double) const override { return true; }
   bool needs_flag_exchange() const override { return false; }
   size_t participant_count() const override { return workers_; }
+  uint64_t rounds_before(uint64_t iteration) const override {
+    return iteration;  // every step synchronizes
+  }
 
  private:
   size_t workers_;
@@ -54,6 +71,9 @@ class LocalSgdPolicy : public SyncPolicy {
   bool local_vote(uint64_t, double) const override { return false; }
   bool needs_flag_exchange() const override { return false; }
   size_t participant_count() const override { return workers_; }
+  uint64_t rounds_before(uint64_t) const override {
+    return 0;  // never synchronizes
+  }
 
  private:
   size_t workers_;
@@ -74,6 +94,11 @@ class FedAvgPolicy : public SyncPolicy {
   bool needs_flag_exchange() const override { return false; }
   bool participates(uint64_t sync_round, size_t rank) const override;
   size_t participant_count() const override { return participants_; }
+  uint64_t rounds_before(uint64_t iteration) const override {
+    // Votes fire at iterations interval-1, 2*interval-1, ...: one round per
+    // full interval completed strictly before `iteration`.
+    return iteration / interval_;
+  }
 
   uint64_t sync_interval() const { return interval_; }
 
@@ -95,6 +120,9 @@ class EasgdPolicy : public SyncPolicy {
   }
   bool needs_flag_exchange() const override { return false; }
   size_t participant_count() const override { return workers_; }
+  uint64_t rounds_before(uint64_t iteration) const override {
+    return iteration / tau_;
+  }
 
  private:
   uint64_t tau_;

@@ -36,6 +36,17 @@ double StepTimeModel::sync_time_for_bytes(size_t wire_bytes) const {
   return transfer + codec;
 }
 
+double StepTimeModel::sync_time_for_bytes(size_t wire_bytes,
+                                          const CommBackend& backend) const {
+  const double transfer =
+      backend.sync_transfer_time(cost_, wire_bytes, workers_);
+  const double codec =
+      wire_bytes < payload_bytes()
+          ? static_cast<double>(payload_bytes()) / 4e9
+          : 0.0;
+  return transfer + codec;
+}
+
 double StepTimeModel::flag_time() const {
   return cost_.flag_allgather_time(workers_);
 }

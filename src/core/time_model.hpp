@@ -7,6 +7,7 @@
 // 16 V100s (DESIGN.md §2).
 #pragma once
 
+#include "comm/comm_backend.hpp"
 #include "comm/cost_model.hpp"
 #include "core/config.hpp"
 #include "nn/paper_profiles.hpp"
@@ -30,6 +31,12 @@ class StepTimeModel {
   /// gradients), plus the codec's own compute cost (compression is not
   /// zero-cost, §II-D).
   double sync_time_for_bytes(size_t wire_bytes) const;
+
+  /// Same, but the transfer term is priced by the CommBackend carrying the
+  /// payload (its own network schedule) instead of the constructor's
+  /// topology.
+  double sync_time_for_bytes(size_t wire_bytes,
+                             const CommBackend& backend) const;
 
   /// SelSync's per-step 1-bit flag allgather.
   double flag_time() const;

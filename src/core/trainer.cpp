@@ -1,543 +1,24 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cmath>
-#include <mutex>
-#include <sstream>
+#include <memory>
 
 #include "comm/cluster.hpp"
+#include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
-#include "core/sync_policy.hpp"
-#include "core/time_model.hpp"
+#include "core/trainer_internal.hpp"
+#include "core/worker_loop.hpp"
 #include "data/injection.hpp"
-#include "optim/ema_tracker.hpp"
-#include "stats/grad_change.hpp"
 #include "util/timer.hpp"
 
 namespace selsync {
 
 namespace {
 
-constexpr size_t kEvalBatch = 256;
-
-double ewma_alpha_for(const TrainJob& job) {
-  if (job.selsync.ewma_alpha > 0.0) return std::min(job.selsync.ewma_alpha, 1.0);
-  // Paper: smoothing factor N/100 (0.16 for a 16-node cluster).
-  return std::clamp(static_cast<double>(job.workers) / 100.0, 0.02, 1.0);
-}
-
-double sq_norm(const std::vector<float>& v) {
-  double s = 0.0;
-  for (float x : v) s += static_cast<double>(x) * x;
-  return s;
-}
-
-EvalPoint make_eval_point(Model& model, const Dataset& test, uint64_t iteration,
-                          double epoch, double sim_time) {
-  const EvalStats stats =
-      evaluate_dataset(model, test, std::min<size_t>(kEvalBatch, test.size()));
-  EvalPoint pt;
-  pt.iteration = iteration;
-  pt.epoch = epoch;
-  pt.sim_time_s = sim_time;
-  pt.loss = stats.mean_loss();
-  pt.top1 = stats.top1_accuracy();
-  pt.top5 = stats.top5_accuracy();
-  pt.perplexity = stats.perplexity();
-  return pt;
-}
-
-bool target_reached(const TrainJob& job, const EvalPoint& pt) {
-  if (job.target_top1 && pt.top1 >= *job.target_top1) return true;
-  if (job.target_perplexity && pt.perplexity <= *job.target_perplexity)
-    return true;
-  return false;
-}
-
-void update_bests(TrainResult& result, const EvalPoint& pt) {
-  result.best_top1 = std::max(result.best_top1, pt.top1);
-  result.best_top5 = std::max(result.best_top5, pt.top5);
-  result.best_perplexity = std::min(result.best_perplexity, pt.perplexity);
-}
-
-/// Which payload the aggregation rounds move for a given job (§III-C).
-AggregationMode aggregation_for(const TrainJob& job) {
-  switch (job.strategy) {
-    case StrategyKind::kBsp:
-      return AggregationMode::kGradients;  // classic BSP allreduce
-    case StrategyKind::kSelSync:
-      return job.selsync.aggregation;
-    default:
-      return AggregationMode::kParameters;  // FedAvg averages models
-  }
-}
-
-/// In-memory checkpoint a worker restores after a restartable crash
-/// (DESIGN.md "Failure model"): the local replica's state — parameters,
-/// optimizer moments and the shard-stream position. The global view is
-/// refreshed separately by the recovery sync.
-struct WorkerCheckpoint {
-  uint64_t iteration = 0;
-  std::vector<float> params;
-  std::string optimizer_state;
-  size_t cursor = 0;
-  size_t consumed = 0;
-};
-
-void save_checkpoint(WorkerCheckpoint& ckpt, uint64_t iteration, Model& model,
-                     const Optimizer& optimizer, const ShardLoader& loader) {
-  ckpt.iteration = iteration;
-  ckpt.params = model.get_flat_params();
-  std::ostringstream out;
-  optimizer.save_state(out);
-  ckpt.optimizer_state = out.str();
-  ckpt.cursor = loader.cursor();
-  ckpt.consumed = loader.consumed();
-}
-
-void restore_checkpoint(const WorkerCheckpoint& ckpt, Model& model,
-                        Optimizer& optimizer, ShardLoader& loader) {
-  model.set_flat_params(ckpt.params);
-  std::istringstream in(ckpt.optimizer_state);
-  optimizer.load_state(in);
-  loader.restore_position(ckpt.cursor, ckpt.consumed);
-}
-
-/// Simulated-time penalty for the two message legs (push + pull) of one PS
-/// interaction on the shared-memory transport; the ring transport injects
-/// its faults per chunk inside RingAllreduce instead. Drops cost the sender
-/// the retransmit timeout, delays the configured lateness; duplicates are
-/// deduplicated for free and only logged.
-double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it) {
-  const MessageFaultConfig& m = faults.plan().messages;
-  if (!m.any()) return 0.0;
-  double penalty = 0.0;
-  for (int leg = 0; leg < 2; ++leg) {
-    switch (faults.draw_message_fate(rank)) {
-      case MessageFate::kDrop:
-        faults.record(rank, FaultKind::kMessageDrop, it,
-                      m.retransmit_timeout_s);
-        penalty += m.retransmit_timeout_s;
-        break;
-      case MessageFate::kDelay:
-        faults.record(rank, FaultKind::kMessageDelay, it, m.delay_s);
-        penalty += m.delay_s;
-        break;
-      case MessageFate::kDuplicate:
-        faults.record(rank, FaultKind::kMessageDuplicate, it, 0.0);
-        break;
-      case MessageFate::kDeliver:
-        break;
-    }
-  }
-  return penalty;
-}
-
-/// PS-RPC timeout retries with exponential backoff. Synchronous rounds
-/// cannot be skipped by one worker, so they absorb every backoff and
-/// complete (`allow_give_up` false); SSP steps give up past max_retries and
-/// proceed degraded (`*gave_up` set).
-double ps_retry_penalty(FaultInjector& faults, size_t rank, uint64_t it,
-                        bool allow_give_up, bool* gave_up) {
-  if (gave_up) *gave_up = false;
-  const PsFaultConfig& cfg = faults.plan().ps;
-  if (!cfg.any()) return 0.0;
-  const size_t timeouts = faults.draw_ps_timeouts(rank);
-  double penalty = 0.0;
-  for (size_t attempt = 0; attempt < timeouts; ++attempt) {
-    penalty += faults.ps_backoff_s(attempt);
-    faults.record(rank, FaultKind::kPsTimeout, it,
-                  static_cast<double>(attempt));
-  }
-  if (allow_give_up && timeouts > cfg.max_retries) {
-    faults.record(rank, FaultKind::kPsGiveUp, it,
-                  static_cast<double>(timeouts));
-    if (gave_up) *gave_up = true;
-  }
-  return penalty;
-}
-
-/// Aggregation rounds seen by the cluster before `iteration` for policies
-/// whose votes are pure functions of the iteration number. A rejoiner
-/// recomputes its round counter with this so FedAvg's per-round participant
-/// sampling stays aligned with the survivors across the downtime gap.
-uint64_t sync_rounds_before(const SyncPolicy& policy, uint64_t iteration) {
-  uint64_t rounds = 0;
-  for (uint64_t j = 0; j < iteration; ++j)
-    if (policy.local_vote(j, 0.0)) ++rounds;
-  return rounds;
-}
-
-struct SharedSyncState {
-  std::mutex mutex;
-  TrainResult result;
-  std::vector<std::vector<size_t>> injection_proposals;
-  /// EASGD center variable (initialized to the common seed model before the
-  /// cluster starts; only touched between barriers during elastic updates).
-  std::vector<float> easgd_center;
-  /// Final per-worker simulated clocks, written as each worker exits. The
-  /// cluster time is their max — computed after the join instead of with a
-  /// final collective, because under fault injection workers leave the loop
-  /// at different points (permanent crashes) and a trailing collective would
-  /// have no agreed participant set.
-  std::vector<double> worker_sim_time;
-};
-
-void run_synchronous_worker(const TrainJob& job, WorkerContext& ctx,
-                            const Partition& partition, size_t local_batch,
-                            const DataInjector* injector, RingAllreduce* ring,
-                            FaultInjector* faults, RejoinCoordinator* rejoin,
-                            SharedSyncState& shared) {
-  auto model = job.model_factory(job.seed);
-  auto optimizer = job.optimizer_factory();
-  auto policy = make_sync_policy(job);
-  GradientCompressor compressor(job.compression);
-  RelativeGradChange grad_change(ewma_alpha_for(job), job.selsync.ewma_window);
-  ShardLoader loader(job.train_data, partition.worker_order[ctx.rank],
-                     local_batch);
-  StepTimeModel time(job.paper_model, job.device, job.network, job.topology,
-                     job.workers);
-  const AggregationMode agg = aggregation_for(job);
-  const uint64_t steps_per_epoch = job.steps_per_epoch();
-  SharedCollectives& coll = *ctx.collectives;
-  const CommGroup full_group = CommGroup::full(job.workers);
-  // Payload transport: shared-memory collectives or the channel-based ring.
-  // The ring accrues its own injected-fault delays into the injector's
-  // pending-delay account; they are drained onto this worker's clock here.
-  auto allreduce = [&](std::vector<float>& data, const CommGroup& group,
-                       double& clock) {
-    if (ring) {
-      ring->run(ctx.rank, data);
-      if (faults) clock += faults->take_pending_delay(ctx.rank);
-    } else {
-      coll.allreduce_sum(ctx.rank, data, group);
-    }
-  };
-  // Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
-  const double speed =
-      job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank];
-
-  double sim_time = 0.0;
-  double comm_bytes = 0.0;
-  uint64_t sync_steps = 0, local_steps = 0, sync_rounds = 0;
-  uint64_t executed = 0;
-  bool reached = false;
-  bool diverged = false;
-  // Fault-injection state: the standing checkpoint (only maintained for
-  // ranks the plan can crash-and-restart) and whether this worker left the
-  // run as a casualty (permanent crash, or cluster stopped while parked).
-  WorkerCheckpoint checkpoint;
-  const bool take_checkpoints = faults && faults->needs_checkpoints(ctx.rank);
-  bool casualty = false;
-
-  // Worker-0 instrumentation, moved into `shared` at the end.
-  std::unique_ptr<EmaTracker> ema;
-  if (ctx.is_root() && job.ema_decay > 0.0)
-    ema = std::make_unique<EmaTracker>(job.ema_decay);
-  std::vector<double> delta_trace, grad_sq_trace;
-  std::vector<EvalPoint> eval_history;
-  std::map<double, std::vector<float>> snapshots;
-  TrainResult local_bests;
-  size_t next_snapshot = 0;
-
-  for (uint64_t it = 0; it < job.max_iterations; ++it) {
-    // ---- fault schedule: checkpoint, crash, park, restart ---------------
-    if (faults) {
-      faults->set_current_iteration(ctx.rank, it);
-      if (take_checkpoints &&
-          it % faults->plan().checkpoint_interval == 0) {
-        save_checkpoint(checkpoint, it, *model, *optimizer, loader);
-        faults->record(ctx.rank, FaultKind::kCheckpoint, it);
-      }
-      if (const CrashEvent* crash =
-              faults->crash_starting_at(ctx.rank, it)) {
-        faults->record(ctx.rank, FaultKind::kCrash, it,
-                       crash->restart
-                           ? static_cast<double>(crash->downtime_iterations)
-                           : -1.0);
-        // A non-restarting crash — or a cluster that stops while this
-        // worker is parked — removes the rank for good; the survivors
-        // carry the run. The rendezvous keeps the restart out of barrier
-        // generations it is not part of: the worker sleeps until the
-        // lowest surviving rank reaches the top of the rejoin iteration.
-        if (!crash->restart || !rejoin->wait_for_rejoin(ctx.rank)) {
-          casualty = true;
-          break;
-        }
-        it = crash->at_iteration + crash->downtime_iterations;
-        faults->set_current_iteration(ctx.rank, it);
-        restore_checkpoint(checkpoint, *model, *optimizer, loader);
-        // The Δ(g) statistic restarts cold: its EWMA window described a
-        // training trajectory the restored replica is no longer on.
-        grad_change =
-            RelativeGradChange(ewma_alpha_for(job), job.selsync.ewma_window);
-        if (!policy->needs_flag_exchange())
-          sync_rounds = sync_rounds_before(*policy, it);
-        sim_time += faults->plan().restart_cost_s;
-        faults->record(ctx.rank, FaultKind::kRestart, it,
-                       faults->plan().restart_cost_s);
-      }
-    }
-    const CommGroup group =
-        faults ? CommGroup::from_mask(faults->active_mask(it)) : full_group;
-
-    // ---- recovery sync: survivors release and re-seed rejoiners ---------
-    if (faults) {
-      const std::vector<size_t> rejoiners = faults->rejoining_at(it);
-      if (!rejoiners.empty()) {
-        const bool i_rejoin =
-            std::find(rejoiners.begin(), rejoiners.end(), ctx.rank) !=
-            rejoiners.end();
-        // Lowest surviving rank (validate guarantees one exists).
-        size_t sync_root = job.workers;
-        for (size_t r = 0; r < job.workers; ++r)
-          if (group.mask[r] && std::find(rejoiners.begin(), rejoiners.end(),
-                                         r) == rejoiners.end()) {
-            sync_root = r;
-            break;
-          }
-        if (ctx.rank == sync_root)
-          for (size_t r : rejoiners) rejoin->release(r);
-        // Every member relays the survivor's parameters, but only rejoiners
-        // adopt them — surviving replicas keep their legitimate drift.
-        std::vector<float> params = model->get_flat_params();
-        coll.broadcast(ctx.rank, sync_root, params, group);
-        if (i_rejoin) {
-          model->set_flat_params(params);
-          faults->record(ctx.rank, FaultKind::kRecoverySync, it);
-        }
-        sim_time = coll.allreduce_max(ctx.rank, sim_time, group) +
-                   time.sync_time_for_bytes(time.payload_bytes());
-        comm_bytes += static_cast<double>(time.payload_bytes());
-      }
-    }
-
-    const double epoch =
-        static_cast<double>(it) / static_cast<double>(steps_per_epoch);
-
-    // ---- data (with optional injection) ---------------------------------
-    Batch batch;
-    if (injector) {
-      const std::vector<size_t> mine = loader.next_indices();
-      {
-        std::lock_guard<std::mutex> lock(shared.mutex);
-        shared.injection_proposals[ctx.rank] = mine;
-        // The group leader clears absent ranks' slots so pooling cannot
-        // resurrect a proposal a worker wrote before crashing.
-        if (ctx.rank == group.leader)
-          for (size_t r = 0; r < job.workers; ++r)
-            if (!group.mask[r]) shared.injection_proposals[r].clear();
-      }
-      coll.barrier(group);
-      const InjectionRound round = injector->run(
-          it, shared.injection_proposals, job.train_data->sample_bytes());
-      coll.barrier(group);  // proposals no longer read after this point
-      std::vector<size_t> combined = mine;
-      combined.insert(combined.end(), round.pool.begin(), round.pool.end());
-      batch = job.train_data->make_batch(combined);
-      sim_time += time.injection_time(round.bytes_transferred);
-      comm_bytes += static_cast<double>(round.bytes_transferred);
-    } else {
-      batch = loader.next_batch();
-    }
-
-    // ---- local gradients + Δ(g_i) ---------------------------------------
-    model->train_step(batch);
-    double compute_factor = speed;
-    if (faults) {
-      if (const StragglerEvent* s =
-              faults->straggler_starting_at(ctx.rank, it))
-        faults->record(ctx.rank, FaultKind::kStragglerStart, it, s->slowdown);
-      compute_factor *= faults->straggler_factor(ctx.rank, it);
-    }
-    sim_time += compute_factor * time.compute_time(job.batch_size);
-    std::vector<float> grads = model->get_flat_grads();
-    const double delta = grad_change.update(sq_norm(grads));
-    if (ctx.is_root()) {
-      if (job.record_delta_trace) delta_trace.push_back(delta);
-      if (job.record_grad_sq_trace)
-        grad_sq_trace.push_back(grad_change.smoothed_sq_norm());
-    }
-
-    // ---- combine votes ---------------------------------------------------
-    const bool vote = policy->local_vote(it, delta);
-    bool any_sync = vote;
-    if (policy->needs_flag_exchange()) {
-      const std::vector<uint8_t> flags =
-          coll.allgather_byte(ctx.rank, vote ? 1 : 0, group);
-      const size_t votes = static_cast<size_t>(
-          std::count_if(flags.begin(), flags.end(),
-                        [](uint8_t f) { return f != 0; }));
-      // Alg. 1 synchronizes when ANY worker votes; sync_quorum generalizes
-      // the rule for the §5.1 ablation (majority, unanimity, ...). Under
-      // degradation the quorum is taken over the surviving group.
-      const size_t needed = std::max<size_t>(
-          1, static_cast<size_t>(std::ceil(job.selsync.sync_quorum *
-                                           static_cast<double>(group.size))));
-      any_sync = votes >= needed;
-      sim_time += time.flag_time();
-      comm_bytes += static_cast<double>(group.size) / 8.0;  // 1 bit each
-    }
-
-    // ---- apply update ----------------------------------------------------
-    // Contributors = group members sampled into this round. Under FedAvg's
-    // C-fraction sampling a degraded group can leave the round with no
-    // contributor at all; the round is then lost (logged as quorum_lost)
-    // but still counts so the sampling sequence stays aligned.
-    size_t contributors = 0;
-    if (any_sync)
-      for (size_t r = 0; r < job.workers; ++r)
-        if (group.mask[r] && policy->participates(sync_rounds, r))
-          ++contributors;
-    if (any_sync && contributors == 0) {
-      if (faults && ctx.rank == group.leader)
-        faults->record(ctx.rank, FaultKind::kQuorumLost, it);
-      optimizer->step(model->params(), it, epoch);
-      ++local_steps;
-      ++sync_rounds;
-    } else if (any_sync) {
-      // Injected comm faults land on this worker's clock before alignment,
-      // so one slow or retrying worker drags the whole round — the paper's
-      // §II-A straggler argument, reproduced at the fault layer.
-      if (faults) {
-        if (!ring) sim_time += message_leg_penalty(*faults, ctx.rank, it);
-        if (job.topology == Topology::kParameterServer)
-          sim_time += ps_retry_penalty(*faults, ctx.rank, it,
-                                       /*allow_give_up=*/false, nullptr);
-      }
-      const bool participant = policy->participates(sync_rounds, ctx.rank);
-      const float weight =
-          participant ? 1.f / static_cast<float>(contributors) : 0.f;
-      if (job.strategy == StrategyKind::kEasgd) {
-        // Elastic update (reference [37]): local models are pulled toward
-        // the center, the center toward the worker mean. The center sits in
-        // shared state; barriers order the read-update-read sequence, and
-        // the group leader (not rank 0, which may be down) applies it.
-        optimizer->step(model->params(), it, epoch);
-        std::vector<float> params = model->get_flat_params();
-        std::vector<float> diff(params.size());
-        for (size_t i = 0; i < params.size(); ++i)
-          diff[i] = params[i] - shared.easgd_center[i];
-        // Workers move first (using the pre-update center)...
-        const float a = static_cast<float>(job.easgd.alpha);
-        for (size_t i = 0; i < params.size(); ++i)
-          params[i] -= a * diff[i];
-        model->set_flat_params(params);
-        // ...then the center absorbs the mean displacement.
-        coll.allreduce_mean(ctx.rank, diff, group);
-        coll.barrier(group);
-        if (ctx.rank == group.leader) {
-          const float b = static_cast<float>(job.easgd.beta);
-          for (size_t i = 0; i < diff.size(); ++i)
-            shared.easgd_center[i] += b * diff[i];
-        }
-        coll.barrier(group);
-      } else if (agg == AggregationMode::kGradients) {
-        // Gradient payloads may be compressed (§II-D baselines); the codec
-        // runs compress->decompress in place and reports the wire ratio.
-        compressor.compress(grads, delta);
-        // Aggregate gradients, everyone applies the same averaged update
-        // (local models may still drift through optimizer state, §III-C).
-        for (auto& g : grads) g *= weight;
-        allreduce(grads, group, sim_time);
-        model->set_flat_grads(grads);
-        optimizer->step(model->params(), it, epoch);
-      } else {
-        // Alg. 1: local update first (line 9), then parameter averaging
-        // (lines 14-15) makes all replicas consistent.
-        optimizer->step(model->params(), it, epoch);
-        std::vector<float> params = model->get_flat_params();
-        for (auto& p : params) p *= weight;
-        allreduce(params, group, sim_time);
-        model->set_flat_params(params);
-      }
-      const size_t wire_bytes =
-          agg == AggregationMode::kGradients
-              ? static_cast<size_t>(static_cast<double>(time.payload_bytes()) *
-                                    compressor.last_wire_ratio())
-              : time.payload_bytes();
-      sim_time = coll.allreduce_max(ctx.rank, sim_time, group) +
-                 time.sync_time_for_bytes(wire_bytes);
-      comm_bytes += 2.0 * static_cast<double>(wire_bytes);
-      ++sync_steps;
-      ++sync_rounds;
-    } else {
-      optimizer->step(model->params(), it, epoch);
-      ++local_steps;
-    }
-    executed = it + 1;
-    if (ema) ema->update(*model);
-
-    // ---- worker-0 snapshots (Fig. 11) ------------------------------------
-    if (ctx.is_root() && next_snapshot < job.snapshot_epochs.size()) {
-      const double boundary = job.snapshot_epochs[next_snapshot];
-      if (static_cast<double>(it + 1) / steps_per_epoch >= boundary) {
-        snapshots[boundary] = model->get_flat_params();
-        ++next_snapshot;
-      }
-    }
-
-    // ---- evaluation + early stop -----------------------------------------
-    if ((it + 1) % job.eval_interval == 0 || it + 1 == job.max_iterations) {
-      double stop_vote = 0.0;
-      if (ctx.is_root()) {
-        EvalPoint pt;
-        if (ema) {
-          EmaEvalScope scope(*ema, *model);  // evaluate the averaged weights
-          pt = make_eval_point(*model, *job.test_data, it + 1,
-                               static_cast<double>(it + 1) / steps_per_epoch,
-                               sim_time);
-        } else {
-          pt = make_eval_point(*model, *job.test_data, it + 1,
-                               static_cast<double>(it + 1) / steps_per_epoch,
-                               sim_time);
-        }
-        eval_history.push_back(pt);
-        update_bests(local_bests, pt);
-        if (target_reached(job, pt)) stop_vote = 1.0;
-        if (!std::isfinite(pt.loss)) {
-          diverged = true;  // non-finite loss: stop instead of burning budget
-          stop_vote = 1.0;
-        }
-      }
-      // With worker 0 down the evaluation is simply missed for those
-      // boundaries (degraded observability); the survivors still agree on
-      // "no stop" through the group reduction.
-      if (coll.allreduce_max(ctx.rank, stop_vote, group) > 0.5) {
-        double diverged_vote = diverged ? 1.0 : 0.0;
-        diverged = coll.allreduce_max(ctx.rank, diverged_vote, group) > 0.5;
-        reached = !diverged;
-        break;
-      }
-    }
-  }
-
-  // Normal exits tear the rendezvous down so a parked worker cannot outlive
-  // the cluster; a casualty leaves it armed for peers still due to rejoin.
-  if (rejoin && !casualty) rejoin->shutdown();
-
-  // ---- publish results ----------------------------------------------------
-  std::lock_guard<std::mutex> lock(shared.mutex);
-  shared.worker_sim_time[ctx.rank] = sim_time;
-  if (ctx.is_root()) {
-    TrainResult& r = shared.result;
-    r.iterations = executed;
-    r.sync_steps = sync_steps;
-    r.local_steps = local_steps;
-    r.comm_bytes = comm_bytes;
-    r.eval_history = std::move(eval_history);
-    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
-    r.best_top1 = local_bests.best_top1;
-    r.best_top5 = local_bests.best_top5;
-    r.best_perplexity = local_bests.best_perplexity;
-    r.reached_target = reached;
-    r.diverged = diverged;
-    r.delta_trace = std::move(delta_trace);
-    r.grad_sq_trace = std::move(grad_sq_trace);
-    r.weight_snapshots = std::move(snapshots);
-  }
-}
+using detail::SharedSspState;
+using detail::SharedSyncState;
+using detail::SspWorkerLoop;
+using detail::SynchronousWorkerLoop;
 
 TrainResult run_synchronous(const TrainJob& job) {
   const Partition partition =
@@ -566,19 +47,28 @@ TrainResult run_synchronous(const TrainJob& job) {
   shared.worker_sim_time.assign(job.workers, 0.0);
   if (job.strategy == StrategyKind::kEasgd)
     shared.easgd_center = job.model_factory(job.seed)->get_flat_params();
-  std::unique_ptr<RingAllreduce> ring;
-  if (job.transport == Transport::kMessagePassingRing)
-    ring = std::make_unique<RingAllreduce>(job.workers, faults.get());
+
+  CommBackendConfig backend_config;
+  backend_config.kind = job.backend;
+  backend_config.workers = job.workers;
+  backend_config.topology = job.topology;
+  backend_config.faults = faults.get();
+  if (job.backend == BackendKind::kParameterServer)
+    backend_config.initial_params =
+        job.model_factory(job.seed)->get_flat_params();
+  std::unique_ptr<CommBackend> backend = make_comm_backend(backend_config);
+
   WallTimer wall;
   run_cluster(
       job.workers,
       [&](WorkerContext& ctx) {
-        run_synchronous_worker(job, ctx, partition, local_batch,
-                               injector.get(), ring.get(), faults.get(),
-                               rejoin.get(), shared);
+        SynchronousWorkerLoop loop(job, ctx, partition, local_batch,
+                                   injector.get(), *backend, faults.get(),
+                                   rejoin.get(), shared);
+        loop.run();
       },
       [&] {
-        if (ring) ring->close_all();
+        backend->abort();
         if (rejoin) rejoin->shutdown();
       });
   shared.result.sim_time_s = *std::max_element(
@@ -588,155 +78,7 @@ TrainResult run_synchronous(const TrainJob& job) {
   return shared.result;
 }
 
-struct SharedSspState {
-  std::mutex mutex;
-  TrainResult result;
-  std::atomic<bool> stop{false};
-  std::vector<double> worker_sim_time;
-};
-
-void run_ssp_worker(const TrainJob& job, WorkerContext& ctx,
-                    const Partition& partition, ParameterServer& ps,
-                    FaultInjector* faults, SharedSspState& shared) {
-  auto model = job.model_factory(job.seed);
-  auto optimizer = job.optimizer_factory();  // provides the LR schedule
-  ShardLoader loader(job.train_data, partition.worker_order[ctx.rank],
-                     job.batch_size);
-  StepTimeModel time(job.paper_model, job.device, job.network, job.topology,
-                     job.workers);
-  const uint64_t steps_per_epoch = job.steps_per_epoch();
-  const double speed =
-      job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank];
-
-  double sim_time = 0.0;
-  double comm_bytes = 0.0;
-  uint64_t executed = 0;
-  bool reached = false;
-  bool diverged = false;
-  std::vector<EvalPoint> eval_history;
-  TrainResult local_bests;
-  WorkerCheckpoint checkpoint;
-  const bool take_checkpoints = faults && faults->needs_checkpoints(ctx.rank);
-  // Iterations up to (exclusive) this mark already had their crash fired;
-  // a rewound loop must not re-fire the same crash on replay.
-  uint64_t crash_fired_until = 0;
-
-  uint64_t it = 0;
-  while (it < job.max_iterations) {
-    if (shared.stop.load()) break;
-    double compute_factor = speed;
-    bool skip_ps = false;
-    if (faults) {
-      faults->set_current_iteration(ctx.rank, it);
-      if (take_checkpoints &&
-          it % faults->plan().checkpoint_interval == 0) {
-        save_checkpoint(checkpoint, it, *model, *optimizer, loader);
-        faults->record(ctx.rank, FaultKind::kCheckpoint, it);
-      }
-      const CrashEvent* crash = faults->crash_starting_at(ctx.rank, it);
-      if (crash && crash->at_iteration >= crash_fired_until) {
-        crash_fired_until = crash->at_iteration + 1;
-        faults->record(ctx.rank, FaultKind::kCrash, it,
-                       crash->restart
-                           ? static_cast<double>(crash->downtime_iterations)
-                           : -1.0);
-        if (!crash->restart) break;  // permanent: survivors carry the run
-        // SSP has no collective coupling, so a restart is a plain rewind to
-        // the last checkpoint: the replayed iterations are the lost work,
-        // and the staleness bound then holds fast workers to the rewound
-        // clock — exactly the straggler effect a real crash has.
-        restore_checkpoint(checkpoint, *model, *optimizer, loader);
-        it = checkpoint.iteration;
-        faults->set_current_iteration(ctx.rank, it);
-        sim_time += faults->plan().restart_cost_s;
-        faults->record(ctx.rank, FaultKind::kRestart, it,
-                       faults->plan().restart_cost_s);
-        continue;
-      }
-      if (const StragglerEvent* s =
-              faults->straggler_starting_at(ctx.rank, it))
-        faults->record(ctx.rank, FaultKind::kStragglerStart, it, s->slowdown);
-      compute_factor *= faults->straggler_factor(ctx.rank, it);
-      sim_time += message_leg_penalty(*faults, ctx.rank, it);
-      bool gave_up = false;
-      sim_time += ps_retry_penalty(*faults, ctx.rank, it,
-                                   /*allow_give_up=*/true, &gave_up);
-      skip_ps = gave_up;
-    }
-    const double epoch =
-        static_cast<double>(it) / static_cast<double>(steps_per_epoch);
-
-    if (skip_ps) {
-      // Degraded step: the PS is unreachable past the retry budget, so the
-      // worker trains on its stale local replica and drops this push.
-      const Batch batch = loader.next_batch();
-      model->train_step(batch);
-      optimizer->step(model->params(), it, epoch);
-      sim_time += compute_factor * time.compute_time(job.batch_size);
-    } else {
-      // Pull the (possibly stale) global parameters, take one step with the
-      // local optimizer (its momentum/Adam state stays worker-local), and
-      // push the resulting parameter delta asynchronously (paper §II-C:
-      // workers "independently update the global parameters on the central
-      // PS in a non-blocking manner").
-      const std::vector<float> pulled = ps.pull();
-      model->set_flat_params(pulled);
-      const Batch batch = loader.next_batch();
-      model->train_step(batch);
-      optimizer->step(model->params(), it, epoch);
-      std::vector<float> delta = model->get_flat_params();
-      for (size_t i = 0; i < delta.size(); ++i) delta[i] -= pulled[i];
-      ps.apply_delta_async(delta);
-
-      sim_time += compute_factor * time.compute_time(job.batch_size) +
-                  time.ssp_step_comm_time(job.batch_size);
-      comm_bytes += 2.0 * static_cast<double>(time.payload_bytes());
-    }
-    executed = it + 1;
-
-    ps.enforce_staleness(ctx.rank, it + 1, job.ssp.staleness);
-
-    if (ctx.is_root() &&
-        ((it + 1) % job.eval_interval == 0 || it + 1 == job.max_iterations)) {
-      model->set_flat_params(ps.pull());
-      const EvalPoint pt = make_eval_point(
-          *model, *job.test_data, it + 1,
-          static_cast<double>(it + 1) / steps_per_epoch, sim_time);
-      eval_history.push_back(pt);
-      update_bests(local_bests, pt);
-      if (target_reached(job, pt)) {
-        reached = true;
-        shared.stop.store(true);
-      }
-      if (!std::isfinite(pt.loss)) {
-        diverged = true;  // stop the cluster; the run is unrecoverable
-        shared.stop.store(true);
-      }
-    }
-    ++it;
-  }
-  ps.finish(ctx.rank);
-
-  std::lock_guard<std::mutex> lock(shared.mutex);
-  shared.worker_sim_time[ctx.rank] = sim_time;
-  if (ctx.is_root()) {
-    TrainResult& r = shared.result;
-    r.iterations = executed;
-    r.lssr_applicable = false;
-    r.comm_bytes = comm_bytes;
-    r.eval_history = std::move(eval_history);
-    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
-    r.best_top1 = local_bests.best_top1;
-    r.best_top5 = local_bests.best_top5;
-    r.best_perplexity = local_bests.best_perplexity;
-    r.reached_target = reached;
-    r.diverged = diverged;
-  }
-}
-
 TrainResult run_ssp(const TrainJob& job) {
-  auto reference = job.model_factory(job.seed);
-  ParameterServer ps(reference->get_flat_params(), job.workers);
   const Partition partition =
       make_partition(job.partition, *job.train_data, job.workers,
                      job.labels_per_worker, job.seed ^ 0xDA7AULL);
@@ -744,15 +86,29 @@ TrainResult run_ssp(const TrainJob& job) {
   if (job.faults.enabled())
     faults = std::make_unique<FaultInjector>(job.faults, job.workers);
 
+  // SSP is defined against a central store, so it always runs on the
+  // parameter-server backend regardless of the job's backend knob (the knob
+  // selects how *synchronous* payloads move).
+  CommBackendConfig backend_config;
+  backend_config.kind = BackendKind::kParameterServer;
+  backend_config.workers = job.workers;
+  backend_config.topology = job.topology;
+  backend_config.faults = faults.get();
+  backend_config.initial_params =
+      job.model_factory(job.seed)->get_flat_params();
+  std::unique_ptr<CommBackend> backend = make_comm_backend(backend_config);
+
   SharedSspState shared;
   shared.worker_sim_time.assign(job.workers, 0.0);
   WallTimer wall;
   run_cluster(
       job.workers,
       [&](WorkerContext& ctx) {
-        run_ssp_worker(job, ctx, partition, ps, faults.get(), shared);
+        SspWorkerLoop loop(job, ctx, partition, *backend, faults.get(),
+                           shared);
+        loop.run();
       },
-      [&] { ps.abort(); });
+      [&] { backend->abort(); });
   shared.result.sim_time_s = *std::max_element(shared.worker_sim_time.begin(),
                                                shared.worker_sim_time.end());
   shared.result.wall_time_s = wall.elapsed_s();

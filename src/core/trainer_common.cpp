@@ -1,0 +1,78 @@
+#include "core/trainer_internal.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace selsync::detail {
+
+double ewma_alpha_for(const TrainJob& job) {
+  if (job.selsync.ewma_alpha > 0.0) return std::min(job.selsync.ewma_alpha, 1.0);
+  // Paper: smoothing factor N/100 (0.16 for a 16-node cluster).
+  return std::clamp(static_cast<double>(job.workers) / 100.0, 0.02, 1.0);
+}
+
+double sq_norm(const std::vector<float>& v) {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * x;
+  return s;
+}
+
+EvalPoint make_eval_point(Model& model, const Dataset& test, uint64_t iteration,
+                          double epoch, double sim_time) {
+  const EvalStats stats =
+      evaluate_dataset(model, test, std::min<size_t>(kEvalBatch, test.size()));
+  EvalPoint pt;
+  pt.iteration = iteration;
+  pt.epoch = epoch;
+  pt.sim_time_s = sim_time;
+  pt.loss = stats.mean_loss();
+  pt.top1 = stats.top1_accuracy();
+  pt.top5 = stats.top5_accuracy();
+  pt.perplexity = stats.perplexity();
+  return pt;
+}
+
+bool target_reached(const TrainJob& job, const EvalPoint& pt) {
+  if (job.target_top1 && pt.top1 >= *job.target_top1) return true;
+  if (job.target_perplexity && pt.perplexity <= *job.target_perplexity)
+    return true;
+  return false;
+}
+
+void update_bests(TrainResult& result, const EvalPoint& pt) {
+  result.best_top1 = std::max(result.best_top1, pt.top1);
+  result.best_top5 = std::max(result.best_top5, pt.top5);
+  result.best_perplexity = std::min(result.best_perplexity, pt.perplexity);
+}
+
+AggregationMode aggregation_for(const TrainJob& job) {
+  switch (job.strategy) {
+    case StrategyKind::kBsp:
+      return AggregationMode::kGradients;  // classic BSP allreduce
+    case StrategyKind::kSelSync:
+      return job.selsync.aggregation;
+    default:
+      return AggregationMode::kParameters;  // FedAvg averages models
+  }
+}
+
+void save_checkpoint(WorkerCheckpoint& ckpt, uint64_t iteration, Model& model,
+                     const Optimizer& optimizer, const ShardLoader& loader) {
+  ckpt.iteration = iteration;
+  ckpt.params = model.get_flat_params();
+  std::ostringstream out;
+  optimizer.save_state(out);
+  ckpt.optimizer_state = out.str();
+  ckpt.cursor = loader.cursor();
+  ckpt.consumed = loader.consumed();
+}
+
+void restore_checkpoint(const WorkerCheckpoint& ckpt, Model& model,
+                        Optimizer& optimizer, ShardLoader& loader) {
+  model.set_flat_params(ckpt.params);
+  std::istringstream in(ckpt.optimizer_state);
+  optimizer.load_state(in);
+  loader.restore_position(ckpt.cursor, ckpt.consumed);
+}
+
+}  // namespace selsync::detail

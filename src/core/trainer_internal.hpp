@@ -1,0 +1,50 @@
+// Helpers shared by the trainer's setup code and the WorkerLoop stages
+// (split out of the pre-refactor trainer monolith). Internal to src/core —
+// nothing here is part of the public training API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace selsync::detail {
+
+inline constexpr size_t kEvalBatch = 256;
+
+/// EWMA smoothing factor for Δ(g): explicit job value, else the paper's
+/// N/100 rule clamped to [0.02, 1].
+double ewma_alpha_for(const TrainJob& job);
+
+double sq_norm(const std::vector<float>& v);
+
+EvalPoint make_eval_point(Model& model, const Dataset& test, uint64_t iteration,
+                          double epoch, double sim_time);
+
+bool target_reached(const TrainJob& job, const EvalPoint& pt);
+
+void update_bests(TrainResult& result, const EvalPoint& pt);
+
+/// Which payload the aggregation rounds move for a given job (§III-C).
+AggregationMode aggregation_for(const TrainJob& job);
+
+/// In-memory checkpoint a worker restores after a restartable crash
+/// (DESIGN.md "Failure model"): the local replica's state — parameters,
+/// optimizer moments and the shard-stream position. The global view is
+/// refreshed separately by the recovery sync.
+struct WorkerCheckpoint {
+  uint64_t iteration = 0;
+  std::vector<float> params;
+  std::string optimizer_state;
+  size_t cursor = 0;
+  size_t consumed = 0;
+};
+
+void save_checkpoint(WorkerCheckpoint& ckpt, uint64_t iteration, Model& model,
+                     const Optimizer& optimizer, const ShardLoader& loader);
+
+void restore_checkpoint(const WorkerCheckpoint& ckpt, Model& model,
+                        Optimizer& optimizer, ShardLoader& loader);
+
+}  // namespace selsync::detail

@@ -1,0 +1,502 @@
+#include "core/worker_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selsync::detail {
+
+WorkerLoop::WorkerLoop(const TrainJob& job, WorkerContext& ctx,
+                       const Partition& partition, size_t local_batch,
+                       CommBackend& backend, FaultInjector* faults)
+    : job_(job),
+      ctx_(ctx),
+      backend_(backend),
+      faults_(faults),
+      model_(job.model_factory(job.seed)),
+      optimizer_(job.optimizer_factory()),
+      loader_(job.train_data, partition.worker_order[ctx.rank], local_batch),
+      time_(job.paper_model, job.device, job.network, job.topology,
+            job.workers),
+      steps_per_epoch_(job.steps_per_epoch()),
+      speed_(job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank]),
+      take_checkpoints_(faults && faults->needs_checkpoints(ctx.rank)) {}
+
+void WorkerLoop::run() {
+  while (it_ < job_.max_iterations && !stop_requested()) {
+    const FaultAction action = fault_stage();
+    if (action == FaultAction::kExit) break;
+    if (action == FaultAction::kRetry) continue;
+    data_stage();
+    compute_stage();
+    aggregation_stage(sync_decision_stage());
+    executed_ = it_ + 1;
+    if (instrumentation_stage()) break;
+    ++it_;
+  }
+  finish_worker();
+  publish();
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous loop
+// ---------------------------------------------------------------------------
+
+SynchronousWorkerLoop::SynchronousWorkerLoop(
+    const TrainJob& job, WorkerContext& ctx, const Partition& partition,
+    size_t local_batch, const DataInjector* injector, CommBackend& backend,
+    FaultInjector* faults, RejoinCoordinator* rejoin, SharedSyncState& shared)
+    : WorkerLoop(job, ctx, partition, local_batch, backend, faults),
+      injector_(injector),
+      rejoin_(rejoin),
+      shared_(shared),
+      policy_(make_sync_policy(job)),
+      compressor_(job.compression),
+      grad_change_(ewma_alpha_for(job), job.selsync.ewma_window),
+      agg_(aggregation_for(job)),
+      full_group_(CommGroup::full(job.workers)),
+      group_(full_group_) {
+  if (is_root() && job.ema_decay > 0.0)
+    ema_ = std::make_unique<EmaTracker>(job.ema_decay);
+}
+
+WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
+  // ---- checkpoint, crash, park, restart -----------------------------------
+  if (faults_) {
+    faults_->set_current_iteration(ctx_.rank, it_);
+    if (take_checkpoints_ &&
+        it_ % faults_->plan().checkpoint_interval == 0) {
+      save_checkpoint(checkpoint_, it_, *model_, *optimizer_, loader_);
+      faults_->record(ctx_.rank, FaultKind::kCheckpoint, it_);
+    }
+    if (const CrashEvent* crash =
+            faults_->crash_starting_at(ctx_.rank, it_)) {
+      faults_->record(ctx_.rank, FaultKind::kCrash, it_,
+                      crash->restart
+                          ? static_cast<double>(crash->downtime_iterations)
+                          : -1.0);
+      // A non-restarting crash — or a cluster that stops while this worker
+      // is parked — removes the rank for good; the survivors carry the run.
+      // The rendezvous keeps the restart out of barrier generations it is
+      // not part of: the worker sleeps until the lowest surviving rank
+      // reaches the top of the rejoin iteration.
+      if (!crash->restart || !rejoin_->wait_for_rejoin(ctx_.rank)) {
+        casualty_ = true;
+        return FaultAction::kExit;
+      }
+      it_ = crash->at_iteration + crash->downtime_iterations;
+      faults_->set_current_iteration(ctx_.rank, it_);
+      restore_checkpoint(checkpoint_, *model_, *optimizer_, loader_);
+      // The Δ(g) statistic restarts cold: its EWMA window described a
+      // training trajectory the restored replica is no longer on.
+      grad_change_ =
+          RelativeGradChange(ewma_alpha_for(job_), job_.selsync.ewma_window);
+      if (!policy_->needs_flag_exchange())
+        sync_rounds_ = policy_->rounds_before(it_);
+      sim_time_ += faults_->plan().restart_cost_s;
+      faults_->record(ctx_.rank, FaultKind::kRestart, it_,
+                      faults_->plan().restart_cost_s);
+    }
+  }
+  group_ =
+      faults_ ? CommGroup::from_mask(faults_->active_mask(it_)) : full_group_;
+
+  // ---- recovery sync: survivors release and re-seed rejoiners -------------
+  if (faults_) {
+    const std::vector<size_t> rejoiners = faults_->rejoining_at(it_);
+    if (!rejoiners.empty()) {
+      const bool i_rejoin =
+          std::find(rejoiners.begin(), rejoiners.end(), ctx_.rank) !=
+          rejoiners.end();
+      // Lowest surviving rank (validate guarantees one exists).
+      size_t sync_root = job_.workers;
+      for (size_t r = 0; r < job_.workers; ++r)
+        if (group_.mask[r] && std::find(rejoiners.begin(), rejoiners.end(),
+                                        r) == rejoiners.end()) {
+          sync_root = r;
+          break;
+        }
+      if (ctx_.rank == sync_root)
+        for (size_t r : rejoiners) rejoin_->release(r);
+      // Every member relays the survivor's parameters, but only rejoiners
+      // adopt them — surviving replicas keep their legitimate drift.
+      std::vector<float> params = model_->get_flat_params();
+      backend_.broadcast(ctx_, sync_root, params, group_);
+      if (i_rejoin) {
+        model_->set_flat_params(params);
+        faults_->record(ctx_.rank, FaultKind::kRecoverySync, it_);
+      }
+      sim_time_ =
+          backend_.allreduce_max(ctx_, sim_time_, group_) +
+          time_.sync_time_for_bytes(time_.payload_bytes(), backend_);
+      comm_bytes_ += static_cast<double>(time_.payload_bytes());
+    }
+  }
+  return FaultAction::kProceed;
+}
+
+void SynchronousWorkerLoop::data_stage() {
+  epoch_ = static_cast<double>(it_) / static_cast<double>(steps_per_epoch_);
+  if (injector_) {
+    const std::vector<size_t> mine = loader_.next_indices();
+    {
+      std::lock_guard<std::mutex> lock(shared_.mutex);
+      shared_.injection_proposals[ctx_.rank] = mine;
+      // The group leader clears absent ranks' slots so pooling cannot
+      // resurrect a proposal a worker wrote before crashing.
+      if (ctx_.rank == group_.leader)
+        for (size_t r = 0; r < job_.workers; ++r)
+          if (!group_.mask[r]) shared_.injection_proposals[r].clear();
+    }
+    backend_.barrier(ctx_, group_);
+    const InjectionRound round = injector_->run(
+        it_, shared_.injection_proposals, job_.train_data->sample_bytes());
+    backend_.barrier(ctx_, group_);  // proposals no longer read after this
+    std::vector<size_t> combined = mine;
+    combined.insert(combined.end(), round.pool.begin(), round.pool.end());
+    batch_ = job_.train_data->make_batch(combined);
+    sim_time_ += time_.injection_time(round.bytes_transferred);
+    comm_bytes_ += static_cast<double>(round.bytes_transferred);
+  } else {
+    batch_ = loader_.next_batch();
+  }
+}
+
+void SynchronousWorkerLoop::compute_stage() {
+  model_->train_step(batch_);
+  compute_factor_ = speed_;
+  if (faults_) {
+    if (const StragglerEvent* s =
+            faults_->straggler_starting_at(ctx_.rank, it_))
+      faults_->record(ctx_.rank, FaultKind::kStragglerStart, it_,
+                      s->slowdown);
+    compute_factor_ *= faults_->straggler_factor(ctx_.rank, it_);
+  }
+  sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size);
+  grads_ = model_->get_flat_grads();
+  delta_ = grad_change_.update(sq_norm(grads_));
+  if (is_root()) {
+    if (job_.record_delta_trace) delta_trace_.push_back(delta_);
+    if (job_.record_grad_sq_trace)
+      grad_sq_trace_.push_back(grad_change_.smoothed_sq_norm());
+  }
+}
+
+bool SynchronousWorkerLoop::sync_decision_stage() {
+  const bool vote = policy_->local_vote(it_, delta_);
+  bool any_sync = vote;
+  if (policy_->needs_flag_exchange()) {
+    const std::vector<uint8_t> flags =
+        backend_.allgather_flags(ctx_, vote ? 1 : 0, group_);
+    const size_t votes = static_cast<size_t>(
+        std::count_if(flags.begin(), flags.end(),
+                      [](uint8_t f) { return f != 0; }));
+    // Alg. 1 synchronizes when ANY worker votes; sync_quorum generalizes
+    // the rule for the §5.1 ablation (majority, unanimity, ...). Under
+    // degradation the quorum is taken over the surviving group.
+    const size_t needed = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(job_.selsync.sync_quorum *
+                                         static_cast<double>(group_.size))));
+    any_sync = votes >= needed;
+    sim_time_ += time_.flag_time();
+    comm_bytes_ += static_cast<double>(group_.size) / 8.0;  // 1 bit each
+  }
+  return any_sync;
+}
+
+void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
+  // Contributors = group members sampled into this round. Under FedAvg's
+  // C-fraction sampling a degraded group can leave the round with no
+  // contributor at all; the round is then lost (logged as quorum_lost)
+  // but still counts so the sampling sequence stays aligned.
+  size_t contributors = 0;
+  if (any_sync)
+    for (size_t r = 0; r < job_.workers; ++r)
+      if (group_.mask[r] && policy_->participates(sync_rounds_, r))
+        ++contributors;
+  if (any_sync && contributors == 0) {
+    if (faults_ && ctx_.rank == group_.leader)
+      faults_->record(ctx_.rank, FaultKind::kQuorumLost, it_);
+    optimizer_->step(model_->params(), it_, epoch_);
+    ++local_steps_;
+    ++sync_rounds_;
+  } else if (any_sync) {
+    // Injected comm faults land on this worker's clock before alignment,
+    // so one slow or retrying worker drags the whole round — the paper's
+    // §II-A straggler argument, reproduced at the fault layer.
+    if (faults_)
+      sim_time_ += backend_.sync_fault_penalty(*faults_, ctx_.rank, it_);
+    const bool participant = policy_->participates(sync_rounds_, ctx_.rank);
+    const float weight =
+        participant ? 1.f / static_cast<float>(contributors) : 0.f;
+    if (job_.strategy == StrategyKind::kEasgd) {
+      // Elastic update (reference [37]): local models are pulled toward
+      // the center, the center toward the worker mean. The center sits in
+      // shared state; barriers order the read-update-read sequence, and
+      // the group leader (not rank 0, which may be down) applies it. The
+      // elastic exchange stays on the shared bus on every backend — the
+      // center variable is shared memory, not a payload in flight.
+      SharedCollectives& coll = *ctx_.collectives;
+      optimizer_->step(model_->params(), it_, epoch_);
+      std::vector<float> params = model_->get_flat_params();
+      std::vector<float> diff(params.size());
+      for (size_t i = 0; i < params.size(); ++i)
+        diff[i] = params[i] - shared_.easgd_center[i];
+      // Workers move first (using the pre-update center)...
+      const float a = static_cast<float>(job_.easgd.alpha);
+      for (size_t i = 0; i < params.size(); ++i)
+        params[i] -= a * diff[i];
+      model_->set_flat_params(params);
+      // ...then the center absorbs the mean displacement.
+      coll.allreduce_mean(ctx_.rank, diff, group_);
+      coll.barrier(group_);
+      if (ctx_.rank == group_.leader) {
+        const float b = static_cast<float>(job_.easgd.beta);
+        for (size_t i = 0; i < diff.size(); ++i)
+          shared_.easgd_center[i] += b * diff[i];
+      }
+      coll.barrier(group_);
+    } else if (agg_ == AggregationMode::kGradients) {
+      // Gradient payloads may be compressed (§II-D baselines); the codec
+      // runs compress->decompress in place and reports the wire ratio.
+      compressor_.compress(grads_, delta_);
+      // Aggregate gradients, everyone applies the same averaged update
+      // (local models may still drift through optimizer state, §III-C).
+      for (auto& g : grads_) g *= weight;
+      backend_.allreduce(ctx_, grads_, group_, sim_time_);
+      model_->set_flat_grads(grads_);
+      optimizer_->step(model_->params(), it_, epoch_);
+    } else {
+      // Alg. 1: local update first (line 9), then parameter averaging
+      // (lines 14-15) makes all replicas consistent.
+      optimizer_->step(model_->params(), it_, epoch_);
+      std::vector<float> params = model_->get_flat_params();
+      for (auto& p : params) p *= weight;
+      backend_.allreduce(ctx_, params, group_, sim_time_);
+      model_->set_flat_params(params);
+    }
+    const size_t wire_bytes =
+        agg_ == AggregationMode::kGradients
+            ? static_cast<size_t>(static_cast<double>(time_.payload_bytes()) *
+                                  compressor_.last_wire_ratio())
+            : time_.payload_bytes();
+    sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
+                time_.sync_time_for_bytes(wire_bytes, backend_);
+    comm_bytes_ += 2.0 * static_cast<double>(wire_bytes);
+    ++sync_steps_;
+    ++sync_rounds_;
+  } else {
+    optimizer_->step(model_->params(), it_, epoch_);
+    ++local_steps_;
+  }
+}
+
+bool SynchronousWorkerLoop::instrumentation_stage() {
+  if (ema_) ema_->update(*model_);
+
+  // ---- worker-0 snapshots (Fig. 11) ---------------------------------------
+  if (is_root() && next_snapshot_ < job_.snapshot_epochs.size()) {
+    const double boundary = job_.snapshot_epochs[next_snapshot_];
+    if (static_cast<double>(it_ + 1) / steps_per_epoch_ >= boundary) {
+      snapshots_[boundary] = model_->get_flat_params();
+      ++next_snapshot_;
+    }
+  }
+
+  // ---- evaluation + early stop --------------------------------------------
+  if ((it_ + 1) % job_.eval_interval == 0 || it_ + 1 == job_.max_iterations) {
+    double stop_vote = 0.0;
+    if (is_root()) {
+      EvalPoint pt;
+      if (ema_) {
+        EmaEvalScope scope(*ema_, *model_);  // evaluate the averaged weights
+        pt = make_eval_point(*model_, *job_.test_data, it_ + 1,
+                             static_cast<double>(it_ + 1) / steps_per_epoch_,
+                             sim_time_);
+      } else {
+        pt = make_eval_point(*model_, *job_.test_data, it_ + 1,
+                             static_cast<double>(it_ + 1) / steps_per_epoch_,
+                             sim_time_);
+      }
+      eval_history_.push_back(pt);
+      update_bests(local_bests_, pt);
+      if (target_reached(job_, pt)) stop_vote = 1.0;
+      if (!std::isfinite(pt.loss)) {
+        diverged_ = true;  // non-finite loss: stop instead of burning budget
+        stop_vote = 1.0;
+      }
+    }
+    // With worker 0 down the evaluation is simply missed for those
+    // boundaries (degraded observability); the survivors still agree on
+    // "no stop" through the group reduction.
+    if (backend_.allreduce_max(ctx_, stop_vote, group_) > 0.5) {
+      double diverged_vote = diverged_ ? 1.0 : 0.0;
+      diverged_ = backend_.allreduce_max(ctx_, diverged_vote, group_) > 0.5;
+      reached_ = !diverged_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SynchronousWorkerLoop::finish_worker() {
+  // Normal exits tear the rendezvous down so a parked worker cannot outlive
+  // the cluster; a casualty leaves it armed for peers still due to rejoin.
+  if (rejoin_ && !casualty_) rejoin_->shutdown();
+}
+
+void SynchronousWorkerLoop::publish() {
+  std::lock_guard<std::mutex> lock(shared_.mutex);
+  shared_.worker_sim_time[ctx_.rank] = sim_time_;
+  if (is_root()) {
+    TrainResult& r = shared_.result;
+    r.iterations = executed_;
+    r.sync_steps = sync_steps_;
+    r.local_steps = local_steps_;
+    r.comm_bytes = comm_bytes_;
+    r.eval_history = std::move(eval_history_);
+    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
+    r.best_top1 = local_bests_.best_top1;
+    r.best_top5 = local_bests_.best_top5;
+    r.best_perplexity = local_bests_.best_perplexity;
+    r.reached_target = reached_;
+    r.diverged = diverged_;
+    r.delta_trace = std::move(delta_trace_);
+    r.grad_sq_trace = std::move(grad_sq_trace_);
+    r.weight_snapshots = std::move(snapshots_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSP loop
+// ---------------------------------------------------------------------------
+
+SspWorkerLoop::SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
+                             const Partition& partition, CommBackend& backend,
+                             FaultInjector* faults, SharedSspState& shared)
+    : WorkerLoop(job, ctx, partition, job.batch_size, backend, faults),
+      shared_(shared),
+      ps_(*backend.central_store()) {}
+
+WorkerLoop::FaultAction SspWorkerLoop::fault_stage() {
+  compute_factor_ = speed_;
+  skip_ps_ = false;
+  if (faults_) {
+    faults_->set_current_iteration(ctx_.rank, it_);
+    if (take_checkpoints_ &&
+        it_ % faults_->plan().checkpoint_interval == 0) {
+      save_checkpoint(checkpoint_, it_, *model_, *optimizer_, loader_);
+      faults_->record(ctx_.rank, FaultKind::kCheckpoint, it_);
+    }
+    const CrashEvent* crash = faults_->crash_starting_at(ctx_.rank, it_);
+    if (crash && crash->at_iteration >= crash_fired_until_) {
+      crash_fired_until_ = crash->at_iteration + 1;
+      faults_->record(ctx_.rank, FaultKind::kCrash, it_,
+                      crash->restart
+                          ? static_cast<double>(crash->downtime_iterations)
+                          : -1.0);
+      if (!crash->restart)
+        return FaultAction::kExit;  // permanent: survivors carry the run
+      // SSP has no collective coupling, so a restart is a plain rewind to
+      // the last checkpoint: the replayed iterations are the lost work,
+      // and the staleness bound then holds fast workers to the rewound
+      // clock — exactly the straggler effect a real crash has.
+      restore_checkpoint(checkpoint_, *model_, *optimizer_, loader_);
+      it_ = checkpoint_.iteration;
+      faults_->set_current_iteration(ctx_.rank, it_);
+      sim_time_ += faults_->plan().restart_cost_s;
+      faults_->record(ctx_.rank, FaultKind::kRestart, it_,
+                      faults_->plan().restart_cost_s);
+      return FaultAction::kRetry;
+    }
+    if (const StragglerEvent* s =
+            faults_->straggler_starting_at(ctx_.rank, it_))
+      faults_->record(ctx_.rank, FaultKind::kStragglerStart, it_,
+                      s->slowdown);
+    compute_factor_ *= faults_->straggler_factor(ctx_.rank, it_);
+    sim_time_ += message_leg_penalty(*faults_, ctx_.rank, it_);
+    bool gave_up = false;
+    sim_time_ += ps_retry_penalty(*faults_, ctx_.rank, it_,
+                                  /*allow_give_up=*/true, &gave_up);
+    skip_ps_ = gave_up;
+  }
+  return FaultAction::kProceed;
+}
+
+void SspWorkerLoop::data_stage() {
+  epoch_ = static_cast<double>(it_) / static_cast<double>(steps_per_epoch_);
+  if (!skip_ps_) {
+    // Pull the (possibly stale) global parameters before loading data
+    // (paper §II-C: workers "independently update the global parameters on
+    // the central PS in a non-blocking manner").
+    pulled_ = ps_.pull();
+    model_->set_flat_params(pulled_);
+  }
+  batch_ = loader_.next_batch();
+}
+
+void SspWorkerLoop::compute_stage() {
+  model_->train_step(batch_);
+  optimizer_->step(model_->params(), it_, epoch_);
+  if (skip_ps_) {
+    // Degraded step: train on the stale local replica, drop this push.
+    sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size);
+  } else {
+    // One local step (momentum/Adam state stays worker-local), then push
+    // the resulting parameter delta asynchronously.
+    std::vector<float> delta = model_->get_flat_params();
+    for (size_t i = 0; i < delta.size(); ++i) delta[i] -= pulled_[i];
+    ps_.apply_delta_async(delta);
+    sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size) +
+                 time_.ssp_step_comm_time(job_.batch_size);
+    comm_bytes_ += 2.0 * static_cast<double>(time_.payload_bytes());
+  }
+}
+
+void SspWorkerLoop::aggregation_stage(bool) {
+  executed_ = it_ + 1;
+  ps_.enforce_staleness(ctx_.rank, it_ + 1, job_.ssp.staleness);
+}
+
+bool SspWorkerLoop::instrumentation_stage() {
+  if (is_root() &&
+      ((it_ + 1) % job_.eval_interval == 0 ||
+       it_ + 1 == job_.max_iterations)) {
+    model_->set_flat_params(ps_.pull());
+    const EvalPoint pt = make_eval_point(
+        *model_, *job_.test_data, it_ + 1,
+        static_cast<double>(it_ + 1) / steps_per_epoch_, sim_time_);
+    eval_history_.push_back(pt);
+    update_bests(local_bests_, pt);
+    if (target_reached(job_, pt)) {
+      reached_ = true;
+      shared_.stop.store(true);
+    }
+    if (!std::isfinite(pt.loss)) {
+      diverged_ = true;  // stop the cluster; the run is unrecoverable
+      shared_.stop.store(true);
+    }
+  }
+  return false;  // stop propagates through stop_requested()
+}
+
+void SspWorkerLoop::finish_worker() { ps_.finish(ctx_.rank); }
+
+void SspWorkerLoop::publish() {
+  std::lock_guard<std::mutex> lock(shared_.mutex);
+  shared_.worker_sim_time[ctx_.rank] = sim_time_;
+  if (is_root()) {
+    TrainResult& r = shared_.result;
+    r.iterations = executed_;
+    r.lssr_applicable = false;
+    r.comm_bytes = comm_bytes_;
+    r.eval_history = std::move(eval_history_);
+    if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
+    r.best_top1 = local_bests_.best_top1;
+    r.best_top5 = local_bests_.best_top5;
+    r.best_perplexity = local_bests_.best_perplexity;
+    r.reached_target = reached_;
+    r.diverged = diverged_;
+  }
+}
+
+}  // namespace selsync::detail

@@ -1,0 +1,218 @@
+// The staged per-worker training loop (DESIGN.md §8).
+//
+// The pre-refactor trainer ran each strategy as one monolithic function.
+// WorkerLoop decomposes an iteration into explicit stages with one fixed
+// driver:
+//
+//   fault schedule -> data -> compute -> sync decision -> aggregation
+//                  -> instrumentation
+//
+// run() executes the stages in that order until the step budget is spent, a
+// stop is agreed, or the fault schedule retires the worker. The
+// bulk-synchronous strategies (BSP / LocalSGD / FedAvg / SelSync / EASGD)
+// and SSP are the two concrete loops; both speak to the payload transport
+// only through the CommBackend seam, never a concrete protocol.
+//
+// Stage contracts:
+//  * fault_stage() may rewrite the iteration counter (crash fast-forward /
+//    checkpoint rewind) and decides whether the iteration proceeds, restarts
+//    (kRetry re-enters the loop without advancing), or the worker leaves the
+//    run for good (kExit).
+//  * sync_decision_stage() returns whether this iteration aggregates;
+//    aggregation_stage() applies the local or collective update.
+//  * instrumentation_stage() owns EMA/snapshots/evaluation and returns true
+//    when the cluster agreed to stop.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/comm_backend.hpp"
+#include "comm/fault_injector.hpp"
+#include "core/compression.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/sync_policy.hpp"
+#include "core/time_model.hpp"
+#include "core/trainer_internal.hpp"
+#include "data/injection.hpp"
+#include "optim/ema_tracker.hpp"
+#include "stats/grad_change.hpp"
+
+namespace selsync::detail {
+
+/// State shared by the bulk-synchronous workers of one run.
+struct SharedSyncState {
+  std::mutex mutex;
+  TrainResult result;
+  std::vector<std::vector<size_t>> injection_proposals;
+  /// EASGD center variable (initialized to the common seed model before the
+  /// cluster starts; only touched between barriers during elastic updates).
+  std::vector<float> easgd_center;
+  /// Final per-worker simulated clocks, written as each worker exits. The
+  /// cluster time is their max — computed after the join instead of with a
+  /// final collective, because under fault injection workers leave the loop
+  /// at different points (permanent crashes) and a trailing collective would
+  /// have no agreed participant set.
+  std::vector<double> worker_sim_time;
+};
+
+/// State shared by the SSP workers of one run.
+struct SharedSspState {
+  std::mutex mutex;
+  TrainResult result;
+  std::atomic<bool> stop{false};
+  std::vector<double> worker_sim_time;
+};
+
+class WorkerLoop {
+ public:
+  virtual ~WorkerLoop() = default;
+
+  /// Drives the stages until the budget is spent, a stop is agreed, or the
+  /// fault schedule retires the worker; then publishes this worker's share
+  /// of the result.
+  void run();
+
+ protected:
+  enum class FaultAction {
+    kProceed,  // run this iteration
+    kRetry,    // re-enter the loop without advancing (checkpoint rewind)
+    kExit      // worker leaves the run (permanent crash / cluster stopped)
+  };
+
+  WorkerLoop(const TrainJob& job, WorkerContext& ctx,
+             const Partition& partition, size_t local_batch,
+             CommBackend& backend, FaultInjector* faults);
+
+  /// Checked before every iteration (SSP's cross-worker stop flag).
+  virtual bool stop_requested() const { return false; }
+  virtual FaultAction fault_stage() = 0;
+  virtual void data_stage() = 0;
+  virtual void compute_stage() = 0;
+  virtual bool sync_decision_stage() = 0;
+  virtual void aggregation_stage(bool any_sync) = 0;
+  virtual bool instrumentation_stage() = 0;
+  /// Teardown that must run on every exit path (rendezvous shutdown, PS
+  /// detach), before publish().
+  virtual void finish_worker() {}
+  virtual void publish() = 0;
+
+  bool is_root() const { return ctx_.is_root(); }
+
+  const TrainJob& job_;
+  WorkerContext& ctx_;
+  CommBackend& backend_;
+  FaultInjector* faults_;
+
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  ShardLoader loader_;
+  StepTimeModel time_;
+  const uint64_t steps_per_epoch_;
+  /// Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
+  const double speed_;
+
+  uint64_t it_ = 0;
+  uint64_t executed_ = 0;
+  double epoch_ = 0.0;
+  double sim_time_ = 0.0;
+  double comm_bytes_ = 0.0;
+  bool reached_ = false;
+  bool diverged_ = false;
+  Batch batch_;
+
+  // Fault-injection state: the standing checkpoint (only maintained for
+  // ranks the plan can crash-and-restart).
+  WorkerCheckpoint checkpoint_;
+  const bool take_checkpoints_;
+
+  // Root-worker observability.
+  std::vector<EvalPoint> eval_history_;
+  TrainResult local_bests_;
+};
+
+/// Bulk-synchronous loop (Alg. 1): BSP / LocalSGD / FedAvg / SelSync /
+/// EASGD, with crash-park-rejoin degradation and recovery syncs.
+class SynchronousWorkerLoop final : public WorkerLoop {
+ public:
+  SynchronousWorkerLoop(const TrainJob& job, WorkerContext& ctx,
+                        const Partition& partition, size_t local_batch,
+                        const DataInjector* injector, CommBackend& backend,
+                        FaultInjector* faults, RejoinCoordinator* rejoin,
+                        SharedSyncState& shared);
+
+ protected:
+  FaultAction fault_stage() override;
+  void data_stage() override;
+  void compute_stage() override;
+  bool sync_decision_stage() override;
+  void aggregation_stage(bool any_sync) override;
+  bool instrumentation_stage() override;
+  void finish_worker() override;
+  void publish() override;
+
+ private:
+  const DataInjector* injector_;
+  RejoinCoordinator* rejoin_;
+  SharedSyncState& shared_;
+  std::unique_ptr<SyncPolicy> policy_;
+  GradientCompressor compressor_;
+  RelativeGradChange grad_change_;
+  const AggregationMode agg_;
+  const CommGroup full_group_;
+  CommGroup group_;
+
+  uint64_t sync_steps_ = 0, local_steps_ = 0, sync_rounds_ = 0;
+  /// Whether this worker left the run as a casualty (permanent crash, or
+  /// cluster stopped while parked).
+  bool casualty_ = false;
+  double compute_factor_ = 1.0;
+  std::vector<float> grads_;
+  double delta_ = 0.0;
+
+  // Worker-0 instrumentation, moved into `shared_` at the end.
+  std::unique_ptr<EmaTracker> ema_;
+  std::vector<double> delta_trace_, grad_sq_trace_;
+  std::map<double, std::vector<float>> snapshots_;
+  size_t next_snapshot_ = 0;
+};
+
+/// Asynchronous SSP loop against the backend's central store, with a
+/// staleness bound (paper §II-C).
+class SspWorkerLoop final : public WorkerLoop {
+ public:
+  SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
+                const Partition& partition, CommBackend& backend,
+                FaultInjector* faults, SharedSspState& shared);
+
+ protected:
+  bool stop_requested() const override { return shared_.stop.load(); }
+  FaultAction fault_stage() override;
+  void data_stage() override;
+  void compute_stage() override;
+  bool sync_decision_stage() override { return false; }
+  void aggregation_stage(bool any_sync) override;
+  bool instrumentation_stage() override;
+  void finish_worker() override;
+  void publish() override;
+
+ private:
+  SharedSspState& shared_;
+  ParameterServer& ps_;
+
+  double compute_factor_ = 1.0;
+  /// The PS is unreachable past the retry budget this step: train on the
+  /// stale local replica and drop the push.
+  bool skip_ps_ = false;
+  std::vector<float> pulled_;
+  /// Iterations up to (exclusive) this mark already had their crash fired;
+  /// a rewound loop must not re-fire the same crash on replay.
+  uint64_t crash_fired_until_ = 0;
+};
+
+}  // namespace selsync::detail

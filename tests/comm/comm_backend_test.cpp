@@ -1,0 +1,266 @@
+// CommBackend contract tests: name/parse round-trips, the factory, the
+// bit-determinism guarantee shared by every synchronous data plane (tree and
+// ranked-PS aggregation must equal SharedCollectives' fixed rank-order float
+// summation exactly), fault-injected links, and per-backend cost pricing.
+#include "comm/comm_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/fault_injector.hpp"
+#include "comm/parameter_server.hpp"
+#include "comm/tree_allreduce.hpp"
+
+namespace selsync {
+namespace {
+
+/// Runs `body(rank)` on `n` threads and joins.
+template <typename F>
+void spawn(size_t n, F body) {
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < n; ++r) threads.emplace_back([&, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+/// Awkward float values (summation order visibly changes low bits) so the
+/// bitwise comparisons below actually exercise the determinism contract.
+std::vector<std::vector<float>> awkward_inputs(size_t workers, size_t dim) {
+  std::vector<std::vector<float>> data(workers, std::vector<float>(dim));
+  for (size_t r = 0; r < workers; ++r)
+    for (size_t i = 0; i < dim; ++i)
+      data[r][i] = 0.1f * static_cast<float>(r + 1) +
+                   1e-4f * static_cast<float>(i * i) -
+                   0.37f * static_cast<float>((r * 7 + i) % 5);
+  return data;
+}
+
+/// The reference reduction: per element, fold contributions in ascending
+/// rank order — the float summation order SharedCollectives fixes.
+std::vector<float> rank_order_sum(const std::vector<std::vector<float>>& in) {
+  std::vector<float> out(in[0].size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    float acc = 0.0f;
+    for (size_t r = 0; r < in.size(); ++r) acc += in[r][i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+TEST(BackendKind, NamesRoundTripThroughParse) {
+  for (BackendKind kind :
+       {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree,
+        BackendKind::kParameterServer})
+    EXPECT_EQ(parse_backend_kind(backend_kind_name(kind)), kind);
+  EXPECT_EQ(parse_backend_kind("shared"), BackendKind::kSharedMemory);
+  EXPECT_EQ(parse_backend_kind("ring"), BackendKind::kRing);
+  EXPECT_EQ(parse_backend_kind("tree"), BackendKind::kTree);
+  EXPECT_EQ(parse_backend_kind("ps"), BackendKind::kParameterServer);
+  EXPECT_THROW(parse_backend_kind("carrier-pigeon"), std::invalid_argument);
+  EXPECT_THROW(parse_backend_kind(""), std::invalid_argument);
+}
+
+TEST(TreeAllreduceTest, BitIdenticalToSharedCollectivesForAllSizes) {
+  // kDim deliberately not divisible by any cluster size; N covers the
+  // degenerate single rank, powers of two and ragged trees.
+  constexpr size_t kDim = 23;
+  for (size_t n = 1; n <= 9; ++n) {
+    const auto inputs = awkward_inputs(n, kDim);
+
+    auto shared = inputs;
+    SharedCollectives coll(n);
+    spawn(n, [&](size_t r) { coll.allreduce_sum(r, shared[r]); });
+
+    auto tree_data = inputs;
+    TreeAllreduce tree(n);
+    spawn(n, [&](size_t r) { tree.run(r, tree_data[r]); });
+
+    for (size_t r = 0; r < n; ++r)
+      for (size_t i = 0; i < kDim; ++i) {
+        EXPECT_EQ(tree_data[r][i], shared[r][i])
+            << "N=" << n << " rank " << r << " elem " << i;
+        EXPECT_EQ(tree_data[r][i], tree_data[0][i]) << "ranks disagree";
+      }
+  }
+}
+
+TEST(TreeAllreduceTest, CriticalPathHopsIsTwiceCeilLog2) {
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(1), 0u);
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(2), 2u);
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(4), 4u);
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(5), 6u);
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(8), 6u);
+  EXPECT_EQ(TreeAllreduce::critical_path_hops(9), 8u);
+}
+
+TEST(TreeAllreduceTest, LossyLinksStillDeliverTheExactPayload) {
+  // Aggressive drop/delay/duplicate probabilities: the protocol must still
+  // land the bit-exact rank-order sum; faults may only cost simulated time
+  // and show up in the event log.
+  constexpr size_t kN = 6, kDim = 23, kRounds = 4;
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.messages.drop_prob = 0.25;
+  plan.messages.delay_prob = 0.25;
+  plan.messages.duplicate_prob = 0.2;
+  FaultInjector inj(plan, kN);
+  TreeAllreduce tree(kN, &inj);
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    const auto inputs = awkward_inputs(kN, kDim);
+    const auto expected = rank_order_sum(inputs);
+    auto data = inputs;
+    std::vector<double> delay(kN);
+    spawn(kN, [&](size_t r) {
+      tree.run(r, data[r]);
+      delay[r] = inj.take_pending_delay(r);
+    });
+    for (size_t r = 0; r < kN; ++r) {
+      EXPECT_GE(delay[r], 0.0);
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(data[r][i], expected[i])
+            << "round " << round << " rank " << r << " elem " << i;
+    }
+  }
+  const FaultSummary summary = inj.summary();
+  EXPECT_GT(summary.messages_dropped + summary.messages_delayed +
+                summary.messages_duplicated,
+            0u)
+      << "fault plan injected nothing; probabilities too low for the test";
+}
+
+TEST(ParameterServerRanked, SumMatchesRankOrderRegardlessOfArrival) {
+  constexpr size_t kN = 5, kDim = 23;
+  const auto inputs = awkward_inputs(kN, kDim);
+  const auto expected = rank_order_sum(inputs);
+  ParameterServer ps(std::vector<float>(kDim, 0.0f), kN);
+
+  // Two rounds with opposite (staggered) arrival orders: the result must be
+  // the ascending-rank reduction both times, bit for bit.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<float>> out(kN);
+    spawn(kN, [&](size_t r) {
+      const size_t slot = round == 0 ? r : kN - 1 - r;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * slot));
+      out[r] = ps.push_and_sum_ranked(r, inputs[r], kN);
+    });
+    for (size_t r = 0; r < kN; ++r) {
+      ASSERT_EQ(out[r].size(), kDim);
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(out[r][i], expected[i])
+            << "round " << round << " rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST(MakeCommBackend, BuildsEveryKindAndExposesTheCentralStore) {
+  CommBackendConfig config;
+  config.workers = 4;
+  for (BackendKind kind :
+       {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree}) {
+    config.kind = kind;
+    auto backend = make_comm_backend(config);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->kind(), kind);
+    EXPECT_EQ(backend->central_store(), nullptr)
+        << backend->name() << " must not claim a central store";
+  }
+
+  config.kind = BackendKind::kParameterServer;
+  EXPECT_THROW(make_comm_backend(config), std::invalid_argument)
+      << "ps backend without initial parameters must be rejected";
+  config.initial_params.assign(17, 0.5f);
+  auto ps = make_comm_backend(config);
+  EXPECT_EQ(ps->kind(), BackendKind::kParameterServer);
+  ASSERT_NE(ps->central_store(), nullptr);
+  EXPECT_EQ(ps->central_store()->dim(), 17u);
+  EXPECT_EQ(ps->central_store()->workers(), 4u);
+}
+
+TEST(CommBackendDataPlane, EveryBackendAllreducesBitIdentically) {
+  // The full CommBackend interface (not the raw primitives): shared, tree
+  // and ps must produce the exact same floats; ring differs in summation
+  // order by design and is covered statistically by the strategy tests.
+  constexpr size_t kN = 4, kDim = 23;
+  const auto inputs = awkward_inputs(kN, kDim);
+  const auto expected = rank_order_sum(inputs);
+
+  for (BackendKind kind : {BackendKind::kSharedMemory, BackendKind::kTree,
+                           BackendKind::kParameterServer}) {
+    CommBackendConfig config;
+    config.kind = kind;
+    config.workers = kN;
+    if (kind == BackendKind::kParameterServer)
+      config.initial_params.assign(kDim, 0.0f);
+    auto backend = make_comm_backend(config);
+
+    SharedCollectives coll(kN);
+    const CommGroup full = CommGroup::full(kN);
+    auto data = inputs;
+    std::vector<double> clock(kN, 0.0);
+    spawn(kN, [&](size_t r) {
+      WorkerContext ctx;
+      ctx.rank = r;
+      ctx.size = kN;
+      ctx.collectives = &coll;
+      backend->allreduce(ctx, data[r], full, clock[r]);
+    });
+    for (size_t r = 0; r < kN; ++r) {
+      EXPECT_DOUBLE_EQ(clock[r], 0.0) << "no faults, no injected delay";
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(data[r][i], expected[i])
+            << backend->name() << " rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST(CommBackendCosts, SyncTransferTimeMatchesTheCostModelSchedules) {
+  const CostModel cost(paper_network_5gbps());
+  constexpr size_t kBytes = 1 << 20, kWorkers = 8;
+
+  CommBackendConfig config;
+  config.workers = kWorkers;
+
+  // The shared-memory backend stands in for whatever the job's topology
+  // declares (seed semantics): PS pricing or ring pricing.
+  config.kind = BackendKind::kSharedMemory;
+  config.topology = Topology::kParameterServer;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.ps_sync_time(kBytes, kWorkers));
+  config.topology = Topology::kRingAllreduce;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.ring_allreduce_time(kBytes, kWorkers));
+
+  // The ring transport also keeps the seed's topology-priced accounting
+  // (golden parity depends on it).
+  config.kind = BackendKind::kRing;
+  config.topology = Topology::kParameterServer;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.ps_sync_time(kBytes, kWorkers));
+  config.topology = Topology::kRingAllreduce;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.ring_allreduce_time(kBytes, kWorkers));
+
+  // Tree and ps price their own schedules, whatever the topology knob says.
+  config.kind = BackendKind::kTree;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.tree_allreduce_time(kBytes, kWorkers));
+  config.kind = BackendKind::kParameterServer;
+  config.initial_params.assign(4, 0.0f);
+  config.topology = Topology::kRingAllreduce;
+  EXPECT_DOUBLE_EQ(
+      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
+      cost.ps_sync_time(kBytes, kWorkers));
+}
+
+}  // namespace
+}  // namespace selsync

@@ -131,23 +131,23 @@ TEST(Strategies, RingTopologyProducesSameDynamicsCheaperAtScale) {
   EXPECT_LT(ring.sim_time_s, ps.sim_time_s);
 }
 
-TEST(Strategies, RingTransportConvergesEquivalently) {
+TEST(Strategies, RingBackendConvergesEquivalently) {
   // Moving payloads through the channel-based ring (different but
   // deterministic float summation order) must train to essentially the
   // same model as the shared-memory collectives.
   TrainJob shm = small_class_job(StrategyKind::kBsp, 60);
   TrainJob ring = shm;
-  ring.transport = Transport::kMessagePassingRing;
+  ring.backend = BackendKind::kRing;
   const TrainResult a = run_training(shm);
   const TrainResult b = run_training(ring);
   EXPECT_NEAR(a.final_eval.top1, b.final_eval.top1, 0.05);
   EXPECT_NEAR(a.final_eval.loss, b.final_eval.loss, 0.05);
 }
 
-TEST(Strategies, RingTransportIsDeterministic) {
+TEST(Strategies, RingBackendIsDeterministic) {
   TrainJob job = small_class_job(StrategyKind::kSelSync, 50);
   job.selsync.delta = 0.02;
-  job.transport = Transport::kMessagePassingRing;
+  job.backend = BackendKind::kRing;
   const TrainResult a = run_training(job);
   const TrainResult b = run_training(job);
   EXPECT_DOUBLE_EQ(a.final_eval.loss, b.final_eval.loss);

@@ -87,6 +87,41 @@ TEST(SelSyncPolicy, ZeroDeltaIsBsp) {
   EXPECT_TRUE(p.local_vote(0, 0.0));
 }
 
+// Brute-force reference: the O(iteration) loop the closed forms replaced.
+uint64_t brute_rounds_before(const SyncPolicy& p, uint64_t iteration) {
+  uint64_t rounds = 0;
+  for (uint64_t j = 0; j < iteration; ++j)
+    if (p.local_vote(j, 0.0)) ++rounds;
+  return rounds;
+}
+
+TEST(RoundsBefore, ClosedFormsMatchBruteForce) {
+  const BspPolicy bsp(8);
+  const LocalSgdPolicy local(8);
+  const FedAvgPolicy fedavg({1.0, 0.25}, 8, 100, 1);  // interval 25
+  const FedAvgPolicy fedavg7({1.0, 0.07}, 8, 100, 1);  // interval 7
+  const EasgdPolicy easgd(4, 8);
+  for (uint64_t it : {0ull, 1ull, 3ull, 6ull, 7ull, 8ull, 24ull, 25ull, 26ull,
+                      99ull, 100ull, 101ull, 12345ull}) {
+    EXPECT_EQ(bsp.rounds_before(it), brute_rounds_before(bsp, it)) << it;
+    EXPECT_EQ(local.rounds_before(it), brute_rounds_before(local, it)) << it;
+    EXPECT_EQ(fedavg.rounds_before(it), brute_rounds_before(fedavg, it))
+        << it;
+    EXPECT_EQ(fedavg7.rounds_before(it), brute_rounds_before(fedavg7, it))
+        << it;
+    EXPECT_EQ(easgd.rounds_before(it), brute_rounds_before(easgd, it)) << it;
+  }
+}
+
+TEST(RoundsBefore, ConstantTimeAtHugeIterations) {
+  // The whole point of the closed forms: a rejoiner deep into a long run
+  // must not pay an O(iteration) scan.
+  const FedAvgPolicy p({1.0, 0.25}, 8, 100, 1);
+  EXPECT_EQ(p.rounds_before(4'000'000'000ull), 160'000'000ull);
+  const EasgdPolicy e(4, 8);
+  EXPECT_EQ(e.rounds_before(4'000'000'000ull), 1'000'000'000ull);
+}
+
 TEST(MakePolicy, DispatchesByStrategy) {
   EXPECT_NE(dynamic_cast<BspPolicy*>(
                 make_sync_policy(small_class_job(StrategyKind::kBsp)).get()),

@@ -1,0 +1,136 @@
+// The golden-run grid: small, fast, fully deterministic training jobs
+// covering strategy × backend × fault-plan combinations. The generator
+// (tools/golden_gen) serializes each run's canonical result record into
+// tests/golden/records/<name>.json; the parity test
+// (tests/core/golden_parity_test.cpp) re-runs the grid and asserts the
+// records are byte-identical. The checked-in records were produced by the
+// pre-refactor seed trainer, so they pin the refactored WorkerLoop +
+// CommBackend stack to the seed's exact training dynamics, simulated-time
+// arithmetic and fault logs.
+//
+// SSP is deliberately absent: its asynchronous pushes interleave with real
+// thread scheduling, so its model state is not bitwise reproducible (its
+// parity is covered statistically by the strategy/integration tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/run_record.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync::golden {
+
+struct GoldenConfig {
+  std::string name;
+  TrainJob job;
+};
+
+/// A deterministic fault plan exercising crash/restart, recovery sync,
+/// stragglers and message faults on the shared-memory transport.
+inline FaultPlan golden_fault_plan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.checkpoint_interval = 10;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({/*rank=*/2, /*at_iteration=*/14,
+                          /*downtime_iterations=*/6, /*restart=*/true});
+  plan.stragglers.push_back({/*rank=*/1, /*from_iteration=*/5,
+                             /*duration_iterations=*/10, /*slowdown=*/3.0});
+  plan.messages.drop_prob = 0.05;
+  plan.messages.delay_prob = 0.1;
+  plan.messages.duplicate_prob = 0.05;
+  return plan;
+}
+
+/// A message/PS-fault plan legal on every transport (no crashes).
+inline FaultPlan golden_message_plan() {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.messages.drop_prob = 0.08;
+  plan.messages.delay_prob = 0.08;
+  plan.ps.timeout_prob = 0.1;
+  plan.ps.max_retries = 2;
+  return plan;
+}
+
+inline std::vector<GoldenConfig> golden_grid() {
+  using testing::small_class_job;
+  std::vector<GoldenConfig> grid;
+  auto add = [&](std::string name, TrainJob job) {
+    grid.push_back({std::move(name), std::move(job)});
+  };
+
+  add("bsp_shared", small_class_job(StrategyKind::kBsp, 40));
+
+  {
+    TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+    job.backend = BackendKind::kRing;
+    add("bsp_ring", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kSelSync, 50);
+    job.selsync.delta = 0.05;
+    add("selsync_shared", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kSelSync, 50);
+    job.selsync.delta = 0.05;
+    job.backend = BackendKind::kRing;
+    add("selsync_ring", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kSelSync, 50);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    job.compression.kind = CompressionKind::kTopK;
+    job.compression.topk_fraction = 0.25;
+    add("selsync_ga_topk_shared", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kFedAvg, 48);
+    job.fedavg = {0.5, 0.25};
+    add("fedavg_half_shared", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kEasgd, 40);
+    add("easgd_shared", job);
+  }
+  add("local_shared", small_class_job(StrategyKind::kLocalSgd, 40));
+  {
+    TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+    job.faults = golden_fault_plan();
+    add("bsp_shared_chaos", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kSelSync, 50);
+    job.selsync.delta = 0.05;
+    job.faults = golden_message_plan();
+    add("selsync_shared_msgfaults", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+    job.backend = BackendKind::kRing;
+    job.faults = golden_message_plan();
+    add("bsp_ring_msgfaults", job);
+  }
+  {
+    TrainJob job = small_class_job(StrategyKind::kFedAvg, 48);
+    job.fedavg = {0.5, 0.25};
+    job.faults = golden_fault_plan();
+    add("fedavg_half_shared_chaos", job);
+  }
+  return grid;
+}
+
+/// The run-record JSON with host-dependent wall time zeroed — everything
+/// else (training dynamics, simulated time, fault log) is deterministic and
+/// must be byte-stable across builds.
+inline std::string canonical_result_json(const TrainResult& result) {
+  TrainResult canonical = result;
+  canonical.wall_time_s = 0.0;
+  return result_to_json(canonical).dump(2) + "\n";
+}
+
+}  // namespace selsync::golden

@@ -1,4 +1,4 @@
-// Feature-composition matrix: the orthogonal knobs (strategy, transport,
+// Feature-composition matrix: the orthogonal knobs (strategy, backend,
 // compression, quorum, stragglers, injection) must compose without breaking
 // the trainer's invariants. Each combination runs end to end and must keep
 // accounting consistent, stay finite, and be deterministic.
@@ -17,7 +17,7 @@ using testing::small_class_job;
 struct Combo {
   const char* name;
   StrategyKind strategy;
-  Transport transport;
+  BackendKind backend;
   CompressionKind compression;
   double quorum;
   bool straggler;
@@ -28,7 +28,7 @@ class FeatureMatrix : public ::testing::TestWithParam<Combo> {};
 
 TrainJob job_for(const Combo& combo) {
   TrainJob job = small_class_job(combo.strategy, 60);
-  job.transport = combo.transport;
+  job.backend = combo.backend;
   if (combo.compression != CompressionKind::kNone) {
     job.compression = {combo.compression, 0.05, true};
     if (combo.strategy == StrategyKind::kSelSync)
@@ -75,32 +75,43 @@ INSTANTIATE_TEST_SUITE_P(
     Combos, FeatureMatrix,
     ::testing::Values(
         Combo{"selsync_ring_topk", StrategyKind::kSelSync,
-              Transport::kMessagePassingRing, CompressionKind::kTopK, 0.0,
-              false, false},
+              BackendKind::kRing, CompressionKind::kTopK, 0.0, false, false},
         Combo{"selsync_quorum_straggler", StrategyKind::kSelSync,
-              Transport::kSharedMemory, CompressionKind::kNone, 0.5, true,
+              BackendKind::kSharedMemory, CompressionKind::kNone, 0.5, true,
               false},
         Combo{"selsync_injection_noniid", StrategyKind::kSelSync,
-              Transport::kSharedMemory, CompressionKind::kNone, 0.0, false,
+              BackendKind::kSharedMemory, CompressionKind::kNone, 0.0, false,
               true},
+        Combo{"selsync_tree", StrategyKind::kSelSync, BackendKind::kTree,
+              CompressionKind::kNone, 0.0, false, false},
+        Combo{"selsync_ps_topk", StrategyKind::kSelSync,
+              BackendKind::kParameterServer, CompressionKind::kTopK, 0.0,
+              false, false},
         Combo{"bsp_ring_signsgd_straggler", StrategyKind::kBsp,
-              Transport::kMessagePassingRing, CompressionKind::kSignSgd, 0.0,
-              true, false},
-        Combo{"bsp_quant8", StrategyKind::kBsp, Transport::kSharedMemory,
-              CompressionKind::kQuant8, 0.0, false, false},
-        Combo{"fedavg_ring", StrategyKind::kFedAvg,
-              Transport::kMessagePassingRing, CompressionKind::kNone, 0.0,
-              false, false},
-        Combo{"easgd_straggler", StrategyKind::kEasgd,
-              Transport::kSharedMemory, CompressionKind::kNone, 0.0, true,
+              BackendKind::kRing, CompressionKind::kSignSgd, 0.0, true,
               false},
-        Combo{"easgd_ring", StrategyKind::kEasgd,
-              Transport::kMessagePassingRing, CompressionKind::kNone, 0.0,
-              false, false},
+        Combo{"bsp_quant8", StrategyKind::kBsp, BackendKind::kSharedMemory,
+              CompressionKind::kQuant8, 0.0, false, false},
+        Combo{"bsp_tree_straggler", StrategyKind::kBsp, BackendKind::kTree,
+              CompressionKind::kNone, 0.0, true, false},
+        Combo{"bsp_ps", StrategyKind::kBsp, BackendKind::kParameterServer,
+              CompressionKind::kNone, 0.0, false, false},
+        Combo{"fedavg_ring", StrategyKind::kFedAvg, BackendKind::kRing,
+              CompressionKind::kNone, 0.0, false, false},
+        Combo{"fedavg_tree", StrategyKind::kFedAvg, BackendKind::kTree,
+              CompressionKind::kNone, 0.0, false, false},
+        Combo{"fedavg_ps_injection", StrategyKind::kFedAvg,
+              BackendKind::kParameterServer, CompressionKind::kNone, 0.0,
+              false, true},
+        Combo{"easgd_straggler", StrategyKind::kEasgd,
+              BackendKind::kSharedMemory, CompressionKind::kNone, 0.0, true,
+              false},
+        Combo{"easgd_ring", StrategyKind::kEasgd, BackendKind::kRing,
+              CompressionKind::kNone, 0.0, false, false},
         Combo{"local_injection", StrategyKind::kLocalSgd,
-              Transport::kSharedMemory, CompressionKind::kNone, 0.0, false,
+              BackendKind::kSharedMemory, CompressionKind::kNone, 0.0, false,
               true},
-        Combo{"ssp_straggler", StrategyKind::kSsp, Transport::kSharedMemory,
+        Combo{"ssp_straggler", StrategyKind::kSsp, BackendKind::kSharedMemory,
               CompressionKind::kNone, 0.0, true, false}),
     [](const auto& info) { return std::string(info.param.name); });
 

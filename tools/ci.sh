@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 verification recipe, runnable locally or by CI.
+#
+#   tools/ci.sh            # tier-1: configure, build, full ctest
+#   tools/ci.sh --chaos    # additionally: TSan build + the chaos suite
+#
+# Tier 1 is the gate every change must pass (ROADMAP.md): a clean build and
+# the full test suite, including the golden parity grid that pins the
+# CommBackend + WorkerLoop stack to the seed trainer's exact dynamics.
+# The optional chaos stage rebuilds under ThreadSanitizer and runs only the
+# fault-injection tests (ctest -L chaos) — the tests that actually stress
+# cross-thread teardown, channel aborts and PS waits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+RUN_CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) RUN_CHAOS=1 ;;
+    *) echo "usage: tools/ci.sh [--chaos]" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier 1: build ==="
+cmake -B build >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== tier 1: full test suite ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_CHAOS" -eq 1 ]]; then
+  echo "=== chaos: ThreadSanitizer build ==="
+  cmake -B build-tsan -DSELSYNC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "=== chaos: fault-injection suite under TSan ==="
+  ctest --test-dir build-tsan --output-on-failure -L chaos
+fi
+
+echo "ci.sh: all green"

@@ -1,0 +1,32 @@
+// golden_gen — regenerate the golden run records the parity tests compare
+// against (tests/golden/records/*.json).
+//
+//   ./build/tools/golden_gen [output_dir]
+//
+// Only run this when a behavior change is *intentional*; the checked-in
+// records pin the trainer's exact dynamics (see tests/golden/README.md).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/trainer.hpp"
+#include "tests/golden/golden_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace selsync;
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/golden/records";
+  std::filesystem::create_directories(out_dir);
+  for (const golden::GoldenConfig& cfg : golden::golden_grid()) {
+    const TrainResult result = run_training(cfg.job);
+    const std::string path = out_dir + "/" + cfg.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "golden_gen: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out << golden::canonical_result_json(result);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -64,6 +64,8 @@ int run(int argc, const char* const* argv) {
                   "ResNet101 | VGG11 | AlexNet | Transformer", "ResNet101");
   args.add_option("strategy", "bsp | local | fedavg | ssp | selsync | easgd",
                   "selsync");
+  args.add_option("backend", "payload transport: shared | ring | tree | ps",
+                  "shared");
   args.add_option("workers", "cluster size", "16");
   args.add_option("iterations", "per-worker step budget", "500");
   args.add_option("eval-interval", "steps between test evaluations", "50");
@@ -104,6 +106,7 @@ int run(int argc, const char* const* argv) {
   TrainJob job = make_job(w, parse_strategy(args.get("strategy")),
                           static_cast<size_t>(args.get_int("workers")),
                           static_cast<uint64_t>(args.get_int("iterations")));
+  job.backend = parse_backend_kind(args.get("backend"));
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
@@ -147,9 +150,10 @@ int run(int argc, const char* const* argv) {
     return 0;
   }
 
-  std::printf("running %s on %s: %zu workers, %llu iterations...\n",
+  std::printf("running %s on %s: %zu workers, %llu iterations, %s backend...\n",
               strategy_kind_name(job.strategy), w.name.c_str(), job.workers,
-              static_cast<unsigned long long>(job.max_iterations));
+              static_cast<unsigned long long>(job.max_iterations),
+              backend_kind_name(job.backend));
   const TrainResult result = run_training(job);
 
   std::printf("\n%-24s %llu\n", "iterations:",
