@@ -34,7 +34,7 @@ int main() {
 
   // One pricing backend per sweep row, built through the same factory the
   // trainer uses. The PS backend needs a (dummy) central store seed; only
-  // sync_transfer_time is exercised here.
+  // the sync_cost() account is exercised here.
   struct SweepBackend {
     const char* label;
     std::unique_ptr<CommBackend> backend;
@@ -70,8 +70,10 @@ int main() {
       for (size_t n : sizes) {
         const double t_compute = compute_time_s(
             model, v100, static_cast<double>(paper_batch(model.name)));
-        const double t_sync = sweep.backend->sync_transfer_time(
-            cost, static_cast<size_t>(model.param_bytes()), n);
+        const double t_sync =
+            sweep.backend
+                ->sync_cost(cost, static_cast<size_t>(model.param_bytes()), n)
+                .transfer_s;
         // Throughput relative to 1 worker: N workers each complete a step
         // in t_c + t_s, vs t_c alone on a single GPU.
         const double relative =

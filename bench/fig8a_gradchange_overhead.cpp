@@ -66,8 +66,8 @@ int main() {
 
   // Put the overhead in context: one synchronization round on each
   // communication backend at the paper's 16 workers, priced by the same
-  // sync_transfer_time account the trainer charges. Δ(g_i) must stay
-  // negligible against *every* backend, not just the slow PS incast.
+  // sync_cost() account the trainer charges. Δ(g_i) must stay negligible
+  // against *every* backend, not just the slow PS incast.
   {
     const CostModel cost(paper_network_5gbps());
     constexpr size_t kWorkers = 16;
@@ -98,14 +98,75 @@ int main() {
       std::printf("%-12s", model.name.c_str());
       for (const SweepBackend& b : backends) {
         const double ms =
-            1e3 * b.backend->sync_transfer_time(
-                      cost, static_cast<size_t>(model.param_bytes()),
-                      kWorkers);
+            1e3 *
+            b.backend
+                ->sync_cost(cost, static_cast<size_t>(model.param_bytes()),
+                            kWorkers)
+                .transfer_s;
         std::printf("%10.1f", ms);
         sync_csv.row({model.name, b.label, CsvWriter::format_double(ms)});
       }
       std::printf("\n");
     }
+
+    // Backend x codec sweep: the same round priced with each gradient codec
+    // fused into the data plane. The wire ratio comes from running the real
+    // codec kernel on a synthetic gradient (1M elements is plenty for the
+    // ratio to converge; Top-k keeps 1%, the paper's DGC operating point),
+    // then the SyncCost breakdown shows how the reduced wire bytes and the
+    // added encode/decode compute trade off per backend.
+    CsvWriter codec_csv(
+        results_dir() + "/fig8a_backend_codec_sweep.csv",
+        {"model", "backend", "codec", "dense_mb", "wire_mb", "reduction",
+         "transfer_ms", "codec_ms", "round_ms"});
+    const std::vector<CompressionKind> codecs{
+        CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8};
+    constexpr size_t kProbeElems = 1u << 20;
+    std::printf("\nbackend x codec, one round at %zu workers "
+                "(wire reduction, round ms):\n",
+                kWorkers);
+    for (const PaperModelProfile& model : all_paper_models()) {
+      for (const CompressionKind kind : codecs) {
+        CompressionConfig cc;
+        cc.kind = kind;
+        cc.topk_fraction = 0.01;
+        double ratio = 1.0;
+        if (kind != CompressionKind::kNone) {
+          GradientCompressor probe(cc);
+          std::vector<float> g(kProbeElems);
+          for (size_t i = 0; i < g.size(); ++i)
+            g[i] = static_cast<float>(rng.normal(0.0, 1e-3));
+          probe.compress(g, 0.0);
+          ratio = probe.last_wire_ratio();
+        }
+        for (const SweepBackend& b : backends) {
+          const SyncCost sc = b.backend->sync_cost(
+              cost, static_cast<size_t>(model.param_bytes()), kWorkers,
+              ratio);
+          const double mb = 1024.0 * 1024.0;
+          codec_csv.row({model.name, b.label, compression_kind_name(kind),
+                         CsvWriter::format_double(
+                             static_cast<double>(sc.dense_bytes) / mb),
+                         CsvWriter::format_double(
+                             static_cast<double>(sc.wire_bytes) / mb),
+                         CsvWriter::format_double(
+                             sc.wire_bytes == 0
+                                 ? 1.0
+                                 : static_cast<double>(sc.dense_bytes) /
+                                       static_cast<double>(sc.wire_bytes)),
+                         CsvWriter::format_double(1e3 * sc.transfer_s),
+                         CsvWriter::format_double(
+                             1e3 * (sc.encode_s + sc.decode_s)),
+                         CsvWriter::format_double(1e3 * sc.round_time())});
+        }
+        if (kind == CompressionKind::kTopK)
+          std::printf("  %-12s topk 1%%: %.0fx fewer wire bytes\n",
+                      model.name.c_str(), 1.0 / ratio);
+      }
+    }
+    std::printf("(full backend x codec table in %s)\n",
+                (results_dir() + "/fig8a_backend_codec_sweep.csv").c_str());
   }
 
   std::printf(

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "comm/compressed_chunk.hpp"
 #include "comm/fault_injector.hpp"
 
 namespace selsync {
@@ -125,9 +126,11 @@ void RingAllreduce::close_all() {
 }
 
 void RingAllreduce::send_reliable(size_t rank, size_t link,
-                                  std::vector<float> payload) {
+                                  std::vector<float> payload,
+                                  size_t wire_bytes) {
   Envelope env;
   env.seq = ++send_seq_[rank];
+  env.wire_bytes = wire_bytes;
   if (faults_) {
     const uint64_t it = faults_->current_iteration(rank);
     switch (faults_->draw_message_fate(rank)) {
@@ -148,6 +151,7 @@ void RingAllreduce::send_reliable(size_t rank, size_t link,
         faults_->record(rank, FaultKind::kMessageDuplicate, it, 0.0);
         Envelope dup;
         dup.seq = env.seq;
+        dup.wire_bytes = env.wire_bytes;
         dup.data = payload;  // extra copy rides ahead of the original
         links_[link]->send(std::move(dup));
         break;
@@ -160,7 +164,8 @@ void RingAllreduce::send_reliable(size_t rank, size_t link,
   links_[link]->send(std::move(env));
 }
 
-std::vector<float> RingAllreduce::recv_reliable(size_t rank, size_t link) {
+RingAllreduce::Envelope RingAllreduce::recv_reliable(size_t rank,
+                                                     size_t link) {
   (void)rank;
   while (true) {
     auto msg = links_[link]->recv();
@@ -169,11 +174,12 @@ std::vector<float> RingAllreduce::recv_reliable(size_t rank, size_t link) {
     recv_seq_[link] = msg->seq;
     if (faults_ && msg->delay_s > 0.0)
       faults_->add_pending_delay(rank, msg->delay_s);
-    return std::move(msg->data);
+    return std::move(*msg);
   }
 }
 
-void RingAllreduce::run(size_t rank, std::span<float> data) {
+void RingAllreduce::run(size_t rank, std::span<float> data,
+                        ChunkCodec* codec) {
   if (workers_ == 1) return;
   const size_t n = data.size();
   const size_t chunks = workers_;
@@ -185,26 +191,52 @@ void RingAllreduce::run(size_t rank, std::span<float> data) {
 
   // Reduce-scatter: after step s, each rank accumulates into chunk
   // (rank - s - 1) mod N; after N-1 steps rank r owns the fully reduced
-  // chunk (r + 1) mod N.
+  // chunk (r + 1) mod N. Each outgoing partial sum exists here only as
+  // decoded floats, so with a codec every hop is one fresh lossy encode —
+  // error feedback keyed on (rank, chunk) repays the loss next round.
   for (size_t s = 0; s < workers_ - 1; ++s) {
     const size_t send_c = (rank + workers_ - s) % workers_;
     const size_t recv_c = (rank + workers_ - s - 1) % workers_;
-    send_reliable(rank, out,
-                  std::vector<float>(data.begin() + chunk_begin(send_c),
-                                     data.begin() + chunk_end(send_c)));
-    const std::vector<float> msg = recv_reliable(rank, in);
+    std::vector<float> payload(data.begin() + chunk_begin(send_c),
+                               data.begin() + chunk_end(send_c));
+    size_t wire = 0;
+    if (codec) {
+      wire = codec->transform(rank, send_c, payload);
+      codec->charge(rank, wire, payload.size() * sizeof(float));
+    }
+    send_reliable(rank, out, std::move(payload), wire);
+    const Envelope msg = recv_reliable(rank, in);
     float* dst = data.data() + chunk_begin(recv_c);
-    for (size_t i = 0; i < msg.size(); ++i) dst[i] += msg[i];
+    for (size_t i = 0; i < msg.data.size(); ++i) dst[i] += msg.data[i];
   }
-  // Allgather: circulate the reduced chunks.
+
+  // The fully reduced chunk this rank owns is encoded exactly once, before
+  // it enters the allgather; every rank then decodes the same bytes, so
+  // replicas leave the allreduce consistent.
+  std::vector<size_t> chunk_wire(chunks, 0);
+  if (codec) {
+    const size_t own_c = (rank + 1) % workers_;
+    chunk_wire[own_c] = codec->transform(
+        rank, own_c,
+        std::span<float>(data.data() + chunk_begin(own_c),
+                         chunk_end(own_c) - chunk_begin(own_c)));
+  }
+
+  // Allgather: circulate the reduced chunks. Already-encoded chunks are
+  // forwarded verbatim — no re-encode, no further loss — but every link
+  // crossing is priced at the encoded size carried in the envelope.
   for (size_t s = 0; s < workers_ - 1; ++s) {
     const size_t send_c = (rank + 1 + workers_ - s) % workers_;
     const size_t recv_c = (rank + workers_ - s) % workers_;
-    send_reliable(rank, out,
-                  std::vector<float>(data.begin() + chunk_begin(send_c),
-                                     data.begin() + chunk_end(send_c)));
-    const std::vector<float> msg = recv_reliable(rank, in);
-    std::copy(msg.begin(), msg.end(), data.data() + chunk_begin(recv_c));
+    std::vector<float> payload(data.begin() + chunk_begin(send_c),
+                               data.begin() + chunk_end(send_c));
+    if (codec)
+      codec->charge(rank, chunk_wire[send_c], payload.size() * sizeof(float));
+    send_reliable(rank, out, std::move(payload), chunk_wire[send_c]);
+    const Envelope msg = recv_reliable(rank, in);
+    chunk_wire[recv_c] = msg.wire_bytes;
+    std::copy(msg.data.begin(), msg.data.end(),
+              data.data() + chunk_begin(recv_c));
   }
 }
 

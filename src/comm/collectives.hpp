@@ -34,6 +34,7 @@
 
 namespace selsync {
 
+class ChunkCodec;
 class FaultInjector;
 
 /// The set of workers taking part in one collective call. `mask` has one
@@ -129,8 +130,15 @@ class RingAllreduce {
   /// timing and the event log.
   explicit RingAllreduce(size_t workers, FaultInjector* faults = nullptr);
 
-  /// In-place sum-allreduce of `data` (same length on every rank).
-  void run(size_t rank, std::span<float> data);
+  /// In-place sum-allreduce of `data` (same length on every rank). With a
+  /// `codec`, chunks move encoded: each reduce-scatter hop re-encodes the
+  /// partial sum it forwards (the sender holds decoded floats, so every hop
+  /// costs one lossy encode, with error feedback keyed per chunk); the fully
+  /// reduced chunk is encoded once by its owner and then forwarded verbatim
+  /// through the allgather, so all ranks decode the same bytes and replicas
+  /// stay consistent. Wire accounting accrues per send into the codec's
+  /// per-rank round account.
+  void run(size_t rank, std::span<float> data, ChunkCodec* codec = nullptr);
 
   /// Closes every link. Blocked receivers see a closed channel and throw;
   /// used by the cluster runner's teardown path so a crashed peer cannot
@@ -147,11 +155,15 @@ class RingAllreduce {
   struct Envelope {
     uint64_t seq = 0;
     double delay_s = 0.0;
+    /// Encoded size of `data` on the wire; 0 when the chunk moves dense.
+    /// Receivers that forward the chunk verbatim charge this size.
+    size_t wire_bytes = 0;
     std::vector<float> data;
   };
 
-  void send_reliable(size_t rank, size_t link, std::vector<float> payload);
-  std::vector<float> recv_reliable(size_t rank, size_t link);
+  void send_reliable(size_t rank, size_t link, std::vector<float> payload,
+                     size_t wire_bytes = 0);
+  Envelope recv_reliable(size_t rank, size_t link);
 
   size_t workers_;
   FaultInjector* faults_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "comm/collectives.hpp"
+#include "comm/compressed_chunk.hpp"
 #include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
 #include "comm/tree_allreduce.hpp"
@@ -23,14 +24,14 @@ const char* backend_kind_name(BackendKind kind) {
   return "?";
 }
 
-BackendKind parse_backend_kind(const std::string& name) {
-  if (name == "shared") return BackendKind::kSharedMemory;
-  if (name == "ring") return BackendKind::kRing;
-  if (name == "tree") return BackendKind::kTree;
-  if (name == "ps") return BackendKind::kParameterServer;
-  throw std::invalid_argument("unknown backend '" + name +
-                              "' (expected shared, ring, tree or ps)");
+std::optional<BackendKind> backend_kind_from_name(std::string_view name) {
+  for (BackendKind kind : {BackendKind::kSharedMemory, BackendKind::kRing,
+                           BackendKind::kTree, BackendKind::kParameterServer})
+    if (name == backend_kind_name(kind)) return kind;
+  return std::nullopt;
 }
+
+std::string backend_kind_names() { return "shared, ring, tree, ps"; }
 
 double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it) {
   const MessageFaultConfig& m = faults.plan().messages;
@@ -77,6 +78,31 @@ double ps_retry_penalty(FaultInjector& faults, size_t rank, uint64_t it,
   return penalty;
 }
 
+CommBackend::CommBackend(const CompressionConfig& codec, size_t workers)
+    : codec_(codec) {
+  if (has_codec())
+    codecs_.assign(workers, GradientCompressor(codec));
+}
+
+// Base gradient path: full-vector codec, then weight, then the dense data
+// plane — the exact operation order of the pre-fusion trainer, which the
+// shared-memory and PS backends keep (golden-parity anchor; the PS backend
+// thereby compresses its push payload before the RPC).
+double CommBackend::allreduce_encoded(WorkerContext& ctx,
+                                      std::vector<float>& grad,
+                                      const CommGroup& group, double& clock,
+                                      double delta, float weight) {
+  double ratio = 1.0;
+  if (has_codec()) {
+    GradientCompressor& codec = rank_codec(ctx.rank);
+    codec.compress(grad, delta);
+    ratio = codec.last_wire_ratio();
+  }
+  for (auto& g : grad) g *= weight;
+  allreduce(ctx, grad, group, clock);
+  return ratio;
+}
+
 // Control-plane defaults: every backend keeps the tiny latency-bound ops on
 // the shared-memory bus (see comm_backend.hpp header comment).
 std::vector<uint8_t> CommBackend::allgather_flags(WorkerContext& ctx,
@@ -99,19 +125,41 @@ void CommBackend::barrier(WorkerContext& ctx, const CommGroup& group) {
   ctx.collectives->barrier(group);
 }
 
-double CommBackend::sync_fault_penalty(FaultInjector&, size_t, uint64_t) {
-  return 0.0;
+SyncCost CommBackend::sync_cost(const CostModel& cost, size_t dense_bytes,
+                                size_t workers, double wire_ratio) const {
+  SyncCost c;
+  c.dense_bytes = dense_bytes;
+  c.wire_bytes =
+      wire_ratio == 1.0
+          ? dense_bytes
+          : static_cast<size_t>(static_cast<double>(dense_bytes) * wire_ratio);
+  c.transfer_s = transfer_time(cost, c.wire_bytes, workers);
+  if (c.wire_bytes < c.dense_bytes) {
+    // Codec compute when the payload was shrunk: compress + decompress over
+    // the full dense gradient at ~4 GB/s effective (GraVAC-range overhead),
+    // split evenly across the two directions.
+    const double codec = static_cast<double>(dense_bytes) / 4e9;
+    c.encode_s = 0.5 * codec;
+    c.decode_s = codec - c.encode_s;
+  }
+  return c;
 }
+
+void CommBackend::charge_sync_faults(SyncCost&, FaultInjector&, size_t,
+                                     uint64_t) {}
 
 namespace {
 
 /// Barrier-synchronous shared-buffer collectives — the seed's default
 /// transport. Costs and fault penalties stand in for whichever topology the
 /// job declares (PS incast or ring allreduce), exactly as the seed trainer
-/// charged them.
+/// charged them. Keeps the base full-vector codec path: this backend is the
+/// golden-parity anchor for compressed runs.
 class SharedMemBackend final : public CommBackend {
  public:
-  explicit SharedMemBackend(Topology topology) : topology_(topology) {}
+  SharedMemBackend(Topology topology, const CompressionConfig& codec,
+                   size_t workers)
+      : CommBackend(codec, workers), topology_(topology) {}
 
   BackendKind kind() const override { return BackendKind::kSharedMemory; }
 
@@ -120,20 +168,21 @@ class SharedMemBackend final : public CommBackend {
     ctx.collectives->allreduce_sum(ctx.rank, data, group);
   }
 
-  double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
-                            size_t workers) const override {
-    return topology_ == Topology::kParameterServer
-               ? cost.ps_sync_time(wire_bytes, workers)
-               : cost.ring_allreduce_time(wire_bytes, workers);
-  }
-
-  double sync_fault_penalty(FaultInjector& faults, size_t rank,
-                            uint64_t iteration) override {
+  void charge_sync_faults(SyncCost& cost, FaultInjector& faults, size_t rank,
+                          uint64_t iteration) override {
     double penalty = message_leg_penalty(faults, rank, iteration);
     if (topology_ == Topology::kParameterServer)
       penalty += ps_retry_penalty(faults, rank, iteration,
                                   /*allow_give_up=*/false, nullptr);
-    return penalty;
+    cost.fault_penalty_s += penalty;
+  }
+
+ protected:
+  double transfer_time(const CostModel& cost, size_t wire_bytes,
+                       size_t workers) const override {
+    return topology_ == Topology::kParameterServer
+               ? cost.ps_sync_time(wire_bytes, workers)
+               : cost.ring_allreduce_time(wire_bytes, workers);
   }
 
  private:
@@ -142,11 +191,20 @@ class SharedMemBackend final : public CommBackend {
 
 /// Channel-based bandwidth-optimal ring. Faults are injected per chunk
 /// inside RingAllreduce and drained from the injector's pending-delay
-/// account onto the caller's clock here.
+/// account onto the caller's clock here. With a codec, every chunk-hop
+/// moves encoded (see RingAllreduce::run): the ChunkCodec keeps per-
+/// (rank, chunk) error feedback and measures the wire bytes that actually
+/// crossed the links.
 class RingBackend final : public CommBackend {
  public:
-  RingBackend(size_t workers, FaultInjector* faults)
-      : faults_(faults), ring_(workers, faults) {}
+  RingBackend(size_t workers, FaultInjector* faults,
+              const CompressionConfig& codec)
+      : CommBackend(codec, workers),
+        faults_(faults),
+        ring_(workers, faults) {
+    if (codec.kind != CompressionKind::kNone)
+      chunk_codec_ = std::make_unique<ChunkCodec>(codec, workers);
+  }
 
   BackendKind kind() const override { return BackendKind::kRing; }
 
@@ -156,8 +214,42 @@ class RingBackend final : public CommBackend {
     if (faults_) clock += faults_->take_pending_delay(ctx.rank);
   }
 
-  double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
-                            size_t workers) const override {
+  double allreduce_encoded(WorkerContext& ctx, std::vector<float>& grad,
+                           const CommGroup& group, double& clock, double delta,
+                           float weight) override {
+    if (!chunk_codec_)
+      return CommBackend::allreduce_encoded(ctx, grad, group, clock, delta,
+                                            weight);
+    // Chunks hold partial sums of *weighted* contributions, so the weight
+    // goes on before anything flies (the full-vector path weights after
+    // encoding; Top-k selection is scale-invariant, so the codecs agree).
+    for (auto& g : grad) g *= weight;
+    chunk_codec_->begin_round(ctx.rank, delta);
+    ring_.run(ctx.rank, grad, chunk_codec_.get());
+    if (faults_) clock += faults_->take_pending_delay(ctx.rank);
+    return chunk_codec_->round_ratio(ctx.rank);
+  }
+
+  void charge_sync_faults(SyncCost& cost, FaultInjector& faults, size_t rank,
+                          uint64_t iteration) override {
+    // Seed parity: the ring injects message faults per chunk inside run(),
+    // but the seed trainer still charged the PS-RPC retry penalty whenever
+    // the *priced* topology was the parameter server — and those draws come
+    // from the same per-rank RNG stream as the chunk fates, so dropping
+    // them would shift every subsequent draw.
+    if (topology_ == Topology::kParameterServer)
+      cost.fault_penalty_s += ps_retry_penalty(faults, rank, iteration,
+                                               /*allow_give_up=*/false,
+                                               nullptr);
+  }
+
+  void set_topology(Topology topology) { topology_ = topology; }
+
+  void abort() override { ring_.close_all(); }
+
+ protected:
+  double transfer_time(const CostModel& cost, size_t wire_bytes,
+                       size_t workers) const override {
     // Parity with the seed trainer: the ring *transport* kept charging
     // whatever the job's declared topology priced (the knobs were
     // orthogonal there). The job maps ring -> ring pricing via
@@ -167,36 +259,27 @@ class RingBackend final : public CommBackend {
                : cost.ring_allreduce_time(wire_bytes, workers);
   }
 
-  double sync_fault_penalty(FaultInjector& faults, size_t rank,
-                            uint64_t iteration) override {
-    // Seed parity again: the ring injects message faults per chunk inside
-    // run(), but the seed trainer still charged the PS-RPC retry penalty
-    // whenever the *priced* topology was the parameter server — and those
-    // draws come from the same per-rank RNG stream as the chunk fates, so
-    // dropping them would shift every subsequent draw.
-    return topology_ == Topology::kParameterServer
-               ? ps_retry_penalty(faults, rank, iteration,
-                                  /*allow_give_up=*/false, nullptr)
-               : 0.0;
-  }
-
-  void set_topology(Topology topology) { topology_ = topology; }
-
-  void abort() override { ring_.close_all(); }
-
  private:
   FaultInjector* faults_;
   RingAllreduce ring_;
+  std::unique_ptr<ChunkCodec> chunk_codec_;
   Topology topology_ = Topology::kParameterServer;
 };
 
 /// log(N) reduction tree over channels; bit-identical to the shared-memory
-/// backend by construction (see tree_allreduce.hpp), priced as the classic
-/// tree schedule.
+/// backend by construction when dense (see tree_allreduce.hpp), priced as
+/// the classic tree schedule. With a codec, each rank's contribution moves
+/// encoded up the tree and the root's reduced vector moves encoded down it.
 class TreeBackend final : public CommBackend {
  public:
-  TreeBackend(size_t workers, FaultInjector* faults)
-      : faults_(faults), tree_(workers, faults) {}
+  TreeBackend(size_t workers, FaultInjector* faults,
+              const CompressionConfig& codec)
+      : CommBackend(codec, workers),
+        faults_(faults),
+        tree_(workers, faults) {
+    if (codec.kind != CompressionKind::kNone)
+      chunk_codec_ = std::make_unique<ChunkCodec>(codec, workers);
+  }
 
   BackendKind kind() const override { return BackendKind::kTree; }
 
@@ -206,25 +289,44 @@ class TreeBackend final : public CommBackend {
     if (faults_) clock += faults_->take_pending_delay(ctx.rank);
   }
 
-  double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
-                            size_t workers) const override {
-    return cost.tree_allreduce_time(wire_bytes, workers);
+  double allreduce_encoded(WorkerContext& ctx, std::vector<float>& grad,
+                           const CommGroup& group, double& clock, double delta,
+                           float weight) override {
+    if (!chunk_codec_)
+      return CommBackend::allreduce_encoded(ctx, grad, group, clock, delta,
+                                            weight);
+    for (auto& g : grad) g *= weight;
+    chunk_codec_->begin_round(ctx.rank, delta);
+    tree_.run(ctx.rank, grad, chunk_codec_.get());
+    if (faults_) clock += faults_->take_pending_delay(ctx.rank);
+    return chunk_codec_->round_ratio(ctx.rank);
   }
 
   void abort() override { tree_.close_all(); }
 
+ protected:
+  double transfer_time(const CostModel& cost, size_t wire_bytes,
+                       size_t workers) const override {
+    return cost.tree_allreduce_time(wire_bytes, workers);
+  }
+
  private:
   FaultInjector* faults_;
   TreeAllreduce tree_;
+  std::unique_ptr<ChunkCodec> chunk_codec_;
 };
 
 /// Synchronous rounds routed through a central ParameterServer instance
 /// (deterministic rank-slotted aggregation); the same instance is the
-/// central store SSP's push/pull path runs against.
+/// central store SSP's push/pull path runs against. Keeps the base
+/// full-vector codec path: the push payload is compressed before the RPC,
+/// so a compressed PS round stays bit-identical to the shared-memory
+/// backend's.
 class PsBackend final : public CommBackend {
  public:
-  PsBackend(std::vector<float> initial, size_t workers)
-      : ps_(std::move(initial), workers) {}
+  PsBackend(std::vector<float> initial, size_t workers,
+            const CompressionConfig& codec)
+      : CommBackend(codec, workers), ps_(std::move(initial), workers) {}
 
   BackendKind kind() const override { return BackendKind::kParameterServer; }
 
@@ -233,21 +335,23 @@ class PsBackend final : public CommBackend {
     data = ps_.push_and_sum_ranked(ctx.rank, data, group.size);
   }
 
-  double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
-                            size_t workers) const override {
-    return cost.ps_sync_time(wire_bytes, workers);
-  }
-
-  double sync_fault_penalty(FaultInjector& faults, size_t rank,
-                            uint64_t iteration) override {
-    return message_leg_penalty(faults, rank, iteration) +
-           ps_retry_penalty(faults, rank, iteration, /*allow_give_up=*/false,
-                            nullptr);
+  void charge_sync_faults(SyncCost& cost, FaultInjector& faults, size_t rank,
+                          uint64_t iteration) override {
+    double penalty = message_leg_penalty(faults, rank, iteration);
+    penalty += ps_retry_penalty(faults, rank, iteration,
+                                /*allow_give_up=*/false, nullptr);
+    cost.fault_penalty_s += penalty;
   }
 
   ParameterServer* central_store() override { return &ps_; }
 
   void abort() override { ps_.abort(); }
+
+ protected:
+  double transfer_time(const CostModel& cost, size_t wire_bytes,
+                       size_t workers) const override {
+    return cost.ps_sync_time(wire_bytes, workers);
+  }
 
  private:
   ParameterServer ps_;
@@ -259,21 +363,24 @@ std::unique_ptr<CommBackend> make_comm_backend(
     const CommBackendConfig& config) {
   switch (config.kind) {
     case BackendKind::kSharedMemory:
-      return std::make_unique<SharedMemBackend>(config.topology);
+      return std::make_unique<SharedMemBackend>(
+          config.topology, config.compression, config.workers);
     case BackendKind::kRing: {
-      auto ring = std::make_unique<RingBackend>(config.workers, config.faults);
+      auto ring = std::make_unique<RingBackend>(config.workers, config.faults,
+                                                config.compression);
       ring->set_topology(config.topology);
       return ring;
     }
     case BackendKind::kTree:
-      return std::make_unique<TreeBackend>(config.workers, config.faults);
+      return std::make_unique<TreeBackend>(config.workers, config.faults,
+                                           config.compression);
     case BackendKind::kParameterServer:
       if (config.initial_params.empty())
         throw std::invalid_argument(
             "make_comm_backend: the ps backend needs initial parameters for "
             "its central store");
-      return std::make_unique<PsBackend>(config.initial_params,
-                                         config.workers);
+      return std::make_unique<PsBackend>(config.initial_params, config.workers,
+                                         config.compression);
   }
   throw std::invalid_argument("make_comm_backend: unknown backend kind");
 }

@@ -9,9 +9,17 @@
 // branched on inside the loop.
 //
 // Division of labour, fixed across backends so runs stay comparable:
-//  * allreduce() is the data plane: it carries the payload and accrues any
-//    backend-injected fault delay (ring/tree chunk retransmits) onto the
-//    calling worker's simulated clock.
+//  * allreduce() / allreduce_encoded() are the data plane. allreduce()
+//    carries a dense payload and accrues any backend-injected fault delay
+//    (ring/tree chunk retransmits) onto the calling worker's simulated
+//    clock. allreduce_encoded() is the gradient path: each backend owns an
+//    optional gradient codec (paper §II-D baselines) and moves *encoded*
+//    payloads — the shared-memory and PS backends compress the full vector
+//    before it enters the bus / push RPC, the ring re-encodes each
+//    reduce-scatter hop and ships reduced chunks encoded-once through the
+//    allgather, the tree encodes each rank's contribution once on the way
+//    up and the reduced vector once on the way down. The achieved
+//    wire-vs-dense ratio is returned for cost accounting.
 //  * allgather_flags / broadcast / allreduce_max / barrier are the control
 //    plane. Every backend routes them over the shared-memory bus: they are
 //    tiny, latency-bound, and keeping them on one deterministic path means
@@ -19,22 +27,26 @@
 //    identical across backends — which is what makes cross-backend
 //    bit-parity testable at all. Their simulated cost is charged separately
 //    (StepTimeModel::flag_time).
-//  * sync_transfer_time() is the per-op cost account: the simulated seconds
-//    one synchronization round moving `wire_bytes` costs on this backend's
-//    network schedule.
-//  * sync_fault_penalty() is the per-op fault account: the simulated-time
+//  * sync_cost() is the per-round cost account: one SyncCost breakdown —
+//    transfer on this backend's network schedule, codec encode/decode
+//    compute, wire-vs-dense byte counts — per synchronization round.
+//  * charge_sync_faults() is the per-round fault account: the simulated-time
 //    penalty injected message/RPC faults charge the rank at a
-//    synchronization point. Backends that inject per chunk inside
-//    allreduce() (ring, tree) return 0 here.
+//    synchronization point accrues into SyncCost::fault_penalty_s. Backends
+//    that inject per chunk inside the data plane (ring, tree) charge only
+//    the RPC penalties their priced topology implies.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/cluster.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/compression.hpp"
 
 namespace selsync {
 
@@ -50,8 +62,11 @@ enum class BackendKind { kSharedMemory, kRing, kTree, kParameterServer };
 
 const char* backend_kind_name(BackendKind kind);
 
-/// Parses "shared" | "ring" | "tree" | "ps"; throws std::invalid_argument.
-BackendKind parse_backend_kind(const std::string& name);
+/// "shared" | "ring" | "tree" | "ps" -> kind; nullopt for anything else.
+std::optional<BackendKind> backend_kind_from_name(std::string_view name);
+
+/// The accepted --backend spellings, for CLI help and error messages.
+std::string backend_kind_names();
 
 /// Simulated-time penalty for the two message legs (push + pull) of one PS
 /// interaction on a shared-bus transport; channel transports inject their
@@ -67,6 +82,60 @@ double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it);
 double ps_retry_penalty(FaultInjector& faults, size_t rank, uint64_t it,
                         bool allow_give_up, bool* gave_up);
 
+/// The priced breakdown of one synchronization round on one backend: what
+/// the round's simulated seconds are spent on and how many bytes actually
+/// crossed the wire. Replaces the former scalar sync_transfer_time /
+/// sync_fault_penalty pair so compression and faults are accounted per
+/// backend, not folded into one opaque number.
+struct SyncCost {
+  /// Transfer of `wire_bytes` on the backend's network schedule.
+  double transfer_s = 0.0;
+  /// Codec compute: compress the dense gradient / decompress the received
+  /// payload (zero when the payload shipped dense).
+  double encode_s = 0.0;
+  double decode_s = 0.0;
+  /// Injected message/RPC fault penalties drawn at this sync point.
+  double fault_penalty_s = 0.0;
+  /// Bytes on the wire vs. the dense payload they stand in for.
+  size_t wire_bytes = 0;
+  size_t dense_bytes = 0;
+
+  /// The aligned-clock charge of the round (what lands on every worker's
+  /// clock after allreduce_max): transfer plus codec compute.
+  double round_time() const { return transfer_s + (encode_s + decode_s); }
+  /// Everything, including this rank's fault penalties (charged before
+  /// clock alignment, so they drag the whole round — paper §II-A).
+  double total_time() const { return round_time() + fault_penalty_s; }
+  double wire_ratio() const {
+    return dense_bytes == 0 ? 1.0
+                            : static_cast<double>(wire_bytes) /
+                                  static_cast<double>(dense_bytes);
+  }
+};
+
+/// Accumulated SyncCost over a run's synchronization rounds (byte counts as
+/// doubles: paper-scale totals overflow size_t long before they overflow a
+/// double's integer range).
+struct SyncCostTotals {
+  uint64_t rounds = 0;
+  double transfer_s = 0.0;
+  double encode_s = 0.0;
+  double decode_s = 0.0;
+  double fault_penalty_s = 0.0;
+  double wire_bytes = 0.0;
+  double dense_bytes = 0.0;
+
+  void add(const SyncCost& cost) {
+    ++rounds;
+    transfer_s += cost.transfer_s;
+    encode_s += cost.encode_s;
+    decode_s += cost.decode_s;
+    fault_penalty_s += cost.fault_penalty_s;
+    wire_bytes += static_cast<double>(cost.wire_bytes);
+    dense_bytes += static_cast<double>(cost.dense_bytes);
+  }
+};
+
 class CommBackend {
  public:
   virtual ~CommBackend() = default;
@@ -79,6 +148,22 @@ class CommBackend {
   /// backend injects per chunk accrue onto `clock` (simulated seconds).
   virtual void allreduce(WorkerContext& ctx, std::vector<float>& data,
                          const CommGroup& group, double& clock) = 0;
+
+  /// Gradient-payload allreduce through this backend's codec: compresses
+  /// `grad` (per-rank error-feedback state lives in the backend), applies
+  /// the caller's contribution `weight`, moves the encoded payload, and
+  /// leaves the summed reconstruction in `grad`. Returns the achieved
+  /// wire/dense byte ratio for the round (1.0 without a codec). `delta` is
+  /// the caller's current Δ(g), consumed by the adaptive Top-k mode.
+  ///
+  /// The base implementation — kept by the shared-memory and PS backends —
+  /// compresses the full vector exactly as the pre-fusion trainer did
+  /// (compress, then weight, then allreduce), which anchors golden parity;
+  /// the chunked transports override it to encode per chunk-hop.
+  virtual double allreduce_encoded(WorkerContext& ctx,
+                                   std::vector<float>& grad,
+                                   const CommGroup& group, double& clock,
+                                   double delta, float weight);
 
   /// ---- control plane (shared bus on every backend; see file comment) ----
   virtual std::vector<uint8_t> allgather_flags(WorkerContext& ctx,
@@ -95,23 +180,49 @@ class CommBackend {
   /// path and its staleness bound run against this store.
   virtual ParameterServer* central_store() { return nullptr; }
 
-  /// ---- per-op cost accounting -------------------------------------------
-  /// Simulated seconds one synchronization round moving `wire_bytes` costs
-  /// on this backend for a `workers`-rank cluster (transfer only; codec
-  /// cost is added by StepTimeModel).
-  virtual double sync_transfer_time(const CostModel& cost, size_t wire_bytes,
-                                    size_t workers) const = 0;
+  /// ---- per-round cost accounting ----------------------------------------
+  /// Prices one synchronization round: a dense payload of `dense_bytes`
+  /// moved at `wire_ratio` (from allreduce_encoded) on this backend's
+  /// schedule for a `workers`-rank cluster. Fills transfer, codec
+  /// encode/decode and the byte counts; fault_penalty_s is the caller's
+  /// (accrued via charge_sync_faults).
+  SyncCost sync_cost(const CostModel& cost, size_t dense_bytes,
+                     size_t workers, double wire_ratio = 1.0) const;
 
   /// ---- fault-injection accounting ---------------------------------------
-  /// Simulated-time penalty injected message/RPC faults charge `rank` at a
-  /// synchronization point (drawn from the rank's deterministic fault
-  /// stream). Backends injecting per chunk inside allreduce() return 0.
-  virtual double sync_fault_penalty(FaultInjector& faults, size_t rank,
-                                    uint64_t iteration);
+  /// Accrues into `cost.fault_penalty_s` the simulated-time penalty
+  /// injected message/RPC faults charge `rank` at a synchronization point
+  /// (drawn from the rank's deterministic fault stream). Backends injecting
+  /// per chunk inside the data plane add only their priced topology's RPC
+  /// penalties. Default: no-op.
+  virtual void charge_sync_faults(SyncCost& cost, FaultInjector& faults,
+                                  size_t rank, uint64_t iteration);
 
   /// Teardown: unblock any worker parked inside a backend primitive
   /// (channel recv, PS condition wait). Wired to run_cluster's abort hook.
   virtual void abort() {}
+
+  /// The codec fused into this backend's data plane (kind kNone = dense).
+  const CompressionConfig& codec() const { return codec_; }
+
+ protected:
+  /// Backends own their codec: one GradientCompressor per rank (each rank's
+  /// error-feedback residual is touched only by that rank's thread), or —
+  /// for the chunked transports — a ChunkCodec built by the subclass from
+  /// the same config.
+  CommBackend(const CompressionConfig& codec, size_t workers);
+
+  bool has_codec() const { return codec_.kind != CompressionKind::kNone; }
+  GradientCompressor& rank_codec(size_t rank) { return codecs_.at(rank); }
+
+  /// The transfer term of sync_cost(): simulated seconds one round moving
+  /// `wire_bytes` costs on this backend's network schedule.
+  virtual double transfer_time(const CostModel& cost, size_t wire_bytes,
+                               size_t workers) const = 0;
+
+ private:
+  CompressionConfig codec_;
+  std::vector<GradientCompressor> codecs_;  // one per rank
 };
 
 /// Everything a backend needs at construction. `collectives` are reached
@@ -125,6 +236,9 @@ struct CommBackendConfig {
   Topology topology = Topology::kParameterServer;
   /// Optional fault injector shared by the whole run.
   FaultInjector* faults = nullptr;
+  /// Gradient codec fused into the backend's data plane (TrainJob::
+  /// compression); kNone moves dense payloads.
+  CompressionConfig compression;
   /// Seed model for the parameter-server backend's central store; ignored
   /// by the others.
   std::vector<float> initial_params;

@@ -1,0 +1,45 @@
+#include "comm/compressed_chunk.hpp"
+
+#include <stdexcept>
+
+namespace selsync {
+
+ChunkCodec::ChunkCodec(const CompressionConfig& config, size_t workers)
+    : config_(config) {
+  if (config.kind == CompressionKind::kNone)
+    throw std::invalid_argument("ChunkCodec: no codec configured");
+  if (config.kind == CompressionKind::kTopK &&
+      (config.topk_fraction <= 0.0 || config.topk_fraction > 1.0))
+    throw std::invalid_argument("ChunkCodec: topk fraction in (0,1]");
+  ranks_.resize(workers);
+  for (RankState& state : ranks_) state.effective = config;
+}
+
+void ChunkCodec::begin_round(size_t rank, double delta) {
+  RankState& state = ranks_.at(rank);
+  state.effective = effective_compression(config_, delta);
+  state.wire = 0;
+  state.dense = 0;
+}
+
+size_t ChunkCodec::transform(size_t rank, size_t slot,
+                             std::span<float> chunk) {
+  RankState& state = ranks_.at(rank);
+  std::vector<float>* residual =
+      config_.error_feedback ? &state.residuals[slot] : nullptr;
+  return codec_transform(state.effective, chunk, residual);
+}
+
+void ChunkCodec::charge(size_t rank, size_t wire, size_t dense) {
+  RankState& state = ranks_.at(rank);
+  state.wire += wire;
+  state.dense += dense;
+}
+
+double ChunkCodec::round_ratio(size_t rank) const {
+  const RankState& state = ranks_.at(rank);
+  if (state.dense == 0) return 1.0;
+  return static_cast<double>(state.wire) / static_cast<double>(state.dense);
+}
+
+}  // namespace selsync

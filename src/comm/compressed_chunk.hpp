@@ -1,0 +1,69 @@
+// Per-chunk codec state for the chunked transports (DESIGN.md §8).
+//
+// The ring and tree data planes do not move one monolithic gradient: the
+// ring circulates N chunks through 2*(N-1) hops, the tree gathers per-rank
+// contributions and broadcasts one reduced vector. Fusing a gradient codec
+// into those protocols therefore needs codec state *per (rank, payload
+// slot)* — each recurring payload keeps its own DGC error-feedback residual,
+// so what one hop drops is fed back into the same payload next round — plus
+// per-rank wire accounting that sums what actually crossed each link.
+//
+// ChunkCodec is that state. It deliberately shares the encode->decode kernel
+// (comm/compression.hpp: codec_transform) with the full-vector
+// GradientCompressor the shared-memory and PS backends use, so every
+// transport applies identical codec semantics and only the chunking differs.
+//
+// Charging contract: transform() applies the codec (lossy, with feedback)
+// but charges nothing — the transport charges per *send* via charge(), so an
+// already-encoded chunk forwarded verbatim through several hops is priced on
+// every link it crosses without being re-lossed on each.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "comm/compression.hpp"
+
+namespace selsync {
+
+class ChunkCodec {
+ public:
+  /// One independent codec state per rank; each rank's state is only ever
+  /// touched by that rank's worker thread.
+  ChunkCodec(const CompressionConfig& config, size_t workers);
+
+  /// Starts a synchronization round for `rank`: resolves the adaptive Top-k
+  /// fraction against the rank's current Δ(g) and resets its wire account.
+  void begin_round(size_t rank, double delta);
+
+  /// Encode->decode `chunk` in place with error feedback keyed on
+  /// (rank, slot). Returns the encoded wire size in bytes. Does not charge —
+  /// see the charging contract above.
+  size_t transform(size_t rank, size_t slot, std::span<float> chunk);
+
+  /// Accounts one send on `rank`'s links: `wire` encoded bytes standing in
+  /// for `dense` uncompressed ones.
+  void charge(size_t rank, size_t wire, size_t dense);
+
+  /// wire/dense ratio accumulated since begin_round (1.0 when the rank sent
+  /// nothing, e.g. a single-worker ring).
+  double round_ratio(size_t rank) const;
+
+  const CompressionConfig& config() const { return config_; }
+
+ private:
+  struct RankState {
+    CompressionConfig effective;
+    /// slot -> error-feedback residual for that recurring payload.
+    std::map<size_t, std::vector<float>> residuals;
+    size_t wire = 0;
+    size_t dense = 0;
+  };
+
+  CompressionConfig config_;
+  std::vector<RankState> ranks_;
+};
+
+}  // namespace selsync

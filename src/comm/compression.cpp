@@ -1,0 +1,151 @@
+#include "comm/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace selsync {
+
+const char* compression_kind_name(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kTopK:
+      return "topk";
+    case CompressionKind::kSignSgd:
+      return "signsgd";
+    case CompressionKind::kQuant8:
+      return "quant8";
+  }
+  return "?";
+}
+
+std::optional<CompressionKind> compression_kind_from_name(
+    std::string_view name) {
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8})
+    if (name == compression_kind_name(kind)) return kind;
+  return std::nullopt;
+}
+
+std::string compression_kind_names() { return "none, topk, signsgd, quant8"; }
+
+CompressionConfig effective_compression(const CompressionConfig& config,
+                                        double delta) {
+  CompressionConfig effective = config;
+  if (config.adaptive && config.kind == CompressionKind::kTopK &&
+      delta >= config.critical_delta)
+    effective.topk_fraction = config.topk_fraction_critical;
+  return effective;
+}
+
+GradientCompressor::GradientCompressor(CompressionConfig config)
+    : config_(config) {
+  if (config.kind == CompressionKind::kTopK &&
+      (config.topk_fraction <= 0.0 || config.topk_fraction > 1.0))
+    throw std::invalid_argument("GradientCompressor: topk fraction in (0,1]");
+}
+
+size_t GradientCompressor::wire_bytes(const CompressionConfig& config,
+                                      size_t values) {
+  if (values == 0) return 0;  // nothing to ship, whatever the codec
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      return values * sizeof(float);
+    case CompressionKind::kTopK: {
+      const auto k = static_cast<size_t>(
+          std::ceil(config.topk_fraction * static_cast<double>(values)));
+      // At least one entry always ships (a tiny gradient cannot round the
+      // payload down to nothing), and never more than the gradient holds.
+      return std::clamp<size_t>(k, 1, values) *
+             (sizeof(float) + sizeof(uint32_t));
+    }
+    case CompressionKind::kSignSgd:
+      return (values + 7) / 8 + sizeof(float);  // whole bytes on the wire
+    case CompressionKind::kQuant8:
+      return values + 2 * sizeof(float);
+  }
+  return values * sizeof(float);
+}
+
+size_t codec_transform(const CompressionConfig& effective,
+                       std::span<float> data, std::vector<float>* residual) {
+  if (effective.kind == CompressionKind::kNone || data.empty())
+    return data.size() * sizeof(float);
+
+  const bool feedback = effective.error_feedback && residual != nullptr;
+  if (feedback) {
+    if (residual->size() != data.size()) residual->assign(data.size(), 0.f);
+    for (size_t i = 0; i < data.size(); ++i) data[i] += (*residual)[i];
+  }
+
+  switch (effective.kind) {
+    case CompressionKind::kTopK: {
+      const auto k = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(effective.topk_fraction *
+                                           static_cast<double>(data.size()))));
+      // Threshold = k-th largest magnitude (nth_element on a copy).
+      std::vector<float> magnitudes(data.size());
+      for (size_t i = 0; i < data.size(); ++i)
+        magnitudes[i] = std::fabs(data[i]);
+      std::nth_element(magnitudes.begin(),
+                       magnitudes.begin() + static_cast<long>(k - 1),
+                       magnitudes.end(), std::greater<float>());
+      const float threshold = magnitudes[k - 1];
+      for (size_t i = 0; i < data.size(); ++i) {
+        const float kept = std::fabs(data[i]) >= threshold ? data[i] : 0.f;
+        if (feedback) (*residual)[i] = data[i] - kept;
+        data[i] = kept;
+      }
+      break;
+    }
+    case CompressionKind::kSignSgd: {
+      // g -> sign(g) * mean(|g|), the scale-preserving signSGD variant.
+      double mean_abs = 0.0;
+      for (float g : data) mean_abs += std::fabs(g);
+      mean_abs /= std::max<size_t>(data.size(), 1);
+      for (size_t i = 0; i < data.size(); ++i) {
+        const float kept = data[i] > 0   ? static_cast<float>(mean_abs)
+                           : data[i] < 0 ? static_cast<float>(-mean_abs)
+                                         : 0.f;
+        if (feedback) (*residual)[i] = data[i] - kept;
+        data[i] = kept;
+      }
+      break;
+    }
+    case CompressionKind::kQuant8: {
+      float max_abs = 0.f;
+      for (float g : data) max_abs = std::max(max_abs, std::fabs(g));
+      const float scale = max_abs > 0 ? max_abs / 127.f : 1.f;
+      for (size_t i = 0; i < data.size(); ++i) {
+        const float q =
+            std::round(data[i] / scale) * scale;  // 8-bit linear levels
+        if (feedback) (*residual)[i] = data[i] - q;
+        data[i] = q;
+      }
+      break;
+    }
+    case CompressionKind::kNone:
+      break;
+  }
+
+  return GradientCompressor::wire_bytes(effective, data.size());
+}
+
+size_t GradientCompressor::compress(std::vector<float>& grad, double delta) {
+  if (config_.kind == CompressionKind::kNone || grad.empty()) {
+    last_ratio_ = 1.0;
+    return grad.size() * sizeof(float);
+  }
+
+  const CompressionConfig effective = effective_compression(config_, delta);
+  const size_t bytes =
+      codec_transform(effective, std::span<float>(grad),
+                      config_.error_feedback ? &residual_ : nullptr);
+  last_ratio_ = static_cast<double>(bytes) /
+                static_cast<double>(grad.size() * sizeof(float));
+  return bytes;
+}
+
+}  // namespace selsync

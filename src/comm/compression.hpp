@@ -7,9 +7,19 @@
 // data through shared memory; only the *wire* payload differs) and support
 // DGC-style error feedback: the residual each codec drops is fed back into
 // the next iteration's gradient so the update is unbiased over time.
+//
+// codec_transform() is the single encode->decode kernel; the full-vector
+// GradientCompressor (shared-memory / PS data planes) and the per-chunk
+// ChunkCodec (ring / tree data planes, comm/compressed_chunk.hpp) both run
+// their payloads through it, so every transport applies identical codec
+// semantics.
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace selsync {
@@ -17,6 +27,13 @@ namespace selsync {
 enum class CompressionKind { kNone, kTopK, kSignSgd, kQuant8 };
 
 const char* compression_kind_name(CompressionKind kind);
+
+/// "none" | "topk" | "signsgd" | "quant8" -> kind; nullopt for anything else.
+std::optional<CompressionKind> compression_kind_from_name(
+    std::string_view name);
+
+/// The accepted --codec spellings, for CLI help and error messages.
+std::string compression_kind_names();
 
 struct CompressionConfig {
   CompressionKind kind = CompressionKind::kNone;
@@ -35,6 +52,20 @@ struct CompressionConfig {
   double topk_fraction_critical = 0.25;
 };
 
+/// Resolves the adaptive Top-k fraction against the caller's current Δ(g):
+/// the returned config's topk_fraction is final.
+CompressionConfig effective_compression(const CompressionConfig& config,
+                                        double delta);
+
+/// Applies `effective`'s encode->decode to `data` in place. With `residual`
+/// non-null (and error feedback enabled in the config) the residual is added
+/// before encoding and refilled with what the codec dropped — DGC error
+/// feedback. Adaptive resolution happens in the caller (the fraction in
+/// `effective` is final; see effective_compression). Returns the encoded
+/// wire payload in bytes.
+size_t codec_transform(const CompressionConfig& effective,
+                       std::span<float> data, std::vector<float>* residual);
+
 class GradientCompressor {
  public:
   explicit GradientCompressor(CompressionConfig config);
@@ -45,15 +76,18 @@ class GradientCompressor {
   /// gradient change, consumed only by the adaptive mode.
   size_t compress(std::vector<float>& grad, double delta = 0.0);
 
-  /// Wire bytes / uncompressed bytes for the last compress() call (1.0 for
-  /// kNone). Drives the paper-scale communication cost.
+  /// Wire bytes / uncompressed bytes for the last compress() call. Drives
+  /// the paper-scale communication cost. Well-defined before the first
+  /// compress(): 1.0 (nothing shipped yet means nothing was shrunk), also
+  /// the value for kNone and for empty gradients.
   double last_wire_ratio() const { return last_ratio_; }
 
   const CompressionConfig& config() const { return config_; }
 
-  /// Wire payload for a `values`-element gradient under this codec:
-  ///   TopK:   k * (4 value bytes + 4 index bytes)
-  ///   Sign:   1 bit per value + one scale float
+  /// Wire payload for a `values`-element gradient under this codec (0 for an
+  /// empty gradient regardless of codec):
+  ///   TopK:   k * (4 value bytes + 4 index bytes), k clamped to [1, values]
+  ///   Sign:   1 bit per value (rounded up to whole bytes) + one scale float
   ///   Quant8: 1 byte per value + two scale floats
   static size_t wire_bytes(const CompressionConfig& config, size_t values);
 

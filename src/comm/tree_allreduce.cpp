@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "comm/compressed_chunk.hpp"
 #include "comm/fault_injector.hpp"
 
 namespace selsync {
@@ -86,36 +87,57 @@ TreeAllreduce::Envelope TreeAllreduce::recv_reliable(size_t receiver,
   }
 }
 
-void TreeAllreduce::run(size_t rank, std::span<float> data) {
+void TreeAllreduce::run(size_t rank, std::span<float> data,
+                        ChunkCodec* codec) {
   if (workers_ == 1) return;
   const size_t n = data.size();
+  const size_t dense_bytes = n * sizeof(float);
+  // Codec slots per rank: 0 = this rank's own contribution, 1 = the reduced
+  // vector (only the root encodes it). Each keeps its own error-feedback
+  // residual across rounds.
+  constexpr size_t kOwnSlot = 0, kReducedSlot = 1;
 
   // ---- up sweep: gather rank-tagged contributions toward the root --------
-  std::vector<std::pair<size_t, std::vector<float>>> contribs;
-  contribs.emplace_back(rank, std::vector<float>(data.begin(), data.end()));
+  // With a codec, a contribution is encoded exactly once — by its owner,
+  // before it first flies — and forwarded verbatim by interior nodes.
+  std::vector<Contribution> contribs;
+  {
+    Contribution own;
+    own.rank = rank;
+    own.values.assign(data.begin(), data.end());
+    if (codec)
+      own.wire_bytes =
+          codec->transform(rank, kOwnSlot, std::span<float>(own.values));
+    contribs.push_back(std::move(own));
+  }
   for (size_t child : children_of(rank)) {
     Envelope env =
         recv_reliable(rank, *up_links_[child], up_recv_seq_[child]);
     for (auto& entry : env.contribs) {
-      if (entry.second.size() != n)
+      if (entry.values.size() != n)
         throw std::invalid_argument("tree allreduce: length mismatch");
       contribs.push_back(std::move(entry));
     }
   }
 
+  size_t reduced_wire = 0;
   if (rank != 0) {
+    if (codec)
+      for (const Contribution& c : contribs)
+        codec->charge(rank, c.wire_bytes, dense_bytes);
     Envelope up;
     up.contribs = std::move(contribs);
     send_reliable(rank, *up_links_[rank], up_send_seq_[rank], std::move(up));
     const Envelope down =
         recv_reliable(rank, *down_links_[rank], down_recv_seq_[rank]);
     std::copy(down.reduced.begin(), down.reduced.end(), data.begin());
+    reduced_wire = down.reduced_wire_bytes;
   } else {
     // Root: reduce all N contributions in ascending rank order — the same
     // fixed summation order as SharedCollectives::allreduce_sum, so the
     // result is bit-identical to the shared-memory backend.
     std::vector<const std::vector<float>*> by_rank(workers_, nullptr);
-    for (const auto& entry : contribs) by_rank[entry.first] = &entry.second;
+    for (const auto& entry : contribs) by_rank[entry.rank] = &entry.values;
     for (const auto* c : by_rank)
       if (!c) throw std::logic_error("tree allreduce: missing contribution");
     for (size_t i = 0; i < n; ++i) {
@@ -123,12 +145,18 @@ void TreeAllreduce::run(size_t rank, std::span<float> data) {
       for (size_t w = 0; w < workers_; ++w) acc += (*by_rank[w])[i];
       data[i] = acc;
     }
+    // The root encodes the reduced vector once and adopts the decode
+    // itself, so the broadcast hands every rank the identical
+    // reconstruction it holds.
+    if (codec) reduced_wire = codec->transform(rank, kReducedSlot, data);
   }
 
   // ---- down sweep: broadcast the reduced vector ---------------------------
   for (size_t child : children_of(rank)) {
     Envelope down;
     down.reduced.assign(data.begin(), data.end());
+    down.reduced_wire_bytes = reduced_wire;
+    if (codec) codec->charge(rank, reduced_wire, dense_bytes);
     send_reliable(rank, *down_links_[child], down_send_seq_[child],
                   std::move(down));
   }

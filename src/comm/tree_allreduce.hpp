@@ -33,6 +33,7 @@
 
 namespace selsync {
 
+class ChunkCodec;
 class FaultInjector;
 
 class TreeAllreduce {
@@ -41,7 +42,16 @@ class TreeAllreduce {
 
   /// In-place sum-allreduce of `data` (same length on every rank). All
   /// `workers` ranks must call per round.
-  void run(size_t rank, std::span<float> data);
+  ///
+  /// With a `codec`, contributions move encoded: each rank encodes its own
+  /// contribution exactly once before it enters the up sweep (error feedback
+  /// keyed per rank), interior nodes forward their subtree's already-encoded
+  /// contributions verbatim, and the root encodes the reduced vector once —
+  /// applying the same decode to its own replica — before the down sweep, so
+  /// every rank adopts identical reconstructed values. Wire accounting
+  /// accrues per link crossing into the codec's per-rank round account,
+  /// which naturally prices the gather-style payload growth toward the root.
+  void run(size_t rank, std::span<float> data, ChunkCodec* codec = nullptr);
 
   /// Closes every link so blocked receivers throw instead of hanging; used
   /// by the cluster runner's abort path.
@@ -51,14 +61,25 @@ class TreeAllreduce {
   static size_t critical_path_hops(size_t workers);
 
  private:
+  /// One rank's gradient as it travels the up sweep. `wire_bytes` is its
+  /// encoded size (0 when moving dense); forwarders price it without
+  /// re-encoding.
+  struct Contribution {
+    size_t rank = 0;
+    size_t wire_bytes = 0;
+    std::vector<float> values;
+  };
+
   struct Envelope {
     uint64_t seq = 0;
     double delay_s = 0.0;
-    /// Up-sweep payload: (rank, contribution) pairs for the sender's
-    /// subtree. Empty on down-sweep messages.
-    std::vector<std::pair<size_t, std::vector<float>>> contribs;
-    /// Down-sweep payload: the reduced vector. Empty on up-sweep messages.
+    /// Up-sweep payload: the sender's subtree contributions. Empty on
+    /// down-sweep messages.
+    std::vector<Contribution> contribs;
+    /// Down-sweep payload: the reduced vector (its encoded size rides in
+    /// `reduced_wire_bytes`). Empty on up-sweep messages.
     std::vector<float> reduced;
+    size_t reduced_wire_bytes = 0;
   };
 
   static size_t parent_of(size_t rank) { return (rank - 1) / 2; }

@@ -11,7 +11,7 @@
 #include "comm/cost_model.hpp"
 #include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
-#include "core/compression.hpp"
+#include "comm/compression.hpp"
 #include "data/partition.hpp"
 #include "nn/models.hpp"
 #include "nn/paper_profiles.hpp"
@@ -136,6 +136,10 @@ struct TrainJob {
   /// Instrumentation.
   bool record_delta_trace = false;     // worker 0's Δ(g_i) per step (Fig. 5)
   bool record_grad_sq_trace = false;   // worker 0's ||g||² per step
+  /// Serialize the per-run SyncCost breakdown (TrainResult::sync_cost)
+  /// into the run record. Off by default: golden records predate the
+  /// breakdown and must stay byte-identical.
+  bool record_sync_cost = false;
   std::vector<double> snapshot_epochs;  // worker-0 weight snapshots (Fig. 11)
 
   /// Per-worker steps that make up one epoch of global progress: the

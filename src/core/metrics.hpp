@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
@@ -48,6 +49,14 @@ struct TrainResult {
   double sim_time_s = 0.0;        // simulated cluster time at completion
   double comm_bytes = 0.0;        // per-worker paper-scale bytes moved
   double wall_time_s = 0.0;       // actual host time the run took
+
+  /// The root worker's accumulated per-round SyncCost account (transfer /
+  /// codec / fault seconds, wire-vs-dense bytes) over every priced
+  /// synchronization round. Serialized into the run record only when the
+  /// job sets record_sync_cost (sync_cost_recorded mirrors that flag), so
+  /// pre-existing golden records stay byte-identical.
+  SyncCostTotals sync_cost;
+  bool sync_cost_recorded = false;
 
   std::vector<EvalPoint> eval_history;
   EvalPoint final_eval;

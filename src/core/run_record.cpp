@@ -102,6 +102,21 @@ JsonValue result_to_json(const TrainResult& result) {
   }
   j.set("eval_history", std::move(history));
 
+  // Emitted only on opt-in (TrainJob::record_sync_cost): the golden parity
+  // records predate the SyncCost breakdown and must stay byte-identical.
+  if (result.sync_cost_recorded) {
+    const SyncCostTotals& s = result.sync_cost;
+    JsonValue sc = JsonValue::object();
+    sc.set("rounds", static_cast<double>(s.rounds));
+    sc.set("transfer_s", s.transfer_s);
+    sc.set("encode_s", s.encode_s);
+    sc.set("decode_s", s.decode_s);
+    sc.set("fault_penalty_s", s.fault_penalty_s);
+    sc.set("wire_bytes", s.wire_bytes);
+    sc.set("dense_bytes", s.dense_bytes);
+    j.set("sync_cost", std::move(sc));
+  }
+
   if (result.faults.any()) {
     const FaultSummary& f = result.faults;
     JsonValue fj = JsonValue::object();

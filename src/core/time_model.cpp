@@ -36,15 +36,11 @@ double StepTimeModel::sync_time_for_bytes(size_t wire_bytes) const {
   return transfer + codec;
 }
 
-double StepTimeModel::sync_time_for_bytes(size_t wire_bytes,
-                                          const CommBackend& backend) const {
-  const double transfer =
-      backend.sync_transfer_time(cost_, wire_bytes, workers_);
-  const double codec =
-      wire_bytes < payload_bytes()
-          ? static_cast<double>(payload_bytes()) / 4e9
-          : 0.0;
-  return transfer + codec;
+void StepTimeModel::price_sync(SyncCost& cost, const CommBackend& backend,
+                               double wire_ratio) const {
+  const double fault_penalty = cost.fault_penalty_s;
+  cost = backend.sync_cost(cost_, payload_bytes(), workers_, wire_ratio);
+  cost.fault_penalty_s = fault_penalty;
 }
 
 double StepTimeModel::flag_time() const {

@@ -32,11 +32,13 @@ class StepTimeModel {
   /// zero-cost, §II-D).
   double sync_time_for_bytes(size_t wire_bytes) const;
 
-  /// Same, but the transfer term is priced by the CommBackend carrying the
-  /// payload (its own network schedule) instead of the constructor's
-  /// topology.
-  double sync_time_for_bytes(size_t wire_bytes,
-                             const CommBackend& backend) const;
+  /// Prices one synchronization round on the CommBackend carrying the
+  /// payload: fills `cost`'s transfer / codec / byte fields from
+  /// backend.sync_cost() for this model's dense payload moved at
+  /// `wire_ratio`, preserving whatever fault penalty the caller already
+  /// accrued into it.
+  void price_sync(SyncCost& cost, const CommBackend& backend,
+                  double wire_ratio = 1.0) const;
 
   /// SelSync's per-step 1-bit flag allgather.
   double flag_time() const;

@@ -53,6 +53,9 @@ TrainResult run_synchronous(const TrainJob& job) {
   backend_config.workers = job.workers;
   backend_config.topology = job.topology;
   backend_config.faults = faults.get();
+  // The job's gradient codec rides inside the backend's data plane
+  // (validate() guarantees it only appears with gradient payloads).
+  backend_config.compression = job.compression;
   if (job.backend == BackendKind::kParameterServer)
     backend_config.initial_params =
         job.model_factory(job.seed)->get_flat_params();

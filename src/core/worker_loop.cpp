@@ -50,7 +50,6 @@ SynchronousWorkerLoop::SynchronousWorkerLoop(
       rejoin_(rejoin),
       shared_(shared),
       policy_(make_sync_policy(job)),
-      compressor_(job.compression),
       grad_change_(ewma_alpha_for(job), job.selsync.ewma_window),
       agg_(aggregation_for(job)),
       full_group_(CommGroup::full(job.workers)),
@@ -125,10 +124,15 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
         model_->set_flat_params(params);
         faults_->record(ctx_.rank, FaultKind::kRecoverySync, it_);
       }
-      sim_time_ =
-          backend_.allreduce_max(ctx_, sim_time_, group_) +
-          time_.sync_time_for_bytes(time_.payload_bytes(), backend_);
+      // A recovery sync always moves the dense model (re-seeding a rejoiner
+      // with a lossy payload would poison its replica), so it is priced at
+      // wire ratio 1.0 regardless of the backend's codec.
+      SyncCost recovery;
+      time_.price_sync(recovery, backend_);
+      sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
+                  recovery.round_time();
       comm_bytes_ += static_cast<double>(time_.payload_bytes());
+      sync_cost_totals_.add(recovery);
     }
   }
   return FaultAction::kProceed;
@@ -222,9 +226,15 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
   } else if (any_sync) {
     // Injected comm faults land on this worker's clock before alignment,
     // so one slow or retrying worker drags the whole round — the paper's
-    // §II-A straggler argument, reproduced at the fault layer.
-    if (faults_)
-      sim_time_ += backend_.sync_fault_penalty(*faults_, ctx_.rank, it_);
+    // §II-A straggler argument, reproduced at the fault layer. The round's
+    // SyncCost account opens with the fault penalty; transfer/codec terms
+    // are filled in once the payload has moved and its wire ratio is known.
+    SyncCost cost;
+    if (faults_) {
+      backend_.charge_sync_faults(cost, *faults_, ctx_.rank, it_);
+      sim_time_ += cost.fault_penalty_s;
+    }
+    double wire_ratio = 1.0;
     const bool participant = policy_->participates(sync_rounds_, ctx_.rank);
     const float weight =
         participant ? 1.f / static_cast<float>(contributors) : 0.f;
@@ -256,13 +266,13 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       }
       coll.barrier(group_);
     } else if (agg_ == AggregationMode::kGradients) {
-      // Gradient payloads may be compressed (§II-D baselines); the codec
-      // runs compress->decompress in place and reports the wire ratio.
-      compressor_.compress(grads_, delta_);
-      // Aggregate gradients, everyone applies the same averaged update
+      // Gradient payloads ride the backend's encoded data plane: the
+      // backend applies its fused codec (per chunk-hop on ring/tree, full
+      // vector on shared/ps — §II-D baselines), aggregates, and reports the
+      // achieved wire ratio. Everyone applies the same averaged update
       // (local models may still drift through optimizer state, §III-C).
-      for (auto& g : grads_) g *= weight;
-      backend_.allreduce(ctx_, grads_, group_, sim_time_);
+      wire_ratio = backend_.allreduce_encoded(ctx_, grads_, group_, sim_time_,
+                                              delta_, weight);
       model_->set_flat_grads(grads_);
       optimizer_->step(model_->params(), it_, epoch_);
     } else {
@@ -274,14 +284,11 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       backend_.allreduce(ctx_, params, group_, sim_time_);
       model_->set_flat_params(params);
     }
-    const size_t wire_bytes =
-        agg_ == AggregationMode::kGradients
-            ? static_cast<size_t>(static_cast<double>(time_.payload_bytes()) *
-                                  compressor_.last_wire_ratio())
-            : time_.payload_bytes();
+    time_.price_sync(cost, backend_, wire_ratio);
     sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
-                time_.sync_time_for_bytes(wire_bytes, backend_);
-    comm_bytes_ += 2.0 * static_cast<double>(wire_bytes);
+                cost.round_time();
+    comm_bytes_ += 2.0 * static_cast<double>(cost.wire_bytes);
+    sync_cost_totals_.add(cost);
     ++sync_steps_;
     ++sync_rounds_;
   } else {
@@ -353,6 +360,8 @@ void SynchronousWorkerLoop::publish() {
     r.sync_steps = sync_steps_;
     r.local_steps = local_steps_;
     r.comm_bytes = comm_bytes_;
+    r.sync_cost = sync_cost_totals_;
+    r.sync_cost_recorded = job_.record_sync_cost;
     r.eval_history = std::move(eval_history_);
     if (!r.eval_history.empty()) r.final_eval = r.eval_history.back();
     r.best_top1 = local_bests_.best_top1;

@@ -33,7 +33,6 @@
 #include "comm/cluster.hpp"
 #include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
-#include "core/compression.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/sync_policy.hpp"
@@ -161,13 +160,16 @@ class SynchronousWorkerLoop final : public WorkerLoop {
   RejoinCoordinator* rejoin_;
   SharedSyncState& shared_;
   std::unique_ptr<SyncPolicy> policy_;
-  GradientCompressor compressor_;
   RelativeGradChange grad_change_;
   const AggregationMode agg_;
   const CommGroup full_group_;
   CommGroup group_;
 
   uint64_t sync_steps_ = 0, local_steps_ = 0, sync_rounds_ = 0;
+  /// This worker's accumulated SyncCost account over every priced
+  /// synchronization round (aggregation rounds and recovery syncs); the
+  /// root's copy lands in TrainResult::sync_cost.
+  SyncCostTotals sync_cost_totals_;
   /// Whether this worker left the run as a casualty (permanent crash, or
   /// cluster stopped while parked).
   bool casualty_ = false;

@@ -1,0 +1,33 @@
+// Shared enum↔string parsing for the CLI tools.
+//
+// Every parseable enum exposes a `*_from_name()` returning std::optional
+// (comm/comm_backend.hpp, comm/compression.hpp, ...) plus a `*_names()`
+// listing the accepted spellings. parse_enum_flag() is the one piece of
+// glue the tools share: it turns a failed lookup into an invalid_argument
+// that names the flag and prints the accepted set — the tool mains catch
+// std::exception and print the message, so a typo'd flag reads as
+//
+//   selsync_cli: --backend: unknown value 'rign' (expected shared, ring,
+//   tree, ps)
+//
+// instead of an unexplained failure.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace selsync {
+
+/// Parses `value` for `--flag` via `from_name` (any callable returning
+/// std::optional<E>); `accepted` is the advertised value list shown on
+/// failure.
+template <typename FromName>
+auto parse_enum_flag(const std::string& flag, const std::string& value,
+                     FromName&& from_name, const std::string& accepted) {
+  if (auto parsed = from_name(value)) return *parsed;
+  throw std::invalid_argument("--" + flag + ": unknown value '" + value +
+                              "' (expected " + accepted + ")");
+}
+
+}  // namespace selsync

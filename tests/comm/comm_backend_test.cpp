@@ -55,13 +55,15 @@ TEST(BackendKind, NamesRoundTripThroughParse) {
   for (BackendKind kind :
        {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree,
         BackendKind::kParameterServer})
-    EXPECT_EQ(parse_backend_kind(backend_kind_name(kind)), kind);
-  EXPECT_EQ(parse_backend_kind("shared"), BackendKind::kSharedMemory);
-  EXPECT_EQ(parse_backend_kind("ring"), BackendKind::kRing);
-  EXPECT_EQ(parse_backend_kind("tree"), BackendKind::kTree);
-  EXPECT_EQ(parse_backend_kind("ps"), BackendKind::kParameterServer);
-  EXPECT_THROW(parse_backend_kind("carrier-pigeon"), std::invalid_argument);
-  EXPECT_THROW(parse_backend_kind(""), std::invalid_argument);
+    EXPECT_EQ(backend_kind_from_name(backend_kind_name(kind)), kind);
+  EXPECT_EQ(backend_kind_from_name("shared"), BackendKind::kSharedMemory);
+  EXPECT_EQ(backend_kind_from_name("ring"), BackendKind::kRing);
+  EXPECT_EQ(backend_kind_from_name("tree"), BackendKind::kTree);
+  EXPECT_EQ(backend_kind_from_name("ps"), BackendKind::kParameterServer);
+  EXPECT_EQ(backend_kind_from_name("carrier-pigeon"), std::nullopt);
+  EXPECT_EQ(backend_kind_from_name(""), std::nullopt);
+  // The advertised set stays in sync with what actually parses.
+  EXPECT_EQ(backend_kind_names(), "shared, ring, tree, ps");
 }
 
 TEST(TreeAllreduceTest, BitIdenticalToSharedCollectivesForAllSizes) {
@@ -218,48 +220,205 @@ TEST(CommBackendDataPlane, EveryBackendAllreducesBitIdentically) {
   }
 }
 
-TEST(CommBackendCosts, SyncTransferTimeMatchesTheCostModelSchedules) {
+TEST(CommBackendCosts, SyncCostTransferMatchesTheCostModelSchedules) {
   const CostModel cost(paper_network_5gbps());
   constexpr size_t kBytes = 1 << 20, kWorkers = 8;
 
   CommBackendConfig config;
   config.workers = kWorkers;
+  auto transfer = [&](const CommBackendConfig& c) {
+    return make_comm_backend(c)->sync_cost(cost, kBytes, kWorkers).transfer_s;
+  };
 
   // The shared-memory backend stands in for whatever the job's topology
   // declares (seed semantics): PS pricing or ring pricing.
   config.kind = BackendKind::kSharedMemory;
   config.topology = Topology::kParameterServer;
-  EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.ps_sync_time(kBytes, kWorkers));
+  EXPECT_DOUBLE_EQ(transfer(config), cost.ps_sync_time(kBytes, kWorkers));
   config.topology = Topology::kRingAllreduce;
-  EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.ring_allreduce_time(kBytes, kWorkers));
+  EXPECT_DOUBLE_EQ(transfer(config),
+                   cost.ring_allreduce_time(kBytes, kWorkers));
 
   // The ring transport also keeps the seed's topology-priced accounting
   // (golden parity depends on it).
   config.kind = BackendKind::kRing;
   config.topology = Topology::kParameterServer;
-  EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.ps_sync_time(kBytes, kWorkers));
+  EXPECT_DOUBLE_EQ(transfer(config), cost.ps_sync_time(kBytes, kWorkers));
   config.topology = Topology::kRingAllreduce;
-  EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.ring_allreduce_time(kBytes, kWorkers));
+  EXPECT_DOUBLE_EQ(transfer(config),
+                   cost.ring_allreduce_time(kBytes, kWorkers));
 
   // Tree and ps price their own schedules, whatever the topology knob says.
   config.kind = BackendKind::kTree;
-  EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.tree_allreduce_time(kBytes, kWorkers));
+  EXPECT_DOUBLE_EQ(transfer(config),
+                   cost.tree_allreduce_time(kBytes, kWorkers));
   config.kind = BackendKind::kParameterServer;
   config.initial_params.assign(4, 0.0f);
   config.topology = Topology::kRingAllreduce;
+  EXPECT_DOUBLE_EQ(transfer(config), cost.ps_sync_time(kBytes, kWorkers));
+}
+
+TEST(CommBackendCosts, SyncCostBreakdownAccountsWireAndCodec) {
+  const CostModel cost(paper_network_5gbps());
+  constexpr size_t kBytes = 1 << 20, kWorkers = 8;
+  CommBackendConfig config;
+  config.workers = kWorkers;
+  config.kind = BackendKind::kSharedMemory;
+  config.topology = Topology::kRingAllreduce;
+  auto backend = make_comm_backend(config);
+
+  // Dense round: wire == dense, no codec compute, round_time == transfer.
+  const SyncCost dense = backend->sync_cost(cost, kBytes, kWorkers);
+  EXPECT_EQ(dense.wire_bytes, kBytes);
+  EXPECT_EQ(dense.dense_bytes, kBytes);
+  EXPECT_DOUBLE_EQ(dense.encode_s, 0.0);
+  EXPECT_DOUBLE_EQ(dense.decode_s, 0.0);
+  EXPECT_DOUBLE_EQ(dense.wire_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(dense.round_time(), dense.transfer_s);
+  EXPECT_DOUBLE_EQ(dense.total_time(), dense.transfer_s);
+
+  // Compressed round: the transfer is priced on the *wire* bytes, the codec
+  // compute on the *dense* bytes, and encode+decode reproduces the seed's
+  // single scalar codec charge (dense/4e9) exactly.
+  const double ratio = 0.02;
+  const SyncCost packed = backend->sync_cost(cost, kBytes, kWorkers, ratio);
+  EXPECT_EQ(packed.wire_bytes,
+            static_cast<size_t>(static_cast<double>(kBytes) * ratio));
+  EXPECT_EQ(packed.dense_bytes, kBytes);
   EXPECT_DOUBLE_EQ(
-      make_comm_backend(config)->sync_transfer_time(cost, kBytes, kWorkers),
-      cost.ps_sync_time(kBytes, kWorkers));
+      packed.transfer_s,
+      cost.ring_allreduce_time(packed.wire_bytes, kWorkers));
+  EXPECT_DOUBLE_EQ(packed.encode_s + packed.decode_s,
+                   static_cast<double>(kBytes) / 4e9);
+  EXPECT_LT(packed.transfer_s, dense.transfer_s);
+
+  // Fault penalties accrue through the totals along with everything else.
+  SyncCostTotals totals;
+  totals.add(dense);
+  totals.add(packed);
+  EXPECT_EQ(totals.rounds, 2u);
+  EXPECT_DOUBLE_EQ(totals.transfer_s, dense.transfer_s + packed.transfer_s);
+  EXPECT_DOUBLE_EQ(totals.wire_bytes,
+                   static_cast<double>(dense.wire_bytes + packed.wire_bytes));
+  EXPECT_DOUBLE_EQ(totals.dense_bytes, 2.0 * static_cast<double>(kBytes));
+}
+
+/// Drives allreduce_encoded on every backend with the same Top-k codec and
+/// inputs. The full-vector backends (shared, ps) must agree bitwise — the PS
+/// push payload is compressed exactly like the shared-memory payload — and
+/// every backend must report a genuinely reduced wire ratio.
+TEST(CommBackendEncoded, SharedAndPsAgreeBitwiseAndAllReduceWire) {
+  constexpr size_t kN = 4, kDim = 64;
+  const auto inputs = awkward_inputs(kN, kDim);
+
+  CompressionConfig codec;
+  codec.kind = CompressionKind::kTopK;
+  codec.topk_fraction = 0.25;
+  codec.error_feedback = true;
+
+  struct Run {
+    std::vector<std::vector<float>> data;
+    std::vector<double> ratio;
+  };
+  auto run_backend = [&](BackendKind kind) {
+    CommBackendConfig config;
+    config.kind = kind;
+    config.workers = kN;
+    config.compression = codec;
+    config.topology = Topology::kRingAllreduce;
+    if (kind == BackendKind::kParameterServer)
+      config.initial_params.assign(kDim, 0.0f);
+    auto backend = make_comm_backend(config);
+
+    SharedCollectives coll(kN);
+    const CommGroup full = CommGroup::full(kN);
+    Run run{inputs, std::vector<double>(kN, 0.0)};
+    spawn(kN, [&](size_t r) {
+      WorkerContext ctx;
+      ctx.rank = r;
+      ctx.size = kN;
+      ctx.collectives = &coll;
+      double clock = 0.0;
+      run.ratio[r] = backend->allreduce_encoded(
+          ctx, run.data[r], full, clock, /*delta=*/0.0, 1.0f / kN);
+    });
+    return run;
+  };
+
+  const Run shared = run_backend(BackendKind::kSharedMemory);
+  const Run ps = run_backend(BackendKind::kParameterServer);
+  const Run ring = run_backend(BackendKind::kRing);
+  const Run tree = run_backend(BackendKind::kTree);
+
+  for (size_t r = 0; r < kN; ++r) {
+    for (size_t i = 0; i < kDim; ++i) {
+      EXPECT_EQ(ps.data[r][i], shared.data[r][i])
+          << "ps vs shared, rank " << r << " elem " << i;
+      // Every chunked backend hands all replicas the same reconstruction.
+      EXPECT_EQ(ring.data[r][i], ring.data[0][i]) << "ring replicas diverge";
+      EXPECT_EQ(tree.data[r][i], tree.data[0][i]) << "tree replicas diverge";
+    }
+    EXPECT_GT(shared.ratio[r], 0.0);
+    EXPECT_LT(shared.ratio[r], 1.0) << "codec did not shrink the payload";
+    EXPECT_DOUBLE_EQ(ps.ratio[r], shared.ratio[r]);
+    EXPECT_LT(ring.ratio[r], 1.0);
+    EXPECT_LT(tree.ratio[r], 1.0);
+  }
+}
+
+TEST(CommBackendEncoded, WithoutCodecMatchesDenseAllreduceBitwise) {
+  constexpr size_t kN = 4, kDim = 23;
+  const auto inputs = awkward_inputs(kN, kDim);
+
+  for (BackendKind kind :
+       {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree,
+        BackendKind::kParameterServer}) {
+    CommBackendConfig config;
+    config.kind = kind;
+    config.workers = kN;
+    if (kind == BackendKind::kParameterServer)
+      config.initial_params.assign(kDim, 0.0f);
+
+    SharedCollectives coll(kN);
+    const CommGroup full = CommGroup::full(kN);
+    const float weight = 1.0f / kN;
+
+    // Reference: weight locally, then the dense data plane.
+    auto dense = inputs;
+    {
+      auto backend = make_comm_backend(config);
+      spawn(kN, [&](size_t r) {
+        WorkerContext ctx;
+        ctx.rank = r;
+        ctx.size = kN;
+        ctx.collectives = &coll;
+        double clock = 0.0;
+        for (auto& g : dense[r]) g *= weight;
+        backend->allreduce(ctx, dense[r], full, clock);
+      });
+    }
+
+    auto encoded = inputs;
+    std::vector<double> ratio(kN, -1.0);
+    {
+      auto backend = make_comm_backend(config);
+      spawn(kN, [&](size_t r) {
+        WorkerContext ctx;
+        ctx.rank = r;
+        ctx.size = kN;
+        ctx.collectives = &coll;
+        double clock = 0.0;
+        ratio[r] = backend->allreduce_encoded(ctx, encoded[r], full, clock,
+                                              0.0, weight);
+      });
+    }
+    for (size_t r = 0; r < kN; ++r) {
+      EXPECT_DOUBLE_EQ(ratio[r], 1.0) << backend_kind_name(kind);
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(encoded[r][i], dense[r][i])
+            << backend_kind_name(kind) << " rank " << r << " elem " << i;
+    }
+  }
 }
 
 }  // namespace

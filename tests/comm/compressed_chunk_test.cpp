@@ -1,0 +1,125 @@
+// ChunkCodec: the per-(rank, slot) codec state the chunked transports fuse
+// into their data planes (comm/compressed_chunk.hpp).
+#include "comm/compressed_chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+std::vector<float> ramp(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>(i % 2 == 0 ? i : -static_cast<double>(i)) /
+           static_cast<float>(n);
+  return v;
+}
+
+TEST(ChunkCodec, RejectsConfigsThatCannotEncode) {
+  EXPECT_THROW(ChunkCodec({CompressionKind::kNone}, 4), std::invalid_argument)
+      << "a dense 'codec' must be expressed as no codec at all";
+  EXPECT_THROW(ChunkCodec({CompressionKind::kTopK, 0.0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(ChunkCodec({CompressionKind::kTopK, 1.5}, 4),
+               std::invalid_argument);
+}
+
+TEST(ChunkCodec, TransformMatchesTheFullVectorCompressorKernel) {
+  // Same config, same bytes in -> same bytes out as GradientCompressor: the
+  // chunked transports apply identical codec semantics, only the chunking
+  // differs.
+  const CompressionConfig cc{CompressionKind::kTopK, 0.25, true};
+  ChunkCodec chunk(cc, 2);
+  GradientCompressor full(cc);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<float> a = ramp(64);
+    std::vector<float> b = a;
+    chunk.begin_round(0, 0.0);
+    const size_t chunk_wire = chunk.transform(0, /*slot=*/0, a);
+    const size_t full_wire = full.compress(b);
+    EXPECT_EQ(chunk_wire, full_wire);
+    EXPECT_EQ(a, b) << "round " << round
+                    << ": error-feedback trajectories diverged";
+  }
+}
+
+TEST(ChunkCodec, SlotsKeepIndependentErrorFeedback) {
+  // Two recurring payloads through the same rank: each slot's residual must
+  // feed back into the same payload, not bleed into the other.
+  const CompressionConfig cc{CompressionKind::kTopK, 0.5, true};
+  ChunkCodec codec(cc, 1);
+  codec.begin_round(0, 0.0);
+
+  // Slot 0 repeatedly drops its small entry; slot 1's payload is disjoint.
+  bool slot0_flushed = false;
+  for (int it = 0; it < 10; ++it) {
+    std::vector<float> s0{1.f, 0.3f};
+    std::vector<float> s1{-2.f, 0.0f};
+    codec.transform(0, 0, s0);
+    codec.transform(0, 1, s1);
+    if (s0[1] != 0.f) slot0_flushed = true;
+    EXPECT_EQ(s1[0], -2.f) << "slot 1 has no small entry to lose";
+  }
+  EXPECT_TRUE(slot0_flushed) << "slot-0 residual never flushed";
+
+  // An independent codec whose slot-0 stream interleaves nothing else must
+  // follow the identical trajectory (slot isolation).
+  ChunkCodec solo(cc, 1);
+  solo.begin_round(0, 0.0);
+  ChunkCodec mixed(cc, 1);
+  mixed.begin_round(0, 0.0);
+  for (int it = 0; it < 6; ++it) {
+    std::vector<float> a{1.f, 0.3f};
+    std::vector<float> b{1.f, 0.3f};
+    std::vector<float> other{5.f, -4.f};
+    solo.transform(0, 0, a);
+    mixed.transform(0, 0, b);
+    mixed.transform(0, 7, other);  // unrelated slot in between
+    EXPECT_EQ(a, b) << "iteration " << it;
+  }
+}
+
+TEST(ChunkCodec, ChargesAccumulateIntoTheRoundRatio) {
+  const CompressionConfig cc{CompressionKind::kTopK, 0.25, false};
+  ChunkCodec codec(cc, 2);
+
+  codec.begin_round(0, 0.0);
+  EXPECT_DOUBLE_EQ(codec.round_ratio(0), 1.0) << "nothing sent yet";
+
+  codec.charge(0, 10, 100);
+  codec.charge(0, 30, 100);
+  EXPECT_DOUBLE_EQ(codec.round_ratio(0), 40.0 / 200.0);
+  // Ranks account independently.
+  codec.begin_round(1, 0.0);
+  EXPECT_DOUBLE_EQ(codec.round_ratio(1), 1.0);
+
+  // A new round resets the account.
+  codec.begin_round(0, 0.0);
+  EXPECT_DOUBLE_EQ(codec.round_ratio(0), 1.0);
+}
+
+TEST(ChunkCodec, BeginRoundResolvesAdaptiveTopK) {
+  CompressionConfig cc{CompressionKind::kTopK, 0.01, false};
+  cc.adaptive = true;
+  cc.critical_delta = 0.1;
+  cc.topk_fraction_critical = 0.5;
+  ChunkCodec codec(cc, 1);
+
+  std::vector<float> stable = ramp(1000);
+  codec.begin_round(0, /*delta=*/0.01);  // stable regime: aggressive 1%
+  const size_t stable_wire = codec.transform(0, 0, stable);
+
+  std::vector<float> critical = ramp(1000);
+  codec.begin_round(0, /*delta=*/0.5);  // critical regime: conservative 50%
+  const size_t critical_wire = codec.transform(0, 0, critical);
+
+  EXPECT_EQ(stable_wire, 10u * 8u);
+  EXPECT_EQ(critical_wire, 500u * 8u);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,6 +1,6 @@
 // Gradient compression codecs (paper §II-D baselines) and their trainer
 // integration.
-#include "core/compression.hpp"
+#include "comm/compression.hpp"
 
 #include <gtest/gtest.h>
 
@@ -166,6 +166,61 @@ TEST(Compression, KindNames) {
   EXPECT_STREQ(compression_kind_name(CompressionKind::kQuant8), "quant8");
 }
 
+TEST(Compression, KindNamesRoundTripThroughParse) {
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8})
+    EXPECT_EQ(compression_kind_from_name(compression_kind_name(kind)), kind);
+  EXPECT_EQ(compression_kind_from_name("dgc"), std::nullopt);
+  EXPECT_EQ(compression_kind_from_name(""), std::nullopt);
+  EXPECT_EQ(compression_kind_names(), "none, topk, signsgd, quant8");
+}
+
+TEST(Compression, WireBytesEdgeCases) {
+  // An empty gradient has nothing on the wire, whatever the codec.
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8})
+    EXPECT_EQ(GradientCompressor::wire_bytes({kind, 0.01}, 0), 0u)
+        << compression_kind_name(kind);
+
+  // Top-k clamps k to at least one kept value: a gradient smaller than 1/k
+  // values still transmits something instead of rounding to nothing.
+  const CompressionConfig one_pct{CompressionKind::kTopK, 0.01};
+  EXPECT_EQ(GradientCompressor::wire_bytes(one_pct, 3), 8u);
+  EXPECT_EQ(GradientCompressor::wire_bytes(one_pct, 1), 8u);
+  // ... and to at most every value.
+  const CompressionConfig all{CompressionKind::kTopK, 1.0};
+  EXPECT_EQ(GradientCompressor::wire_bytes(all, 5), 40u);
+
+  // signSGD rounds the bit-vector *up* to whole bytes (7 values still need
+  // one byte, plus the shared scale float).
+  const CompressionConfig sign{CompressionKind::kSignSgd, 0.01};
+  EXPECT_EQ(GradientCompressor::wire_bytes(sign, 7), 1u + sizeof(float));
+  EXPECT_EQ(GradientCompressor::wire_bytes(sign, 8), 1u + sizeof(float));
+  EXPECT_EQ(GradientCompressor::wire_bytes(sign, 9), 2u + sizeof(float));
+}
+
+TEST(Compression, LastWireRatioDefinedBeforeFirstCompress) {
+  GradientCompressor c({CompressionKind::kTopK, 0.01, true});
+  EXPECT_DOUBLE_EQ(c.last_wire_ratio(), 1.0);
+}
+
+TEST(Compression, EmptyGradientIsANoOp) {
+  GradientCompressor c({CompressionKind::kTopK, 0.01, true});
+  std::vector<float> empty;
+  EXPECT_EQ(c.compress(empty), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(c.last_wire_ratio(), 1.0);
+
+  // A tiny gradient survives the k >= 1 clamp end to end.
+  std::vector<float> tiny{0.5f, -0.25f};
+  GradientCompressor t({CompressionKind::kTopK, 0.01, false});
+  t.compress(tiny);
+  EXPECT_EQ(tiny[0], 0.5f) << "the single kept value must be the largest";
+  EXPECT_EQ(tiny[1], 0.0f);
+}
+
 TEST(CompressionTraining, BspWithTopKStillLearns) {
   TrainJob plain = small_class_job(StrategyKind::kBsp, 250);
   TrainJob topk = plain;
@@ -193,17 +248,15 @@ TEST(CompressionTraining, SignSgdLearnsWithErrorFeedback) {
   EXPECT_GT(r.best_top1, 0.3);
 }
 
-TEST(CompressionTraining, CompressionDoesNotAffectPaPayloads) {
-  // PA ships dense parameters; compression config must not change PA runs.
+TEST(CompressionTraining, CompressionOnPaPayloadsIsRejected) {
+  // PA ships dense parameters, so a codec would be silently ignored;
+  // validate() now rejects the combo outright (see config_test for the
+  // full rejection matrix and message contract).
   TrainJob pa = small_class_job(StrategyKind::kSelSync, 60);
   pa.selsync.delta = 0.0;
   pa.selsync.aggregation = AggregationMode::kParameters;
-  TrainJob pa_compressed = pa;
-  pa_compressed.compression = {CompressionKind::kTopK, 0.01, true};
-  const TrainResult a = run_training(pa);
-  const TrainResult b = run_training(pa_compressed);
-  EXPECT_DOUBLE_EQ(a.final_eval.loss, b.final_eval.loss);
-  EXPECT_DOUBLE_EQ(a.comm_bytes, b.comm_bytes);
+  pa.compression = {CompressionKind::kTopK, 0.01, true};
+  EXPECT_THROW(run_training(pa), std::invalid_argument);
 }
 
 TEST(QuorumRule, AnyWorkerDefaultSyncsMost) {

@@ -61,6 +61,79 @@ TEST(TrainJob, ValidatesInjectionRanges) {
   EXPECT_THROW(job.validate(), std::invalid_argument);
 }
 
+/// validate() must reject combinations the trainer would otherwise silently
+/// ignore, with a message that tells the user what to change.
+TEST(TrainJob, RejectsCompressionOnNonGradientPayloads) {
+  // SelSync in parameter-aggregation mode: the codec would never run.
+  TrainJob job = small_class_job(StrategyKind::kSelSync);
+  job.selsync.aggregation = AggregationMode::kParameters;
+  job.compression = {CompressionKind::kTopK, 0.01, true};
+  try {
+    job.validate();
+    FAIL() << "compression on a PA payload must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("parameter aggregation"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kGradients"), std::string::npos)
+        << "message must say how to fix the job: " << msg;
+  }
+
+  // Every strategy whose payloads are not gradients is rejected the same
+  // way (LocalSGD/FedAvg average parameters, EASGD moves elastic
+  // differences, SSP pushes parameter deltas).
+  for (StrategyKind strategy :
+       {StrategyKind::kLocalSgd, StrategyKind::kFedAvg, StrategyKind::kEasgd,
+        StrategyKind::kSsp}) {
+    TrainJob j = small_class_job(strategy);
+    j.compression = {CompressionKind::kQuant8, 0.01, false};
+    EXPECT_THROW(j.validate(), std::invalid_argument)
+        << strategy_kind_name(strategy);
+  }
+
+  // The combos the codec is for stay valid.
+  TrainJob bsp = small_class_job(StrategyKind::kBsp);
+  bsp.compression = {CompressionKind::kTopK, 0.01, true};
+  EXPECT_NO_THROW(bsp.validate());
+  TrainJob ga = small_class_job(StrategyKind::kSelSync);
+  ga.selsync.aggregation = AggregationMode::kGradients;
+  ga.compression = {CompressionKind::kSignSgd, 0.01, true};
+  EXPECT_NO_THROW(ga.validate());
+}
+
+TEST(TrainJob, RejectsCrashPlansOnChannelAndPsBackends) {
+  for (BackendKind backend :
+       {BackendKind::kRing, BackendKind::kTree,
+        BackendKind::kParameterServer}) {
+    TrainJob job = small_class_job(StrategyKind::kBsp);
+    job.backend = backend;
+    CrashEvent crash;
+    crash.rank = 1;
+    crash.at_iteration = 2;
+    crash.restart = true;
+    job.faults.crashes.push_back(crash);
+    try {
+      job.validate();
+      FAIL() << "crash plan on " << backend_kind_name(backend)
+             << " must be rejected";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(backend_kind_name(backend)), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("--backend shared"), std::string::npos)
+          << "message must say how to fix the job: " << msg;
+    }
+  }
+  // SSP ignores the synchronous backend knob and handles crashes itself.
+  TrainJob ssp = small_class_job(StrategyKind::kSsp);
+  ssp.backend = BackendKind::kRing;
+  CrashEvent crash;
+  crash.rank = 1;
+  crash.at_iteration = 2;
+  crash.restart = true;
+  ssp.faults.crashes.push_back(crash);
+  EXPECT_NO_THROW(ssp.validate());
+}
+
 TEST(StrategyNames, AllDistinct) {
   EXPECT_STREQ(strategy_kind_name(StrategyKind::kBsp), "BSP");
   EXPECT_STREQ(strategy_kind_name(StrategyKind::kLocalSgd), "LocalSGD");

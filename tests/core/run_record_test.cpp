@@ -56,6 +56,35 @@ TEST(RunRecord, ResultJsonContainsHistory) {
   EXPECT_NE(dump.find("\"lssr\":0"), std::string::npos);
 }
 
+TEST(RunRecord, SyncCostSectionIsOptIn) {
+  // Off by default: the golden parity records predate the SyncCost
+  // breakdown, so an un-flagged run must serialize exactly as before.
+  TrainJob job = small_class_job(StrategyKind::kBsp, 30);
+  const TrainResult quiet = run_training(job);
+  EXPECT_EQ(result_to_json(quiet).dump().find("sync_cost"),
+            std::string::npos);
+
+  job.record_sync_cost = true;
+  const TrainResult recorded = run_training(job);
+  const std::string dump = result_to_json(recorded).dump();
+  EXPECT_NE(dump.find("\"sync_cost\""), std::string::npos);
+  EXPECT_NE(dump.find("\"transfer_s\""), std::string::npos);
+  EXPECT_NE(dump.find("\"wire_bytes\""), std::string::npos);
+  EXPECT_GT(recorded.sync_cost.rounds, 0u);
+  // Dense run: the wire carries exactly the dense payload.
+  EXPECT_EQ(recorded.sync_cost.wire_bytes, recorded.sync_cost.dense_bytes);
+
+  // With a codec the recorded wire traffic shrinks below dense.
+  job.compression = {CompressionKind::kTopK, 0.05, true};
+  const TrainResult compressed = run_training(job);
+  EXPECT_TRUE(compressed.sync_cost_recorded);
+  EXPECT_GT(compressed.sync_cost.dense_bytes, 0.0);
+  EXPECT_LT(compressed.sync_cost.wire_bytes,
+            compressed.sync_cost.dense_bytes);
+  EXPECT_GT(compressed.sync_cost.encode_s + compressed.sync_cost.decode_s,
+            0.0);
+}
+
 TEST(RunRecord, SspLssrIsNull) {
   TrainJob job = small_class_job(StrategyKind::kSsp, 30);
   const TrainResult r = run_training(job);

@@ -1,0 +1,182 @@
+// Compressed transports under chaos: the ring and tree data planes with a
+// Top-k codec fused in, running over lossy links (drop / delay / duplicate).
+// The contract under test:
+//  * every replica decodes the identical reduced payload each round, faults
+//    or no faults (the encode-once / forward-verbatim protocol);
+//  * DGC error feedback stays unbiased: what the codec drops in one round is
+//    fed back into the next, so the *cumulative* reconstruction tracks the
+//    cumulative true sum with bounded error — the residual does not grow
+//    with the round count;
+//  * the whole thing is deterministic, byte for byte, under a fixed fault
+//    seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/compressed_chunk.hpp"
+#include "comm/fault_injector.hpp"
+#include "comm/tree_allreduce.hpp"
+
+namespace selsync {
+namespace {
+
+constexpr size_t kN = 4, kDim = 32, kRounds = 60;
+
+template <typename F>
+void spawn(size_t n, F body) {
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < n; ++r) threads.emplace_back([&, r] { body(r); });
+  for (auto& t : threads) t.join();
+}
+
+FaultPlan lossy_plan() {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.messages.drop_prob = 0.15;
+  plan.messages.delay_prob = 0.15;
+  plan.messages.duplicate_prob = 0.1;
+  return plan;
+}
+
+CompressionConfig topk_codec() {
+  CompressionConfig cc;
+  cc.kind = CompressionKind::kTopK;
+  cc.topk_fraction = 0.25;
+  cc.error_feedback = true;
+  return cc;
+}
+
+/// Rank r's gradient at `round`: fixed magnitudes per element so small
+/// entries are persistently starved by Top-k and only error feedback can
+/// deliver their mass.
+std::vector<float> input_of(size_t rank, size_t round) {
+  std::vector<float> v(kDim);
+  for (size_t i = 0; i < kDim; ++i)
+    v[i] = (0.02f + 0.03f * static_cast<float>(i % 8)) *
+           (i % 2 == 0 ? 1.f : -1.f) *
+           (1.f + 0.1f * static_cast<float>(rank)) *
+           (1.f + 0.01f * static_cast<float>(round % 5));
+  return v;
+}
+
+/// One full experiment: `rounds` compressed allreduces through `run_round`,
+/// accumulating each round's decoded output and the true (float rank-order)
+/// sum. Returns {accumulated_output, accumulated_truth, final_outputs}.
+struct ChaosRun {
+  std::vector<double> accum_out;
+  std::vector<double> accum_true;
+  std::vector<std::vector<float>> last;  // per-rank final round outputs
+};
+
+template <typename RunRound>
+ChaosRun drive(RunRound run_round) {
+  ChaosRun result;
+  result.accum_out.assign(kDim, 0.0);
+  result.accum_true.assign(kDim, 0.0);
+  for (size_t round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<float>> data(kN);
+    for (size_t r = 0; r < kN; ++r) data[r] = input_of(r, round);
+    for (size_t i = 0; i < kDim; ++i) {
+      float acc = 0.f;
+      for (size_t r = 0; r < kN; ++r) acc += data[r][i];
+      result.accum_true[i] += static_cast<double>(acc);
+    }
+    run_round(data);
+    // Replica consistency: every rank must hold the identical decode.
+    for (size_t r = 1; r < kN; ++r)
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(data[r][i], data[0][i])
+            << "round " << round << " rank " << r << " elem " << i;
+    for (size_t i = 0; i < kDim; ++i)
+      result.accum_out[i] += static_cast<double>(data[0][i]);
+    result.last = std::move(data);
+  }
+  return result;
+}
+
+/// The unbiasedness bound: per element, the cumulative reconstruction may
+/// differ from the cumulative truth only by the standing residual, which is
+/// bounded independent of the round count. Dividing by kRounds, the mean
+/// per-round error must be a small fraction of the mean per-round magnitude.
+void expect_error_feedback_unbiased(const ChaosRun& run) {
+  double err = 0.0, mag = 0.0;
+  for (size_t i = 0; i < kDim; ++i) {
+    err += std::abs(run.accum_out[i] - run.accum_true[i]);
+    mag += std::abs(run.accum_true[i]);
+  }
+  ASSERT_GT(mag, 0.0);
+  EXPECT_LT(err / mag, 0.05)
+      << "cumulative codec error grows with rounds: error feedback lost mass";
+}
+
+TEST(CompressedChaos, RingTopKOverLossyLinksKeepsErrorFeedbackUnbiased) {
+  FaultInjector inj(lossy_plan(), kN);
+  RingAllreduce ring(kN, &inj);
+  ChunkCodec codec(topk_codec(), kN);
+
+  const ChaosRun run = drive([&](std::vector<std::vector<float>>& data) {
+    spawn(kN, [&](size_t r) {
+      codec.begin_round(r, 0.0);
+      ring.run(r, data[r], &codec);
+      inj.take_pending_delay(r);
+      EXPECT_LT(codec.round_ratio(r), 1.0) << "codec did not shrink wire";
+    });
+  });
+  expect_error_feedback_unbiased(run);
+
+  const FaultSummary summary = inj.summary();
+  EXPECT_GT(summary.messages_dropped + summary.messages_delayed +
+                summary.messages_duplicated,
+            0u)
+      << "fault plan injected nothing; probabilities too low for the test";
+}
+
+TEST(CompressedChaos, TreeTopKOverLossyLinksKeepsErrorFeedbackUnbiased) {
+  FaultInjector inj(lossy_plan(), kN);
+  TreeAllreduce tree(kN, &inj);
+  ChunkCodec codec(topk_codec(), kN);
+
+  const ChaosRun run = drive([&](std::vector<std::vector<float>>& data) {
+    spawn(kN, [&](size_t r) {
+      codec.begin_round(r, 0.0);
+      tree.run(r, data[r], &codec);
+      inj.take_pending_delay(r);
+      EXPECT_LT(codec.round_ratio(r), 1.0) << "codec did not shrink wire";
+    });
+  });
+  expect_error_feedback_unbiased(run);
+
+  const FaultSummary summary = inj.summary();
+  EXPECT_GT(summary.messages_dropped + summary.messages_delayed +
+                summary.messages_duplicated,
+            0u);
+}
+
+TEST(CompressedChaos, LossyCompressedRingIsDeterministic) {
+  // Two independent executions with the same fault seed and codec config
+  // must agree byte for byte — faults and codecs both draw from fixed
+  // per-rank streams.
+  auto once = [] {
+    FaultInjector inj(lossy_plan(), kN);
+    RingAllreduce ring(kN, &inj);
+    ChunkCodec codec(topk_codec(), kN);
+    return drive([&](std::vector<std::vector<float>>& data) {
+      spawn(kN, [&](size_t r) {
+        codec.begin_round(r, 0.0);
+        ring.run(r, data[r], &codec);
+        inj.take_pending_delay(r);
+      });
+    });
+  };
+  const ChaosRun a = once();
+  const ChaosRun b = once();
+  for (size_t r = 0; r < kN; ++r)
+    for (size_t i = 0; i < kDim; ++i)
+      EXPECT_EQ(a.last[r][i], b.last[r][i]) << "rank " << r << " elem " << i;
+}
+
+}  // namespace
+}  // namespace selsync

@@ -9,7 +9,13 @@
 # CommBackend + WorkerLoop stack to the seed trainer's exact dynamics.
 # The optional chaos stage rebuilds under ThreadSanitizer and runs only the
 # fault-injection tests (ctest -L chaos) — the tests that actually stress
-# cross-thread teardown, channel aborts and PS waits.
+# cross-thread teardown, channel aborts and PS waits. That label now also
+# covers the compressed-transport chaos matrix (ring/tree allreduce with a
+# Top-k codec fused into the data plane, over lossy links), so TSan sees the
+# codec's per-(rank, slot) state being driven from worker threads. The stage
+# finishes with the golden-drift gate: the `golden` label re-runs the
+# 12-config parity grid under TSan and fails on any byte drift in the
+# checked-in run records.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +43,9 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
 
   echo "=== chaos: fault-injection suite under TSan ==="
   ctest --test-dir build-tsan --output-on-failure -L chaos
+
+  echo "=== chaos: golden-record drift gate under TSan ==="
+  ctest --test-dir build-tsan --output-on-failure -L golden
 fi
 
 echo "ci.sh: all green"

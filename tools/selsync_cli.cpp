@@ -19,21 +19,20 @@
 #include "core/workloads.hpp"
 #include "nn/summary.hpp"
 #include "util/args.hpp"
+#include "util/enum_names.hpp"
 
 using namespace selsync;
 
 namespace {
 
-StrategyKind parse_strategy(const std::string& name) {
+std::optional<StrategyKind> strategy_from_name(const std::string& name) {
   if (name == "bsp") return StrategyKind::kBsp;
   if (name == "local") return StrategyKind::kLocalSgd;
   if (name == "fedavg") return StrategyKind::kFedAvg;
   if (name == "ssp") return StrategyKind::kSsp;
   if (name == "selsync") return StrategyKind::kSelSync;
   if (name == "easgd") return StrategyKind::kEasgd;
-  throw std::invalid_argument(
-      "unknown strategy '" + name +
-      "' (expected bsp, local, fedavg, ssp, selsync or easgd)");
+  return std::nullopt;
 }
 
 /// --fault-plan accepts either inline JSON (first non-space char '{') or a
@@ -48,14 +47,6 @@ FaultPlan load_fault_plan(const std::string& spec) {
   std::ostringstream text;
   text << in.rdbuf();
   return parse_fault_plan(text.str());
-}
-
-CompressionKind parse_compression(const std::string& name) {
-  if (name == "none") return CompressionKind::kNone;
-  if (name == "topk") return CompressionKind::kTopK;
-  if (name == "signsgd") return CompressionKind::kSignSgd;
-  if (name == "quant8") return CompressionKind::kQuant8;
-  throw std::invalid_argument("unknown compression '" + name + "'");
 }
 
 int run(int argc, const char* const* argv) {
@@ -87,7 +78,11 @@ int run(int argc, const char* const* argv) {
   args.add_option("inject-alpha", "data-injection worker fraction (0 = off)",
                   "0");
   args.add_option("inject-beta", "data-injection batch fraction", "0.5");
-  args.add_option("compression", "none | topk | signsgd | quant8", "none");
+  args.add_option("codec",
+                  "gradient codec fused into the backend: none | topk | "
+                  "signsgd | quant8",
+                  "none");
+  args.add_option("compression", "deprecated alias of --codec", "none");
   args.add_option("topk", "Top-k kept fraction", "0.01");
   args.add_option("ema", "Polyak-average decay for evaluation (0 = off)",
                   "0");
@@ -103,10 +98,17 @@ int run(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) return 0;
 
   const Workload w = workload_by_name(args.get("workload"));
-  TrainJob job = make_job(w, parse_strategy(args.get("strategy")),
-                          static_cast<size_t>(args.get_int("workers")),
-                          static_cast<uint64_t>(args.get_int("iterations")));
-  job.backend = parse_backend_kind(args.get("backend"));
+  TrainJob job = make_job(
+      w,
+      parse_enum_flag("strategy", args.get("strategy"), strategy_from_name,
+                      "bsp, local, fedavg, ssp, selsync, easgd"),
+      static_cast<size_t>(args.get_int("workers")),
+      static_cast<uint64_t>(args.get_int("iterations")));
+  job.backend = parse_enum_flag("backend", args.get("backend"),
+                                [](const std::string& v) {
+                                  return backend_kind_from_name(v);
+                                },
+                                backend_kind_names());
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
@@ -134,8 +136,18 @@ int run(int argc, const char* const* argv) {
     job.injection = {true, args.get_double("inject-alpha"),
                      args.get_double("inject-beta")};
   }
-  job.compression.kind = parse_compression(args.get("compression"));
+  // --codec is the canonical spelling; --compression remains as an alias
+  // for older scripts (the non-default one wins).
+  const std::string codec_flag =
+      args.get("codec") != "none" ? "codec" : "compression";
+  job.compression.kind =
+      parse_enum_flag(codec_flag, args.get(codec_flag),
+                      [](const std::string& v) {
+                        return compression_kind_from_name(v);
+                      },
+                      compression_kind_names());
   job.compression.topk_fraction = args.get_double("topk");
+  job.record_sync_cost = true;
   job.ema_decay = args.get_double("ema");
   if (!args.get("target-top1").empty())
     job.target_top1 = args.get_double("target-top1");
@@ -174,6 +186,19 @@ int run(int argc, const char* const* argv) {
               "training time:", result.sim_time_s);
   std::printf("%-24s %.2f GB (paper scale, per worker)\n", "communication:",
               result.comm_bytes / (1024.0 * 1024.0 * 1024.0));
+  if (result.sync_cost.rounds > 0) {
+    const SyncCostTotals& s = result.sync_cost;
+    const double gb = 1024.0 * 1024.0 * 1024.0;
+    std::printf("%-24s %llu rounds: %.1f s transfer, %.1f s codec "
+                "(%.1f encode + %.1f decode), %.1f s fault penalty\n",
+                "sync cost:", static_cast<unsigned long long>(s.rounds),
+                s.transfer_s, s.encode_s + s.decode_s, s.encode_s, s.decode_s,
+                s.fault_penalty_s);
+    std::printf("%-24s %.2f GB on the wire for %.2f GB dense (%.1fx "
+                "reduction)\n",
+                "", s.wire_bytes / gb, s.dense_bytes / gb,
+                s.wire_bytes > 0.0 ? s.dense_bytes / s.wire_bytes : 1.0);
+  }
   std::printf("%-24s %.2f s\n", "wall time:", result.wall_time_s);
   if (result.reached_target) std::printf("stopped early: target reached\n");
   if (result.faults.any()) {

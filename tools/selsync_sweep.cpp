@@ -13,6 +13,7 @@
 #include "core/workloads.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/enum_names.hpp"
 
 using namespace selsync;
 
@@ -43,8 +44,27 @@ int run(int argc, const char* const* argv) {
   args.add_option("workers", "cluster size (fixed unless swept)", "16");
   args.add_option("iterations", "per-worker step budget", "400");
   args.add_option("delta", "SelSync delta (fixed unless swept)", "0.15");
+  args.add_option("backend", "payload transport: shared | ring | tree | ps",
+                  "shared");
+  args.add_option("codec",
+                  "gradient codec: none | topk | signsgd | quant8 "
+                  "(forces gradient aggregation)",
+                  "none");
   args.add_option("csv", "write the sweep table to this CSV file", "");
   if (!args.parse(argc, argv)) return 0;
+
+  const BackendKind backend =
+      parse_enum_flag("backend", args.get("backend"),
+                      [](const std::string& v) {
+                        return backend_kind_from_name(v);
+                      },
+                      backend_kind_names());
+  const CompressionKind codec =
+      parse_enum_flag("codec", args.get("codec"),
+                      [](const std::string& v) {
+                        return compression_kind_from_name(v);
+                      },
+                      compression_kind_names());
 
   const Workload w = workload_by_name(args.get("workload"));
   const std::string knob = args.get("knob");
@@ -67,6 +87,13 @@ int run(int argc, const char* const* argv) {
                             static_cast<size_t>(args.get_int("workers")),
                             static_cast<uint64_t>(args.get_int("iterations")));
     job.selsync.delta = args.get_double("delta");
+    job.backend = backend;
+    if (codec != CompressionKind::kNone) {
+      job.compression.kind = codec;
+      // Codecs apply to gradient payloads only (TrainJob::validate), so a
+      // compressed sweep runs SelSync in gradient-aggregation mode.
+      job.selsync.aggregation = AggregationMode::kGradients;
+    }
     if (knob == "delta") {
       job.selsync.delta = value;
     } else if (knob == "quorum") {
