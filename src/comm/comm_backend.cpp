@@ -11,27 +11,14 @@
 namespace selsync {
 
 const char* backend_kind_name(BackendKind kind) {
-  switch (kind) {
-    case BackendKind::kSharedMemory:
-      return "shared";
-    case BackendKind::kRing:
-      return "ring";
-    case BackendKind::kTree:
-      return "tree";
-    case BackendKind::kParameterServer:
-      return "ps";
-  }
-  return "?";
+  return enum_name(kBackendKindNames, kind);
 }
 
 std::optional<BackendKind> backend_kind_from_name(std::string_view name) {
-  for (BackendKind kind : {BackendKind::kSharedMemory, BackendKind::kRing,
-                           BackendKind::kTree, BackendKind::kParameterServer})
-    if (name == backend_kind_name(kind)) return kind;
-  return std::nullopt;
+  return enum_from_name(kBackendKindNames, name);
 }
 
-std::string backend_kind_names() { return "shared, ring, tree, ps"; }
+std::string backend_kind_names() { return enum_names(kBackendKindNames); }
 
 double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it) {
   const MessageFaultConfig& m = faults.plan().messages;

@@ -47,6 +47,7 @@
 #include "comm/cluster.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/compression.hpp"
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
@@ -59,6 +60,15 @@ class ParameterServer;
 /// reduction tree over point-to-point channels. kParameterServer routes
 /// synchronous rounds through a central ParameterServer instance.
 enum class BackendKind { kSharedMemory, kRing, kTree, kParameterServer };
+
+/// Canonical --backend spellings; selsync_lint (enum-table) keeps this table
+/// in lockstep with the enumerator list above.
+inline constexpr EnumEntry<BackendKind> kBackendKindNames[] = {
+    {BackendKind::kSharedMemory, "shared"},
+    {BackendKind::kRing, "ring"},
+    {BackendKind::kTree, "tree"},
+    {BackendKind::kParameterServer, "ps"},
+};
 
 const char* backend_kind_name(BackendKind kind);
 

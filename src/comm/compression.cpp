@@ -7,29 +7,17 @@
 namespace selsync {
 
 const char* compression_kind_name(CompressionKind kind) {
-  switch (kind) {
-    case CompressionKind::kNone:
-      return "none";
-    case CompressionKind::kTopK:
-      return "topk";
-    case CompressionKind::kSignSgd:
-      return "signsgd";
-    case CompressionKind::kQuant8:
-      return "quant8";
-  }
-  return "?";
+  return enum_name(kCompressionKindNames, kind);
 }
 
 std::optional<CompressionKind> compression_kind_from_name(
     std::string_view name) {
-  for (CompressionKind kind :
-       {CompressionKind::kNone, CompressionKind::kTopK,
-        CompressionKind::kSignSgd, CompressionKind::kQuant8})
-    if (name == compression_kind_name(kind)) return kind;
-  return std::nullopt;
+  return enum_from_name(kCompressionKindNames, name);
 }
 
-std::string compression_kind_names() { return "none, topk, signsgd, quant8"; }
+std::string compression_kind_names() {
+  return enum_names(kCompressionKindNames);
+}
 
 CompressionConfig effective_compression(const CompressionConfig& config,
                                         double delta) {

@@ -22,9 +22,20 @@
 #include <string_view>
 #include <vector>
 
+#include "util/enum_names.hpp"
+
 namespace selsync {
 
 enum class CompressionKind { kNone, kTopK, kSignSgd, kQuant8 };
+
+/// Canonical --codec spellings; selsync_lint (enum-table) keeps this table
+/// in lockstep with the enumerator list above.
+inline constexpr EnumEntry<CompressionKind> kCompressionKindNames[] = {
+    {CompressionKind::kNone, "none"},
+    {CompressionKind::kTopK, "topk"},
+    {CompressionKind::kSignSgd, "signsgd"},
+    {CompressionKind::kQuant8, "quant8"},
+};
 
 const char* compression_kind_name(CompressionKind kind);
 

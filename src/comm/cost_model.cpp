@@ -5,6 +5,10 @@
 
 namespace selsync {
 
+const char* topology_name(Topology topology) {
+  return enum_name(kTopologyNames, topology);
+}
+
 NetworkProfile paper_network_5gbps() {
   NetworkProfile net;
   net.name = "5Gbps-docker-swarm";

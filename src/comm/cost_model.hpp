@@ -25,12 +25,24 @@
 #include <cstddef>
 #include <string>
 
+#include "util/enum_names.hpp"
+
 namespace selsync {
 
 /// Which aggregation topology a synchronization round is priced as: a
 /// central parameter server (push + pull through one ingest) or a
 /// bandwidth-optimal ring allreduce.
 enum class Topology { kParameterServer, kRingAllreduce };
+
+/// Wire names used in the run-record serializer (golden records pin the
+/// exact spellings); selsync_lint (enum-table) keeps this table in lockstep
+/// with the enumerator list above.
+inline constexpr EnumEntry<Topology> kTopologyNames[] = {
+    {Topology::kParameterServer, "parameter-server"},
+    {Topology::kRingAllreduce, "ring-allreduce"},
+};
+
+const char* topology_name(Topology topology);
 
 struct NetworkProfile {
   std::string name;

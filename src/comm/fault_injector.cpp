@@ -112,20 +112,7 @@ void FaultPlan::validate(size_t workers, uint64_t max_iterations) const {
 }
 
 const char* fault_kind_name(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kCrash: return "crash";
-    case FaultKind::kRestart: return "restart";
-    case FaultKind::kRecoverySync: return "recovery_sync";
-    case FaultKind::kCheckpoint: return "checkpoint";
-    case FaultKind::kMessageDrop: return "message_drop";
-    case FaultKind::kMessageDelay: return "message_delay";
-    case FaultKind::kMessageDuplicate: return "message_duplicate";
-    case FaultKind::kPsTimeout: return "ps_timeout";
-    case FaultKind::kPsGiveUp: return "ps_give_up";
-    case FaultKind::kStragglerStart: return "straggler_start";
-    case FaultKind::kQuorumLost: return "quorum_lost";
-  }
-  return "?";
+  return enum_name(kFaultKindNames, kind);
 }
 
 namespace {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/enum_names.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -117,6 +118,23 @@ enum class FaultKind {
   kPsGiveUp,
   kStragglerStart,
   kQuorumLost,
+};
+
+/// Wire names used in the run-record fault log (golden records pin the exact
+/// spellings); selsync_lint (enum-table) keeps this table in lockstep with
+/// the enumerator list above.
+inline constexpr EnumEntry<FaultKind> kFaultKindNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kRestart, "restart"},
+    {FaultKind::kRecoverySync, "recovery_sync"},
+    {FaultKind::kCheckpoint, "checkpoint"},
+    {FaultKind::kMessageDrop, "message_drop"},
+    {FaultKind::kMessageDelay, "message_delay"},
+    {FaultKind::kMessageDuplicate, "message_duplicate"},
+    {FaultKind::kPsTimeout, "ps_timeout"},
+    {FaultKind::kPsGiveUp, "ps_give_up"},
+    {FaultKind::kStragglerStart, "straggler_start"},
+    {FaultKind::kQuorumLost, "quorum_lost"},
 };
 
 const char* fault_kind_name(FaultKind kind);

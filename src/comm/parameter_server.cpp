@@ -8,7 +8,16 @@
 namespace selsync {
 
 const char* aggregation_mode_name(AggregationMode mode) {
-  return mode == AggregationMode::kParameters ? "PA" : "GA";
+  return enum_name(kAggregationModeNames, mode);
+}
+
+std::optional<AggregationMode> aggregation_mode_from_name(
+    std::string_view name) {
+  return enum_from_name(kAggregationModeCliNames, name);
+}
+
+std::string aggregation_mode_names() {
+  return enum_names(kAggregationModeCliNames);
 }
 
 ParameterServer::ParameterServer(std::vector<float> initial, size_t workers)

@@ -14,14 +14,39 @@
 #include <cstdint>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
 enum class AggregationMode { kParameters, kGradients };
 
+/// Display names (paper terminology); selsync_lint (enum-table) keeps both
+/// tables in lockstep with the enumerator list above.
+inline constexpr EnumEntry<AggregationMode> kAggregationModeNames[] = {
+    {AggregationMode::kParameters, "PA"},
+    {AggregationMode::kGradients, "GA"},
+};
+
+/// The --aggregation spellings accepted by the CLI tools.
+inline constexpr EnumEntry<AggregationMode> kAggregationModeCliNames[] = {
+    {AggregationMode::kParameters, "pa"},
+    {AggregationMode::kGradients, "ga"},
+};
+
 const char* aggregation_mode_name(AggregationMode mode);
+
+/// "pa" | "ga" -> mode; nullopt for anything else.
+std::optional<AggregationMode> aggregation_mode_from_name(
+    std::string_view name);
+
+/// The accepted --aggregation spellings, for CLI help and error messages.
+std::string aggregation_mode_names();
 
 class ParameterServer {
  public:

@@ -5,22 +5,14 @@
 namespace selsync {
 
 const char* strategy_kind_name(StrategyKind kind) {
-  switch (kind) {
-    case StrategyKind::kBsp:
-      return "BSP";
-    case StrategyKind::kLocalSgd:
-      return "LocalSGD";
-    case StrategyKind::kFedAvg:
-      return "FedAvg";
-    case StrategyKind::kSsp:
-      return "SSP";
-    case StrategyKind::kSelSync:
-      return "SelSync";
-    case StrategyKind::kEasgd:
-      return "EASGD";
-  }
-  return "?";
+  return enum_name(kStrategyKindNames, kind);
 }
+
+std::optional<StrategyKind> strategy_kind_from_name(std::string_view name) {
+  return enum_from_name(kStrategyKindCliNames, name);
+}
+
+std::string strategy_kind_names() { return enum_names(kStrategyKindCliNames); }
 
 uint64_t TrainJob::steps_per_epoch() const {
   if (!train_data) throw std::logic_error("steps_per_epoch: no dataset");

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "comm/comm_backend.hpp"
@@ -16,12 +17,42 @@
 #include "nn/models.hpp"
 #include "nn/paper_profiles.hpp"
 #include "optim/optimizer.hpp"
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
 enum class StrategyKind { kBsp, kLocalSgd, kFedAvg, kSsp, kSelSync, kEasgd };
 
+/// Display names, used by the run-record serializer (golden records pin the
+/// exact spellings); selsync_lint (enum-table) keeps both tables in lockstep
+/// with the enumerator list above.
+inline constexpr EnumEntry<StrategyKind> kStrategyKindNames[] = {
+    {StrategyKind::kBsp, "BSP"},
+    {StrategyKind::kLocalSgd, "LocalSGD"},
+    {StrategyKind::kFedAvg, "FedAvg"},
+    {StrategyKind::kSsp, "SSP"},
+    {StrategyKind::kSelSync, "SelSync"},
+    {StrategyKind::kEasgd, "EASGD"},
+};
+
+/// The --strategy spellings accepted by the CLI tools.
+inline constexpr EnumEntry<StrategyKind> kStrategyKindCliNames[] = {
+    {StrategyKind::kBsp, "bsp"},
+    {StrategyKind::kLocalSgd, "local"},
+    {StrategyKind::kFedAvg, "fedavg"},
+    {StrategyKind::kSsp, "ssp"},
+    {StrategyKind::kSelSync, "selsync"},
+    {StrategyKind::kEasgd, "easgd"},
+};
+
 const char* strategy_kind_name(StrategyKind kind);
+
+/// "bsp" | "local" | "fedavg" | "ssp" | "selsync" | "easgd" -> kind;
+/// nullopt for anything else.
+std::optional<StrategyKind> strategy_kind_from_name(std::string_view name);
+
+/// The accepted --strategy spellings, for CLI help and error messages.
+std::string strategy_kind_names();
 
 /// FedAvg (C, E) (paper §II-B): updates from fraction C of workers are
 /// aggregated x = 1/E times per epoch, i.e. every E * steps_per_epoch steps.

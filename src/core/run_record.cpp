@@ -14,9 +14,7 @@ JsonValue job_to_json(const TrainJob& job) {
   j.set("eval_interval", static_cast<double>(job.eval_interval));
   j.set("seed", static_cast<double>(job.seed));
   j.set("partition", partition_scheme_name(job.partition));
-  j.set("topology", job.topology == Topology::kParameterServer
-                        ? "parameter-server"
-                        : "ring-allreduce");
+  j.set("topology", topology_name(job.topology));
   j.set("backend", backend_kind_name(job.backend));
   j.set("paper_model", job.paper_model.name);
   j.set("network", job.network.name);

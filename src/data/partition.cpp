@@ -35,15 +35,7 @@ std::vector<std::vector<size_t>> shuffled_chunks(size_t n, size_t workers,
 }  // namespace
 
 const char* partition_scheme_name(PartitionScheme scheme) {
-  switch (scheme) {
-    case PartitionScheme::kDefault:
-      return "DefDP";
-    case PartitionScheme::kSelSync:
-      return "SelDP";
-    case PartitionScheme::kNonIidLabel:
-      return "NonIID";
-  }
-  return "?";
+  return enum_name(kPartitionSchemeNames, scheme);
 }
 
 Partition partition_default(size_t n, size_t workers, uint64_t seed) {

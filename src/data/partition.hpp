@@ -12,10 +12,19 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
 enum class PartitionScheme { kDefault, kSelSync, kNonIidLabel };
+
+/// Display names (paper terminology); selsync_lint (enum-table) keeps this
+/// table in lockstep with the enumerator list above.
+inline constexpr EnumEntry<PartitionScheme> kPartitionSchemeNames[] = {
+    {PartitionScheme::kDefault, "DefDP"},
+    {PartitionScheme::kSelSync, "SelDP"},
+    {PartitionScheme::kNonIidLabel, "NonIID"},
+};
 
 const char* partition_scheme_name(PartitionScheme scheme);
 

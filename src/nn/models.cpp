@@ -12,17 +12,7 @@
 namespace selsync {
 
 const char* model_kind_name(ModelKind kind) {
-  switch (kind) {
-    case ModelKind::kResNetMLP:
-      return "ResNetMLP";
-    case ModelKind::kVGGNet:
-      return "VGGNet";
-    case ModelKind::kAlexNetLike:
-      return "AlexNetLike";
-    case ModelKind::kTransformerLM:
-      return "TransformerLM";
-  }
-  return "?";
+  return enum_name(kModelKindNames, kind);
 }
 
 std::unique_ptr<Model> make_resnet_mlp(const ClassifierConfig& config,

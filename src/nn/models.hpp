@@ -10,10 +10,20 @@
 
 #include "nn/model.hpp"
 #include "nn/transformer_lm.hpp"
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
 enum class ModelKind { kResNetMLP, kVGGNet, kAlexNetLike, kTransformerLM };
+
+/// Display names; selsync_lint (enum-table) keeps this table in lockstep
+/// with the enumerator list above.
+inline constexpr EnumEntry<ModelKind> kModelKindNames[] = {
+    {ModelKind::kResNetMLP, "ResNetMLP"},
+    {ModelKind::kVGGNet, "VGGNet"},
+    {ModelKind::kAlexNetLike, "AlexNetLike"},
+    {ModelKind::kTransformerLM, "TransformerLM"},
+};
 
 const char* model_kind_name(ModelKind kind);
 

@@ -1,11 +1,18 @@
-// Shared enum↔string parsing for the CLI tools.
+// Shared enum↔string machinery: declarative name tables + CLI parsing glue.
 //
-// Every parseable enum exposes a `*_from_name()` returning std::optional
-// (comm/comm_backend.hpp, comm/compression.hpp, ...) plus a `*_names()`
-// listing the accepted spellings. parse_enum_flag() is the one piece of
-// glue the tools share: it turns a failed lookup into an invalid_argument
-// that names the flag and prints the accepted set — the tool mains catch
-// std::exception and print the message, so a typo'd flag reads as
+// Every parseable or serialized enum declares one (or more) name tables as
+// an `inline constexpr EnumEntry<E> kXxxNames[]` array next to its
+// definition (comm/comm_backend.hpp, comm/compression.hpp, core/config.hpp,
+// ...). The `enum_name` / `enum_from_name` / `enum_names` helpers below turn
+// a table into the lookup functions, so adding an enumerator is a one-line
+// table edit — and `tools/selsync_lint` (rule `enum-table`) fails the build
+// if an enumerator is missing from its table, which is how parser/serializer
+// drift is caught statically instead of by a chaos seed.
+//
+// parse_enum_flag() is the one piece of glue the CLI tools share: it turns a
+// failed lookup into an invalid_argument that names the flag and prints the
+// accepted set — the tool mains catch std::exception and print the message,
+// so a typo'd flag reads as
 //
 //   selsync_cli: --backend: unknown value 'rign' (expected shared, ring,
 //   tree, ps)
@@ -13,11 +20,50 @@
 // instead of an unexplained failure.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace selsync {
+
+/// One row of an enum's name table: the enumerator and its canonical
+/// spelling (wire format, CLI flag value, or display name).
+template <typename E>
+struct EnumEntry {
+  E value;
+  const char* name;
+};
+
+/// Table → display name. Returns "?" for a value outside the table, so the
+/// serializers never crash on a (bug-injected) out-of-range enum.
+template <typename E, size_t N>
+constexpr const char* enum_name(const EnumEntry<E> (&table)[N], E value) {
+  for (const EnumEntry<E>& entry : table)
+    if (entry.value == value) return entry.name;
+  return "?";
+}
+
+/// Table → parser. Exact (case-sensitive) match against the table spellings.
+template <typename E, size_t N>
+constexpr std::optional<E> enum_from_name(const EnumEntry<E> (&table)[N],
+                                          std::string_view name) {
+  for (const EnumEntry<E>& entry : table)
+    if (name == entry.name) return entry.value;
+  return std::nullopt;
+}
+
+/// Table → the advertised "a, b, c" list shown when parsing fails.
+template <typename E, size_t N>
+std::string enum_names(const EnumEntry<E> (&table)[N]) {
+  std::string joined;
+  for (const EnumEntry<E>& entry : table) {
+    if (!joined.empty()) joined += ", ";
+    joined += entry.name;
+  }
+  return joined;
+}
 
 /// Parses `value` for `--flag` via `from_name` (any callable returning
 /// std::optional<E>); `accepted` is the advertised value list shown on

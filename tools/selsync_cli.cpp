@@ -25,16 +25,6 @@ using namespace selsync;
 
 namespace {
 
-std::optional<StrategyKind> strategy_from_name(const std::string& name) {
-  if (name == "bsp") return StrategyKind::kBsp;
-  if (name == "local") return StrategyKind::kLocalSgd;
-  if (name == "fedavg") return StrategyKind::kFedAvg;
-  if (name == "ssp") return StrategyKind::kSsp;
-  if (name == "selsync") return StrategyKind::kSelSync;
-  if (name == "easgd") return StrategyKind::kEasgd;
-  return std::nullopt;
-}
-
 /// --fault-plan accepts either inline JSON (first non-space char '{') or a
 /// path to a JSON file (see examples/fault_plan.json).
 FaultPlan load_fault_plan(const std::string& spec) {
@@ -100,8 +90,11 @@ int run(int argc, const char* const* argv) {
   const Workload w = workload_by_name(args.get("workload"));
   TrainJob job = make_job(
       w,
-      parse_enum_flag("strategy", args.get("strategy"), strategy_from_name,
-                      "bsp, local, fedavg, ssp, selsync, easgd"),
+      parse_enum_flag("strategy", args.get("strategy"),
+                      [](const std::string& v) {
+                        return strategy_kind_from_name(v);
+                      },
+                      strategy_kind_names()),
       static_cast<size_t>(args.get_int("workers")),
       static_cast<uint64_t>(args.get_int("iterations")));
   job.backend = parse_enum_flag("backend", args.get("backend"),
@@ -112,9 +105,12 @@ int run(int argc, const char* const* argv) {
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
-  job.selsync.aggregation = args.get("aggregation") == "ga"
-                                ? AggregationMode::kGradients
-                                : AggregationMode::kParameters;
+  job.selsync.aggregation =
+      parse_enum_flag("aggregation", args.get("aggregation"),
+                      [](const std::string& v) {
+                        return aggregation_mode_from_name(v);
+                      },
+                      aggregation_mode_names());
   job.selsync.sync_quorum = args.get_double("quorum");
   job.fedavg = {args.get_double("fedavg-c"), args.get_double("fedavg-e")};
   job.ssp.staleness = static_cast<uint64_t>(args.get_int("staleness"));
