@@ -99,7 +99,9 @@ TEST_P(ChaosMatrix, AbsorbsPsTimeoutsWithBackoff) {
   EXPECT_GT(r.faults.ps_timeouts, 0u);
   // Only SSP may give a push/pull up entirely; synchronous rounds always
   // absorb the backoff and complete.
-  if (GetParam() != StrategyKind::kSsp) EXPECT_EQ(r.faults.ps_give_ups, 0u);
+  if (GetParam() != StrategyKind::kSsp) {
+    EXPECT_EQ(r.faults.ps_give_ups, 0u);
+  }
 }
 
 TEST_P(ChaosMatrix, RecordsStragglerEpisodes) {
@@ -151,8 +153,9 @@ INSTANTIATE_TEST_SUITE_P(Strategies, ChaosMatrix,
                                            StrategyKind::kSelSync,
                                            StrategyKind::kSsp,
                                            StrategyKind::kFedAvg),
-                         [](const auto& info) {
-                           return std::string(strategy_kind_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               strategy_kind_name(param_info.param));
                          });
 
 // Message faults and stragglers are timing faults: the payload that lands is

@@ -32,8 +32,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyConvergence,
                                            StrategyKind::kFedAvg,
                                            StrategyKind::kSsp,
                                            StrategyKind::kSelSync),
-                         [](const auto& info) {
-                           return strategy_kind_name(info.param);
+                         [](const auto& param_info) {
+                           return strategy_kind_name(param_info.param);
                          });
 
 TEST(Convergence, AccuracyImprovesOverTime) {

@@ -51,8 +51,9 @@ TrainJob job_for(const Combo& combo) {
 TEST_P(FeatureMatrix, RunsWithConsistentAccounting) {
   const TrainResult r = run_training(job_for(GetParam()));
   EXPECT_EQ(r.iterations, 60u);
-  if (r.lssr_applicable)
+  if (r.lssr_applicable) {
     EXPECT_EQ(r.sync_steps + r.local_steps, r.iterations);
+  }
   EXPECT_TRUE(std::isfinite(r.final_eval.loss));
   EXPECT_FALSE(r.diverged);
   EXPECT_GE(r.comm_bytes, 0.0);
@@ -113,7 +114,9 @@ INSTANTIATE_TEST_SUITE_P(
               true},
         Combo{"ssp_straggler", StrategyKind::kSsp, BackendKind::kSharedMemory,
               CompressionKind::kNone, 0.0, true, false}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) {
+      return std::string(param_info.param.name);
+    });
 
 }  // namespace
 }  // namespace selsync

@@ -75,8 +75,8 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamilyTest,
                          ::testing::Values(ModelKind::kResNetMLP,
                                            ModelKind::kVGGNet,
                                            ModelKind::kAlexNetLike),
-                         [](const auto& info) {
-                           return model_kind_name(info.param);
+                         [](const auto& param_info) {
+                           return model_kind_name(param_info.param);
                          });
 
 TEST(ModelZoo, KindNames) {

@@ -71,10 +71,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 1, 1}, Shape{1, 7, 3}, Shape{5, 1, 4},
                       Shape{4, 4, 4}, Shape{3, 17, 5}, Shape{16, 8, 32},
                       Shape{31, 13, 7}),
-    [](const auto& info) {
-      return std::to_string(std::get<0>(info.param)) + "x" +
-             std::to_string(std::get<1>(info.param)) + "x" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& shapes) {
+      return std::to_string(std::get<0>(shapes.param)) + "x" +
+             std::to_string(std::get<1>(shapes.param)) + "x" +
+             std::to_string(std::get<2>(shapes.param));
     });
 
 }  // namespace

@@ -1,7 +1,7 @@
 // selsync_sweep — sweep one SelSync knob (δ, quorum, workers or the EWMA
 // window) over a list of values and print a comparison table + CSV.
 //
-//   ./build/tools/selsync_sweep --workload ResNet101 --knob delta \
+//   ./build/tools/selsync_sweep --workload ResNet101 --knob delta
 //       --values 0,0.05,0.1,0.15,0.25 --iterations 400 --csv sweep.csv
 #include <cstdio>
 #include <exception>
