@@ -143,6 +143,7 @@ void SynchronousWorkerLoop::data_stage() {
   if (injector_) {
     const std::vector<size_t> mine = loader_.next_indices();
     {
+      // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState.
       std::lock_guard<std::mutex> lock(shared_.mutex);
       shared_.injection_proposals[ctx_.rank] = mine;
       // The group leader clears absent ranks' slots so pooling cannot
@@ -352,6 +353,7 @@ void SynchronousWorkerLoop::finish_worker() {
 }
 
 void SynchronousWorkerLoop::publish() {
+  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState.
   std::lock_guard<std::mutex> lock(shared_.mutex);
   shared_.worker_sim_time[ctx_.rank] = sim_time_;
   if (is_root()) {
@@ -491,6 +493,7 @@ bool SspWorkerLoop::instrumentation_stage() {
 void SspWorkerLoop::finish_worker() { ps_.finish(ctx_.rank); }
 
 void SspWorkerLoop::publish() {
+  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSspState.
   std::lock_guard<std::mutex> lock(shared_.mutex);
   shared_.worker_sim_time[ctx_.rank] = sim_time_;
   if (is_root()) {

@@ -46,6 +46,9 @@ namespace selsync::detail {
 
 /// State shared by the bulk-synchronous workers of one run.
 struct SharedSyncState {
+  // selsync-lint: allow(raw-thread) -- result aggregation is a leaf lock
+  // taken only in publish()/instrumentation, never across a collective; the
+  // chaos label still covers it because every worker publishes under TSan.
   std::mutex mutex;
   TrainResult result;
   std::vector<std::vector<size_t>> injection_proposals;
@@ -62,6 +65,8 @@ struct SharedSyncState {
 
 /// State shared by the SSP workers of one run.
 struct SharedSspState {
+  // selsync-lint: allow(raw-thread) -- same leaf result-aggregation lock as
+  // SharedSyncState above.
   std::mutex mutex;
   TrainResult result;
   std::atomic<bool> stop{false};

@@ -4,6 +4,11 @@
 #include <cstdio>
 #include <mutex>
 
+// selsync-lint: allow-file(raw-thread) -- the log serializer guards one
+// fprintf with a leaf mutex; it sits below comm/ in the layering, so it
+// cannot use the cluster primitives, and it never holds the lock across a
+// call out.
+
 namespace selsync {
 
 namespace {
