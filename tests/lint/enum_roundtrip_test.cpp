@@ -1,0 +1,113 @@
+// Round-trip coverage for every EnumEntry name table in the repo: each
+// spelling must parse back to its enumerator, each enumerator must render
+// back to its spelling, and the advertised `enum_names` list must mention
+// every spelling. selsync_lint (rule `enum-table`) proves the tables are
+// *complete*; this test proves the lookup machinery over them is *correct*.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "comm/comm_backend.hpp"
+#include "comm/compression.hpp"
+#include "comm/cost_model.hpp"
+#include "comm/fault_injector.hpp"
+#include "comm/parameter_server.hpp"
+#include "core/config.hpp"
+#include "data/partition.hpp"
+#include "nn/models.hpp"
+#include "util/enum_names.hpp"
+
+namespace selsync {
+namespace {
+
+template <typename E, size_t N>
+void ExpectTableRoundTrips(const EnumEntry<E> (&table)[N]) {
+  const std::string advertised = enum_names(table);
+  std::set<std::string> names;
+  std::set<long long> values;
+  for (const EnumEntry<E>& entry : table) {
+    SCOPED_TRACE(entry.name);
+    // name -> value -> name identity.
+    const auto parsed = enum_from_name(table, entry.name);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == entry.value);
+    EXPECT_STREQ(enum_name(table, entry.value), entry.name);
+    // Spellings and values are unique within one table (otherwise the
+    // round trip above could not hold for every row).
+    EXPECT_TRUE(names.insert(entry.name).second);
+    EXPECT_TRUE(values.insert(static_cast<long long>(entry.value)).second);
+    EXPECT_NE(advertised.find(entry.name), std::string::npos);
+  }
+  // Lookup failure modes: bogus spellings are rejected, out-of-table values
+  // render as the "?" sentinel instead of crashing a serializer.
+  EXPECT_FALSE(enum_from_name(table, "no-such-spelling").has_value());
+  EXPECT_STREQ(enum_name(table, static_cast<E>(9999)), "?");
+}
+
+TEST(EnumRoundTrip, BackendKind) { ExpectTableRoundTrips(kBackendKindNames); }
+
+TEST(EnumRoundTrip, CompressionKind) {
+  ExpectTableRoundTrips(kCompressionKindNames);
+}
+
+TEST(EnumRoundTrip, StrategyKindDisplay) {
+  ExpectTableRoundTrips(kStrategyKindNames);
+}
+
+TEST(EnumRoundTrip, StrategyKindCli) {
+  ExpectTableRoundTrips(kStrategyKindCliNames);
+}
+
+TEST(EnumRoundTrip, ModelKind) { ExpectTableRoundTrips(kModelKindNames); }
+
+TEST(EnumRoundTrip, PartitionScheme) {
+  ExpectTableRoundTrips(kPartitionSchemeNames);
+}
+
+TEST(EnumRoundTrip, AggregationModeDisplay) {
+  ExpectTableRoundTrips(kAggregationModeNames);
+}
+
+TEST(EnumRoundTrip, AggregationModeCli) {
+  ExpectTableRoundTrips(kAggregationModeCliNames);
+}
+
+TEST(EnumRoundTrip, FaultKind) { ExpectTableRoundTrips(kFaultKindNames); }
+
+TEST(EnumRoundTrip, Topology) { ExpectTableRoundTrips(kTopologyNames); }
+
+// The golden run records pin these exact serialized spellings; a renamed
+// table entry must fail here before it reaches the parity grid.
+TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kSelSync), "SelSync");
+  EXPECT_STREQ(strategy_kind_name(StrategyKind::kLocalSgd), "LocalSGD");
+  EXPECT_STREQ(topology_name(Topology::kParameterServer), "parameter-server");
+  EXPECT_STREQ(topology_name(Topology::kRingAllreduce), "ring-allreduce");
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kParameters), "PA");
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kGradients), "GA");
+}
+
+// The CLI parse glue advertises the accepted set on a typo.
+TEST(EnumRoundTrip, ParseEnumFlagReportsAcceptedSet) {
+  const auto parse = [](const std::string& value) {
+    return parse_enum_flag(
+        "strategy", value,
+        [](std::string_view name) { return strategy_kind_from_name(name); },
+        strategy_kind_names());
+  };
+  EXPECT_TRUE(parse("selsync") == StrategyKind::kSelSync);
+  try {
+    parse("selsnyc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--strategy"), std::string::npos);
+    EXPECT_NE(message.find("selsnyc"), std::string::npos);
+    EXPECT_NE(message.find("selsync"), std::string::npos);
+    EXPECT_NE(message.find("bsp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,13 @@
+// Fixture: identical primitives are fine under src/comm/ — that is where
+// the repo confines raw concurrency.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex g_lock;
+std::condition_variable g_cv;
+
+void spawn() {
+  std::thread worker([] { std::lock_guard<std::mutex> lock(g_lock); });
+  worker.join();
+}

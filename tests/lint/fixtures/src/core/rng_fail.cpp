@@ -1,0 +1,13 @@
+// Fixture: every line here must trip the `rng` rule — non-deterministic or
+// time-seeded randomness outside src/util/rng breaks bit-reproducibility.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device device;
+  std::mt19937 engine(device());
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(engine) + std::rand();
+}

@@ -1,0 +1,11 @@
+// Fixture: the approved pattern — a seeded stream forked from util/rng.
+// Mentioning std::mt19937 in a comment or "std::rand" in a string is fine;
+// the rule only fires on code.
+#include "util/rng.hpp"
+
+const char* kBanner = "never call std::rand here";
+
+double draw(selsync::Rng& rng, unsigned long long rank) {
+  selsync::Rng stream = rng.fork(rank);
+  return stream.uniform();
+}

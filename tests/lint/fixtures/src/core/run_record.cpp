@@ -1,0 +1,12 @@
+// Fixture: the same key emission is allowed at this path —
+// src/core/run_record.cpp is the one gate permitted to serialize it.
+#include <string>
+#include <utility>
+
+struct Json {
+  void set(const std::string& key, std::string value);
+};
+
+void emit_gated(Json& j, std::string totals) {
+  j.set("sync_cost", std::move(totals));
+}

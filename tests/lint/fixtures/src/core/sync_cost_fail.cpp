@@ -1,0 +1,13 @@
+// Fixture: emitting the sync-cost JSON key anywhere but
+// src/core/run_record.cpp bypasses the TrainJob::record_sync_cost gate and
+// would dirty the golden records — must trip `sync-cost-json`.
+#include <string>
+#include <utility>
+
+struct Json {
+  void set(const std::string& key, std::string value);
+};
+
+void emit(Json& j, std::string totals) {
+  j.set("sync_cost", std::move(totals));
+}

@@ -1,0 +1,11 @@
+// Fixture: raw concurrency primitives outside src/comm/ must trip the
+// `raw-thread` rule.
+#include <mutex>
+#include <thread>
+
+std::mutex g_lock;
+
+void spawn() {
+  std::thread worker([] { std::lock_guard<std::mutex> lock(g_lock); });
+  worker.join();
+}

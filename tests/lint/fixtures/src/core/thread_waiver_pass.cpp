@@ -1,0 +1,13 @@
+// Fixture: a documented waiver suppresses the `raw-thread` rule, including
+// when the reason spans multiple comment lines above the statement.
+#include <mutex>
+
+// selsync-lint: allow(raw-thread) -- fixture exercising the waiver reach:
+// the comment holding this reason is longer than one line, and the waiver
+// must still cover the declaration below it.
+std::mutex g_waived_lock;
+
+void touch() {
+  // selsync-lint: allow(raw-thread) -- single-line waiver form.
+  std::lock_guard<std::mutex> lock(g_waived_lock);
+}

@@ -1,0 +1,6 @@
+// Fixture: a waiver without a `-- reason` is itself a violation, and the
+// un-waived primitive still trips `raw-thread`.
+#include <mutex>
+
+// selsync-lint: allow(raw-thread)
+std::mutex g_lock;

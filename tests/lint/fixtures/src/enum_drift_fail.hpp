@@ -1,0 +1,16 @@
+// Fixture: kDropped was added to the enum but not to the name table — the
+// exact parser/serializer drift the `enum-table` rule exists to catch.
+#pragma once
+
+#include "util/enum_names.hpp"
+
+namespace fixture {
+
+enum class Vegetable { kCarrot, kPotato, kDropped };
+
+inline constexpr selsync::EnumEntry<Vegetable> kVegetableNames[] = {
+    {Vegetable::kCarrot, "carrot"},
+    {Vegetable::kPotato, "potato"},
+};
+
+}  // namespace fixture

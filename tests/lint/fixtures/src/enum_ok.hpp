@@ -1,0 +1,17 @@
+// Fixture: an enum whose EnumEntry name table covers every enumerator —
+// the `enum-table` rule must pass.
+#pragma once
+
+#include "util/enum_names.hpp"
+
+namespace fixture {
+
+enum class Fruit { kApple, kBanana, kCherry };
+
+inline constexpr selsync::EnumEntry<Fruit> kFruitNames[] = {
+    {Fruit::kApple, "apple"},
+    {Fruit::kBanana, "banana"},
+    {Fruit::kCherry, "cherry"},
+};
+
+}  // namespace fixture

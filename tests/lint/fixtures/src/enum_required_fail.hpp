@@ -1,0 +1,10 @@
+// Fixture: BackendKind is on the required-table list (it feeds the CLI
+// parser and the run-record serializer), so defining it without any
+// EnumEntry table must trip `enum-table` even though no table drifted.
+#pragma once
+
+namespace fixture {
+
+enum class BackendKind { kSharedMemory, kRing };
+
+}  // namespace fixture
