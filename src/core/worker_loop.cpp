@@ -302,12 +302,14 @@ bool SynchronousWorkerLoop::instrumentation_stage() {
   if (ema_) ema_->update(*model_);
 
   // ---- worker-0 snapshots (Fig. 11) ---------------------------------------
-  if (is_root() && next_snapshot_ < job_.snapshot_epochs.size()) {
-    const double boundary = job_.snapshot_epochs[next_snapshot_];
-    if (static_cast<double>(it_ + 1) / steps_per_epoch_ >= boundary) {
-      snapshots_[boundary] = model_->get_flat_params();
-      ++next_snapshot_;
-    }
+  // A single iteration can cross several boundaries when they sit closer
+  // together than one epoch step, so drain every boundary reached.
+  while (is_root() && next_snapshot_ < job_.snapshot_epochs.size() &&
+         static_cast<double>(it_ + 1) / steps_per_epoch_ >=
+             job_.snapshot_epochs[next_snapshot_]) {
+    snapshots_[job_.snapshot_epochs[next_snapshot_]] =
+        model_->get_flat_params();
+    ++next_snapshot_;
   }
 
   // ---- evaluation + early stop --------------------------------------------
