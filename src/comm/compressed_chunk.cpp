@@ -25,8 +25,11 @@ void ChunkCodec::begin_round(size_t rank, double delta) {
 size_t ChunkCodec::transform(size_t rank, size_t slot,
                              std::span<float> chunk) {
   RankState& state = ranks_.at(rank);
+  // The round's effective config decides feedback too: if an adaptive rule
+  // ever toggles it per round, residual wiring must follow the codec that
+  // actually runs, not the base config.
   std::vector<float>* residual =
-      config_.error_feedback ? &state.residuals[slot] : nullptr;
+      state.effective.error_feedback ? &state.residuals[slot] : nullptr;
   return codec_transform(state.effective, chunk, residual);
 }
 
