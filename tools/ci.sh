@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's tier-1 verification recipe, runnable locally or by CI.
 #
-#   tools/ci.sh            # tier-1: configure, build, full ctest
-#   tools/ci.sh --chaos    # additionally: TSan build + the chaos suite
+#   tools/ci.sh              # tier-1: configure, build, full ctest
+#   tools/ci.sh --chaos      # additionally: TSan build + the chaos suite
+#   tools/ci.sh --analyze    # additionally: static analysis + UBSan leg
+#
+# The stages compose: `tools/ci.sh --chaos --analyze` runs all three.
 #
 # Tier 1 is the gate every change must pass (ROADMAP.md): a clean build and
 # the full test suite, including the golden parity grid that pins the
-# CommBackend + WorkerLoop stack to the seed trainer's exact dynamics.
+# CommBackend + WorkerLoop stack to the seed trainer's exact dynamics. The
+# tier-1 build configures with -DSELSYNC_WERROR=ON, so the curated warning
+# set (-Wshadow, -Wold-style-cast, ... — see CMakeLists.txt) is enforced
+# here while plain developer builds stay permissive.
+#
 # The optional chaos stage rebuilds under ThreadSanitizer and runs only the
 # fault-injection tests (ctest -L chaos) — the tests that actually stress
 # cross-thread teardown, channel aborts and PS waits. That label now also
@@ -16,21 +23,34 @@
 # finishes with the golden-drift gate: the `golden` label re-runs the
 # 12-config parity grid under TSan and fails on any byte drift in the
 # checked-in run records.
+#
+# The analyze stage (DESIGN.md §9) runs three legs:
+#   1. clang-tidy over the exported compile_commands.json with the checked-in
+#      .clang-tidy profile — skipped with a notice when clang-tidy is not on
+#      PATH (the default container ships only GCC).
+#   2. selsync_lint, the repo-invariant linter (rng / raw-thread /
+#      enum-table / sync-cost-json), repo-wide plus its fixture suite
+#      (ctest -L lint).
+#   3. An ASan+UBSan build (-DSELSYNC_SANITIZE=address,undefined) running
+#      the chaos label and then the golden-drift gate, so undefined
+#      behaviour and memory errors can't hide behind passing tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RUN_CHAOS=0
+RUN_ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) RUN_CHAOS=1 ;;
-    *) echo "usage: tools/ci.sh [--chaos]" >&2; exit 2 ;;
+    --analyze) RUN_ANALYZE=1 ;;
+    *) echo "usage: tools/ci.sh [--chaos] [--analyze]" >&2; exit 2 ;;
   esac
 done
 
-echo "=== tier 1: build ==="
-cmake -B build >/dev/null
+echo "=== tier 1: build (warnings are errors) ==="
+cmake -B build -DSELSYNC_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 
 echo "=== tier 1: full test suite ==="
@@ -46,6 +66,36 @@ if [[ "$RUN_CHAOS" -eq 1 ]]; then
 
   echo "=== chaos: golden-record drift gate under TSan ==="
   ctest --test-dir build-tsan --output-on-failure -L golden
+fi
+
+if [[ "$RUN_ANALYZE" -eq 1 ]]; then
+  echo "=== analyze: clang-tidy ==="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # The tier-1 configure above exported build/compile_commands.json
+    # (CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally). src/ must be
+    # warning-clean; .clang-tidy promotes every finding to an error.
+    git ls-files 'src/*.cpp' 'src/*.hpp' \
+      | xargs clang-tidy -p build --quiet
+  else
+    echo "clang-tidy not on PATH; skipping this leg (config: .clang-tidy," \
+         "database: build/compile_commands.json)"
+  fi
+
+  echo "=== analyze: repo-invariant linter (selsync_lint) ==="
+  ./build/tools/selsync_lint --root .
+
+  echo "=== analyze: lint fixture + enum round-trip suite ==="
+  ctest --test-dir build --output-on-failure -L lint
+
+  echo "=== analyze: ASan+UBSan build ==="
+  cmake -B build-ubsan -DSELSYNC_SANITIZE=address,undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS"
+
+  echo "=== analyze: chaos suite under ASan+UBSan ==="
+  ctest --test-dir build-ubsan --output-on-failure -L chaos
+
+  echo "=== analyze: golden-record drift gate under ASan+UBSan ==="
+  ctest --test-dir build-ubsan --output-on-failure -L golden
 fi
 
 echo "ci.sh: all green"
