@@ -1,13 +1,19 @@
 // Fig. 1a: relative training throughput vs cluster size over the 5 Gbps
-// testbed network, swept across the pluggable communication backends.
+// testbed network, swept across the pluggable communication backends and —
+// for the parameter-server backend — across the sharded-PS tier.
 //
 // Paper result (PS rows): throughput scales sublinearly — ResNet101 gains
 // only ~3x from 1 -> 16 workers; VGG11 (507 MB of parameters) drops below
 // 1.0x at 2 workers because one synchronization outweighs a whole step of
 // compute. The ring and tree rows show what the same jobs would cost on the
-// bandwidth-optimal ring and the log(N) reduction tree — the backends
-// TrainJob::backend / selsync_cli --backend select at training time.
+// bandwidth-optimal ring and the log(N) reduction tree, and the ps-kK rows
+// (--ps-shards K, default sweep K in {1,2,4}) show the incast knee
+// flattening as the central store splits into K independent ingest links.
 #include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "comm/comm_backend.hpp"
 #include "comm/cost_model.hpp"
@@ -16,11 +22,27 @@
 using namespace selsync;
 using namespace selsync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional: --ps-shards 1,2,4 overrides the sharded-PS sweep list.
+  std::vector<size_t> shard_sweep{1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--ps-shards" && i + 1 < argc) {
+      shard_sweep.clear();
+      const std::string list = argv[++i];
+      for (size_t pos = 0; pos < list.size();) {
+        const size_t comma = list.find(',', pos);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        shard_sweep.push_back(
+            static_cast<size_t>(std::atoi(list.substr(pos, end - pos).c_str())));
+        pos = end + 1;
+      }
+    }
+  }
+
   print_banner(
       "Fig. 1a — relative throughput vs cluster size x backend (5 Gbps)",
-      "sublinear scaling; ~3x for ResNet101 at 16 workers under PS; ring "
-      "and tree backends push the knee outward");
+      "sublinear scaling; ~3x for ResNet101 at 16 workers under PS; ring, "
+      "tree and the sharded PS tier (--ps-shards) push the knee outward");
 
   const CostModel cost(paper_network_5gbps());
   const DeviceProfile v100 = device_v100();
@@ -33,10 +55,12 @@ int main() {
   };
 
   // One pricing backend per sweep row, built through the same factory the
-  // trainer uses. The PS backend needs a (dummy) central store seed; only
-  // the sync_cost() account is exercised here.
+  // trainer uses. The PS backends need a (dummy) central store seed wide
+  // enough for the shard count; only the sync_cost() account is exercised
+  // here. K=1 is labeled plain "ps" — it is bit- and price-identical to the
+  // pre-sharding backend.
   struct SweepBackend {
-    const char* label;
+    std::string label;
     std::unique_ptr<CommBackend> backend;
   };
   std::vector<SweepBackend> backends;
@@ -44,9 +68,15 @@ int main() {
     CommBackendConfig config;
     config.workers = sizes.back();
     config.kind = BackendKind::kParameterServer;
-    config.initial_params.assign(1, 0.0f);
-    backends.push_back({"ps", make_comm_backend(config)});
+    for (size_t shards : shard_sweep) {
+      config.ps_shards = shards;
+      config.initial_params.assign(std::max<size_t>(shards, 1), 0.0f);
+      backends.push_back(
+          {shards == 1 ? "ps" : "ps-k" + std::to_string(shards),
+           make_comm_backend(config)});
+    }
     config.initial_params.clear();
+    config.ps_shards = 1;
     config.kind = BackendKind::kRing;
     config.topology = Topology::kRingAllreduce;
     backends.push_back({"ring", make_comm_backend(config)});
@@ -59,7 +89,7 @@ int main() {
 
   std::vector<AsciiSeries> series;
   for (const SweepBackend& sweep : backends) {
-    std::printf("--- backend: %s ---\n", sweep.label);
+    std::printf("--- backend: %s ---\n", sweep.label.c_str());
     std::printf("%-12s", "workers:");
     for (size_t n : sizes) std::printf("%8zu", n);
     std::printf("\n");
@@ -81,7 +111,7 @@ int main() {
         std::printf("%8.2f", relative);
         csv.row({model.name, sweep.label, std::to_string(n),
                  CsvWriter::format_double(relative)});
-        if (sweep.label == std::string("ps")) s.y.push_back(relative);
+        if (sweep.label == "ps") s.y.push_back(relative);
       }
       std::printf("\n");
       if (!s.y.empty()) series.push_back(std::move(s));
@@ -91,8 +121,8 @@ int main() {
 
   std::printf("%s", ascii_plot(series, 60, 14).c_str());
   std::printf(
-      "(plot: PS backend, the paper's Fig. 1a; x-axis: cluster size "
-      "1,2,4,8,16; all backends in %s/fig1a_scaling.csv)\n",
+      "(plot: PS backend K=1, the paper's Fig. 1a; x-axis: cluster size "
+      "1,2,4,8,16; all backends and shard counts in %s/fig1a_scaling.csv)\n",
       results_dir().c_str());
   return 0;
 }

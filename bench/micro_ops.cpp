@@ -134,23 +134,28 @@ void BM_FlagAllgather(benchmark::State& state) {
 }
 BENCHMARK(BM_FlagAllgather);
 
-void BM_PsPushAverage(benchmark::State& state) {
+void BM_PsRoundAverage(benchmark::State& state) {
   const size_t workers = 4;
   const size_t dim = 1 << 14;
   ParameterServer ps(std::vector<float>(dim, 0.f), workers);
+  PsRoundConfig cfg;
+  cfg.participants = workers;
+  cfg.order = PsRoundOrder::kArrival;
+  cfg.average = true;
   for (auto _ : state) {
     std::vector<std::thread> threads;
     for (size_t r = 0; r < workers; ++r)
       threads.emplace_back([&, r] {
         std::vector<float> mine(dim, static_cast<float>(r));
-        auto avg =
-            ps.push_and_average(mine, AggregationMode::kParameters, workers);
+        const uint64_t ticket = ps.round().begin(cfg);
+        ps.round().contribute(ticket, r, mine);
+        auto avg = ps.round().await(ticket);
         benchmark::DoNotOptimize(avg.data());
       });
     for (auto& t : threads) t.join();
   }
 }
-BENCHMARK(BM_PsPushAverage);
+BENCHMARK(BM_PsRoundAverage);
 
 void BM_TrainStepResNetMLP(benchmark::State& state) {
   ClassifierConfig cfg;

@@ -1,5 +1,6 @@
 #include "comm/comm_backend.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "comm/collectives.hpp"
@@ -121,6 +122,14 @@ SyncCost CommBackend::sync_cost(const CostModel& cost, size_t dense_bytes,
           ? dense_bytes
           : static_cast<size_t>(static_cast<double>(dense_bytes) * wire_ratio);
   c.transfer_s = transfer_time(cost, c.wire_bytes, workers);
+  const size_t shards = ingest_shards();
+  if (shards > 0) {
+    c.ps_shards = shards;
+    c.max_shard_wire_bytes = (c.wire_bytes + shards - 1) / shards;
+    // The PS schedule already prices the busiest shard's ingest as the
+    // round's critical path (CostModel::ps_shard_sync_time).
+    c.max_ingest_s = c.transfer_s;
+  }
   if (c.wire_bytes < c.dense_bytes) {
     // Codec compute when the payload was shrunk: compress + decompress over
     // the full dense gradient at ~4 GB/s effective (GraVAC-range overhead),
@@ -303,23 +312,45 @@ class TreeBackend final : public CommBackend {
   std::unique_ptr<ChunkCodec> chunk_codec_;
 };
 
-/// Synchronous rounds routed through a central ParameterServer instance
-/// (deterministic rank-slotted aggregation); the same instance is the
-/// central store SSP's push/pull path runs against. Keeps the base
-/// full-vector codec path: the push payload is compressed before the RPC,
-/// so a compressed PS round stays bit-identical to the shared-memory
-/// backend's.
+/// Synchronous rounds routed through the sharded parameter-server tier
+/// (deterministic rank-slotted PsRound aggregation per shard); the same
+/// tier is the central store SSP's push/pull path runs against. Keeps the
+/// base full-vector codec path: the push payload is compressed before the
+/// RPC, so a compressed PS round stays bit-identical to the shared-memory
+/// backend's. Each worker begins + contributes on every shard before
+/// awaiting any of them, so the K ingest links overlap; per element the
+/// fold is the same ascending-rank summation at any K, which keeps K > 1
+/// bitwise equal to K = 1.
 class PsBackend final : public CommBackend {
  public:
-  PsBackend(std::vector<float> initial, size_t workers,
+  PsBackend(std::vector<float> initial, size_t workers, size_t shards,
             const CompressionConfig& codec)
-      : CommBackend(codec, workers), ps_(std::move(initial), workers) {}
+      : CommBackend(codec, workers),
+        ps_(std::move(initial), workers, shards) {}
 
   BackendKind kind() const override { return BackendKind::kParameterServer; }
 
   void allreduce(WorkerContext& ctx, std::vector<float>& data,
                  const CommGroup& group, double&) override {
-    data = ps_.push_and_sum_ranked(ctx.rank, data, group.size);
+    if (data.size() != ps_.dim())
+      throw std::invalid_argument("PsBackend::allreduce: dim mismatch");
+    PsRoundConfig round;
+    round.participants = group.size;
+    const size_t shards = ps_.shards();
+    std::vector<uint64_t> tickets(shards);
+    for (size_t k = 0; k < shards; ++k)
+      tickets[k] = ps_.shard(k).round().begin(round);
+    for (size_t k = 0; k < shards; ++k) {
+      const auto range = ps_.shard_range(k);
+      ps_.shard(k).round().contribute(
+          tickets[k], ctx.rank,
+          std::span<const float>(data.data() + range.offset, range.length));
+    }
+    for (size_t k = 0; k < shards; ++k) {
+      const auto range = ps_.shard_range(k);
+      const std::vector<float> fold = ps_.shard(k).round().await(tickets[k]);
+      std::copy(fold.begin(), fold.end(), data.begin() + range.offset);
+    }
   }
 
   void charge_sync_faults(SyncCost& cost, FaultInjector& faults, size_t rank,
@@ -330,18 +361,20 @@ class PsBackend final : public CommBackend {
     cost.fault_penalty_s += penalty;
   }
 
-  ParameterServer* central_store() override { return &ps_; }
+  ShardedParameterServer* central_store() override { return &ps_; }
 
   void abort() override { ps_.abort(); }
 
  protected:
   double transfer_time(const CostModel& cost, size_t wire_bytes,
                        size_t workers) const override {
-    return cost.ps_sync_time(wire_bytes, workers);
+    return cost.ps_shard_sync_time(wire_bytes, workers, ps_.shards());
   }
 
+  size_t ingest_shards() const override { return ps_.shards(); }
+
  private:
-  ParameterServer ps_;
+  ShardedParameterServer ps_;
 };
 
 }  // namespace
@@ -367,6 +400,7 @@ std::unique_ptr<CommBackend> make_comm_backend(
             "make_comm_backend: the ps backend needs initial parameters for "
             "its central store");
       return std::make_unique<PsBackend>(config.initial_params, config.workers,
+                                         config.ps_shards,
                                          config.compression);
   }
   throw std::invalid_argument("make_comm_backend: unknown backend kind");

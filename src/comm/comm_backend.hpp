@@ -52,7 +52,7 @@
 namespace selsync {
 
 class FaultInjector;
-class ParameterServer;
+class ShardedParameterServer;
 
 /// Which protocol carries aggregation payloads. kSharedMemory and kRing are
 /// the seed's two transports (bit-deterministic shared buffers; the
@@ -109,6 +109,14 @@ struct SyncCost {
   /// Bytes on the wire vs. the dense payload they stand in for.
   size_t wire_bytes = 0;
   size_t dense_bytes = 0;
+  /// The central ingest tier, when this backend has one (the ps backend):
+  /// how many shards split the store, the busiest shard's share of the
+  /// wire bytes, and that shard's ingest transfer time (the round's
+  /// critical path — equals transfer_s on the PS schedule). All zero on
+  /// backends without a central store.
+  size_t ps_shards = 0;
+  size_t max_shard_wire_bytes = 0;
+  double max_ingest_s = 0.0;
 
   /// The aligned-clock charge of the round (what lands on every worker's
   /// clock after allreduce_max): transfer plus codec compute.
@@ -134,6 +142,12 @@ struct SyncCostTotals {
   double fault_penalty_s = 0.0;
   double wire_bytes = 0.0;
   double dense_bytes = 0.0;
+  /// Central ingest tier (zero unless the run priced a PS store): the shard
+  /// count observed (max over rounds), the accumulated busiest-shard wire
+  /// bytes, and the accumulated busiest-shard ingest time.
+  uint64_t ps_shards = 0;
+  double max_shard_wire_bytes = 0.0;
+  double max_ingest_s = 0.0;
 
   void add(const SyncCost& cost) {
     ++rounds;
@@ -143,6 +157,9 @@ struct SyncCostTotals {
     fault_penalty_s += cost.fault_penalty_s;
     wire_bytes += static_cast<double>(cost.wire_bytes);
     dense_bytes += static_cast<double>(cost.dense_bytes);
+    if (cost.ps_shards > ps_shards) ps_shards = cost.ps_shards;
+    max_shard_wire_bytes += static_cast<double>(cost.max_shard_wire_bytes);
+    max_ingest_s += cost.max_ingest_s;
   }
 };
 
@@ -186,9 +203,9 @@ class CommBackend {
   virtual void barrier(WorkerContext& ctx, const CommGroup& group);
 
   /// ---- central store (PS-style backends only) ---------------------------
-  /// The parameter server behind this backend, or nullptr. SSP's push/pull
-  /// path and its staleness bound run against this store.
-  virtual ParameterServer* central_store() { return nullptr; }
+  /// The (sharded) parameter-server tier behind this backend, or nullptr.
+  /// SSP's push/pull path and its staleness bound run against this store.
+  virtual ShardedParameterServer* central_store() { return nullptr; }
 
   /// ---- per-round cost accounting ----------------------------------------
   /// Prices one synchronization round: a dense payload of `dense_bytes`
@@ -230,6 +247,10 @@ class CommBackend {
   virtual double transfer_time(const CostModel& cost, size_t wire_bytes,
                                size_t workers) const = 0;
 
+  /// How many shards the backend's central ingest tier splits into; 0 for
+  /// backends without one. Drives the SyncCost ps_shards/max-ingest fields.
+  virtual size_t ingest_shards() const { return 0; }
+
  private:
   CompressionConfig codec_;
   std::vector<GradientCompressor> codecs_;  // one per rank
@@ -252,6 +273,10 @@ struct CommBackendConfig {
   /// Seed model for the parameter-server backend's central store; ignored
   /// by the others.
   std::vector<float> initial_params;
+  /// How many contiguous-range shards the ps backend splits its central
+  /// store into (TrainJob::ps_shards); ignored by the others. 1 = the
+  /// single-store PS.
+  size_t ps_shards = 1;
 };
 
 std::unique_ptr<CommBackend> make_comm_backend(const CommBackendConfig& config);

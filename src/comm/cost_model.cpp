@@ -43,6 +43,12 @@ double CostModel::ps_sync_time(size_t bytes, size_t workers) const {
          net_.op_overhead_s;
 }
 
+double CostModel::ps_shard_sync_time(size_t bytes, size_t workers,
+                                     size_t shards) const {
+  if (shards <= 1) return ps_sync_time(bytes, workers);
+  return ps_sync_time((bytes + shards - 1) / shards, workers);
+}
+
 double CostModel::ps_oneway_time(size_t bytes, size_t active) const {
   const double contention = static_cast<double>(std::max<size_t>(active, 1));
   const double transfer = contention *

@@ -70,6 +70,16 @@ class CostModel {
   /// the server ingest serializes all 2N transfers.
   double ps_sync_time(size_t bytes, size_t workers) const;
 
+  /// Sharded PS round trip: the payload splits into `shards` contiguous
+  /// ranges, each with its own ingest link, and the round completes when
+  /// the busiest shard does — the ceil(bytes / shards) range through one
+  /// ps_sync_time schedule. shards == 1 is exactly ps_sync_time (golden
+  /// parity); K > 1 divides the transfer term while latency and dispatch
+  /// overhead stay per-round, which is why the Fig. 1a knee flattens but
+  /// never vanishes.
+  double ps_shard_sync_time(size_t bytes, size_t workers,
+                            size_t shards) const;
+
   /// One-way PS transfer (SSP's asynchronous update), contended by `active`
   /// concurrent transfers on the server ingest.
   double ps_oneway_time(size_t bytes, size_t active) const;

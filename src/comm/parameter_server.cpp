@@ -23,6 +23,8 @@ std::string aggregation_mode_names() {
 ParameterServer::ParameterServer(std::vector<float> initial, size_t workers)
     : global_(std::move(initial)),
       workers_(workers),
+      round_(global_.empty() ? 1 : global_.size(),
+             workers == 0 ? 1 : workers),
       worker_iteration_(workers, 0),
       worker_done_(workers, false) {
   if (workers == 0) throw std::invalid_argument("ParameterServer: 0 workers");
@@ -33,79 +35,6 @@ ParameterServer::ParameterServer(std::vector<float> initial, size_t workers)
 std::vector<float> ParameterServer::pull() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return global_;
-}
-
-std::vector<float> ParameterServer::push_and_average(
-    std::span<const float> data, AggregationMode mode, size_t participants) {
-  if (participants == 0 || participants > workers_)
-    throw std::invalid_argument("push_and_average: bad participant count");
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (aborted_) throw BarrierAborted();
-  if (data.size() != global_.size())
-    throw std::invalid_argument("push_and_average: dim mismatch");
-
-  // Join (or open) the current round.
-  if (arrived_ == 0) {
-    accum_.assign(global_.size(), 0.f);
-    expected_ = participants;
-  } else if (expected_ != participants) {
-    throw std::logic_error("push_and_average: inconsistent participants");
-  }
-  for (size_t i = 0; i < data.size(); ++i) accum_[i] += data[i];
-  const uint64_t my_round = round_;
-
-  if (++arrived_ == expected_) {
-    const float inv = 1.f / static_cast<float>(expected_);
-    for (auto& v : accum_) v *= inv;
-    round_result_ = accum_;
-    if (mode == AggregationMode::kParameters) global_ = round_result_;
-    arrived_ = 0;
-    ++round_;
-    cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] { return round_ != my_round || aborted_; });
-    if (round_ == my_round) throw BarrierAborted();
-  }
-  return round_result_;
-}
-
-std::vector<float> ParameterServer::push_and_sum_ranked(
-    size_t rank, std::span<const float> data, size_t participants) {
-  if (rank >= workers_)
-    throw std::invalid_argument("push_and_sum_ranked: bad rank");
-  if (participants == 0 || participants > workers_)
-    throw std::invalid_argument("push_and_sum_ranked: bad participant count");
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (aborted_) throw BarrierAborted();
-  if (data.size() != global_.size())
-    throw std::invalid_argument("push_and_sum_ranked: dim mismatch");
-
-  if (ranked_arrived_ == 0) {
-    ranked_slots_.assign(global_.size() * workers_, 0.f);
-    ranked_expected_ = participants;
-  } else if (ranked_expected_ != participants) {
-    throw std::logic_error("push_and_sum_ranked: inconsistent participants");
-  }
-  std::copy(data.begin(), data.end(),
-            ranked_slots_.begin() + rank * data.size());
-  const uint64_t my_round = ranked_round_;
-
-  if (++ranked_arrived_ == ranked_expected_) {
-    ranked_result_.resize(global_.size());
-    for (size_t i = 0; i < global_.size(); ++i) {
-      float acc = 0.f;
-      for (size_t w = 0; w < workers_; ++w)
-        acc += ranked_slots_[w * global_.size() + i];
-      ranked_result_[i] = acc;
-    }
-    ranked_arrived_ = 0;
-    ++ranked_round_;
-    cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] { return ranked_round_ != my_round || aborted_; });
-    if (ranked_round_ == my_round) throw BarrierAborted();
-  }
-  return ranked_result_;
 }
 
 void ParameterServer::store(std::span<const float> params) {
@@ -171,6 +100,7 @@ void ParameterServer::abort() {
     aborted_ = true;
   }
   cv_.notify_all();
+  round_.abort();
 }
 
 bool ParameterServer::aborted() const {
@@ -181,6 +111,96 @@ bool ParameterServer::aborted() const {
 uint64_t ParameterServer::async_updates() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return async_updates_;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedParameterServer
+// ---------------------------------------------------------------------------
+
+ShardedParameterServer::ShardedParameterServer(std::vector<float> initial,
+                                               size_t workers, size_t shards)
+    : dim_(initial.size()), workers_(workers) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedParameterServer: 0 shards");
+  if (initial.empty())
+    throw std::invalid_argument("ShardedParameterServer: empty model");
+  if (shards > initial.size())
+    throw std::invalid_argument(
+        "ShardedParameterServer: more shards than parameters");
+  const size_t base = dim_ / shards;
+  const size_t extra = dim_ % shards;
+  size_t offset = 0;
+  for (size_t k = 0; k < shards; ++k) {
+    const size_t length = base + (k < extra ? 1 : 0);
+    ranges_.push_back({offset, length});
+    shards_.push_back(std::make_unique<ParameterServer>(
+        std::vector<float>(initial.data() + offset,
+                           initial.data() + offset + length),
+        workers));
+    offset += length;
+  }
+}
+
+std::vector<float> ShardedParameterServer::pull() const {
+  std::vector<float> out;
+  out.reserve(dim_);
+  for (const auto& shard : shards_) {
+    const std::vector<float> part = shard->pull();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+void ShardedParameterServer::store(std::span<const float> params) {
+  if (params.size() != dim_)
+    throw std::invalid_argument("ShardedParameterServer::store: dim mismatch");
+  for (size_t k = 0; k < shards_.size(); ++k)
+    shards_[k]->store(params.subspan(ranges_[k].offset, ranges_[k].length));
+}
+
+void ShardedParameterServer::apply_gradient_async(std::span<const float> grad,
+                                                  double lr) {
+  if (grad.size() != dim_)
+    throw std::invalid_argument(
+        "ShardedParameterServer::apply_gradient_async: dim mismatch");
+  for (size_t k = 0; k < shards_.size(); ++k)
+    shards_[k]->apply_gradient_async(
+        grad.subspan(ranges_[k].offset, ranges_[k].length), lr);
+}
+
+void ShardedParameterServer::apply_delta_async(std::span<const float> delta) {
+  if (delta.size() != dim_)
+    throw std::invalid_argument(
+        "ShardedParameterServer::apply_delta_async: dim mismatch");
+  for (size_t k = 0; k < shards_.size(); ++k)
+    shards_[k]->apply_delta_async(
+        delta.subspan(ranges_[k].offset, ranges_[k].length));
+}
+
+// The staleness gate is a property of the run, not of any parameter range;
+// it lives on shard 0 so every worker blocks on one global bound.
+void ShardedParameterServer::enforce_staleness(size_t rank, uint64_t iteration,
+                                               uint64_t staleness) {
+  shards_.front()->enforce_staleness(rank, iteration, staleness);
+}
+
+void ShardedParameterServer::finish(size_t rank) {
+  shards_.front()->finish(rank);
+}
+
+void ShardedParameterServer::abort() {
+  // Every shard: a crashed worker must release waiters parked on any of
+  // the K round/staleness waits, not just the shard it happened to reach.
+  for (auto& shard : shards_) shard->abort();
+}
+
+bool ShardedParameterServer::aborted() const {
+  return shards_.front()->aborted();
+}
+
+uint64_t ShardedParameterServer::async_updates() const {
+  // Every facade push touches shard 0 exactly once.
+  return shards_.front()->async_updates();
 }
 
 }  // namespace selsync

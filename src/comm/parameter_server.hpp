@@ -1,18 +1,26 @@
-// Central parameter server (paper [4], §III).
+// Central parameter-server tier (paper [4], §III).
 //
-// Holds the global model state. Two usage patterns:
-//  * Synchronous (BSP/FedAvg/SelSync sync phase): workers call
-//    push_and_average(); the last arriving contribution triggers the
-//    average, and every caller leaves with the new global parameters
-//    (pushToPS + pullFromPS of Alg. 1 lines 14-15, fused).
+// ParameterServer holds one contiguous range of the global model state.
+// Two usage patterns:
+//  * Synchronous (BSP/FedAvg/SelSync sync phase): workers drive the
+//    begin/contribute/await protocol of round() — the single PsRound entry
+//    point (pushToPS + pullFromPS of Alg. 1 lines 14-15, fused). PA-mode
+//    bookkeeping goes through store().
 //  * Asynchronous (SSP): workers apply_gradient_async() at their own pace
 //    and pull() whenever they like; enforce_staleness() blocks workers that
 //    run more than `s` iterations ahead of the slowest one.
+//
+// ShardedParameterServer splits the store into K such shards, each owning a
+// contiguous parameter range with its own lock/round state — the standard
+// fix for the Fig. 1a incast knee (each shard is its own ingest link in the
+// cost model; see CostModel::ps_shard_sync_time). K=1 degenerates to the
+// single-store PS bit-for-bit.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -20,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "comm/ps_round.hpp"
 #include "util/enum_names.hpp"
 
 namespace selsync {
@@ -55,35 +64,15 @@ class ParameterServer {
   size_t dim() const { return global_.size(); }
   size_t workers() const { return workers_; }
 
+  /// The shard's one synchronous aggregation protocol (see ps_round.hpp).
+  PsRound& round() { return round_; }
+
   /// Initial model distribution (Alg. 1 line 3).
   std::vector<float> pull() const;
 
-  /// Synchronous group aggregation. `participants` workers contribute
-  /// `data`; once all arrive the mean is computed. For kParameters the mean
-  /// *replaces* the global state; for kGradients the mean is returned for
-  /// workers to apply locally (global state is updated by the subsequent
-  /// parameter push in PA mode, or left to drift in GA mode — the paper's
-  /// §III-C inconsistency). Returns the aggregated vector.
-  std::vector<float> push_and_average(std::span<const float> data,
-                                      AggregationMode mode,
-                                      size_t participants);
-
-  /// Overwrites the global state (used to keep GA-mode bookkeeping honest
-  /// and by tests).
+  /// Overwrites the global state (PA-mode bookkeeping after an averaged
+  /// round, and tests).
   void store(std::span<const float> params);
-
-  /// Deterministic synchronous aggregation for the PS CommBackend:
-  /// contributions land in per-rank slots and the last arriver reduces them
-  /// in ascending rank order — the same fixed float summation order
-  /// SharedCollectives uses — so rounds are bit-reproducible regardless of
-  /// arrival order (push_and_average folds in arrival order and is not).
-  /// `participants` callers, each with a distinct `rank` < workers(), must
-  /// arrive per round; absent ranks contribute exactly zero. Returns the
-  /// sum. The global state is untouched; PA-mode bookkeeping goes through
-  /// store().
-  std::vector<float> push_and_sum_ranked(size_t rank,
-                                         std::span<const float> data,
-                                         size_t participants);
 
   /// ---- SSP support -------------------------------------------------------
   /// Applies w -= lr * grad to the global parameters atomically.
@@ -101,45 +90,79 @@ class ParameterServer {
   /// Marks `rank` as finished so it no longer gates faster workers.
   void finish(size_t rank);
 
-  /// Tears the server down: every blocked push_and_average /
-  /// enforce_staleness call (current and future) throws BarrierAborted, so
-  /// a crashed worker cannot strand its peers inside a PS wait. Wired to
+  /// Tears the shard down: every blocked round().await() /
+  /// enforce_staleness() call (current and future) throws BarrierAborted,
+  /// so a crashed worker cannot strand its peers inside a PS wait. Wired to
   /// run_cluster's abort hook by the trainer.
   void abort();
   bool aborted() const;
 
-  /// How many async pushes the server has absorbed (test/metric hook).
+  /// How many async pushes the shard has absorbed (test/metric hook).
   uint64_t async_updates() const;
 
  private:
   uint64_t min_active_iteration_locked() const;
 
+  // selsync-lint: allow(raw-thread) -- the SSP staleness gate is a leaf
+  // lock/cv pair over the shard's global state; the synchronous round
+  // protocol lives in PsRound.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<float> global_;
   size_t workers_;
-
-  // Synchronous aggregation round state.
-  std::vector<float> accum_;
-  size_t arrived_ = 0;
-  size_t expected_ = 0;
-  uint64_t round_ = 0;
-  std::vector<float> round_result_;
-
-  // Rank-slotted deterministic aggregation round state
-  // (push_and_sum_ranked); kept separate from the arrival-order round so
-  // the two entry points cannot corrupt each other.
-  std::vector<float> ranked_slots_;  // workers() slots of payload length
-  size_t ranked_arrived_ = 0;
-  size_t ranked_expected_ = 0;
-  uint64_t ranked_round_ = 0;
-  std::vector<float> ranked_result_;
+  PsRound round_;
 
   // SSP bookkeeping.
   std::vector<uint64_t> worker_iteration_;
   std::vector<bool> worker_done_;
   uint64_t async_updates_ = 0;
   bool aborted_ = false;
+};
+
+/// The sharded PS tier: K ParameterServer shards over contiguous parameter
+/// ranges (an even split; the first dim % K shards carry one extra float).
+/// Synchronous callers drive shard(k).round() per range — begin/contribute
+/// on every shard first, await after, so the K ingests overlap. The
+/// asynchronous SSP surface is a facade over the shards: pull()/store()/
+/// apply_*_async() split or concatenate per range (not atomic *across*
+/// shards, exactly like a real sharded PS); the staleness gate is global to
+/// the run and lives on shard 0. abort() fans out to every shard, so a
+/// crashed worker releases waiters on all of them.
+class ShardedParameterServer {
+ public:
+  struct Range {
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
+  ShardedParameterServer(std::vector<float> initial, size_t workers,
+                         size_t shards = 1);
+
+  size_t dim() const { return dim_; }
+  size_t workers() const { return workers_; }
+  size_t shards() const { return shards_.size(); }
+
+  Range shard_range(size_t k) const { return ranges_.at(k); }
+  ParameterServer& shard(size_t k) { return *shards_.at(k); }
+
+  /// ---- SSP facade (see class comment) ------------------------------------
+  std::vector<float> pull() const;
+  void store(std::span<const float> params);
+  void apply_gradient_async(std::span<const float> grad, double lr);
+  void apply_delta_async(std::span<const float> delta);
+  void enforce_staleness(size_t rank, uint64_t iteration, uint64_t staleness);
+  void finish(size_t rank);
+
+  void abort();
+  bool aborted() const;
+  /// Facade pushes absorbed (counted once per push, not per shard).
+  uint64_t async_updates() const;
+
+ private:
+  size_t dim_;
+  size_t workers_;
+  std::vector<std::unique_ptr<ParameterServer>> shards_;
+  std::vector<Range> ranges_;
 };
 
 }  // namespace selsync

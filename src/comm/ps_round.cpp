@@ -1,0 +1,102 @@
+#include "comm/ps_round.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "comm/barrier.hpp"
+
+namespace selsync {
+
+PsRound::PsRound(size_t dim, size_t workers) : dim_(dim), workers_(workers) {
+  if (dim == 0) throw std::invalid_argument("PsRound: zero-length payload");
+  if (workers == 0) throw std::invalid_argument("PsRound: 0 workers");
+}
+
+uint64_t PsRound::begin(const PsRoundConfig& config) {
+  if (config.participants == 0 || config.participants > workers_)
+    throw std::invalid_argument("PsRound::begin: bad participant count");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw BarrierAborted();
+  if (begun_ == 0) {
+    config_ = config;
+  } else if (config_.participants != config.participants ||
+             config_.order != config.order ||
+             config_.average != config.average) {
+    throw std::logic_error("PsRound::begin: inconsistent round config");
+  }
+  if (++begun_ > config_.participants)
+    throw std::logic_error("PsRound::begin: more joiners than participants");
+  return round_;
+}
+
+void PsRound::contribute(uint64_t ticket, size_t rank,
+                         std::span<const float> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_) throw BarrierAborted();
+  if (ticket != round_)
+    throw std::logic_error("PsRound::contribute: stale ticket");
+  if (arrived_ >= begun_)
+    throw std::logic_error("PsRound::contribute: contribution without begin");
+  if (data.size() != dim_)
+    throw std::invalid_argument("PsRound::contribute: dim mismatch");
+
+  if (config_.order == PsRoundOrder::kRanked) {
+    if (rank >= workers_)
+      throw std::invalid_argument("PsRound::contribute: bad rank");
+    // Rank-slotted: absent ranks contribute exactly zero.
+    if (arrived_ == 0) buffer_.assign(dim_ * workers_, 0.f);
+    std::copy(data.begin(), data.end(), buffer_.begin() + rank * dim_);
+  } else {
+    // Arrival order: fold in lock order as contributions land.
+    if (arrived_ == 0) buffer_.assign(dim_, 0.f);
+    for (size_t i = 0; i < dim_; ++i) buffer_[i] += data[i];
+  }
+
+  if (++arrived_ < config_.participants) return;
+
+  // Last arrival: fold and publish.
+  if (config_.order == PsRoundOrder::kRanked) {
+    result_.resize(dim_);
+    for (size_t i = 0; i < dim_; ++i) {
+      float acc = 0.f;
+      for (size_t w = 0; w < workers_; ++w) acc += buffer_[w * dim_ + i];
+      result_[i] = acc;
+    }
+  } else {
+    result_ = buffer_;
+  }
+  if (config_.average) {
+    const float inv = 1.f / static_cast<float>(config_.participants);
+    for (auto& v : result_) v *= inv;
+  }
+  arrived_ = 0;
+  begun_ = 0;
+  ++round_;
+  cv_.notify_all();
+}
+
+std::vector<float> PsRound::await(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return round_ != ticket || aborted_; });
+  if (round_ == ticket) throw BarrierAborted();
+  // At most one folded-but-unawaited round exists per PsRound: round i+1
+  // cannot fold until every participant contributed again, which requires
+  // each to have awaited round i first. So result_ still holds the
+  // ticket's fold here.
+  return result_;
+}
+
+void PsRound::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool PsRound::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+}  // namespace selsync

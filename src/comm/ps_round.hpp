@@ -1,0 +1,103 @@
+// The one synchronous round protocol of the parameter-server tier.
+//
+// The pre-redesign ParameterServer exposed two parallel entry points —
+// push_and_average (arrival-order fold) and push_and_sum_ranked
+// (rank-slotted deterministic fold) — each with its own duplicated round
+// state. PsRound collapses them into a single begin/contribute/await
+// protocol; the old entry points survive only as the PsRoundOrder mode
+// flag:
+//
+//   PsRoundConfig cfg;                     // kRanked: bit-reproducible
+//   cfg.participants = group_size;
+//   const uint64_t ticket = round.begin(cfg);
+//   round.contribute(ticket, rank, data);  // non-blocking
+//   std::vector<float> fold = round.await(ticket);
+//
+// begin() opens (or joins) the current round and never blocks, so a worker
+// can contribute to every shard of a ShardedParameterServer before waiting
+// on any of them — that is what lets K shards overlap their ingest.
+// contribute() lands the payload; the last arriving contribution folds the
+// round. await() blocks until the fold (or an abort) and returns it.
+//
+// Fold semantics, fixed so rounds are comparable across modes:
+//  * kRanked: contributions land in per-rank slots and the fold reduces
+//    them in ascending rank order — the same fixed float summation order
+//    SharedCollectives uses — so the result is bit-reproducible regardless
+//    of arrival order.
+//  * kArrival: contributions accumulate in lock order as they arrive. Not
+//    bit-reproducible by design (documented legacy mode: the paper's
+//    pushToPS accumulates whichever RPC lands first).
+//  * average divides the fold by `participants` before publishing it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace selsync {
+
+/// The float summation order of a round's fold (see file comment). Not
+/// serialized anywhere — run records identify rounds by backend, never by
+/// fold order — so there is no EnumEntry name table for it.
+enum class PsRoundOrder { kRanked, kArrival };
+
+struct PsRoundConfig {
+  /// How many contributions close the round; must be in (0, workers].
+  size_t participants = 0;
+  PsRoundOrder order = PsRoundOrder::kRanked;
+  /// Publish the mean instead of the sum.
+  bool average = false;
+};
+
+/// One aggregation-round state machine (one lock, one condition variable).
+/// A ShardedParameterServer composes K of these, one per parameter range.
+class PsRound {
+ public:
+  /// Rounds carry `dim` floats; at most `workers` distinct ranks exist.
+  PsRound(size_t dim, size_t workers);
+
+  size_t dim() const { return dim_; }
+  size_t workers() const { return workers_; }
+
+  /// Opens the current round with `config`, or joins it (every participant
+  /// calls begin once per round; the config must match the opener's).
+  /// Non-blocking. Returns the ticket contribute()/await() take.
+  uint64_t begin(const PsRoundConfig& config);
+
+  /// Lands one contribution on the current round. `rank` selects the slot
+  /// in kRanked order (each participant a distinct rank < workers());
+  /// ignored in kArrival order. The last arriving contribution folds the
+  /// round. Non-blocking.
+  void contribute(uint64_t ticket, size_t rank, std::span<const float> data);
+
+  /// Blocks until the ticket's round has folded, then returns the fold.
+  /// Throws BarrierAborted if the server is torn down first.
+  std::vector<float> await(uint64_t ticket);
+
+  /// Tears the round down: every blocked await() (current and future)
+  /// throws BarrierAborted, so a crashed worker cannot strand its peers.
+  void abort();
+  bool aborted() const;
+
+ private:
+  const size_t dim_;
+  const size_t workers_;
+
+  // selsync-lint: allow(raw-thread) -- PsRound IS the synchronization
+  // primitive of the PS tier; the lock/cv pair lives nowhere else.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  PsRoundConfig config_;
+  /// kRanked: workers() slots of dim() floats. kArrival: dim() accumulators.
+  std::vector<float> buffer_;
+  size_t begun_ = 0;
+  size_t arrived_ = 0;
+  uint64_t round_ = 0;
+  std::vector<float> result_;
+  bool aborted_ = false;
+};
+
+}  // namespace selsync

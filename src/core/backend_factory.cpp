@@ -1,0 +1,86 @@
+#include "core/backend_factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace selsync {
+
+void validate_backend_choice(const TrainJob& job) {
+  if (job.ps_shards == 0)
+    throw std::invalid_argument("TrainJob: ps_shards must be >= 1");
+  if (job.ps_shards > 1 && job.backend != BackendKind::kParameterServer &&
+      job.strategy != StrategyKind::kSsp)
+    throw std::invalid_argument(
+        std::string("TrainJob: ps_shards > 1 shards the parameter-server "
+                    "tier, but the '") +
+        backend_kind_name(job.backend) +
+        "' backend has no central store and the strategy is not SSP — use "
+        "--backend ps (or --strategy ssp), or drop --ps-shards");
+  if (job.compression.kind != CompressionKind::kNone) {
+    // The codec is fused into the backend's *gradient* data plane
+    // (allreduce_encoded); strategies whose payloads are parameters or
+    // elastic differences would silently ship dense, so reject the combo
+    // instead of ignoring the flag (paper §II-D: parameters compress
+    // poorly via pruning).
+    const bool gradient_payload =
+        job.strategy == StrategyKind::kBsp ||
+        (job.strategy == StrategyKind::kSelSync &&
+         job.selsync.aggregation == AggregationMode::kGradients);
+    if (!gradient_payload)
+      throw std::invalid_argument(
+          std::string("TrainJob: compression applies to gradient-aggregation "
+                      "payloads only, but ") +
+          strategy_kind_name(job.strategy) +
+          (job.strategy == StrategyKind::kSelSync
+               ? " is configured for parameter aggregation — set "
+                 "selsync.aggregation = kGradients (--aggregation ga) or "
+                 "drop the codec"
+               : " moves parameter/elastic payloads — use BSP or SelSync "
+                 "with gradient aggregation, or drop the codec"));
+  }
+  if (job.faults.enabled()) {
+    job.faults.validate(job.workers, job.max_iterations);
+    if (!job.faults.crashes.empty() && job.strategy != StrategyKind::kSsp &&
+        job.backend != BackendKind::kSharedMemory)
+      throw std::invalid_argument(
+          std::string("TrainJob: crash injection for bulk-synchronous "
+                      "strategies requires the shared backend, not '") +
+          backend_kind_name(job.backend) +
+          "' (degraded channel/PS topologies — a ring with a hole, a tree "
+          "with a dead subtree, a store with detached clients — are not "
+          "modeled); use --backend shared or drop the crash plan");
+  }
+}
+
+std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
+                                          FaultInjector* faults) {
+  validate_backend_choice(job);
+  CommBackendConfig config;
+  config.kind = job.backend;
+  config.workers = job.workers;
+  config.topology = job.topology;
+  config.faults = faults;
+  // The job's gradient codec rides inside the backend's data plane
+  // (validate_backend_choice guarantees it only appears with gradient
+  // payloads).
+  config.compression = job.compression;
+  config.ps_shards = job.ps_shards;
+  if (job.backend == BackendKind::kParameterServer)
+    config.initial_params = job.model_factory(job.seed)->get_flat_params();
+  return make_comm_backend(config);
+}
+
+std::unique_ptr<CommBackend> make_ssp_backend(const TrainJob& job,
+                                              FaultInjector* faults) {
+  validate_backend_choice(job);
+  CommBackendConfig config;
+  config.kind = BackendKind::kParameterServer;
+  config.workers = job.workers;
+  config.topology = job.topology;
+  config.faults = faults;
+  config.ps_shards = job.ps_shards;
+  config.initial_params = job.model_factory(job.seed)->get_flat_params();
+  return make_comm_backend(config);
+}
+
+}  // namespace selsync

@@ -1,0 +1,39 @@
+// The one place a TrainJob turns into a CommBackend.
+//
+// Before this factory existed, every call site (trainer run_synchronous,
+// trainer run_ssp, benches) poked CommBackendConfig fields by hand, and the
+// compatibility rules — which codec/strategy pairs are legal, which fault
+// plans each backend can carry, when ps_shards means anything — lived only
+// in TrainJob::validate(), free to drift from what construction actually
+// did. validate_backend_choice() now owns those rules; TrainJob::validate()
+// and both factories call it, so validation and construction cannot
+// disagree.
+#pragma once
+
+#include <memory>
+
+#include "comm/comm_backend.hpp"
+#include "core/config.hpp"
+
+namespace selsync {
+
+/// The backend-compatibility slice of TrainJob validation: codec vs payload
+/// kind, crash plans vs backend, ps_shards vs the presence of a PS tier.
+/// Throws std::invalid_argument with an actionable message on any illegal
+/// combination; called by TrainJob::validate() and by both factories below.
+void validate_backend_choice(const TrainJob& job);
+
+/// Builds the backend run_synchronous drives: the job's declared kind with
+/// the job's topology/codec/shards threaded through, seeded from the job's
+/// model when a central store is needed.
+std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
+                                          FaultInjector* faults);
+
+/// Builds the backend run_ssp drives: always the parameter-server tier
+/// (SSP is defined against a central store, whatever the job's backend
+/// knob says — the knob selects how *synchronous* payloads move), sharded
+/// per the job's ps_shards.
+std::unique_ptr<CommBackend> make_ssp_backend(const TrainJob& job,
+                                              FaultInjector* faults);
+
+}  // namespace selsync

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/backend_factory.hpp"
+
 namespace selsync {
 
 const char* strategy_kind_name(StrategyKind kind) {
@@ -60,40 +62,10 @@ void TrainJob::validate() const {
       if (s <= 0.0)
         throw std::invalid_argument("TrainJob: worker_speed must be > 0");
   }
-  if (compression.kind != CompressionKind::kNone) {
-    // The codec is fused into the backend's *gradient* data plane
-    // (allreduce_encoded); strategies whose payloads are parameters or
-    // elastic differences would silently ship dense, so reject the combo
-    // instead of ignoring the flag (paper §II-D: parameters compress
-    // poorly via pruning).
-    const bool gradient_payload =
-        strategy == StrategyKind::kBsp ||
-        (strategy == StrategyKind::kSelSync &&
-         selsync.aggregation == AggregationMode::kGradients);
-    if (!gradient_payload)
-      throw std::invalid_argument(
-          std::string("TrainJob: compression applies to gradient-aggregation "
-                      "payloads only, but ") +
-          strategy_kind_name(strategy) +
-          (strategy == StrategyKind::kSelSync
-               ? " is configured for parameter aggregation — set "
-                 "selsync.aggregation = kGradients (--aggregation ga) or "
-                 "drop the codec"
-               : " moves parameter/elastic payloads — use BSP or SelSync "
-                 "with gradient aggregation, or drop the codec"));
-  }
-  if (faults.enabled()) {
-    faults.validate(workers, max_iterations);
-    if (!faults.crashes.empty() && strategy != StrategyKind::kSsp &&
-        backend != BackendKind::kSharedMemory)
-      throw std::invalid_argument(
-          std::string("TrainJob: crash injection for bulk-synchronous "
-                      "strategies requires the shared backend, not '") +
-          backend_kind_name(backend) +
-          "' (degraded channel/PS topologies — a ring with a hole, a tree "
-          "with a dead subtree, a store with detached clients — are not "
-          "modeled); use --backend shared or drop the crash plan");
-  }
+  // Backend-compatibility rules (codec vs payload kind, crash plans vs
+  // backend, ps_shards vs the PS tier) live with backend construction so
+  // the two cannot drift (DESIGN.md §10).
+  validate_backend_choice(*this);
 }
 
 }  // namespace selsync

@@ -152,6 +152,13 @@ struct TrainJob {
   Topology topology = Topology::kParameterServer;
   /// Which CommBackend carries aggregation payloads (DESIGN.md §8).
   BackendKind backend = BackendKind::kSharedMemory;
+  /// How many contiguous-range shards the parameter-server tier splits its
+  /// central store into (DESIGN.md §10). 1 — the default — is the
+  /// single-store PS, bit-identical to the pre-sharding tier; K > 1 gives
+  /// each shard its own lock/round state and its own ingest link in the
+  /// cost model. Meaningful only with the ps backend or SSP (which always
+  /// runs against the PS tier); validate() rejects K > 1 elsewhere.
+  size_t ps_shards = 1;
 
   /// Early stopping: stop once worker 0's evaluation reaches the target
   /// (accuracy >= target_top1, or perplexity <= target_perplexity).

@@ -16,6 +16,10 @@ JsonValue job_to_json(const TrainJob& job) {
   j.set("partition", partition_scheme_name(job.partition));
   j.set("topology", topology_name(job.topology));
   j.set("backend", backend_kind_name(job.backend));
+  // Only a sharded PS tier is recorded: the default K=1 predates the knob
+  // and the golden records must stay byte-identical.
+  if (job.ps_shards > 1)
+    j.set("ps_shards", static_cast<double>(job.ps_shards));
   j.set("paper_model", job.paper_model.name);
   j.set("network", job.network.name);
 
@@ -112,6 +116,13 @@ JsonValue result_to_json(const TrainResult& result) {
     sc.set("fault_penalty_s", s.fault_penalty_s);
     sc.set("wire_bytes", s.wire_bytes);
     sc.set("dense_bytes", s.dense_bytes);
+    if (s.ps_shards > 0) {
+      // Central ingest tier (PS backend rounds only): shard count and the
+      // busiest shard's accumulated wire bytes / ingest time.
+      sc.set("ps_shards", static_cast<double>(s.ps_shards));
+      sc.set("max_shard_wire_bytes", s.max_shard_wire_bytes);
+      sc.set("max_ingest_s", s.max_ingest_s);
+    }
     j.set("sync_cost", std::move(sc));
   }
 

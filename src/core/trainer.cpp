@@ -6,6 +6,7 @@
 #include "comm/cluster.hpp"
 #include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
+#include "core/backend_factory.hpp"
 #include "core/trainer_internal.hpp"
 #include "core/worker_loop.hpp"
 #include "data/injection.hpp"
@@ -48,18 +49,7 @@ TrainResult run_synchronous(const TrainJob& job) {
   if (job.strategy == StrategyKind::kEasgd)
     shared.easgd_center = job.model_factory(job.seed)->get_flat_params();
 
-  CommBackendConfig backend_config;
-  backend_config.kind = job.backend;
-  backend_config.workers = job.workers;
-  backend_config.topology = job.topology;
-  backend_config.faults = faults.get();
-  // The job's gradient codec rides inside the backend's data plane
-  // (validate() guarantees it only appears with gradient payloads).
-  backend_config.compression = job.compression;
-  if (job.backend == BackendKind::kParameterServer)
-    backend_config.initial_params =
-        job.model_factory(job.seed)->get_flat_params();
-  std::unique_ptr<CommBackend> backend = make_comm_backend(backend_config);
+  std::unique_ptr<CommBackend> backend = make_backend(job, faults.get());
 
   WallTimer wall;
   run_cluster(
@@ -89,17 +79,7 @@ TrainResult run_ssp(const TrainJob& job) {
   if (job.faults.enabled())
     faults = std::make_unique<FaultInjector>(job.faults, job.workers);
 
-  // SSP is defined against a central store, so it always runs on the
-  // parameter-server backend regardless of the job's backend knob (the knob
-  // selects how *synchronous* payloads move).
-  CommBackendConfig backend_config;
-  backend_config.kind = BackendKind::kParameterServer;
-  backend_config.workers = job.workers;
-  backend_config.topology = job.topology;
-  backend_config.faults = faults.get();
-  backend_config.initial_params =
-      job.model_factory(job.seed)->get_flat_params();
-  std::unique_ptr<CommBackend> backend = make_comm_backend(backend_config);
+  std::unique_ptr<CommBackend> backend = make_ssp_backend(job, faults.get());
 
   SharedSspState shared;
   shared.worker_sim_time.assign(job.workers, 0.0);

@@ -210,7 +210,7 @@ class SspWorkerLoop final : public WorkerLoop {
 
  private:
   SharedSspState& shared_;
-  ParameterServer& ps_;
+  ShardedParameterServer& ps_;
 
   double compute_factor_ = 1.0;
   /// The PS is unreachable past the retry budget this step: train on the

@@ -109,15 +109,20 @@ TEST(Cluster, CrashDuringGroupCollectiveReleasesPeers) {
 
 TEST(Cluster, CrashDuringParameterServerWaitReleasesPeers) {
   ParameterServer ps(std::vector<float>(8, 0.f), 4);
+  PsRoundConfig cfg;
+  cfg.participants = 4;
+  cfg.average = true;
   try {
     run_cluster(
         4,
         [&](WorkerContext& ctx) {
           if (ctx.rank == 1) throw std::runtime_error("boom");
-          // Peers block inside the PS round waiting for all 4 pushes;
-          // only the abort hook can release them.
+          // Peers block inside the PS round waiting for all 4
+          // contributions; only the abort hook can release them.
           std::vector<float> data(8, 1.f);
-          ps.push_and_average(data, AggregationMode::kParameters, 4);
+          const uint64_t ticket = ps.round().begin(cfg);
+          ps.round().contribute(ticket, ctx.rank, data);
+          ps.round().await(ticket);
         },
         [&] { ps.abort(); });
     FAIL() << "expected throw";
@@ -125,6 +130,7 @@ TEST(Cluster, CrashDuringParameterServerWaitReleasesPeers) {
     EXPECT_STREQ(e.what(), "boom");
   }
   EXPECT_TRUE(ps.aborted());
+  EXPECT_TRUE(ps.round().aborted());
 }
 
 TEST(Cluster, CrashDuringRingRecvReleasesPeers) {

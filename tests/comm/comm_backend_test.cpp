@@ -140,6 +140,8 @@ TEST(ParameterServerRanked, SumMatchesRankOrderRegardlessOfArrival) {
   const auto inputs = awkward_inputs(kN, kDim);
   const auto expected = rank_order_sum(inputs);
   ParameterServer ps(std::vector<float>(kDim, 0.0f), kN);
+  PsRoundConfig cfg;
+  cfg.participants = kN;  // kRanked sum is the default fold
 
   // Two rounds with opposite (staggered) arrival orders: the result must be
   // the ascending-rank reduction both times, bit for bit.
@@ -148,7 +150,9 @@ TEST(ParameterServerRanked, SumMatchesRankOrderRegardlessOfArrival) {
     spawn(kN, [&](size_t r) {
       const size_t slot = round == 0 ? r : kN - 1 - r;
       std::this_thread::sleep_for(std::chrono::milliseconds(2 * slot));
-      out[r] = ps.push_and_sum_ranked(r, inputs[r], kN);
+      const uint64_t ticket = ps.round().begin(cfg);
+      ps.round().contribute(ticket, r, inputs[r]);
+      out[r] = ps.round().await(ticket);
     });
     for (size_t r = 0; r < kN; ++r) {
       ASSERT_EQ(out[r].size(), kDim);
@@ -181,6 +185,102 @@ TEST(MakeCommBackend, BuildsEveryKindAndExposesTheCentralStore) {
   ASSERT_NE(ps->central_store(), nullptr);
   EXPECT_EQ(ps->central_store()->dim(), 17u);
   EXPECT_EQ(ps->central_store()->workers(), 4u);
+  EXPECT_EQ(ps->central_store()->shards(), 1u) << "K=1 is the default tier";
+
+  config.ps_shards = 4;
+  auto sharded = make_comm_backend(config);
+  ASSERT_NE(sharded->central_store(), nullptr);
+  EXPECT_EQ(sharded->central_store()->shards(), 4u);
+  EXPECT_EQ(sharded->central_store()->dim(), 17u);
+}
+
+TEST(ShardedPsBackend, AllreduceBitIdenticalAcrossShardCounts) {
+  // The tentpole parity contract: per-element ascending-rank folds are
+  // independent across elements, so splitting the store into K contiguous
+  // ranges cannot change a single bit of the reduction.
+  constexpr size_t kN = 4, kDim = 23;
+  const auto inputs = awkward_inputs(kN, kDim);
+  const auto expected = rank_order_sum(inputs);
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    CommBackendConfig config;
+    config.kind = BackendKind::kParameterServer;
+    config.workers = kN;
+    config.ps_shards = shards;
+    config.initial_params.assign(kDim, 0.0f);
+    auto backend = make_comm_backend(config);
+    ASSERT_NE(backend->central_store(), nullptr);
+    EXPECT_EQ(backend->central_store()->shards(), shards);
+
+    SharedCollectives coll(kN);
+    const CommGroup full = CommGroup::full(kN);
+    auto data = inputs;
+    spawn(kN, [&](size_t r) {
+      WorkerContext ctx;
+      ctx.rank = r;
+      ctx.size = kN;
+      ctx.collectives = &coll;
+      double clock = 0.0;
+      backend->allreduce(ctx, data[r], full, clock);
+    });
+    for (size_t r = 0; r < kN; ++r)
+      for (size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(data[r][i], expected[i])
+            << "K=" << shards << " rank " << r << " elem " << i;
+  }
+}
+
+TEST(ShardedPsBackend, MaxIngestDropsStrictlyBelowSingleShardAtSixteen) {
+  // The acceptance criterion at the paper's incast knee (Fig. 1a, N=16):
+  // splitting the store must price a strictly lower busiest-shard ingest
+  // time, while K=1 stays exactly the pre-sharding PS schedule.
+  const CostModel cost(paper_network_5gbps());
+  constexpr size_t kBytes = 1 << 22, kWorkers = 16;
+
+  auto priced = [&](size_t shards) {
+    CommBackendConfig config;
+    config.kind = BackendKind::kParameterServer;
+    config.workers = kWorkers;
+    config.ps_shards = shards;
+    config.initial_params.assign(shards, 0.0f);
+    return make_comm_backend(config)->sync_cost(cost, kBytes, kWorkers);
+  };
+
+  const SyncCost one = priced(1);
+  const SyncCost four = priced(4);
+
+  EXPECT_DOUBLE_EQ(one.transfer_s, cost.ps_sync_time(kBytes, kWorkers));
+  EXPECT_EQ(one.ps_shards, 1u);
+  EXPECT_EQ(one.max_shard_wire_bytes, one.wire_bytes);
+  EXPECT_DOUBLE_EQ(one.max_ingest_s, one.transfer_s);
+
+  EXPECT_EQ(four.ps_shards, 4u);
+  EXPECT_EQ(four.max_shard_wire_bytes, (one.wire_bytes + 3) / 4);
+  EXPECT_DOUBLE_EQ(four.max_ingest_s, four.transfer_s);
+  EXPECT_LT(four.max_ingest_s, one.max_ingest_s)
+      << "K=4 must strictly beat K=1 at the incast knee";
+  EXPECT_DOUBLE_EQ(four.transfer_s,
+                   cost.ps_shard_sync_time(kBytes, kWorkers, 4));
+
+  // Non-PS backends never claim an ingest tier.
+  CommBackendConfig ring;
+  ring.kind = BackendKind::kRing;
+  ring.workers = kWorkers;
+  const SyncCost ring_cost =
+      make_comm_backend(ring)->sync_cost(cost, kBytes, kWorkers);
+  EXPECT_EQ(ring_cost.ps_shards, 0u);
+  EXPECT_EQ(ring_cost.max_shard_wire_bytes, 0u);
+  EXPECT_DOUBLE_EQ(ring_cost.max_ingest_s, 0.0);
+
+  // The totals carry the tier through: max shard count, summed ingest time.
+  SyncCostTotals totals;
+  totals.add(four);
+  totals.add(four);
+  totals.add(ring_cost);
+  EXPECT_EQ(totals.ps_shards, 4u);
+  EXPECT_DOUBLE_EQ(totals.max_ingest_s, 2.0 * four.max_ingest_s);
+  EXPECT_DOUBLE_EQ(totals.max_shard_wire_bytes,
+                   2.0 * static_cast<double>(four.max_shard_wire_bytes));
 }
 
 TEST(CommBackendDataPlane, EveryBackendAllreducesBitIdentically) {

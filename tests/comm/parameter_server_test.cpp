@@ -19,51 +19,71 @@ TEST(ParameterServer, Validation) {
   EXPECT_THROW(ParameterServer({1.f}, 0), std::invalid_argument);
 }
 
-TEST(ParameterServer, ParameterAveragingUpdatesGlobal) {
+/// PA-mode bookkeeping through the PsRound protocol: average the round,
+/// then store() the mean (Alg. 1 line 15 — the redesign split the fold
+/// from the global-state write).
+TEST(ParameterServer, AveragedRoundThenStoreUpdatesGlobal) {
   constexpr size_t kN = 4;
   ParameterServer ps(std::vector<float>(2, 0.f), kN);
+  PsRoundConfig cfg;
+  cfg.participants = kN;
+  cfg.order = PsRoundOrder::kArrival;
+  cfg.average = true;
   std::vector<std::thread> threads;
   std::vector<std::vector<float>> results(kN);
   for (size_t r = 0; r < kN; ++r)
     threads.emplace_back([&, r] {
       const std::vector<float> mine{static_cast<float>(r), 1.f};
-      results[r] =
-          ps.push_and_average(mine, AggregationMode::kParameters, kN);
+      const uint64_t ticket = ps.round().begin(cfg);
+      ps.round().contribute(ticket, r, mine);
+      results[r] = ps.round().await(ticket);
+      ps.store(results[r]);
     });
   for (auto& t : threads) t.join();
   for (size_t r = 0; r < kN; ++r) {
     EXPECT_FLOAT_EQ(results[r][0], 1.5f);  // mean of 0..3
     EXPECT_FLOAT_EQ(results[r][1], 1.f);
   }
-  // PA mode replaces the global state (Alg. 1 line 15).
   EXPECT_FLOAT_EQ(ps.pull()[0], 1.5f);
 }
 
-TEST(ParameterServer, GradientAveragingLeavesGlobalUntouched) {
+/// GA mode: the averaged round leaves the global state untouched — workers
+/// apply the mean gradient locally (the paper's §III-C inconsistency).
+TEST(ParameterServer, AveragedRoundLeavesGlobalUntouched) {
   constexpr size_t kN = 2;
   ParameterServer ps({7.f}, kN);
+  PsRoundConfig cfg;
+  cfg.participants = kN;
+  cfg.order = PsRoundOrder::kArrival;
+  cfg.average = true;
   std::vector<std::thread> threads;
   for (size_t r = 0; r < kN; ++r)
     threads.emplace_back([&, r] {
       const std::vector<float> grad{static_cast<float>(r + 1)};
-      const auto mean =
-          ps.push_and_average(grad, AggregationMode::kGradients, kN);
+      const uint64_t ticket = ps.round().begin(cfg);
+      ps.round().contribute(ticket, r, grad);
+      const auto mean = ps.round().await(ticket);
       EXPECT_FLOAT_EQ(mean[0], 1.5f);
     });
   for (auto& t : threads) t.join();
-  EXPECT_FLOAT_EQ(ps.pull()[0], 7.f);  // GA does not move global params
+  EXPECT_FLOAT_EQ(ps.pull()[0], 7.f);
 }
 
 TEST(ParameterServer, SequentialRoundsProduceFreshAverages) {
   constexpr size_t kN = 2;
   ParameterServer ps({0.f}, kN);
+  PsRoundConfig cfg;
+  cfg.participants = kN;
+  cfg.order = PsRoundOrder::kArrival;
+  cfg.average = true;
   for (int round = 1; round <= 3; ++round) {
     std::vector<std::thread> threads;
     for (size_t r = 0; r < kN; ++r)
       threads.emplace_back([&, r] {
         const std::vector<float> v{static_cast<float>(round * 10 + r)};
-        const auto mean =
-            ps.push_and_average(v, AggregationMode::kParameters, kN);
+        const uint64_t ticket = ps.round().begin(cfg);
+        ps.round().contribute(ticket, r, v);
+        const auto mean = ps.round().await(ticket);
         EXPECT_FLOAT_EQ(mean[0], round * 10 + 0.5f);
       });
     for (auto& t : threads) t.join();
@@ -145,20 +165,94 @@ TEST(ParameterServer, FinishedWorkerStopsGating) {
   SUCCEED();
 }
 
-TEST(ParameterServer, PushAverageValidatesDims) {
-  ParameterServer ps({0.f, 0.f}, 2);
-  EXPECT_THROW(
-      ps.push_and_average(std::vector<float>{1.f},
-                          AggregationMode::kParameters, 2),
-      std::invalid_argument);
-  EXPECT_THROW(ps.push_and_average(std::vector<float>{1.f, 2.f},
-                                   AggregationMode::kParameters, 0),
-               std::invalid_argument);
-}
-
 TEST(AggregationMode, Names) {
   EXPECT_STREQ(aggregation_mode_name(AggregationMode::kParameters), "PA");
   EXPECT_STREQ(aggregation_mode_name(AggregationMode::kGradients), "GA");
+}
+
+// ---------------------------------------------------------------------------
+// ShardedParameterServer
+// ---------------------------------------------------------------------------
+
+TEST(ShardedParameterServer, SplitsContiguousRangesEvenly) {
+  // dim 7 over 3 shards: 3 + 2 + 2, contiguous and exhaustive.
+  ShardedParameterServer sps({0.f, 1.f, 2.f, 3.f, 4.f, 5.f, 6.f}, 4, 3);
+  EXPECT_EQ(sps.dim(), 7u);
+  EXPECT_EQ(sps.workers(), 4u);
+  EXPECT_EQ(sps.shards(), 3u);
+  size_t offset = 0;
+  for (size_t k = 0; k < sps.shards(); ++k) {
+    const auto range = sps.shard_range(k);
+    EXPECT_EQ(range.offset, offset);
+    EXPECT_EQ(sps.shard(k).dim(), range.length);
+    EXPECT_EQ(sps.shard(k).workers(), 4u);
+    offset += range.length;
+  }
+  EXPECT_EQ(offset, sps.dim());
+  EXPECT_EQ(sps.shard_range(0).length, 3u);
+  EXPECT_EQ(sps.shard_range(1).length, 2u);
+  EXPECT_EQ(sps.shard_range(2).length, 2u);
+  // The shards hold their slice of the seed model.
+  EXPECT_EQ(sps.pull(),
+            (std::vector<float>{0.f, 1.f, 2.f, 3.f, 4.f, 5.f, 6.f}));
+}
+
+TEST(ShardedParameterServer, Validation) {
+  EXPECT_THROW(ShardedParameterServer({1.f, 2.f}, 4, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedParameterServer({1.f, 2.f}, 4, 3),
+               std::invalid_argument)
+      << "more shards than parameters";
+  EXPECT_THROW(ShardedParameterServer({}, 4, 1), std::invalid_argument);
+}
+
+TEST(ShardedParameterServer, FacadeSplitsAsyncUpdatesAcrossShards) {
+  ShardedParameterServer sps({1.f, 2.f, 3.f, 4.f}, 2, 2);
+  sps.apply_delta_async(std::vector<float>{0.5f, 0.5f, -1.f, -1.f});
+  EXPECT_EQ(sps.pull(), (std::vector<float>{1.5f, 2.5f, 2.f, 3.f}));
+  sps.apply_gradient_async(std::vector<float>{1.f, 1.f, 1.f, 1.f}, 0.5);
+  EXPECT_EQ(sps.pull(), (std::vector<float>{1.f, 2.f, 1.5f, 2.5f}));
+  // One count per facade push, not per shard.
+  EXPECT_EQ(sps.async_updates(), 2u);
+  sps.store(std::vector<float>{9.f, 8.f, 7.f, 6.f});
+  EXPECT_EQ(sps.pull(), (std::vector<float>{9.f, 8.f, 7.f, 6.f}));
+  EXPECT_THROW(sps.store(std::vector<float>{1.f}), std::invalid_argument);
+  EXPECT_THROW(sps.apply_delta_async(std::vector<float>{1.f}),
+               std::invalid_argument);
+}
+
+TEST(ShardedParameterServer, StalenessGateIsGlobalAcrossShards) {
+  // Same scenario as ParameterServer.StalenessBlocksFastWorker, through the
+  // sharded facade: the bound is one global gate, not per shard.
+  ShardedParameterServer sps({0.f, 0.f, 0.f}, 2, 2);
+  std::atomic<uint64_t> fast_progress{0};
+  std::thread fast([&] {
+    for (uint64_t it = 1; it <= 10; ++it) {
+      sps.enforce_staleness(0, it, 3);
+      fast_progress = it;
+    }
+    sps.finish(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(fast_progress.load(), 3u);
+  std::thread slow([&] {
+    for (uint64_t it = 1; it <= 10; ++it) sps.enforce_staleness(1, it, 3);
+    sps.finish(1);
+  });
+  fast.join();
+  slow.join();
+  EXPECT_EQ(fast_progress.load(), 10u);
+}
+
+TEST(ShardedParameterServer, AbortFansOutToEveryShard) {
+  ShardedParameterServer sps({0.f, 0.f, 0.f, 0.f}, 4, 4);
+  EXPECT_FALSE(sps.aborted());
+  sps.abort();
+  EXPECT_TRUE(sps.aborted());
+  for (size_t k = 0; k < sps.shards(); ++k) {
+    EXPECT_TRUE(sps.shard(k).aborted()) << "shard " << k;
+    EXPECT_TRUE(sps.shard(k).round().aborted()) << "shard " << k;
+  }
 }
 
 }  // namespace

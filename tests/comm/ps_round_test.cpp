@@ -1,0 +1,190 @@
+// PsRound protocol tests: the single begin/contribute/await entry point of
+// the PS tier (both fold orders), its validation surface and its abort
+// contract. The concurrency-heavy cases live in parameter_server_test.cpp
+// and cluster_test.cpp; this file pins the protocol rules themselves.
+#include "comm/ps_round.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "comm/collectives.hpp"
+
+namespace selsync {
+namespace {
+
+std::vector<std::vector<float>> awkward_inputs(size_t workers, size_t dim) {
+  std::vector<std::vector<float>> data(workers, std::vector<float>(dim));
+  for (size_t r = 0; r < workers; ++r)
+    for (size_t i = 0; i < dim; ++i)
+      data[r][i] = 0.1f * static_cast<float>(r + 1) +
+                   1e-4f * static_cast<float>(i * i) -
+                   0.37f * static_cast<float>((r * 7 + i) % 5);
+  return data;
+}
+
+TEST(PsRound, SingleParticipantRoundFoldsImmediately) {
+  PsRound round(3, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 1;
+  const uint64_t ticket = round.begin(cfg);
+  round.contribute(ticket, 2, std::vector<float>{1.f, 2.f, 3.f});
+  EXPECT_EQ(round.await(ticket), (std::vector<float>{1.f, 2.f, 3.f}));
+  // The next round reuses the state machine with a fresh ticket.
+  const uint64_t next = round.begin(cfg);
+  EXPECT_NE(next, ticket);
+  round.contribute(next, 0, std::vector<float>{4.f, 5.f, 6.f});
+  EXPECT_EQ(round.await(next), (std::vector<float>{4.f, 5.f, 6.f}));
+}
+
+TEST(PsRound, RankedFoldIsBitIdenticalToAscendingRankOrder) {
+  constexpr size_t kN = 5, kDim = 23;
+  const auto inputs = awkward_inputs(kN, kDim);
+  std::vector<float> expected(kDim);
+  for (size_t i = 0; i < kDim; ++i) {
+    float acc = 0.0f;
+    for (size_t r = 0; r < kN; ++r) acc += inputs[r][i];
+    expected[i] = acc;
+  }
+
+  PsRound round(kDim, kN);
+  PsRoundConfig cfg;
+  cfg.participants = kN;
+
+  // Descending arrival order: the rank-slotted fold must not care.
+  uint64_t ticket = 0;
+  for (size_t r = 0; r < kN; ++r) ticket = round.begin(cfg);
+  for (size_t r = kN; r-- > 0;) round.contribute(ticket, r, inputs[r]);
+  const auto fold = round.await(ticket);
+  ASSERT_EQ(fold.size(), kDim);
+  for (size_t i = 0; i < kDim; ++i) EXPECT_EQ(fold[i], expected[i]);
+
+  // And it is the same order SharedCollectives fixes.
+  SharedCollectives coll(kN);
+  auto shared = inputs;
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < kN; ++r)
+    threads.emplace_back([&, r] { coll.allreduce_sum(r, shared[r]); });
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < kDim; ++i) EXPECT_EQ(fold[i], shared[0][i]);
+}
+
+TEST(PsRound, ArrivalAverageDividesByParticipants) {
+  PsRound round(2, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 3;
+  cfg.order = PsRoundOrder::kArrival;
+  cfg.average = true;
+  uint64_t ticket = 0;
+  for (size_t r = 0; r < 3; ++r) ticket = round.begin(cfg);
+  round.contribute(ticket, 0, std::vector<float>{1.f, 0.f});
+  round.contribute(ticket, 1, std::vector<float>{2.f, 0.f});
+  round.contribute(ticket, 2, std::vector<float>{3.f, 3.f});
+  const auto mean = round.await(ticket);
+  EXPECT_FLOAT_EQ(mean[0], 2.f);
+  EXPECT_FLOAT_EQ(mean[1], 1.f);
+}
+
+TEST(PsRound, SubsetRoundUsesOnlyTheParticipantsSlots) {
+  // A degraded group: 2 of 4 workers sync (SelSync quorum rounds do this).
+  PsRound round(1, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 2;
+  const uint64_t ticket = round.begin(cfg);
+  EXPECT_EQ(round.begin(cfg), ticket) << "joiners share the opener's ticket";
+  round.contribute(ticket, 0, std::vector<float>{10.f});
+  round.contribute(ticket, 3, std::vector<float>{4.f});
+  EXPECT_FLOAT_EQ(round.await(ticket)[0], 14.f);
+}
+
+TEST(PsRound, ConfigValidation) {
+  PsRound round(2, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 0;
+  EXPECT_THROW(round.begin(cfg), std::invalid_argument) << "0 participants";
+  cfg.participants = 5;
+  EXPECT_THROW(round.begin(cfg), std::invalid_argument)
+      << "more participants than workers";
+}
+
+TEST(PsRound, JoinersMustAgreeOnTheRoundConfig) {
+  PsRound round(2, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 2;
+  round.begin(cfg);
+  PsRoundConfig other = cfg;
+  other.average = true;
+  EXPECT_THROW(round.begin(other), std::logic_error) << "average mismatch";
+  other = cfg;
+  other.order = PsRoundOrder::kArrival;
+  EXPECT_THROW(round.begin(other), std::logic_error) << "order mismatch";
+  other = cfg;
+  other.participants = 3;
+  EXPECT_THROW(round.begin(other), std::logic_error)
+      << "participants mismatch";
+  // The opened round is still usable after the rejected joins.
+  const uint64_t ticket = round.begin(cfg);
+  round.contribute(ticket, 0, std::vector<float>{1.f, 1.f});
+  EXPECT_THROW(round.begin(cfg), std::logic_error)
+      << "a third begin overfills a 2-participant round";
+}
+
+TEST(PsRound, ContributionValidation) {
+  PsRound round(2, 4);
+  PsRoundConfig cfg;
+  cfg.participants = 2;
+  const uint64_t ticket = round.begin(cfg);
+  EXPECT_THROW(round.contribute(ticket + 1, 0, std::vector<float>{1.f, 1.f}),
+               std::logic_error)
+      << "stale ticket";
+  EXPECT_THROW(round.contribute(ticket, 4, std::vector<float>{1.f, 1.f}),
+               std::invalid_argument)
+      << "rank out of range";
+  EXPECT_THROW(round.contribute(ticket, 0, std::vector<float>{1.f}),
+               std::invalid_argument)
+      << "dim mismatch";
+  round.contribute(ticket, 0, std::vector<float>{1.f, 1.f});
+  EXPECT_THROW(round.contribute(ticket, 1, std::vector<float>{1.f, 1.f}),
+               std::logic_error)
+      << "second contribution without a second begin";
+}
+
+TEST(PsRound, AbortReleasesBlockedAwaiters) {
+  PsRound round(1, 2);
+  PsRoundConfig cfg;
+  cfg.participants = 2;
+  const uint64_t ticket = round.begin(cfg);
+  round.contribute(ticket, 0, std::vector<float>{1.f});
+  std::thread waiter([&] {
+    EXPECT_THROW(round.await(ticket), BarrierAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  round.abort();
+  waiter.join();
+  EXPECT_TRUE(round.aborted());
+  // Everything after the abort throws too — a restarted worker cannot
+  // rejoin a torn-down tier.
+  EXPECT_THROW(round.begin(cfg), BarrierAborted);
+  EXPECT_THROW(round.contribute(ticket, 1, std::vector<float>{1.f}),
+               BarrierAborted);
+  EXPECT_THROW(round.await(ticket), BarrierAborted);
+}
+
+TEST(PsRound, AwaitAfterFoldReturnsWithoutBlocking) {
+  // await() may run arbitrarily late — the fold is kept until the next
+  // round folds, and at most one folded-but-unawaited round can exist.
+  PsRound round(1, 2);
+  PsRoundConfig cfg;
+  cfg.participants = 2;
+  const uint64_t ticket = round.begin(cfg);
+  round.begin(cfg);
+  round.contribute(ticket, 0, std::vector<float>{1.f});
+  round.contribute(ticket, 1, std::vector<float>{2.f});
+  EXPECT_FLOAT_EQ(round.await(ticket)[0], 3.f);
+  EXPECT_FLOAT_EQ(round.await(ticket)[0], 3.f) << "late awaiter";
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,115 @@
+// The backend factory is the single place a TrainJob becomes a CommBackend:
+// validation and construction live together so TrainJob::validate() and the
+// trainer cannot drift apart. These tests pin the validation surface, the
+// construction rules, and the end-to-end contract that a sharded central
+// store trains bit-identically to the monolithic one.
+#include "core/backend_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/parameter_server.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(ValidateBackendChoice, RejectsZeroShards) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.ps_shards = 0;
+  EXPECT_THROW(validate_backend_choice(job), std::invalid_argument);
+  EXPECT_THROW(job.validate(), std::invalid_argument)
+      << "TrainJob::validate must route through the same check";
+}
+
+TEST(ValidateBackendChoice, RejectsShardsWithoutACentralStore) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.ps_shards = 2;  // default backend is shared: no central store
+  EXPECT_THROW(validate_backend_choice(job), std::invalid_argument);
+  job.backend = BackendKind::kRing;
+  EXPECT_THROW(validate_backend_choice(job), std::invalid_argument);
+  job.backend = BackendKind::kParameterServer;
+  EXPECT_NO_THROW(validate_backend_choice(job));
+  // SSP always syncs through the PS tier, whatever the transport knob says.
+  TrainJob ssp = small_class_job(StrategyKind::kSsp);
+  ssp.ps_shards = 2;
+  EXPECT_NO_THROW(validate_backend_choice(ssp));
+}
+
+TEST(ValidateBackendChoice, KeepsTheCodecPayloadRule) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync);
+  job.selsync.aggregation = AggregationMode::kParameters;
+  job.compression.kind = CompressionKind::kTopK;
+  EXPECT_THROW(validate_backend_choice(job), std::invalid_argument)
+      << "codec on a parameter payload must still be rejected";
+  job.selsync.aggregation = AggregationMode::kGradients;
+  EXPECT_NO_THROW(validate_backend_choice(job));
+}
+
+TEST(MakeBackend, BuildsTheJobsBackendAndSeedsTheStore) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.backend = BackendKind::kParameterServer;
+  job.ps_shards = 2;
+  auto backend = make_backend(job, nullptr);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->kind(), BackendKind::kParameterServer);
+  ASSERT_NE(backend->central_store(), nullptr);
+  EXPECT_EQ(backend->central_store()->shards(), 2u);
+  EXPECT_EQ(backend->central_store()->dim(),
+            job.model_factory(job.seed)->get_flat_params().size())
+      << "store must be seeded from the job's model";
+  EXPECT_EQ(backend->central_store()->workers(), job.workers);
+
+  job.ps_shards = 0;
+  EXPECT_THROW(make_backend(job, nullptr), std::invalid_argument)
+      << "construction revalidates; callers cannot skip the checks";
+}
+
+TEST(MakeSspBackend, AlwaysBuildsTheCentralStoreTier) {
+  TrainJob job = small_class_job(StrategyKind::kSsp);
+  job.backend = BackendKind::kSharedMemory;  // transport knob ignored by SSP
+  job.ps_shards = 3;
+  auto backend = make_ssp_backend(job, nullptr);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->kind(), BackendKind::kParameterServer);
+  ASSERT_NE(backend->central_store(), nullptr);
+  EXPECT_EQ(backend->central_store()->shards(), 3u);
+}
+
+TEST(ShardedTraining, BspOnPsIsBitIdenticalAcrossShardCounts) {
+  // End-to-end acceptance: the sharded tier must not change training by a
+  // single bit. BSP on the ps backend, K=1 vs K=2, same seed.
+  auto run_with_shards = [](size_t shards) {
+    TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+    job.backend = BackendKind::kParameterServer;
+    job.ps_shards = shards;
+    job.eval_interval = 20;
+    return run_training(job);
+  };
+  const TrainResult one = run_with_shards(1);
+  const TrainResult two = run_with_shards(2);
+
+  EXPECT_EQ(one.iterations, two.iterations);
+  EXPECT_EQ(one.best_top1, two.best_top1);
+  ASSERT_EQ(one.eval_history.size(), two.eval_history.size());
+  for (size_t i = 0; i < one.eval_history.size(); ++i) {
+    EXPECT_EQ(one.eval_history[i].loss, two.eval_history[i].loss)
+        << "eval " << i;
+    EXPECT_EQ(one.eval_history[i].top1, two.eval_history[i].top1)
+        << "eval " << i;
+  }
+}
+
+TEST(ShardedTraining, SspTrainsThroughShardedStore) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 60);
+  job.ps_shards = 2;
+  job.ssp.staleness = 3;
+  const TrainResult result = run_training(job);
+  EXPECT_EQ(result.iterations, 60u);
+  EXPECT_FALSE(result.diverged);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,123 @@
+// Chaos coverage for the sharded PS tier (K > 1): a worker dying mid-round
+// must release waiters on *every* shard — a partial abort would strand a
+// peer that already folded some shards and is parked on another — and SSP
+// training through a sharded central store must survive the same crash
+// plans the monolithic store does. Runs under the `chaos` CTest label, so
+// tools/ci.sh --chaos / --analyze exercise K > 1 under TSan and ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/comm_backend.hpp"
+#include "comm/parameter_server.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(ShardedChaos, CrashMidRoundReleasesWaitersOnEveryShard) {
+  constexpr size_t kN = 4, kShards = 4, kDim = 8;
+  ShardedParameterServer sps(std::vector<float>(kDim, 0.f), kN, kShards);
+  PsRoundConfig cfg;
+  cfg.participants = kN;
+  try {
+    run_cluster(
+        kN,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 1) throw std::runtime_error("boom");
+          // Survivors seed all K shards (begin + contribute are
+          // non-blocking) and then park in await on shard 0 — the round
+          // can never fold because rank 1 is gone.
+          std::vector<uint64_t> tickets(kShards);
+          for (size_t k = 0; k < kShards; ++k)
+            tickets[k] = sps.shard(k).round().begin(cfg);
+          for (size_t k = 0; k < kShards; ++k) {
+            const auto range = sps.shard_range(k);
+            std::vector<float> slice(range.length,
+                                     static_cast<float>(ctx.rank));
+            sps.shard(k).round().contribute(tickets[k], ctx.rank, slice);
+          }
+          for (size_t k = 0; k < kShards; ++k)
+            sps.shard(k).round().await(tickets[k]);
+        },
+        [&] { sps.abort(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_TRUE(sps.aborted());
+  for (size_t k = 0; k < kShards; ++k)
+    EXPECT_TRUE(sps.shard(k).round().aborted()) << "shard " << k;
+}
+
+TEST(ShardedChaos, BackendAbortTearsDownTheWholeTier) {
+  // Same scenario one layer up: peers blocked inside PsBackend::allreduce
+  // (which spans all K shards) when the cluster aborts the backend.
+  constexpr size_t kN = 4, kDim = 10;
+  CommBackendConfig config;
+  config.kind = BackendKind::kParameterServer;
+  config.workers = kN;
+  config.ps_shards = 4;
+  config.initial_params.assign(kDim, 0.f);
+  auto backend = make_comm_backend(config);
+  const CommGroup full = CommGroup::full(kN);
+  try {
+    run_cluster(
+        kN,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 2) throw std::runtime_error("boom");
+          std::vector<float> data(kDim, 1.f);
+          double clock = 0.0;
+          backend->allreduce(ctx, data, full, clock);
+        },
+        [&] { backend->abort(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  ASSERT_NE(backend->central_store(), nullptr);
+  EXPECT_TRUE(backend->central_store()->aborted());
+}
+
+TEST(ShardedChaos, SspSurvivesCrashWithRestartOnShardedStore) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.checkpoint_interval = 20;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({2, 50, 20, true});
+  TrainJob job = small_class_job(StrategyKind::kSsp, 120);
+  job.workers = 8;
+  job.ps_shards = 2;
+  job.ssp.staleness = 3;
+  job.faults = plan;
+  job.validate();
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  EXPECT_FALSE(r.diverged);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 1u);
+}
+
+TEST(ShardedChaos, SspSurvivesPermanentCrashOnShardedStore) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.crashes.push_back({5, 40, 0, false});
+  TrainJob job = small_class_job(StrategyKind::kSsp, 120);
+  job.workers = 8;
+  job.ps_shards = 2;
+  job.ssp.staleness = 3;
+  job.faults = plan;
+  job.validate();
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  EXPECT_FALSE(r.diverged);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 0u);
+}
+
+}  // namespace
+}  // namespace selsync

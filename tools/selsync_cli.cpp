@@ -40,6 +40,17 @@ FaultPlan load_fault_plan(const std::string& spec) {
 }
 
 int run(int argc, const char* const* argv) {
+  // The --compression alias was removed (--codec has been canonical since
+  // the codec moved into the backend data plane); the parser would only say
+  // "unknown option", so catch it first with a pointed message.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compression" || arg.rfind("--compression=", 0) == 0)
+      throw std::invalid_argument(
+          "--compression was removed; use --codec (none | topk | signsgd | "
+          "quant8)");
+  }
+
   ArgParser args;
   args.add_option("workload",
                   "ResNet101 | VGG11 | AlexNet | Transformer", "ResNet101");
@@ -47,6 +58,9 @@ int run(int argc, const char* const* argv) {
                   "selsync");
   args.add_option("backend", "payload transport: shared | ring | tree | ps",
                   "shared");
+  args.add_option("ps-shards",
+                  "parameter-server shards (ps backend / SSP central store)",
+                  "1");
   args.add_option("workers", "cluster size", "16");
   args.add_option("iterations", "per-worker step budget", "500");
   args.add_option("eval-interval", "steps between test evaluations", "50");
@@ -72,7 +86,6 @@ int run(int argc, const char* const* argv) {
                   "gradient codec fused into the backend: none | topk | "
                   "signsgd | quant8",
                   "none");
-  args.add_option("compression", "deprecated alias of --codec", "none");
   args.add_option("topk", "Top-k kept fraction", "0.01");
   args.add_option("ema", "Polyak-average decay for evaluation (0 = off)",
                   "0");
@@ -102,6 +115,7 @@ int run(int argc, const char* const* argv) {
                                   return backend_kind_from_name(v);
                                 },
                                 backend_kind_names());
+  job.ps_shards = static_cast<size_t>(args.get_int("ps-shards"));
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
@@ -132,12 +146,8 @@ int run(int argc, const char* const* argv) {
     job.injection = {true, args.get_double("inject-alpha"),
                      args.get_double("inject-beta")};
   }
-  // --codec is the canonical spelling; --compression remains as an alias
-  // for older scripts (the non-default one wins).
-  const std::string codec_flag =
-      args.get("codec") != "none" ? "codec" : "compression";
   job.compression.kind =
-      parse_enum_flag(codec_flag, args.get(codec_flag),
+      parse_enum_flag("codec", args.get("codec"),
                       [](const std::string& v) {
                         return compression_kind_from_name(v);
                       },
