@@ -9,35 +9,165 @@
 // bandwidth-optimal ring and the log(N) reduction tree, and the ps-kK rows
 // (--ps-shards K, default sweep K in {1,2,4}) show the incast knee
 // flattening as the central store splits into K independent ingest links.
+//
+// Two modes:
+//   (default)      — the analytic cost-model sweep above: no training, just
+//                    sync_cost() pricing, sizes 1..16 like the paper.
+//   --engine E     — run REAL run_training() jobs (SelSync vs BSP, tiny
+//                    synthetic model) under engine E and report measured
+//                    simulated time. `--engine des` is the headline recipe:
+//                    the fiber scheduler sweeps N=128,256,512,1024 in
+//                    seconds, far past where one-OS-thread-per-rank stops
+//                    being a simulator and starts being a load test
+//                    (`--engine threads` defaults to N=16..128 for
+//                    cross-checking the two engines at overlapping sizes).
+//                    Override the size list with --sizes 128,256,...
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "comm/comm_backend.hpp"
 #include "comm/cost_model.hpp"
+#include "data/synthetic.hpp"
 #include "nn/paper_profiles.hpp"
+#include "optim/optimizer.hpp"
 
 using namespace selsync;
 using namespace selsync::bench;
 
-int main(int argc, char** argv) {
-  // Optional: --ps-shards 1,2,4 overrides the sharded-PS sweep list.
-  std::vector<size_t> shard_sweep{1, 2, 4};
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--ps-shards" && i + 1 < argc) {
-      shard_sweep.clear();
-      const std::string list = argv[++i];
-      for (size_t pos = 0; pos < list.size();) {
-        const size_t comma = list.find(',', pos);
-        const size_t end = comma == std::string::npos ? list.size() : comma;
-        shard_sweep.push_back(
-            static_cast<size_t>(std::atoi(list.substr(pos, end - pos).c_str())));
-        pos = end + 1;
-      }
+namespace {
+
+std::vector<size_t> parse_size_list(const std::string& list) {
+  std::vector<size_t> out;
+  for (size_t pos = 0; pos < list.size();) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    out.push_back(
+        static_cast<size_t>(std::atoi(list.substr(pos, end - pos).c_str())));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// A deliberately tiny job — the point of the measured sweep is engine
+/// scaling, not model quality, so compute per step is minimized while the
+/// synchronization protocol (flag allgather, allreduce, Δ(g_i) policy) stays
+/// the real thing. The dataset is sized so every rank owns at least one full
+/// batch at the largest N.
+TrainJob engine_sweep_job(StrategyKind strategy, EngineKind engine,
+                          size_t workers, const SyntheticClassData& data) {
+  TrainJob job;
+  job.strategy = strategy;
+  job.engine = engine;
+  job.workers = workers;
+  job.batch_size = 8;
+  job.max_iterations = 16;
+  job.eval_interval = 1000;  // final eval only; eval is not what we measure
+  job.train_data = data.train;
+  job.test_data = data.test;
+  job.model_factory = [](uint64_t seed) {
+    ClassifierConfig cfg;
+    cfg.input_dim = 16;
+    cfg.classes = 10;
+    cfg.hidden = 16;
+    cfg.resnet_blocks = 1;
+    return make_resnet_mlp(cfg, seed);
+  };
+  job.optimizer_factory = [] {
+    return std::make_unique<Sgd>(std::make_shared<ConstantLr>(0.05),
+                                 SgdOptions{.momentum = 0.9});
+  };
+  job.selsync.delta = 0.5;
+  return job;
+}
+
+int run_engine_sweep(EngineKind engine, std::vector<size_t> sizes) {
+  if (sizes.empty())
+    sizes = engine == EngineKind::kDes
+                ? std::vector<size_t>{128, 256, 512, 1024}
+                : std::vector<size_t>{16, 32, 64, 128};
+  const size_t max_workers = *std::max_element(sizes.begin(), sizes.end());
+
+  print_banner(
+      std::string("Fig. 1a (measured) — SelSync vs BSP under the ") +
+          engine_kind_name(engine) + " engine",
+      "real run_training() jobs; simulated time from the StepTimeModel/"
+      "SyncCost pipeline, N swept far past the paper's 16-worker testbed");
+
+  SyntheticClassConfig data_cfg;
+  data_cfg.train_samples = std::max<size_t>(max_workers * 8, 1024);
+  data_cfg.test_samples = 128;
+  data_cfg.classes = 10;
+  data_cfg.feature_dim = 16;
+  const SyntheticClassData data = make_synthetic_classification(data_cfg);
+
+  CsvWriter csv(results_dir() + "/fig1a_engine_sweep.csv",
+                {"engine", "strategy", "workers", "sim_time_s", "sync_steps",
+                 "lssr", "selsync_speedup", "wall_s"});
+
+  std::printf("%8s %-8s %12s %10s %8s %16s %8s\n", "workers", "strategy",
+              "sim_time_s", "syncs", "lssr", "selsync_speedup", "wall_s");
+  for (size_t n : sizes) {
+    double bsp_sim = 0.0;
+    for (StrategyKind strategy :
+         {StrategyKind::kBsp, StrategyKind::kSelSync}) {
+      const TrainJob job = engine_sweep_job(strategy, engine, n, data);
+      const auto t0 = std::chrono::steady_clock::now();
+      const TrainResult result = run_training(job);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const bool is_selsync = strategy == StrategyKind::kSelSync;
+      if (!is_selsync) bsp_sim = result.sim_time_s;
+      const double speedup =
+          is_selsync && result.sim_time_s > 0.0
+              ? bsp_sim / result.sim_time_s
+              : 1.0;
+      std::printf("%8zu %-8s %12.2f %10llu %8.2f %16.2f %8.2f\n", n,
+                  strategy_kind_name(strategy), result.sim_time_s,
+                  static_cast<unsigned long long>(result.sync_steps),
+                  result.lssr(), speedup, wall);
+      csv.row({engine_kind_name(engine), strategy_kind_name(strategy),
+               std::to_string(n), CsvWriter::format_double(result.sim_time_s),
+               std::to_string(result.sync_steps),
+               CsvWriter::format_double(result.lssr()),
+               CsvWriter::format_double(speedup),
+               CsvWriter::format_double(wall)});
     }
   }
+  std::printf(
+      "(selsync_speedup = BSP sim-time / SelSync sim-time at equal N; full "
+      "series in %s/fig1a_engine_sweep.csv)\n",
+      results_dir().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional: --ps-shards 1,2,4 overrides the sharded-PS sweep list;
+  // --engine threads|des switches to the measured run_training() sweep,
+  // --sizes overrides its cluster-size list.
+  std::vector<size_t> shard_sweep{1, 2, 4};
+  std::optional<EngineKind> engine;
+  std::vector<size_t> sizes_override;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--ps-shards" && i + 1 < argc) {
+      shard_sweep = parse_size_list(argv[++i]);
+    } else if (std::string(argv[i]) == "--engine" && i + 1 < argc) {
+      engine = parse_enum_flag(
+          "engine", argv[++i],
+          [](std::string_view name) { return engine_kind_from_name(name); },
+          engine_kind_names());
+    } else if (std::string(argv[i]) == "--sizes" && i + 1 < argc) {
+      sizes_override = parse_size_list(argv[++i]);
+    }
+  }
+  if (engine) return run_engine_sweep(*engine, sizes_override);
 
   print_banner(
       "Fig. 1a — relative throughput vs cluster size x backend (5 Gbps)",

@@ -2,9 +2,11 @@
 // the Δ(g_i) statistic, KDE, collectives and the parameter server.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <thread>
 
 #include "comm/collectives.hpp"
+#include "comm/event_loop.hpp"
 #include "comm/parameter_server.hpp"
 #include "nn/models.hpp"
 #include "stats/grad_change.hpp"
@@ -156,6 +158,54 @@ void BM_PsRoundAverage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PsRoundAverage);
+
+// The DES ready heap is the engine's innermost loop: every park, wake and
+// yield pays one push+pop. Its per-event cost is what bounds how far past
+// N=1024 fig1a_scaling --engine des can sweep.
+void BM_DesEventQueuePushPop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<DesEvent> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i].vtime = std::abs(rng.normal());
+    events[i].rank = i % 16;
+    events[i].seq = i;
+    events[i].task = i;
+  }
+  for (auto _ : state) {
+    DesReadyQueue queue;
+    for (const DesEvent& event : events) queue.push(event);
+    while (!queue.empty()) {
+      DesEvent event = queue.pop();
+      benchmark::DoNotOptimize(event);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DesEventQueuePushPop)->Arg(128)->Arg(1024)->Arg(16384);
+
+#if !defined(__SANITIZE_THREAD__)
+// One worker state-machine step under DES = one yield_current(): publish the
+// fiber's virtual clock, heapify, context-switch to the globally earliest
+// fiber. This prices that full round trip across a fiber population; the
+// EventLoop constructor refuses to run under TSan, hence the guard.
+void BM_DesFiberStep(benchmark::State& state) {
+  const size_t fibers = static_cast<size_t>(state.range(0));
+  constexpr size_t kSteps = 64;
+  for (auto _ : state) {
+    EventLoop loop(fibers);
+    for (size_t r = 0; r < fibers; ++r)
+      loop.spawn(r, [&loop] {
+        for (size_t s = 1; s <= kSteps; ++s)
+          loop.yield_current(static_cast<double>(s));
+      });
+    loop.run();
+    benchmark::DoNotOptimize(loop.switches());
+  }
+  state.SetItemsProcessed(state.iterations() * fibers * kSteps);
+}
+BENCHMARK(BM_DesFiberStep)->Arg(8)->Arg(64)->Arg(256);
+#endif  // !__SANITIZE_THREAD__
 
 void BM_TrainStepResNetMLP(benchmark::State& state) {
   ClassifierConfig cfg;

@@ -6,10 +6,11 @@
 // BarrierAborted, unwinding all workers cleanly.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <stdexcept>
+
+#include "comm/wait_slot.hpp"
 
 namespace selsync {
 
@@ -65,7 +66,7 @@ class AbortableBarrier {
  private:
   const size_t parties_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitSlot cv_;
   size_t arrived_ = 0;
   size_t generation_ = 0;
   bool aborted_ = false;

@@ -2,11 +2,12 @@
 // between simulated workers (ring collectives, data injection transport).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+
+#include "comm/wait_slot.hpp"
 
 namespace selsync {
 
@@ -58,7 +59,7 @@ class Channel {
 
  private:
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitSlot cv_;
   std::deque<T> queue_;
   bool closed_ = false;
 };

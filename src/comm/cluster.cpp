@@ -5,11 +5,25 @@
 #include <thread>
 #include <vector>
 
+#include "comm/event_loop.hpp"
+
 namespace selsync {
 
-void run_cluster(size_t workers,
-                 const std::function<void(WorkerContext&)>& body,
-                 const std::function<void()>& on_abort) {
+const char* engine_kind_name(EngineKind kind) {
+  return enum_name(kEngineKindNames, kind);
+}
+
+std::optional<EngineKind> engine_kind_from_name(std::string_view name) {
+  return enum_from_name(kEngineKindNames, name);
+}
+
+std::string engine_kind_names() { return enum_names(kEngineKindNames); }
+
+namespace {
+
+void run_cluster_threads(size_t workers,
+                         const std::function<void(WorkerContext&)>& body,
+                         const std::function<void()>& on_abort) {
   SharedCollectives collectives(workers);
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -40,6 +54,55 @@ void run_cluster(size_t workers,
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_cluster_des(size_t workers,
+                     const std::function<void(WorkerContext&)>& body,
+                     const std::function<void()>& on_abort) {
+  SharedCollectives collectives(workers);
+  std::exception_ptr first_error;
+  bool abort_fired = false;
+
+  // Same wrapper as the thread engine, minus the locks: all fibers run on
+  // this one thread, so plain variables carry the error and the abort
+  // once-flag.
+  EventLoop loop(workers);
+  for (size_t rank = 0; rank < workers; ++rank) {
+    loop.spawn(rank, [&, rank] {
+      WorkerContext ctx{rank, workers, &collectives};
+      try {
+        body(ctx);
+      } catch (const BarrierAborted&) {
+        // Another worker failed first; unwind quietly.
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        collectives.abort();
+        if (on_abort && !abort_fired) {
+          abort_fired = true;
+          on_abort();
+        }
+      }
+    });
+  }
+  loop.run();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void run_cluster(EngineKind engine, size_t workers,
+                 const std::function<void(WorkerContext&)>& body,
+                 const std::function<void()>& on_abort) {
+  if (engine == EngineKind::kDes)
+    run_cluster_des(workers, body, on_abort);
+  else
+    run_cluster_threads(workers, body, on_abort);
+}
+
+void run_cluster(size_t workers,
+                 const std::function<void(WorkerContext&)>& body,
+                 const std::function<void()>& on_abort) {
+  run_cluster(EngineKind::kThreads, workers, body, on_abort);
 }
 
 }  // namespace selsync

@@ -1,11 +1,17 @@
-// Simulated cluster runner: one OS thread per worker, shared collectives,
-// exception-safe teardown. The worker body is the analogue of the per-rank
-// main() of an MPI program.
+// Simulated cluster runner: one OS thread per worker (kThreads) or one
+// cooperatively-scheduled fiber per worker on a single host thread (kDes),
+// shared collectives, exception-safe teardown. The worker body is the
+// analogue of the per-rank main() of an MPI program and is identical under
+// both engines — that is what the parity test tier proves bit-for-bit.
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "comm/collectives.hpp"
+#include "util/enum_names.hpp"
 
 namespace selsync {
 
@@ -17,12 +23,39 @@ struct WorkerContext {
   bool is_root() const { return rank == 0; }
 };
 
-/// Spawns `workers` threads running `body(ctx)` and joins them. If any
-/// worker throws, the cluster barrier is aborted (unblocking peers parked
-/// in barriers, allreduces and the flag allgather) and `on_abort` — when
-/// provided — is invoked once so the caller can release any other blocking
-/// primitives its workers use (parameter-server waits, ring channels).
-/// The first exception is rethrown on the caller's thread.
+/// Which execution engine drives the worker bodies. kThreads is the
+/// original preemptive cluster (one OS thread per rank — the only engine
+/// sanitizers understand); kDes runs every rank as a fiber under the
+/// virtual-time EventLoop (comm/event_loop.hpp), deterministic and cheap
+/// enough to sweep N=1024.
+enum class EngineKind { kThreads, kDes };
+
+/// Canonical --engine spellings; selsync_lint (enum-table) keeps this table
+/// in lockstep with the enumerator list above.
+inline constexpr EnumEntry<EngineKind> kEngineKindNames[] = {
+    {EngineKind::kThreads, "threads"},
+    {EngineKind::kDes, "des"},
+};
+
+const char* engine_kind_name(EngineKind kind);
+
+/// "threads" | "des" -> kind; nullopt for anything else.
+std::optional<EngineKind> engine_kind_from_name(std::string_view name);
+
+/// The accepted --engine spellings, for CLI help and error messages.
+std::string engine_kind_names();
+
+/// Runs `workers` copies of `body(ctx)` under `engine` and waits for all of
+/// them. If any worker throws, the cluster barrier is aborted (unblocking
+/// peers parked in barriers, allreduces and the flag allgather) and
+/// `on_abort` — when provided — is invoked once so the caller can release
+/// any other blocking primitives its workers use (parameter-server waits,
+/// ring channels). The first exception is rethrown on the caller's thread.
+void run_cluster(EngineKind engine, size_t workers,
+                 const std::function<void(WorkerContext&)>& body,
+                 const std::function<void()>& on_abort = {});
+
+/// Thread-engine shorthand (the historical entry point).
 void run_cluster(size_t workers,
                  const std::function<void(WorkerContext&)>& body,
                  const std::function<void()>& on_abort = {});

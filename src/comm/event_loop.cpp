@@ -1,0 +1,228 @@
+#include "comm/event_loop.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+// AddressSanitizer needs to be told about every stack switch, or its
+// fake-stack machinery misattributes frames and reports false positives.
+#if defined(__SANITIZE_ADDRESS__)
+#define SELSYNC_DES_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SELSYNC_DES_ASAN 1
+#endif
+#endif
+
+#if defined(SELSYNC_DES_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace selsync {
+
+namespace {
+
+#if defined(SELSYNC_DES_ASAN)
+void asan_start_switch(void** fake_stack_save, const void* bottom,
+                       size_t size) {
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+}
+void asan_finish_switch(void* fake_stack, const void** from_bottom,
+                        size_t* from_size) {
+  __sanitizer_finish_switch_fiber(fake_stack, from_bottom, from_size);
+}
+#else
+void asan_start_switch(void**, const void*, size_t) {}
+void asan_finish_switch(void*, const void**, size_t*) {}
+#endif
+
+/// The loop driving this thread, if any. thread_local (not a global) so a
+/// DES run and a thread-engine run can coexist in one process — each real
+/// thread sees only its own engine.
+thread_local EventLoop* g_current_loop = nullptr;
+
+}  // namespace
+
+EventLoop* EventLoop::current() { return g_current_loop; }
+
+EventLoop::EventLoop(size_t expected_tasks) {
+#if defined(__SANITIZE_THREAD__)
+  // TSan instruments pthread synchronization, not ucontext fiber switches;
+  // running fibers under it corrupts its shadow state. The thread engine is
+  // the sanitizer-facing twin (ci.sh pins the TSan legs to it).
+  throw std::runtime_error(
+      "EventLoop: the DES engine does not run under ThreadSanitizer; "
+      "use EngineKind::kThreads for sanitizer runs");
+#endif
+  tasks_.reserve(expected_tasks);
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::spawn(size_t rank, std::function<void()> body) {
+  if (running_ != nullptr)
+    throw std::logic_error("EventLoop::spawn: loop already running");
+  auto task = std::make_unique<Task>();
+  task->rank = rank;
+  task->body = std::move(body);
+  task->stack = std::make_unique<char[]>(kStackBytes);
+  tasks_.push_back(std::move(task));
+}
+
+void EventLoop::run() {
+  if (g_current_loop != nullptr)
+    throw std::logic_error("EventLoop::run: a loop is already driving "
+                           "this thread");
+  // Seed the ready heap: everyone starts at virtual time zero, so the
+  // (vtime, rank, seq) order makes rank 0 the first to run.
+  live_ = tasks_.size();
+  for (size_t i = 0; i < tasks_.size(); ++i)
+    make_ready(*tasks_[i], i, /*vtime=*/tasks_[i]->vtime);
+
+  g_current_loop = this;
+  try {
+    while (!ready_.empty()) {
+      const DesEvent event = ready_.pop();
+      Task& task = *tasks_[event.task];
+      if (task.state != TaskState::kReady) continue;
+      running_ = &task;
+      running_index_ = event.task;
+      task.state = TaskState::kRunning;
+      ++switches_;
+      enter_fiber(task);
+      running_ = nullptr;
+      if (task.state == TaskState::kDone) --live_;
+    }
+    if (live_ != 0) stalled();
+  } catch (...) {
+    g_current_loop = nullptr;
+    running_ = nullptr;
+    throw;
+  }
+  g_current_loop = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void EventLoop::trampoline() {
+  EventLoop* loop = g_current_loop;
+  Task& task = *loop->running_;
+  // First entry into this fiber: complete the switch the scheduler started,
+  // learning the host thread's stack bounds for the switches back.
+  asan_finish_switch(nullptr, &loop->host_stack_bottom_,
+                     &loop->host_stack_size_);
+  try {
+    task.body();
+  } catch (...) {
+    // The cluster runner's wrapper should have caught everything; capture
+    // strays here because an exception escaping a ucontext entry point is
+    // undefined behaviour.
+    if (!loop->first_error_) loop->first_error_ = std::current_exception();
+  }
+  task.state = TaskState::kDone;
+  loop->leave_fiber(task, /*final_exit=*/true);
+  // leave_fiber never returns for a finished task; the scheduler drops it.
+}
+
+void EventLoop::enter_fiber(Task& task) {
+  // Lazily prepare the context on first dispatch.
+  if (!task.prepared) {
+    if (getcontext(&task.context) != 0)
+      throw std::runtime_error("EventLoop: getcontext failed");
+    task.context.uc_stack.ss_sp = task.stack.get();
+    task.context.uc_stack.ss_size = kStackBytes;
+    task.context.uc_link = &scheduler_context_;
+    makecontext(&task.context, &EventLoop::trampoline, 0);
+    task.prepared = true;
+  }
+  asan_start_switch(&scheduler_fake_stack_, task.stack.get(), kStackBytes);
+  if (swapcontext(&scheduler_context_, &task.context) != 0)
+    throw std::runtime_error("EventLoop: swapcontext into fiber failed");
+  asan_finish_switch(scheduler_fake_stack_, nullptr, nullptr);
+}
+
+void EventLoop::leave_fiber(Task& task, bool final_exit) {
+  // A finished fiber hands its fake stack back (first arg nullptr); a
+  // parked/yielding one saves it for resumption.
+  asan_start_switch(final_exit ? nullptr : &task.asan_fake_stack,
+                    host_stack_bottom_, host_stack_size_);
+  if (swapcontext(&task.context, &scheduler_context_) != 0)
+    throw std::runtime_error("EventLoop: swapcontext to scheduler failed");
+  // Resumed (parked/yielded fibers only).
+  asan_finish_switch(task.asan_fake_stack, nullptr, nullptr);
+}
+
+void EventLoop::make_ready(Task& task, size_t index, double vtime) {
+  if (vtime > task.vtime) task.vtime = vtime;
+  task.state = TaskState::kReady;
+  ready_.push({task.vtime, task.rank, next_seq_++, index});
+  ++events_;
+}
+
+void EventLoop::park(DesWaitQueue& queue) {
+  Task& task = *running_;
+  task.state = TaskState::kParked;
+  queue.parked.push_back(running_index_);
+  leave_fiber(task, /*final_exit=*/false);
+}
+
+void EventLoop::wake_all(DesWaitQueue& queue) {
+  const double now = running_ != nullptr ? running_->vtime : 0.0;
+  for (size_t index : queue.parked) {
+    Task& task = *tasks_[index];
+    if (task.state == TaskState::kParked) make_ready(task, index, now);
+  }
+  queue.parked.clear();
+}
+
+void EventLoop::wake_one(DesWaitQueue& queue) {
+  const double now = running_ != nullptr ? running_->vtime : 0.0;
+  while (!queue.parked.empty()) {
+    const size_t index = queue.parked.front();
+    queue.parked.erase(queue.parked.begin());
+    Task& task = *tasks_[index];
+    if (task.state == TaskState::kParked) {
+      make_ready(task, index, now);
+      return;
+    }
+  }
+}
+
+void EventLoop::advance_clock(double vtime) {
+  if (running_ != nullptr && vtime > running_->vtime)
+    running_->vtime = vtime;
+}
+
+void EventLoop::yield_current(double vtime) {
+  if (running_ == nullptr) return;
+  advance_clock(vtime);
+  Task& task = *running_;
+  make_ready(task, running_index_, task.vtime);
+  leave_fiber(task, /*final_exit=*/false);
+}
+
+size_t EventLoop::current_rank() const {
+  if (running_ == nullptr)
+    throw std::logic_error("EventLoop::current_rank: no running fiber");
+  return running_->rank;
+}
+
+double EventLoop::current_vtime() const {
+  if (running_ == nullptr)
+    throw std::logic_error("EventLoop::current_vtime: no running fiber");
+  return running_->vtime;
+}
+
+void EventLoop::stalled() {
+  std::string stuck;
+  for (const auto& task : tasks_) {
+    if (task->state == TaskState::kParked) {
+      if (!stuck.empty()) stuck += ", ";
+      stuck += std::to_string(task->rank);
+    }
+  }
+  throw std::runtime_error(
+      "EventLoop: stalled — no runnable fiber but ranks {" + stuck +
+      "} are parked (lost wakeup or deadlocked protocol)");
+}
+
+}  // namespace selsync

@@ -1,0 +1,202 @@
+// Virtual-time discrete-event execution engine for the cluster (DESIGN.md
+// §11).
+//
+// The thread cluster runs one OS thread per worker; at N=128+ the host
+// scheduler, not the StepTimeModel/SyncCost pipeline, dominates wall-clock.
+// EventLoop replaces the threads with cooperatively-scheduled fibers on ONE
+// host thread: each worker body runs unchanged (the same WorkerLoop stages,
+// the same CommBackend), but every blocking point parks the fiber on a
+// DesWaitQueue instead of a condition variable, and the scheduler always
+// resumes the runnable fiber with the smallest
+//
+//   (virtual time, rank, spawn/wake sequence)
+//
+// key — a total order (sequence numbers are unique), so a DES run is a pure
+// function of the job. Virtual time is the worker's own simulated clock
+// (StepTimeModel compute + SyncCost rounds), published at stage boundaries
+// via des_yield()/des_tick(); the engine never invents time of its own.
+//
+// This core is thread-free by construction — no std::thread, no locks, no
+// atomics — and tools/selsync_lint (rule `des-thread-free`) keeps it that
+// way. The only concession to the thread world is the thread_local current()
+// pointer, which is what lets WaitSlot (wait_slot.hpp) route the same
+// primitive to a condition variable on real threads and to park()/wake()
+// here, without the callers (channel, barrier, PsRound, the PS staleness
+// gate, the rejoin rendezvous) knowing which engine is driving them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include <ucontext.h>
+
+namespace selsync {
+
+/// One pending "resume this task" event. `seq` breaks (vtime, rank) ties and
+/// is unique per push, so the ready order is a strict total order.
+struct DesEvent {
+  double vtime = 0.0;
+  size_t rank = 0;
+  uint64_t seq = 0;
+  size_t task = 0;
+
+  friend bool operator<(const DesEvent& a, const DesEvent& b) {
+    if (a.vtime != b.vtime) return a.vtime < b.vtime;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.seq < b.seq;
+  }
+  friend bool operator>(const DesEvent& a, const DesEvent& b) { return b < a; }
+};
+
+/// The scheduler's ready queue: a binary min-heap on (vtime, rank, seq).
+/// Public (rather than an EventLoop internal) so bench/micro_ops can price
+/// push/pop on its own — the per-event cost is what bounds how far past
+/// N=1024 the engine can sweep.
+class DesReadyQueue {
+ public:
+  void push(const DesEvent& event) { heap_.push(event); }
+
+  /// Removes and returns the earliest event; undefined when empty().
+  DesEvent pop() {
+    DesEvent event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  std::priority_queue<DesEvent, std::vector<DesEvent>,
+                      std::greater<DesEvent>>
+      heap_;
+};
+
+/// A parking lot for fibers blocked on one condition (one per WaitSlot).
+/// Holds task indices in park order; wake order is park order, made
+/// deterministic by the ready queue's (vtime, rank, seq) sort anyway.
+struct DesWaitQueue {
+  std::vector<size_t> parked;
+};
+
+/// The discrete-event scheduler: spawn() one fiber per rank, then run()
+/// drives them to completion in virtual-time order on the calling thread.
+class EventLoop {
+ public:
+  /// 256 KiB per fiber comfortably holds a WorkerLoop frame (tensors live
+  /// on the heap); at N=1024 that is 256 MiB of mostly-untouched mappings.
+  static constexpr size_t kStackBytes = 256 * 1024;
+
+  explicit EventLoop(size_t expected_tasks = 0);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers a fiber for `rank` running `body`. The body must not throw —
+  /// wrap it (run_cluster does) — but as a last resort an escaping exception
+  /// is captured and rethrown by run(). Call before run().
+  void spawn(size_t rank, std::function<void()> body);
+
+  /// Runs every spawned fiber to completion. Throws std::runtime_error if
+  /// the system stalls (every live fiber parked, nothing ready — a lost
+  /// wakeup or deadlocked protocol), naming the stuck ranks.
+  void run();
+
+  /// The loop driving the calling thread, or nullptr when the caller runs
+  /// on a real thread. This is the engine dispatch point WaitSlot and the
+  /// des_*() helpers branch on.
+  static EventLoop* current();
+
+  // -- fiber-side API (valid only while run() executes the caller) ----------
+
+  /// Parks the running fiber on `queue` until wake_one/wake_all. The caller
+  /// must not hold any lock that a peer needs in order to wake it (WaitSlot
+  /// drops its lock before parking and re-acquires after).
+  void park(DesWaitQueue& queue);
+
+  /// Moves every fiber parked on `queue` to the ready heap at the waker's
+  /// virtual time (clocks are monotone: a woken fiber never runs before the
+  /// event that woke it).
+  void wake_all(DesWaitQueue& queue);
+
+  /// Moves the longest-parked fiber on `queue` to the ready heap.
+  void wake_one(DesWaitQueue& queue);
+
+  /// Advances the running fiber's virtual clock to `vtime` (monotone max;
+  /// a stale lower value is ignored). No reschedule.
+  void advance_clock(double vtime);
+
+  /// advance_clock(vtime), then yields to the scheduler: the globally
+  /// earliest runnable fiber — possibly this one again — runs next. Workers
+  /// call this at iteration boundaries so interleaving follows the cost
+  /// model's virtual time, not code layout.
+  void yield_current(double vtime);
+
+  /// The running fiber's rank / virtual clock.
+  size_t current_rank() const;
+  double current_vtime() const;
+
+  /// Scheduling telemetry (bench/micro_ops, tests).
+  uint64_t switches() const { return switches_; }
+  uint64_t events() const { return events_; }
+
+ private:
+  enum class TaskState { kReady, kRunning, kParked, kDone };
+
+  struct Task {
+    size_t rank = 0;
+    double vtime = 0.0;
+    TaskState state = TaskState::kReady;
+    std::function<void()> body;
+    std::unique_ptr<char[]> stack;
+    bool prepared = false;
+    ucontext_t context;
+    /// AddressSanitizer's per-fiber fake-stack handle (nullptr = none yet).
+    void* asan_fake_stack = nullptr;
+  };
+
+  static void trampoline();
+  void enter_fiber(Task& task);
+  void leave_fiber(Task& task, bool final_exit);
+  void make_ready(Task& task, size_t index, double vtime);
+  [[noreturn]] void stalled();
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  DesReadyQueue ready_;
+  Task* running_ = nullptr;
+  size_t running_index_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t switches_ = 0;
+  uint64_t events_ = 0;
+  size_t live_ = 0;
+  ucontext_t scheduler_context_;
+  /// Captured exception from a fiber whose body threw past its own wrapper.
+  std::exception_ptr first_error_;
+  /// ASan bookkeeping: the host thread's stack (learned on first fiber
+  /// entry) and the scheduler's fake-stack handle.
+  const void* host_stack_bottom_ = nullptr;
+  size_t host_stack_size_ = 0;
+  void* scheduler_fake_stack_ = nullptr;
+};
+
+/// True when the calling code is running on a DES fiber.
+inline bool des_active() { return EventLoop::current() != nullptr; }
+
+/// Publish the worker's simulated clock and yield at an event boundary.
+/// No-op on real threads, so WorkerLoop can call it unconditionally.
+inline void des_yield(double vtime) {
+  if (EventLoop* loop = EventLoop::current()) loop->yield_current(vtime);
+}
+
+/// Publish the worker's simulated clock without yielding. No-op on threads.
+inline void des_tick(double vtime) {
+  if (EventLoop* loop = EventLoop::current()) loop->advance_clock(vtime);
+}
+
+}  // namespace selsync

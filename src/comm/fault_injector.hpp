@@ -18,8 +18,9 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
-#include <condition_variable>
 #include <mutex>
+
+#include "comm/wait_slot.hpp"
 
 namespace selsync {
 
@@ -278,7 +279,7 @@ class RejoinCoordinator {
 
  private:
   std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitSlot cv_;
   std::vector<bool> released_;
   bool stopped_ = false;
 };

@@ -17,7 +17,6 @@
 // single-store PS bit-for-bit.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -27,6 +26,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "comm/wait_slot.hpp"
 
 #include "comm/ps_round.hpp"
 #include "util/enum_names.hpp"
@@ -107,7 +108,7 @@ class ParameterServer {
   // lock/cv pair over the shard's global state; the synchronous round
   // protocol lives in PsRound.
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitSlot cv_;
   std::vector<float> global_;
   size_t workers_;
   PsRound round_;

@@ -30,11 +30,12 @@
 //  * average divides the fold by `participants` before publishing it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <span>
 #include <vector>
+
+#include "comm/wait_slot.hpp"
 
 namespace selsync {
 
@@ -86,9 +87,9 @@ class PsRound {
   const size_t workers_;
 
   // selsync-lint: allow(raw-thread) -- PsRound IS the synchronization
-  // primitive of the PS tier; the lock/cv pair lives nowhere else.
+  // primitive of the PS tier; the lock/wait-slot pair lives nowhere else.
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitSlot cv_;
 
   PsRoundConfig config_;
   /// kRanked: workers() slots of dim() floats. kArrival: dim() accumulators.

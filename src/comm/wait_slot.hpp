@@ -1,0 +1,69 @@
+// WaitSlot: one blocking point, two engines.
+//
+// Every blocking primitive in src/comm (channel recv, barrier wait, PsRound
+// await, the SSP staleness gate, the rejoin rendezvous) used to wait on a
+// std::condition_variable. WaitSlot keeps exactly that interface — a
+// predicate wait under a std::unique_lock plus notify_one/notify_all — and
+// routes it by engine:
+//
+//  * on a real thread (EventLoop::current() == nullptr) it IS a condition
+//    variable: identical codegen path, identical TSan visibility, so the
+//    chaos label still exercises the real locks;
+//  * on a DES fiber it parks the fiber on the slot's DesWaitQueue and lets
+//    the EventLoop resume it in deterministic (vtime, rank, seq) order.
+//
+// The DES path is lost-wakeup-free by run-to-completion: fibers only switch
+// inside park(), so between the predicate check and the park no other fiber
+// can run, and a notify that happens before the wait leaves the predicate
+// already true. The predicate is re-checked after every wake, mirroring the
+// cv's spurious-wakeup contract, so callers need no engine awareness at all.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "comm/event_loop.hpp"
+
+namespace selsync {
+
+// selsync-lint: allow(raw-thread) -- WaitSlot is the engine-dispatch
+// primitive itself; the cv half lives here so it can live nowhere else.
+class WaitSlot {
+ public:
+  /// Blocks until `pred()` holds, releasing `lock` while waiting. Exactly
+  /// std::condition_variable::wait(lock, pred) on the thread engine.
+  template <typename Pred>
+  void wait(std::unique_lock<std::mutex>& lock, Pred pred) {
+    if (EventLoop* loop = EventLoop::current()) {
+      while (!pred()) {
+        lock.unlock();
+        loop->park(parked_);
+        lock.lock();
+      }
+      return;
+    }
+    cv_.wait(lock, std::move(pred));
+  }
+
+  void notify_one() {
+    if (EventLoop* loop = EventLoop::current()) {
+      loop->wake_one(parked_);
+      return;
+    }
+    cv_.notify_one();
+  }
+
+  void notify_all() {
+    if (EventLoop* loop = EventLoop::current()) {
+      loop->wake_all(parked_);
+      return;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable cv_;
+  DesWaitQueue parked_;
+};
+
+}  // namespace selsync

@@ -152,6 +152,12 @@ struct TrainJob {
   Topology topology = Topology::kParameterServer;
   /// Which CommBackend carries aggregation payloads (DESIGN.md §8).
   BackendKind backend = BackendKind::kSharedMemory;
+  /// Which execution engine drives the worker cluster (DESIGN.md §11):
+  /// kThreads is one OS thread per rank (the sanitizer-facing engine);
+  /// kDes runs the same worker bodies as fibers under the virtual-time
+  /// EventLoop — bit-identical results (the parity tier proves it), but
+  /// deterministic and cheap enough to sweep N=128–1024.
+  EngineKind engine = EngineKind::kThreads;
   /// How many contiguous-range shards the parameter-server tier splits its
   /// central store into (DESIGN.md §10). 1 — the default — is the
   /// single-store PS, bit-identical to the pre-sharding tier; K > 1 gives

@@ -20,6 +20,11 @@ JsonValue job_to_json(const TrainJob& job) {
   // and the golden records must stay byte-identical.
   if (job.ps_shards > 1)
     j.set("ps_shards", static_cast<double>(job.ps_shards));
+  // Same rule for the engine: kThreads predates the knob, and result
+  // records must stay engine-agnostic for the parity tier's byte compare —
+  // only the job half of a record says when the DES engine produced it.
+  if (job.engine != EngineKind::kThreads)
+    j.set("engine", engine_kind_name(job.engine));
   j.set("paper_model", job.paper_model.name);
   j.set("network", job.network.name);
 

@@ -53,7 +53,7 @@ TrainResult run_synchronous(const TrainJob& job) {
 
   WallTimer wall;
   run_cluster(
-      job.workers,
+      job.engine, job.workers,
       [&](WorkerContext& ctx) {
         SynchronousWorkerLoop loop(job, ctx, partition, local_batch,
                                    injector.get(), *backend, faults.get(),
@@ -85,7 +85,7 @@ TrainResult run_ssp(const TrainJob& job) {
   shared.worker_sim_time.assign(job.workers, 0.0);
   WallTimer wall;
   run_cluster(
-      job.workers,
+      job.engine, job.workers,
       [&](WorkerContext& ctx) {
         SspWorkerLoop loop(job, ctx, partition, *backend, faults.get(),
                            shared);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/event_loop.hpp"
+
 namespace selsync::detail {
 
 WorkerLoop::WorkerLoop(const TrainJob& job, WorkerContext& ctx,
@@ -22,19 +24,67 @@ WorkerLoop::WorkerLoop(const TrainJob& job, WorkerContext& ctx,
       take_checkpoints_(faults && faults->needs_checkpoints(ctx.rank)) {}
 
 void WorkerLoop::run() {
-  while (it_ < job_.max_iterations && !stop_requested()) {
-    const FaultAction action = fault_stage();
-    if (action == FaultAction::kExit) break;
-    if (action == FaultAction::kRetry) continue;
-    data_stage();
-    compute_stage();
-    aggregation_stage(sync_decision_stage());
-    executed_ = it_ + 1;
-    if (instrumentation_stage()) break;
-    ++it_;
+  while (step()) {
   }
-  finish_worker();
-  publish();
+}
+
+bool WorkerLoop::step() {
+  switch (stage_) {
+    case Stage::kFault:
+      // Iteration boundary: under the DES engine, publish this worker's
+      // simulated clock and let the globally earliest fiber run next (a
+      // no-op on real threads), so interleaving follows virtual time.
+      des_yield(sim_time_);
+      if (it_ >= job_.max_iterations || stop_requested()) {
+        stage_ = Stage::kFinish;
+        return true;
+      }
+      switch (fault_stage()) {
+        case FaultAction::kExit:
+          stage_ = Stage::kFinish;
+          return true;
+        case FaultAction::kRetry:
+          // Re-enter kFault without advancing (checkpoint rewind), exactly
+          // the old loop's `continue` — budget/stop are re-checked first.
+          return true;
+        case FaultAction::kProceed:
+          stage_ = Stage::kData;
+          return true;
+      }
+      return true;  // unreachable; keeps -Werror=return-type quiet
+    case Stage::kData:
+      data_stage();
+      stage_ = Stage::kCompute;
+      return true;
+    case Stage::kCompute:
+      compute_stage();
+      des_tick(sim_time_);
+      stage_ = Stage::kAggregate;
+      return true;
+    case Stage::kAggregate:
+      aggregation_stage(sync_decision_stage());
+      executed_ = it_ + 1;
+      des_tick(sim_time_);
+      stage_ = Stage::kInstrument;
+      return true;
+    case Stage::kInstrument:
+      if (instrumentation_stage()) {
+        stage_ = Stage::kFinish;
+      } else {
+        ++it_;
+        stage_ = Stage::kFault;
+      }
+      return true;
+    case Stage::kFinish:
+      finish_worker();
+      publish();
+      des_tick(sim_time_);
+      stage_ = Stage::kDone;
+      return false;
+    case Stage::kDone:
+      return false;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

@@ -77,10 +77,33 @@ class WorkerLoop {
  public:
   virtual ~WorkerLoop() = default;
 
+  /// The explicit state machine run()/step() walk. One iteration is
+  /// kFault -> kData -> kCompute -> kAggregate -> kInstrument -> kFault;
+  /// any stage may divert to kFinish (budget spent, stop agreed, worker
+  /// retired), which runs the teardown and lands in kDone.
+  enum class Stage {
+    kFault,
+    kData,
+    kCompute,
+    kAggregate,
+    kInstrument,
+    kFinish,
+    kDone,
+  };
+
   /// Drives the stages until the budget is spent, a stop is agreed, or the
   /// fault schedule retires the worker; then publishes this worker's share
-  /// of the result.
+  /// of the result. Equivalent to stepping the state machine to kDone.
   void run();
+
+  /// Advances the state machine by exactly one stage. Returns false once
+  /// the machine has reached kDone (after teardown + publish). Under the
+  /// DES engine each iteration boundary yields to the scheduler and each
+  /// stage publishes the worker's simulated clock, so fibers interleave in
+  /// virtual-time order.
+  bool step();
+
+  Stage stage() const { return stage_; }
 
  protected:
   enum class FaultAction {
@@ -121,6 +144,7 @@ class WorkerLoop {
   /// Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
   const double speed_;
 
+  Stage stage_ = Stage::kFault;
   uint64_t it_ = 0;
   uint64_t executed_ = 0;
   double epoch_ = 0.0;

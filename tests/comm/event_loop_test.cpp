@@ -1,0 +1,205 @@
+// Unit tests for the DES core: ready-queue ordering, the (vtime, rank, seq)
+// tie-break, park/wake via WaitSlot, virtual-clock monotonicity, stall
+// detection, and run_cluster's DES engine semantics (abort fan-out,
+// exception rethrow) matching the thread engine's.
+#include "comm/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/cluster.hpp"
+#include "comm/wait_slot.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define SELSYNC_REQUIRE_DES_ENGINE() \
+  GTEST_SKIP() << "DES engine does not run under ThreadSanitizer"
+#else
+#define SELSYNC_REQUIRE_DES_ENGINE() (void)0
+#endif
+
+namespace selsync {
+namespace {
+
+TEST(DesReadyQueue, PopsInTimeRankSeqOrder) {
+  DesReadyQueue q;
+  q.push({2.0, 0, 0, 10});
+  q.push({1.0, 3, 1, 11});
+  q.push({1.0, 1, 2, 12});
+  q.push({1.0, 1, 0, 13});  // same (vtime, rank) as above, earlier seq
+  EXPECT_EQ(q.pop().task, 13u);  // vtime 1.0, rank 1, seq 0
+  EXPECT_EQ(q.pop().task, 12u);  // vtime 1.0, rank 1, seq 2
+  EXPECT_EQ(q.pop().task, 11u);  // vtime 1.0, rank 3
+  EXPECT_EQ(q.pop().task, 10u);  // vtime 2.0
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventLoop, RunsSpawnedFibersInRankOrderAtTimeZero) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  EventLoop loop;
+  std::vector<size_t> order;
+  for (size_t rank : {size_t{2}, size_t{0}, size_t{1}})
+    loop.spawn(rank, [&order, rank] { order.push_back(rank); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(EventLoop, YieldInterleavesByVirtualTime) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  // Rank 0 is "slow" (10s per step), rank 1 "fast" (1s per step): after
+  // each yield the globally earliest fiber must run, so rank 1 fits ten
+  // steps into rank 0's first.
+  EventLoop loop;
+  std::vector<std::string> trace;
+  loop.spawn(0, [&] {
+    for (int i = 1; i <= 2; ++i) {
+      des_yield(10.0 * i);
+      trace.push_back("slow@" + std::to_string(10 * i));
+    }
+  });
+  loop.spawn(1, [&] {
+    for (int i = 1; i <= 12; ++i) {
+      des_yield(1.0 * i);
+      trace.push_back("fast@" + std::to_string(i));
+    }
+  });
+  loop.run();
+  // The first ten fast steps precede the first slow step (times 1..10
+  // beat 10 only via the rank tie at t=10: rank 0 wins the tie).
+  ASSERT_EQ(trace.size(), 14u);
+  for (int i = 1; i <= 9; ++i)
+    EXPECT_EQ(trace[static_cast<size_t>(i - 1)],
+              "fast@" + std::to_string(i));
+  EXPECT_EQ(trace[9], "slow@10");  // (10, rank 0) beats (10, rank 1)
+  EXPECT_EQ(trace[10], "fast@10");
+}
+
+TEST(EventLoop, ClockIsMonotone) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  EventLoop loop;
+  double observed = -1.0;
+  loop.spawn(0, [&] {
+    des_tick(5.0);
+    des_tick(3.0);  // stale update must not rewind the clock
+    observed = EventLoop::current()->current_vtime();
+  });
+  loop.run();
+  EXPECT_EQ(observed, 5.0);
+}
+
+TEST(EventLoop, WaitSlotParksAndWakesAcrossFibers) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  // A two-fiber ping-pong through a Channel (whose blocking recv is a
+  // WaitSlot wait under the DES engine).
+  EventLoop loop;
+  Channel<int> ping, pong;
+  std::vector<int> seen;
+  loop.spawn(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      ping.send(i);
+      auto echoed = pong.recv();
+      ASSERT_TRUE(echoed.has_value());
+      seen.push_back(*echoed);
+    }
+  });
+  loop.spawn(1, [&] {
+    for (int i = 0; i < 3; ++i) {
+      auto got = ping.recv();
+      ASSERT_TRUE(got.has_value());
+      pong.send(*got * 10);
+    }
+  });
+  loop.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 10, 20}));
+}
+
+TEST(EventLoop, WokenFiberInheritsWakerVirtualTime) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  EventLoop loop;
+  Channel<int> ch;
+  double woken_at = -1.0;
+  loop.spawn(0, [&] {
+    ch.recv();  // parks immediately (rank 0 runs first)
+    woken_at = EventLoop::current()->current_vtime();
+  });
+  loop.spawn(1, [&] {
+    des_tick(7.5);
+    ch.send(1);
+  });
+  loop.run();
+  EXPECT_EQ(woken_at, 7.5);
+}
+
+TEST(EventLoop, StallNamesTheParkedRanks) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  EventLoop loop;
+  Channel<int> never;
+  loop.spawn(3, [&] { never.recv(); });
+  loop.spawn(5, [&] { never.recv(); });
+  try {
+    loop.run();
+    FAIL() << "expected a stall";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stalled"), std::string::npos) << what;
+    EXPECT_NE(what.find('3'), std::string::npos) << what;
+    EXPECT_NE(what.find('5'), std::string::npos) << what;
+  }
+  never.close();  // nothing parked anymore; keep the channel sane
+}
+
+TEST(EventLoop, DesHelpersAreNoOpsOffLoop) {
+  EXPECT_FALSE(des_active());
+  des_yield(1.0);  // must not crash or block on a real thread
+  des_tick(2.0);
+  EXPECT_EQ(EventLoop::current(), nullptr);
+}
+
+TEST(DesCluster, RunsCollectivesBitIdenticalToThreads) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  std::vector<float> threads_out, des_out;
+  auto run_with = [](EngineKind engine, std::vector<float>& out) {
+    run_cluster(engine, 4, [&](WorkerContext& ctx) {
+      std::vector<float> v(8, static_cast<float>(ctx.rank + 1) * 0.25f);
+      ctx.collectives->allreduce_mean(ctx.rank, v);
+      if (ctx.is_root()) out = v;
+    });
+  };
+  run_with(EngineKind::kThreads, threads_out);
+  run_with(EngineKind::kDes, des_out);
+  ASSERT_EQ(threads_out.size(), 8u);
+  EXPECT_EQ(threads_out, des_out);
+}
+
+TEST(DesCluster, WorkerExceptionAbortsPeersAndRethrows) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  bool abort_hook_fired = false;
+  EXPECT_THROW(
+      run_cluster(
+          EngineKind::kDes, 3,
+          [&](WorkerContext& ctx) {
+            if (ctx.rank == 1) throw std::logic_error("injected failure");
+            // Peers park in the barrier; the failing worker must unblock
+            // them via collectives.abort() or the loop would stall.
+            ctx.collectives->barrier();
+          },
+          [&] { abort_hook_fired = true; }),
+      std::logic_error);
+  EXPECT_TRUE(abort_hook_fired);
+}
+
+TEST(DesCluster, EngineNamesRoundTrip) {
+  EXPECT_STREQ(engine_kind_name(EngineKind::kThreads), "threads");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kDes), "des");
+  EXPECT_EQ(engine_kind_from_name("des"), EngineKind::kDes);
+  EXPECT_EQ(engine_kind_from_name("threads"), EngineKind::kThreads);
+  EXPECT_FALSE(engine_kind_from_name("fibers").has_value());
+  EXPECT_EQ(engine_kind_names(), "threads, des");
+}
+
+}  // namespace
+}  // namespace selsync

@@ -47,6 +47,8 @@ void ExpectTableRoundTrips(const EnumEntry<E> (&table)[N]) {
 
 TEST(EnumRoundTrip, BackendKind) { ExpectTableRoundTrips(kBackendKindNames); }
 
+TEST(EnumRoundTrip, EngineKind) { ExpectTableRoundTrips(kEngineKindNames); }
+
 TEST(EnumRoundTrip, CompressionKind) {
   ExpectTableRoundTrips(kCompressionKindNames);
 }

@@ -1,0 +1,8 @@
+// Fixture: the DES core must trip des-thread-free on any host
+// synchronization — a lock here would reintroduce the host-schedule
+// dependence the engine exists to remove.
+#include <mutex>
+
+std::mutex g_des_lock;
+
+void park_badly() { std::lock_guard<std::mutex> lock(g_des_lock); }

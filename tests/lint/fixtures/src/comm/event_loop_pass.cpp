@@ -1,0 +1,19 @@
+// Fixture: a thread-free DES core passes des-thread-free — plain data
+// structures, ucontext, and a thread_local dispatch pointer are all fine.
+#include <cstddef>
+#include <vector>
+
+#include <ucontext.h>
+
+namespace {
+thread_local void* g_current_loop = nullptr;
+}
+
+struct ReadyEntry {
+  double vtime = 0.0;
+  size_t rank = 0;
+};
+
+std::vector<ReadyEntry> g_ready;
+
+void* current_loop() { return g_current_loop; }

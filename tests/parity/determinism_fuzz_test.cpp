@@ -1,0 +1,84 @@
+// DES determinism fuzz (ISSUE 6): for a grid of seeds × configs, run the
+// same DES job twice and byte-compare the run records and final weights.
+//
+// The engine-parity matrix proves DES == threads where threads are
+// reproducible; this tier proves the DES engine is a pure function of the
+// job everywhere else too — including SSP, whose asynchronous pushes the
+// thread engine cannot replay, and fault plans, whose per-rank streams must
+// land identically. Any hidden dependence on host time, hash/map iteration
+// order, or ready-queue ties shows up here as a byte diff (the rng /
+// Date-now confinement is linted statically; this is the end-to-end check).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/parity/parity_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using parity::ParityCase;
+using parity::sized_job;
+
+std::vector<ParityCase> fuzz_matrix() {
+  std::vector<ParityCase> cases;
+  auto add = [&](const std::string& name, TrainJob job) {
+    for (uint64_t seed : {uint64_t{1}, uint64_t{7}, uint64_t{23},
+                          uint64_t{61}}) {
+      TrainJob seeded = job;
+      seeded.seed = seed;
+      seeded.engine = EngineKind::kDes;
+      cases.push_back({name + "_seed" + std::to_string(seed),
+                       std::move(seeded)});
+    }
+  };
+
+  {
+    TrainJob job = sized_job(StrategyKind::kSsp, 4, 24);
+    job.ssp.staleness = 3;
+    add("ssp_shared", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kSsp, 4, 24);
+    job.ssp.staleness = 2;
+    job.ps_shards = 2;
+    job.faults = golden::golden_message_plan();
+    add("ssp_sharded_msgfaults", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.faults = golden::golden_message_plan();
+    add("selsync_shared_msgfaults", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.backend = BackendKind::kRing;
+    job.faults = golden::golden_message_plan();
+    add("bsp_ring_msgfaults", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kFedAvg, 4, 30);
+    job.fedavg = {0.5, 0.25};
+    job.faults = parity::crash_rejoin_plan(4);
+    add("fedavg_crash_rejoin", job);
+  }
+  return cases;
+}
+
+class DesDeterminism : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(DesDeterminism, TwoRunsAreByteIdentical) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const ParityCase& c = GetParam();
+  const TrainResult first = run_training(c.job);
+  const TrainResult second = run_training(c.job);
+  parity::expect_bitwise_equal(first, second, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DesDeterminism,
+                         ::testing::ValuesIn(fuzz_matrix()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,96 @@
+// Thread-vs-DES bit-identity across the backend × strategy × codec matrix
+// at N ∈ {2, 4, 8}, including a crash/rejoin FaultPlan case (ISSUE 6).
+//
+// The thread engine's synchronous strategies are schedule-independent by
+// construction (barrier-sequenced rank-slot writes, rank-order folds), so a
+// correct DES engine must reproduce them bit for bit — same run-record
+// bytes (minus wall-clock), same final float32 weights. SSP is deliberately
+// absent: its thread-engine interleaving is not reproducible (see
+// tests/golden/golden_configs.hpp); its DES determinism is proven in
+// determinism_fuzz_test.cpp instead.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/parity/parity_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using parity::ParityCase;
+using parity::crash_rejoin_plan;
+using parity::sized_job;
+
+std::vector<ParityCase> parity_matrix() {
+  std::vector<ParityCase> cases;
+  auto add = [&](std::string name, TrainJob job) {
+    cases.push_back({std::move(name), std::move(job)});
+  };
+
+  for (size_t workers : {size_t{2}, size_t{4}, size_t{8}}) {
+    const std::string n = "_n" + std::to_string(workers);
+
+    // Strategy × backend (dense payloads).
+    for (BackendKind backend :
+         {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree,
+          BackendKind::kParameterServer}) {
+      TrainJob job = sized_job(StrategyKind::kBsp, workers, 24);
+      job.backend = backend;
+      add(std::string("bsp_") + backend_kind_name(backend) + n, job);
+    }
+    for (BackendKind backend :
+         {BackendKind::kSharedMemory, BackendKind::kRing}) {
+      TrainJob job = sized_job(StrategyKind::kSelSync, workers, 24);
+      job.selsync.delta = 0.05;
+      job.backend = backend;
+      add(std::string("selsync_") + backend_kind_name(backend) + n, job);
+    }
+
+    // Codec combos: Top-k fused into the gradient data plane.
+    for (BackendKind backend :
+         {BackendKind::kSharedMemory, BackendKind::kTree}) {
+      TrainJob job = sized_job(StrategyKind::kSelSync, workers, 24);
+      job.selsync.delta = 0.05;
+      job.selsync.aggregation = AggregationMode::kGradients;
+      job.compression.kind = CompressionKind::kTopK;
+      job.compression.topk_fraction = 0.25;
+      job.backend = backend;
+      add(std::string("selsync_ga_topk_") + backend_kind_name(backend) + n,
+          job);
+    }
+
+    // Crash/park/rejoin + stragglers + message faults (shared transport —
+    // the only one that admits crash plans for synchronous strategies).
+    {
+      TrainJob job = sized_job(StrategyKind::kBsp, workers, 30);
+      job.faults = crash_rejoin_plan(workers);
+      add("bsp_shared_crash_rejoin" + n, job);
+    }
+  }
+
+  // The remaining synchronous strategies at one representative size.
+  {
+    TrainJob job = sized_job(StrategyKind::kFedAvg, 4, 24);
+    job.fedavg = {0.5, 0.25};
+    add("fedavg_half_shared_n4", job);
+  }
+  add("easgd_shared_n4", sized_job(StrategyKind::kEasgd, 4, 24));
+  add("local_shared_n4", sized_job(StrategyKind::kLocalSgd, 4, 24));
+
+  return cases;
+}
+
+class EngineParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(EngineParity, DesMatchesThreadsBitForBit) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const ParityCase& c = GetParam();
+  parity::expect_engine_parity(c.job, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EngineParity,
+                         ::testing::ValuesIn(parity_matrix()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace selsync

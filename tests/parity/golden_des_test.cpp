@@ -1,0 +1,54 @@
+// The golden drift gate, DES edition (ISSUE 6): the DES engine must
+// reproduce every checked-in golden record byte for byte — the same 12
+// oracles the thread engine is pinned to (tests/core/golden_parity_test.cpp),
+// no new records, no regeneration. A passing run means the two engines and
+// the seed trainer are one system.
+//
+// Labeled `parity`, not `golden`, on purpose: ci.sh's sanitizer legs re-run
+// the golden label under TSan/ASan, and the DES engine is thread-engine-only
+// territory for TSan (see parity_jobs.hpp).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "tests/golden/golden_configs.hpp"
+#include "tests/parity/parity_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open golden record " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class GoldenDesParity
+    : public ::testing::TestWithParam<golden::GoldenConfig> {};
+
+TEST_P(GoldenDesParity, DesReproducesSeedRecordByteForByte) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const golden::GoldenConfig& cfg = GetParam();
+  const std::string expected = read_file(
+      std::string(SELSYNC_SOURCE_DIR) + "/tests/golden/records/" + cfg.name +
+      ".json");
+  ASSERT_FALSE(expected.empty()) << cfg.name;
+  TrainJob job = cfg.job;
+  job.engine = EngineKind::kDes;
+  const TrainResult result = run_training(job);
+  EXPECT_EQ(golden::canonical_result_json(result), expected)
+      << cfg.name << ": the DES engine no longer reproduces the seed "
+      << "dynamics the thread engine is pinned to";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GoldenDesParity,
+                         ::testing::ValuesIn(golden::golden_grid()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace selsync

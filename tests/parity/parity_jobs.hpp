@@ -1,0 +1,86 @@
+// Shared builders and assertions for the engine-parity tier (ctest -L
+// parity): thread-vs-DES bit-identity and DES-vs-DES determinism.
+//
+// Every job here takes a worker-0 weight snapshot at the exact final
+// iteration, so the bitwise comparison covers the model parameters
+// themselves, not just the serialized dynamics (losses and counters could
+// in principle collide; 2k float32 weights cannot).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+#include "tests/golden/golden_configs.hpp"
+
+// The DES engine refuses to run under ThreadSanitizer (TSan cannot follow
+// ucontext fiber switches); ci.sh pins the TSan legs to chaos+golden, but
+// keep a stray `ctest` in a TSan build tree green too.
+#if defined(__SANITIZE_THREAD__)
+#define SELSYNC_REQUIRE_DES_ENGINE() \
+  GTEST_SKIP() << "DES engine does not run under ThreadSanitizer"
+#else
+#define SELSYNC_REQUIRE_DES_ENGINE() (void)0
+#endif
+
+namespace selsync::parity {
+
+struct ParityCase {
+  std::string name;
+  TrainJob job;
+};
+
+/// small_class_job resized to `workers`, with a dense eval history and the
+/// final-weights snapshot armed.
+inline TrainJob sized_job(StrategyKind strategy, size_t workers,
+                          uint64_t iterations) {
+  TrainJob job = testing::small_class_job(strategy, iterations);
+  job.workers = workers;
+  job.eval_interval = 10;
+  job.snapshot_epochs = {static_cast<double>(iterations) /
+                         static_cast<double>(job.steps_per_epoch())};
+  return job;
+}
+
+/// golden_fault_plan() adapted to clusters too small for its fixed ranks:
+/// crash/rejoin on the highest eligible rank, straggler on another.
+inline FaultPlan crash_rejoin_plan(size_t workers) {
+  FaultPlan plan = golden::golden_fault_plan();
+  plan.crashes[0].rank = workers > 2 ? 2 : workers - 1;
+  plan.stragglers[0].rank = workers > 2 ? 1 : 0;
+  return plan;
+}
+
+/// Asserts two runs of (nominally) the same system are bit-identical:
+/// byte-equal canonical run records and byte-equal final weights.
+inline void expect_bitwise_equal(const TrainResult& a, const TrainResult& b,
+                                 const std::string& label) {
+  EXPECT_EQ(golden::canonical_result_json(a),
+            golden::canonical_result_json(b))
+      << label << ": run records diverge";
+  ASSERT_EQ(a.weight_snapshots.size(), b.weight_snapshots.size()) << label;
+  for (const auto& [epoch, weights] : a.weight_snapshots) {
+    const auto it = b.weight_snapshots.find(epoch);
+    ASSERT_TRUE(it != b.weight_snapshots.end())
+        << label << ": missing snapshot at epoch " << epoch;
+    ASSERT_EQ(weights.size(), it->second.size()) << label;
+    EXPECT_EQ(0, std::memcmp(weights.data(), it->second.data(),
+                             weights.size() * sizeof(float)))
+        << label << ": final weights diverge at epoch " << epoch;
+  }
+}
+
+/// Runs `job` under both engines and asserts bit-identity.
+inline void expect_engine_parity(TrainJob job, const std::string& label) {
+  job.engine = EngineKind::kThreads;
+  const TrainResult threads = run_training(job);
+  job.engine = EngineKind::kDes;
+  const TrainResult des = run_training(job);
+  expect_bitwise_equal(threads, des, label);
+}
+
+}  // namespace selsync::parity

@@ -2,10 +2,11 @@
 # ci.sh — the repo's tier-1 verification recipe, runnable locally or by CI.
 #
 #   tools/ci.sh              # tier-1: configure, build, full ctest
+#   tools/ci.sh --parity     # additionally: the engine-parity + determinism tier
 #   tools/ci.sh --chaos      # additionally: TSan build + the chaos suite
 #   tools/ci.sh --analyze    # additionally: static analysis + UBSan leg
 #
-# The stages compose: `tools/ci.sh --chaos --analyze` runs all three.
+# The stages compose: `tools/ci.sh --parity --chaos --analyze` runs all four.
 #
 # Tier 1 is the gate every change must pass (ROADMAP.md): a clean build and
 # the full test suite, including the golden parity grid that pins the
@@ -13,6 +14,13 @@
 # tier-1 build configures with -DSELSYNC_WERROR=ON, so the curated warning
 # set (-Wshadow, -Wold-style-cast, ... — see CMakeLists.txt) is enforced
 # here while plain developer builds stay permissive.
+#
+# The optional parity stage re-runs the `parity` label on the tier-1 build:
+# thread-vs-DES bit-identity across the backend/strategy/codec matrix, the
+# DES determinism fuzz grid, and the DES re-run of the 12 golden records
+# (DESIGN.md §11). It runs on the plain build on purpose — the DES engine is
+# fiber-based and refuses to start under ThreadSanitizer, so the sanitizer
+# legs below stay pinned to the thread engine, where the real locks live.
 #
 # The optional chaos stage rebuilds under ThreadSanitizer and runs only the
 # fault-injection tests (ctest -L chaos) — the tests that actually stress
@@ -39,13 +47,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+RUN_PARITY=0
 RUN_CHAOS=0
 RUN_ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
+    --parity) RUN_PARITY=1 ;;
     --chaos) RUN_CHAOS=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
-    *) echo "usage: tools/ci.sh [--chaos] [--analyze]" >&2; exit 2 ;;
+    *) echo "usage: tools/ci.sh [--parity] [--chaos] [--analyze]" >&2; exit 2 ;;
   esac
 done
 
@@ -55,6 +65,11 @@ cmake --build build -j "$JOBS"
 
 echo "=== tier 1: full test suite ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_PARITY" -eq 1 ]]; then
+  echo "=== parity: thread-vs-DES bit-identity + DES determinism ==="
+  ctest --test-dir build --output-on-failure -L parity -j "$JOBS"
+fi
 
 if [[ "$RUN_CHAOS" -eq 1 ]]; then
   echo "=== chaos: ThreadSanitizer build ==="

@@ -61,6 +61,10 @@ int run(int argc, const char* const* argv) {
   args.add_option("ps-shards",
                   "parameter-server shards (ps backend / SSP central store)",
                   "1");
+  args.add_option("engine",
+                  "cluster execution engine: threads | des (virtual-time "
+                  "discrete-event, bit-identical, scales to N=1024)",
+                  "threads");
   args.add_option("workers", "cluster size", "16");
   args.add_option("iterations", "per-worker step budget", "500");
   args.add_option("eval-interval", "steps between test evaluations", "50");
@@ -116,6 +120,11 @@ int run(int argc, const char* const* argv) {
                                 },
                                 backend_kind_names());
   job.ps_shards = static_cast<size_t>(args.get_int("ps-shards"));
+  job.engine = parse_enum_flag("engine", args.get("engine"),
+                               [](const std::string& v) {
+                                 return engine_kind_from_name(v);
+                               },
+                               engine_kind_names());
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
@@ -168,10 +177,11 @@ int run(int argc, const char* const* argv) {
     return 0;
   }
 
-  std::printf("running %s on %s: %zu workers, %llu iterations, %s backend...\n",
+  std::printf("running %s on %s: %zu workers, %llu iterations, %s backend, "
+              "%s engine...\n",
               strategy_kind_name(job.strategy), w.name.c_str(), job.workers,
               static_cast<unsigned long long>(job.max_iterations),
-              backend_kind_name(job.backend));
+              backend_kind_name(job.backend), engine_kind_name(job.engine));
   const TrainResult result = run_training(job);
 
   std::printf("\n%-24s %llu\n", "iterations:",

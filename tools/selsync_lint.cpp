@@ -13,6 +13,14 @@
 //                  are confined to src/comm/: concurrency lives behind the
 //                  cluster / channel / barrier primitives so TSan's chaos
 //                  label actually covers every cross-thread edge.
+//   des-thread-free  The inverse confinement for the DES core
+//                  (src/comm/event_loop.*): no threads, locks, atomics or
+//                  <thread>/<mutex>/<atomic> includes at all, so the
+//                  virtual-time engine is deterministic by construction —
+//                  blocking goes through WaitSlot park/wake, never host
+//                  synchronization. (thread_local stays allowed: the
+//                  current() dispatch pointer is what isolates a DES run
+//                  from thread-engine runs elsewhere in the process.)
 //   enum-table     Every enumerator of an enum with an EnumEntry<E> name
 //                  table (util/enum_names.hpp) must appear in that table,
 //                  and the core serialized enums must have one. Catches
@@ -73,8 +81,8 @@ struct SourceFile {
   Waivers waivers;
 };
 
-const char* const kAllRules[] = {"rng", "raw-thread", "enum-table",
-                                 "sync-cost-json"};
+const char* const kAllRules[] = {"rng", "raw-thread", "des-thread-free",
+                                 "enum-table", "sync-cost-json"};
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -292,6 +300,38 @@ void check_raw_thread(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: des-thread-free
+// ---------------------------------------------------------------------------
+
+void check_des_thread_free(const SourceFile& file,
+                           std::vector<Violation>& violations) {
+  if (!has_prefix(file.rel_path, "src/comm/event_loop")) return;
+  const char* const kForbidden[] = {
+      "std::thread",
+      "std::jthread",
+      "std::mutex",
+      "std::timed_mutex",
+      "std::recursive_mutex",
+      "std::shared_mutex",
+      "std::condition_variable",
+      "std::condition_variable_any",
+      "std::atomic",
+      "std::this_thread",
+      "<thread>",
+      "<mutex>",
+      "<condition_variable>",
+      "<atomic>",
+  };
+  for (const char* token : kForbidden)
+    match_token(file, file.no_comments_strings, token, "des-thread-free",
+                std::string("'") + token +
+                    "' in the DES core: the event loop must stay "
+                    "thread-free by construction — block via WaitSlot "
+                    "park/wake, never host synchronization",
+                violations);
+}
+
+// ---------------------------------------------------------------------------
 // Rule: enum-table
 // ---------------------------------------------------------------------------
 
@@ -312,6 +352,7 @@ struct EnumTable {
 const char* const kRequiredTables[] = {
     "BackendKind",   "CompressionKind", "StrategyKind",    "ModelKind",
     "PartitionScheme", "AggregationMode", "FaultKind",     "Topology",
+    "EngineKind",
 };
 
 std::string next_ident(const std::string& text, size_t& at) {
@@ -507,7 +548,8 @@ int usage() {
       stderr,
       "usage: selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail] "
       "[files...]\n"
-      "rules: rng, raw-thread, enum-table, sync-cost-json (default: all)\n");
+      "rules: rng, raw-thread, des-thread-free, enum-table, sync-cost-json "
+      "(default: all)\n");
   return 2;
 }
 
@@ -570,6 +612,7 @@ int main(int argc, char** argv) {
   for (const SourceFile& file : files) {
     if (rules.count("rng")) check_rng(file, violations);
     if (rules.count("raw-thread")) check_raw_thread(file, violations);
+    if (rules.count("des-thread-free")) check_des_thread_free(file, violations);
     if (rules.count("sync-cost-json")) check_sync_cost_json(file, violations);
   }
   if (rules.count("enum-table")) check_enum_tables(files, violations);
