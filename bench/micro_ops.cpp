@@ -3,11 +3,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <span>
 #include <thread>
 
 #include "comm/collectives.hpp"
 #include "comm/event_loop.hpp"
 #include "comm/parameter_server.hpp"
+#include "comm/slice_schedule.hpp"
 #include "nn/models.hpp"
 #include "stats/grad_change.hpp"
 #include "stats/kde.hpp"
@@ -120,6 +122,49 @@ void BM_RingAllreduce(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RingAllreduce)->Arg(4)->Arg(8);
+
+// Building the per-layer priority partition is on the job-setup path (and
+// re-run by sweeps for every config); it must stay trivially cheap even at
+// ResNet101-scale layer counts.
+void BM_SliceSchedulePartition(benchmark::State& state) {
+  const size_t slices = static_cast<size_t>(state.range(0));
+  // A ResNet101-shaped layer list: 104 layers with growing channel counts.
+  std::vector<size_t> layers(104);
+  for (size_t i = 0; i < layers.size(); ++i) layers[i] = 1000 + 137 * i;
+  for (auto _ : state) {
+    SliceSchedule sched =
+        SliceSchedule::build(layers, slices, SliceScheduleKind::kOutputFirst);
+    benchmark::DoNotOptimize(sched.slices().data());
+  }
+  state.SetItemsProcessed(state.iterations() * layers.size());
+}
+BENCHMARK(BM_SliceSchedulePartition)->Arg(4)->Arg(16)->Arg(64);
+
+// The sliced data plane trades one big collective for `slices` smaller
+// ones; this prices the real ring transport's per-round overhead so the
+// schedule slicing stays honest about its constant costs.
+void BM_SlicedRingAllreduce(benchmark::State& state) {
+  const size_t slices = static_cast<size_t>(state.range(0));
+  const size_t workers = 4;
+  const size_t dim = 1 << 14;
+  RingAllreduce ring(workers);
+  const auto sched = SliceSchedule::build(
+      std::vector<size_t>(64, dim / 64), slices,
+      SliceScheduleKind::kOutputFirst);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] {
+        std::vector<float> data(dim, static_cast<float>(r));
+        for (const SyncSlice& s : sched.slices())
+          ring.run(r, std::span<float>(data.data() + s.offset, s.length));
+        benchmark::DoNotOptimize(data.data());
+      });
+    for (auto& t : threads) t.join();
+  }
+  state.SetBytesProcessed(state.iterations() * dim * sizeof(float));
+}
+BENCHMARK(BM_SlicedRingAllreduce)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_FlagAllgather(benchmark::State& state) {
   const size_t workers = 8;

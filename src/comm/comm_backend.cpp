@@ -68,9 +68,16 @@ double ps_retry_penalty(FaultInjector& faults, size_t rank, uint64_t it,
 
 CommBackend::CommBackend(const CompressionConfig& codec, size_t workers)
     : codec_(codec) {
-  if (has_codec())
+  if (has_codec()) {
     codecs_.assign(workers, GradientCompressor(codec));
+    // Per-(rank, slice) codec state for the sliced data plane: slices are
+    // recurring payloads exactly like ring chunks, so they get ChunkCodec
+    // error feedback keyed on the slice index.
+    slice_codec_ = std::make_unique<ChunkCodec>(codec, workers);
+  }
 }
+
+CommBackend::~CommBackend() = default;
 
 // Base gradient path: full-vector codec, then weight, then the dense data
 // plane — the exact operation order of the pre-fusion trainer, which the
@@ -89,6 +96,63 @@ double CommBackend::allreduce_encoded(WorkerContext& ctx,
   for (auto& g : grad) g *= weight;
   allreduce(ctx, grad, group, clock);
   return ratio;
+}
+
+double CommBackend::allreduce_sliced(WorkerContext& ctx,
+                                     std::vector<float>& data,
+                                     const SliceSchedule& sched,
+                                     const CommGroup& group, double& clock,
+                                     double delta, float weight,
+                                     bool encoded) {
+  if (sched.total_params() != data.size())
+    throw std::invalid_argument(
+        "CommBackend::allreduce_sliced: schedule/payload length mismatch");
+  if (sched.single_slice()) {
+    // Degenerate schedule = the pre-slicing step-end barrier, kept on the
+    // exact legacy code paths so golden records cannot drift.
+    if (encoded)
+      return allreduce_encoded(ctx, data, group, clock, delta, weight);
+    for (auto& v : data) v *= weight;
+    allreduce(ctx, data, group, clock);
+    return 1.0;
+  }
+  // Multi-slice rounds weight before encoding: slices hold partial sums of
+  // weighted contributions, like ring chunks (Top-k selection is
+  // scale-invariant, so the codec agrees with the legacy order).
+  for (auto& v : data) v *= weight;
+  const bool coded = encoded && has_codec();
+  if (coded) begin_sliced_round(ctx.rank, delta);
+  const std::vector<SyncSlice>& slices = sched.slices();
+  for (size_t i = 0; i < slices.size(); ++i) {
+    const SyncSlice& s = slices[i];
+    slice_round(ctx, std::span<float>(data.data() + s.offset, s.length),
+                s.offset, i, group, clock, coded);
+  }
+  return coded ? sliced_round_ratio(ctx.rank) : 1.0;
+}
+
+void CommBackend::begin_sliced_round(size_t rank, double delta) {
+  slice_codec_->begin_round(rank, delta);
+}
+
+void CommBackend::slice_round(WorkerContext& ctx, std::span<float> slice,
+                              size_t /*offset*/, size_t index,
+                              const CommGroup& group, double& clock,
+                              bool coded) {
+  if (coded) {
+    const size_t dense = slice.size() * sizeof(float);
+    const size_t wire = slice_codec_->transform(ctx.rank, index, slice);
+    slice_codec_->charge(ctx.rank, wire, dense);
+  }
+  // One dense collective round per slice; the shared-memory collectives
+  // work at any span length.
+  std::vector<float> tmp(slice.begin(), slice.end());
+  allreduce(ctx, tmp, group, clock);
+  std::copy(tmp.begin(), tmp.end(), slice.begin());
+}
+
+double CommBackend::sliced_round_ratio(size_t rank) {
+  return slice_codec_->round_ratio(rank);
 }
 
 // Control-plane defaults: every backend keeps the tiny latency-bound ops on
@@ -196,6 +260,7 @@ class RingBackend final : public CommBackend {
   RingBackend(size_t workers, FaultInjector* faults,
               const CompressionConfig& codec)
       : CommBackend(codec, workers),
+        workers_(workers),
         faults_(faults),
         ring_(workers, faults) {
     if (codec.kind != CompressionKind::kNone)
@@ -255,7 +320,29 @@ class RingBackend final : public CommBackend {
                : cost.ring_allreduce_time(wire_bytes, workers);
   }
 
+  /// Sliced rounds keep the per-chunk-hop codec: one coded ring pass per
+  /// slice, all sharing one begin_round so wire accounting and the adaptive
+  /// Top-k resolution cover the whole round.
+  void begin_sliced_round(size_t rank, double delta) override {
+    chunk_codec_->begin_round(rank, delta);
+  }
+
+  void slice_round(WorkerContext& ctx, std::span<float> slice,
+                   size_t /*offset*/, size_t index, const CommGroup&,
+                   double& clock, bool coded) override {
+    // The ring keys chunk residuals on chunk index [0, workers); rebase per
+    // slice so every slice keeps its own error-feedback state.
+    if (coded) chunk_codec_->set_slot_base(ctx.rank, index * workers_);
+    ring_.run(ctx.rank, slice, coded ? chunk_codec_.get() : nullptr);
+    if (faults_) clock += faults_->take_pending_delay(ctx.rank);
+  }
+
+  double sliced_round_ratio(size_t rank) override {
+    return chunk_codec_->round_ratio(rank);
+  }
+
  private:
+  size_t workers_;
   FaultInjector* faults_;
   RingAllreduce ring_;
   std::unique_ptr<ChunkCodec> chunk_codec_;
@@ -304,6 +391,24 @@ class TreeBackend final : public CommBackend {
   double transfer_time(const CostModel& cost, size_t wire_bytes,
                        size_t workers) const override {
     return cost.tree_allreduce_time(wire_bytes, workers);
+  }
+
+  void begin_sliced_round(size_t rank, double delta) override {
+    chunk_codec_->begin_round(rank, delta);
+  }
+
+  void slice_round(WorkerContext& ctx, std::span<float> slice,
+                   size_t /*offset*/, size_t index, const CommGroup&,
+                   double& clock, bool coded) override {
+    // The tree uses two codec slots per pass (own contribution + reduced
+    // vector); rebase per slice to keep slice residuals separate.
+    if (coded) chunk_codec_->set_slot_base(ctx.rank, index * 2);
+    tree_.run(ctx.rank, slice, coded ? chunk_codec_.get() : nullptr);
+    if (faults_) clock += faults_->take_pending_delay(ctx.rank);
+  }
+
+  double sliced_round_ratio(size_t rank) override {
+    return chunk_codec_->round_ratio(rank);
   }
 
  private:
@@ -372,6 +477,55 @@ class PsBackend final : public CommBackend {
   }
 
   size_t ingest_shards() const override { return ps_.shards(); }
+
+  /// One slice = one sub-range PsRound on every shard the slice intersects
+  /// (PsRoundConfig::values), so the store never re-shards per schedule.
+  /// Same non-blocking shape as the full-vector path: begin + contribute on
+  /// every intersection before awaiting any, overlapping the shard ingest
+  /// links. Each worker awaits a slice's shard rounds before starting the
+  /// next slice, which preserves PsRound's one-unawaited-round invariant on
+  /// shards that several slices touch.
+  void slice_round(WorkerContext& ctx, std::span<float> slice, size_t offset,
+                   size_t index, const CommGroup& group, double&,
+                   bool coded) override {
+    if (coded) {
+      // Compress the slice before its push RPCs, as the full-vector path
+      // compresses before the push.
+      const size_t dense = slice.size() * sizeof(float);
+      const size_t wire = slice_codec()->transform(ctx.rank, index, slice);
+      slice_codec()->charge(ctx.rank, wire, dense);
+    }
+    struct Intersection {
+      size_t shard;
+      size_t slice_pos;  // where the intersection starts inside `slice`
+      size_t length;
+      uint64_t ticket;
+    };
+    std::vector<Intersection> parts;
+    const size_t lo = offset, hi = offset + slice.size();
+    for (size_t k = 0; k < ps_.shards(); ++k) {
+      const auto range = ps_.shard_range(k);
+      const size_t begin = std::max(lo, range.offset);
+      const size_t end = std::min(hi, range.offset + range.length);
+      if (begin >= end) continue;
+      parts.push_back(Intersection{k, begin - lo, end - begin, 0});
+    }
+    for (Intersection& p : parts) {
+      PsRoundConfig round;
+      round.participants = group.size;
+      round.values = p.length;
+      p.ticket = ps_.shard(p.shard).round().begin(round);
+    }
+    for (const Intersection& p : parts)
+      ps_.shard(p.shard).round().contribute(
+          p.ticket, ctx.rank,
+          std::span<const float>(slice.data() + p.slice_pos, p.length));
+    for (const Intersection& p : parts) {
+      const std::vector<float> fold =
+          ps_.shard(p.shard).round().await(p.ticket);
+      std::copy(fold.begin(), fold.end(), slice.begin() + p.slice_pos);
+    }
+  }
 
  private:
   ShardedParameterServer ps_;

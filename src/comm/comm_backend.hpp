@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,10 +48,12 @@
 #include "comm/cluster.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/compression.hpp"
+#include "comm/slice_schedule.hpp"
 #include "util/enum_names.hpp"
 
 namespace selsync {
 
+class ChunkCodec;
 class FaultInjector;
 class ShardedParameterServer;
 
@@ -117,10 +120,24 @@ struct SyncCost {
   size_t ps_shards = 0;
   size_t max_shard_wire_bytes = 0;
   double max_ingest_s = 0.0;
+  /// The sliced data plane (DESIGN.md §12), when the round moved more than
+  /// one priority slice: how many slices the payload split into, the wire
+  /// bytes of the largest single slice (the burst one slice sync puts on
+  /// the links), and the transfer seconds the overlapped timeline hid
+  /// behind backward compute. All zero on single-slice (step-end barrier)
+  /// rounds, so the fields — JSON-gated like ps_shards — never perturb
+  /// golden records.
+  size_t slices = 0;
+  size_t max_slice_wire_bytes = 0;
+  double overlap_saved_s = 0.0;
 
   /// The aligned-clock charge of the round (what lands on every worker's
-  /// clock after allreduce_max): transfer plus codec compute.
-  double round_time() const { return transfer_s + (encode_s + decode_s); }
+  /// clock after allreduce_max): transfer plus codec compute, minus what
+  /// comm/compute overlap hid (overlap_saved_s is 0.0 on non-overlapped
+  /// rounds, leaving the legacy sum bit-exact).
+  double round_time() const {
+    return transfer_s + (encode_s + decode_s) - overlap_saved_s;
+  }
   /// Everything, including this rank's fault penalties (charged before
   /// clock alignment, so they drag the whole round — paper §II-A).
   double total_time() const { return round_time() + fault_penalty_s; }
@@ -148,6 +165,12 @@ struct SyncCostTotals {
   uint64_t ps_shards = 0;
   double max_shard_wire_bytes = 0.0;
   double max_ingest_s = 0.0;
+  /// Sliced data plane (zero unless a round ran sliced): the slice count
+  /// observed (max over rounds), the accumulated per-round largest-slice
+  /// wire bytes, and the accumulated transfer time hidden by overlap.
+  uint64_t slices = 0;
+  double max_slice_wire_bytes = 0.0;
+  double overlap_saved_s = 0.0;
 
   void add(const SyncCost& cost) {
     ++rounds;
@@ -160,12 +183,15 @@ struct SyncCostTotals {
     if (cost.ps_shards > ps_shards) ps_shards = cost.ps_shards;
     max_shard_wire_bytes += static_cast<double>(cost.max_shard_wire_bytes);
     max_ingest_s += cost.max_ingest_s;
+    if (cost.slices > slices) slices = cost.slices;
+    max_slice_wire_bytes += static_cast<double>(cost.max_slice_wire_bytes);
+    overlap_saved_s += cost.overlap_saved_s;
   }
 };
 
 class CommBackend {
  public:
-  virtual ~CommBackend() = default;
+  virtual ~CommBackend();  // out of line: owns a forward-declared ChunkCodec
 
   virtual BackendKind kind() const = 0;
   const char* name() const { return backend_kind_name(kind()); }
@@ -191,6 +217,26 @@ class CommBackend {
                                    std::vector<float>& grad,
                                    const CommGroup& group, double& clock,
                                    double delta, float weight);
+
+  /// Sliced data-plane driver (DESIGN.md §12): moves `data` — whose length
+  /// must equal `sched.total_params()` — slice by slice in the schedule's
+  /// priority order instead of as one step-end payload, weighting by
+  /// `weight` and (when `encoded` and a codec is configured) encoding each
+  /// slice with per-slice error feedback. Every rank must call with the
+  /// same schedule; each slice is one collective round, so the slices of a
+  /// round interleave across ranks exactly like consecutive allreduces.
+  /// Returns the round's achieved wire/dense ratio.
+  ///
+  /// A single-slice schedule takes the exact legacy code paths
+  /// (allreduce_encoded for gradients, weight-then-allreduce for
+  /// parameters), which is what keeps `--slices 1` byte-identical to the
+  /// pre-slicing pipeline. Multi-slice rounds weight *before* encoding
+  /// (ring chunk semantics — Top-k selection is scale-invariant, so the
+  /// codec agrees with the legacy order).
+  double allreduce_sliced(WorkerContext& ctx, std::vector<float>& data,
+                          const SliceSchedule& sched, const CommGroup& group,
+                          double& clock, double delta, float weight,
+                          bool encoded);
 
   /// ---- control plane (shared bus on every backend; see file comment) ----
   virtual std::vector<uint8_t> allgather_flags(WorkerContext& ctx,
@@ -251,9 +297,35 @@ class CommBackend {
   /// backends without one. Drives the SyncCost ps_shards/max-ingest fields.
   virtual size_t ingest_shards() const { return 0; }
 
+  /// ---- sliced data-plane hooks (called by allreduce_sliced) -------------
+  /// Opens a multi-slice codec round for `rank`. Only called when the round
+  /// is coded (encoded + codec configured). Base: the backend-owned slice
+  /// ChunkCodec; the chunked transports route to their own ChunkCodec so
+  /// wire accounting lands where their chunk hops charge it.
+  virtual void begin_sliced_round(size_t rank, double delta);
+
+  /// Moves one slice: `slice` spans [offset, offset+size) of the flat
+  /// payload, `index` is its position in the schedule's emission order
+  /// (the codec residual key). Base implementation: full-slice codec
+  /// transform + the backend's dense allreduce — correct for any backend
+  /// whose allreduce accepts arbitrary lengths; the chunked transports
+  /// override to encode per chunk-hop, the PS backend to run sub-range
+  /// shard rounds.
+  virtual void slice_round(WorkerContext& ctx, std::span<float> slice,
+                           size_t offset, size_t index, const CommGroup& group,
+                           double& clock, bool coded);
+
+  /// The coded round's accumulated wire/dense ratio for `rank`.
+  virtual double sliced_round_ratio(size_t rank);
+
+  /// The backend-owned per-(rank, slice) codec state the base hooks use
+  /// (null without a codec). Subclass hooks may share it.
+  ChunkCodec* slice_codec() { return slice_codec_.get(); }
+
  private:
   CompressionConfig codec_;
   std::vector<GradientCompressor> codecs_;  // one per rank
+  std::unique_ptr<ChunkCodec> slice_codec_;
 };
 
 /// Everything a backend needs at construction. `collectives` are reached

@@ -18,8 +18,13 @@ ChunkCodec::ChunkCodec(const CompressionConfig& config, size_t workers)
 void ChunkCodec::begin_round(size_t rank, double delta) {
   RankState& state = ranks_.at(rank);
   state.effective = effective_compression(config_, delta);
+  state.slot_base = 0;
   state.wire = 0;
   state.dense = 0;
+}
+
+void ChunkCodec::set_slot_base(size_t rank, size_t base) {
+  ranks_.at(rank).slot_base = base;
 }
 
 size_t ChunkCodec::transform(size_t rank, size_t slot,
@@ -29,7 +34,8 @@ size_t ChunkCodec::transform(size_t rank, size_t slot,
   // ever toggles it per round, residual wiring must follow the codec that
   // actually runs, not the base config.
   std::vector<float>* residual =
-      state.effective.error_feedback ? &state.residuals[slot] : nullptr;
+      state.effective.error_feedback ? &state.residuals[state.slot_base + slot]
+                                     : nullptr;
   return codec_transform(state.effective, chunk, residual);
 }
 

@@ -35,8 +35,16 @@ class ChunkCodec {
   ChunkCodec(const CompressionConfig& config, size_t workers);
 
   /// Starts a synchronization round for `rank`: resolves the adaptive Top-k
-  /// fraction against the rank's current Δ(g) and resets its wire account.
+  /// fraction against the rank's current Δ(g) and resets its wire account
+  /// (and the slot base back to 0).
   void begin_round(size_t rank, double delta);
+
+  /// Offsets every subsequent transform() slot for `rank` by `base`. The
+  /// sliced data plane reuses one transport round per slice, so the same
+  /// protocol slots recur with different payloads; rebasing per slice keys
+  /// each slice's error-feedback residuals separately instead of mixing
+  /// residuals across slices that happen to share a protocol slot.
+  void set_slot_base(size_t rank, size_t base);
 
   /// Encode->decode `chunk` in place with error feedback keyed on
   /// (rank, slot). Returns the encoded wire size in bytes. Does not charge —
@@ -58,6 +66,8 @@ class ChunkCodec {
     CompressionConfig effective;
     /// slot -> error-feedback residual for that recurring payload.
     std::map<size_t, std::vector<float>> residuals;
+    /// Added to every transform() slot (see set_slot_base).
+    size_t slot_base = 0;
     size_t wire = 0;
     size_t dense = 0;
   };

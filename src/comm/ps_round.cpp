@@ -15,13 +15,16 @@ PsRound::PsRound(size_t dim, size_t workers) : dim_(dim), workers_(workers) {
 uint64_t PsRound::begin(const PsRoundConfig& config) {
   if (config.participants == 0 || config.participants > workers_)
     throw std::invalid_argument("PsRound::begin: bad participant count");
+  if (config.values > dim_)
+    throw std::invalid_argument("PsRound::begin: values exceeds dim");
   std::lock_guard<std::mutex> lock(mutex_);
   if (aborted_) throw BarrierAborted();
   if (begun_ == 0) {
     config_ = config;
   } else if (config_.participants != config.participants ||
              config_.order != config.order ||
-             config_.average != config.average) {
+             config_.average != config.average ||
+             config_.values != config.values) {
     throw std::logic_error("PsRound::begin: inconsistent round config");
   }
   if (++begun_ > config_.participants)
@@ -37,29 +40,31 @@ void PsRound::contribute(uint64_t ticket, size_t rank,
     throw std::logic_error("PsRound::contribute: stale ticket");
   if (arrived_ >= begun_)
     throw std::logic_error("PsRound::contribute: contribution without begin");
-  if (data.size() != dim_)
+  // config_.values = 0 means the server's full dim (PsRoundConfig).
+  const size_t round_dim = config_.values != 0 ? config_.values : dim_;
+  if (data.size() != round_dim)
     throw std::invalid_argument("PsRound::contribute: dim mismatch");
 
   if (config_.order == PsRoundOrder::kRanked) {
     if (rank >= workers_)
       throw std::invalid_argument("PsRound::contribute: bad rank");
     // Rank-slotted: absent ranks contribute exactly zero.
-    if (arrived_ == 0) buffer_.assign(dim_ * workers_, 0.f);
-    std::copy(data.begin(), data.end(), buffer_.begin() + rank * dim_);
+    if (arrived_ == 0) buffer_.assign(round_dim * workers_, 0.f);
+    std::copy(data.begin(), data.end(), buffer_.begin() + rank * round_dim);
   } else {
     // Arrival order: fold in lock order as contributions land.
-    if (arrived_ == 0) buffer_.assign(dim_, 0.f);
-    for (size_t i = 0; i < dim_; ++i) buffer_[i] += data[i];
+    if (arrived_ == 0) buffer_.assign(round_dim, 0.f);
+    for (size_t i = 0; i < round_dim; ++i) buffer_[i] += data[i];
   }
 
   if (++arrived_ < config_.participants) return;
 
   // Last arrival: fold and publish.
   if (config_.order == PsRoundOrder::kRanked) {
-    result_.resize(dim_);
-    for (size_t i = 0; i < dim_; ++i) {
+    result_.resize(round_dim);
+    for (size_t i = 0; i < round_dim; ++i) {
       float acc = 0.f;
-      for (size_t w = 0; w < workers_; ++w) acc += buffer_[w * dim_ + i];
+      for (size_t w = 0; w < workers_; ++w) acc += buffer_[w * round_dim + i];
       result_[i] = acc;
     }
   } else {

@@ -50,6 +50,11 @@ struct PsRoundConfig {
   PsRoundOrder order = PsRoundOrder::kRanked;
   /// Publish the mean instead of the sum.
   bool average = false;
+  /// Floats this round carries; 0 (the default) means the server's full
+  /// dim(). The sliced data plane runs sub-range rounds — a slice's
+  /// intersection with the shard — without re-sharding the store; must be
+  /// in [0, dim()]. Part of the round config every joiner must match.
+  size_t values = 0;
 };
 
 /// One aggregation-round state machine (one lock, one condition variable).

@@ -1,0 +1,93 @@
+#include "comm/slice_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace selsync {
+
+const char* slice_schedule_kind_name(SliceScheduleKind kind) {
+  return enum_name(kSliceScheduleKindNames, kind);
+}
+
+std::optional<SliceScheduleKind> slice_schedule_kind_from_name(
+    std::string_view name) {
+  return enum_from_name(kSliceScheduleKindNames, name);
+}
+
+std::string slice_schedule_kind_names() {
+  return enum_names(kSliceScheduleKindNames);
+}
+
+SliceSchedule SliceSchedule::single(size_t total_params) {
+  if (total_params == 0)
+    throw std::invalid_argument("SliceSchedule: model has no parameters");
+  SliceSchedule sched;
+  sched.total_ = total_params;
+  sched.slices_.push_back(SyncSlice{0, total_params, 1.0});
+  return sched;
+}
+
+SliceSchedule SliceSchedule::build(const std::vector<size_t>& layer_sizes,
+                                   size_t slices, SliceScheduleKind kind) {
+  if (slices == 0)
+    throw std::invalid_argument("SliceSchedule: slice count must be >= 1");
+  size_t total = 0;
+  size_t layers = 0;
+  for (size_t size : layer_sizes) {
+    total += size;
+    layers += size > 0 ? 1 : 0;  // zero-size entries can't carry a slice
+  }
+  if (total == 0)
+    throw std::invalid_argument("SliceSchedule: model has no parameters");
+
+  SliceSchedule sched;
+  sched.total_ = total;
+  sched.kind_ = kind;
+
+  // Greedy layer-aligned partition balanced by parameter volume: walk layers
+  // in flat-vector order and close group g once the cumulative volume crosses
+  // the ideal boundary (g+1) * total / groups. Never splits a layer, so with
+  // more groups than (non-empty) layers the count saturates at the layer
+  // count. Pure integer arithmetic -> the same partition on every rank and
+  // both engines.
+  const size_t groups = std::min(std::max<size_t>(slices, 1), layers);
+  size_t offset = 0;       // running flat offset of the next unassigned layer
+  size_t group_start = 0;  // flat offset where the open group began
+  size_t emitted = 0;
+  size_t remaining = layers;  // non-empty layers not yet consumed
+  for (size_t size : layer_sizes) {
+    offset += size;
+    if (size == 0) continue;
+    --remaining;
+    // Close the open group when its volume crosses the ideal boundary
+    // (emitted+1) * total / groups — but never strand a later group without
+    // a layer (must_close), and always close the final group on the last
+    // non-empty layer.
+    const size_t boundary = (emitted + 1) * total / groups;
+    const bool must_close = remaining == groups - emitted - 1;
+    if (remaining == 0 ||
+        (emitted + 1 < groups && (offset >= boundary || must_close))) {
+      sched.slices_.push_back(SyncSlice{group_start, offset - group_start,
+                                        0.0});
+      group_start = offset;
+      ++emitted;
+    }
+  }
+
+  // Readiness from the partition geometry: backward sweeps from the tail of
+  // the flat vector, so a slice starting at offset o is fully ready after
+  // (total - o) / total of the backward pass.
+  for (SyncSlice& s : sched.slices_) {
+    s.ready_fraction =
+        static_cast<double>(total - s.offset) / static_cast<double>(total);
+  }
+
+  // Emission order: kOutputFirst syncs the highest offsets (output layers,
+  // smallest ready_fraction) first — P3 priority order; kInputFirst is the
+  // build order already (ascending offsets).
+  if (kind == SliceScheduleKind::kOutputFirst)
+    std::reverse(sched.slices_.begin(), sched.slices_.end());
+  return sched;
+}
+
+}  // namespace selsync

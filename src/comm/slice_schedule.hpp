@@ -1,0 +1,98 @@
+// The per-layer priority slice schedule of the sliced data plane
+// (DESIGN.md §12).
+//
+// P3 (Priority-based Parameter Propagation, PAPERS.md) observes that a
+// model's gradient does not become ready all at once: backward sweeps from
+// the output layer toward the input, so the output layers' gradients exist
+// while most of the backward pass is still running. Slicing the flat
+// parameter vector into layer-aligned priority slices and synchronizing
+// them output-first lets communication start as soon as the first segment
+// is ready, hiding transfer time behind the remaining compute.
+//
+// SliceSchedule is the static description of that partition for one model:
+// contiguous [offset, length) ranges of the flat parameter/gradient vector,
+// each annotated with the fraction of the backward pass completed when its
+// gradient segment is fully ready, emitted in the order the data plane
+// should move them. It is pure arithmetic over layer sizes — no tensors, no
+// comm state — so the worker loop builds one from the executed model's
+// layer shapes and the benches build them from paper-scale profiles.
+//
+// Conventions, fixed so every consumer agrees:
+//  * The flat vector is laid out input-layer-first (nn::Model::params()
+//    order), so the *output* layers live at the tail (highest offsets).
+//  * Backward readiness: the slice [o, o+len) is fully ready once backward
+//    has swept down to offset o, i.e. after (total - o) / total of the
+//    backward work (backward cost is taken proportional to parameter
+//    volume). ready_fraction depends only on the offsets, never on the
+//    emission order.
+//  * kOutputFirst emits descending offsets (P3 priority = readiness order);
+//    kInputFirst emits ascending offsets — the anti-priority baseline whose
+//    first slice is only ready when backward finishes, so overlap saves
+//    nothing. Keeping both makes the priority claim testable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/enum_names.hpp"
+
+namespace selsync {
+
+/// Emission order of the slices (see file comment). Serialized into run
+/// records as TrainJob::slice_order when slices > 1.
+enum class SliceScheduleKind { kOutputFirst, kInputFirst };
+
+/// Canonical --slice-order spellings; selsync_lint (enum-table) keeps this
+/// table in lockstep with the enumerator list above.
+inline constexpr EnumEntry<SliceScheduleKind> kSliceScheduleKindNames[] = {
+    {SliceScheduleKind::kOutputFirst, "output-first"},
+    {SliceScheduleKind::kInputFirst, "input-first"},
+};
+
+const char* slice_schedule_kind_name(SliceScheduleKind kind);
+
+/// "output-first" | "input-first" -> kind; nullopt for anything else.
+std::optional<SliceScheduleKind> slice_schedule_kind_from_name(
+    std::string_view name);
+
+/// The accepted --slice-order spellings, for CLI help and error messages.
+std::string slice_schedule_kind_names();
+
+/// One priority slice: a contiguous range of the flat parameter vector and
+/// the fraction of the backward pass completed when its gradient is ready.
+struct SyncSlice {
+  size_t offset = 0;
+  size_t length = 0;
+  double ready_fraction = 1.0;
+};
+
+class SliceSchedule {
+ public:
+  /// The degenerate one-slice schedule: the whole payload, ready only when
+  /// backward finishes — exactly the pre-slicing step-end barrier.
+  static SliceSchedule single(size_t total_params);
+
+  /// Partitions `layer_sizes` (flat-vector order, input layer first) into at
+  /// most `slices` contiguous layer-aligned groups balanced by parameter
+  /// volume, emitted in `kind` priority order. The slice count saturates at
+  /// the layer count — slices never split a layer, so error-feedback
+  /// residuals and PS shard ranges stay aligned with whole tensors.
+  static SliceSchedule build(const std::vector<size_t>& layer_sizes,
+                             size_t slices, SliceScheduleKind kind);
+
+  const std::vector<SyncSlice>& slices() const { return slices_; }
+  size_t size() const { return slices_.size(); }
+  size_t total_params() const { return total_; }
+  bool single_slice() const { return slices_.size() <= 1; }
+  SliceScheduleKind kind() const { return kind_; }
+
+ private:
+  std::vector<SyncSlice> slices_;
+  size_t total_ = 0;
+  SliceScheduleKind kind_ = SliceScheduleKind::kOutputFirst;
+};
+
+}  // namespace selsync

@@ -16,16 +16,48 @@ void validate_backend_choice(const TrainJob& job) {
         backend_kind_name(job.backend) +
         "' backend has no central store and the strategy is not SSP — use "
         "--backend ps (or --strategy ssp), or drop --ps-shards");
+  const bool gradient_payload =
+      job.strategy == StrategyKind::kBsp ||
+      (job.strategy == StrategyKind::kSelSync &&
+       job.selsync.aggregation == AggregationMode::kGradients);
+  if (job.slices == 0)
+    throw std::invalid_argument(
+        "TrainJob: slices must be >= 1 (1 is the unsliced step-end barrier)");
+  if (job.slices > 1 && job.strategy == StrategyKind::kEasgd)
+    throw std::invalid_argument(
+        "TrainJob: slices > 1 slices the aggregation payload, but EASGD's "
+        "elastic center exchange is not a payload allreduce — drop --slices "
+        "or pick another strategy");
+  if (job.slices > 1 && job.strategy == StrategyKind::kSsp)
+    throw std::invalid_argument(
+        "TrainJob: slices > 1 slices synchronous aggregation rounds, but SSP "
+        "has none (asynchronous push/pull only) — drop --slices or pick a "
+        "synchronous strategy");
+  if (job.overlap) {
+    if (job.slices <= 1)
+      throw std::invalid_argument(
+          "TrainJob: overlap hides slice communication behind backward "
+          "compute, but a single-slice payload is only ready when backward "
+          "finishes — raise --slices above 1 or drop --overlap");
+    if (!gradient_payload)
+      throw std::invalid_argument(
+          std::string("TrainJob: overlap needs gradient payloads — ") +
+          strategy_kind_name(job.strategy) +
+          (job.strategy == StrategyKind::kSelSync
+               ? " is configured for parameter aggregation, and parameters "
+                 "only exist after the optimizer step, when backward compute "
+                 "is already over — set --aggregation ga or drop --overlap"
+               : " moves parameter/elastic payloads, which only exist after "
+                 "the optimizer step, when backward compute is already over "
+                 "— use BSP or SelSync with --aggregation ga, or drop "
+                 "--overlap"));
+  }
   if (job.compression.kind != CompressionKind::kNone) {
     // The codec is fused into the backend's *gradient* data plane
     // (allreduce_encoded); strategies whose payloads are parameters or
     // elastic differences would silently ship dense, so reject the combo
     // instead of ignoring the flag (paper §II-D: parameters compress
     // poorly via pruning).
-    const bool gradient_payload =
-        job.strategy == StrategyKind::kBsp ||
-        (job.strategy == StrategyKind::kSelSync &&
-         job.selsync.aggregation == AggregationMode::kGradients);
     if (!gradient_payload)
       throw std::invalid_argument(
           std::string("TrainJob: compression applies to gradient-aggregation "

@@ -165,6 +165,22 @@ struct TrainJob {
   /// cost model. Meaningful only with the ps backend or SSP (which always
   /// runs against the PS tier); validate() rejects K > 1 elsewhere.
   size_t ps_shards = 1;
+  /// Sliced data plane (DESIGN.md §12): how many per-layer priority slices
+  /// a synchronization round splits the payload into. 1 — the default —
+  /// is the pre-slicing step-end barrier, byte-identical to the golden
+  /// records; > 1 moves and prices the payload slice by slice in
+  /// slice_order.
+  size_t slices = 1;
+  /// Overlap backward compute with slice communication (P3): each slice
+  /// flies as soon as its gradient segment is ready, and the time model
+  /// prices the hidden transfer into SyncCost::overlap_saved_s. Needs
+  /// slices > 1 and a gradient-payload aggregation; validate() rejects the
+  /// rest with pointed messages.
+  bool overlap = false;
+  /// Slice emission order: output-first is P3's priority order (slices fly
+  /// in gradient-readiness order, which is what overlap can hide); input-
+  /// first is the anti-priority baseline the benches contrast against.
+  SliceScheduleKind slice_order = SliceScheduleKind::kOutputFirst;
 
   /// Early stopping: stop once worker 0's evaluation reaches the target
   /// (accuracy >= target_top1, or perplexity <= target_perplexity).

@@ -25,6 +25,13 @@ JsonValue job_to_json(const TrainJob& job) {
   // only the job half of a record says when the DES engine produced it.
   if (job.engine != EngineKind::kThreads)
     j.set("engine", engine_kind_name(job.engine));
+  // Sliced data plane: the single-slice default predates the knobs and the
+  // golden records must stay byte-identical, so emit only when sliced.
+  if (job.slices > 1) {
+    j.set("slices", static_cast<double>(job.slices));
+    j.set("slice_order", slice_schedule_kind_name(job.slice_order));
+    if (job.overlap) j.set("overlap", true);
+  }
   j.set("paper_model", job.paper_model.name);
   j.set("network", job.network.name);
 
@@ -127,6 +134,13 @@ JsonValue result_to_json(const TrainResult& result) {
       sc.set("ps_shards", static_cast<double>(s.ps_shards));
       sc.set("max_shard_wire_bytes", s.max_shard_wire_bytes);
       sc.set("max_ingest_s", s.max_ingest_s);
+    }
+    if (s.slices > 1) {
+      // Sliced data plane (same gate rule as ps_shards: single-slice runs
+      // predate the knob and must serialize identically).
+      sc.set("slices", static_cast<double>(s.slices));
+      sc.set("max_slice_wire_bytes", s.max_slice_wire_bytes);
+      sc.set("overlap_saved_s", s.overlap_saved_s);
     }
     j.set("sync_cost", std::move(sc));
   }

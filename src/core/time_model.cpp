@@ -18,22 +18,8 @@ double StepTimeModel::compute_time(size_t batch) const {
   return compute_time_s(model_, device_, static_cast<double>(batch));
 }
 
-double StepTimeModel::sync_time() const {
-  return sync_time_for_bytes(payload_bytes());
-}
-
-double StepTimeModel::sync_time_for_bytes(size_t wire_bytes) const {
-  const double transfer =
-      topology_ == Topology::kParameterServer
-          ? cost_.ps_sync_time(wire_bytes, workers_)
-          : cost_.ring_allreduce_time(wire_bytes, workers_);
-  // Codec cost when the payload was shrunk: compress + decompress over the
-  // full dense gradient at ~4 GB/s effective (GraVAC-range overhead).
-  const double codec =
-      wire_bytes < payload_bytes()
-          ? static_cast<double>(payload_bytes()) / 4e9
-          : 0.0;
-  return transfer + codec;
+double StepTimeModel::backward_time(size_t batch) const {
+  return (2.0 / 3.0) * compute_time(batch);
 }
 
 void StepTimeModel::price_sync(SyncCost& cost, const CommBackend& backend,
@@ -41,6 +27,49 @@ void StepTimeModel::price_sync(SyncCost& cost, const CommBackend& backend,
   const double fault_penalty = cost.fault_penalty_s;
   cost = backend.sync_cost(cost_, payload_bytes(), workers_, wire_ratio);
   cost.fault_penalty_s = fault_penalty;
+}
+
+void StepTimeModel::price_sync(SyncCost& cost, const CommBackend& backend,
+                               const SliceSchedule& sched, bool overlap,
+                               double backward_s, double wire_ratio) const {
+  if (sched.single_slice() && !overlap) {
+    // The step-end barrier, priced on the legacy path bit-exactly.
+    price_sync(cost, backend, wire_ratio);
+    return;
+  }
+  const double fault_penalty = cost.fault_penalty_s;
+  // Codec compute and whole-round byte totals price exactly as the barrier
+  // round: slicing changes the transfer schedule, not the codec work or
+  // the bytes moved.
+  cost = backend.sync_cost(cost_, payload_bytes(), workers_, wire_ratio);
+  cost.fault_penalty_s = fault_penalty;
+  cost.slices = sched.size();
+
+  // Walk the slices in emission order. `finish` tracks the comm timeline
+  // relative to backward start: slice i cannot fly before its gradient
+  // segment is ready (ready_fraction of backward_s — or all of it with
+  // overlap off) nor before the previous slice's transfer finished.
+  const double total = static_cast<double>(sched.total_params());
+  double transfer_sum = 0.0;
+  double finish = 0.0;
+  size_t max_slice_wire = 0;
+  for (const SyncSlice& s : sched.slices()) {
+    const double frac = static_cast<double>(s.length) / total;
+    const size_t dense =
+        static_cast<size_t>(static_cast<double>(payload_bytes()) * frac);
+    const SyncCost sc = backend.sync_cost(cost_, dense, workers_, wire_ratio);
+    transfer_sum += sc.transfer_s;
+    max_slice_wire = std::max(max_slice_wire, sc.wire_bytes);
+    const double ready = overlap ? s.ready_fraction * backward_s : backward_s;
+    finish = std::max(finish, ready) + sc.transfer_s;
+  }
+  cost.transfer_s = transfer_sum;
+  cost.max_slice_wire_bytes = max_slice_wire;
+  // What overlap hid: the visible post-backward comm is finish - backward_s;
+  // the non-overlapped timeline would expose the whole transfer_sum. Since
+  // every ready time is <= backward_s, finish <= backward_s + transfer_sum,
+  // so the saving is never negative.
+  if (overlap) cost.overlap_saved_s = transfer_sum - (finish - backward_s);
 }
 
 double StepTimeModel::flag_time() const {

@@ -23,14 +23,11 @@ class StepTimeModel {
   /// Forward + backward on `batch` samples.
   double compute_time(size_t batch) const;
 
-  /// One full synchronization round (PS push+pull or an allreduce,
-  /// depending on the topology).
-  double sync_time() const;
-
-  /// Synchronization round with an explicit wire payload (compressed
-  /// gradients), plus the codec's own compute cost (compression is not
-  /// zero-cost, §II-D).
-  double sync_time_for_bytes(size_t wire_bytes) const;
+  /// The backward-pass share of compute_time: the profiles charge
+  /// forward + backward as 3x the forward FLOPs (nn/paper_profiles.hpp),
+  /// so backward is 2/3 of the step. This is the window the sliced data
+  /// plane can hide communication inside.
+  double backward_time(size_t batch) const;
 
   /// Prices one synchronization round on the CommBackend carrying the
   /// payload: fills `cost`'s transfer / codec / byte fields from
@@ -38,6 +35,21 @@ class StepTimeModel {
   /// `wire_ratio`, preserving whatever fault penalty the caller already
   /// accrued into it.
   void price_sync(SyncCost& cost, const CommBackend& backend,
+                  double wire_ratio = 1.0) const;
+
+  /// Prices one *sliced* synchronization round (DESIGN.md §12). Each slice
+  /// is its own round on the backend's schedule — per-round latency and
+  /// op-overhead terms are paid per slice, which is the real cost of
+  /// slicing — and with `overlap` the timeline composes per slice as
+  /// max(backward-ready time, previous comm finish) + slice transfer
+  /// instead of summing comm after compute. The hidden seconds land in
+  /// cost.overlap_saved_s (0 with overlap off), the per-slice transfer sum
+  /// in cost.transfer_s, and the largest slice's wire bytes in
+  /// cost.max_slice_wire_bytes. `backward_s` is the caller's backward-pass
+  /// duration (its straggler-scaled backward_time()). A single-slice
+  /// non-overlapped schedule delegates to the legacy overload, bit-exactly.
+  void price_sync(SyncCost& cost, const CommBackend& backend,
+                  const SliceSchedule& sched, bool overlap, double backward_s,
                   double wire_ratio = 1.0) const;
 
   /// SelSync's per-step 1-bit flag allgather.

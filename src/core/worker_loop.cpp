@@ -106,6 +106,17 @@ SynchronousWorkerLoop::SynchronousWorkerLoop(
       group_(full_group_) {
   if (is_root() && job.ema_decay > 0.0)
     ema_ = std::make_unique<EmaTracker>(job.ema_decay);
+  if (job.slices <= 1) {
+    slices_ = SliceSchedule::single(model_->param_count());
+  } else {
+    // Slice the replica's actual layer shapes (flat-vector packing order,
+    // input layer first); every rank builds the identical schedule.
+    std::vector<size_t> layer_sizes;
+    layer_sizes.reserve(model_->params().size());
+    for (const Param* p : model_->params())
+      layer_sizes.push_back(p->value.size());
+    slices_ = SliceSchedule::build(layer_sizes, job.slices, job.slice_order);
+  }
 }
 
 WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
@@ -317,25 +328,30 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       }
       coll.barrier(group_);
     } else if (agg_ == AggregationMode::kGradients) {
-      // Gradient payloads ride the backend's encoded data plane: the
-      // backend applies its fused codec (per chunk-hop on ring/tree, full
-      // vector on shared/ps — §II-D baselines), aggregates, and reports the
-      // achieved wire ratio. Everyone applies the same averaged update
-      // (local models may still drift through optimizer state, §III-C).
-      wire_ratio = backend_.allreduce_encoded(ctx_, grads_, group_, sim_time_,
-                                              delta_, weight);
+      // Gradient payloads ride the backend's (possibly sliced) encoded data
+      // plane: the backend applies its fused codec (per chunk-hop on
+      // ring/tree, full vector on shared/ps — §II-D baselines), aggregates
+      // slice by slice in priority order, and reports the achieved wire
+      // ratio. Everyone applies the same averaged update (local models may
+      // still drift through optimizer state, §III-C).
+      wire_ratio = backend_.allreduce_sliced(ctx_, grads_, slices_, group_,
+                                             sim_time_, delta_, weight,
+                                             /*encoded=*/true);
       model_->set_flat_grads(grads_);
       optimizer_->step(model_->params(), it_, epoch_);
     } else {
       // Alg. 1: local update first (line 9), then parameter averaging
-      // (lines 14-15) makes all replicas consistent.
+      // (lines 14-15) makes all replicas consistent; the slice driver
+      // applies the contribution weight.
       optimizer_->step(model_->params(), it_, epoch_);
       std::vector<float> params = model_->get_flat_params();
-      for (auto& p : params) p *= weight;
-      backend_.allreduce(ctx_, params, group_, sim_time_);
+      backend_.allreduce_sliced(ctx_, params, slices_, group_, sim_time_,
+                                delta_, weight, /*encoded=*/false);
       model_->set_flat_params(params);
     }
-    time_.price_sync(cost, backend_, wire_ratio);
+    time_.price_sync(cost, backend_, slices_, job_.overlap,
+                     compute_factor_ * time_.backward_time(job_.batch_size),
+                     wire_ratio);
     sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
                 cost.round_time();
     comm_bytes_ += 2.0 * static_cast<double>(cost.wire_bytes);

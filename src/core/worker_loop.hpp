@@ -205,6 +205,11 @@ class SynchronousWorkerLoop final : public WorkerLoop {
   double compute_factor_ = 1.0;
   std::vector<float> grads_;
   double delta_ = 0.0;
+  /// The per-layer priority slice partition of this worker's aggregation
+  /// payload (DESIGN.md §12), built once from the replica's layer shapes;
+  /// the single-slice schedule at --slices 1 is the legacy step-end
+  /// barrier, bit-exactly.
+  SliceSchedule slices_;
 
   // Worker-0 instrumentation, moved into `shared_` at the end.
   std::unique_ptr<EmaTracker> ema_;

@@ -1,0 +1,177 @@
+#include "comm/slice_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace selsync {
+namespace {
+
+size_t covered(const SliceSchedule& sched) {
+  size_t sum = 0;
+  for (const SyncSlice& s : sched.slices()) sum += s.length;
+  return sum;
+}
+
+/// Slices must tile [0, total) exactly once when replayed in ascending
+/// offset order, whatever order the schedule emits them in.
+void expect_exact_cover(const SliceSchedule& sched, size_t total) {
+  std::vector<SyncSlice> sorted(sched.slices().begin(), sched.slices().end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SyncSlice& a, const SyncSlice& b) {
+              return a.offset < b.offset;
+            });
+  size_t next = 0;
+  for (const SyncSlice& s : sorted) {
+    EXPECT_EQ(s.offset, next);
+    EXPECT_GT(s.length, 0u);
+    next = s.offset + s.length;
+  }
+  EXPECT_EQ(next, total);
+  EXPECT_EQ(sched.total_params(), total);
+}
+
+TEST(SliceSchedule, SingleCoversWholePayload) {
+  const auto sched = SliceSchedule::single(640);
+  EXPECT_TRUE(sched.single_slice());
+  EXPECT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched.slices()[0].offset, 0u);
+  EXPECT_EQ(sched.slices()[0].length, 640u);
+  EXPECT_EQ(sched.slices()[0].ready_fraction, 1.0);
+  expect_exact_cover(sched, 640);
+}
+
+TEST(SliceSchedule, BuildRespectsLayerBoundaries) {
+  // Layers are atomic: every slice boundary must land on a prefix sum of
+  // the layer sizes.
+  const std::vector<size_t> layers = {100, 300, 50, 250, 300};
+  const auto sched =
+      SliceSchedule::build(layers, 3, SliceScheduleKind::kOutputFirst);
+  EXPECT_EQ(sched.size(), 3u);
+  expect_exact_cover(sched, 1000);
+  std::vector<size_t> prefixes;
+  size_t acc = 0;
+  for (size_t l : layers) prefixes.push_back(acc += l);
+  for (const SyncSlice& s : sched.slices()) {
+    const size_t end = s.offset + s.length;
+    EXPECT_TRUE(std::find(prefixes.begin(), prefixes.end(), end) !=
+                prefixes.end())
+        << "slice end " << end << " splits a layer";
+  }
+}
+
+TEST(SliceSchedule, BuildBalancesVolume) {
+  // 64 equal layers into 4 slices: the greedy volume targets give an even
+  // 16-layer split.
+  const auto sched = SliceSchedule::build(std::vector<size_t>(64, 10), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  ASSERT_EQ(sched.size(), 4u);
+  for (const SyncSlice& s : sched.slices()) EXPECT_EQ(s.length, 160u);
+  expect_exact_cover(sched, 640);
+}
+
+TEST(SliceSchedule, SaturatesAtLayerCount) {
+  // More slices than layers degrades to one slice per layer, never an
+  // empty slice.
+  const std::vector<size_t> layers = {5, 7, 9};
+  const auto sched =
+      SliceSchedule::build(layers, 16, SliceScheduleKind::kOutputFirst);
+  EXPECT_EQ(sched.size(), 3u);
+  expect_exact_cover(sched, 21);
+}
+
+TEST(SliceSchedule, SkipsEmptyLayers) {
+  const std::vector<size_t> layers = {0, 8, 0, 0, 8, 0};
+  const auto sched =
+      SliceSchedule::build(layers, 4, SliceScheduleKind::kOutputFirst);
+  EXPECT_EQ(sched.size(), 2u);
+  expect_exact_cover(sched, 16);
+}
+
+TEST(SliceSchedule, EveryGroupGetsALayerEvenWhenVolumeIsSkewed) {
+  // One huge input layer swallows the volume budget; the tail layers must
+  // still be spread across the remaining groups rather than collapsed
+  // into one.
+  const std::vector<size_t> layers = {1000, 1, 1, 1};
+  const auto sched =
+      SliceSchedule::build(layers, 3, SliceScheduleKind::kOutputFirst);
+  EXPECT_EQ(sched.size(), 3u);
+  expect_exact_cover(sched, 1003);
+}
+
+TEST(SliceSchedule, OutputFirstEmitsTailFirstWithRisingReadiness) {
+  // P3 order: the first emitted slice is the output end of the flat vector
+  // (highest offset, earliest-ready fraction); readiness is monotone in
+  // emission order and hits 1.0 on the input-end slice.
+  const auto sched = SliceSchedule::build(std::vector<size_t>(8, 100), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  ASSERT_EQ(sched.size(), 4u);
+  const auto& s = sched.slices();
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_GT(s[i].offset, s[i + 1].offset);
+    EXPECT_LT(s[i].ready_fraction, s[i + 1].ready_fraction);
+  }
+  EXPECT_EQ(s.front().ready_fraction, 0.25);
+  EXPECT_EQ(s.back().offset, 0u);
+  EXPECT_EQ(s.back().ready_fraction, 1.0);
+}
+
+TEST(SliceSchedule, InputFirstEmitsInAscendingOffsetOrder) {
+  const auto sched = SliceSchedule::build(std::vector<size_t>(8, 100), 4,
+                                          SliceScheduleKind::kInputFirst);
+  ASSERT_EQ(sched.size(), 4u);
+  const auto& s = sched.slices();
+  for (size_t i = 0; i + 1 < s.size(); ++i)
+    EXPECT_LT(s[i].offset, s[i + 1].offset);
+  // The input-end slice is only ready once backward has swept everything.
+  EXPECT_EQ(s.front().offset, 0u);
+  EXPECT_EQ(s.front().ready_fraction, 1.0);
+}
+
+TEST(SliceSchedule, ReadyFractionMatchesBackwardSweep) {
+  // ready_fraction of a slice at offset o is (total - o) / total: backward
+  // sweeps output->input, i.e. the flat tail is produced first.
+  const auto sched = SliceSchedule::build(std::vector<size_t>(4, 250), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  for (const SyncSlice& s : sched.slices()) {
+    EXPECT_DOUBLE_EQ(
+        s.ready_fraction,
+        static_cast<double>(1000 - s.offset) / 1000.0);
+  }
+}
+
+TEST(SliceSchedule, RejectsDegenerateInputs) {
+  EXPECT_THROW(SliceSchedule::single(0), std::invalid_argument);
+  EXPECT_THROW(SliceSchedule::build({1, 2, 3}, 0,
+                                    SliceScheduleKind::kOutputFirst),
+               std::invalid_argument);
+  EXPECT_THROW(SliceSchedule::build({}, 2, SliceScheduleKind::kOutputFirst),
+               std::invalid_argument);
+  EXPECT_THROW(SliceSchedule::build({0, 0}, 2,
+                                    SliceScheduleKind::kOutputFirst),
+               std::invalid_argument);
+}
+
+TEST(SliceSchedule, DefaultConstructedIsEmptySingle) {
+  const SliceSchedule sched;
+  EXPECT_TRUE(sched.single_slice());
+  EXPECT_EQ(sched.size(), 0u);
+  EXPECT_EQ(covered(sched), 0u);
+}
+
+TEST(SliceScheduleKind, NamesRoundTrip) {
+  EXPECT_STREQ(slice_schedule_kind_name(SliceScheduleKind::kOutputFirst),
+               "output-first");
+  EXPECT_STREQ(slice_schedule_kind_name(SliceScheduleKind::kInputFirst),
+               "input-first");
+  EXPECT_EQ(slice_schedule_kind_from_name("output-first"),
+            SliceScheduleKind::kOutputFirst);
+  EXPECT_EQ(slice_schedule_kind_from_name("input-first"),
+            SliceScheduleKind::kInputFirst);
+  EXPECT_FALSE(slice_schedule_kind_from_name("sideways").has_value());
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,100 @@
+// The sliced data plane's golden drift gate (ISSUE 7): --slices 1
+// --overlap off IS the pre-slicing step-end barrier, so pinning it
+// explicitly on every golden config must reproduce the seed records byte
+// for byte, and none of the slice fields may leak into run-record JSON at
+// the defaults — the gates mirror the ps_shards precedent exactly.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/run_record.hpp"
+#include "core/trainer.hpp"
+#include "tests/golden/golden_configs.hpp"
+
+namespace selsync {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open golden record " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class SliceGoldenGate : public ::testing::TestWithParam<golden::GoldenConfig> {
+};
+
+TEST_P(SliceGoldenGate, ExplicitSingleSliceMatchesSeedRecordByteForByte) {
+  golden::GoldenConfig cfg = GetParam();
+  // Spell the defaults out the way the CLI flags would: this is the claim
+  // that the sliced pipeline's off position is the legacy barrier.
+  cfg.job.slices = 1;
+  cfg.job.overlap = false;
+  cfg.job.slice_order = SliceScheduleKind::kOutputFirst;
+  const std::string expected = read_file(
+      std::string(SELSYNC_SOURCE_DIR) + "/tests/golden/records/" + cfg.name +
+      ".json");
+  ASSERT_FALSE(expected.empty()) << cfg.name;
+  const TrainResult result = run_training(cfg.job);
+  EXPECT_EQ(golden::canonical_result_json(result), expected)
+      << cfg.name << ": --slices 1 --overlap off drifted from the seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SliceGoldenGate,
+                         ::testing::ValuesIn(golden::golden_grid()),
+                         [](const auto& param_info) {
+                           return param_info.param.name;
+                         });
+
+TEST(SliceGoldenGate, SliceFieldsAbsentFromJobJsonAtDefaults) {
+  const TrainJob job = testing::small_class_job(StrategyKind::kBsp, 40);
+  const JsonValue j = job_to_json(job);
+  EXPECT_FALSE(j.contains("slices"));
+  EXPECT_FALSE(j.contains("slice_order"));
+  EXPECT_FALSE(j.contains("overlap"));
+}
+
+TEST(SliceGoldenGate, SliceFieldsPresentOnlyWhenSliced) {
+  TrainJob job = testing::small_class_job(StrategyKind::kBsp, 40);
+  job.slices = 4;
+  JsonValue j = job_to_json(job);
+  EXPECT_TRUE(j.contains("slices"));
+  EXPECT_TRUE(j.contains("slice_order"));
+  // overlap gets its own gate: absent until actually enabled.
+  EXPECT_FALSE(j.contains("overlap"));
+  job.overlap = true;
+  j = job_to_json(job);
+  EXPECT_TRUE(j.contains("overlap"));
+}
+
+TEST(SliceGoldenGate, SliceFieldsAbsentFromSyncCostJsonAtDefaults) {
+  TrainJob job = testing::small_class_job(StrategyKind::kBsp, 30);
+  job.record_sync_cost = true;
+  const TrainResult result = run_training(job);
+  const JsonValue j = result_to_json(result);
+  ASSERT_TRUE(j.contains("sync_cost"));
+  const JsonValue& sc = j.at("sync_cost");
+  EXPECT_FALSE(sc.contains("slices"));
+  EXPECT_FALSE(sc.contains("max_slice_wire_bytes"));
+  EXPECT_FALSE(sc.contains("overlap_saved_s"));
+}
+
+TEST(SliceGoldenGate, SyncCostJsonCarriesSliceFieldsWhenSliced) {
+  TrainJob job = testing::small_class_job(StrategyKind::kBsp, 30);
+  job.record_sync_cost = true;
+  job.slices = 4;
+  job.overlap = true;
+  const TrainResult result = run_training(job);
+  const JsonValue j = result_to_json(result);
+  ASSERT_TRUE(j.contains("sync_cost"));
+  const JsonValue& sc = j.at("sync_cost");
+  EXPECT_TRUE(sc.contains("slices"));
+  EXPECT_TRUE(sc.contains("max_slice_wire_bytes"));
+  EXPECT_TRUE(sc.contains("overlap_saved_s"));
+}
+
+}  // namespace
+}  // namespace selsync

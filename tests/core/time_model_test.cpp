@@ -2,12 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/slice_schedule.hpp"
+
 namespace selsync {
 namespace {
+
+constexpr size_t kWorkers = 16;
 
 StepTimeModel model_for(const PaperModelProfile& m, Topology topo,
                         size_t workers) {
   return StepTimeModel(m, device_v100(), paper_network_5gbps(), topo, workers);
+}
+
+/// The step-end barrier's transfer time on `topo`'s schedule — what the
+/// retired StepTimeModel::sync_time() returned for a dense payload.
+double barrier_sync_time(const StepTimeModel& tm, Topology topo) {
+  return topo == Topology::kParameterServer
+             ? tm.cost_model().ps_sync_time(tm.payload_bytes(), kWorkers)
+             : tm.cost_model().ring_allreduce_time(tm.payload_bytes(),
+                                                   kWorkers);
+}
+
+std::unique_ptr<CommBackend> shared_backend(Topology topo) {
+  CommBackendConfig config;
+  config.kind = BackendKind::kSharedMemory;
+  config.workers = kWorkers;
+  config.topology = topo;
+  return make_comm_backend(config);
 }
 
 TEST(StepTimeModel, ComputeGrowsWithBatch) {
@@ -15,23 +36,32 @@ TEST(StepTimeModel, ComputeGrowsWithBatch) {
   EXPECT_GT(tm.compute_time(128), tm.compute_time(32));
 }
 
+TEST(StepTimeModel, BackwardIsTwoThirdsOfCompute) {
+  // The profiles charge forward + backward as 3x the forward FLOPs, so the
+  // overlap window is exactly 2/3 of the step.
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
+  EXPECT_DOUBLE_EQ(tm.backward_time(32), (2.0 / 3.0) * tm.compute_time(32));
+}
+
 TEST(StepTimeModel, SyncDominatesComputeForBigModels) {
   // The premise of the whole paper: t_s >> t_c for communication-heavy
   // models on a 5 Gbps network.
   const auto tm = model_for(paper_vgg11(), Topology::kParameterServer, 16);
-  EXPECT_GT(tm.sync_time(), 5.0 * tm.compute_time(32));
+  EXPECT_GT(barrier_sync_time(tm, Topology::kParameterServer),
+            5.0 * tm.compute_time(32));
 }
 
 TEST(StepTimeModel, FlagExchangeIsCheap) {
   const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
   EXPECT_LT(tm.flag_time(), 0.01);
-  EXPECT_LT(tm.flag_time() * 10, tm.sync_time());
+  EXPECT_LT(tm.flag_time() * 10,
+            barrier_sync_time(tm, Topology::kParameterServer));
 }
 
 TEST(StepTimeModel, RingTopologyCheaperAtScale) {
-  const auto ps = model_for(paper_vgg11(), Topology::kParameterServer, 16);
-  const auto ring = model_for(paper_vgg11(), Topology::kRingAllreduce, 16);
-  EXPECT_LT(ring.sync_time(), ps.sync_time());
+  const auto tm = model_for(paper_vgg11(), Topology::kParameterServer, 16);
+  EXPECT_LT(barrier_sync_time(tm, Topology::kRingAllreduce),
+            barrier_sync_time(tm, Topology::kParameterServer));
 }
 
 TEST(StepTimeModel, PayloadBytesIsParamBytes) {
@@ -43,13 +73,96 @@ TEST(StepTimeModel, PayloadBytesIsParamBytes) {
 TEST(StepTimeModel, SspCommIsPartiallyHidden) {
   // Visible SSP comm cost must be below the blocking PS round trip.
   const auto tm = model_for(paper_alexnet(), Topology::kParameterServer, 16);
-  EXPECT_LT(tm.ssp_step_comm_time(128), tm.sync_time());
+  EXPECT_LT(tm.ssp_step_comm_time(128),
+            barrier_sync_time(tm, Topology::kParameterServer));
 }
 
 TEST(StepTimeModel, InjectionCostTiny) {
   const auto tm = model_for(paper_resnet101(), Topology::kParameterServer, 16);
   // 132 KB of CIFAR images (paper example) is sub-millisecond.
   EXPECT_LT(tm.injection_time(132 * 1024), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Sliced / overlapped pricing (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+TEST(StepTimeModel, SingleSliceNoOverlapDelegatesToLegacyPricing) {
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer,
+                            kWorkers);
+  const auto backend = shared_backend(Topology::kParameterServer);
+  SyncCost legacy;
+  legacy.fault_penalty_s = 0.25;
+  tm.price_sync(legacy, *backend);
+
+  SyncCost sliced;
+  sliced.fault_penalty_s = 0.25;
+  tm.price_sync(sliced, *backend, SliceSchedule::single(1000),
+                /*overlap=*/false, tm.backward_time(32));
+  EXPECT_EQ(legacy.transfer_s, sliced.transfer_s);
+  EXPECT_EQ(legacy.wire_bytes, sliced.wire_bytes);
+  EXPECT_EQ(legacy.fault_penalty_s, sliced.fault_penalty_s);
+  EXPECT_EQ(sliced.slices, 0u);
+  EXPECT_EQ(sliced.overlap_saved_s, 0.0);
+  EXPECT_EQ(legacy.round_time(), sliced.round_time());
+}
+
+TEST(StepTimeModel, SlicingCostsPerRoundOverheadWithoutOverlap) {
+  // Each slice pays the per-round latency/overhead terms, so a sliced but
+  // non-overlapped round is strictly more expensive than the barrier.
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer,
+                            kWorkers);
+  const auto backend = shared_backend(Topology::kParameterServer);
+  SyncCost barrier;
+  tm.price_sync(barrier, *backend);
+  const auto sched = SliceSchedule::build(std::vector<size_t>(8, 1000), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  SyncCost sliced;
+  tm.price_sync(sliced, *backend, sched, /*overlap=*/false,
+                tm.backward_time(32));
+  EXPECT_EQ(sliced.slices, 4u);
+  EXPECT_GT(sliced.transfer_s, barrier.transfer_s);
+  EXPECT_EQ(sliced.overlap_saved_s, 0.0);
+  EXPECT_GT(sliced.max_slice_wire_bytes, 0u);
+  EXPECT_LT(sliced.max_slice_wire_bytes, sliced.wire_bytes);
+}
+
+TEST(StepTimeModel, OverlapHidesTransferBehindBackward) {
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer,
+                            kWorkers);
+  const auto backend = shared_backend(Topology::kParameterServer);
+  const auto sched = SliceSchedule::build(std::vector<size_t>(8, 1000), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  const double backward = tm.backward_time(32);
+  SyncCost plain, overlapped;
+  tm.price_sync(plain, *backend, sched, /*overlap=*/false, backward);
+  tm.price_sync(overlapped, *backend, sched, /*overlap=*/true, backward);
+  // Output-first slices start flying before backward ends: something is
+  // hidden, the saving never exceeds the transfer itself, and the visible
+  // round time shrinks by exactly the saving.
+  EXPECT_GT(overlapped.overlap_saved_s, 0.0);
+  EXPECT_LE(overlapped.overlap_saved_s, overlapped.transfer_s);
+  EXPECT_EQ(overlapped.transfer_s, plain.transfer_s);
+  EXPECT_LT(overlapped.round_time(), plain.round_time());
+}
+
+TEST(StepTimeModel, InputFirstOrderSavesNothing) {
+  // The anti-priority baseline: the first emitted slice is only ready when
+  // backward finishes, so every later slice queues behind it and nothing
+  // can be hidden.
+  const auto tm = model_for(paper_resnet101(), Topology::kParameterServer,
+                            kWorkers);
+  const auto backend = shared_backend(Topology::kParameterServer);
+  const auto out = SliceSchedule::build(std::vector<size_t>(8, 1000), 4,
+                                        SliceScheduleKind::kOutputFirst);
+  const auto in = SliceSchedule::build(std::vector<size_t>(8, 1000), 4,
+                                       SliceScheduleKind::kInputFirst);
+  const double backward = tm.backward_time(32);
+  SyncCost priority, anti;
+  tm.price_sync(priority, *backend, out, /*overlap=*/true, backward);
+  tm.price_sync(anti, *backend, in, /*overlap=*/true, backward);
+  EXPECT_NEAR(anti.overlap_saved_s, 0.0, 1e-12);
+  EXPECT_GT(priority.overlap_saved_s, anti.overlap_saved_s);
 }
 
 }  // namespace

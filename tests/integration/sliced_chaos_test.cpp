@@ -1,0 +1,124 @@
+// Chaos coverage for the sliced data plane (--slices > 1): a worker dying
+// mid-step must release waiters parked on *every* pending slice round — a
+// partial abort would strand a peer that already reduced the early
+// (output-end) slices and is parked on a later one — and full training
+// runs with slices + overlap must survive the same crash/park/rejoin and
+// message-fault plans the unsliced barrier does. Runs under the `chaos`
+// CTest label, so tools/ci.sh --chaos / --analyze exercise the sliced
+// configuration under TSan and ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/comm_backend.hpp"
+#include "comm/parameter_server.hpp"
+#include "comm/slice_schedule.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+#include "tests/golden/golden_configs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+TEST(SlicedChaos, CrashMidSliceReleasesWaitersOnEveryPendingSlice) {
+  // Survivors enter the sliced driver and park inside the first slice's
+  // collective (rank 1 never arrives); the abort must unwind them out of
+  // the whole multi-slice round, not just the slice they are parked on.
+  constexpr size_t kN = 4, kDim = 16;
+  CommBackendConfig config;
+  config.kind = BackendKind::kSharedMemory;
+  config.workers = kN;
+  auto backend = make_comm_backend(config);
+  const CommGroup full = CommGroup::full(kN);
+  const auto sched = SliceSchedule::build(std::vector<size_t>(4, kDim / 4), 4,
+                                          SliceScheduleKind::kOutputFirst);
+  try {
+    run_cluster(
+        kN,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 1) throw std::runtime_error("boom");
+          std::vector<float> data(kDim, 1.f);
+          double clock = 0.0;
+          backend->allreduce_sliced(ctx, data, sched, full, clock,
+                                    /*delta=*/0.0, /*weight=*/1.0f,
+                                    /*encoded=*/false);
+        },
+        [&] { backend->abort(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(SlicedChaos, CrashMidSliceTearsDownEveryShardRoundOnPs) {
+  // The PS transport splits each slice across the shard ranges it
+  // intersects; a crash must abort the rounds of every shard with a slice
+  // contribution pending, on every slice.
+  constexpr size_t kN = 4, kDim = 16;
+  CommBackendConfig config;
+  config.kind = BackendKind::kParameterServer;
+  config.workers = kN;
+  config.ps_shards = 2;
+  config.initial_params.assign(kDim, 0.f);
+  auto backend = make_comm_backend(config);
+  const CommGroup full = CommGroup::full(kN);
+  // Two slices, each straddling the shard boundary at kDim / 2.
+  const auto sched = SliceSchedule::build({3, 7, 2, 4}, 2,
+                                          SliceScheduleKind::kOutputFirst);
+  try {
+    run_cluster(
+        kN,
+        [&](WorkerContext& ctx) {
+          if (ctx.rank == 2) throw std::runtime_error("boom");
+          std::vector<float> data(kDim, 1.f);
+          double clock = 0.0;
+          backend->allreduce_sliced(ctx, data, sched, full, clock,
+                                    /*delta=*/0.0, /*weight=*/1.0f,
+                                    /*encoded=*/false);
+        },
+        [&] { backend->abort(); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  ASSERT_NE(backend->central_store(), nullptr);
+  EXPECT_TRUE(backend->central_store()->aborted());
+  for (size_t k = 0; k < 2; ++k)
+    EXPECT_TRUE(backend->central_store()->shard(k).round().aborted())
+        << "shard " << k;
+}
+
+TEST(SlicedChaos, SlicedOverlapSurvivesCrashParkRejoin) {
+  // The full pipeline under the golden crash plan: crash, park, recovery
+  // sync, rejoin — all with four overlapped slices in flight each round.
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.faults = golden::golden_fault_plan();
+  job.slices = 4;
+  job.overlap = true;
+  job.validate();
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 40u);
+  EXPECT_FALSE(r.diverged);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 1u);
+}
+
+TEST(SlicedChaos, SlicedOverlapSurvivesMessageFaultsOnRing) {
+  // Ring message faults (drops/delays) now land inside individual slice
+  // rounds instead of one barrier round.
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.backend = BackendKind::kRing;
+  job.faults = golden::golden_message_plan();
+  job.slices = 3;
+  job.overlap = true;
+  job.validate();
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 40u);
+  EXPECT_FALSE(r.diverged);
+}
+
+}  // namespace
+}  // namespace selsync

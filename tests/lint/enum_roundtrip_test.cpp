@@ -13,6 +13,7 @@
 #include "comm/cost_model.hpp"
 #include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
+#include "comm/slice_schedule.hpp"
 #include "core/config.hpp"
 #include "data/partition.hpp"
 #include "nn/models.hpp"
@@ -79,6 +80,10 @@ TEST(EnumRoundTrip, FaultKind) { ExpectTableRoundTrips(kFaultKindNames); }
 
 TEST(EnumRoundTrip, Topology) { ExpectTableRoundTrips(kTopologyNames); }
 
+TEST(EnumRoundTrip, SliceScheduleKind) {
+  ExpectTableRoundTrips(kSliceScheduleKindNames);
+}
+
 // The golden run records pin these exact serialized spellings; a renamed
 // table entry must fail here before it reaches the parity grid.
 TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {
@@ -88,6 +93,11 @@ TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {
   EXPECT_STREQ(topology_name(Topology::kRingAllreduce), "ring-allreduce");
   EXPECT_STREQ(aggregation_mode_name(AggregationMode::kParameters), "PA");
   EXPECT_STREQ(aggregation_mode_name(AggregationMode::kGradients), "GA");
+  // Sliced run records (slices > 1) serialize the emission order by name.
+  EXPECT_STREQ(slice_schedule_kind_name(SliceScheduleKind::kOutputFirst),
+               "output-first");
+  EXPECT_STREQ(slice_schedule_kind_name(SliceScheduleKind::kInputFirst),
+               "input-first");
 }
 
 // The CLI parse glue advertises the accepted set on a typo.

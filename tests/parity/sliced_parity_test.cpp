@@ -1,0 +1,117 @@
+// Thread-vs-DES bit-identity for the sliced data plane (ISSUE 7): both
+// engines must drive the identical per-slice protocol — same slice
+// emission order, same per-slice collective rounds, same codec slot
+// rebasing — so every sliced/overlapped configuration reproduces bit for
+// bit across engines, exactly like the unsliced matrix in
+// engine_parity_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/parity/parity_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using parity::ParityCase;
+using parity::crash_rejoin_plan;
+using parity::sized_job;
+
+std::vector<ParityCase> sliced_matrix() {
+  std::vector<ParityCase> cases;
+  auto add = [&](std::string name, TrainJob job) {
+    cases.push_back({std::move(name), std::move(job)});
+  };
+
+  // Gradient payloads (BSP) sliced + overlapped on every transport: the
+  // slice rounds ride the per-backend collectives, so each backend's
+  // blocking structure is exercised under both engines.
+  for (BackendKind backend :
+       {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree,
+        BackendKind::kParameterServer}) {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.backend = backend;
+    job.slices = 4;
+    job.overlap = true;
+    add(std::string("bsp_sliced_overlap_") + backend_kind_name(backend) +
+            "_n4",
+        job);
+  }
+
+  // Slicing without overlap, and the anti-priority emission order.
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.slices = 3;
+    add("bsp_sliced_nooverlap_shared_n4", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.slices = 4;
+    job.overlap = true;
+    job.slice_order = SliceScheduleKind::kInputFirst;
+    add("bsp_sliced_inputfirst_shared_n4", job);
+  }
+
+  // Codec slice rounds: Top-k error feedback keyed per (rank, slice slot),
+  // on the base-class codec path (shared), the ring's chunk-slot rebasing,
+  // and the tree's two-slot rebasing.
+  for (BackendKind backend :
+       {BackendKind::kSharedMemory, BackendKind::kRing, BackendKind::kTree}) {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    job.compression.kind = CompressionKind::kTopK;
+    job.compression.topk_fraction = 0.25;
+    job.backend = backend;
+    job.slices = 2;
+    job.overlap = true;
+    add(std::string("selsync_ga_topk_sliced_") + backend_kind_name(backend) +
+            "_n4",
+        job);
+  }
+
+  // Parameter payloads sliced (overlap stays off: parameters only exist
+  // after the optimizer step, there is no backward to hide behind).
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.slices = 4;
+    add("selsync_pa_sliced_shared_n4", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kFedAvg, 4, 24);
+    job.fedavg = {0.5, 0.25};
+    job.backend = BackendKind::kRing;
+    job.slices = 4;
+    add("fedavg_pa_sliced_ring_n4", job);
+  }
+
+  // Crash/park/rejoin mid-run with slices in flight: recovery syncs and
+  // group reshapes must replay identically under fibers.
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 30);
+    job.faults = crash_rejoin_plan(4);
+    job.slices = 4;
+    job.overlap = true;
+    add("bsp_sliced_crash_rejoin_shared_n4", job);
+  }
+
+  return cases;
+}
+
+class SlicedEngineParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(SlicedEngineParity, DesMatchesThreadsBitForBit) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const ParityCase& c = GetParam();
+  parity::expect_engine_parity(c.job, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SlicedEngineParity,
+                         ::testing::ValuesIn(sliced_matrix()),
+                         [](const auto& param_info) {
+                           return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace selsync

@@ -17,8 +17,10 @@
 #
 # The optional parity stage re-runs the `parity` label on the tier-1 build:
 # thread-vs-DES bit-identity across the backend/strategy/codec matrix, the
-# DES determinism fuzz grid, and the DES re-run of the 12 golden records
-# (DESIGN.md §11). It runs on the plain build on purpose — the DES engine is
+# DES determinism fuzz grid, the DES re-run of the 12 golden records
+# (DESIGN.md §11), and the sliced-data-plane matrix (--slices/--overlap on
+# every transport, incl. crash/rejoin with slices in flight — DESIGN.md
+# §12). It runs on the plain build on purpose — the DES engine is
 # fiber-based and refuses to start under ThreadSanitizer, so the sanitizer
 # legs below stay pinned to the thread engine, where the real locks live.
 #
@@ -27,9 +29,12 @@
 # cross-thread teardown, channel aborts and PS waits. That label now also
 # covers the compressed-transport chaos matrix (ring/tree allreduce with a
 # Top-k codec fused into the data plane, over lossy links), so TSan sees the
-# codec's per-(rank, slot) state being driven from worker threads. The stage
-# finishes with the golden-drift gate: the `golden` label re-runs the
-# 12-config parity grid under TSan and fails on any byte drift in the
+# codec's per-(rank, slot) state being driven from worker threads, and the
+# sliced-overlap chaos cases (a crash mid-slice must release waiters on
+# every pending slice round, mirroring the sharded-PS partial-abort cases).
+# The stage finishes with the golden-drift gate: the `golden` label re-runs
+# the 12-config parity grid under TSan — now also with --slices 1
+# --overlap off pinned explicitly — and fails on any byte drift in the
 # checked-in run records.
 #
 # The analyze stage (DESIGN.md §9) runs three legs:

@@ -65,6 +65,18 @@ int run(int argc, const char* const* argv) {
                   "cluster execution engine: threads | des (virtual-time "
                   "discrete-event, bit-identical, scales to N=1024)",
                   "threads");
+  args.add_option("slices",
+                  "per-layer priority slices per synchronization round "
+                  "(1 = the unsliced step-end barrier)",
+                  "1");
+  args.add_option("overlap",
+                  "overlap backward compute with slice communication "
+                  "(P3-style; needs --slices > 1): on | off",
+                  "off");
+  args.add_option("slice-order",
+                  "slice emission order: output-first (P3 priority) | "
+                  "input-first (anti-priority baseline)",
+                  "output-first");
   args.add_option("workers", "cluster size", "16");
   args.add_option("iterations", "per-worker step budget", "500");
   args.add_option("eval-interval", "steps between test evaluations", "50");
@@ -125,6 +137,18 @@ int run(int argc, const char* const* argv) {
                                  return engine_kind_from_name(v);
                                },
                                engine_kind_names());
+  job.slices = static_cast<size_t>(args.get_int("slices"));
+  const std::string overlap_flag = args.get("overlap");
+  if (overlap_flag != "on" && overlap_flag != "off")
+    throw std::invalid_argument("--overlap: unknown value '" + overlap_flag +
+                                "' (expected on, off)");
+  job.overlap = overlap_flag == "on";
+  job.slice_order =
+      parse_enum_flag("slice-order", args.get("slice-order"),
+                      [](const std::string& v) {
+                        return slice_schedule_kind_from_name(v);
+                      },
+                      slice_schedule_kind_names());
   job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
   job.seed = static_cast<uint64_t>(args.get_int("seed"));
   job.selsync.delta = args.get_double("delta");
@@ -214,6 +238,14 @@ int run(int argc, const char* const* argv) {
                 "reduction)\n",
                 "", s.wire_bytes / gb, s.dense_bytes / gb,
                 s.wire_bytes > 0.0 ? s.dense_bytes / s.wire_bytes : 1.0);
+    if (s.slices > 1)
+      std::printf("%-24s %llu priority slices per round, %.1f s transfer "
+                  "hidden behind backward (%.0f%%)\n",
+                  "", static_cast<unsigned long long>(s.slices),
+                  s.overlap_saved_s,
+                  s.transfer_s > 0.0
+                      ? 100.0 * s.overlap_saved_s / s.transfer_s
+                      : 0.0);
   }
   std::printf("%-24s %.2f s\n", "wall time:", result.wall_time_s);
   if (result.reached_target) std::printf("stopped early: target reached\n");

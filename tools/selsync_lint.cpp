@@ -352,7 +352,7 @@ struct EnumTable {
 const char* const kRequiredTables[] = {
     "BackendKind",   "CompressionKind", "StrategyKind",    "ModelKind",
     "PartitionScheme", "AggregationMode", "FaultKind",     "Topology",
-    "EngineKind",
+    "EngineKind",    "SliceScheduleKind",
 };
 
 std::string next_ident(const std::string& text, size_t& at) {
