@@ -21,6 +21,18 @@ std::optional<BackendKind> backend_kind_from_name(std::string_view name) {
 
 std::string backend_kind_names() { return enum_names(kBackendKindNames); }
 
+const char* transport_kind_name(TransportKind kind) {
+  return enum_name(kTransportKindNames, kind);
+}
+
+std::optional<TransportKind> transport_kind_from_name(std::string_view name) {
+  return enum_from_name(kTransportKindNames, name);
+}
+
+std::string transport_kind_names() {
+  return enum_names(kTransportKindNames);
+}
+
 double message_leg_penalty(FaultInjector& faults, size_t rank, uint64_t it) {
   const MessageFaultConfig& m = faults.plan().messages;
   if (!m.any()) return 0.0;

@@ -81,6 +81,31 @@ std::optional<BackendKind> backend_kind_from_name(std::string_view name);
 /// The accepted --backend spellings, for CLI help and error messages.
 std::string backend_kind_names();
 
+/// Which carrier moves a run's replica payloads (DESIGN.md §13). kInproc is
+/// the simulated cluster: every rank is a thread/fiber of one process and
+/// payloads move through memory. kTcp forks one worker *process* per rank
+/// and moves every replica payload (gradients, parameters, checkpoint
+/// verbs) over real loopback TCP in WireFormat frames — training dynamics
+/// stay bit-identical (the socket tier re-runs the golden grid to prove
+/// it), while SyncCost picks up measured wall-clock for cost-model
+/// calibration.
+enum class TransportKind { kInproc, kTcp };
+
+/// Canonical --transport spellings; selsync_lint (enum-table) keeps this
+/// table in lockstep with the enumerator list above.
+inline constexpr EnumEntry<TransportKind> kTransportKindNames[] = {
+    {TransportKind::kInproc, "inproc"},
+    {TransportKind::kTcp, "tcp"},
+};
+
+const char* transport_kind_name(TransportKind kind);
+
+/// "inproc" | "tcp" -> kind; nullopt for anything else.
+std::optional<TransportKind> transport_kind_from_name(std::string_view name);
+
+/// The accepted --transport spellings, for CLI help and error messages.
+std::string transport_kind_names();
+
 /// Simulated-time penalty for the two message legs (push + pull) of one PS
 /// interaction on a shared-bus transport; channel transports inject their
 /// faults per chunk instead. Drops cost the sender the retransmit timeout,
@@ -130,6 +155,15 @@ struct SyncCost {
   size_t slices = 0;
   size_t max_slice_wire_bytes = 0;
   double overlap_saved_s = 0.0;
+  /// Measured reality (DESIGN.md §13), when the round's payloads rode the
+  /// tcp transport: host wall-clock seconds the round's replica I/O took
+  /// and the WireFormat frame bytes that actually crossed the loopback
+  /// wire. Both zero on the inproc transport, and deliberately OUTSIDE
+  /// round_time()/total_time() — the simulated clock stays a pure function
+  /// of the job; these fields exist to calibrate the CostModel against a
+  /// real wire (EXPERIMENTS.md has the recipe).
+  double measured_sync_s = 0.0;
+  size_t measured_wire_bytes = 0;
 
   /// The aligned-clock charge of the round (what lands on every worker's
   /// clock after allreduce_max): transfer plus codec compute, minus what
@@ -171,6 +205,11 @@ struct SyncCostTotals {
   uint64_t slices = 0;
   double max_slice_wire_bytes = 0.0;
   double overlap_saved_s = 0.0;
+  /// Measured tcp-transport reality (zero on inproc runs): accumulated host
+  /// wall-clock seconds of replica I/O and accumulated frame bytes on the
+  /// loopback wire.
+  double measured_sync_s = 0.0;
+  double measured_wire_bytes = 0.0;
 
   void add(const SyncCost& cost) {
     ++rounds;
@@ -186,6 +225,8 @@ struct SyncCostTotals {
     if (cost.slices > slices) slices = cost.slices;
     max_slice_wire_bytes += static_cast<double>(cost.max_slice_wire_bytes);
     overlap_saved_s += cost.overlap_saved_s;
+    measured_sync_s += cost.measured_sync_s;
+    measured_wire_bytes += static_cast<double>(cost.measured_wire_bytes);
   }
 };
 
@@ -333,6 +374,13 @@ class CommBackend {
 /// cluster threads exist.
 struct CommBackendConfig {
   BackendKind kind = BackendKind::kSharedMemory;
+  /// Which carrier the run's replica payloads ride (TrainJob::transport).
+  /// The backend's protocol machinery itself always runs in the master
+  /// process — under kTcp the payloads it aggregates arrive from and
+  /// return to out-of-process replicas over the socket tier, so the field
+  /// is carried here for observability and validation, not branched on by
+  /// the protocol code.
+  TransportKind transport = TransportKind::kInproc;
   size_t workers = 1;
   /// Which topology the shared-memory backend's cost/fault accounting
   /// stands in for (the seed's TrainJob::topology semantics).

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "comm/wire_format.hpp"
+
 namespace selsync {
 
 const char* compression_kind_name(CompressionKind kind) {
@@ -37,24 +39,11 @@ GradientCompressor::GradientCompressor(CompressionConfig config)
 
 size_t GradientCompressor::wire_bytes(const CompressionConfig& config,
                                       size_t values) {
-  if (values == 0) return 0;  // nothing to ship, whatever the codec
-  switch (config.kind) {
-    case CompressionKind::kNone:
-      return values * sizeof(float);
-    case CompressionKind::kTopK: {
-      const auto k = static_cast<size_t>(
-          std::ceil(config.topk_fraction * static_cast<double>(values)));
-      // At least one entry always ships (a tiny gradient cannot round the
-      // payload down to nothing), and never more than the gradient holds.
-      return std::clamp<size_t>(k, 1, values) *
-             (sizeof(float) + sizeof(uint32_t));
-    }
-    case CompressionKind::kSignSgd:
-      return (values + 7) / 8 + sizeof(float);  // whole bytes on the wire
-    case CompressionKind::kQuant8:
-      return values + 2 * sizeof(float);
-  }
-  return values * sizeof(float);
+  // The layout (and therefore the size arithmetic) lives in WireFormat,
+  // the one serializer both carriers consume (DESIGN.md §13); delegating
+  // keeps the in-proc accounting and the socket transport's actual frames
+  // from ever drifting.
+  return wire::chunk_wire_bytes(config, values);
 }
 
 size_t codec_transform(const CompressionConfig& effective,

@@ -1,0 +1,214 @@
+#include "comm/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace selsync {
+
+namespace {
+
+std::string errno_text(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+sockaddr_in loopback(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("bad address '" + host +
+                      "' (the loopback transport speaks dotted IPv4)");
+  return addr;
+}
+
+}  // namespace
+
+TcpConn::~TcpConn() { close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::send_all(const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as SocketError on this
+    // thread, not SIGPIPE for the whole process.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(errno_text("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void TcpConn::recv_all(uint8_t* data, size_t size, size_t* got) {
+  size_t read = 0;
+  if (got) *got = 0;
+  while (read < size) {
+    const ssize_t n = ::recv(fd_, data + read, size - read, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(errno_text("recv"));
+    }
+    if (n == 0) {
+      if (got) *got = read;
+      throw SocketError("peer closed the connection");
+    }
+    read += static_cast<size_t>(n);
+    if (got) *got = read;
+  }
+}
+
+void TcpConn::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SocketError(errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback("127.0.0.1", port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string text = errno_text("bind 127.0.0.1:" +
+                                        std::to_string(port));
+    close();
+    throw SocketError(text);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const std::string text = errno_text("listen");
+    close();
+    throw SocketError(text);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string text = errno_text("getsockname");
+    close();
+    throw SocketError(text);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpConn TcpListener::accept(double timeout_s) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms = static_cast<int>(timeout_s * 1000.0);
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) throw SocketError(errno_text("poll"));
+  if (ready == 0)
+    throw SocketError("accept timed out after " + std::to_string(timeout_s) +
+                      " s: a worker never connected (check it was spawned "
+                      "and is dialing the right port)");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw SocketError(errno_text("accept"));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConn tcp_connect(const std::string& host, uint16_t port, double timeout_s,
+                    int retries) {
+  const sockaddr_in addr = loopback(host, port);
+  std::string last_error;
+  // Bounded exponential backoff: 10ms, 20ms, 40ms, ... capped at 500ms —
+  // enough for a worker to win the race with the master's listen() without
+  // stretching a genuine refusal into seconds.
+  int backoff_ms = 10;
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 500);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw SocketError(errno_text("socket"));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      // connect() succeeded within the kernel's own timeout; the
+      // caller-facing `timeout_s` bounds the retry loop below.
+      return TcpConn(fd);
+    }
+    last_error = errno_text("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    (void)timeout_s;
+  }
+  throw SocketError(last_error + " (gave up after " +
+                    std::to_string(retries + 1) + " attempts)");
+}
+
+void send_frame(TcpConn& conn, uint16_t verb,
+                const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> header = wire::encode_header(verb, payload.size());
+  conn.send_all(header.data(), header.size());
+  if (!payload.empty()) conn.send_all(payload.data(), payload.size());
+}
+
+std::vector<uint8_t> recv_frame(TcpConn& conn, uint16_t* verb) {
+  uint8_t header[wire::kHeaderBytes];
+  size_t got = 0;
+  try {
+    conn.recv_all(header, sizeof(header), &got);
+  } catch (const SocketError&) {
+    // EOF exactly on a frame boundary is the peer hanging up (SocketError);
+    // EOF with a header half-read is a torn frame (WireFormatError).
+    if (got == 0) throw;
+    throw wire::WireFormatError(
+        "torn frame: stream ended " + std::to_string(got) + " bytes into a " +
+        std::to_string(wire::kHeaderBytes) + "-byte header");
+  }
+  const wire::FrameHeader parsed =
+      wire::decode_header(header, sizeof(header));
+  std::vector<uint8_t> payload(parsed.payload_len);
+  if (!payload.empty()) {
+    try {
+      conn.recv_all(payload.data(), payload.size(), &got);
+    } catch (const SocketError&) {
+      throw wire::WireFormatError(
+          "torn frame: stream ended " + std::to_string(got) +
+          " bytes into a " + std::to_string(payload.size()) +
+          "-byte payload");
+    }
+  }
+  *verb = parsed.verb;
+  return payload;
+}
+
+}  // namespace selsync

@@ -1,0 +1,112 @@
+// The raw TCP tier of the socket transport (DESIGN.md §13).
+//
+// This file and its .cpp are the ONLY place in the tree allowed to touch
+// BSD socket headers — selsync_lint (rule socket-confine) enforces the
+// boundary, so connection lifecycle, partial reads/writes and fd hygiene
+// have exactly one home. Everything above this layer (the replica RPC
+// verbs, the master/worker bootstrap, the worker-process entrypoint) speaks
+// TcpConn + WireFormat frames and never sees a file descriptor.
+//
+// The layer is deliberately small:
+//  * TcpListener — bind/listen on 127.0.0.1 (port 0 = ephemeral, the bound
+//    port is readable back), accept with a deadline.
+//  * TcpConn — a connected stream: send_all/recv_all loops until the buffer
+//    is complete or the peer is gone (SocketError), shutdown() unblocks a
+//    peer thread parked in recv (the abort path).
+//  * tcp_connect — connect with timeout + bounded exponential backoff
+//    retries, for workers racing the master's listen().
+//  * send_frame/recv_frame — one WireFormat frame per call. recv_frame
+//    distinguishes the failure modes loudly: a clean EOF *between* frames
+//    is SocketError("peer closed"), an EOF *inside* a frame is
+//    WireFormatError("torn frame"), garbage where a header should be is
+//    whatever WireFormat's header validation throws.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/wire_format.hpp"
+
+namespace selsync {
+
+/// A peer vanished or the OS refused: connection reset, refused, timed out,
+/// or closed under a blocked read/write. Mapped by the trainer onto the
+/// same abort path an in-proc worker failure takes.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what)
+      : std::runtime_error("socket: " + what) {}
+};
+
+/// A connected TCP stream (move-only; closes on destruction).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+
+  /// Writes the whole buffer or throws SocketError.
+  void send_all(const uint8_t* data, size_t size);
+  /// Reads exactly `size` bytes or throws SocketError. `*got` (optional)
+  /// reports how many bytes had already arrived when a short read failed —
+  /// recv_frame uses it to tell a clean close from a torn frame.
+  void recv_all(uint8_t* data, size_t size, size_t* got = nullptr);
+
+  /// Half-closes both directions: a peer (or sibling thread) blocked in
+  /// recv_all wakes up with SocketError. Safe to call from another thread
+  /// and safe to call twice — this is the abort path.
+  void shutdown();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (read it back with
+  /// port()). Throws SocketError on any failure.
+  explicit TcpListener(uint16_t port, int backlog = 64);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection, waiting at most `timeout_s` seconds. A
+  /// deadline miss throws SocketError naming the timeout — the bootstrap's
+  /// "worker never connected" failure mode.
+  TcpConn accept(double timeout_s);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to host:port, waiting at most `timeout_s` per attempt and
+/// retrying `retries` times with bounded exponential backoff (workers race
+/// the master's listen during bootstrap). Throws SocketError when the
+/// budget is spent.
+TcpConn tcp_connect(const std::string& host, uint16_t port, double timeout_s,
+                    int retries = 5);
+
+/// One WireFormat frame out: header + payload.
+void send_frame(TcpConn& conn, uint16_t verb,
+                const std::vector<uint8_t>& payload);
+
+/// One WireFormat frame in; returns the payload, sets `*verb`. See the file
+/// comment for how the failure modes are distinguished.
+std::vector<uint8_t> recv_frame(TcpConn& conn, uint16_t* verb);
+
+}  // namespace selsync

@@ -1,0 +1,247 @@
+#include "comm/wire_format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace selsync::wire {
+
+namespace {
+
+void put_le(std::vector<uint8_t>& out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i)
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+uint64_t load_le(const uint8_t* p, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i)
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint32_t f32_bits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+float bits_f32(uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) { put_le(out, v, 2); }
+void put_u32(std::vector<uint8_t>& out, uint32_t v) { put_le(out, v, 4); }
+void put_u64(std::vector<uint8_t>& out, uint64_t v) { put_le(out, v, 8); }
+void put_f32(std::vector<uint8_t>& out, float v) {
+  put_le(out, f32_bits(v), 4);
+}
+void put_f64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_le(out, bits, 8);
+}
+
+uint16_t Reader::u16() {
+  return static_cast<uint16_t>(load_le(bytes(2), 2));
+}
+uint32_t Reader::u32() {
+  return static_cast<uint32_t>(load_le(bytes(4), 4));
+}
+uint64_t Reader::u64() { return load_le(bytes(8), 8); }
+float Reader::f32() {
+  return bits_f32(static_cast<uint32_t>(load_le(bytes(4), 4)));
+}
+double Reader::f64() {
+  const uint64_t bits = load_le(bytes(8), 8);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+const uint8_t* Reader::bytes(size_t n) {
+  if (size_ - at_ < n)
+    throw WireFormatError("short read: wanted " + std::to_string(n) +
+                          " bytes, payload has " +
+                          std::to_string(size_ - at_) + " left");
+  const uint8_t* p = data_ + at_;
+  at_ += n;
+  return p;
+}
+
+void Reader::expect_end() const {
+  if (at_ != size_)
+    throw WireFormatError("trailing garbage: " +
+                          std::to_string(size_ - at_) +
+                          " bytes past the end of the payload");
+}
+
+std::vector<uint8_t> encode_header(uint16_t verb, uint64_t payload_len) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes);
+  put_u32(out, kMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, verb);
+  put_u64(out, payload_len);
+  return out;
+}
+
+FrameHeader decode_header(const uint8_t* data, size_t size) {
+  if (size < kHeaderBytes)
+    throw WireFormatError("torn frame: header is " + std::to_string(size) +
+                          " of " + std::to_string(kHeaderBytes) + " bytes");
+  Reader in(data, kHeaderBytes);
+  const uint32_t magic = in.u32();
+  if (magic != kMagic)
+    throw WireFormatError("bad magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }() + " (not a selsync frame, or a torn stream)");
+  const uint16_t version = in.u16();
+  if (version != kWireVersion)
+    throw WireFormatError("version " + std::to_string(version) +
+                          " on the wire, this build speaks " +
+                          std::to_string(kWireVersion));
+  FrameHeader header;
+  header.verb = in.u16();
+  header.payload_len = in.u64();
+  return header;
+}
+
+void put_f32s(std::vector<uint8_t>& out, const std::vector<float>& v) {
+  out.reserve(out.size() + v.size() * 4);
+  for (float x : v) put_f32(out, x);
+}
+
+std::vector<float> get_f32s(Reader& in, size_t count) {
+  std::vector<float> v;
+  v.reserve(count);
+  for (size_t i = 0; i < count; ++i) v.push_back(in.f32());
+  return v;
+}
+
+size_t chunk_wire_bytes(const CompressionConfig& config, size_t values) {
+  if (values == 0) return 0;  // nothing to ship, whatever the codec
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      return values * sizeof(float);
+    case CompressionKind::kTopK: {
+      const auto k = static_cast<size_t>(
+          std::ceil(config.topk_fraction * static_cast<double>(values)));
+      // At least one entry always ships (a tiny gradient cannot round the
+      // payload down to nothing), and never more than the gradient holds.
+      return std::clamp<size_t>(k, 1, values) *
+             (sizeof(float) + sizeof(uint32_t));
+    }
+    case CompressionKind::kSignSgd:
+      return (values + 7) / 8 + sizeof(float);  // whole bytes on the wire
+    case CompressionKind::kQuant8:
+      return values + 2 * sizeof(float);
+  }
+  return values * sizeof(float);
+}
+
+std::vector<uint8_t> encode_chunk(const CompressionConfig& config,
+                                  const std::vector<float>& values) {
+  std::vector<uint8_t> out;
+  if (values.empty()) return out;
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      put_f32s(out, values);
+      break;
+    case CompressionKind::kTopK:
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (values[i] == 0.f) continue;
+        put_u32(out, static_cast<uint32_t>(i));
+        put_f32(out, values[i]);
+      }
+      break;
+    case CompressionKind::kSignSgd: {
+      // Transformed entries are {+m, -m, 0}; recover m as the largest
+      // magnitude (0 when the whole chunk is zero).
+      float scale = 0.f;
+      for (float v : values) scale = std::max(scale, std::fabs(v));
+      put_f32(out, scale);
+      const size_t bitmap = (values.size() + 7) / 8;
+      const size_t base = out.size();
+      out.resize(base + bitmap, 0);
+      for (size_t i = 0; i < values.size(); ++i)
+        if (values[i] >= 0.f)  // exact zero canonicalizes to the + sign
+          out[base + i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      break;
+    }
+    case CompressionKind::kQuant8: {
+      float max_abs = 0.f;
+      for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+      const float scale = max_abs > 0 ? max_abs / 127.f : 1.f;
+      put_f32(out, scale);
+      put_f32(out, max_abs);
+      for (float v : values) {
+        const auto level = static_cast<int>(std::round(v / scale));
+        out.push_back(static_cast<uint8_t>(static_cast<int8_t>(level)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<float> decode_chunk(const CompressionConfig& config,
+                                const uint8_t* data, size_t size,
+                                size_t dense_count) {
+  Reader in(data, size);
+  if (dense_count == 0) {
+    in.expect_end();
+    return {};
+  }
+  std::vector<float> values;
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      values = get_f32s(in, dense_count);
+      break;
+    case CompressionKind::kTopK: {
+      if (size % 8 != 0)
+        throw WireFormatError("torn topk payload: " + std::to_string(size) +
+                              " bytes is not a whole number of entries");
+      values.assign(dense_count, 0.f);
+      const size_t entries = size / 8;
+      for (size_t e = 0; e < entries; ++e) {
+        const uint32_t index = in.u32();
+        const float value = in.f32();
+        if (index >= dense_count)
+          throw WireFormatError("topk index " + std::to_string(index) +
+                                " out of range for a " +
+                                std::to_string(dense_count) + "-entry chunk");
+        values[index] = value;
+      }
+      break;
+    }
+    case CompressionKind::kSignSgd: {
+      const float scale = in.f32();
+      const uint8_t* bitmap = in.bytes((dense_count + 7) / 8);
+      values.reserve(dense_count);
+      for (size_t i = 0; i < dense_count; ++i)
+        values.push_back((bitmap[i / 8] >> (i % 8)) & 1 ? scale : -scale);
+      break;
+    }
+    case CompressionKind::kQuant8: {
+      const float scale = in.f32();
+      in.f32();  // max_abs rides for observability; scale alone reconstructs
+      const uint8_t* levels = in.bytes(dense_count);
+      values.reserve(dense_count);
+      for (size_t i = 0; i < dense_count; ++i)
+        values.push_back(
+            static_cast<float>(static_cast<int8_t>(levels[i])) * scale);
+      break;
+    }
+  }
+  in.expect_end();
+  return values;
+}
+
+}  // namespace selsync::wire

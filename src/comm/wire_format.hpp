@@ -1,0 +1,134 @@
+// WireFormat — the one serialize/deserialize surface for chunk payloads
+// (DESIGN.md §13).
+//
+// Before this API existed the byte layout of an encoded chunk lived only as
+// arithmetic inside GradientCompressor::wire_bytes: the in-proc transports
+// *account* wire bytes without ever materializing them. The socket transport
+// has to put real bytes on a real wire, so the layout moves here and both
+// carriers consume it — the in-proc chunk protocol through
+// chunk_wire_bytes() (GradientCompressor::wire_bytes delegates to it, value
+// for value, which is what keeps the golden records byte-identical), the
+// socket transport through encode_chunk()/decode_chunk(). One codec, two
+// carriers, no duplicated layout.
+//
+// Framing: every message is a 16-byte header followed by `payload_len`
+// payload bytes. The header is versioned and endian-pinned (every
+// multi-byte field is little-endian on the wire regardless of host order):
+//
+//   offset  size  field
+//   0       4     magic  0x53594E43 ("CNYS" on a little-endian wire)
+//   4       2     version (kWireVersion; decode rejects any other)
+//   6       2     verb (transport-defined; opaque to this layer)
+//   8       8     payload_len
+//
+// Chunk payload layouts (dense_count = entries of the dense vector the
+// payload stands in for; supplied by context, never shipped):
+//   none    dense_count little-endian f32
+//   topk    pairs of (u32 index, f32 value), one per surviving entry — the
+//           *accounted* size budgets clamp(k,1,n) pairs, the faithful
+//           payload ships however many entries the threshold kept (ties can
+//           exceed k; zeros inside the kept set are elided and decode to
+//           the same 0.0f)
+//   signsgd one f32 scale then ceil(n/8) sign-bitmap bytes, bit i set when
+//           entry i is +scale. The codec's transform maps an exactly-zero
+//           input entry to 0.0f, which one bit cannot carry: encode
+//           canonicalizes it to the positive sign (decode returns +scale).
+//           Exact for every payload with no exactly-zero entries —
+//           wire_format_test pins both properties.
+//   quant8  two f32 (scale, max_abs) then n signed level bytes; decode
+//           reconstructs level * scale, bit-exact against codec_transform's
+//           round(x/scale) * scale
+//
+// Decode fails loudly: a short buffer, a torn frame, a garbage magic or an
+// unknown version throws WireFormatError — payloads never silently
+// truncate.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/compression.hpp"
+
+namespace selsync::wire {
+
+inline constexpr uint32_t kMagic = 0x53594E43;  // "CNYS" little-endian
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error("wire format: " + what) {}
+};
+
+/// ---- endian-pinned primitive stores/loads --------------------------------
+void put_u16(std::vector<uint8_t>& out, uint16_t v);
+void put_u32(std::vector<uint8_t>& out, uint32_t v);
+void put_u64(std::vector<uint8_t>& out, uint64_t v);
+void put_f32(std::vector<uint8_t>& out, float v);
+void put_f64(std::vector<uint8_t>& out, double v);
+
+/// Bounds-checked little-endian reader over a received payload; every
+/// overrun throws WireFormatError instead of reading past the buffer.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  float f32();
+  double f64();
+  /// Raw bytes (for bitmap/level payloads).
+  const uint8_t* bytes(size_t n);
+  size_t remaining() const { return size_ - at_; }
+  /// Decoders call this last: trailing garbage is a framing bug, not slack.
+  void expect_end() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t at_ = 0;
+};
+
+/// ---- framing -------------------------------------------------------------
+struct FrameHeader {
+  uint16_t verb = 0;
+  uint64_t payload_len = 0;
+};
+
+/// The 16-byte header for a `verb` frame carrying `payload_len` bytes.
+std::vector<uint8_t> encode_header(uint16_t verb, uint64_t payload_len);
+
+/// Parses exactly kHeaderBytes; throws WireFormatError on a short buffer,
+/// bad magic, or a version this build does not speak.
+FrameHeader decode_header(const uint8_t* data, size_t size);
+
+/// ---- float-vector payloads (the transport's dense carrier) ---------------
+void put_f32s(std::vector<uint8_t>& out, const std::vector<float>& v);
+std::vector<float> get_f32s(Reader& in, size_t count);
+
+/// ---- chunk payloads ------------------------------------------------------
+/// The accounted wire size of a `values`-entry chunk under `config` (0 for
+/// an empty chunk whatever the codec). This is the layout-truth function:
+/// GradientCompressor::wire_bytes delegates here, so the in-proc transports'
+/// cost accounting and the socket transport's framing can never drift.
+size_t chunk_wire_bytes(const CompressionConfig& config, size_t values);
+
+/// Serializes a chunk that already went through codec_transform (or any
+/// dense payload under kNone) into the layout documented above.
+std::vector<uint8_t> encode_chunk(const CompressionConfig& config,
+                                  const std::vector<float>& values);
+
+/// Reconstructs the `dense_count`-entry chunk from its wire payload.
+/// Throws WireFormatError on torn/oversized payloads or out-of-range
+/// indices.
+std::vector<float> decode_chunk(const CompressionConfig& config,
+                                const uint8_t* data, size_t size,
+                                size_t dense_count);
+
+}  // namespace selsync::wire

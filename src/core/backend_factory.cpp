@@ -70,6 +70,13 @@ void validate_backend_choice(const TrainJob& job) {
                : " moves parameter/elastic payloads — use BSP or SelSync "
                  "with gradient aggregation, or drop the codec"));
   }
+  if (job.transport == TransportKind::kTcp &&
+      job.engine == EngineKind::kDes)
+    throw std::invalid_argument(
+        "TrainJob: the tcp transport parks worker threads in blocking socket "
+        "reads, which would stall the DES engine's cooperative fibers — use "
+        "--engine threads with --transport tcp, or --transport inproc with "
+        "--engine des");
   if (job.faults.enabled()) {
     job.faults.validate(job.workers, job.max_iterations);
     if (!job.faults.crashes.empty() && job.strategy != StrategyKind::kSsp &&
@@ -87,31 +94,23 @@ void validate_backend_choice(const TrainJob& job) {
 std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
                                           FaultInjector* faults) {
   validate_backend_choice(job);
+  const bool ssp = job.strategy == StrategyKind::kSsp;
   CommBackendConfig config;
-  config.kind = job.backend;
+  // SSP is defined against a central store: it always gets the PS tier,
+  // whatever the backend knob says (the knob selects how synchronous
+  // payloads move).
+  config.kind = ssp ? BackendKind::kParameterServer : job.backend;
   config.workers = job.workers;
   config.topology = job.topology;
+  config.transport = job.transport;
   config.faults = faults;
   // The job's gradient codec rides inside the backend's data plane
   // (validate_backend_choice guarantees it only appears with gradient
-  // payloads).
-  config.compression = job.compression;
+  // payloads); SSP's push/pull plane never encodes.
+  if (!ssp) config.compression = job.compression;
   config.ps_shards = job.ps_shards;
-  if (job.backend == BackendKind::kParameterServer)
+  if (config.kind == BackendKind::kParameterServer)
     config.initial_params = job.model_factory(job.seed)->get_flat_params();
-  return make_comm_backend(config);
-}
-
-std::unique_ptr<CommBackend> make_ssp_backend(const TrainJob& job,
-                                              FaultInjector* faults) {
-  validate_backend_choice(job);
-  CommBackendConfig config;
-  config.kind = BackendKind::kParameterServer;
-  config.workers = job.workers;
-  config.topology = job.topology;
-  config.faults = faults;
-  config.ps_shards = job.ps_shards;
-  config.initial_params = job.model_factory(job.seed)->get_flat_params();
   return make_comm_backend(config);
 }
 

@@ -3,11 +3,11 @@
 // Before this factory existed, every call site (trainer run_synchronous,
 // trainer run_ssp, benches) poked CommBackendConfig fields by hand, and the
 // compatibility rules — which codec/strategy pairs are legal, which fault
-// plans each backend can carry, when ps_shards means anything — lived only
-// in TrainJob::validate(), free to drift from what construction actually
-// did. validate_backend_choice() now owns those rules; TrainJob::validate()
-// and both factories call it, so validation and construction cannot
-// disagree.
+// plans each backend can carry, when ps_shards means anything, which
+// transport/engine pairs work — lived only in TrainJob::validate(), free to
+// drift from what construction actually did. validate_backend_choice() now
+// owns those rules; TrainJob::validate() and make_backend() call it, so
+// validation and construction cannot disagree.
 #pragma once
 
 #include <memory>
@@ -17,23 +17,20 @@
 
 namespace selsync {
 
-/// The backend-compatibility slice of TrainJob validation: codec vs payload
-/// kind, crash plans vs backend, ps_shards vs the presence of a PS tier.
-/// Throws std::invalid_argument with an actionable message on any illegal
-/// combination; called by TrainJob::validate() and by both factories below.
+/// The backend/transport-compatibility slice of TrainJob validation: codec
+/// vs payload kind, crash plans vs backend, ps_shards vs the presence of a
+/// PS tier, transport vs engine. Throws std::invalid_argument with an
+/// actionable message on any illegal combination; called by
+/// TrainJob::validate() and by make_backend() below.
 void validate_backend_choice(const TrainJob& job);
 
-/// Builds the backend run_synchronous drives: the job's declared kind with
-/// the job's topology/codec/shards threaded through, seeded from the job's
-/// model when a central store is needed.
+/// Builds the backend the trainer drives, for every strategy. Synchronous
+/// strategies get the job's declared kind with the job's
+/// topology/codec/shards threaded through; SSP always gets the
+/// parameter-server tier (SSP is defined against a central store, whatever
+/// the job's backend knob says — the knob selects how *synchronous*
+/// payloads move). Central stores are seeded from the job's model.
 std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
-                                          FaultInjector* faults);
-
-/// Builds the backend run_ssp drives: always the parameter-server tier
-/// (SSP is defined against a central store, whatever the job's backend
-/// knob says — the knob selects how *synchronous* payloads move), sharded
-/// per the job's ps_shards.
-std::unique_ptr<CommBackend> make_ssp_backend(const TrainJob& job,
-                                              FaultInjector* faults);
+                                          FaultInjector* faults = nullptr);
 
 }  // namespace selsync

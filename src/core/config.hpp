@@ -99,6 +99,33 @@ struct InjectionJobConfig {
   double beta = 0.5;
 };
 
+struct TrainJob;
+
+/// The tcp transport's bootstrap knobs (DESIGN.md §13); consulted only when
+/// TrainJob::transport == TransportKind::kTcp.
+struct TcpTransportConfig {
+  /// Master listen port on 127.0.0.1; 0 binds an ephemeral port (the
+  /// default — right for forked workers, which learn the bound port from
+  /// the parent). External workers (spawn_workers = false) need a fixed
+  /// port to dial.
+  uint16_t port = 0;
+  /// fork() one worker process per rank (the default). Off: the master
+  /// only listens, and each rank is an externally launched selsync_worker
+  /// process dialing in with --rank.
+  bool spawn_workers = true;
+  /// How long the master waits for each worker to dial in before declaring
+  /// the bootstrap failed.
+  double accept_timeout_s = 30.0;
+  /// Per-attempt connect budget on the worker side (retries with backoff
+  /// ride on top; see tcp_connect).
+  double connect_timeout_s = 10.0;
+  /// Test seam: replaces a forked child's body (default: serve_tcp_worker).
+  /// The socket-chaos suite uses it to spawn workers that die mid-round,
+  /// never dial in, or write garbage frames. Never serialized.
+  std::function<void(const TrainJob& job, size_t rank, uint16_t port)>
+      child_main;
+};
+
 struct TrainJob {
   StrategyKind strategy = StrategyKind::kBsp;
   size_t workers = 4;
@@ -152,6 +179,16 @@ struct TrainJob {
   Topology topology = Topology::kParameterServer;
   /// Which CommBackend carries aggregation payloads (DESIGN.md §8).
   BackendKind backend = BackendKind::kSharedMemory;
+  /// Which carrier moves the replica data plane (DESIGN.md §13): kInproc
+  /// keeps every rank's model in the master process (the historical mode);
+  /// kTcp moves each rank's model/optimizer/loader into its own worker
+  /// process and carries every payload over length-prefixed WireFormat
+  /// frames on real loopback TCP. Bit-identical dynamics either way — the
+  /// socket golden tier proves it — plus measured wall-clock SyncCost
+  /// fields for calibrating the analytic CostModel.
+  TransportKind transport = TransportKind::kInproc;
+  /// TCP bootstrap knobs; consulted only when transport == kTcp.
+  TcpTransportConfig tcp;
   /// Which execution engine drives the worker cluster (DESIGN.md §11):
   /// kThreads is one OS thread per rank (the sanitizer-facing engine);
   /// kDes runs the same worker bodies as fibers under the virtual-time

@@ -1,0 +1,682 @@
+#include "core/replica.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "comm/socket_transport.hpp"
+#include "comm/wire_format.hpp"
+#include "core/trainer_internal.hpp"
+#include "data/injection.hpp"
+#include "optim/ema_tracker.hpp"
+#include "util/timer.hpp"
+
+namespace selsync {
+
+namespace {
+
+/// Transported vectors ride the ChunkCodec dense carrier (kNone layout:
+/// count little-endian f32s), prefixed with their own count so frames are
+/// self-describing. The job's gradient codec is NOT applied here — lossy
+/// compression belongs to the backend's aggregation data plane; the
+/// transport must move the exact floats or the replicas drift.
+const CompressionConfig kDenseCarrier{};
+
+void put_dense(std::vector<uint8_t>& out, const std::vector<float>& v) {
+  wire::put_u32(out, static_cast<uint32_t>(v.size()));
+  const std::vector<uint8_t> chunk = wire::encode_chunk(kDenseCarrier, v);
+  out.insert(out.end(), chunk.begin(), chunk.end());
+}
+
+std::vector<float> get_dense(wire::Reader& in) {
+  const size_t count = in.u32();
+  const size_t size = count * sizeof(float);
+  const uint8_t* data = in.bytes(size);
+  return wire::decode_chunk(kDenseCarrier, data, size, count);
+}
+
+void put_indices(std::vector<uint8_t>& out, const std::vector<size_t>& v) {
+  wire::put_u32(out, static_cast<uint32_t>(v.size()));
+  for (size_t i : v) wire::put_u64(out, i);
+}
+
+std::vector<size_t> get_indices(wire::Reader& in) {
+  const size_t count = in.u32();
+  std::vector<size_t> v(count);
+  for (size_t i = 0; i < count; ++i) v[i] = in.u64();
+  return v;
+}
+
+uint16_t raw(ReplicaVerb verb) { return static_cast<uint16_t>(verb); }
+
+// ---------------------------------------------------------------------------
+// LocalReplica
+// ---------------------------------------------------------------------------
+
+class LocalReplica final : public Replica {
+ public:
+  LocalReplica(const TrainJob& job, std::vector<size_t> order,
+               size_t local_batch)
+      : job_(job),
+        model_(job.model_factory(job.seed)),
+        optimizer_(job.optimizer_factory()),
+        loader_(job.train_data, std::move(order), local_batch) {}
+
+  size_t param_count() override { return model_->param_count(); }
+
+  std::vector<size_t> layer_sizes() override {
+    std::vector<size_t> sizes;
+    sizes.reserve(model_->params().size());
+    for (const Param* p : model_->params()) sizes.push_back(p->value.size());
+    return sizes;
+  }
+
+  std::vector<size_t> next_indices() override {
+    return loader_.next_indices();
+  }
+
+  void load_batch(const std::vector<size_t>& indices) override {
+    batch_ = job_.train_data->make_batch(indices);
+  }
+
+  void load_next_batch() override { batch_ = loader_.next_batch(); }
+
+  void train_step() override { model_->train_step(batch_); }
+
+  std::vector<float> train_step_grads() override {
+    model_->train_step(batch_);
+    return model_->get_flat_grads();
+  }
+
+  void set_flat_grads(const std::vector<float>& grads) override {
+    model_->set_flat_grads(grads);
+  }
+
+  void optimizer_step(uint64_t iteration, double epoch) override {
+    optimizer_->step(model_->params(), iteration, epoch);
+  }
+
+  std::vector<float> flat_params() override {
+    return model_->get_flat_params();
+  }
+
+  void set_flat_params(const std::vector<float>& params) override {
+    model_->set_flat_params(params);
+  }
+
+  void save_checkpoint(uint64_t iteration) override {
+    detail::save_checkpoint(checkpoint_, iteration, *model_, *optimizer_,
+                            loader_);
+  }
+
+  uint64_t restore_checkpoint() override {
+    detail::restore_checkpoint(checkpoint_, *model_, *optimizer_, loader_);
+    return checkpoint_.iteration;
+  }
+
+  void ema_init(double decay) override {
+    ema_ = std::make_unique<EmaTracker>(decay);
+  }
+
+  void ema_update() override { ema_->update(*model_); }
+
+  EvalPoint evaluate(uint64_t iteration, double epoch,
+                     double sim_time) override {
+    if (ema_) {
+      EmaEvalScope scope(*ema_, *model_);  // evaluate the averaged weights
+      return detail::make_eval_point(*model_, *job_.test_data, iteration,
+                                     epoch, sim_time);
+    }
+    return detail::make_eval_point(*model_, *job_.test_data, iteration, epoch,
+                                   sim_time);
+  }
+
+ private:
+  const TrainJob& job_;
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  ShardLoader loader_;
+  Batch batch_;
+  detail::WorkerCheckpoint checkpoint_;
+  std::unique_ptr<EmaTracker> ema_;
+};
+
+// ---------------------------------------------------------------------------
+// RemoteReplica — master-side proxy, one frame pair per verb
+// ---------------------------------------------------------------------------
+
+class RemoteReplica final : public Replica {
+ public:
+  explicit RemoteReplica(TcpConn& conn) : conn_(conn) {}
+
+  size_t param_count() override {
+    fetch_layers();
+    return param_count_;
+  }
+
+  std::vector<size_t> layer_sizes() override {
+    fetch_layers();
+    return layer_sizes_;
+  }
+
+  std::vector<size_t> next_indices() override {
+    wire::Reader in = call(ReplicaVerb::kNextIndices, {});
+    std::vector<size_t> indices = get_indices(in);
+    in.expect_end();
+    return indices;
+  }
+
+  void load_batch(const std::vector<size_t>& indices) override {
+    std::vector<uint8_t> req;
+    put_indices(req, indices);
+    call(ReplicaVerb::kLoadBatch, req).expect_end();
+  }
+
+  void load_next_batch() override {
+    call(ReplicaVerb::kLoadNextBatch, {}).expect_end();
+  }
+
+  void train_step() override {
+    call(ReplicaVerb::kTrainStep, {}).expect_end();
+  }
+
+  std::vector<float> train_step_grads() override {
+    wire::Reader in = call(ReplicaVerb::kTrainStepGrads, {});
+    std::vector<float> grads = get_dense(in);
+    in.expect_end();
+    return grads;
+  }
+
+  void set_flat_grads(const std::vector<float>& grads) override {
+    std::vector<uint8_t> req;
+    put_dense(req, grads);
+    call(ReplicaVerb::kSetFlatGrads, req).expect_end();
+  }
+
+  void optimizer_step(uint64_t iteration, double epoch) override {
+    std::vector<uint8_t> req;
+    wire::put_u64(req, iteration);
+    wire::put_f64(req, epoch);
+    call(ReplicaVerb::kOptimizerStep, req).expect_end();
+  }
+
+  std::vector<float> flat_params() override {
+    wire::Reader in = call(ReplicaVerb::kFlatParams, {});
+    std::vector<float> params = get_dense(in);
+    in.expect_end();
+    return params;
+  }
+
+  void set_flat_params(const std::vector<float>& params) override {
+    std::vector<uint8_t> req;
+    put_dense(req, params);
+    call(ReplicaVerb::kSetFlatParams, req).expect_end();
+  }
+
+  void save_checkpoint(uint64_t iteration) override {
+    std::vector<uint8_t> req;
+    wire::put_u64(req, iteration);
+    call(ReplicaVerb::kSaveCheckpoint, req).expect_end();
+  }
+
+  uint64_t restore_checkpoint() override {
+    wire::Reader in = call(ReplicaVerb::kRestoreCheckpoint, {});
+    const uint64_t iteration = in.u64();
+    in.expect_end();
+    return iteration;
+  }
+
+  void ema_init(double decay) override {
+    std::vector<uint8_t> req;
+    wire::put_f64(req, decay);
+    call(ReplicaVerb::kEmaInit, req).expect_end();
+  }
+
+  void ema_update() override {
+    call(ReplicaVerb::kEmaUpdate, {}).expect_end();
+  }
+
+  EvalPoint evaluate(uint64_t iteration, double epoch,
+                     double sim_time) override {
+    std::vector<uint8_t> req;
+    wire::put_u64(req, iteration);
+    wire::put_f64(req, epoch);
+    wire::put_f64(req, sim_time);
+    wire::Reader in = call(ReplicaVerb::kEvaluate, req);
+    EvalPoint pt;
+    pt.iteration = in.u64();
+    pt.epoch = in.f64();
+    pt.sim_time_s = in.f64();
+    pt.loss = in.f64();
+    pt.top1 = in.f64();
+    pt.top5 = in.f64();
+    pt.perplexity = in.f64();
+    in.expect_end();
+    return pt;
+  }
+
+  ReplicaMeasure take_measured() override {
+    const ReplicaMeasure m = measured_;
+    measured_ = {};
+    return m;
+  }
+
+ private:
+  /// One round trip: send the verb frame, await the echo frame. A kError
+  /// answer rethrows the worker's message; any other verb is a protocol
+  /// desync. The Reader holds the response alive via resp_.
+  wire::Reader call(ReplicaVerb verb, const std::vector<uint8_t>& req) {
+    WallTimer timer;
+    send_frame(conn_, raw(verb), req);
+    uint16_t got = 0;
+    resp_ = recv_frame(conn_, &got);
+    measured_.seconds += timer.elapsed_s();
+    measured_.bytes +=
+        2 * wire::kHeaderBytes + req.size() + resp_.size();
+    if (got == raw(ReplicaVerb::kError)) {
+      wire::Reader in(resp_);
+      const size_t len = in.u32();
+      const uint8_t* text = in.bytes(len);
+      throw std::runtime_error(
+          "replica worker failed: " +
+          std::string(reinterpret_cast<const char*>(text), len));
+    }
+    if (got != raw(verb))
+      throw wire::WireFormatError(
+          "protocol desync: sent verb " + std::to_string(raw(verb)) +
+          ", peer answered verb " + std::to_string(got));
+    return wire::Reader(resp_);
+  }
+
+  void fetch_layers() {
+    if (!layer_sizes_.empty()) return;
+    wire::Reader in = call(ReplicaVerb::kLayerSizes, {});
+    layer_sizes_ = get_indices(in);
+    in.expect_end();
+    param_count_ = 0;
+    for (size_t s : layer_sizes_) param_count_ += s;
+  }
+
+  TcpConn& conn_;
+  std::vector<uint8_t> resp_;
+  ReplicaMeasure measured_;
+  std::vector<size_t> layer_sizes_;
+  size_t param_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+class InprocSession final : public TransportSession {
+ public:
+  explicit InprocSession(const TrainJob& job)
+      : job_(job),
+        partition_(make_partition(job.partition, *job.train_data, job.workers,
+                                  job.labels_per_worker, job.seed ^ 0xDA7AULL)),
+        local_batch_(replica_local_batch(job)) {}
+
+  std::unique_ptr<Replica> make_replica(size_t rank) override {
+    return make_local_replica(job_, partition_.worker_order[rank],
+                              local_batch_);
+  }
+
+ private:
+  const TrainJob& job_;
+  const Partition partition_;
+  const size_t local_batch_;
+};
+
+class TcpSession final : public TransportSession {
+ public:
+  explicit TcpSession(const TrainJob& job)
+      : job_(job), listener_(job.tcp.port) {
+    conns_.resize(job.workers);
+    pids_.assign(job.workers, -1);
+    try {
+      bootstrap();
+    } catch (...) {
+      // The ctor failing (a worker never dialed in, a bad Hello) must not
+      // leak children: kill and reap before rethrowing.
+      for (TcpConn& conn : conns_) {
+        conn.shutdown();
+        conn.close();
+      }
+      reap(/*patience_s=*/0.5);
+      throw;
+    }
+  }
+
+  ~TcpSession() override { finish(); }
+
+  std::unique_ptr<Replica> make_replica(size_t rank) override {
+    return std::make_unique<RemoteReplica>(conns_[rank]);
+  }
+
+  void abort() override {
+    // shutdown() (not close()) so fds stay valid under worker threads still
+    // blocked in recv — they wake with SocketError and unwind.
+    for (TcpConn& conn : conns_) conn.shutdown();
+  }
+
+  void finish() override {
+    for (TcpConn& conn : conns_) {
+      if (!conn.open()) continue;
+      try {
+        send_frame(conn, raw(ReplicaVerb::kShutdown), {});
+        uint16_t verb = 0;
+        recv_frame(conn, &verb);  // the ack; content irrelevant
+      } catch (...) {
+        // Peer already gone (aborted run, chaos kill): reaped below.
+      }
+      conn.close();
+    }
+    reap(/*patience_s=*/5.0);
+  }
+
+ private:
+  void bootstrap() {
+    const uint16_t port = listener_.port();
+    if (job_.tcp.spawn_workers) {
+      for (size_t rank = 0; rank < job_.workers; ++rank) {
+        const pid_t pid = ::fork();
+        if (pid < 0)
+          throw SocketError(std::string("fork: ") + std::strerror(errno));
+        if (pid == 0) {
+          // Child = worker process. The whole job closure — datasets, model
+          // factories, lambdas — arrived through fork, so even jobs that
+          // could never be serialized (the golden grid's in-code factories)
+          // run over a real wire. _Exit skips atexit/static teardown that
+          // belongs to the parent.
+          listener_.close();
+          try {
+            if (job_.tcp.child_main)
+              job_.tcp.child_main(job_, rank, port);
+            else
+              serve_tcp_worker(job_, rank, "127.0.0.1", port);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "selsync worker %zu: %s\n", rank, e.what());
+            std::_Exit(1);
+          } catch (...) {
+            std::_Exit(1);
+          }
+          std::_Exit(0);
+        }
+        pids_[rank] = pid;
+      }
+    }
+    const uint64_t expected = job_fingerprint(job_);
+    for (size_t i = 0; i < job_.workers; ++i) {
+      TcpConn conn = listener_.accept(job_.tcp.accept_timeout_s);
+      uint16_t verb = 0;
+      const std::vector<uint8_t> hello = recv_frame(conn, &verb);
+      if (verb != raw(ReplicaVerb::kHello))
+        throw wire::WireFormatError(
+            "bootstrap: expected a Hello frame, got verb " +
+            std::to_string(verb));
+      wire::Reader in(hello);
+      const size_t rank = in.u32();
+      const uint64_t fingerprint = in.u64();
+      in.expect_end();
+      if (rank >= job_.workers)
+        throw std::invalid_argument(
+            "bootstrap: worker dialed in as rank " + std::to_string(rank) +
+            " but the job has " + std::to_string(job_.workers) + " workers");
+      if (conns_[rank].open())
+        throw std::invalid_argument("bootstrap: rank " + std::to_string(rank) +
+                                    " dialed in twice");
+      if (fingerprint != expected)
+        throw std::invalid_argument(
+            "bootstrap: rank " + std::to_string(rank) +
+            " was launched with a different job configuration (fingerprint "
+            "mismatch) — selsync_worker must get the same workload flags as "
+            "the master");
+      std::vector<uint8_t> ack;
+      wire::put_u32(ack, static_cast<uint32_t>(rank));
+      send_frame(conn, raw(ReplicaVerb::kHelloAck), ack);
+      conns_[rank] = std::move(conn);
+    }
+    listener_.close();
+  }
+
+  /// Reaps every forked child, waiting up to `patience_s` each before
+  /// escalating to SIGKILL — a wedged worker must not hang the master.
+  void reap(double patience_s) {
+    for (pid_t& pid : pids_) {
+      if (pid <= 0) continue;
+      const int spins = static_cast<int>(patience_s * 100.0);
+      bool reaped = false;
+      for (int spin = 0; spin <= spins; ++spin) {
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r != 0) {
+          reaped = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (!reaped) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+      pid = -1;
+    }
+  }
+
+  const TrainJob& job_;
+  TcpListener listener_;
+  std::vector<TcpConn> conns_;
+  std::vector<pid_t> pids_;
+};
+
+// ---------------------------------------------------------------------------
+// serve_replica dispatch (worker-process side)
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> dispatch(Replica& replica, ReplicaVerb verb,
+                              const std::vector<uint8_t>& req) {
+  wire::Reader in(req);
+  std::vector<uint8_t> resp;
+  switch (verb) {
+    case ReplicaVerb::kLayerSizes:
+      in.expect_end();
+      put_indices(resp, replica.layer_sizes());
+      return resp;
+    case ReplicaVerb::kNextIndices:
+      in.expect_end();
+      put_indices(resp, replica.next_indices());
+      return resp;
+    case ReplicaVerb::kLoadBatch: {
+      const std::vector<size_t> indices = get_indices(in);
+      in.expect_end();
+      replica.load_batch(indices);
+      return resp;
+    }
+    case ReplicaVerb::kLoadNextBatch:
+      in.expect_end();
+      replica.load_next_batch();
+      return resp;
+    case ReplicaVerb::kTrainStep:
+      in.expect_end();
+      replica.train_step();
+      return resp;
+    case ReplicaVerb::kTrainStepGrads:
+      in.expect_end();
+      put_dense(resp, replica.train_step_grads());
+      return resp;
+    case ReplicaVerb::kSetFlatGrads: {
+      const std::vector<float> grads = get_dense(in);
+      in.expect_end();
+      replica.set_flat_grads(grads);
+      return resp;
+    }
+    case ReplicaVerb::kOptimizerStep: {
+      const uint64_t iteration = in.u64();
+      const double epoch = in.f64();
+      in.expect_end();
+      replica.optimizer_step(iteration, epoch);
+      return resp;
+    }
+    case ReplicaVerb::kFlatParams:
+      in.expect_end();
+      put_dense(resp, replica.flat_params());
+      return resp;
+    case ReplicaVerb::kSetFlatParams: {
+      const std::vector<float> params = get_dense(in);
+      in.expect_end();
+      replica.set_flat_params(params);
+      return resp;
+    }
+    case ReplicaVerb::kSaveCheckpoint: {
+      const uint64_t iteration = in.u64();
+      in.expect_end();
+      replica.save_checkpoint(iteration);
+      return resp;
+    }
+    case ReplicaVerb::kRestoreCheckpoint:
+      in.expect_end();
+      wire::put_u64(resp, replica.restore_checkpoint());
+      return resp;
+    case ReplicaVerb::kEmaInit: {
+      const double decay = in.f64();
+      in.expect_end();
+      replica.ema_init(decay);
+      return resp;
+    }
+    case ReplicaVerb::kEmaUpdate:
+      in.expect_end();
+      replica.ema_update();
+      return resp;
+    case ReplicaVerb::kEvaluate: {
+      const uint64_t iteration = in.u64();
+      const double epoch = in.f64();
+      const double sim_time = in.f64();
+      in.expect_end();
+      const EvalPoint pt = replica.evaluate(iteration, epoch, sim_time);
+      wire::put_u64(resp, pt.iteration);
+      wire::put_f64(resp, pt.epoch);
+      wire::put_f64(resp, pt.sim_time_s);
+      wire::put_f64(resp, pt.loss);
+      wire::put_f64(resp, pt.top1);
+      wire::put_f64(resp, pt.top5);
+      wire::put_f64(resp, pt.perplexity);
+      return resp;
+    }
+    case ReplicaVerb::kHello:
+    case ReplicaVerb::kHelloAck:
+    case ReplicaVerb::kShutdown:
+    case ReplicaVerb::kError:
+      break;  // handshake/teardown verbs never reach the dispatcher
+  }
+  throw wire::WireFormatError("unknown replica verb " +
+                              std::to_string(raw(verb)));
+}
+
+}  // namespace
+
+std::unique_ptr<Replica> make_local_replica(const TrainJob& job,
+                                            std::vector<size_t> order,
+                                            size_t local_batch) {
+  return std::make_unique<LocalReplica>(job, std::move(order), local_batch);
+}
+
+size_t replica_local_batch(const TrainJob& job) {
+  if (job.strategy != StrategyKind::kSsp && job.injection.enabled)
+    return injection_adjusted_batch(job.batch_size, job.injection.alpha,
+                                    job.injection.beta, job.workers);
+  return job.batch_size;
+}
+
+uint64_t job_fingerprint(const TrainJob& job) {
+  std::vector<uint8_t> buf;
+  wire::put_u64(buf, job.workers);
+  wire::put_u64(buf, job.batch_size);
+  wire::put_u64(buf, job.max_iterations);
+  wire::put_u64(buf, job.eval_interval);
+  wire::put_u64(buf, job.seed);
+  wire::put_u64(buf, job.labels_per_worker);
+  wire::put_u64(buf, job.ps_shards);
+  wire::put_u64(buf, job.slices);
+  wire::put_u16(buf, static_cast<uint16_t>(job.strategy));
+  wire::put_u16(buf, static_cast<uint16_t>(job.partition));
+  wire::put_u16(buf, static_cast<uint16_t>(job.backend));
+  wire::put_u16(buf, static_cast<uint16_t>(job.compression.kind));
+  wire::put_f64(buf, job.selsync.delta);
+  wire::put_f64(buf, job.ema_decay);
+  // FNV-1a 64.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint8_t b : buf) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void serve_replica(TcpConn& conn, Replica& replica, size_t max_verbs) {
+  for (size_t served = 0; served < max_verbs; ++served) {
+    uint16_t verb_raw = 0;
+    const std::vector<uint8_t> req = recv_frame(conn, &verb_raw);
+    const ReplicaVerb verb = static_cast<ReplicaVerb>(verb_raw);
+    if (verb == ReplicaVerb::kShutdown) {
+      send_frame(conn, verb_raw, {});
+      return;
+    }
+    std::vector<uint8_t> resp;
+    try {
+      resp = dispatch(replica, verb, req);
+    } catch (const std::exception& e) {
+      // Ship the reason before dying: the master turns it into
+      // "replica worker failed: ..." on the issuing thread.
+      std::vector<uint8_t> err;
+      const std::string what = e.what();
+      wire::put_u32(err, static_cast<uint32_t>(what.size()));
+      err.insert(err.end(), what.begin(), what.end());
+      send_frame(conn, raw(ReplicaVerb::kError), err);
+      throw;
+    }
+    send_frame(conn, verb_raw, resp);
+  }
+}
+
+void serve_tcp_worker(const TrainJob& job, size_t rank,
+                      const std::string& host, uint16_t port) {
+  const Partition partition =
+      make_partition(job.partition, *job.train_data, job.workers,
+                     job.labels_per_worker, job.seed ^ 0xDA7AULL);
+  std::unique_ptr<Replica> replica = make_local_replica(
+      job, partition.worker_order[rank], replica_local_batch(job));
+  TcpConn conn = tcp_connect(host, port, job.tcp.connect_timeout_s);
+  std::vector<uint8_t> hello;
+  wire::put_u32(hello, static_cast<uint32_t>(rank));
+  wire::put_u64(hello, job_fingerprint(job));
+  send_frame(conn, raw(ReplicaVerb::kHello), hello);
+  uint16_t verb = 0;
+  const std::vector<uint8_t> ack = recv_frame(conn, &verb);
+  if (verb != raw(ReplicaVerb::kHelloAck))
+    throw wire::WireFormatError("handshake: expected HelloAck, got verb " +
+                                std::to_string(verb));
+  wire::Reader in(ack);
+  const size_t echoed = in.u32();
+  in.expect_end();
+  if (echoed != rank)
+    throw wire::WireFormatError(
+        "handshake: master acked rank " + std::to_string(echoed) +
+        " instead of " + std::to_string(rank));
+  serve_replica(conn, *replica);
+}
+
+std::unique_ptr<TransportSession> open_transport(const TrainJob& job) {
+  if (job.transport == TransportKind::kTcp)
+    return std::make_unique<TcpSession>(job);
+  return std::make_unique<InprocSession>(job);
+}
+
+}  // namespace selsync

@@ -1,0 +1,189 @@
+// The replica data plane behind the transport seam (DESIGN.md §13).
+//
+// A WorkerLoop used to own its model/optimizer/loader directly, which pinned
+// every replica into the master process. Replica abstracts exactly the verbs
+// the loops actually issue — load data, take a training step, move flat
+// parameter/gradient vectors, checkpoint, evaluate — so the same loop can
+// drive either carrier:
+//
+//  * LocalReplica (transport inproc): the historical mode. Model, optimizer,
+//    shard loader, checkpoint and EMA tracker live in the master process;
+//    every verb is a direct call.
+//  * RemoteReplica (transport tcp): the replica state lives in a separate
+//    worker *process*. Every verb becomes one WireFormat frame pair on a
+//    real loopback TCP connection (master-relay topology: the master keeps
+//    all protocol machinery — CommBackend collectives, sync policy, fault
+//    schedule, simulated time — and relays payloads to the process that owns
+//    the floats). Each verb's wall time and frame bytes are measured; the
+//    loops drain them into SyncCost::measured_* for CostModel calibration.
+//
+// Determinism: both carriers run the identical float computation in the same
+// order — a LocalReplica in the master and a LocalReplica behind
+// serve_replica in a forked child are the same code on the same inherited
+// job state — which is why the golden records stay byte-identical over TCP
+// (the socket golden tier proves it).
+//
+// Bootstrap (transport tcp): open_transport() binds a loopback listener,
+// fork()s one child per rank *before* any cluster thread exists (the job's
+// closures — datasets, model factories, lambdas — are inherited through
+// fork, which is what lets non-serializable jobs cross the process
+// boundary), then accepts N Hello handshakes carrying {rank, job
+// fingerprint}. External workers (tcp.spawn_workers = false) are
+// selsync_worker processes dialing the same port with the same flags; the
+// fingerprint check rejects a worker launched with a different job.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace selsync {
+
+/// Wall-clock cost of the replica verbs issued since the last drain: real
+/// elapsed seconds and real frame bytes (headers + payloads, both
+/// directions). Always zero for a LocalReplica — there is no wire.
+struct ReplicaMeasure {
+  double seconds = 0.0;
+  uint64_t bytes = 0;
+};
+
+/// The verb surface a WorkerLoop needs from its replica. Calls are issued
+/// from that worker's thread only; implementations need no locking.
+class Replica {
+ public:
+  virtual ~Replica() = default;
+
+  virtual size_t param_count() = 0;
+  /// Flat-vector packing order (input layer first) — the slice schedule's
+  /// input.
+  virtual std::vector<size_t> layer_sizes() = 0;
+
+  /// Advances the shard stream and returns the indices it passed over
+  /// (the injection protocol pools these master-side).
+  virtual std::vector<size_t> next_indices() = 0;
+  /// Stages the batch for these explicit indices (own shard + injected
+  /// pool).
+  virtual void load_batch(const std::vector<size_t>& indices) = 0;
+  /// Advances the shard stream and stages its next batch.
+  virtual void load_next_batch() = 0;
+
+  /// Forward/backward on the staged batch.
+  virtual void train_step() = 0;
+  /// train_step() plus the resulting flat gradient (one round trip on the
+  /// wire; the synchronous loops always need the gradient for Δ(g)).
+  virtual std::vector<float> train_step_grads() = 0;
+  virtual void set_flat_grads(const std::vector<float>& grads) = 0;
+  virtual void optimizer_step(uint64_t iteration, double epoch) = 0;
+
+  virtual std::vector<float> flat_params() = 0;
+  virtual void set_flat_params(const std::vector<float>& params) = 0;
+
+  /// Snapshots {params, optimizer state, shard-stream position} as the
+  /// standing crash checkpoint.
+  virtual void save_checkpoint(uint64_t iteration) = 0;
+  /// Restores the standing checkpoint; returns the iteration it was taken
+  /// at.
+  virtual uint64_t restore_checkpoint() = 0;
+
+  virtual void ema_init(double decay) = 0;
+  virtual void ema_update() = 0;
+  /// Evaluates on the job's test set (under the EMA weights when ema_init
+  /// was called) and returns the point.
+  virtual EvalPoint evaluate(uint64_t iteration, double epoch,
+                             double sim_time) = 0;
+
+  /// Returns the measured cost accumulated since the last call and resets
+  /// it. The loops call this around each priced synchronization round so
+  /// SyncCost::measured_* carries exactly that round's data-plane cost.
+  virtual ReplicaMeasure take_measured() { return {}; }
+};
+
+/// The in-proc replica (also the worker-process side of the TCP carrier:
+/// serve_replica drives one of these).
+std::unique_ptr<Replica> make_local_replica(const TrainJob& job,
+                                            std::vector<size_t> order,
+                                            size_t local_batch);
+
+/// The local batch size every replica of this job loads: the
+/// injection-adjusted b' when data injection is on (synchronous strategies
+/// only), else the job's batch size. One function, used by the master's
+/// bootstrap and the worker process alike, so the two sides cannot disagree.
+size_t replica_local_batch(const TrainJob& job);
+
+/// ---- the TCP carrier -----------------------------------------------------
+
+/// RPC verbs of the replica wire protocol, carried in the WireFormat frame
+/// header. Values are pinned: they are the cross-process contract between
+/// selsync_cli and selsync_worker builds.
+enum class ReplicaVerb : uint16_t {
+  kHello = 1,  // worker -> master: u32 rank, u64 job fingerprint
+  kHelloAck,   // master -> worker: u32 rank (echo)
+  kLayerSizes,
+  kNextIndices,
+  kLoadBatch,
+  kLoadNextBatch,
+  kTrainStep,
+  kTrainStepGrads,
+  kSetFlatGrads,
+  kOptimizerStep,
+  kFlatParams,
+  kSetFlatParams,
+  kSaveCheckpoint,
+  kRestoreCheckpoint,
+  kEmaInit,
+  kEmaUpdate,
+  kEvaluate,
+  kShutdown,  // master -> worker: serve loop acks and returns
+  kError,     // worker -> master: u32 length + what() of the thrown error
+};
+
+class TcpConn;
+
+/// Hash of the job fields both sides must agree on (cluster shape, budget,
+/// seed, strategy/partition/backend/codec, Δ threshold, EMA decay). The
+/// Hello handshake rejects a worker whose fingerprint differs — the pointed
+/// failure mode for "master and worker launched with different flags".
+uint64_t job_fingerprint(const TrainJob& job);
+
+/// Worker-process serve loop: answers replica verbs on `conn` until
+/// kShutdown (clean return) or the connection dies (SocketError /
+/// WireFormatError propagates). A verb whose handler throws answers kError
+/// with the message, then rethrows. `max_verbs` bounds the loop for the
+/// chaos tests (a worker that dies mid-round).
+void serve_replica(TcpConn& conn, Replica& replica,
+                   size_t max_verbs = SIZE_MAX);
+
+/// Everything a worker process does: rebuild rank's shard order from the
+/// job (deterministic), build the LocalReplica, dial the master, handshake,
+/// serve until shutdown. The default body of a forked child, and the whole
+/// body of the selsync_worker tool.
+void serve_tcp_worker(const TrainJob& job, size_t rank,
+                      const std::string& host, uint16_t port);
+
+/// One run's transport: hands each worker thread its rank's Replica.
+/// Outlives the cluster; the trainer owns it.
+class TransportSession {
+ public:
+  virtual ~TransportSession() = default;
+  virtual std::unique_ptr<Replica> make_replica(size_t rank) = 0;
+  /// Unblocks every worker thread parked in a replica verb (the cluster
+  /// abort path). Safe from any thread; no-op for inproc.
+  virtual void abort() {}
+  /// Orderly teardown after the cluster joined: shutdown verbs to live
+  /// workers, close connections, reap child processes. Never throws (it
+  /// runs on the exception path too); no-op for inproc.
+  virtual void finish() {}
+};
+
+/// Builds the session for job.transport: inproc hands out LocalReplicas;
+/// tcp binds the listener, spawns/accepts the workers and hands out
+/// RemoteReplicas. Throws SocketError when a worker never dials in within
+/// tcp.accept_timeout_s, std::invalid_argument on a Hello whose rank or
+/// fingerprint is wrong.
+std::unique_ptr<TransportSession> open_transport(const TrainJob& job);
+
+}  // namespace selsync

@@ -25,6 +25,11 @@ JsonValue job_to_json(const TrainJob& job) {
   // only the job half of a record says when the DES engine produced it.
   if (job.engine != EngineKind::kThreads)
     j.set("engine", engine_kind_name(job.engine));
+  // Same rule for the transport: inproc predates the knob, and the result
+  // half must stay carrier-agnostic for the socket golden tier's byte
+  // compare — only the job half says when real TCP carried the run.
+  if (job.transport != TransportKind::kInproc)
+    j.set("transport", transport_kind_name(job.transport));
   // Sliced data plane: the single-slice default predates the knobs and the
   // golden records must stay byte-identical, so emit only when sliced.
   if (job.slices > 1) {
@@ -141,6 +146,13 @@ JsonValue result_to_json(const TrainResult& result) {
       sc.set("slices", static_cast<double>(s.slices));
       sc.set("max_slice_wire_bytes", s.max_slice_wire_bytes);
       sc.set("overlap_saved_s", s.overlap_saved_s);
+    }
+    if (s.measured_wire_bytes > 0) {
+      // Measured wall-clock transfer cost (tcp transport only — the in-proc
+      // carrier has no wire, so these stay zero and are omitted): the
+      // calibration inputs for the analytic CostModel.
+      sc.set("measured_sync_s", s.measured_sync_s);
+      sc.set("measured_wire_bytes", s.measured_wire_bytes);
     }
     j.set("sync_cost", std::move(sc));
   }

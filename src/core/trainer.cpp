@@ -1,12 +1,14 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "comm/cluster.hpp"
 #include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
 #include "core/backend_factory.hpp"
+#include "core/replica.hpp"
 #include "core/trainer_internal.hpp"
 #include "core/worker_loop.hpp"
 #include "data/injection.hpp"
@@ -21,21 +23,28 @@ using detail::SharedSyncState;
 using detail::SspWorkerLoop;
 using detail::SynchronousWorkerLoop;
 
-TrainResult run_synchronous(const TrainJob& job) {
-  const Partition partition =
-      make_partition(job.partition, *job.train_data, job.workers,
-                     job.labels_per_worker, job.seed ^ 0xDA7AULL);
+/// Drives the cluster and guarantees the transport session is torn down —
+/// shutdown verbs, closed connections, reaped worker processes — on the
+/// error path too, before the first worker error propagates.
+void run_cluster_over(TransportSession& session, const TrainJob& job,
+                      const std::function<void(WorkerContext&)>& worker_body,
+                      const std::function<void()>& on_abort) {
+  try {
+    run_cluster(job.engine, job.workers, worker_body, on_abort);
+  } catch (...) {
+    session.finish();
+    throw;
+  }
+  session.finish();
+}
 
-  size_t local_batch = job.batch_size;
+TrainResult run_synchronous(const TrainJob& job) {
   std::unique_ptr<DataInjector> injector;
-  if (job.injection.enabled) {
-    local_batch = injection_adjusted_batch(job.batch_size, job.injection.alpha,
-                                           job.injection.beta, job.workers);
+  if (job.injection.enabled)
     injector = std::make_unique<DataInjector>(
         InjectionConfig{job.injection.alpha, job.injection.beta,
                         job.seed ^ 0x12171217ULL},
         job.workers);
-  }
   std::unique_ptr<FaultInjector> faults;
   std::unique_ptr<RejoinCoordinator> rejoin;
   if (job.faults.enabled()) {
@@ -50,12 +59,15 @@ TrainResult run_synchronous(const TrainJob& job) {
     shared.easgd_center = job.model_factory(job.seed)->get_flat_params();
 
   std::unique_ptr<CommBackend> backend = make_backend(job, faults.get());
+  // The transport opens before any cluster thread exists: the tcp session
+  // forks its worker processes here, from a single-threaded master.
+  std::unique_ptr<TransportSession> session = open_transport(job);
 
   WallTimer wall;
-  run_cluster(
-      job.engine, job.workers,
+  run_cluster_over(
+      *session, job,
       [&](WorkerContext& ctx) {
-        SynchronousWorkerLoop loop(job, ctx, partition, local_batch,
+        SynchronousWorkerLoop loop(job, ctx, session->make_replica(ctx.rank),
                                    injector.get(), *backend, faults.get(),
                                    rejoin.get(), shared);
         loop.run();
@@ -63,6 +75,7 @@ TrainResult run_synchronous(const TrainJob& job) {
       [&] {
         backend->abort();
         if (rejoin) rejoin->shutdown();
+        session->abort();
       });
   shared.result.sim_time_s = *std::max_element(
       shared.worker_sim_time.begin(), shared.worker_sim_time.end());
@@ -72,26 +85,27 @@ TrainResult run_synchronous(const TrainJob& job) {
 }
 
 TrainResult run_ssp(const TrainJob& job) {
-  const Partition partition =
-      make_partition(job.partition, *job.train_data, job.workers,
-                     job.labels_per_worker, job.seed ^ 0xDA7AULL);
   std::unique_ptr<FaultInjector> faults;
   if (job.faults.enabled())
     faults = std::make_unique<FaultInjector>(job.faults, job.workers);
 
-  std::unique_ptr<CommBackend> backend = make_ssp_backend(job, faults.get());
+  std::unique_ptr<CommBackend> backend = make_backend(job, faults.get());
+  std::unique_ptr<TransportSession> session = open_transport(job);
 
   SharedSspState shared;
   shared.worker_sim_time.assign(job.workers, 0.0);
   WallTimer wall;
-  run_cluster(
-      job.engine, job.workers,
+  run_cluster_over(
+      *session, job,
       [&](WorkerContext& ctx) {
-        SspWorkerLoop loop(job, ctx, partition, *backend, faults.get(),
-                           shared);
+        SspWorkerLoop loop(job, ctx, session->make_replica(ctx.rank),
+                           *backend, faults.get(), shared);
         loop.run();
       },
-      [&] { backend->abort(); });
+      [&] {
+        backend->abort();
+        session->abort();
+      });
   shared.result.sim_time_s = *std::max_element(shared.worker_sim_time.begin(),
                                                shared.worker_sim_time.end());
   shared.result.wall_time_s = wall.elapsed_s();

@@ -8,15 +8,13 @@
 namespace selsync::detail {
 
 WorkerLoop::WorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                       const Partition& partition, size_t local_batch,
-                       CommBackend& backend, FaultInjector* faults)
+                       std::unique_ptr<Replica> replica, CommBackend& backend,
+                       FaultInjector* faults)
     : job_(job),
       ctx_(ctx),
       backend_(backend),
       faults_(faults),
-      model_(job.model_factory(job.seed)),
-      optimizer_(job.optimizer_factory()),
-      loader_(job.train_data, partition.worker_order[ctx.rank], local_batch),
+      replica_(std::move(replica)),
       time_(job.paper_model, job.device, job.network, job.topology,
             job.workers),
       steps_per_epoch_(job.steps_per_epoch()),
@@ -92,10 +90,10 @@ bool WorkerLoop::step() {
 // ---------------------------------------------------------------------------
 
 SynchronousWorkerLoop::SynchronousWorkerLoop(
-    const TrainJob& job, WorkerContext& ctx, const Partition& partition,
-    size_t local_batch, const DataInjector* injector, CommBackend& backend,
-    FaultInjector* faults, RejoinCoordinator* rejoin, SharedSyncState& shared)
-    : WorkerLoop(job, ctx, partition, local_batch, backend, faults),
+    const TrainJob& job, WorkerContext& ctx, std::unique_ptr<Replica> replica,
+    const DataInjector* injector, CommBackend& backend, FaultInjector* faults,
+    RejoinCoordinator* rejoin, SharedSyncState& shared)
+    : WorkerLoop(job, ctx, std::move(replica), backend, faults),
       injector_(injector),
       rejoin_(rejoin),
       shared_(shared),
@@ -104,18 +102,17 @@ SynchronousWorkerLoop::SynchronousWorkerLoop(
       agg_(aggregation_for(job)),
       full_group_(CommGroup::full(job.workers)),
       group_(full_group_) {
-  if (is_root() && job.ema_decay > 0.0)
-    ema_ = std::make_unique<EmaTracker>(job.ema_decay);
+  if (is_root() && job.ema_decay > 0.0) {
+    replica_->ema_init(job.ema_decay);
+    ema_enabled_ = true;
+  }
   if (job.slices <= 1) {
-    slices_ = SliceSchedule::single(model_->param_count());
+    slices_ = SliceSchedule::single(replica_->param_count());
   } else {
     // Slice the replica's actual layer shapes (flat-vector packing order,
     // input layer first); every rank builds the identical schedule.
-    std::vector<size_t> layer_sizes;
-    layer_sizes.reserve(model_->params().size());
-    for (const Param* p : model_->params())
-      layer_sizes.push_back(p->value.size());
-    slices_ = SliceSchedule::build(layer_sizes, job.slices, job.slice_order);
+    slices_ = SliceSchedule::build(replica_->layer_sizes(), job.slices,
+                                   job.slice_order);
   }
 }
 
@@ -125,7 +122,7 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
     faults_->set_current_iteration(ctx_.rank, it_);
     if (take_checkpoints_ &&
         it_ % faults_->plan().checkpoint_interval == 0) {
-      save_checkpoint(checkpoint_, it_, *model_, *optimizer_, loader_);
+      replica_->save_checkpoint(it_);
       faults_->record(ctx_.rank, FaultKind::kCheckpoint, it_);
     }
     if (const CrashEvent* crash =
@@ -145,7 +142,7 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
       }
       it_ = crash->at_iteration + crash->downtime_iterations;
       faults_->set_current_iteration(ctx_.rank, it_);
-      restore_checkpoint(checkpoint_, *model_, *optimizer_, loader_);
+      replica_->restore_checkpoint();
       // The Δ(g) statistic restarts cold: its EWMA window described a
       // training trajectory the restored replica is no longer on.
       grad_change_ =
@@ -179,10 +176,11 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
         for (size_t r : rejoiners) rejoin_->release(r);
       // Every member relays the survivor's parameters, but only rejoiners
       // adopt them — surviving replicas keep their legitimate drift.
-      std::vector<float> params = model_->get_flat_params();
+      replica_->take_measured();  // open this round's measured account
+      std::vector<float> params = replica_->flat_params();
       backend_.broadcast(ctx_, sync_root, params, group_);
       if (i_rejoin) {
-        model_->set_flat_params(params);
+        replica_->set_flat_params(params);
         faults_->record(ctx_.rank, FaultKind::kRecoverySync, it_);
       }
       // A recovery sync always moves the dense model (re-seeding a rejoiner
@@ -190,6 +188,9 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
       // wire ratio 1.0 regardless of the backend's codec.
       SyncCost recovery;
       time_.price_sync(recovery, backend_);
+      const ReplicaMeasure measured = replica_->take_measured();
+      recovery.measured_sync_s = measured.seconds;
+      recovery.measured_wire_bytes = static_cast<size_t>(measured.bytes);
       sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
                   recovery.round_time();
       comm_bytes_ += static_cast<double>(time_.payload_bytes());
@@ -202,7 +203,7 @@ WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
 void SynchronousWorkerLoop::data_stage() {
   epoch_ = static_cast<double>(it_) / static_cast<double>(steps_per_epoch_);
   if (injector_) {
-    const std::vector<size_t> mine = loader_.next_indices();
+    const std::vector<size_t> mine = replica_->next_indices();
     {
       // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState.
       std::lock_guard<std::mutex> lock(shared_.mutex);
@@ -219,16 +220,16 @@ void SynchronousWorkerLoop::data_stage() {
     backend_.barrier(ctx_, group_);  // proposals no longer read after this
     std::vector<size_t> combined = mine;
     combined.insert(combined.end(), round.pool.begin(), round.pool.end());
-    batch_ = job_.train_data->make_batch(combined);
+    replica_->load_batch(combined);
     sim_time_ += time_.injection_time(round.bytes_transferred);
     comm_bytes_ += static_cast<double>(round.bytes_transferred);
   } else {
-    batch_ = loader_.next_batch();
+    replica_->load_next_batch();
   }
 }
 
 void SynchronousWorkerLoop::compute_stage() {
-  model_->train_step(batch_);
+  grads_ = replica_->train_step_grads();
   compute_factor_ = speed_;
   if (faults_) {
     if (const StragglerEvent* s =
@@ -238,7 +239,6 @@ void SynchronousWorkerLoop::compute_stage() {
     compute_factor_ *= faults_->straggler_factor(ctx_.rank, it_);
   }
   sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size);
-  grads_ = model_->get_flat_grads();
   delta_ = grad_change_.update(sq_norm(grads_));
   if (is_root()) {
     if (job_.record_delta_trace) delta_trace_.push_back(delta_);
@@ -282,7 +282,7 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
   if (any_sync && contributors == 0) {
     if (faults_ && ctx_.rank == group_.leader)
       faults_->record(ctx_.rank, FaultKind::kQuorumLost, it_);
-    optimizer_->step(model_->params(), it_, epoch_);
+    replica_->optimizer_step(it_, epoch_);
     ++local_steps_;
     ++sync_rounds_;
   } else if (any_sync) {
@@ -300,6 +300,10 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
     const bool participant = policy_->participates(sync_rounds_, ctx_.rank);
     const float weight =
         participant ? 1.f / static_cast<float>(contributors) : 0.f;
+    // Open this round's measured account: the drain below then carries
+    // exactly the data-plane verbs of this aggregation round (real seconds
+    // and frame bytes on the tcp carrier; zero in-proc).
+    replica_->take_measured();
     if (job_.strategy == StrategyKind::kEasgd) {
       // Elastic update (reference [37]): local models are pulled toward
       // the center, the center toward the worker mean. The center sits in
@@ -308,8 +312,8 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       // elastic exchange stays on the shared bus on every backend — the
       // center variable is shared memory, not a payload in flight.
       SharedCollectives& coll = *ctx_.collectives;
-      optimizer_->step(model_->params(), it_, epoch_);
-      std::vector<float> params = model_->get_flat_params();
+      replica_->optimizer_step(it_, epoch_);
+      std::vector<float> params = replica_->flat_params();
       std::vector<float> diff(params.size());
       for (size_t i = 0; i < params.size(); ++i)
         diff[i] = params[i] - shared_.easgd_center[i];
@@ -317,7 +321,7 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       const float a = static_cast<float>(job_.easgd.alpha);
       for (size_t i = 0; i < params.size(); ++i)
         params[i] -= a * diff[i];
-      model_->set_flat_params(params);
+      replica_->set_flat_params(params);
       // ...then the center absorbs the mean displacement.
       coll.allreduce_mean(ctx_.rank, diff, group_);
       coll.barrier(group_);
@@ -337,21 +341,24 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
       wire_ratio = backend_.allreduce_sliced(ctx_, grads_, slices_, group_,
                                              sim_time_, delta_, weight,
                                              /*encoded=*/true);
-      model_->set_flat_grads(grads_);
-      optimizer_->step(model_->params(), it_, epoch_);
+      replica_->set_flat_grads(grads_);
+      replica_->optimizer_step(it_, epoch_);
     } else {
       // Alg. 1: local update first (line 9), then parameter averaging
       // (lines 14-15) makes all replicas consistent; the slice driver
       // applies the contribution weight.
-      optimizer_->step(model_->params(), it_, epoch_);
-      std::vector<float> params = model_->get_flat_params();
+      replica_->optimizer_step(it_, epoch_);
+      std::vector<float> params = replica_->flat_params();
       backend_.allreduce_sliced(ctx_, params, slices_, group_, sim_time_,
                                 delta_, weight, /*encoded=*/false);
-      model_->set_flat_params(params);
+      replica_->set_flat_params(params);
     }
     time_.price_sync(cost, backend_, slices_, job_.overlap,
                      compute_factor_ * time_.backward_time(job_.batch_size),
                      wire_ratio);
+    const ReplicaMeasure measured = replica_->take_measured();
+    cost.measured_sync_s = measured.seconds;
+    cost.measured_wire_bytes = static_cast<size_t>(measured.bytes);
     sim_time_ = backend_.allreduce_max(ctx_, sim_time_, group_) +
                 cost.round_time();
     comm_bytes_ += 2.0 * static_cast<double>(cost.wire_bytes);
@@ -359,13 +366,13 @@ void SynchronousWorkerLoop::aggregation_stage(bool any_sync) {
     ++sync_steps_;
     ++sync_rounds_;
   } else {
-    optimizer_->step(model_->params(), it_, epoch_);
+    replica_->optimizer_step(it_, epoch_);
     ++local_steps_;
   }
 }
 
 bool SynchronousWorkerLoop::instrumentation_stage() {
-  if (ema_) ema_->update(*model_);
+  if (ema_enabled_) replica_->ema_update();
 
   // ---- worker-0 snapshots (Fig. 11) ---------------------------------------
   // A single iteration can cross several boundaries when they sit closer
@@ -374,7 +381,7 @@ bool SynchronousWorkerLoop::instrumentation_stage() {
          static_cast<double>(it_ + 1) / steps_per_epoch_ >=
              job_.snapshot_epochs[next_snapshot_]) {
     snapshots_[job_.snapshot_epochs[next_snapshot_]] =
-        model_->get_flat_params();
+        replica_->flat_params();
     ++next_snapshot_;
   }
 
@@ -382,17 +389,10 @@ bool SynchronousWorkerLoop::instrumentation_stage() {
   if ((it_ + 1) % job_.eval_interval == 0 || it_ + 1 == job_.max_iterations) {
     double stop_vote = 0.0;
     if (is_root()) {
-      EvalPoint pt;
-      if (ema_) {
-        EmaEvalScope scope(*ema_, *model_);  // evaluate the averaged weights
-        pt = make_eval_point(*model_, *job_.test_data, it_ + 1,
-                             static_cast<double>(it_ + 1) / steps_per_epoch_,
-                             sim_time_);
-      } else {
-        pt = make_eval_point(*model_, *job_.test_data, it_ + 1,
-                             static_cast<double>(it_ + 1) / steps_per_epoch_,
-                             sim_time_);
-      }
+      // The replica evaluates under its EMA weights when one was armed.
+      const EvalPoint pt = replica_->evaluate(
+          it_ + 1, static_cast<double>(it_ + 1) / steps_per_epoch_,
+          sim_time_);
       eval_history_.push_back(pt);
       update_bests(local_bests_, pt);
       if (target_reached(job_, pt)) stop_vote = 1.0;
@@ -450,9 +450,10 @@ void SynchronousWorkerLoop::publish() {
 // ---------------------------------------------------------------------------
 
 SspWorkerLoop::SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                             const Partition& partition, CommBackend& backend,
-                             FaultInjector* faults, SharedSspState& shared)
-    : WorkerLoop(job, ctx, partition, job.batch_size, backend, faults),
+                             std::unique_ptr<Replica> replica,
+                             CommBackend& backend, FaultInjector* faults,
+                             SharedSspState& shared)
+    : WorkerLoop(job, ctx, std::move(replica), backend, faults),
       shared_(shared),
       ps_(*backend.central_store()) {}
 
@@ -463,7 +464,7 @@ WorkerLoop::FaultAction SspWorkerLoop::fault_stage() {
     faults_->set_current_iteration(ctx_.rank, it_);
     if (take_checkpoints_ &&
         it_ % faults_->plan().checkpoint_interval == 0) {
-      save_checkpoint(checkpoint_, it_, *model_, *optimizer_, loader_);
+      replica_->save_checkpoint(it_);
       faults_->record(ctx_.rank, FaultKind::kCheckpoint, it_);
     }
     const CrashEvent* crash = faults_->crash_starting_at(ctx_.rank, it_);
@@ -479,8 +480,7 @@ WorkerLoop::FaultAction SspWorkerLoop::fault_stage() {
       // the last checkpoint: the replayed iterations are the lost work,
       // and the staleness bound then holds fast workers to the rewound
       // clock — exactly the straggler effect a real crash has.
-      restore_checkpoint(checkpoint_, *model_, *optimizer_, loader_);
-      it_ = checkpoint_.iteration;
+      it_ = replica_->restore_checkpoint();
       faults_->set_current_iteration(ctx_.rank, it_);
       sim_time_ += faults_->plan().restart_cost_s;
       faults_->record(ctx_.rank, FaultKind::kRestart, it_,
@@ -508,21 +508,21 @@ void SspWorkerLoop::data_stage() {
     // (paper §II-C: workers "independently update the global parameters on
     // the central PS in a non-blocking manner").
     pulled_ = ps_.pull();
-    model_->set_flat_params(pulled_);
+    replica_->set_flat_params(pulled_);
   }
-  batch_ = loader_.next_batch();
+  replica_->load_next_batch();
 }
 
 void SspWorkerLoop::compute_stage() {
-  model_->train_step(batch_);
-  optimizer_->step(model_->params(), it_, epoch_);
+  replica_->train_step();
+  replica_->optimizer_step(it_, epoch_);
   if (skip_ps_) {
     // Degraded step: train on the stale local replica, drop this push.
     sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size);
   } else {
     // One local step (momentum/Adam state stays worker-local), then push
     // the resulting parameter delta asynchronously.
-    std::vector<float> delta = model_->get_flat_params();
+    std::vector<float> delta = replica_->flat_params();
     for (size_t i = 0; i < delta.size(); ++i) delta[i] -= pulled_[i];
     ps_.apply_delta_async(delta);
     sim_time_ += compute_factor_ * time_.compute_time(job_.batch_size) +
@@ -540,10 +540,9 @@ bool SspWorkerLoop::instrumentation_stage() {
   if (is_root() &&
       ((it_ + 1) % job_.eval_interval == 0 ||
        it_ + 1 == job_.max_iterations)) {
-    model_->set_flat_params(ps_.pull());
-    const EvalPoint pt = make_eval_point(
-        *model_, *job_.test_data, it_ + 1,
-        static_cast<double>(it_ + 1) / steps_per_epoch_, sim_time_);
+    replica_->set_flat_params(ps_.pull());
+    const EvalPoint pt = replica_->evaluate(
+        it_ + 1, static_cast<double>(it_ + 1) / steps_per_epoch_, sim_time_);
     eval_history_.push_back(pt);
     update_bests(local_bests_, pt);
     if (target_reached(job_, pt)) {

@@ -11,7 +11,9 @@
 // stop is agreed, or the fault schedule retires the worker. The
 // bulk-synchronous strategies (BSP / LocalSGD / FedAvg / SelSync / EASGD)
 // and SSP are the two concrete loops; both speak to the payload transport
-// only through the CommBackend seam, never a concrete protocol.
+// only through the CommBackend seam, never a concrete protocol — and to
+// their model/optimizer/data only through the Replica seam, never a concrete
+// carrier (in-proc or a worker process over TCP).
 //
 // Stage contracts:
 //  * fault_stage() may rewrite the iteration counter (crash fast-forward /
@@ -35,11 +37,11 @@
 #include "comm/fault_injector.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "core/replica.hpp"
 #include "core/sync_policy.hpp"
 #include "core/time_model.hpp"
 #include "core/trainer_internal.hpp"
 #include "data/injection.hpp"
-#include "optim/ema_tracker.hpp"
 #include "stats/grad_change.hpp"
 
 namespace selsync::detail {
@@ -113,8 +115,8 @@ class WorkerLoop {
   };
 
   WorkerLoop(const TrainJob& job, WorkerContext& ctx,
-             const Partition& partition, size_t local_batch,
-             CommBackend& backend, FaultInjector* faults);
+             std::unique_ptr<Replica> replica, CommBackend& backend,
+             FaultInjector* faults);
 
   /// Checked before every iteration (SSP's cross-worker stop flag).
   virtual bool stop_requested() const { return false; }
@@ -136,9 +138,11 @@ class WorkerLoop {
   CommBackend& backend_;
   FaultInjector* faults_;
 
-  std::unique_ptr<Model> model_;
-  std::unique_ptr<Optimizer> optimizer_;
-  ShardLoader loader_;
+  /// This rank's model/optimizer/data plane behind the transport seam
+  /// (DESIGN.md §13): a LocalReplica in-proc, a RemoteReplica proxying a
+  /// worker process over framed TCP. The loop's protocol logic is
+  /// carrier-blind — it issues the same verbs either way.
+  std::unique_ptr<Replica> replica_;
   StepTimeModel time_;
   const uint64_t steps_per_epoch_;
   /// Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
@@ -152,11 +156,9 @@ class WorkerLoop {
   double comm_bytes_ = 0.0;
   bool reached_ = false;
   bool diverged_ = false;
-  Batch batch_;
 
-  // Fault-injection state: the standing checkpoint (only maintained for
-  // ranks the plan can crash-and-restart).
-  WorkerCheckpoint checkpoint_;
+  // Fault-injection state: whether this rank maintains the replica's
+  // standing checkpoint (only ranks the plan can crash-and-restart do).
   const bool take_checkpoints_;
 
   // Root-worker observability.
@@ -169,7 +171,7 @@ class WorkerLoop {
 class SynchronousWorkerLoop final : public WorkerLoop {
  public:
   SynchronousWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                        const Partition& partition, size_t local_batch,
+                        std::unique_ptr<Replica> replica,
                         const DataInjector* injector, CommBackend& backend,
                         FaultInjector* faults, RejoinCoordinator* rejoin,
                         SharedSyncState& shared);
@@ -211,8 +213,10 @@ class SynchronousWorkerLoop final : public WorkerLoop {
   /// barrier, bit-exactly.
   SliceSchedule slices_;
 
-  // Worker-0 instrumentation, moved into `shared_` at the end.
-  std::unique_ptr<EmaTracker> ema_;
+  // Worker-0 instrumentation, moved into `shared_` at the end. The EMA
+  // tracker itself lives inside the replica (next to the weights it
+  // averages); the loop only remembers whether it armed one.
+  bool ema_enabled_ = false;
   std::vector<double> delta_trace_, grad_sq_trace_;
   std::map<double, std::vector<float>> snapshots_;
   size_t next_snapshot_ = 0;
@@ -223,7 +227,7 @@ class SynchronousWorkerLoop final : public WorkerLoop {
 class SspWorkerLoop final : public WorkerLoop {
  public:
   SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                const Partition& partition, CommBackend& backend,
+                std::unique_ptr<Replica> replica, CommBackend& backend,
                 FaultInjector* faults, SharedSspState& shared);
 
  protected:

@@ -1,0 +1,222 @@
+// WireFormat is the single serialize/deserialize surface both carriers
+// consume (DESIGN.md §13): these tests pin the framing header, the
+// endian-pinned primitives, and the chunk payload layouts for every codec —
+// round-trips must be exact, and torn/garbage input must throw
+// WireFormatError instead of silently truncating.
+#include "comm/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comm/compression.hpp"
+
+namespace selsync {
+namespace {
+
+using wire::Reader;
+using wire::WireFormatError;
+
+std::vector<float> ramp(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>(i % 2 == 0 ? i : -static_cast<double>(i)) /
+           static_cast<float>(n);
+  return v;
+}
+
+/// codec_transform in place (no error feedback), returning the transformed
+/// payload an encoder would see.
+std::vector<float> transformed(const CompressionConfig& config,
+                               std::vector<float> values) {
+  codec_transform(config, values, nullptr);
+  return values;
+}
+
+std::vector<float> round_trip(const CompressionConfig& config,
+                              const std::vector<float>& values) {
+  const std::vector<uint8_t> payload = wire::encode_chunk(config, values);
+  return wire::decode_chunk(config, payload.data(), payload.size(),
+                            values.size());
+}
+
+TEST(WireHeader, RoundTripsVerbAndLength) {
+  const std::vector<uint8_t> header = wire::encode_header(7, 1234567);
+  ASSERT_EQ(header.size(), wire::kHeaderBytes);
+  const wire::FrameHeader parsed =
+      wire::decode_header(header.data(), header.size());
+  EXPECT_EQ(parsed.verb, 7);
+  EXPECT_EQ(parsed.payload_len, 1234567u);
+}
+
+TEST(WireHeader, ShortBufferIsATornFrame) {
+  const std::vector<uint8_t> header = wire::encode_header(1, 0);
+  for (size_t cut = 0; cut < wire::kHeaderBytes; ++cut)
+    EXPECT_THROW(wire::decode_header(header.data(), cut), WireFormatError)
+        << cut << " bytes of a header must not parse";
+}
+
+TEST(WireHeader, GarbageMagicIsRejected) {
+  std::vector<uint8_t> header = wire::encode_header(1, 0);
+  header[0] ^= 0xFF;
+  EXPECT_THROW(wire::decode_header(header.data(), header.size()),
+               WireFormatError);
+}
+
+TEST(WireHeader, UnknownVersionIsRejected) {
+  // A future build bumping kWireVersion must be refused loudly, not
+  // misparsed: version sits at byte offset 4.
+  std::vector<uint8_t> header = wire::encode_header(1, 0);
+  header[4] = static_cast<uint8_t>(wire::kWireVersion + 1);
+  EXPECT_THROW(wire::decode_header(header.data(), header.size()),
+               WireFormatError);
+}
+
+TEST(WireReader, PrimitivesRoundTripLittleEndian) {
+  std::vector<uint8_t> buf;
+  wire::put_u16(buf, 0xBEEF);
+  wire::put_u32(buf, 0xDEADBEEFu);
+  wire::put_u64(buf, 0x0123456789ABCDEFull);
+  wire::put_f32(buf, -1.5f);
+  wire::put_f64(buf, 2.25);
+  // The layout is pinned, not host-dependent: first field is 0xBEEF
+  // little-endian.
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[1], 0xBE);
+
+  Reader in(buf);
+  EXPECT_EQ(in.u16(), 0xBEEF);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.f32(), -1.5f);
+  EXPECT_EQ(in.f64(), 2.25);
+  EXPECT_NO_THROW(in.expect_end());
+}
+
+TEST(WireReader, OverrunAndTrailingGarbageThrow) {
+  std::vector<uint8_t> buf;
+  wire::put_u32(buf, 42);
+  Reader in(buf);
+  EXPECT_EQ(in.u16(), 42);       // 2 of 4 bytes consumed
+  EXPECT_THROW(in.expect_end(), WireFormatError) << "2 bytes left over";
+  EXPECT_NO_THROW(in.u16());
+  EXPECT_THROW(in.u16(), WireFormatError) << "read past the end";
+}
+
+TEST(WireChunk, DenseRoundTripIsBitExact) {
+  const CompressionConfig config{CompressionKind::kNone};
+  const std::vector<float> values = ramp(97);
+  const std::vector<uint8_t> payload = wire::encode_chunk(config, values);
+  EXPECT_EQ(payload.size(), wire::chunk_wire_bytes(config, values.size()));
+  EXPECT_EQ(round_trip(config, values), values);
+}
+
+TEST(WireChunk, TopKRoundTripsTheSurvivors) {
+  CompressionConfig config{CompressionKind::kTopK};
+  config.topk_fraction = 0.25;
+  config.error_feedback = false;
+  const std::vector<float> sparse = transformed(config, ramp(64));
+  EXPECT_EQ(round_trip(config, sparse), sparse)
+      << "decode must rebuild the transformed chunk exactly, zeros included";
+  // The *accounted* size budgets clamp(k,1,n) pairs whatever the threshold
+  // actually kept.
+  EXPECT_EQ(wire::chunk_wire_bytes(config, 64), 16u * 8u);
+  EXPECT_EQ(wire::chunk_wire_bytes(config, 1), 8u)
+      << "a tiny chunk still ships at least one entry";
+}
+
+TEST(WireChunk, SignSgdIsExactWithoutZeros) {
+  CompressionConfig config{CompressionKind::kSignSgd};
+  config.error_feedback = false;
+  std::vector<float> values = ramp(33);
+  values[0] = 0.5f;  // ramp(n)[0] is 0.0; keep this payload zero-free
+  const std::vector<float> signs = transformed(config, values);
+  for (float v : signs) ASSERT_NE(v, 0.f);
+  EXPECT_EQ(round_trip(config, signs), signs);
+}
+
+TEST(WireChunk, SignSgdCanonicalizesExactZeroToPlus) {
+  // codec_transform maps an exactly-zero entry to 0.0f, which a 1-bit sign
+  // cannot carry: the wire canonicalizes it to the positive sign.
+  CompressionConfig config{CompressionKind::kSignSgd};
+  config.error_feedback = false;
+  std::vector<float> values = {0.f, -2.f, 1.f, 0.f};
+  const std::vector<float> signs = transformed(config, values);
+  ASSERT_EQ(signs[0], 0.f);
+  const std::vector<float> decoded = round_trip(config, signs);
+  const float scale = std::fabs(signs[1]);
+  EXPECT_EQ(decoded[0], scale) << "zero decodes as +scale";
+  EXPECT_EQ(decoded[1], -scale);
+  EXPECT_EQ(decoded[2], scale);
+  EXPECT_EQ(decoded[3], scale);
+}
+
+TEST(WireChunk, Quant8RoundTripIsBitExact) {
+  CompressionConfig config{CompressionKind::kQuant8};
+  config.error_feedback = false;
+  const std::vector<float> levels = transformed(config, ramp(50));
+  EXPECT_EQ(round_trip(config, levels), levels)
+      << "level * scale must reconstruct codec_transform's round(x/s) * s";
+}
+
+TEST(WireChunk, EmptyChunkIsZeroBytesUnderEveryCodec) {
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8}) {
+    CompressionConfig config{kind};
+    EXPECT_EQ(wire::chunk_wire_bytes(config, 0), 0u);
+    EXPECT_TRUE(wire::encode_chunk(config, {}).empty());
+    EXPECT_TRUE(wire::decode_chunk(config, nullptr, 0, 0).empty());
+  }
+}
+
+TEST(WireChunk, TornPayloadsFailLoudly) {
+  const std::vector<float> values = ramp(16);
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kTopK,
+        CompressionKind::kSignSgd, CompressionKind::kQuant8}) {
+    CompressionConfig config{kind};
+    config.topk_fraction = 0.5;
+    config.error_feedback = false;
+    const std::vector<float> payload_values =
+        kind == CompressionKind::kNone ? values : transformed(config, values);
+    const std::vector<uint8_t> payload =
+        wire::encode_chunk(config, payload_values);
+    ASSERT_FALSE(payload.empty());
+    EXPECT_THROW(wire::decode_chunk(config, payload.data(),
+                                    payload.size() - 1, values.size()),
+                 WireFormatError)
+        << compression_kind_name(kind) << ": truncated payload must throw";
+    // 0xFF padding: a zero-padded topk payload would parse as a legitimate
+    // (index 0, value 0.0) entry; 0xFF makes the extra entry out of range.
+    std::vector<uint8_t> padded = payload;
+    padded.insert(padded.end(), 8, 0xFF);
+    EXPECT_THROW(wire::decode_chunk(config, padded.data(), padded.size(),
+                                    values.size()),
+                 WireFormatError)
+        << compression_kind_name(kind) << ": oversized payload must throw";
+  }
+}
+
+TEST(WireChunk, TopKOutOfRangeIndexIsRejected) {
+  const CompressionConfig config{CompressionKind::kTopK};
+  std::vector<uint8_t> payload;
+  wire::put_u32(payload, 99);  // index past a 4-entry chunk
+  wire::put_f32(payload, 1.f);
+  EXPECT_THROW(wire::decode_chunk(config, payload.data(), payload.size(), 4),
+               WireFormatError);
+}
+
+TEST(WireChunk, FloatVectorCarrierRoundTrips) {
+  const std::vector<float> values = ramp(31);
+  std::vector<uint8_t> buf;
+  wire::put_f32s(buf, values);
+  ASSERT_EQ(buf.size(), values.size() * 4);
+  Reader in(buf);
+  EXPECT_EQ(wire::get_f32s(in, values.size()), values);
+  EXPECT_NO_THROW(in.expect_end());
+}
+
+}  // namespace
+}  // namespace selsync

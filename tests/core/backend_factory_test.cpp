@@ -67,15 +67,27 @@ TEST(MakeBackend, BuildsTheJobsBackendAndSeedsTheStore) {
       << "construction revalidates; callers cannot skip the checks";
 }
 
-TEST(MakeSspBackend, AlwaysBuildsTheCentralStoreTier) {
+TEST(MakeBackend, SspAlwaysGetsTheCentralStoreTier) {
+  // One entry point for every strategy: the SSP branch lives inside
+  // make_backend, not a parallel factory callers could miss.
   TrainJob job = small_class_job(StrategyKind::kSsp);
-  job.backend = BackendKind::kSharedMemory;  // transport knob ignored by SSP
+  job.backend = BackendKind::kSharedMemory;  // backend knob ignored by SSP
   job.ps_shards = 3;
-  auto backend = make_ssp_backend(job, nullptr);
+  auto backend = make_backend(job, nullptr);
   ASSERT_NE(backend, nullptr);
   EXPECT_EQ(backend->kind(), BackendKind::kParameterServer);
   ASSERT_NE(backend->central_store(), nullptr);
   EXPECT_EQ(backend->central_store()->shards(), 3u);
+}
+
+TEST(ValidateBackendChoice, RejectsTcpTransportUnderTheDesEngine) {
+  TrainJob job = small_class_job(StrategyKind::kBsp);
+  job.transport = TransportKind::kTcp;
+  job.engine = EngineKind::kDes;
+  EXPECT_THROW(validate_backend_choice(job), std::invalid_argument)
+      << "blocking sockets would stall cooperative fibers";
+  job.engine = EngineKind::kThreads;
+  EXPECT_NO_THROW(validate_backend_choice(job));
 }
 
 TEST(ShardedTraining, BspOnPsIsBitIdenticalAcrossShardCounts) {

@@ -84,6 +84,10 @@ TEST(EnumRoundTrip, SliceScheduleKind) {
   ExpectTableRoundTrips(kSliceScheduleKindNames);
 }
 
+TEST(EnumRoundTrip, TransportKind) {
+  ExpectTableRoundTrips(kTransportKindNames);
+}
+
 // The golden run records pin these exact serialized spellings; a renamed
 // table entry must fail here before it reaches the parity grid.
 TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {

@@ -1,0 +1,6 @@
+// Fixture: the socket-confine exemption is scoped to the
+// src/comm/socket_transport.* pair, not all of src/comm/ — a stray syscall
+// in any other comm file must still trip the rule.
+#include <sys/socket.h>
+
+int open_raw_socket() { return ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0); }

@@ -1,0 +1,5 @@
+// Fixture: identical syscalls are fine in src/comm/socket_transport.* —
+// that is the one translation unit licensed to speak BSD sockets.
+#include <sys/socket.h>
+
+int open_raw_socket() { return ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0); }

@@ -1,0 +1,5 @@
+// Fixture: raw BSD socket calls outside src/comm/socket_transport.* must
+// trip the `socket-confine` rule — every other file speaks TcpConn frames.
+#include <sys/socket.h>
+
+int open_raw_socket() { return ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0); }

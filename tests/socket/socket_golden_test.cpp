@@ -1,0 +1,50 @@
+// Golden parity over the real wire: the full golden grid re-runs with
+// job.transport = kTcp — every replica living in a forked worker process,
+// every verb a WireFormat frame pair on loopback TCP — and each canonical
+// result record must stay byte-identical to the seed oracle. This is the
+// transport's core acceptance bar: carrying the floats over a socket must
+// not change a single bit of the training dynamics, simulated-time
+// arithmetic, or fault logs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "tests/golden/golden_configs.hpp"
+
+namespace selsync {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ADD_FAILURE() << "cannot open golden record " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class SocketGolden : public ::testing::TestWithParam<golden::GoldenConfig> {};
+
+TEST_P(SocketGolden, RecordIsByteIdenticalOverTcp) {
+  const golden::GoldenConfig& cfg = GetParam();
+  const std::string expected = read_file(
+      std::string(SELSYNC_SOURCE_DIR) + "/tests/golden/records/" + cfg.name +
+      ".json");
+  ASSERT_FALSE(expected.empty()) << cfg.name;
+  TrainJob job = cfg.job;
+  job.transport = TransportKind::kTcp;
+  const TrainResult result = run_training(job);
+  EXPECT_EQ(golden::canonical_result_json(result), expected)
+      << cfg.name << ": the TCP carrier changed the training dynamics";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SocketGolden,
+                         ::testing::ValuesIn(golden::golden_grid()),
+                         [](const auto& param_info) {
+                           return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace selsync

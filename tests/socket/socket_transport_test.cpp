@@ -1,0 +1,190 @@
+// The TCP transport tier (ctest -L socket): bootstrap handshake in both
+// directions, partial-failure chaos (a worker process dying mid-round, a
+// worker that never dials in, a torn byte stream), and the measured
+// wall-clock accounting that calibrates the CostModel. Everything here runs
+// real fork()ed worker processes over loopback sockets — which is why this
+// tier is NOT in the sanitizer legs (TSan and fork do not mix).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/socket_transport.hpp"
+#include "comm/wire_format.hpp"
+#include "core/replica.hpp"
+#include "core/run_record.hpp"
+#include "core/trainer.hpp"
+#include "data/partition.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+TrainJob tcp_job(StrategyKind strategy, uint64_t iterations) {
+  TrainJob job = testing::small_class_job(strategy, iterations);
+  job.transport = TransportKind::kTcp;
+  return job;
+}
+
+/// The worker half of the Hello handshake, for child_main hooks that need a
+/// live connection without serve_tcp_worker's full serve loop.
+TcpConn dial_and_handshake(const TrainJob& job, size_t rank, uint16_t port) {
+  TcpConn conn = tcp_connect("127.0.0.1", port, job.tcp.connect_timeout_s);
+  std::vector<uint8_t> hello;
+  wire::put_u32(hello, static_cast<uint32_t>(rank));
+  wire::put_u64(hello, job_fingerprint(job));
+  send_frame(conn, static_cast<uint16_t>(ReplicaVerb::kHello), hello);
+  uint16_t verb = 0;
+  recv_frame(conn, &verb);  // HelloAck (bootstrap validates before acking)
+  return conn;
+}
+
+TEST(TcpBootstrap, HandshakeHandsOutWorkingReplicas) {
+  const TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  std::unique_ptr<TransportSession> session = open_transport(job);
+  std::unique_ptr<Replica> replica = session->make_replica(0);
+  const size_t params = replica->param_count();
+  EXPECT_GT(params, 0u);
+  replica->load_next_batch();
+  EXPECT_EQ(replica->train_step_grads().size(), params)
+      << "a full verb round trip must move the real gradient";
+  session->finish();
+}
+
+TEST(TcpBootstrap, FingerprintMismatchIsRejected) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.workers = 2;
+  job.tcp.accept_timeout_s = 10.0;
+  job.tcp.child_main = [](const TrainJob& j, size_t rank, uint16_t port) {
+    // A worker launched with different flags: same wire, different job.
+    TrainJob mine = j;
+    mine.seed += 1;
+    serve_tcp_worker(mine, rank, "127.0.0.1", port);
+  };
+  EXPECT_THROW(open_transport(job), std::invalid_argument);
+}
+
+TEST(TcpBootstrap, OutOfRangeRankIsRejected) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.workers = 2;
+  job.tcp.child_main = [](const TrainJob& j, size_t /*rank*/, uint16_t port) {
+    dial_and_handshake(j, /*rank=*/99, port);  // master must refuse the ack
+  };
+  EXPECT_THROW(open_transport(job), std::invalid_argument);
+}
+
+TEST(TcpBootstrap, AcceptTimesOutWhenAWorkerNeverDials) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.workers = 2;
+  job.tcp.accept_timeout_s = 0.2;
+  job.tcp.child_main = [](const TrainJob& j, size_t rank, uint16_t port) {
+    if (rank == 0) serve_tcp_worker(j, rank, "127.0.0.1", port);
+    // rank 1 exits without ever connecting
+  };
+  try {
+    open_transport(job);
+    FAIL() << "expected SocketError";
+  } catch (const SocketError& error) {
+    EXPECT_NE(std::string(error.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(TcpTraining, BspOverLoopbackCompletes) {
+  const TrainResult result = run_training(tcp_job(StrategyKind::kBsp, 40));
+  EXPECT_EQ(result.iterations, 40u);
+  EXPECT_FALSE(result.diverged);
+}
+
+TEST(TcpTraining, SspOverLoopbackCompletes) {
+  TrainJob job = tcp_job(StrategyKind::kSsp, 60);
+  job.ssp.staleness = 3;
+  const TrainResult result = run_training(job);
+  EXPECT_EQ(result.iterations, 60u);
+  EXPECT_FALSE(result.diverged);
+}
+
+TEST(TcpTraining, MeasuredSyncCostCarriesRealWallClock) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 20);
+  job.record_sync_cost = true;
+  const TrainResult tcp = run_training(job);
+  ASSERT_GT(tcp.sync_cost.rounds, 0u);
+  EXPECT_GT(tcp.sync_cost.measured_wire_bytes, 0.0)
+      << "every priced round moved real frames";
+  EXPECT_GT(tcp.sync_cost.measured_sync_s, 0.0);
+
+  job.transport = TransportKind::kInproc;
+  const TrainResult inproc = run_training(job);
+  EXPECT_EQ(inproc.sync_cost.measured_wire_bytes, 0.0)
+      << "the in-proc carrier has no wire; measured fields stay zero";
+  EXPECT_EQ(inproc.sync_cost.measured_sync_s, 0.0);
+}
+
+TEST(TcpTraining, JobRecordNamesTheCarrierOnlyWhenTcp) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 20);
+  EXPECT_NE(job_to_json(job).dump(0).find("\"transport\""),
+            std::string::npos);
+  job.transport = TransportKind::kInproc;
+  EXPECT_EQ(job_to_json(job).dump(0).find("\"transport\""),
+            std::string::npos)
+      << "inproc predates the knob; golden job records must not change";
+}
+
+TEST(TcpChaos, WorkerProcessDeathMidRoundAbortsWithoutDeadlock) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.tcp.child_main = [](const TrainJob& j, size_t rank, uint16_t port) {
+    if (rank != 1) {
+      serve_tcp_worker(j, rank, "127.0.0.1", port);
+      return;
+    }
+    // Rank 1 answers 20 verbs, then the process vanishes mid-run — an
+    // unplanned death no FaultPlan scheduled.
+    const Partition partition =
+        make_partition(j.partition, *j.train_data, j.workers,
+                       j.labels_per_worker, j.seed ^ 0xDA7AULL);
+    std::unique_ptr<Replica> replica = make_local_replica(
+        j, partition.worker_order[rank], replica_local_batch(j));
+    TcpConn conn = dial_and_handshake(j, rank, port);
+    serve_replica(conn, *replica, /*max_verbs=*/20);
+  };
+  // The dying peer surfaces as SocketError on its worker thread; the abort
+  // path must wake the sibling threads (blocked in collectives or their own
+  // replica verbs) and rethrow instead of deadlocking.
+  EXPECT_THROW(run_training(job), std::runtime_error);
+}
+
+TEST(TcpChaos, TornByteStreamFailsLoudly) {
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.tcp.child_main = [](const TrainJob& j, size_t rank, uint16_t port) {
+    if (rank != 0) {
+      serve_tcp_worker(j, rank, "127.0.0.1", port);
+      return;
+    }
+    // Rank 0 handshakes cleanly, then answers the first verb with garbage
+    // that is neither a valid header nor a whole frame.
+    TcpConn conn = dial_and_handshake(j, rank, port);
+    uint16_t verb = 0;
+    recv_frame(conn, &verb);  // the master's first replica verb
+    const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+    conn.send_all(garbage.data(), garbage.size());
+  };
+  EXPECT_THROW(run_training(job), std::exception);
+}
+
+TEST(TcpChaos, PlannedCrashScheduleRecoversOverTcp) {
+  // The FaultPlan machinery (checkpoint, crash, restart, recovery sync) maps
+  // onto replica verbs: a planned crash schedule must complete over the real
+  // wire exactly like in-proc. (The socket golden tier additionally proves
+  // the byte-identical dynamics.)
+  TrainJob job = tcp_job(StrategyKind::kBsp, 40);
+  job.faults.seed = 7;
+  job.faults.checkpoint_interval = 10;
+  job.faults.restart_cost_s = 0.5;
+  job.faults.crashes.push_back({/*rank=*/2, /*at_iteration=*/14,
+                                /*downtime_iterations=*/6, /*restart=*/true});
+  const TrainResult result = run_training(job);
+  EXPECT_EQ(result.iterations, 40u);
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_EQ(result.faults.restarts, 1u);
+}
+
+}  // namespace
+}  // namespace selsync

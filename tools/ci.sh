@@ -3,10 +3,12 @@
 #
 #   tools/ci.sh              # tier-1: configure, build, full ctest
 #   tools/ci.sh --parity     # additionally: the engine-parity + determinism tier
+#   tools/ci.sh --socket     # additionally: the TCP transport tier
 #   tools/ci.sh --chaos      # additionally: TSan build + the chaos suite
 #   tools/ci.sh --analyze    # additionally: static analysis + UBSan leg
 #
-# The stages compose: `tools/ci.sh --parity --chaos --analyze` runs all four.
+# The stages compose: `tools/ci.sh --parity --socket --chaos --analyze`
+# runs all five.
 #
 # Tier 1 is the gate every change must pass (ROADMAP.md): a clean build and
 # the full test suite, including the golden parity grid that pins the
@@ -23,6 +25,13 @@
 # §12). It runs on the plain build on purpose — the DES engine is
 # fiber-based and refuses to start under ThreadSanitizer, so the sanitizer
 # legs below stay pinned to the thread engine, where the real locks live.
+#
+# The optional socket stage runs the `socket` label on the tier-1 build:
+# the TCP transport's bootstrap/chaos suite (worker processes killed
+# mid-round, workers that never dial in, torn byte streams) and the golden
+# grid re-run over loopback sockets (DESIGN.md §13). It stays out of the
+# sanitizer legs on purpose — the tier fork()s real worker processes, and
+# TSan/ASan runtimes do not survive fork-heavy tests.
 #
 # The optional chaos stage rebuilds under ThreadSanitizer and runs only the
 # fault-injection tests (ctest -L chaos) — the tests that actually stress
@@ -53,14 +62,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RUN_PARITY=0
+RUN_SOCKET=0
 RUN_CHAOS=0
 RUN_ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
     --parity) RUN_PARITY=1 ;;
+    --socket) RUN_SOCKET=1 ;;
     --chaos) RUN_CHAOS=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
-    *) echo "usage: tools/ci.sh [--parity] [--chaos] [--analyze]" >&2; exit 2 ;;
+    *) echo "usage: tools/ci.sh [--parity] [--socket] [--chaos] [--analyze]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -74,6 +86,11 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 if [[ "$RUN_PARITY" -eq 1 ]]; then
   echo "=== parity: thread-vs-DES bit-identity + DES determinism ==="
   ctest --test-dir build --output-on-failure -L parity -j "$JOBS"
+fi
+
+if [[ "$RUN_SOCKET" -eq 1 ]]; then
+  echo "=== socket: TCP transport tier (fork + loopback sockets) ==="
+  ctest --test-dir build --output-on-failure -L socket -j "$JOBS"
 fi
 
 if [[ "$RUN_CHAOS" -eq 1 ]]; then

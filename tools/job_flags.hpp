@@ -1,0 +1,162 @@
+// The shared --workload/--strategy/... flag surface of the selsync tools.
+//
+// selsync_cli (the master) and selsync_worker (an external TCP replica
+// host, --tcp-spawn off) must build bit-identical TrainJobs from identical
+// flag spellings — the Hello handshake fingerprints the job and rejects a
+// worker launched with different flags — so the option table and the
+// flags -> TrainJob translation live here, once. Master-only knobs (the
+// transport itself, fault plans, stop targets, output paths) stay in
+// selsync_cli: they shape the run, not the replicas.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/workloads.hpp"
+#include "util/args.hpp"
+#include "util/enum_names.hpp"
+
+namespace selsync::tools {
+
+/// Registers every job-shaping option (everything the Hello fingerprint
+/// covers, plus the knobs that only tune master-side behavior of the same
+/// job object).
+inline void add_job_options(ArgParser& args) {
+  args.add_option("workload",
+                  "ResNet101 | VGG11 | AlexNet | Transformer", "ResNet101");
+  args.add_option("strategy", "bsp | local | fedavg | ssp | selsync | easgd",
+                  "selsync");
+  args.add_option("backend", "payload transport: shared | ring | tree | ps",
+                  "shared");
+  args.add_option("ps-shards",
+                  "parameter-server shards (ps backend / SSP central store)",
+                  "1");
+  args.add_option("engine",
+                  "cluster execution engine: threads | des (virtual-time "
+                  "discrete-event, bit-identical, scales to N=1024)",
+                  "threads");
+  args.add_option("slices",
+                  "per-layer priority slices per synchronization round "
+                  "(1 = the unsliced step-end barrier)",
+                  "1");
+  args.add_option("overlap",
+                  "overlap backward compute with slice communication "
+                  "(P3-style; needs --slices > 1): on | off",
+                  "off");
+  args.add_option("slice-order",
+                  "slice emission order: output-first (P3 priority) | "
+                  "input-first (anti-priority baseline)",
+                  "output-first");
+  args.add_option("workers", "cluster size", "16");
+  args.add_option("iterations", "per-worker step budget", "500");
+  args.add_option("eval-interval", "steps between test evaluations", "50");
+  args.add_option("seed", "experiment seed", "1");
+  args.add_option("delta", "SelSync threshold on relative gradient change",
+                  "0.15");
+  args.add_option("aggregation", "SelSync sync payload: pa | ga", "pa");
+  args.add_option("quorum", "fraction of votes required to sync (0 = any)",
+                  "0");
+  args.add_option("fedavg-c", "FedAvg participation fraction C", "1.0");
+  args.add_option("fedavg-e", "FedAvg sync factor E (syncs 1/E per epoch)",
+                  "0.25");
+  args.add_option("staleness", "SSP staleness bound s", "100");
+  args.add_option("easgd-alpha", "EASGD worker pull strength", "0.5");
+  args.add_option("easgd-beta", "EASGD center pull strength", "0.5");
+  args.add_option("easgd-tau", "EASGD steps between elastic updates", "4");
+  args.add_option("partition", "seldp | defdp | noniid", "seldp");
+  args.add_option("labels-per-worker", "labels per worker (noniid)", "1");
+  args.add_option("inject-alpha", "data-injection worker fraction (0 = off)",
+                  "0");
+  args.add_option("inject-beta", "data-injection batch fraction", "0.5");
+  args.add_option("codec",
+                  "gradient codec fused into the backend: none | topk | "
+                  "signsgd | quant8",
+                  "none");
+  args.add_option("topk", "Top-k kept fraction", "0.01");
+  args.add_option("ema", "Polyak-average decay for evaluation (0 = off)",
+                  "0");
+}
+
+/// The workload the parsed flags name.
+inline Workload workload_from_args(const ArgParser& args) {
+  return workload_by_name(args.get("workload"));
+}
+
+/// Translates the shared options into the TrainJob both processes must
+/// agree on.
+inline TrainJob job_from_args(const ArgParser& args, const Workload& w) {
+  TrainJob job = make_job(
+      w,
+      parse_enum_flag("strategy", args.get("strategy"),
+                      [](const std::string& v) {
+                        return strategy_kind_from_name(v);
+                      },
+                      strategy_kind_names()),
+      static_cast<size_t>(args.get_int("workers")),
+      static_cast<uint64_t>(args.get_int("iterations")));
+  job.backend = parse_enum_flag("backend", args.get("backend"),
+                                [](const std::string& v) {
+                                  return backend_kind_from_name(v);
+                                },
+                                backend_kind_names());
+  job.ps_shards = static_cast<size_t>(args.get_int("ps-shards"));
+  job.engine = parse_enum_flag("engine", args.get("engine"),
+                               [](const std::string& v) {
+                                 return engine_kind_from_name(v);
+                               },
+                               engine_kind_names());
+  job.slices = static_cast<size_t>(args.get_int("slices"));
+  const std::string overlap_flag = args.get("overlap");
+  if (overlap_flag != "on" && overlap_flag != "off")
+    throw std::invalid_argument("--overlap: unknown value '" + overlap_flag +
+                                "' (expected on, off)");
+  job.overlap = overlap_flag == "on";
+  job.slice_order =
+      parse_enum_flag("slice-order", args.get("slice-order"),
+                      [](const std::string& v) {
+                        return slice_schedule_kind_from_name(v);
+                      },
+                      slice_schedule_kind_names());
+  job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
+  job.seed = static_cast<uint64_t>(args.get_int("seed"));
+  job.selsync.delta = args.get_double("delta");
+  job.selsync.aggregation =
+      parse_enum_flag("aggregation", args.get("aggregation"),
+                      [](const std::string& v) {
+                        return aggregation_mode_from_name(v);
+                      },
+                      aggregation_mode_names());
+  job.selsync.sync_quorum = args.get_double("quorum");
+  job.fedavg = {args.get_double("fedavg-c"), args.get_double("fedavg-e")};
+  job.ssp.staleness = static_cast<uint64_t>(args.get_int("staleness"));
+  job.easgd = {args.get_double("easgd-alpha"), args.get_double("easgd-beta"),
+               static_cast<uint64_t>(args.get_int("easgd-tau"))};
+
+  const std::string partition = args.get("partition");
+  if (partition == "defdp") {
+    job.partition = PartitionScheme::kDefault;
+  } else if (partition == "noniid") {
+    job.partition = PartitionScheme::kNonIidLabel;
+    job.labels_per_worker =
+        static_cast<size_t>(args.get_int("labels-per-worker"));
+  } else if (partition != "seldp") {
+    throw std::invalid_argument("unknown partition '" + partition + "'");
+  }
+
+  if (args.get_double("inject-alpha") > 0) {
+    job.injection = {true, args.get_double("inject-alpha"),
+                     args.get_double("inject-beta")};
+  }
+  job.compression.kind =
+      parse_enum_flag("codec", args.get("codec"),
+                      [](const std::string& v) {
+                        return compression_kind_from_name(v);
+                      },
+                      compression_kind_names());
+  job.compression.topk_fraction = args.get_double("topk");
+  job.ema_decay = args.get_double("ema");
+  return job;
+}
+
+}  // namespace selsync::tools

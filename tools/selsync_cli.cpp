@@ -18,6 +18,7 @@
 #include "core/trainer.hpp"
 #include "core/workloads.hpp"
 #include "nn/summary.hpp"
+#include "tools/job_flags.hpp"
 #include "util/args.hpp"
 #include "util/enum_names.hpp"
 
@@ -52,59 +53,23 @@ int run(int argc, const char* const* argv) {
   }
 
   ArgParser args;
-  args.add_option("workload",
-                  "ResNet101 | VGG11 | AlexNet | Transformer", "ResNet101");
-  args.add_option("strategy", "bsp | local | fedavg | ssp | selsync | easgd",
-                  "selsync");
-  args.add_option("backend", "payload transport: shared | ring | tree | ps",
-                  "shared");
-  args.add_option("ps-shards",
-                  "parameter-server shards (ps backend / SSP central store)",
-                  "1");
-  args.add_option("engine",
-                  "cluster execution engine: threads | des (virtual-time "
-                  "discrete-event, bit-identical, scales to N=1024)",
-                  "threads");
-  args.add_option("slices",
-                  "per-layer priority slices per synchronization round "
-                  "(1 = the unsliced step-end barrier)",
-                  "1");
-  args.add_option("overlap",
-                  "overlap backward compute with slice communication "
-                  "(P3-style; needs --slices > 1): on | off",
-                  "off");
-  args.add_option("slice-order",
-                  "slice emission order: output-first (P3 priority) | "
-                  "input-first (anti-priority baseline)",
-                  "output-first");
-  args.add_option("workers", "cluster size", "16");
-  args.add_option("iterations", "per-worker step budget", "500");
-  args.add_option("eval-interval", "steps between test evaluations", "50");
-  args.add_option("seed", "experiment seed", "1");
-  args.add_option("delta", "SelSync threshold on relative gradient change",
-                  "0.15");
-  args.add_option("aggregation", "SelSync sync payload: pa | ga", "pa");
-  args.add_option("quorum", "fraction of votes required to sync (0 = any)",
+  tools::add_job_options(args);
+  args.add_option("transport",
+                  "replica carrier: inproc (replicas in the master process, "
+                  "the historical mode) | tcp (one forked worker process per "
+                  "rank, framed verbs over loopback sockets)",
+                  "inproc");
+  args.add_option("tcp-port",
+                  "TCP listener port (0 = ephemeral; print-free bind on "
+                  "127.0.0.1)",
                   "0");
-  args.add_option("fedavg-c", "FedAvg participation fraction C", "1.0");
-  args.add_option("fedavg-e", "FedAvg sync factor E (syncs 1/E per epoch)",
-                  "0.25");
-  args.add_option("staleness", "SSP staleness bound s", "100");
-  args.add_option("easgd-alpha", "EASGD worker pull strength", "0.5");
-  args.add_option("easgd-beta", "EASGD center pull strength", "0.5");
-  args.add_option("easgd-tau", "EASGD steps between elastic updates", "4");
-  args.add_option("partition", "seldp | defdp | noniid", "seldp");
-  args.add_option("labels-per-worker", "labels per worker (noniid)", "1");
-  args.add_option("inject-alpha", "data-injection worker fraction (0 = off)",
-                  "0");
-  args.add_option("inject-beta", "data-injection batch fraction", "0.5");
-  args.add_option("codec",
-                  "gradient codec fused into the backend: none | topk | "
-                  "signsgd | quant8",
-                  "none");
-  args.add_option("topk", "Top-k kept fraction", "0.01");
-  args.add_option("ema", "Polyak-average decay for evaluation (0 = off)",
-                  "0");
+  args.add_option("tcp-spawn",
+                  "fork the worker processes (on) or wait for external "
+                  "selsync_worker processes to dial in (off): on | off",
+                  "on");
+  args.add_option("tcp-accept-timeout",
+                  "seconds to wait for each worker's Hello before giving up",
+                  "30");
   args.add_option("target-top1", "stop when top-1 accuracy reaches this", "");
   args.add_option("target-ppl", "stop when perplexity reaches this", "");
   args.add_option("fault-plan",
@@ -116,78 +81,21 @@ int run(int argc, const char* const* argv) {
 
   if (!args.parse(argc, argv)) return 0;
 
-  const Workload w = workload_by_name(args.get("workload"));
-  TrainJob job = make_job(
-      w,
-      parse_enum_flag("strategy", args.get("strategy"),
-                      [](const std::string& v) {
-                        return strategy_kind_from_name(v);
-                      },
-                      strategy_kind_names()),
-      static_cast<size_t>(args.get_int("workers")),
-      static_cast<uint64_t>(args.get_int("iterations")));
-  job.backend = parse_enum_flag("backend", args.get("backend"),
-                                [](const std::string& v) {
-                                  return backend_kind_from_name(v);
-                                },
-                                backend_kind_names());
-  job.ps_shards = static_cast<size_t>(args.get_int("ps-shards"));
-  job.engine = parse_enum_flag("engine", args.get("engine"),
-                               [](const std::string& v) {
-                                 return engine_kind_from_name(v);
-                               },
-                               engine_kind_names());
-  job.slices = static_cast<size_t>(args.get_int("slices"));
-  const std::string overlap_flag = args.get("overlap");
-  if (overlap_flag != "on" && overlap_flag != "off")
-    throw std::invalid_argument("--overlap: unknown value '" + overlap_flag +
+  const Workload w = tools::workload_from_args(args);
+  TrainJob job = tools::job_from_args(args, w);
+  job.transport = parse_enum_flag("transport", args.get("transport"),
+                                  [](const std::string& v) {
+                                    return transport_kind_from_name(v);
+                                  },
+                                  transport_kind_names());
+  job.tcp.port = static_cast<uint16_t>(args.get_int("tcp-port"));
+  const std::string spawn_flag = args.get("tcp-spawn");
+  if (spawn_flag != "on" && spawn_flag != "off")
+    throw std::invalid_argument("--tcp-spawn: unknown value '" + spawn_flag +
                                 "' (expected on, off)");
-  job.overlap = overlap_flag == "on";
-  job.slice_order =
-      parse_enum_flag("slice-order", args.get("slice-order"),
-                      [](const std::string& v) {
-                        return slice_schedule_kind_from_name(v);
-                      },
-                      slice_schedule_kind_names());
-  job.eval_interval = static_cast<uint64_t>(args.get_int("eval-interval"));
-  job.seed = static_cast<uint64_t>(args.get_int("seed"));
-  job.selsync.delta = args.get_double("delta");
-  job.selsync.aggregation =
-      parse_enum_flag("aggregation", args.get("aggregation"),
-                      [](const std::string& v) {
-                        return aggregation_mode_from_name(v);
-                      },
-                      aggregation_mode_names());
-  job.selsync.sync_quorum = args.get_double("quorum");
-  job.fedavg = {args.get_double("fedavg-c"), args.get_double("fedavg-e")};
-  job.ssp.staleness = static_cast<uint64_t>(args.get_int("staleness"));
-  job.easgd = {args.get_double("easgd-alpha"), args.get_double("easgd-beta"),
-               static_cast<uint64_t>(args.get_int("easgd-tau"))};
-
-  const std::string partition = args.get("partition");
-  if (partition == "defdp") {
-    job.partition = PartitionScheme::kDefault;
-  } else if (partition == "noniid") {
-    job.partition = PartitionScheme::kNonIidLabel;
-    job.labels_per_worker =
-        static_cast<size_t>(args.get_int("labels-per-worker"));
-  } else if (partition != "seldp") {
-    throw std::invalid_argument("unknown partition '" + partition + "'");
-  }
-
-  if (args.get_double("inject-alpha") > 0) {
-    job.injection = {true, args.get_double("inject-alpha"),
-                     args.get_double("inject-beta")};
-  }
-  job.compression.kind =
-      parse_enum_flag("codec", args.get("codec"),
-                      [](const std::string& v) {
-                        return compression_kind_from_name(v);
-                      },
-                      compression_kind_names());
-  job.compression.topk_fraction = args.get_double("topk");
+  job.tcp.spawn_workers = spawn_flag == "on";
+  job.tcp.accept_timeout_s = args.get_double("tcp-accept-timeout");
   job.record_sync_cost = true;
-  job.ema_decay = args.get_double("ema");
   if (!args.get("target-top1").empty())
     job.target_top1 = args.get_double("target-top1");
   if (!args.get("target-ppl").empty())
@@ -202,10 +110,21 @@ int run(int argc, const char* const* argv) {
   }
 
   std::printf("running %s on %s: %zu workers, %llu iterations, %s backend, "
-              "%s engine...\n",
+              "%s engine, %s transport...\n",
               strategy_kind_name(job.strategy), w.name.c_str(), job.workers,
               static_cast<unsigned long long>(job.max_iterations),
-              backend_kind_name(job.backend), engine_kind_name(job.engine));
+              backend_kind_name(job.backend), engine_kind_name(job.engine),
+              transport_kind_name(job.transport));
+  if (job.transport == TransportKind::kTcp && !job.tcp.spawn_workers) {
+    if (job.tcp.port == 0)
+      throw std::invalid_argument(
+          "--tcp-spawn off needs a fixed --tcp-port: external selsync_worker "
+          "processes cannot discover an ephemeral port");
+    std::printf("waiting for %zu selsync_worker processes on 127.0.0.1:%u "
+                "(same workload flags, plus --connect 127.0.0.1:%u "
+                "--rank <r>)\n",
+                job.workers, job.tcp.port, job.tcp.port);
+  }
   const TrainResult result = run_training(job);
 
   std::printf("\n%-24s %llu\n", "iterations:",
@@ -238,6 +157,11 @@ int run(int argc, const char* const* argv) {
                 "reduction)\n",
                 "", s.wire_bytes / gb, s.dense_bytes / gb,
                 s.wire_bytes > 0.0 ? s.dense_bytes / s.wire_bytes : 1.0);
+    if (s.measured_wire_bytes > 0.0)
+      std::printf("%-24s %.3f s measured wall-clock, %.2f MB framed on the "
+                  "loopback wire (CostModel calibration inputs)\n",
+                  "", s.measured_sync_s,
+                  s.measured_wire_bytes / (1024.0 * 1024.0));
     if (s.slices > 1)
       std::printf("%-24s %llu priority slices per round, %.1f s transfer "
                   "hidden behind backward (%.0f%%)\n",

@@ -29,6 +29,11 @@
 //                  src/core/run_record.cpp, where it sits behind the
 //                  TrainJob::record_sync_cost gate that keeps the 12 golden
 //                  run records byte-identical.
+//   socket-confine BSD socket headers and raw socket syscalls are confined
+//                  to src/comm/socket_transport.*: connection lifecycle,
+//                  partial reads/writes and fd hygiene have exactly one
+//                  home; everything else speaks TcpConn + WireFormat
+//                  frames.
 //
 // Waivers (must carry a reason after `--`):
 //   // selsync-lint: allow(<rule>) -- <reason>        same or next line
@@ -81,8 +86,9 @@ struct SourceFile {
   Waivers waivers;
 };
 
-const char* const kAllRules[] = {"rng", "raw-thread", "des-thread-free",
-                                 "enum-table", "sync-cost-json"};
+const char* const kAllRules[] = {"rng",        "raw-thread",
+                                 "des-thread-free", "enum-table",
+                                 "sync-cost-json",  "socket-confine"};
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -332,6 +338,36 @@ void check_des_thread_free(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: socket-confine
+// ---------------------------------------------------------------------------
+
+void check_socket_confine(const SourceFile& file,
+                          std::vector<Violation>& violations) {
+  if (has_prefix(file.rel_path, "src/comm/socket_transport")) return;
+  const char* const kForbidden[] = {
+      "<sys/socket.h>",
+      "<netinet/in.h>",
+      "<netinet/tcp.h>",
+      "<arpa/inet.h>",
+      "<netdb.h>",
+      "::socket",
+      "::connect",
+      "::accept",
+      "::bind",
+      "::listen",
+      "::setsockopt",
+      "::getsockname",
+  };
+  for (const char* token : kForbidden)
+    match_token(file, file.no_comments_strings, token, "socket-confine",
+                std::string("'") + token +
+                    "' outside src/comm/socket_transport.*: raw sockets have "
+                    "exactly one home — speak TcpConn + WireFormat frames "
+                    "instead",
+                violations);
+}
+
+// ---------------------------------------------------------------------------
 // Rule: enum-table
 // ---------------------------------------------------------------------------
 
@@ -352,7 +388,7 @@ struct EnumTable {
 const char* const kRequiredTables[] = {
     "BackendKind",   "CompressionKind", "StrategyKind",    "ModelKind",
     "PartitionScheme", "AggregationMode", "FaultKind",     "Topology",
-    "EngineKind",    "SliceScheduleKind",
+    "EngineKind",    "SliceScheduleKind", "TransportKind",
 };
 
 std::string next_ident(const std::string& text, size_t& at) {
@@ -548,8 +584,8 @@ int usage() {
       stderr,
       "usage: selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail] "
       "[files...]\n"
-      "rules: rng, raw-thread, des-thread-free, enum-table, sync-cost-json "
-      "(default: all)\n");
+      "rules: rng, raw-thread, des-thread-free, enum-table, sync-cost-json, "
+      "socket-confine (default: all)\n");
   return 2;
 }
 
@@ -614,6 +650,7 @@ int main(int argc, char** argv) {
     if (rules.count("raw-thread")) check_raw_thread(file, violations);
     if (rules.count("des-thread-free")) check_des_thread_free(file, violations);
     if (rules.count("sync-cost-json")) check_sync_cost_json(file, violations);
+    if (rules.count("socket-confine")) check_socket_confine(file, violations);
   }
   if (rules.count("enum-table")) check_enum_tables(files, violations);
 

@@ -1,0 +1,84 @@
+// selsync_worker — an external replica host for the TCP transport.
+//
+// The usual `selsync_cli --transport tcp` forks its own worker processes.
+// With `--tcp-spawn off` the master instead waits for N of these to dial
+// in, one per rank:
+//
+//   selsync_cli    --transport tcp --tcp-spawn off --tcp-port 7001
+//                  --workload AlexNet --strategy bsp --workers 2 ...
+//   selsync_worker --connect 127.0.0.1:7001 --rank 0
+//                  --workload AlexNet --strategy bsp --workers 2 ...
+//   selsync_worker --connect 127.0.0.1:7001 --rank 1
+//                  --workload AlexNet --strategy bsp --workers 2 ...
+//
+// The workload flags MUST match the master's: both sides rebuild the job
+// independently (datasets and models are deterministic from the flags), and
+// the Hello handshake fingerprints it — a mismatch is rejected at connect
+// time, not discovered as silent divergence mid-run.
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "core/replica.hpp"
+#include "tools/job_flags.hpp"
+#include "util/args.hpp"
+
+using namespace selsync;
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  ArgParser args;
+  tools::add_job_options(args);
+  args.add_option("connect",
+                  "master address as host:port (selsync_cli --tcp-spawn off "
+                  "prints it)",
+                  "");
+  args.add_option("rank", "this worker's rank, in [0, --workers)", "");
+
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::string connect = args.get("connect");
+  const size_t colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos || colon == 0 ||
+      colon + 1 == connect.size())
+    throw std::invalid_argument(
+        "--connect needs host:port (e.g. --connect 127.0.0.1:7001)");
+  const std::string host = connect.substr(0, colon);
+  const int port = std::stoi(connect.substr(colon + 1));
+  if (port <= 0 || port > 65535)
+    throw std::invalid_argument("--connect: port " + std::to_string(port) +
+                                " is out of range");
+  if (args.get("rank").empty())
+    throw std::invalid_argument(
+        "--rank is required (each worker process owns exactly one rank)");
+  const size_t rank = static_cast<size_t>(args.get_int("rank"));
+
+  const Workload w = tools::workload_from_args(args);
+  TrainJob job = tools::job_from_args(args, w);
+  job.transport = TransportKind::kTcp;
+  job.tcp.spawn_workers = false;
+  if (rank >= job.workers)
+    throw std::invalid_argument(
+        "--rank " + std::to_string(rank) + " is out of range for a " +
+        std::to_string(job.workers) + "-worker job");
+
+  std::printf("selsync_worker: rank %zu/%zu (%s on %s) dialing %s:%d...\n",
+              rank, job.workers, strategy_kind_name(job.strategy),
+              w.name.c_str(), host.c_str(), port);
+  serve_tcp_worker(job, rank, host, static_cast<uint16_t>(port));
+  std::printf("selsync_worker: rank %zu served to shutdown\n", rank);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selsync_worker: %s\n", e.what());
+    return 1;
+  }
+}
