@@ -104,9 +104,8 @@ class ParameterServer {
  private:
   uint64_t min_active_iteration_locked() const;
 
-  // selsync-lint: allow(raw-thread) -- the SSP staleness gate is a leaf
-  // lock/cv pair over the shard's global state; the synchronous round
-  // protocol lives in PsRound.
+  // The SSP staleness gate: a leaf lock/cv pair over the shard's global
+  // state (the synchronous round protocol lives in PsRound).
   mutable std::mutex mutex_;
   WaitSlot cv_;
   std::vector<float> global_;

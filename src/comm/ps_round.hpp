@@ -91,8 +91,8 @@ class PsRound {
   const size_t dim_;
   const size_t workers_;
 
-  // selsync-lint: allow(raw-thread) -- PsRound IS the synchronization
-  // primitive of the PS tier; the lock/wait-slot pair lives nowhere else.
+  // PsRound IS the synchronization primitive of the PS tier; the
+  // lock/wait-slot pair lives nowhere else.
   mutable std::mutex mutex_;
   WaitSlot cv_;
 

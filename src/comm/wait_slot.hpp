@@ -26,8 +26,9 @@
 
 namespace selsync {
 
-// selsync-lint: allow(raw-thread) -- WaitSlot is the engine-dispatch
-// primitive itself; the cv half lives here so it can live nowhere else.
+// WaitSlot is the engine-dispatch blocking primitive itself; the cv half
+// lives here because it can live nowhere else. (No lint waiver needed:
+// raw-thread's scope already licenses all of src/comm/.)
 class WaitSlot {
  public:
   /// Blocks until `pred()` holds, releasing `lock` while waiting. Exactly

@@ -205,7 +205,8 @@ void SynchronousWorkerLoop::data_stage() {
   if (injector_) {
     const std::vector<size_t> mine = replica_->next_indices();
     {
-      // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState.
+      // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState:
+      // held for a few map writes, never across a collective or a wait.
       std::lock_guard<std::mutex> lock(shared_.mutex);
       shared_.injection_proposals[ctx_.rank] = mine;
       // The group leader clears absent ranks' slots so pooling cannot
@@ -421,7 +422,8 @@ void SynchronousWorkerLoop::finish_worker() {
 }
 
 void SynchronousWorkerLoop::publish() {
-  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState.
+  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSyncState: held
+  // for a few field writes, never across a collective or a wait.
   std::lock_guard<std::mutex> lock(shared_.mutex);
   shared_.worker_sim_time[ctx_.rank] = sim_time_;
   if (is_root()) {
@@ -560,7 +562,8 @@ bool SspWorkerLoop::instrumentation_stage() {
 void SspWorkerLoop::finish_worker() { ps_.finish(ctx_.rank); }
 
 void SspWorkerLoop::publish() {
-  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSspState.
+  // selsync-lint: allow(raw-thread) -- leaf lock on SharedSspState: held
+  // for a few field writes, never across a collective or a wait.
   std::lock_guard<std::mutex> lock(shared_.mutex);
   shared_.worker_sim_time[ctx_.rank] = sim_time_;
   if (is_root()) {

@@ -1,0 +1,29 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the lock-order graph gains the edges first_ -> second_ and
+// second_ -> first_, a cycle `lock-discipline` must flag as a potential
+// deadlock.
+#include <mutex>
+
+namespace fixture {
+
+class Pair {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> a(first_);
+    std::lock_guard<std::mutex> b(second_);
+    ++hits_;
+  }
+
+  void reverse() {
+    std::lock_guard<std::mutex> b(second_);
+    std::lock_guard<std::mutex> a(first_);
+    ++hits_;
+  }
+
+ private:
+  std::mutex first_;
+  std::mutex second_;
+  int hits_ = 0;
+};
+
+}  // namespace fixture

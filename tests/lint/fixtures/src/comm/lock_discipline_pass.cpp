@@ -1,0 +1,40 @@
+// Fixture: disciplined locking `lock-discipline` must accept — a
+// consistent first_-before-second_ order (edges but no cycle), and a
+// WaitSlot::wait placed under its live std::unique_lock guard with no
+// second lock held across it.
+#include <mutex>
+
+#include "comm/wait_slot.hpp"
+
+namespace fixture {
+
+class Ordered {
+ public:
+  void produce() {
+    std::lock_guard<std::mutex> a(first_);
+    std::lock_guard<std::mutex> b(second_);
+    ++ready_;
+  }
+
+  void drain() {
+    std::lock_guard<std::mutex> a(first_);
+    {
+      std::lock_guard<std::mutex> b(second_);
+      --ready_;
+    }
+  }
+
+  void await() {
+    std::unique_lock<std::mutex> lock(first_);
+    slot_.wait(lock, [&] { return ready_ > 0; });
+    --ready_;
+  }
+
+ private:
+  std::mutex first_;
+  std::mutex second_;
+  selsync::WaitSlot slot_;
+  int ready_ = 0;
+};
+
+}  // namespace fixture

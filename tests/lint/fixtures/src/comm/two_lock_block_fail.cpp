@@ -1,0 +1,26 @@
+// Fixture: blocking with a second lock held — the wait releases only its
+// own guard (mutex_), so holding other_ across it deadlocks any peer that
+// needs other_ to deliver the wake-up. `lock-discipline` must flag it.
+#include <mutex>
+
+#include "comm/wait_slot.hpp"
+
+namespace fixture {
+
+class TwoLock {
+ public:
+  void drain() {
+    std::lock_guard<std::mutex> outer(other_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_.wait(lock, [&] { return ready_; });
+    ready_ = false;
+  }
+
+ private:
+  std::mutex other_;
+  std::mutex mutex_;
+  selsync::WaitSlot slot_;
+  bool ready_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: WaitSlot::wait outside its guard — one call passes the raw
+// mutex instead of a std::unique_lock, the other passes a guard that was
+// .unlock()ed and is no longer live. `lock-discipline` must flag both.
+#include <mutex>
+
+#include "comm/wait_slot.hpp"
+
+namespace fixture {
+
+class Unguarded {
+ public:
+  void wait_on_mutex() {
+    slot_.wait(mutex_, [&] { return ready_; });
+  }
+
+  void wait_after_unlock() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    lock.unlock();
+    slot_.wait(lock, [&] { return ready_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  selsync::WaitSlot slot_;
+  bool ready_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: the rpc verb kPing has a sender but no `case` dispatch arm —
+// half the serialize/parse pair is missing, so a kPing frame would arrive
+// at a peer that cannot answer it. `wire-schema` must flag it.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr uint32_t kMagic = 0x1234;
+
+struct FrameHeader {
+  uint16_t verb = 0;
+  uint64_t payload_len = 0;
+};
+
+enum class ReplicaVerb : uint16_t {
+  kHello = 1,
+  kPing,
+  kShutdown,
+};
+
+void send(ReplicaVerb verb);
+
+void hello() { send(ReplicaVerb::kHello); }
+void ping() { send(ReplicaVerb::kPing); }
+void shutdown() { send(ReplicaVerb::kShutdown); }
+
+void serve(ReplicaVerb verb) {
+  switch (verb) {
+    default:  // no case ReplicaVerb kPing arm: rpc pair incomplete
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: FrameHeader's pinned fields swapped — bytes land in the wrong
+// slots on every peer built before the change. `wire-schema` must flag
+// the reorder.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr uint32_t kMagic = 0x1234;
+
+struct FrameHeader {
+  uint64_t payload_len = 0;  // pinned second, moved first: wire break
+  uint16_t verb = 0;
+};
+
+enum class ReplicaVerb : uint16_t {
+  kHello = 1,
+  kPing,
+  kShutdown,
+};
+
+void send(ReplicaVerb verb);
+
+void hello() { send(ReplicaVerb::kHello); }
+void ping() { send(ReplicaVerb::kPing); }
+void shutdown() { send(ReplicaVerb::kShutdown); }
+
+void serve(ReplicaVerb verb) {
+  switch (verb) {
+    case ReplicaVerb::kPing:
+      send(ReplicaVerb::kPing);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

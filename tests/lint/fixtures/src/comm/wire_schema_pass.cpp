@@ -1,0 +1,42 @@
+// Fixture: a protocol snapshot that matches the fixture manifest —
+// constants, field order and widths, verb values, and every verb
+// referenced the way its category demands (kPing has both a `case`
+// receiver and a call-side sender). The appended field and the appended
+// kStats verb are the allowed append-only evolution path and must not
+// trip `wire-schema`.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr uint32_t kMagic = 0x1234;
+
+struct FrameHeader {
+  uint16_t verb = 0;
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;  // appended after the pinned prefix: legal evolution
+};
+
+enum class ReplicaVerb : uint16_t {
+  kHello = 1,
+  kPing,
+  kShutdown,
+  kStats,  // appended with a fresh value: legal evolution
+};
+
+void send(ReplicaVerb verb);
+
+void hello() { send(ReplicaVerb::kHello); }
+void ping() { send(ReplicaVerb::kPing); }
+void shutdown() { send(ReplicaVerb::kShutdown); }
+
+void serve(ReplicaVerb verb) {
+  switch (verb) {
+    case ReplicaVerb::kPing:
+      send(ReplicaVerb::kPing);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

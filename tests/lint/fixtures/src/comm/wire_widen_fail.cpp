@@ -1,0 +1,37 @@
+// Fixture: the verb field widened from the pinned u16 to u32 — every
+// offset after it shifts and old peers tear the frame. `wire-schema`
+// must flag the width change.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr uint32_t kMagic = 0x1234;
+
+struct FrameHeader {
+  uint32_t verb = 0;  // pinned u16: widening is a wire break
+  uint64_t payload_len = 0;
+};
+
+enum class ReplicaVerb : uint16_t {
+  kHello = 1,
+  kPing,
+  kShutdown,
+};
+
+void send(ReplicaVerb verb);
+
+void hello() { send(ReplicaVerb::kHello); }
+void ping() { send(ReplicaVerb::kPing); }
+void shutdown() { send(ReplicaVerb::kShutdown); }
+
+void serve(ReplicaVerb verb) {
+  switch (verb) {
+    case ReplicaVerb::kPing:
+      send(ReplicaVerb::kPing);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture helper: a core-layer header for the layer-dag fixtures to
+// (illegally or legally) include. No violations of its own.
+#pragma once
+
+namespace fixture {
+
+inline int core_constant() { return 4; }
+
+}  // namespace fixture

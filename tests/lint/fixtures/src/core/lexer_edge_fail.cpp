@@ -1,0 +1,15 @@
+// Fixture: the lexer must RESUME correctly after every literal form —
+// real code following a raw string on the same line, and a forbidden name
+// inside a line-continuation macro body, are genuine uses `raw-thread`
+// must still flag.
+#include <mutex>
+
+// The macro body spans a continuation; the name inside it is real code.
+#define FIXTURE_GUARD(m) \
+  std::lock_guard<std::mutex> fixture_guard(m)
+
+namespace fixture {
+
+const char* kDoc = R"(decoy text)"; extern std::mutex g_after_raw_string;
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: forbidden names that exist only as TEXT — inside raw strings,
+// ordinary strings, block comments, and char literals — are invisible to
+// the token-level rules. The PR 4 line scanner tripped on several of
+// these; `raw-thread` must pass this file clean.
+#include <string>
+
+/* A block comment spelling std::thread and std::mutex across
+   two lines must not count as using them. */
+
+// Neither does a line comment: std::condition_variable cv;
+
+namespace fixture {
+
+const char* kDoc = R"doc(
+  Usage: spawn a std::thread per worker and guard state with std::mutex.
+  This is documentation text, not code.
+)doc";
+
+const std::string kPlain = "std::thread is only mentioned, never named";
+
+// A char literal holding a quote must not derail string tracking: if the
+// lexer mistook '"' for a string opener, the std::mutex below would hide
+// inside a phantom literal — and a real violation elsewhere would too.
+const char kQuote = '"';
+const char* kAfter = "text after the quote char, still just a string";
+
+int measure() { return static_cast<int>(kPlain.size()); }
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: a waiver marker inside a string literal is data, not a waiver.
+// The PR 4 scanner parsed waivers from raw text and would have honoured
+// the string below, silently exempting the next line; the token-level
+// parser reads comment tokens only, so the std::mutex must still trip
+// `raw-thread`.
+
+namespace fixture {
+
+const char* kDecoy = "// selsync-lint: allow(raw-thread) -- not a waiver";
+extern int g_mutex_holder;
+
+}  // namespace fixture
+
+#include <mutex>
+
+namespace fixture {
+
+const char* kRawDecoy = R"(selsync-lint: allow-file(raw-thread) -- nope)";
+std::mutex g_must_still_fail;
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: middle of the legal chain — data reaching down into util.
+#pragma once
+
+#include "util/layer_chain_base.hpp"
+
+namespace fixture {
+
+inline int chain_mid() { return chain_base() + 1; }
+
+}  // namespace fixture

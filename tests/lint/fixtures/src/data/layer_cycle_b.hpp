@@ -1,0 +1,10 @@
+// Fixture: the other half of the nn <-> data include cycle.
+#pragma once
+
+#include "nn/layer_cycle_a.hpp"
+
+namespace fixture {
+
+inline int cycle_b() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a legal include chain — nn -> data is a same-rank sibling
+// edge and data -> util points down the layering, with no cycle at file
+// granularity. `layer-dag` must pass all three files.
+#pragma once
+
+#include "data/layer_chain_mid.hpp"
+
+namespace fixture {
+
+inline int chain_top() { return chain_mid() + 1; }
+
+}  // namespace fixture

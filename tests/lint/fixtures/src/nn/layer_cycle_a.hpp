@@ -1,0 +1,12 @@
+// Fixture: half of a file-granularity include cycle across the rank-2
+// sibling directories (nn <-> data). Sibling includes are legal; the
+// round trip back to this header is not — `layer-dag` must flag it.
+#pragma once
+
+#include "data/layer_cycle_b.hpp"
+
+namespace fixture {
+
+inline int cycle_a() { return cycle_b() + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: bottom of the legal chain — util depends on nothing above it.
+#pragma once
+
+namespace fixture {
+
+inline int chain_base() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a util-layer file reaching up into the core layer — the
+// dependency arrow runs the other way, so `layer-dag` must flag the
+// include as an upward edge.
+#include "core/layer_target.hpp"
+
+namespace fixture {
+
+int util_peeking_at_core() { return core_constant(); }
+
+}  // namespace fixture

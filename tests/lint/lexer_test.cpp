@@ -1,0 +1,141 @@
+// Unit tests for the selsync_lint lexer (tools/lint/lexer.*) — the edge
+// cases the PR 4 line scanner got wrong: raw strings, multi-line block
+// comments, line-continued preprocessor directives, and char literals
+// holding a quote. The fixture tests prove the rules behave end to end;
+// these pin the token stream itself.
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace selsync_lint {
+namespace {
+
+std::vector<std::string> idents(const TokenStream& s) {
+  std::vector<std::string> out;
+  for (const Token& t : s.tokens)
+    if (t.kind == TokKind::kIdent) out.push_back(t.text);
+  return out;
+}
+
+bool has_ident(const TokenStream& s, const std::string& name) {
+  const std::vector<std::string> all = idents(s);
+  return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+TEST(LintLexer, RawStringBodyIsOneTokenAndCodeResumesAfter) {
+  const TokenStream s =
+      lex("auto d = R\"doc(std::thread inside)doc\"; int after = 1;\n");
+  ASSERT_FALSE(has_ident(s, "thread"));
+  EXPECT_TRUE(has_ident(s, "after"));
+  const auto it = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kString; });
+  ASSERT_NE(it, s.tokens.end());
+  EXPECT_EQ(it->text, "std::thread inside");
+}
+
+TEST(LintLexer, RawStringDelimiterWithParenDecoy) {
+  // The body contains `)"` — only `)x"` may close this literal.
+  const TokenStream s = lex("auto d = R\"x(a )\" b)x\"; int tail = 2;\n");
+  ASSERT_EQ(idents(s).size(), 4u);  // auto d int tail
+  EXPECT_TRUE(has_ident(s, "tail"));
+  EXPECT_EQ(s.tokens[3].text, "a )\" b");
+}
+
+TEST(LintLexer, MultiLineRawStringTracksLines) {
+  const TokenStream s = lex("auto d = R\"(one\ntwo\nthree)\";\nint x = 0;\n");
+  const auto it = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kString; });
+  ASSERT_NE(it, s.tokens.end());
+  EXPECT_EQ(it->line, 1u);
+  EXPECT_EQ(it->end_line, 3u);
+  // `x` is declared on line 4, after the literal.
+  const auto xs = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kIdent && t.text == "x"; });
+  ASSERT_NE(xs, s.tokens.end());
+  EXPECT_EQ(xs->line, 4u);
+}
+
+TEST(LintLexer, BlockCommentSpansLinesAndEmitsNoTokens) {
+  const TokenStream s = lex("int a;\n/* std::mutex m;\n   still text */\nint b;\n");
+  EXPECT_FALSE(has_ident(s, "mutex"));
+  ASSERT_EQ(s.comments.size(), 1u);
+  EXPECT_EQ(s.comments[0].line_begin, 2u);
+  EXPECT_EQ(s.comments[0].line_end, 3u);
+  const auto bs = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kIdent && t.text == "b"; });
+  ASSERT_NE(bs, s.tokens.end());
+  EXPECT_EQ(bs->line, 4u);
+}
+
+TEST(LintLexer, LineContinuationJoinsDirectiveAndLexesBody) {
+  const TokenStream s = lex("#define GUARD(m) \\\n  std::mutex guard(m)\nint x;\n");
+  ASSERT_EQ(s.directives.size(), 1u);
+  const Directive& d = s.directives[0];
+  EXPECT_FALSE(d.is_include);
+  bool saw_mutex = false;
+  for (const Token& t : d.body_tokens)
+    if (t.kind == TokKind::kIdent && t.text == "mutex") saw_mutex = true;
+  EXPECT_TRUE(saw_mutex);
+  // The macro body's tokens stay out of the structural stream.
+  EXPECT_FALSE(has_ident(s, "mutex"));
+  EXPECT_TRUE(has_ident(s, "x"));
+}
+
+TEST(LintLexer, IncludeTargetsParsedBothForms) {
+  const TokenStream s =
+      lex("#include <mutex>\n#include \"comm/wait_slot.hpp\"\n");
+  ASSERT_EQ(s.directives.size(), 2u);
+  EXPECT_TRUE(s.directives[0].is_include);
+  EXPECT_TRUE(s.directives[0].angled);
+  EXPECT_EQ(s.directives[0].include_target, "mutex");
+  EXPECT_TRUE(s.directives[1].is_include);
+  EXPECT_FALSE(s.directives[1].angled);
+  EXPECT_EQ(s.directives[1].include_target, "comm/wait_slot.hpp");
+}
+
+TEST(LintLexer, CharLiteralHoldingQuoteDoesNotOpenString) {
+  const TokenStream s = lex("char q = '\"'; int real_code = 1;\n");
+  EXPECT_TRUE(has_ident(s, "real_code"));
+  const auto it = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kChar; });
+  ASSERT_NE(it, s.tokens.end());
+  EXPECT_EQ(it->text, "\"");
+}
+
+TEST(LintLexer, EscapedQuoteStaysInsideStringBody) {
+  const TokenStream s = lex("auto s = \"a \\\" b\"; int out = 0;\n");
+  EXPECT_TRUE(has_ident(s, "out"));
+  const auto it = std::find_if(
+      s.tokens.begin(), s.tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kString; });
+  ASSERT_NE(it, s.tokens.end());
+  EXPECT_EQ(it->text, "a \\\" b");
+}
+
+TEST(LintLexer, TrailingCommentEndsDirective) {
+  const TokenStream s = lex("#define N 3  // three, not four\nint y = N;\n");
+  ASSERT_EQ(s.directives.size(), 1u);
+  ASSERT_EQ(s.comments.size(), 1u);
+  EXPECT_TRUE(has_ident(s, "y"));
+}
+
+TEST(LintLexer, MaximalMunchPunctuators) {
+  const TokenStream s = lex("a->b; c::d; e <<= 1; f >>= 2;\n");
+  std::vector<std::string> puncts;
+  for (const Token& t : s.tokens)
+    if (t.kind == TokKind::kPunct) puncts.push_back(t.text);
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "::"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), ">>="), puncts.end());
+}
+
+}  // namespace
+}  // namespace selsync_lint

@@ -50,9 +50,12 @@
 #   1. clang-tidy over the exported compile_commands.json with the checked-in
 #      .clang-tidy profile — skipped with a notice when clang-tidy is not on
 #      PATH (the default container ships only GCC).
-#   2. selsync_lint, the repo-invariant linter (rng / raw-thread /
-#      enum-table / sync-cost-json), repo-wide plus its fixture suite
-#      (ctest -L lint).
+#   2. selsync_lint, the token-level repo analyzer — the five confinement
+#      rules (rng / raw-thread / des-thread-free / socket-confine /
+#      sync-cost-json) plus the structural passes (enum-table /
+#      lock-discipline / layer-dag / wire-schema) — repo-wide, emitting
+#      build/lint_report.json and the lock-order DOT artifact, plus its
+#      fixture + lexer-unit suite (ctest -L lint).
 #   3. An ASan+UBSan build (-DSELSYNC_SANITIZE=address,undefined) running
 #      the chaos label and then the golden-drift gate, so undefined
 #      behaviour and memory errors can't hide behind passing tests.
@@ -118,10 +121,17 @@ if [[ "$RUN_ANALYZE" -eq 1 ]]; then
          "database: build/compile_commands.json)"
   fi
 
-  echo "=== analyze: repo-invariant linter (selsync_lint) ==="
+  echo "=== analyze: repo-invariant analyzer (selsync_lint, 9 rules) ==="
+  # Human-readable pass first (failure output lands in the CI log), then a
+  # second run emitting the machine-readable artifacts: the JSON report and
+  # the lock-order graph the lock-discipline pass derived for
+  # src/comm + src/core (DESIGN.md §9).
   ./build/tools/selsync_lint --root .
+  ./build/tools/selsync_lint --root . --json --dot build/lock_order.dot \
+    > build/lint_report.json
+  echo "analyze artifacts: build/lint_report.json, build/lock_order.dot"
 
-  echo "=== analyze: lint fixture + enum round-trip suite ==="
+  echo "=== analyze: lint fixtures, lexer units + enum round-trips ==="
   ctest --test-dir build --output-on-failure -L lint
 
   echo "=== analyze: ASan+UBSan build ==="

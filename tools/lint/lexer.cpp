@@ -1,0 +1,290 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace selsync_lint {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch holds.
+const char* const kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++",  "--",
+};
+
+/// One cursor over the raw text; tracks the 1-based line.
+struct Cursor {
+  const std::string& text;
+  size_t at = 0;
+  size_t line = 1;
+
+  bool done() const { return at >= text.size(); }
+  char peek(size_t ahead = 0) const {
+    return at + ahead < text.size() ? text[at + ahead] : '\0';
+  }
+  char take() {
+    const char c = text[at++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+bool is_string_prefix(const std::string& s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+bool is_raw_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+/// Lexes the string body after the opening quote of a NON-raw literal;
+/// cursor sits just past the `"` (or `'`). Returns the body.
+std::string lex_quoted_body(Cursor& c, char quote) {
+  std::string body;
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.peek(1) != '\0') {
+      body += c.take();
+      body += c.take();
+      continue;
+    }
+    if (ch == quote) {
+      c.take();
+      break;
+    }
+    if (ch == '\n') break;  // unterminated: stop at the line end
+    body += c.take();
+  }
+  return body;
+}
+
+/// Lexes R"delim( ... )delim" with the cursor just past the `"`.
+std::string lex_raw_body(Cursor& c) {
+  std::string delim;
+  while (!c.done() && c.peek() != '(' && c.peek() != '\n' &&
+         delim.size() < 16)
+    delim += c.take();
+  if (c.peek() == '(') c.take();
+  const std::string closer = ")" + delim + "\"";
+  std::string body;
+  while (!c.done()) {
+    if (c.text.compare(c.at, closer.size(), closer) == 0) {
+      for (size_t i = 0; i < closer.size(); ++i) c.take();
+      return body;
+    }
+    body += c.take();
+  }
+  return body;  // unterminated raw string: body runs to EOF
+}
+
+struct Lexer {
+  Cursor c;
+  TokenStream out;
+
+  explicit Lexer(const std::string& text) : c{text} {}
+
+  void push(TokKind kind, std::string text, size_t line, size_t end_line,
+            std::vector<Token>* sink) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.end_line = end_line;
+    (sink ? *sink : out.tokens).push_back(std::move(t));
+  }
+
+  /// Lexes one token (or comment) at the cursor into `sink` (the main
+  /// stream when null). Returns false at end of input.
+  bool lex_one(std::vector<Token>* sink, bool in_directive) {
+    // Skip whitespace; a newline ends a directive body.
+    while (!c.done()) {
+      const char ch = c.peek();
+      if (in_directive && ch == '\\' && c.peek(1) == '\n') {
+        c.take();
+        c.take();
+        continue;
+      }
+      if (ch == '\n' && in_directive) return false;
+      if (std::isspace(static_cast<unsigned char>(ch)) == 0) break;
+      c.take();
+    }
+    if (c.done()) return false;
+
+    const size_t line = c.line;
+    const char ch = c.peek();
+
+    if (ch == '/' && c.peek(1) == '/') {
+      c.take();
+      c.take();
+      std::string body;
+      while (!c.done() && c.peek() != '\n') body += c.take();
+      out.comments.push_back({body, line, line});
+      return !in_directive;  // a trailing comment ends a directive
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.take();
+      c.take();
+      std::string body;
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/'))
+        body += c.take();
+      if (!c.done()) {
+        c.take();
+        c.take();
+      }
+      out.comments.push_back({body, line, c.line});
+      return true;
+    }
+
+    if (is_ident_start(ch)) {
+      std::string word;
+      while (!c.done() && is_ident_char(c.peek())) word += c.take();
+      // String/char literal prefixes glued to the quote: L"...", u8"...",
+      // and the raw forms R"( )", u8R"( )" ...
+      if (c.peek() == '"' && is_raw_prefix(word)) {
+        c.take();
+        const size_t begin = c.line;
+        std::string body = lex_raw_body(c);
+        push(TokKind::kString, std::move(body), begin, c.line, sink);
+        return true;
+      }
+      if (c.peek() == '"' && is_string_prefix(word)) {
+        c.take();
+        std::string body = lex_quoted_body(c, '"');
+        push(TokKind::kString, std::move(body), line, c.line, sink);
+        return true;
+      }
+      if (c.peek() == '\'' && is_string_prefix(word)) {
+        c.take();
+        std::string body = lex_quoted_body(c, '\'');
+        push(TokKind::kChar, std::move(body), line, c.line, sink);
+        return true;
+      }
+      push(TokKind::kIdent, std::move(word), line, line, sink);
+      return true;
+    }
+
+    if (ch == '"') {
+      c.take();
+      std::string body = lex_quoted_body(c, '"');
+      push(TokKind::kString, std::move(body), line, c.line, sink);
+      return true;
+    }
+    if (ch == '\'') {
+      c.take();
+      std::string body = lex_quoted_body(c, '\'');
+      push(TokKind::kChar, std::move(body), line, c.line, sink);
+      return true;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      // pp-number: digits, idents, dots, digit separators, and exponent
+      // signs; wide enough for every C++ numeric literal form.
+      std::string num;
+      num += c.take();
+      while (!c.done()) {
+        const char n = c.peek();
+        if (is_ident_char(n) || n == '.' || n == '\'') {
+          num += c.take();
+        } else if ((n == '+' || n == '-') && !num.empty() &&
+                   (num.back() == 'e' || num.back() == 'E' ||
+                    num.back() == 'p' || num.back() == 'P')) {
+          num += c.take();
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::move(num), line, line, sink);
+      return true;
+    }
+
+    for (const char* p : kPuncts) {
+      const size_t n = std::char_traits<char>::length(p);
+      if (c.text.compare(c.at, n, p) == 0) {
+        for (size_t i = 0; i < n; ++i) c.take();
+        push(TokKind::kPunct, p, line, line, sink);
+        return true;
+      }
+    }
+    push(TokKind::kPunct, std::string(1, c.take()), line, line, sink);
+    return true;
+  }
+
+  /// The cursor sits on `#` at the start of a directive line.
+  void lex_directive() {
+    Directive d;
+    d.line = c.line;
+    c.take();  // '#'
+    const size_t text_begin = c.at;
+    while (lex_one(&d.body_tokens, /*in_directive=*/true)) {
+    }
+    // Reconstruct the joined text (for diagnostics) from the raw span.
+    for (size_t i = text_begin; i < c.at; ++i) {
+      const char raw = c.text[i];
+      if (raw == '\\' && i + 1 < c.at && c.text[i + 1] == '\n') {
+        ++i;
+        continue;
+      }
+      d.text += raw == '\n' ? ' ' : raw;
+    }
+    if (!d.body_tokens.empty() && d.body_tokens[0].kind == TokKind::kIdent &&
+        d.body_tokens[0].text == "include") {
+      d.is_include = true;
+      if (d.body_tokens.size() >= 2 &&
+          d.body_tokens[1].kind == TokKind::kString) {
+        d.angled = false;
+        d.include_target = d.body_tokens[1].text;
+      } else {
+        // <...> re-lexed as punct/ident soup; recover the target from the
+        // directive text instead.
+        const size_t open = d.text.find('<');
+        const size_t close = d.text.find('>', open);
+        if (open != std::string::npos && close != std::string::npos) {
+          d.angled = true;
+          d.include_target = d.text.substr(open + 1, close - open - 1);
+        }
+      }
+    }
+    out.directives.push_back(std::move(d));
+  }
+
+  TokenStream run() {
+    bool at_line_start = true;
+    while (!c.done()) {
+      const char ch = c.peek();
+      if (ch == '\n') {
+        c.take();
+        at_line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+        c.take();
+        continue;
+      }
+      if (ch == '#' && at_line_start) {
+        lex_directive();
+        at_line_start = true;
+        continue;
+      }
+      at_line_start = false;
+      lex_one(nullptr, /*in_directive=*/false);
+    }
+    out.line_count = c.line;
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+TokenStream lex(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace selsync_lint

@@ -1,0 +1,73 @@
+// Token-level C++ lexer shared by every selsync_lint pass (DESIGN.md §9).
+//
+// The PR 4 linter scanned text line-by-line with a hand-rolled
+// comment/string stripper; that machinery could not see raw strings,
+// line-continued preprocessor directives or multi-line literals, so every
+// rule carried a known false-positive class. This lexer replaces it with a
+// real token stream:
+//
+//   * comments (line and block) become Comment records, never code tokens —
+//     waivers are parsed from comments ONLY, so an `allow(...)` spelled
+//     inside a string literal no longer registers;
+//   * string/char literals (including raw strings R"delim(...)delim" and
+//     encoding prefixes) become single kString/kChar tokens carrying their
+//     body, so identifier matching can never fire inside one;
+//   * preprocessor directives are captured whole (line continuations
+//     joined) as Directive records with the include target pre-parsed; the
+//     directive body is also re-lexed into Token form so macro bodies stay
+//     visible to the identifier rules without confusing brace-structure
+//     passes (structural passes read `tokens` only, matchers read both).
+//
+// The lexer is whitespace- and position-faithful: every token knows its
+// 1-based line (and, for multi-line literals, its end line) so violations
+// and waivers keep addressing real source lines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace selsync_lint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  /// Spelling for ident/number/punct; the literal body (quotes and raw
+  /// delimiters stripped, escapes untouched) for string/char tokens.
+  std::string text;
+  size_t line = 0;
+  /// Last line the token touches (> line only for multi-line literals).
+  size_t end_line = 0;
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  size_t line_begin = 0;
+  size_t line_end = 0;
+};
+
+struct Directive {
+  std::string text;  // full directive after `#`, continuations joined
+  size_t line = 0;
+  bool is_include = false;
+  bool angled = false;          // #include <...> vs "..."
+  std::string include_target;   // e.g. "comm/wait_slot.hpp" or "mutex"
+  /// The directive body re-lexed (identifier rules scan macro bodies too);
+  /// brace/paren tokens in here never reach the structural passes.
+  std::vector<Token> body_tokens;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  size_t line_count = 0;
+};
+
+TokenStream lex(const std::string& text);
+
+bool is_ident_start(char c);
+bool is_ident_char(char c);
+
+}  // namespace selsync_lint

@@ -1,0 +1,181 @@
+// enum-table: every enumerator of an enum with an EnumEntry<E> name table
+// appears in that table (both directions), and the serialized/parsed enums
+// must have a table at all. Token port of the PR 4 rule: enum bodies and
+// table initializers are read off the token stream with real brace/paren
+// balancing, so enumerators mentioned in comments or strings are invisible.
+#include <algorithm>
+#include <map>
+
+#include "lint/rules.hpp"
+
+namespace selsync_lint {
+
+namespace {
+
+struct EnumDef {
+  std::string file;
+  size_t line = 0;
+  std::vector<std::string> enumerators;
+};
+
+struct EnumTable {
+  std::string file;
+  size_t line = 0;
+  std::vector<std::string> entries;
+};
+
+/// Enums whose name table feeds a serializer or CLI parser; deleting the
+/// table entirely must fail the lint, not just drift within it.
+const char* const kRequiredTables[] = {
+    "BackendKind",     "CompressionKind",   "StrategyKind",  "ModelKind",
+    "PartitionScheme", "AggregationMode",   "FaultKind",     "Topology",
+    "EngineKind",      "SliceScheduleKind", "TransportKind",
+};
+
+bool is_kw(const Token& t, const char* word) {
+  return t.kind == TokKind::kIdent && t.text == word;
+}
+
+bool is_punct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+/// Index of the matching close brace for the open brace at `open`.
+size_t match_brace(const std::vector<Token>& toks, size_t open) {
+  size_t depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+void collect_enum_defs(const SourceFile& file,
+                       std::map<std::string, EnumDef>& defs) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_kw(toks[i], "enum")) continue;
+    size_t at = i + 1;
+    if (is_kw(toks[at], "class") || is_kw(toks[at], "struct")) ++at;
+    if (at >= toks.size() || toks[at].kind != TokKind::kIdent) continue;
+    const std::string name = toks[at].text;
+    ++at;
+    // Skip an underlying-type clause up to `{`; bail on `;` (fwd decl).
+    while (at < toks.size() && !is_punct(toks[at], "{") &&
+           !is_punct(toks[at], ";"))
+      ++at;
+    if (at >= toks.size() || is_punct(toks[at], ";")) continue;
+    const size_t close = match_brace(toks, at);
+    EnumDef def;
+    def.file = file.rel_path;
+    def.line = toks[i].line;
+    // Enumerators sit at depth 1, one per comma; initializer expressions
+    // are skipped with paren/brace balancing.
+    size_t cursor = at + 1;
+    while (cursor < close) {
+      if (toks[cursor].kind == TokKind::kIdent) {
+        def.enumerators.push_back(toks[cursor].text);
+        // Skip to the separating comma at depth 0.
+        size_t depth = 0;
+        while (cursor < close) {
+          if (is_punct(toks[cursor], "(") || is_punct(toks[cursor], "{") ||
+              is_punct(toks[cursor], "["))
+            ++depth;
+          if (is_punct(toks[cursor], ")") || is_punct(toks[cursor], "}") ||
+              is_punct(toks[cursor], "]"))
+            --depth;
+          if (depth == 0 && is_punct(toks[cursor], ",")) break;
+          ++cursor;
+        }
+      }
+      ++cursor;
+    }
+    if (!def.enumerators.empty() && !defs.count(name)) defs[name] = def;
+    i = close;
+  }
+}
+
+void collect_enum_tables(const SourceFile& file,
+                         std::map<std::string, std::vector<EnumTable>>& tables) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  for (size_t i = 0; i + 4 < toks.size(); ++i) {
+    // EnumEntry<Name> ident[] = { ... }
+    if (!is_kw(toks[i], "EnumEntry") || !is_punct(toks[i + 1], "<")) continue;
+    if (toks[i + 2].kind != TokKind::kIdent) continue;
+    const std::string name = toks[i + 2].text;
+    size_t at = i + 3;
+    if (!is_punct(toks[at], ">")) continue;
+    ++at;
+    // Only array declarations count as tables; the helper templates'
+    // parameter lists (`const EnumEntry<E> (&table)[N]`) have no bare
+    // ident-then-bracket here.
+    if (at >= toks.size() || toks[at].kind != TokKind::kIdent) continue;
+    ++at;
+    if (at >= toks.size() || !is_punct(toks[at], "[")) continue;
+    while (at < toks.size() && !is_punct(toks[at], "{") &&
+           !is_punct(toks[at], ";"))
+      ++at;
+    if (at >= toks.size() || is_punct(toks[at], ";")) continue;
+    const size_t close = match_brace(toks, at);
+    EnumTable table;
+    table.file = file.rel_path;
+    table.line = toks[i].line;
+    for (size_t j = at + 1; j + 2 < close; ++j)
+      if (toks[j].kind == TokKind::kIdent && toks[j].text == name &&
+          is_punct(toks[j + 1], "::") && toks[j + 2].kind == TokKind::kIdent)
+        table.entries.push_back(toks[j + 2].text);
+    tables[name].push_back(table);
+    i = close;
+  }
+}
+
+}  // namespace
+
+void check_enum_tables(const std::vector<SourceFile>& files,
+                       std::vector<Violation>& violations) {
+  std::map<std::string, EnumDef> defs;
+  std::map<std::string, std::vector<EnumTable>> tables;
+  std::map<std::string, const SourceFile*> file_of;
+  for (const SourceFile& file : files) {
+    collect_enum_defs(file, defs);
+    collect_enum_tables(file, tables);
+    file_of[file.rel_path] = &file;
+  }
+  for (const auto& [name, def] : defs) {
+    const bool waived =
+        file_of.at(def.file)->waivers.allows("enum-table", def.line);
+    const auto table_it = tables.find(name);
+    if (table_it == tables.end()) {
+      const bool required =
+          std::find_if(std::begin(kRequiredTables), std::end(kRequiredTables),
+                       [&](const char* r) { return name == r; }) !=
+          std::end(kRequiredTables);
+      if (required && !waived)
+        violations.push_back(
+            {def.file, def.line, "enum-table",
+             "enum " + name + " is serialized/parsed but has no EnumEntry<" +
+                 name + "> name table (util/enum_names.hpp)"});
+      continue;
+    }
+    for (const EnumTable& table : table_it->second) {
+      if (file_of.at(table.file)->waivers.allows("enum-table", table.line))
+        continue;
+      for (const std::string& enumerator : def.enumerators)
+        if (std::find(table.entries.begin(), table.entries.end(),
+                      enumerator) == table.entries.end())
+          violations.push_back(
+              {table.file, table.line, "enum-table",
+               name + "::" + enumerator + " is missing from this EnumEntry<" +
+                   name + "> table — parser/serializer drift"});
+      for (const std::string& entry : table.entries)
+        if (std::find(def.enumerators.begin(), def.enumerators.end(),
+                      entry) == def.enumerators.end())
+          violations.push_back(
+              {table.file, table.line, "enum-table",
+               "table entry " + name + "::" + entry +
+                   " does not name an enumerator of " + name});
+    }
+  }
+}
+
+}  // namespace selsync_lint

@@ -1,0 +1,132 @@
+// layer-dag: the include graph must respect the architecture layering
+//
+//     util → tensor → {nn, data, optim, stats} → comm → core → tools/tests
+//
+// declared once in kLayers below. Two checks:
+//
+//   1. No upward includes: a file may include only same-rank or lower-rank
+//      headers (src/util must not see src/core, src/comm must not see
+//      src/core, ...). Same-rank sibling includes are allowed — the rank-2
+//      directories legitimately share headers (nn ↔ data via model/dataset).
+//   2. No include cycles at FILE granularity. Directory-level cycles are
+//      tolerated exactly when the file graph stays acyclic (nn/eval_report
+//      → data/dataset → nn/model is a chain, not a loop); a genuine header
+//      cycle fails regardless of which directories it spans.
+//
+// Include targets are resolved against the scanned file set (src/<T>,
+// <T>, tools/<T>); system headers and unresolvable targets are ignored.
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lint/rules.hpp"
+
+namespace selsync_lint {
+
+namespace {
+
+struct LayerSpec {
+  const char* prefix;  // rel-path directory prefix
+  int rank;
+};
+
+/// The layering table — the single source of truth for this rule.
+const LayerSpec kLayers[] = {
+    {"src/util/", 0},   {"src/tensor/", 1}, {"src/nn/", 2},
+    {"src/data/", 2},   {"src/optim/", 2},  {"src/stats/", 2},
+    {"src/comm/", 3},   {"src/core/", 4},   {"tools/", 5},
+    {"tests/", 5},      {"bench/", 5},      {"examples/", 5},
+};
+
+int rank_of(const std::string& rel_path) {
+  for (const LayerSpec& layer : kLayers)
+    if (rel_path.rfind(layer.prefix, 0) == 0) return layer.rank;
+  return -1;
+}
+
+const char* layer_name(int rank) {
+  switch (rank) {
+    case 0: return "util";
+    case 1: return "tensor";
+    case 2: return "nn/data/optim/stats";
+    case 3: return "comm";
+    case 4: return "core";
+    case 5: return "tools/tests";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void check_layer_dag(const std::vector<SourceFile>& files,
+                     std::vector<Violation>& violations) {
+  std::set<std::string> known;
+  for (const SourceFile& file : files) known.insert(file.rel_path);
+
+  auto resolve = [&](const std::string& target) -> std::string {
+    for (const std::string& candidate :
+         {"src/" + target, target, "tools/" + target})
+      if (known.count(candidate)) return candidate;
+    return "";
+  };
+
+  // file → (included file, include line) — built once, used by both checks.
+  std::map<std::string, std::vector<std::pair<std::string, size_t>>> graph;
+  std::map<std::string, const SourceFile*> file_of;
+
+  for (const SourceFile& file : files) {
+    file_of[file.rel_path] = &file;
+    const int from_rank = rank_of(file.rel_path);
+    for (const Directive& d : file.toks.directives) {
+      if (!d.is_include) continue;
+      const std::string target = resolve(d.include_target);
+      if (target.empty()) continue;
+      graph[file.rel_path].emplace_back(target, d.line);
+      const int to_rank = rank_of(target);
+      if (from_rank >= 0 && to_rank >= 0 && to_rank > from_rank)
+        report(file, "layer-dag", d.line,
+               "upward include: " + std::string(layer_name(from_rank)) +
+                   "-layer file includes \"" + d.include_target + "\" (" +
+                   layer_name(to_rank) +
+                   " layer) — the dependency arrow runs util -> tensor -> "
+                   "{nn,data,optim,stats} -> comm -> core -> tools/tests",
+               violations);
+    }
+  }
+
+  // File-granularity include cycle detection.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::pair<std::string, size_t>> path;  // (file, include line)
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = 1;
+    for (const auto& [to, line] : graph[n]) {
+      if (color[to] == 1) {
+        std::string cycle;
+        size_t site_line = line;
+        std::string site_file = n;
+        bool in_cycle = false;
+        for (const auto& [pf, pl] : path) {
+          if (pf == to) in_cycle = true;
+          if (in_cycle) cycle += pf + " -> ";
+        }
+        cycle += n + " -> " + to;
+        if (reported.insert(cycle).second) {
+          const SourceFile* sf = file_of.at(site_file);
+          if (!sf->waivers.allows("layer-dag", site_line))
+            violations.push_back({site_file, site_line, "layer-dag",
+                                  "include cycle: " + cycle});
+        }
+      } else if (color[to] == 0) {
+        path.emplace_back(n, line);
+        dfs(to);
+        path.pop_back();
+      }
+    }
+    color[n] = 2;
+  };
+  for (const auto& [file, _] : graph)
+    if (color[file] == 0) dfs(file);
+}
+
+}  // namespace selsync_lint

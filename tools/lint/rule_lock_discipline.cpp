@@ -1,0 +1,748 @@
+// lock-discipline: a per-function model of every mutex acquisition across
+// src/comm + src/core, and three checks on top of it (DESIGN.md §9):
+//
+//   1. The repo-wide lock-order graph must be acyclic. Nodes are lock
+//      identities (Class::member or function::local); an edge A→B is
+//      recorded whenever B is acquired — directly or through a call chain —
+//      while A is held. A cycle (including a self-edge, i.e. re-acquiring a
+//      held lock) is a potential deadlock. The graph is emitted as a DOT
+//      artifact by `--dot`.
+//   2. WaitSlot::wait (and the cv half inside WaitSlot itself) must be
+//      called with a live std::unique_lock guard — either declared in the
+//      same function or received as a unique_lock& parameter. Passing
+//      anything else, or a guard that was .unlock()ed, is flagged.
+//   3. No blocking while holding a second lock: a WaitSlot wait releases
+//      only its own guard, so any other lock held across it — or a call
+//      into a function that may block (Channel::recv, PsRound::await,
+//      AbortableBarrier::wait, ...) made while holding any lock — is a
+//      deadlock waiting for the right interleaving.
+//
+// The model is token-derived, not compiled: functions are found by brace
+// structure, locks by the std::lock_guard / std::unique_lock /
+// std::scoped_lock declaration forms, call edges by callee base name. That
+// is deliberately conservative — a flagged site that is provably safe takes
+// a reasoned `// selsync-lint: allow(lock-discipline) -- why` waiver.
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lint/rules.hpp"
+
+namespace selsync_lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_ident(const Token& t, const char* w) {
+  return t.kind == TokKind::kIdent && t.text == w;
+}
+
+bool has_prefix(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+
+enum class MemberKind { kMutex, kWaitSlot, kCondVar };
+
+enum class ScopeKind { kNamespace, kClass, kEnum, kFn, kBlock, kOther };
+
+struct Acquire {
+  std::string lock_id;
+  size_t line = 0;
+  std::vector<std::string> held_before;
+};
+
+struct CallEv {
+  std::string callee;
+  size_t line = 0;
+  std::vector<std::string> held;
+};
+
+struct BlockEv {
+  size_t line = 0;
+  std::string base;               // the WaitSlot/cv member waited on
+  std::string arg;                // first argument as written
+  bool arg_is_live_unique = false;
+  std::vector<std::string> held_others;  // held locks minus the wait's own
+};
+
+struct FnBody {
+  const SourceFile* file = nullptr;
+  size_t open = 0, close = 0;  // token indices of { }
+  size_t line = 0;
+  std::string name;  // qualified: Class::method or free-function name
+  std::string cls;   // enclosing (or declarator) class, "" for free fns
+  std::vector<std::string> param_locks;  // unique_lock& parameter names
+  std::vector<Acquire> acquires;
+  std::vector<CallEv> calls;
+  std::vector<BlockEv> blocks;
+};
+
+struct Walkout {
+  std::map<std::string, std::map<std::string, MemberKind>> members;
+  std::vector<FnBody> fns;
+};
+
+size_t match_brace(const std::vector<Token>& toks, size_t open) {
+  size_t depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Joins a member-access expression from tokens, `this->` stripped:
+/// ["shared_", ".", "mutex"] → "shared_.mutex".
+std::string join_expr(const std::vector<Token>& toks, size_t begin,
+                      size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (is_ident(toks[i], "this")) continue;
+    if (is_punct(toks[i], "->") && out.empty()) continue;
+    out += toks[i].text;
+  }
+  return out;
+}
+
+/// Parses the qualified-type chain starting at `at` (e.g. std::mutex,
+/// WaitSlot). Advances `at` past the chain; returns the joined name.
+std::string read_chain(const std::vector<Token>& toks, size_t& at) {
+  if (at >= toks.size() || !is_ident(toks[at])) return "";
+  std::string name = toks[at].text;
+  ++at;
+  while (at + 1 < toks.size() && is_punct(toks[at], "::") &&
+         is_ident(toks[at + 1])) {
+    name += "::" + toks[at + 1].text;
+    at += 2;
+  }
+  return name;
+}
+
+/// Skips a balanced template-argument list if `at` sits on `<`.
+void skip_template_args(const std::vector<Token>& toks, size_t& at) {
+  if (at >= toks.size() || !is_punct(toks[at], "<")) return;
+  int depth = 0;
+  while (at < toks.size()) {
+    if (is_punct(toks[at], "<")) ++depth;
+    if (is_punct(toks[at], ">")) --depth;
+    if (is_punct(toks[at], ">>")) depth -= 2;
+    ++at;
+    if (depth <= 0) return;
+  }
+}
+
+const char* const kGuardTypes[] = {"lock_guard", "unique_lock", "scoped_lock",
+                                   "shared_lock"};
+
+/// --------------------------------------------------------------------------
+/// Pass 1: structural walk — classes, members, function body spans.
+/// --------------------------------------------------------------------------
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;  // class/namespace name
+  size_t fn_index = SIZE_MAX;
+};
+
+void structural_walk(const SourceFile& file, Walkout& out) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  std::vector<Scope> stack;
+  std::vector<Token> pending;
+  int paren_depth = 0;
+
+  auto enclosing_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+      if (it->kind == ScopeKind::kClass) return it->name;
+    return "";
+  };
+  auto in_function = [&]() {
+    return !stack.empty() && (stack.back().kind == ScopeKind::kFn ||
+                              stack.back().kind == ScopeKind::kBlock);
+  };
+
+  auto pending_has = [&](const char* word) {
+    int depth = 0;
+    for (const Token& t : pending) {
+      if (is_punct(t, "(")) ++depth;
+      if (is_punct(t, ")")) --depth;
+      if (depth == 0 && is_ident(t, word)) return true;
+    }
+    return false;
+  };
+  auto pending_has_punct = [&](const char* p, bool top_level_only) {
+    int depth = 0;
+    for (const Token& t : pending) {
+      if (is_punct(t, "(") || is_punct(t, "[")) ++depth;
+      if (is_punct(t, ")") || is_punct(t, "]")) --depth;
+      if ((!top_level_only || depth == 0) && is_punct(t, p)) return true;
+    }
+    return false;
+  };
+
+  auto flush_member_decl = [&]() {
+    // In class scope, `;` may close `mutable std::mutex mutex_;` etc.
+    if (stack.empty() || stack.back().kind != ScopeKind::kClass) return;
+    size_t at = 0;
+    while (at < pending.size() &&
+           (is_ident(pending[at], "mutable") || is_ident(pending[at], "static") ||
+            is_ident(pending[at], "inline") || is_ident(pending[at], "const") ||
+            is_ident(pending[at], "constexpr") ||
+            is_ident(pending[at], "public") || is_ident(pending[at], "private") ||
+            is_ident(pending[at], "protected") || is_punct(pending[at], ":")))
+      ++at;
+    std::string chain = read_chain(pending, at);
+    MemberKind kind;
+    if (chain == "std::mutex" || chain == "std::timed_mutex" ||
+        chain == "std::recursive_mutex")
+      kind = MemberKind::kMutex;
+    else if (chain == "WaitSlot" || chain == "selsync::WaitSlot")
+      kind = MemberKind::kWaitSlot;
+    else if (chain == "std::condition_variable" ||
+             chain == "std::condition_variable_any")
+      kind = MemberKind::kCondVar;
+    else
+      return;
+    if (at < pending.size() && is_ident(pending[at]))
+      out.members[stack.back().name][pending[at].text] = kind;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "(")) ++paren_depth;
+    if (is_punct(t, ")")) --paren_depth;
+
+    if (is_punct(t, ";")) {
+      if (paren_depth == 0) {
+        flush_member_decl();
+        pending.clear();
+      }
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!stack.empty()) stack.pop_back();
+      pending.clear();
+      continue;
+    }
+    if (!is_punct(t, "{")) {
+      pending.push_back(t);
+      continue;
+    }
+
+    // Classify this `{`.
+    Scope scope{ScopeKind::kOther, "", SIZE_MAX};
+    if (in_function() || paren_depth > 0) {
+      scope.kind = in_function() ? ScopeKind::kBlock : ScopeKind::kOther;
+    } else if (pending_has("namespace") && !pending_has_punct("(", false)) {
+      scope.kind = ScopeKind::kNamespace;
+    } else if (pending_has("enum")) {
+      scope.kind = ScopeKind::kEnum;
+    } else if ((pending_has("class") || pending_has("struct") ||
+                pending_has("union")) &&
+               !pending_has_punct("(", false)) {
+      scope.kind = ScopeKind::kClass;
+      for (size_t j = 0; j < pending.size(); ++j)
+        if ((is_ident(pending[j], "class") || is_ident(pending[j], "struct") ||
+             is_ident(pending[j], "union")) &&
+            j + 1 < pending.size() && is_ident(pending[j + 1]))
+          scope.name = pending[j + 1].text;
+    } else if (pending_has_punct("=", true)) {
+      scope.kind = ScopeKind::kOther;
+    } else if (pending_has_punct("(", false)) {
+      scope.kind = ScopeKind::kFn;
+      // Name: the ident chain just before the first `(`.
+      size_t p = 0;
+      while (p < pending.size() && !is_punct(pending[p], "(")) ++p;
+      std::string name;
+      for (size_t j = p; j > 0;) {
+        --j;
+        const Token& n = pending[j];
+        if (is_ident(n) || is_punct(n, "::") || is_punct(n, "~")) {
+          name = n.text + name;
+          if (j >= 1 && !is_punct(pending[j - 1], "::") && is_ident(n) &&
+              !(j >= 1 && is_punct(pending[j - 1], "~")))
+            break;
+        } else {
+          break;
+        }
+      }
+      FnBody fn;
+      fn.file = &file;
+      fn.open = i;
+      fn.close = match_brace(toks, i);
+      fn.line = t.line;
+      fn.name = name.empty() ? "(anon)" : name;
+      fn.cls = enclosing_class();
+      const size_t sep = fn.name.rfind("::");
+      if (sep != std::string::npos && fn.cls.empty())
+        fn.cls = fn.name.substr(0, sep);
+      if (fn.name.find("::") == std::string::npos && !fn.cls.empty())
+        fn.name = fn.cls + "::" + fn.name;
+      // unique_lock& parameters: in-flight guards owned by the caller.
+      int depth = 0;
+      for (size_t j = p; j < pending.size(); ++j) {
+        if (is_punct(pending[j], "(")) ++depth;
+        if (is_punct(pending[j], ")") && --depth == 0) break;
+        if (is_ident(pending[j], "unique_lock")) {
+          size_t a = j + 1;
+          skip_template_args(pending, a);
+          if (a < pending.size() && is_punct(pending[a], "&")) ++a;
+          if (a < pending.size() && is_ident(pending[a]))
+            fn.param_locks.push_back(pending[a].text);
+        }
+      }
+      scope.fn_index = out.fns.size();
+      out.fns.push_back(std::move(fn));
+    }
+    stack.push_back(scope);
+    pending.clear();
+  }
+}
+
+/// --------------------------------------------------------------------------
+/// Pass 2: event extraction per function body.
+/// --------------------------------------------------------------------------
+
+struct Guard {
+  std::string var;
+  std::string lock_id;
+  bool unique = false;
+  bool active = true;
+  size_t depth = 0;
+  bool is_param = false;
+};
+
+const char* const kCallKeywords[] = {
+    "if",     "for",      "while",    "switch",        "return",
+    "throw",  "sizeof",   "alignof",  "decltype",      "noexcept",
+    "catch",  "operator", "defined",  "static_assert",
+};
+
+/// Member-call linking is by callee base name — `x.f()` links to every
+/// model named `f` — so ubiquitous container/iterator method names would
+/// mislink (e.g. `span.begin()` is not `PsRound::begin`). Calls to these
+/// names never join the call graph; a lock-relevant function must not
+/// reuse them.
+const char* const kCommonMethodNames[] = {
+    "begin",   "end",     "size",   "empty",   "data",    "clear",
+    "resize",  "reserve", "assign", "insert",  "erase",   "find",
+    "count",   "at",      "front",  "back",    "push_back", "pop_back",
+    "emplace", "emplace_back",      "get",     "reset",   "release",
+    "str",     "c_str",   "swap",   "copy",    "move",    "min",
+    "max",     "to_string",
+};
+
+void extract_events(const Walkout& walk, FnBody& fn) {
+  const std::vector<Token>& toks = fn.file->toks.tokens;
+  std::vector<Guard> guards;
+  std::set<std::string> local_mutexes;
+  for (const std::string& p : fn.param_locks)
+    guards.push_back({p, "<caller:" + p + ">", true, true, 0, true});
+  size_t depth = 1;
+
+  auto held_ids = [&]() {
+    std::vector<std::string> ids;
+    for (const Guard& g : guards)
+      if (g.active) ids.push_back(g.lock_id);
+    return ids;
+  };
+  auto owner = [&]() {
+    if (!fn.cls.empty()) return fn.cls;
+    const size_t sep = fn.name.rfind("::");
+    return sep == std::string::npos ? fn.name : fn.name.substr(sep + 2);
+  };
+  auto lock_id_for = [&](const std::string& expr) {
+    if (local_mutexes.count(expr)) return fn.name + "::" + expr;
+    return owner() + "::" + expr;
+  };
+  auto find_guard = [&](const std::string& var) -> Guard* {
+    for (auto it = guards.rbegin(); it != guards.rend(); ++it)
+      if (it->var == var) return &*it;
+    return nullptr;
+  };
+
+  for (size_t i = fn.open + 1; i < fn.close; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      for (Guard& g : guards)
+        if (!g.is_param && g.depth > depth) g.active = false;
+      continue;
+    }
+    if (!is_ident(t)) continue;
+
+    // Local `std::mutex name;` declarations.
+    if (t.text == "std" && i + 3 < fn.close && is_punct(toks[i + 1], "::") &&
+        is_ident(toks[i + 2], "mutex") && is_ident(toks[i + 3]) &&
+        i + 4 < fn.close && is_punct(toks[i + 4], ";")) {
+      local_mutexes.insert(toks[i + 3].text);
+      i += 4;
+      continue;
+    }
+
+    // Guard declarations: std::lock_guard<...> var(expr[, ...]);
+    bool is_guard_type = false;
+    bool is_unique = false;
+    for (const char* g : kGuardTypes)
+      if (t.text == g) {
+        is_guard_type = true;
+        is_unique = t.text == "unique_lock";
+      }
+    if (is_guard_type && i >= 2 && is_punct(toks[i - 1], "::") &&
+        is_ident(toks[i - 2], "std")) {
+      size_t at = i + 1;
+      skip_template_args(toks, at);
+      if (at < fn.close && is_ident(toks[at]) && at + 1 < fn.close &&
+          is_punct(toks[at + 1], "(")) {
+        const std::string var = toks[at].text;
+        const size_t args_open = at + 1;
+        // Split constructor args at top-level commas.
+        size_t j = args_open + 1;
+        int adepth = 1;
+        size_t arg_begin = j;
+        std::vector<std::pair<size_t, size_t>> args;
+        for (; j < fn.close && adepth > 0; ++j) {
+          if (is_punct(toks[j], "(")) ++adepth;
+          if (is_punct(toks[j], ")") && --adepth == 0) break;
+          if (adepth == 1 && is_punct(toks[j], ",")) {
+            args.emplace_back(arg_begin, j);
+            arg_begin = j + 1;
+          }
+        }
+        if (j > arg_begin) args.emplace_back(arg_begin, j);
+        for (const auto& [b, e] : args) {
+          const std::string expr = join_expr(toks, b, e);
+          if (expr.find("defer_lock") != std::string::npos ||
+              expr.find("try_to_lock") != std::string::npos)
+            continue;
+          if (expr.find("adopt_lock") != std::string::npos) continue;
+          if (expr.empty()) continue;
+          const std::string id = lock_id_for(expr);
+          fn.acquires.push_back({id, t.line, held_ids()});
+          guards.push_back({var, id, is_unique, true, depth, false});
+        }
+        i = j;
+        continue;
+      }
+    }
+
+    // Calls and waits: IDENT `(` with optional member/qualifier base.
+    if (i + 1 < fn.close && is_punct(toks[i + 1], "(")) {
+      bool keyword = false;
+      for (const char* k : kCallKeywords)
+        if (t.text == k) keyword = true;
+      if (keyword) continue;
+
+      const bool has_base =
+          i >= 2 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+          is_ident(toks[i - 2]);
+      const std::string base = has_base ? toks[i - 2].text : "";
+
+      // guard.unlock() / guard.lock() toggles.
+      if (has_base && (t.text == "unlock" || t.text == "lock")) {
+        if (Guard* g = find_guard(base)) {
+          g->active = t.text == "lock";
+          continue;
+        }
+      }
+
+      // WaitSlot / condition_variable member operations.
+      if (has_base) {
+        const std::string& cls = fn.cls;
+        auto cls_it = walk.members.find(cls);
+        if (cls_it != walk.members.end()) {
+          auto mem_it = cls_it->second.find(base);
+          if (mem_it != cls_it->second.end() &&
+              mem_it->second != MemberKind::kMutex) {
+            if (t.text == "notify_one" || t.text == "notify_all") continue;
+            if (t.text == "wait") {
+              BlockEv ev;
+              ev.line = t.line;
+              ev.base = base;
+              // First argument up to a top-level `,` or `)`.
+              size_t b = i + 2;
+              size_t e = b;
+              int adepth = 1;
+              while (e < fn.close) {
+                if (is_punct(toks[e], "(")) ++adepth;
+                if (is_punct(toks[e], ")") && --adepth == 0) break;
+                if (adepth == 1 && is_punct(toks[e], ",")) break;
+                ++e;
+              }
+              ev.arg = join_expr(toks, b, e);
+              const Guard* g = find_guard(ev.arg);
+              ev.arg_is_live_unique = g != nullptr && g->active && g->unique;
+              for (const std::string& id : held_ids())
+                if (g == nullptr || id != g->lock_id)
+                  ev.held_others.push_back(id);
+              fn.blocks.push_back(std::move(ev));
+              continue;
+            }
+          }
+        }
+      }
+
+      bool common = false;
+      for (const char* c : kCommonMethodNames)
+        if (t.text == c) common = true;
+      if (!common) fn.calls.push_back({t.text, t.line, held_ids()});
+    }
+  }
+}
+
+/// --------------------------------------------------------------------------
+/// Pass 3: transitive lock sets, may-block, the order graph, violations.
+/// --------------------------------------------------------------------------
+
+struct Edge {
+  std::string from, to;
+  std::string fn;
+  std::string file;
+  size_t line = 0;
+};
+
+std::string last_name(const std::string& qualified) {
+  const size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+bool is_caller_pseudo(const std::string& id) {
+  return has_prefix(id, "<caller:");
+}
+
+struct Analysis {
+  std::vector<FnBody>* fns;
+  std::map<std::string, std::vector<size_t>> by_name;  // last name → fns
+  std::map<size_t, std::set<std::string>> locksets;
+  std::map<size_t, int> may_block;  // -1 in progress, 0 no, 1 yes
+
+  const std::set<std::string>& lockset(size_t f) {
+    auto it = locksets.find(f);
+    if (it != locksets.end()) return it->second;
+    locksets[f] = {};  // cycle guard: partial result on recursion
+    std::set<std::string> acc;
+    for (const Acquire& a : (*fns)[f].acquires)
+      if (!is_caller_pseudo(a.lock_id)) acc.insert(a.lock_id);
+    for (const CallEv& c : (*fns)[f].calls) {
+      auto cal = by_name.find(c.callee);
+      if (cal == by_name.end()) continue;
+      for (size_t callee : cal->second) {
+        if (callee == f) continue;
+        const std::set<std::string>& sub = lockset(callee);
+        acc.insert(sub.begin(), sub.end());
+      }
+    }
+    return locksets[f] = std::move(acc);
+  }
+
+  bool blocks(size_t f) {
+    auto it = may_block.find(f);
+    if (it != may_block.end()) return it->second == 1;
+    may_block[f] = -1;
+    bool result = !(*fns)[f].blocks.empty();
+    if (!result) {
+      for (const CallEv& c : (*fns)[f].calls) {
+        auto cal = by_name.find(c.callee);
+        if (cal == by_name.end()) continue;
+        for (size_t callee : cal->second) {
+          if (callee == f) continue;
+          auto sub = may_block.find(callee);
+          if (sub != may_block.end() && sub->second == -1) continue;
+          if (blocks(callee)) {
+            result = true;
+            break;
+          }
+        }
+        if (result) break;
+      }
+    }
+    may_block[f] = result ? 1 : 0;
+    return result;
+  }
+};
+
+void write_dot(const std::string& path, const std::set<std::string>& nodes,
+               const std::vector<Edge>& edges,
+               const std::map<std::string, size_t>& acquire_counts) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "selsync_lint: cannot write DOT to %s\n",
+                 path.c_str());
+    return;
+  }
+  out << "// selsync_lint lock-order graph (src/comm + src/core).\n"
+      << "// Nodes: lock identities. Edges: A -> B when B is acquired\n"
+      << "// while A is held (directly or through a call chain).\n"
+      << "digraph lock_order {\n  rankdir=LR;\n"
+      << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const std::string& n : nodes) {
+    auto it = acquire_counts.find(n);
+    out << "  \"" << n << "\" [label=\"" << n << "\\nacquired in "
+        << (it == acquire_counts.end() ? 0 : it->second)
+        << " function(s)\"];\n";
+  }
+  for (const Edge& e : edges)
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\"" << e.fn
+        << "\\n" << e.file << ":" << e.line << "\"];\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+void check_lock_discipline(const std::vector<SourceFile>& files,
+                           const std::string& dot_path,
+                           std::vector<Violation>& violations) {
+  Walkout walk;
+  std::map<std::string, const SourceFile*> file_of;
+  for (const SourceFile& file : files) {
+    if (!has_prefix(file.rel_path, "src/comm/") &&
+        !has_prefix(file.rel_path, "src/core/"))
+      continue;
+    structural_walk(file, walk);
+    file_of[file.rel_path] = &file;
+  }
+  for (FnBody& fn : walk.fns) extract_events(walk, fn);
+
+  Analysis an;
+  an.fns = &walk.fns;
+  for (size_t f = 0; f < walk.fns.size(); ++f)
+    an.by_name[last_name(walk.fns[f].name)].push_back(f);
+
+  auto emit = [&](const FnBody& fn, size_t line, const std::string& message) {
+    report(*fn.file, "lock-discipline", line, message, violations);
+  };
+
+  // --- WaitSlot guard + two-lock blocking, per function -------------------
+  for (size_t f = 0; f < walk.fns.size(); ++f) {
+    const FnBody& fn = walk.fns[f];
+    for (const BlockEv& ev : fn.blocks) {
+      if (!ev.arg_is_live_unique)
+        emit(fn, ev.line,
+             "WaitSlot::wait on '" + ev.base + "' in " + fn.name +
+                 " outside its guard: the first argument must be a live "
+                 "std::unique_lock (declared here or received as a "
+                 "unique_lock& parameter), got '" + ev.arg + "'");
+      if (!ev.held_others.empty()) {
+        std::string held;
+        for (const std::string& id : ev.held_others)
+          held += (held.empty() ? "" : ", ") + id;
+        emit(fn, ev.line,
+             "blocking wait on '" + ev.base + "' in " + fn.name +
+                 " while still holding " + held +
+                 " — a wait releases only its own guard; holding a second "
+                 "lock across it is a deadlock under the right interleaving");
+      }
+    }
+    for (const CallEv& c : fn.calls) {
+      if (c.held.empty()) continue;
+      auto cal = an.by_name.find(c.callee);
+      if (cal == an.by_name.end()) continue;
+      bool callee_blocks = false;
+      for (size_t callee : cal->second)
+        if (callee != f && an.blocks(callee)) callee_blocks = true;
+      if (!callee_blocks) continue;
+      std::string held;
+      for (const std::string& id : c.held)
+        held += (held.empty() ? "" : ", ") + id;
+      emit(fn, c.line,
+           "call to potentially-blocking '" + c.callee + "' in " + fn.name +
+               " while holding " + held +
+               " — the callee parks on its own lock, so this holds two");
+    }
+  }
+
+  // --- Lock-order graph ----------------------------------------------------
+  std::set<std::string> nodes;
+  std::map<std::string, size_t> acquire_counts;
+  std::vector<Edge> edges;
+  std::set<std::string> edge_seen;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const FnBody& fn, size_t line) {
+    if (is_caller_pseudo(from) || is_caller_pseudo(to)) return;
+    const std::string key = from + "\t" + to;
+    if (!edge_seen.insert(key).second) return;
+    edges.push_back({from, to, fn.name, fn.file->rel_path, line});
+  };
+  for (size_t f = 0; f < walk.fns.size(); ++f) {
+    const FnBody& fn = walk.fns[f];
+    std::set<std::string> own;
+    for (const Acquire& a : fn.acquires) {
+      if (!is_caller_pseudo(a.lock_id)) {
+        nodes.insert(a.lock_id);
+        own.insert(a.lock_id);
+      }
+      for (const std::string& h : a.held_before)
+        add_edge(h, a.lock_id, fn, a.line);
+    }
+    for (const std::string& id : own) ++acquire_counts[id];
+    for (const CallEv& c : fn.calls) {
+      if (c.held.empty()) continue;
+      auto cal = an.by_name.find(c.callee);
+      if (cal == an.by_name.end()) continue;
+      for (size_t callee : cal->second) {
+        if (callee == f) continue;
+        for (const std::string& to : an.lockset(callee))
+          for (const std::string& from : c.held)
+            add_edge(from, to, fn, c.line);
+      }
+    }
+  }
+
+  // Cycle detection (DFS, white/grey/black).
+  std::map<std::string, std::vector<const Edge*>> adj;
+  for (const Edge& e : edges) adj[e.from].push_back(&e);
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<const Edge*> path;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = 1;
+    for (const Edge* e : adj[n]) {
+      path.push_back(e);
+      if (color[e->to] == 1) {
+        // Found a cycle: the suffix of `path` from the first edge leaving
+        // e->to closes the loop.
+        std::string cycle = e->to;
+        std::string sites;
+        bool in_cycle = false;
+        for (const Edge* pe : path) {
+          if (pe->from == e->to) in_cycle = true;
+          if (!in_cycle) continue;
+          cycle += " -> " + pe->to;
+          sites += (sites.empty() ? "" : "; ") + pe->from + "->" + pe->to +
+                   " in " + pe->fn + " (" + pe->file + ":" +
+                   std::to_string(pe->line) + ")";
+        }
+        if (reported.insert(cycle).second) {
+          const Edge* site = e;
+          const SourceFile* sf = file_of.count(site->file)
+                                     ? file_of.at(site->file)
+                                     : nullptr;
+          Violation v{site->file, site->line, "lock-discipline",
+                      "lock-order cycle: " + cycle +
+                          " — potential deadlock (" + sites + ")"};
+          if (sf == nullptr ||
+              !sf->waivers.allows("lock-discipline", site->line))
+            violations.push_back(std::move(v));
+        }
+      } else if (color[e->to] == 0) {
+        dfs(e->to);
+      }
+      path.pop_back();
+    }
+    color[n] = 2;
+  };
+  for (const std::string& n : nodes)
+    if (color[n] == 0) dfs(n);
+
+  if (!dot_path.empty()) write_dot(dot_path, nodes, edges, acquire_counts);
+}
+
+}  // namespace selsync_lint

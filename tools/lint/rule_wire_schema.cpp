@@ -1,0 +1,489 @@
+// wire-schema: the checked-in manifest (tools/lint/wire_schema.manifest)
+// is the pinned wire contract; this pass re-derives constants, frame-struct
+// field layouts, and verb enums from the token streams and fails on any
+// divergence. The direction matters: the manifest is authoritative, the
+// source must still say what the manifest promised. Evolution is
+// append-only — new fields after the pinned prefix and new verbs at fresh
+// values pass; a reorder, a width change, a value change, or a deletion is
+// a wire break and fails loudly.
+//
+// Verb categories add the serialize/parse-pair check: an `rpc` verb needs
+// a receiver (`case ReplicaVerb::kX`) and a sender (any non-case
+// `ReplicaVerb::kX` reference); `handshake`/`control` verbs travel as raw
+// frames and need at least one reference of any kind.
+//
+// A tree with no manifest skips the pass — the tool stays usable on
+// fixture trees that exercise other rules.
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace selsync_lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_ident(const Token& t, const char* w) {
+  return t.kind == TokKind::kIdent && t.text == w;
+}
+
+/// Integer-type token → manifest width ("-" = width not pinned).
+std::string width_of(const std::string& type) {
+  if (type == "uint8_t" || type == "char" || type == "bool") return "u8";
+  if (type == "uint16_t") return "u16";
+  if (type == "uint32_t") return "u32";
+  if (type == "uint64_t") return "u64";
+  if (type == "int8_t") return "i8";
+  if (type == "int16_t") return "i16";
+  if (type == "int32_t") return "i32";
+  if (type == "int64_t") return "i64";
+  if (type == "float") return "f32";
+  if (type == "double") return "f64";
+  return "-";
+}
+
+struct ManifestConst {
+  std::string name, width;
+  uint64_t value = 0;
+  size_t line = 0;
+};
+struct ManifestField {
+  std::string name, width;
+  size_t line = 0;
+};
+struct ManifestStruct {
+  std::string name;
+  std::vector<ManifestField> fields;
+  size_t line = 0;
+};
+struct ManifestVerb {
+  std::string name, category;
+  uint64_t value = 0;
+  size_t line = 0;
+};
+struct ManifestEnum {
+  std::string name, width;
+  std::vector<ManifestVerb> verbs;
+  size_t line = 0;
+};
+
+struct Manifest {
+  std::string rel_path;
+  std::vector<ManifestConst> consts;
+  std::vector<ManifestStruct> structs;
+  std::vector<ManifestEnum> enums;
+};
+
+bool parse_manifest(const fs::path& path, const std::string& rel,
+                    Manifest& out, std::vector<Violation>& violations) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out.rel_path = rel;
+  std::string line;
+  size_t line_no = 0;
+  auto bad = [&](const std::string& why) {
+    violations.push_back({rel, line_no, "wire-schema",
+                          "manifest syntax: " + why + " in '" + line + "'"});
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream words(line);
+    std::string kind;
+    if (!(words >> kind) || kind[0] == '#') continue;
+    if (kind == "const") {
+      ManifestConst c;
+      std::string value;
+      if (!(words >> c.name >> c.width >> value)) {
+        bad("expected `const <name> <width|-> <value>`");
+        continue;
+      }
+      c.value = std::stoull(value, nullptr, 0);
+      c.line = line_no;
+      out.consts.push_back(std::move(c));
+    } else if (kind == "struct") {
+      ManifestStruct s;
+      if (!(words >> s.name)) {
+        bad("expected `struct <Name>`");
+        continue;
+      }
+      s.line = line_no;
+      out.structs.push_back(std::move(s));
+    } else if (kind == "field") {
+      ManifestField f;
+      if (!(words >> f.name >> f.width) || out.structs.empty()) {
+        bad("expected `field <name> <width>` after a `struct` line");
+        continue;
+      }
+      f.line = line_no;
+      out.structs.back().fields.push_back(std::move(f));
+    } else if (kind == "enum") {
+      ManifestEnum e;
+      if (!(words >> e.name >> e.width)) {
+        bad("expected `enum <Name> <width>`");
+        continue;
+      }
+      e.line = line_no;
+      out.enums.push_back(std::move(e));
+    } else if (kind == "verb") {
+      ManifestVerb v;
+      std::string value;
+      if (!(words >> v.name >> value >> v.category) || out.enums.empty()) {
+        bad("expected `verb <name> <value> <category>` after an `enum` line");
+        continue;
+      }
+      v.value = std::stoull(value, nullptr, 0);
+      v.line = line_no;
+      out.enums.back().verbs.push_back(std::move(v));
+    } else {
+      bad("unknown entity kind '" + kind + "'");
+    }
+  }
+  return true;
+}
+
+size_t match_brace(const std::vector<Token>& toks, size_t open) {
+  size_t depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// ---- source-side facts, re-derived from the token streams -----------------
+
+struct SourceConst {
+  std::string width;
+  uint64_t value = 0;
+  std::string file;
+  size_t line = 0;
+};
+struct SourceField {
+  std::string name, width;
+};
+struct SourceStruct {
+  std::vector<SourceField> fields;
+  std::string file;
+  size_t line = 0;
+};
+struct SourceEnum {
+  std::string width;
+  std::vector<std::pair<std::string, uint64_t>> enumerators;
+  std::string file;
+  size_t line = 0;
+};
+struct VerbRefs {
+  size_t cases = 0;
+  size_t other = 0;
+};
+
+struct SourceFacts {
+  std::map<std::string, SourceConst> consts;
+  std::map<std::string, SourceStruct> structs;
+  std::map<std::string, SourceEnum> enums;
+  // enum name → verb name → reference counts across the tree
+  std::map<std::string, std::map<std::string, VerbRefs>> refs;
+};
+
+bool parse_u64(const std::string& text, uint64_t& out) {
+  try {
+    size_t used = 0;
+    out = std::stoull(text, &used, 0);
+    return used > 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+void scan_file(const SourceFile& file, const Manifest& manifest,
+               SourceFacts& facts) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  auto wanted_const = [&](const std::string& name) {
+    for (const ManifestConst& c : manifest.consts)
+      if (c.name == name) return true;
+    return false;
+  };
+  auto wanted_struct = [&](const std::string& name) {
+    for (const ManifestStruct& s : manifest.structs)
+      if (s.name == name) return true;
+    return false;
+  };
+  auto wanted_enum = [&](const std::string& name) {
+    for (const ManifestEnum& e : manifest.enums)
+      if (e.name == name) return true;
+    return false;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!is_ident(t)) continue;
+
+    // constexpr <type> kName = <number>;
+    if (wanted_const(t.text) && !facts.consts.count(t.text) && i >= 1 &&
+        is_ident(toks[i - 1]) && i + 2 < toks.size() &&
+        is_punct(toks[i + 1], "=") && toks[i + 2].kind == TokKind::kNumber) {
+      uint64_t value = 0;
+      if (parse_u64(toks[i + 2].text, value))
+        facts.consts[t.text] = {width_of(toks[i - 1].text), value,
+                                file.rel_path, t.line};
+      continue;
+    }
+
+    // struct <Name> { <type> <name> [= init]; ... };
+    if ((t.text == "struct" || t.text == "class") && i + 1 < toks.size() &&
+        is_ident(toks[i + 1]) && wanted_struct(toks[i + 1].text)) {
+      const std::string name = toks[i + 1].text;
+      size_t at = i + 2;
+      while (at < toks.size() && !is_punct(toks[at], "{") &&
+             !is_punct(toks[at], ";"))
+        ++at;
+      if (at >= toks.size() || is_punct(toks[at], ";")) continue;
+      const size_t close = match_brace(toks, at);
+      if (facts.structs.count(name)) continue;
+      SourceStruct s;
+      s.file = file.rel_path;
+      s.line = t.line;
+      // One field per `;` at depth 1: first ident is the type, the ident
+      // right before `=`/`;`/`{` is the field name. Statements containing
+      // `(` (methods, ctors) are skipped.
+      size_t stmt = at + 1;
+      size_t depth = 1;
+      std::vector<const Token*> buf;
+      for (size_t j = at + 1; j < close; ++j) {
+        if (is_punct(toks[j], "{")) ++depth;
+        if (is_punct(toks[j], "}")) --depth;
+        if (depth == 1 && is_punct(toks[j], ";")) {
+          bool has_paren = false;
+          for (const Token* b : buf)
+            if (is_punct(*b, "(") || is_punct(*b, ")")) has_paren = true;
+          if (!has_paren && buf.size() >= 2 && is_ident(*buf.front())) {
+            size_t name_at = buf.size();
+            for (size_t k = 0; k < buf.size(); ++k)
+              if (is_punct(*buf[k], "=") || is_punct(*buf[k], "{")) {
+                name_at = k;
+                break;
+              }
+            if (name_at >= 1 && is_ident(*buf[name_at - 1]) && name_at >= 2)
+              s.fields.push_back(
+                  {buf[name_at - 1]->text, width_of(buf.front()->text)});
+          }
+          buf.clear();
+          stmt = j + 1;
+          continue;
+        }
+        if (depth >= 1 && j >= stmt) buf.push_back(&toks[j]);
+      }
+      facts.structs[name] = std::move(s);
+      i = close;
+      continue;
+    }
+
+    // enum class <Name> : <type> { kA = 1, kB, ... };
+    if (t.text == "enum") {
+      size_t at = i + 1;
+      if (at < toks.size() &&
+          (is_ident(toks[at], "class") || is_ident(toks[at], "struct")))
+        ++at;
+      if (at >= toks.size() || !is_ident(toks[at])) continue;
+      const std::string name = toks[at].text;
+      if (!wanted_enum(name)) continue;
+      ++at;
+      std::string width = "-";
+      if (at + 1 < toks.size() && is_punct(toks[at], ":") &&
+          is_ident(toks[at + 1])) {
+        width = width_of(toks[at + 1].text);
+        at += 2;
+      }
+      while (at < toks.size() && !is_punct(toks[at], "{") &&
+             !is_punct(toks[at], ";"))
+        ++at;
+      if (at >= toks.size() || is_punct(toks[at], ";")) continue;
+      const size_t close = match_brace(toks, at);
+      if (facts.enums.count(name)) {
+        i = close;
+        continue;
+      }
+      SourceEnum e;
+      e.width = width;
+      e.file = file.rel_path;
+      e.line = t.line;
+      uint64_t next = 0;
+      for (size_t j = at + 1; j < close; ++j) {
+        if (!is_ident(toks[j])) continue;
+        uint64_t value = next;
+        size_t k = j + 1;
+        if (k + 1 < close && is_punct(toks[k], "=") &&
+            toks[k + 1].kind == TokKind::kNumber &&
+            parse_u64(toks[k + 1].text, value))
+          k += 2;
+        e.enumerators.emplace_back(toks[j].text, value);
+        next = value + 1;
+        // Skip to the separating comma.
+        while (k < close && !is_punct(toks[k], ",")) ++k;
+        j = k;
+      }
+      facts.enums[name] = std::move(e);
+      i = close;
+      continue;
+    }
+
+    // <EnumName> :: <verb> references, split case vs. other.
+    if (wanted_enum(t.text) && i + 2 < toks.size() &&
+        is_punct(toks[i + 1], "::") && is_ident(toks[i + 2])) {
+      VerbRefs& r = facts.refs[t.text][toks[i + 2].text];
+      if (i >= 1 && is_ident(toks[i - 1], "case"))
+        ++r.cases;
+      else
+        ++r.other;
+    }
+  }
+}
+
+}  // namespace
+
+void check_wire_schema(const std::vector<SourceFile>& files,
+                       const std::filesystem::path& root,
+                       std::vector<Violation>& violations) {
+  const std::string rel = "tools/lint/wire_schema.manifest";
+  Manifest manifest;
+  if (!parse_manifest(root / rel, rel, manifest, violations)) return;
+
+  SourceFacts facts;
+  for (const SourceFile& file : files) scan_file(file, manifest, facts);
+
+  auto fail = [&](const std::string& file, size_t line,
+                  const std::string& message) {
+    violations.push_back({file, line, "wire-schema", message});
+  };
+
+  for (const ManifestConst& c : manifest.consts) {
+    auto it = facts.consts.find(c.name);
+    if (it == facts.consts.end()) {
+      fail(rel, c.line,
+           "pinned constant " + c.name + " no longer exists in the source");
+      continue;
+    }
+    if (it->second.value != c.value)
+      fail(it->second.file, it->second.line,
+           c.name + " = " + std::to_string(it->second.value) +
+               " but the manifest pins " + std::to_string(c.value) +
+               " — changing a pinned constant is a wire break");
+    if (c.width != "-" && it->second.width != c.width)
+      fail(it->second.file, it->second.line,
+           c.name + " is " + it->second.width + " but the manifest pins " +
+               c.width + " — width changes are a wire break");
+  }
+
+  for (const ManifestStruct& ms : manifest.structs) {
+    auto it = facts.structs.find(ms.name);
+    if (it == facts.structs.end()) {
+      fail(rel, ms.line,
+           "pinned frame struct " + ms.name + " no longer exists");
+      continue;
+    }
+    const SourceStruct& ss = it->second;
+    // The manifest fields must be an exact prefix of the source fields:
+    // any reorder, width change, or deletion breaks the prefix; appended
+    // fields after it are the allowed evolution path.
+    for (size_t i = 0; i < ms.fields.size(); ++i) {
+      const ManifestField& mf = ms.fields[i];
+      if (i >= ss.fields.size()) {
+        fail(ss.file, ss.line,
+             ms.name + " lost pinned field '" + mf.name +
+                 "' — fields are append-only");
+        continue;
+      }
+      const SourceField& sf = ss.fields[i];
+      if (sf.name != mf.name) {
+        fail(ss.file, ss.line,
+             ms.name + " field " + std::to_string(i + 1) + " is '" + sf.name +
+                 "' but the manifest pins '" + mf.name +
+                 "' in that slot — reordering or renaming frame fields is a "
+                 "wire break; new fields append after the pinned prefix");
+      } else if (mf.width != "-" && sf.width != mf.width) {
+        fail(ss.file, ss.line,
+             ms.name + "::" + sf.name + " is " + sf.width +
+                 " but the manifest pins " + mf.width +
+                 " — widening or narrowing a frame field is a wire break");
+      }
+    }
+  }
+
+  for (const ManifestEnum& me : manifest.enums) {
+    auto it = facts.enums.find(me.name);
+    if (it == facts.enums.end()) {
+      fail(rel, me.line, "pinned verb enum " + me.name + " no longer exists");
+      continue;
+    }
+    const SourceEnum& se = it->second;
+    if (me.width != "-" && se.width != me.width)
+      fail(se.file, se.line,
+           me.name + " has underlying width " + se.width +
+               " but the manifest pins " + me.width +
+               " — the verb field's wire width may not change");
+    for (const ManifestVerb& mv : me.verbs) {
+      uint64_t value = 0;
+      bool found = false;
+      for (const auto& [name, v] : se.enumerators)
+        if (name == mv.name) {
+          found = true;
+          value = v;
+        }
+      if (!found) {
+        fail(se.file, se.line,
+             me.name + "::" + mv.name +
+                 " is pinned in the manifest but gone from the enum — verbs "
+                 "are append-only, deprecate in place instead");
+        continue;
+      }
+      if (value != mv.value) {
+        fail(se.file, se.line,
+             me.name + "::" + mv.name + " = " + std::to_string(value) +
+                 " but the manifest pins " + std::to_string(mv.value) +
+                 " — renumbering a verb is a wire break");
+        continue;
+      }
+      const VerbRefs refs = facts.refs[me.name][mv.name];
+      if (mv.category == "rpc") {
+        if (refs.cases == 0)
+          fail(se.file, se.line,
+               "rpc verb " + me.name + "::" + mv.name +
+                   " has no receiver: expected a `case " + me.name +
+                   "::" + mv.name + "` dispatch arm");
+        if (refs.other == 0)
+          fail(se.file, se.line,
+               "rpc verb " + me.name + "::" + mv.name +
+                   " has no sender: expected a call-side reference besides "
+                   "the dispatch `case`");
+      } else if (refs.cases + refs.other == 0) {
+        fail(se.file, se.line,
+             mv.category + " verb " + me.name + "::" + mv.name +
+                 " is never referenced in the source");
+      }
+    }
+    // Source-side additions must use fresh values (append-only).
+    for (const auto& [name, value] : se.enumerators) {
+      bool pinned = false;
+      for (const ManifestVerb& mv : me.verbs)
+        if (mv.name == name) pinned = true;
+      if (pinned) continue;
+      for (const ManifestVerb& mv : me.verbs)
+        if (mv.value == value)
+          fail(se.file, se.line,
+               "new verb " + me.name + "::" + name + " reuses value " +
+                   std::to_string(value) + " already pinned to " + me.name +
+                   "::" + mv.name + " — new verbs must take fresh values " +
+                   "(and a manifest line)");
+    }
+  }
+}
+
+}  // namespace selsync_lint

@@ -1,0 +1,62 @@
+// The nine selsync_lint rule families (DESIGN.md §9).
+//
+// Per-file identifier/confinement rules (ported from the PR 4 scanner onto
+// the token stream, which removes their comment/string false positives):
+//   rng              deterministic randomness only (util/rng)
+//   raw-thread       std::thread/mutex/cv confined to src/comm/
+//   des-thread-free  the DES core is thread/lock/atomic-free
+//   socket-confine   BSD sockets confined to src/comm/socket_transport.*
+//   sync-cost-json   "sync_cost" emitted only by src/core/run_record.cpp
+//
+// Whole-program structural rules:
+//   enum-table       EnumEntry<E> name tables complete, both directions
+//   lock-discipline  per-function lock model over src/comm + src/core:
+//                    lock-order graph acyclic, WaitSlot::wait under its
+//                    unique_lock guard, no blocking with a second lock held
+//   layer-dag        include layering util → tensor → {nn,data,optim,stats}
+//                    → comm → core → tools/tests, plus file-level include
+//                    cycle detection
+//   wire-schema      the checked-in wire_schema.manifest matches the source
+//                    frame structs / verbs byte for byte; append-only
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace selsync_lint {
+
+// ---- per-file rules -------------------------------------------------------
+void check_rng(const SourceFile& file, std::vector<Violation>& violations);
+void check_raw_thread(const SourceFile& file,
+                      std::vector<Violation>& violations);
+void check_des_thread_free(const SourceFile& file,
+                           std::vector<Violation>& violations);
+void check_socket_confine(const SourceFile& file,
+                          std::vector<Violation>& violations);
+void check_sync_cost_json(const SourceFile& file,
+                          std::vector<Violation>& violations);
+
+// ---- whole-program rules --------------------------------------------------
+void check_enum_tables(const std::vector<SourceFile>& files,
+                       std::vector<Violation>& violations);
+
+/// Lock-discipline over src/comm + src/core. When `dot_path` is non-empty
+/// the derived lock-order graph is written there in Graphviz DOT form
+/// (nodes: lock identities; edges: observed acquisition orders, labelled by
+/// the function that establishes them).
+void check_lock_discipline(const std::vector<SourceFile>& files,
+                           const std::string& dot_path,
+                           std::vector<Violation>& violations);
+
+void check_layer_dag(const std::vector<SourceFile>& files,
+                     std::vector<Violation>& violations);
+
+/// Wire-schema pass; `root` locates tools/lint/wire_schema.manifest.
+void check_wire_schema(const std::vector<SourceFile>& files,
+                       const std::filesystem::path& root,
+                       std::vector<Violation>& violations);
+
+}  // namespace selsync_lint

@@ -1,0 +1,163 @@
+// The five per-file confinement rules, ported from the PR 4 line scanner
+// onto the token stream. Identifier matching walks qualified-name chains
+// (never comment or string text), so the old false-positive class — a
+// forbidden name quoted in a doc comment or log string — is gone by
+// construction.
+#include <initializer_list>
+
+#include "lint/rules.hpp"
+
+namespace selsync_lint {
+
+namespace {
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+/// Flags every qualified identifier whose chain (or chain prefix) is in
+/// `forbidden`, in both the main stream and directive bodies.
+void match_idents(const SourceFile& file,
+                  std::initializer_list<const char*> forbidden,
+                  const std::string& rule, const std::string& why,
+                  std::vector<Violation>& violations) {
+  auto scan = [&](const std::vector<Token>& toks) {
+    for_each_qualified_ident(toks, [&](const std::string& name, size_t line,
+                                       size_t) {
+      for (const std::string& prefix : qualified_prefixes(name)) {
+        bool hit = false;
+        for (const char* f : forbidden)
+          if (prefix == f) {
+            hit = true;
+            break;
+          }
+        if (hit) {
+          report(file, rule, line, "'" + prefix + "' " + why, violations);
+          break;
+        }
+      }
+    });
+  };
+  scan(file.toks.tokens);
+  for (const Directive& d : file.toks.directives) scan(d.body_tokens);
+}
+
+/// Flags `#include <target>` for every target in `forbidden`.
+void match_includes(const SourceFile& file,
+                    std::initializer_list<const char*> forbidden,
+                    const std::string& rule, const std::string& why,
+                    std::vector<Violation>& violations) {
+  for (const Directive& d : file.toks.directives) {
+    if (!d.is_include) continue;
+    for (const char* f : forbidden)
+      if (d.include_target == f) {
+        report(file, rule, d.line,
+               "include <" + d.include_target + "> " + why, violations);
+        break;
+      }
+  }
+}
+
+/// Wall-clock seeding calls: time(nullptr) / time(NULL) / time(0).
+void match_time_seed(const SourceFile& file, const std::string& rule,
+                     std::vector<Violation>& violations) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "time") continue;
+    if (toks[i + 1].text != "(" || toks[i + 3].text != ")") continue;
+    const std::string& arg = toks[i + 2].text;
+    if (arg != "nullptr" && arg != "NULL" && arg != "0") continue;
+    report(file, rule, toks[i].line,
+           "'time(" + arg +
+               ")' breaks run reproducibility; derive a seeded stream from "
+               "util/rng (Rng::fork) instead",
+           violations);
+  }
+}
+
+}  // namespace
+
+void check_rng(const SourceFile& file, std::vector<Violation>& violations) {
+  if (has_prefix(file.rel_path, "src/util/rng")) return;
+  match_idents(file,
+               {"std::rand", "std::srand", "srand", "std::random_device",
+                "std::mt19937", "std::mt19937_64",
+                "std::default_random_engine", "std::minstd_rand",
+                "std::uniform_int_distribution",
+                "std::uniform_real_distribution", "std::normal_distribution",
+                "std::bernoulli_distribution"},
+               "rng",
+               "breaks run reproducibility; derive a seeded stream from "
+               "util/rng (Rng::fork) instead",
+               violations);
+  match_time_seed(file, "rng", violations);
+}
+
+void check_raw_thread(const SourceFile& file,
+                      std::vector<Violation>& violations) {
+  if (has_prefix(file.rel_path, "src/comm/")) return;
+  match_idents(file,
+               {"std::thread", "std::jthread", "std::mutex",
+                "std::timed_mutex", "std::recursive_mutex",
+                "std::shared_mutex", "std::condition_variable",
+                "std::condition_variable_any"},
+               "raw-thread",
+               "outside src/comm/: use the cluster/channel/barrier "
+               "primitives so the TSan chaos label covers the edge",
+               violations);
+}
+
+void check_des_thread_free(const SourceFile& file,
+                           std::vector<Violation>& violations) {
+  if (!has_prefix(file.rel_path, "src/comm/event_loop")) return;
+  const std::string why =
+      "in the DES core: the event loop must stay thread-free by "
+      "construction — block via WaitSlot park/wake, never host "
+      "synchronization";
+  match_idents(file,
+               {"std::thread", "std::jthread", "std::mutex",
+                "std::timed_mutex", "std::recursive_mutex",
+                "std::shared_mutex", "std::condition_variable",
+                "std::condition_variable_any", "std::atomic",
+                "std::this_thread"},
+               "des-thread-free", why, violations);
+  match_includes(file, {"thread", "mutex", "condition_variable", "atomic"},
+                 "des-thread-free", why, violations);
+}
+
+void check_socket_confine(const SourceFile& file,
+                          std::vector<Violation>& violations) {
+  if (has_prefix(file.rel_path, "src/comm/socket_transport")) return;
+  const std::string why =
+      "outside src/comm/socket_transport.*: raw sockets have exactly one "
+      "home — speak TcpConn + WireFormat frames instead";
+  match_idents(file,
+               {"::socket", "::connect", "::accept", "::bind", "::listen",
+                "::setsockopt", "::getsockname"},
+               "socket-confine", why, violations);
+  match_includes(file,
+                 {"sys/socket.h", "netinet/in.h", "netinet/tcp.h",
+                  "arpa/inet.h", "netdb.h"},
+                 "socket-confine", why, violations);
+}
+
+void check_sync_cost_json(const SourceFile& file,
+                          std::vector<Violation>& violations) {
+  if (file.rel_path == "src/core/run_record.cpp") return;
+  // Assembled at runtime so this rule's own source stays clean under it.
+  const std::string key = std::string("sync") + "_cost";
+  auto scan = [&](const std::vector<Token>& toks) {
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kString || t.text != key) continue;
+      report(file, "sync-cost-json", t.line,
+             "JSON key \"" + key +
+                 "\" may only be emitted by src/core/run_record.cpp behind "
+                 "the TrainJob::record_sync_cost gate (golden-record purity)",
+             violations);
+    }
+  };
+  scan(file.toks.tokens);
+  for (const Directive& d : file.toks.directives) scan(d.body_tokens);
+}
+
+}  // namespace selsync_lint

@@ -1,0 +1,106 @@
+#include "lint/source.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace selsync_lint {
+
+namespace {
+
+/// Lines that hold code (a token or directive), for the line-waiver reach.
+std::vector<bool> code_lines(const TokenStream& toks) {
+  std::vector<bool> has_code(toks.line_count + 2, false);
+  auto mark = [&](size_t begin, size_t end) {
+    for (size_t l = begin; l <= end && l < has_code.size(); ++l)
+      has_code[l] = true;
+  };
+  for (const Token& t : toks.tokens) mark(t.line, t.end_line);
+  for (const Directive& d : toks.directives) mark(d.line, d.line);
+  return has_code;
+}
+
+void parse_waivers(const SourceFile& file, Waivers& w,
+                   std::vector<Violation>& violations) {
+  const std::vector<bool> has_code = code_lines(file.toks);
+  const std::string prefix = "selsync-lint: ";
+  const std::string markers[] = {prefix + "allow-file(", prefix + "allow("};
+  for (const Comment& comment : file.toks.comments) {
+    // Process the comment line by line so waiver lines stay addressable
+    // inside multi-line block comments.
+    std::istringstream in(comment.text);
+    std::string line;
+    size_t line_no = comment.line_begin;
+    for (; std::getline(in, line); ++line_no) {
+      for (const std::string& marker : markers) {
+        const size_t at = line.find(marker);
+        if (at == std::string::npos) continue;
+        const bool file_wide = marker.find("allow-file") != std::string::npos;
+        const size_t open = at + marker.size();
+        const size_t close = line.find(')', open);
+        if (close == std::string::npos) continue;
+        const std::string rule = line.substr(open, close - open);
+        const size_t reason_at = line.find("--", close);
+        const bool has_reason =
+            reason_at != std::string::npos &&
+            line.find_first_not_of(" \t", reason_at + 2) != std::string::npos;
+        if (!has_reason) {
+          violations.push_back({file.rel_path, line_no, "waiver",
+                                "waiver for '" + rule +
+                                    "' is missing a reason (expected "
+                                    "`-- <why this is exempt>`)"});
+          continue;
+        }
+        if (file_wide) {
+          w.file_rules.insert(rule);
+        } else {
+          w.line[line_no].insert(rule);
+          for (size_t l = line_no + 1; l < has_code.size(); ++l) {
+            w.line[l].insert(rule);
+            if (has_code[l]) break;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool load_source(const fs::path& root, const std::string& rel,
+                 SourceFile& out, std::vector<Violation>& violations) {
+  std::ifstream in(root / rel, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "selsync_lint: cannot read %s\n", rel.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  out.rel_path = rel;
+  out.raw = text.str();
+  out.toks = lex(out.raw);
+  parse_waivers(out, out.waivers, violations);
+  return true;
+}
+
+void report(const SourceFile& file, const std::string& rule, size_t line,
+            const std::string& message, std::vector<Violation>& violations) {
+  if (file.waivers.allows(rule, line)) return;
+  violations.push_back({file.rel_path, line, rule, message});
+}
+
+std::vector<std::string> qualified_prefixes(const std::string& name) {
+  std::vector<std::string> out;
+  out.push_back(name);
+  size_t at = name.rfind("::");
+  while (at != std::string::npos && at > 0) {
+    out.push_back(name.substr(0, at));
+    at = name.rfind("::", at - 1);
+  }
+  return out;
+}
+
+}  // namespace selsync_lint

@@ -1,0 +1,92 @@
+// SourceFile: one lexed file plus its waivers, shared by every pass.
+//
+// Waivers are parsed from comment tokens ONLY (the lexer never emits code
+// tokens for comment text), which is what makes the marker spelled inside a
+// string literal inert — the PR 4 scanner matched raw text and would have
+// honoured it. Syntax, unchanged from PR 4:
+//
+//   // selsync-lint: allow(<rule>) -- <reason>        this + next code line
+//   // selsync-lint: allow-file(<rule>) -- <reason>   whole file
+//
+// A reasonless waiver is itself a violation. A line waiver covers its own
+// line(s) plus everything up to and including the first following line that
+// holds code, so a multi-line comment carrying the reason still reaches the
+// statement below it.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace selsync_lint {
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Waivers {
+  std::set<std::string> file_rules;              // allow-file(rule)
+  std::map<size_t, std::set<std::string>> line;  // line -> allowed rules
+  bool allows(const std::string& rule, size_t line_no) const {
+    if (file_rules.count(rule)) return true;
+    auto it = line.find(line_no);
+    return it != line.end() && it->second.count(rule) > 0;
+  }
+};
+
+struct SourceFile {
+  std::string rel_path;  // forward-slash path relative to --root
+  std::string raw;
+  TokenStream toks;
+  Waivers waivers;
+};
+
+/// Reads and lexes root/rel; waiver syntax errors land in `violations`.
+bool load_source(const std::filesystem::path& root, const std::string& rel,
+                 SourceFile& out, std::vector<Violation>& violations);
+
+/// Appends {file, line, rule, message} unless a waiver covers it.
+void report(const SourceFile& file, const std::string& rule, size_t line,
+            const std::string& message, std::vector<Violation>& violations);
+
+/// Calls `fn(name, line)` once per maximal qualified identifier — the chain
+/// `a::b::c` visited at its last component, plus the global-scope form
+/// `::socket`. Covers the main token stream and every directive body.
+/// Matchers test set membership against the chain and each of its
+/// `::`-prefixes, longest first (so `std::this_thread::sleep_for` still
+/// matches a ban on `std::this_thread`).
+template <typename Fn>
+void for_each_qualified_ident(const std::vector<Token>& toks, Fn&& fn) {
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    // Only fire at the end of a chain.
+    if (i + 2 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        toks[i + 1].text == "::" && toks[i + 2].kind == TokKind::kIdent)
+      continue;
+    std::string name = toks[i].text;
+    size_t j = i;
+    while (j >= 2 && toks[j - 1].kind == TokKind::kPunct &&
+           toks[j - 1].text == "::" && toks[j - 2].kind == TokKind::kIdent) {
+      name = toks[j - 2].text + "::" + name;
+      j -= 2;
+    }
+    if (j >= 1 && toks[j - 1].kind == TokKind::kPunct &&
+        toks[j - 1].text == "::")
+      name = "::" + name;
+    fn(name, toks[i].line, i);
+  }
+}
+
+/// Every prefix of `a::b::c` at component boundaries, longest first
+/// (including the full name). "::x" yields only "::x".
+std::vector<std::string> qualified_prefixes(const std::string& name);
+
+}  // namespace selsync_lint

@@ -1,577 +1,45 @@
-// selsync_lint — repo-invariant linter (DESIGN.md §9).
+// selsync_lint — token-level static analysis for the selsync tree
+// (DESIGN.md §9).
 //
-// Generic analyzers (clang-tidy, sanitizers) can't know this repo's
-// contracts, so this tool enforces the ones that keep runs reproducible and
-// the golden records pure:
+// The driver: loads every source file under --root (default scan roots
+// src/ and tools/, or an explicit file list), lexes each one once through
+// lint/lexer.*, and runs the selected rule families from lint/rules.hpp
+// over the shared token streams. Per-file rules see one file at a time;
+// the whole-program rules (enum-table, lock-discipline, layer-dag,
+// wire-schema) see the full file set.
 //
-//   rng            Deterministic randomness only: std::rand / <random>
-//                  engines / time-seeded generators are forbidden outside
-//                  src/util/rng — every stream must derive from the
-//                  experiment seed (util/rng.hpp) or runs stop being
-//                  bit-reproducible.
-//   raw-thread     Raw std::thread / std::mutex / std::condition_variable
-//                  are confined to src/comm/: concurrency lives behind the
-//                  cluster / channel / barrier primitives so TSan's chaos
-//                  label actually covers every cross-thread edge.
-//   des-thread-free  The inverse confinement for the DES core
-//                  (src/comm/event_loop.*): no threads, locks, atomics or
-//                  <thread>/<mutex>/<atomic> includes at all, so the
-//                  virtual-time engine is deterministic by construction —
-//                  blocking goes through WaitSlot park/wake, never host
-//                  synchronization. (thread_local stays allowed: the
-//                  current() dispatch pointer is what isolates a DES run
-//                  from thread-engine runs elsewhere in the process.)
-//   enum-table     Every enumerator of an enum with an EnumEntry<E> name
-//                  table (util/enum_names.hpp) must appear in that table,
-//                  and the core serialized enums must have one. Catches
-//                  parser/serializer drift when an enumerator is added.
-//   sync-cost-json The JSON key "sync_cost" may only be emitted by
-//                  src/core/run_record.cpp, where it sits behind the
-//                  TrainJob::record_sync_cost gate that keeps the 12 golden
-//                  run records byte-identical.
-//   socket-confine BSD socket headers and raw socket syscalls are confined
-//                  to src/comm/socket_transport.*: connection lifecycle,
-//                  partial reads/writes and fd hygiene have exactly one
-//                  home; everything else speaks TcpConn + WireFormat
-//                  frames.
+//   selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail]
+//                [--json] [--dot FILE] [files...]
 //
-// Waivers (must carry a reason after `--`):
-//   // selsync-lint: allow(<rule>) -- <reason>        same or next line
-//   // selsync-lint: allow-file(<rule>) -- <reason>   whole file
+//   --json       machine-readable report on stdout (CI artifact)
+//   --dot FILE   write the derived lock-order graph as Graphviz DOT
 //
-// Usage:
-//   selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail] [files...]
-//
-// With no file arguments the default roots src/ and tools/ under --root are
-// scanned. Exit code: 0 clean, 1 violations found, 2 usage/IO error
-// (--expect-fail inverts 0/1 for the fixture suite).
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+// --expect-fail inverts 0/1 so fixture tests can assert both directions.
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "lint/rules.hpp"
+
 namespace fs = std::filesystem;
+using namespace selsync_lint;
 
 namespace {
 
-struct Violation {
-  std::string file;
-  size_t line;
-  std::string rule;
-  std::string message;
+const char* const kAllRules[] = {
+    "rng",          "raw-thread",      "des-thread-free",
+    "socket-confine", "sync-cost-json", "enum-table",
+    "lock-discipline", "layer-dag",     "wire-schema",
 };
 
-struct Waivers {
-  std::set<std::string> file_rules;              // allow-file(rule)
-  std::map<size_t, std::set<std::string>> line;  // line -> allowed rules
-  bool allows(const std::string& rule, size_t line_no) const {
-    if (file_rules.count(rule)) return true;
-    auto it = line.find(line_no);
-    return it != line.end() && it->second.count(rule) > 0;
-  }
-};
-
-struct SourceFile {
-  std::string rel_path;  // forward-slash path relative to --root
-  std::string raw;
-  std::string no_comments;          // comments blanked, strings kept
-  std::string no_comments_strings;  // comments and string/char bodies blanked
-  Waivers waivers;
-};
-
-const char* const kAllRules[] = {"rng",        "raw-thread",
-                                 "des-thread-free", "enum-table",
-                                 "sync-cost-json",  "socket-confine"};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-size_t line_of_offset(const std::string& text, size_t offset) {
-  return 1 + static_cast<size_t>(
-                 std::count(text.begin(), text.begin() + offset, '\n'));
-}
-
-/// Blanks comments (and optionally string/char literal bodies) with spaces,
-/// preserving newlines so offsets keep mapping to the same lines.
-std::string strip(const std::string& text, bool strip_strings) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n')
-          state = State::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          if (strip_strings) out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (strip_strings && c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          if (strip_strings) out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (strip_strings && c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Parses `selsync-lint: allow(rule) -- reason` waiver comments from the raw
-/// text. A line-scoped waiver covers its own line plus everything up to and
-/// including the first following code line (so a multi-line comment holding
-/// the reason still reaches the statement below it). `stripped` is the
-/// comment-blanked text used to tell code lines from comment-only lines.
-Waivers parse_waivers(const std::string& raw, const std::string& stripped,
-                      const std::string& rel_path,
-                      std::vector<Violation>& violations) {
-  std::vector<bool> line_has_code;
-  {
-    std::istringstream in(stripped);
-    std::string line;
-    while (std::getline(in, line))
-      line_has_code.push_back(line.find_first_not_of(" \t\r") !=
-                              std::string::npos);
-  }
-  Waivers w;
-  // Assembled at runtime so the linter's own marker literals don't register
-  // as waivers when it scans itself.
-  const std::string prefix = std::string("selsync-lint") + ": ";
-  const std::string markers[] = {prefix + "allow-file(", prefix + "allow("};
-  std::istringstream in(raw);
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    for (const std::string& marker : markers) {
-      const size_t at = line.find(marker);
-      if (at == std::string::npos) continue;
-      const bool file_wide = marker.find("allow-file") != std::string::npos;
-      const size_t open = at + marker.size();
-      const size_t close = line.find(')', open);
-      if (close == std::string::npos) continue;
-      const std::string rule = line.substr(open, close - open);
-      const size_t reason_at = line.find("--", close);
-      const bool has_reason =
-          reason_at != std::string::npos &&
-          line.find_first_not_of(" \t", reason_at + 2) != std::string::npos;
-      if (!has_reason) {
-        violations.push_back({rel_path, line_no, "waiver",
-                              "waiver for '" + rule +
-                                  "' is missing a reason (expected "
-                                  "`-- <why this is exempt>`)"});
-        continue;
-      }
-      if (file_wide) {
-        w.file_rules.insert(rule);
-      } else {
-        w.line[line_no].insert(rule);
-        for (size_t l = line_no + 1; l <= line_has_code.size(); ++l) {
-          w.line[l].insert(rule);
-          if (line_has_code[l - 1]) break;
-        }
-      }
-      break;
-    }
-  }
-  return w;
-}
-
-bool has_prefix(const std::string& path, const std::string& prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
-
-/// Reports every identifier-boundary occurrence of `token` in `text`.
-void match_token(const SourceFile& file, const std::string& text,
-                 const std::string& token, const std::string& rule,
-                 const std::string& message,
-                 std::vector<Violation>& violations) {
-  size_t at = 0;
-  while ((at = text.find(token, at)) != std::string::npos) {
-    const char before = at == 0 ? '\0' : text[at - 1];
-    const size_t end = at + token.size();
-    const char after = end < text.size() ? text[end] : '\0';
-    const bool bounded = !is_ident_char(before) && before != ':' &&
-                         (!is_ident_char(after) || !is_ident_char(token.back()));
-    if (bounded) {
-      const size_t line_no = line_of_offset(text, at);
-      if (!file.waivers.allows(rule, line_no))
-        violations.push_back({file.rel_path, line_no, rule, message});
-    }
-    at = end;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: rng
-// ---------------------------------------------------------------------------
-
-void check_rng(const SourceFile& file, std::vector<Violation>& violations) {
-  if (has_prefix(file.rel_path, "src/util/rng")) return;
-  const char* const kForbidden[] = {
-      "std::rand",
-      "std::srand",
-      "srand",
-      "std::random_device",
-      "std::mt19937",
-      "std::mt19937_64",
-      "std::default_random_engine",
-      "std::minstd_rand",
-      "std::uniform_int_distribution",
-      "std::uniform_real_distribution",
-      "std::normal_distribution",
-      "std::bernoulli_distribution",
-      "time(nullptr)",
-      "time(NULL)",
-      "time(0)",
-  };
-  for (const char* token : kForbidden)
-    match_token(file, file.no_comments_strings, token, "rng",
-                std::string("'") + token +
-                    "' breaks run reproducibility; derive a seeded stream "
-                    "from util/rng (Rng::fork) instead",
-                violations);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: raw-thread
-// ---------------------------------------------------------------------------
-
-void check_raw_thread(const SourceFile& file,
-                      std::vector<Violation>& violations) {
-  if (has_prefix(file.rel_path, "src/comm/")) return;
-  const char* const kForbidden[] = {
-      "std::thread",
-      "std::jthread",
-      "std::mutex",
-      "std::timed_mutex",
-      "std::recursive_mutex",
-      "std::shared_mutex",
-      "std::condition_variable",
-      "std::condition_variable_any",
-  };
-  for (const char* token : kForbidden)
-    match_token(file, file.no_comments_strings, token, "raw-thread",
-                std::string("'") + token +
-                    "' outside src/comm/: use the cluster/channel/barrier "
-                    "primitives so the TSan chaos label covers the edge",
-                violations);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: des-thread-free
-// ---------------------------------------------------------------------------
-
-void check_des_thread_free(const SourceFile& file,
-                           std::vector<Violation>& violations) {
-  if (!has_prefix(file.rel_path, "src/comm/event_loop")) return;
-  const char* const kForbidden[] = {
-      "std::thread",
-      "std::jthread",
-      "std::mutex",
-      "std::timed_mutex",
-      "std::recursive_mutex",
-      "std::shared_mutex",
-      "std::condition_variable",
-      "std::condition_variable_any",
-      "std::atomic",
-      "std::this_thread",
-      "<thread>",
-      "<mutex>",
-      "<condition_variable>",
-      "<atomic>",
-  };
-  for (const char* token : kForbidden)
-    match_token(file, file.no_comments_strings, token, "des-thread-free",
-                std::string("'") + token +
-                    "' in the DES core: the event loop must stay "
-                    "thread-free by construction — block via WaitSlot "
-                    "park/wake, never host synchronization",
-                violations);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: socket-confine
-// ---------------------------------------------------------------------------
-
-void check_socket_confine(const SourceFile& file,
-                          std::vector<Violation>& violations) {
-  if (has_prefix(file.rel_path, "src/comm/socket_transport")) return;
-  const char* const kForbidden[] = {
-      "<sys/socket.h>",
-      "<netinet/in.h>",
-      "<netinet/tcp.h>",
-      "<arpa/inet.h>",
-      "<netdb.h>",
-      "::socket",
-      "::connect",
-      "::accept",
-      "::bind",
-      "::listen",
-      "::setsockopt",
-      "::getsockname",
-  };
-  for (const char* token : kForbidden)
-    match_token(file, file.no_comments_strings, token, "socket-confine",
-                std::string("'") + token +
-                    "' outside src/comm/socket_transport.*: raw sockets have "
-                    "exactly one home — speak TcpConn + WireFormat frames "
-                    "instead",
-                violations);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: enum-table
-// ---------------------------------------------------------------------------
-
-struct EnumDef {
-  std::string file;
-  size_t line = 0;
-  std::vector<std::string> enumerators;
-};
-
-struct EnumTable {
-  std::string file;
-  size_t line = 0;
-  std::vector<std::string> entries;  // enumerator names referenced
-};
-
-/// Enums whose name table feeds a serializer or CLI parser; deleting the
-/// table entirely must fail the lint, not just drift within it.
-const char* const kRequiredTables[] = {
-    "BackendKind",   "CompressionKind", "StrategyKind",    "ModelKind",
-    "PartitionScheme", "AggregationMode", "FaultKind",     "Topology",
-    "EngineKind",    "SliceScheduleKind", "TransportKind",
-};
-
-std::string next_ident(const std::string& text, size_t& at) {
-  while (at < text.size() && !is_ident_char(text[at])) ++at;
-  const size_t start = at;
-  while (at < text.size() && is_ident_char(text[at])) ++at;
-  return text.substr(start, at - start);
-}
-
-void collect_enum_defs(const SourceFile& file,
-                       std::map<std::string, EnumDef>& defs) {
-  const std::string& text = file.no_comments_strings;
-  size_t at = 0;
-  while ((at = text.find("enum class", at)) != std::string::npos) {
-    const size_t kw = at;
-    if ((kw > 0 && is_ident_char(text[kw - 1])) ||
-        is_ident_char(text[kw + 10])) {
-      ++at;
-      continue;
-    }
-    size_t cursor = kw + 10;
-    const std::string name = next_ident(text, cursor);
-    const size_t open = text.find('{', cursor);
-    const size_t semi = text.find(';', cursor);
-    // `enum class X;` forward declaration, or scan ran off the file.
-    if (open == std::string::npos || (semi != std::string::npos && semi < open)) {
-      at = kw + 10;
-      continue;
-    }
-    const size_t close = text.find('}', open);
-    if (close == std::string::npos) break;
-    EnumDef def;
-    def.file = file.rel_path;
-    def.line = line_of_offset(text, kw);
-    size_t scan = open + 1;
-    while (scan < close) {
-      std::string ident = next_ident(text, scan);
-      if (scan > close || ident.empty()) break;
-      def.enumerators.push_back(ident);
-      // Skip any `= value` initializer up to the next comma.
-      const size_t comma = text.find(',', scan);
-      if (comma == std::string::npos || comma > close) break;
-      scan = comma + 1;
-    }
-    if (!def.enumerators.empty() && !defs.count(name)) defs[name] = def;
-    at = close;
-  }
-}
-
-void collect_enum_tables(const SourceFile& file,
-                         std::map<std::string, std::vector<EnumTable>>& tables) {
-  const std::string& text = file.no_comments_strings;
-  size_t at = 0;
-  while ((at = text.find("EnumEntry<", at)) != std::string::npos) {
-    const size_t open_angle = at + 10;
-    const size_t close_angle = text.find('>', open_angle);
-    if (close_angle == std::string::npos) break;
-    const std::string name =
-        text.substr(open_angle, close_angle - open_angle);
-    // Only array declarations `EnumEntry<E> ident[] = { ... }` count as
-    // tables; skip the helper templates' parameter lists.
-    const size_t bracket = text.find('[', close_angle);
-    const size_t line_end = text.find('\n', close_angle);
-    if (bracket == std::string::npos ||
-        (line_end != std::string::npos && bracket > line_end)) {
-      at = close_angle;
-      continue;
-    }
-    const size_t open_brace = text.find('{', bracket);
-    if (open_brace == std::string::npos) break;
-    EnumTable table;
-    table.file = file.rel_path;
-    table.line = line_of_offset(text, at);
-    size_t depth = 1;
-    size_t cursor = open_brace + 1;
-    const std::string qualifier = name + "::";
-    while (cursor < text.size() && depth > 0) {
-      if (text[cursor] == '{') ++depth;
-      if (text[cursor] == '}') --depth;
-      ++cursor;
-    }
-    size_t scan = open_brace;
-    while ((scan = text.find(qualifier, scan)) != std::string::npos &&
-           scan < cursor) {
-      size_t id_at = scan + qualifier.size();
-      table.entries.push_back(next_ident(text, id_at));
-      scan = id_at;
-    }
-    tables[name].push_back(table);
-    at = cursor;
-  }
-}
-
-void check_enum_tables(const std::vector<SourceFile>& files,
-                       std::vector<Violation>& violations) {
-  std::map<std::string, EnumDef> defs;
-  std::map<std::string, std::vector<EnumTable>> tables;
-  std::map<std::string, const SourceFile*> file_of;
-  for (const SourceFile& file : files) {
-    collect_enum_defs(file, defs);
-    collect_enum_tables(file, tables);
-    file_of[file.rel_path] = &file;
-  }
-  for (const auto& [name, def] : defs) {
-    const bool waived = file_of.at(def.file)->waivers.allows("enum-table",
-                                                             def.line);
-    const auto table_it = tables.find(name);
-    if (table_it == tables.end()) {
-      const bool required =
-          std::find_if(std::begin(kRequiredTables), std::end(kRequiredTables),
-                       [&](const char* r) { return name == r; }) !=
-          std::end(kRequiredTables);
-      if (required && !waived)
-        violations.push_back(
-            {def.file, def.line, "enum-table",
-             "enum " + name +
-                 " is serialized/parsed but has no EnumEntry<" + name +
-                 "> name table (util/enum_names.hpp)"});
-      continue;
-    }
-    for (const EnumTable& table : table_it->second) {
-      if (file_of.at(table.file)->waivers.allows("enum-table", table.line))
-        continue;
-      for (const std::string& enumerator : def.enumerators)
-        if (std::find(table.entries.begin(), table.entries.end(),
-                      enumerator) == table.entries.end())
-          violations.push_back(
-              {table.file, table.line, "enum-table",
-               name + "::" + enumerator +
-                   " is missing from this EnumEntry<" + name +
-                   "> table — parser/serializer drift"});
-      for (const std::string& entry : table.entries)
-        if (std::find(def.enumerators.begin(), def.enumerators.end(),
-                      entry) == def.enumerators.end())
-          violations.push_back(
-              {table.file, table.line, "enum-table",
-               "table entry " + name + "::" + entry +
-                   " does not name an enumerator of " + name});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: sync-cost-json
-// ---------------------------------------------------------------------------
-
-void check_sync_cost_json(const SourceFile& file,
-                          std::vector<Violation>& violations) {
-  if (file.rel_path == "src/core/run_record.cpp") return;
-  // Assembled at runtime so the linter's own source stays clean.
-  const std::string key = std::string("\"sync") + "_cost\"";
-  size_t at = 0;
-  while ((at = file.no_comments.find(key, at)) != std::string::npos) {
-    const size_t line_no = line_of_offset(file.no_comments, at);
-    if (!file.waivers.allows("sync-cost-json", line_no))
-      violations.push_back(
-          {file.rel_path, line_no, "sync-cost-json",
-           "JSON key " + key +
-               " may only be emitted by src/core/run_record.cpp behind the "
-               "TrainJob::record_sync_cost gate (golden-record purity)"});
-    at += key.size();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-bool load_file(const fs::path& root, const std::string& rel,
-               SourceFile& out, std::vector<Violation>& violations) {
-  std::ifstream in(root / rel, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "selsync_lint: cannot read %s\n", rel.c_str());
-    return false;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  out.rel_path = rel;
-  out.raw = text.str();
-  out.no_comments = strip(out.raw, false);
-  out.no_comments_strings = strip(out.raw, true);
-  out.waivers = parse_waivers(out.raw, out.no_comments, rel, violations);
-  return true;
+bool has_prefix(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
 }
 
 bool is_source(const fs::path& p) {
@@ -579,13 +47,57 @@ bool is_source(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<Violation>& violations,
+                const std::set<std::string>& rules) {
+  std::printf("{\n  \"tool\": \"selsync_lint\",\n  \"rules\": [");
+  bool first = true;
+  for (const std::string& r : rules) {
+    std::printf("%s\"%s\"", first ? "" : ", ", r.c_str());
+    first = false;
+  }
+  std::printf("],\n  \"clean\": %s,\n  \"violation_count\": %zu,\n",
+              violations.empty() ? "true" : "false", violations.size());
+  std::printf("  \"violations\": [");
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    std::printf(
+        "%s\n    {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+        "\"message\": \"%s\"}",
+        i == 0 ? "" : ",", json_escape(v.file).c_str(), v.line,
+        json_escape(v.rule).c_str(), json_escape(v.message).c_str());
+  }
+  std::printf("%s]\n}\n", violations.empty() ? "" : "\n  ");
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail] "
-      "[files...]\n"
-      "rules: rng, raw-thread, des-thread-free, enum-table, sync-cost-json, "
-      "socket-confine (default: all)\n");
+      "[--json] [--dot FILE] [files...]\n"
+      "rules: rng, raw-thread, des-thread-free, socket-confine, "
+      "sync-cost-json,\n       enum-table, lock-discipline, layer-dag, "
+      "wire-schema (default: all)\n");
   return 2;
 }
 
@@ -595,6 +107,8 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   std::set<std::string> rules(std::begin(kAllRules), std::end(kAllRules));
   bool expect_fail = false;
+  bool json = false;
+  std::string dot_path;
   std::vector<std::string> rel_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -616,6 +130,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--expect-fail") {
       expect_fail = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
     } else if (arg == "--help" || arg == "-h" || has_prefix(arg, "--")) {
       return usage();
     } else {
@@ -629,8 +147,7 @@ int main(int argc, char** argv) {
       for (fs::recursive_directory_iterator it(root / top, ec), end;
            !ec && it != end; it.increment(ec))
         if (it->is_regular_file() && is_source(it->path()))
-          rel_files.push_back(
-              fs::relative(it->path(), root).generic_string());
+          rel_files.push_back(fs::relative(it->path(), root).generic_string());
     }
     if (rel_files.empty()) {
       std::fprintf(stderr, "selsync_lint: nothing to scan under %s\n",
@@ -643,29 +160,46 @@ int main(int argc, char** argv) {
   std::vector<Violation> violations;
   std::vector<SourceFile> files(rel_files.size());
   for (size_t i = 0; i < rel_files.size(); ++i)
-    if (!load_file(root, rel_files[i], files[i], violations)) return 2;
+    if (!load_source(root, rel_files[i], files[i], violations)) return 2;
 
   for (const SourceFile& file : files) {
     if (rules.count("rng")) check_rng(file, violations);
     if (rules.count("raw-thread")) check_raw_thread(file, violations);
     if (rules.count("des-thread-free")) check_des_thread_free(file, violations);
-    if (rules.count("sync-cost-json")) check_sync_cost_json(file, violations);
     if (rules.count("socket-confine")) check_socket_confine(file, violations);
+    if (rules.count("sync-cost-json")) check_sync_cost_json(file, violations);
   }
   if (rules.count("enum-table")) check_enum_tables(files, violations);
+  if (rules.count("lock-discipline"))
+    check_lock_discipline(files, dot_path, violations);
+  if (rules.count("layer-dag")) check_layer_dag(files, violations);
+  if (rules.count("wire-schema")) check_wire_schema(files, root, violations);
 
   std::sort(violations.begin(), violations.end(),
             [](const Violation& a, const Violation& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
             });
-  for (const Violation& v : violations)
-    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                v.message.c_str());
+  violations.erase(std::unique(violations.begin(), violations.end(),
+                               [](const Violation& a, const Violation& b) {
+                                 return std::tie(a.file, a.line, a.rule,
+                                                 a.message) ==
+                                        std::tie(b.file, b.line, b.rule,
+                                                 b.message);
+                               }),
+                   violations.end());
+
+  if (json) {
+    print_json(violations, rules);
+  } else {
+    for (const Violation& v : violations)
+      std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str());
+    if (!violations.empty())
+      std::printf("selsync_lint: %zu violation(s)\n", violations.size());
+  }
 
   const bool clean = violations.empty();
-  if (!clean)
-    std::printf("selsync_lint: %zu violation(s)\n", violations.size());
   if (expect_fail) return clean ? 1 : 0;
   return clean ? 0 : 1;
 }
