@@ -220,6 +220,36 @@ SyncCost CommBackend::sync_cost(const CostModel& cost, size_t dense_bytes,
 void CommBackend::charge_sync_faults(SyncCost&, FaultInjector&, size_t,
                                      uint64_t) {}
 
+// Base lifecycle capture: the full-vector and slice codec state every
+// backend owns. The chunked transports and the PS backend extend this with
+// their chunk residuals / central store (see their overrides below).
+BackendHandoff CommBackend::extract_handoff() const {
+  BackendHandoff out;
+  out.codec_kind = codec_.kind;
+  out.codec_residuals.reserve(codecs_.size());
+  out.codec_ratios.reserve(codecs_.size());
+  for (const GradientCompressor& codec : codecs_) {
+    out.codec_residuals.push_back(codec.residual());
+    out.codec_ratios.push_back(codec.last_wire_ratio());
+  }
+  if (slice_codec_) out.slice_residuals = slice_codec_->export_residuals();
+  return out;
+}
+
+void CommBackend::adopt_handoff(const BackendHandoff& state) {
+  // Residuals only transfer between identical codecs: a kTopK residual is
+  // meaningless to a kQuant8 successor (different dropped-mass semantics),
+  // so a codec change behaves exactly like a cold start.
+  if (!has_codec() || state.codec_kind != codec_.kind) return;
+  for (size_t r = 0; r < codecs_.size() && r < state.codec_residuals.size();
+       ++r) {
+    const double ratio =
+        r < state.codec_ratios.size() ? state.codec_ratios[r] : 1.0;
+    codecs_[r].adopt_residual(state.codec_residuals[r], ratio);
+  }
+  if (slice_codec_) slice_codec_->adopt_residuals(state.slice_residuals);
+}
+
 namespace {
 
 /// Barrier-synchronous shared-buffer collectives — the seed's default
@@ -320,6 +350,18 @@ class RingBackend final : public CommBackend {
 
   void abort() override { ring_.close_all(); }
 
+  BackendHandoff extract_handoff() const override {
+    BackendHandoff out = CommBackend::extract_handoff();
+    if (chunk_codec_) out.chunk_residuals = chunk_codec_->export_residuals();
+    return out;
+  }
+
+  void adopt_handoff(const BackendHandoff& state) override {
+    CommBackend::adopt_handoff(state);
+    if (chunk_codec_ && state.codec_kind == codec().kind)
+      chunk_codec_->adopt_residuals(state.chunk_residuals);
+  }
+
  protected:
   double transfer_time(const CostModel& cost, size_t wire_bytes,
                        size_t workers) const override {
@@ -398,6 +440,18 @@ class TreeBackend final : public CommBackend {
   }
 
   void abort() override { tree_.close_all(); }
+
+  BackendHandoff extract_handoff() const override {
+    BackendHandoff out = CommBackend::extract_handoff();
+    if (chunk_codec_) out.chunk_residuals = chunk_codec_->export_residuals();
+    return out;
+  }
+
+  void adopt_handoff(const BackendHandoff& state) override {
+    CommBackend::adopt_handoff(state);
+    if (chunk_codec_ && state.codec_kind == codec().kind)
+      chunk_codec_->adopt_residuals(state.chunk_residuals);
+  }
 
  protected:
   double transfer_time(const CostModel& cost, size_t wire_bytes,
@@ -481,6 +535,29 @@ class PsBackend final : public CommBackend {
   ShardedParameterServer* central_store() override { return &ps_; }
 
   void abort() override { ps_.abort(); }
+
+  BackendHandoff extract_handoff() const override {
+    BackendHandoff out = CommBackend::extract_handoff();
+    out.has_store = true;
+    out.store_params = ps_.pull();
+    out.ssp_clocks = ps_.ssp_clocks();
+    return out;
+  }
+
+  void adopt_handoff(const BackendHandoff& state) override {
+    CommBackend::adopt_handoff(state);
+    // A PS predecessor hands its store forward verbatim (the successor was
+    // constructed from the phase-0 model seed, which is stale by now); the
+    // staleness clocks come along so an SSP -> SSP switch keeps its bound.
+    // A sync -> SSP switch re-seeds the clocks afterwards (the trainer
+    // calls seed_worker_clocks with the boundary iteration).
+    if (state.has_store && state.store_params.size() == ps_.dim()) {
+      ps_.store(state.store_params);
+      if (state.ssp_clocks.worker_iteration.size() == ps_.workers() &&
+          state.ssp_clocks.worker_done.size() == ps_.workers())
+        ps_.restore_ssp_clocks(state.ssp_clocks);
+    }
+  }
 
  protected:
   double transfer_time(const CostModel& cost, size_t wire_bytes,

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -48,6 +49,7 @@
 #include "comm/cluster.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/compression.hpp"
+#include "comm/parameter_server.hpp"
 #include "comm/slice_schedule.hpp"
 #include "util/enum_names.hpp"
 
@@ -230,6 +232,32 @@ struct SyncCostTotals {
   }
 };
 
+/// The backend-owned state that must survive a SyncPlan phase switch
+/// (DESIGN.md §14): the gradient codec's error-feedback residuals (full-
+/// vector, per-slice, and per-chunk-slot variants), the central store's
+/// parameters, and the SSP staleness clocks. extract_handoff() fills the
+/// fields the outgoing backend owns; adopt_handoff() installs whatever the
+/// successor can reuse (codec residuals only when the codec kind matches,
+/// store/clocks only on PS-style backends). The handoff-sync lint pass pins
+/// these fields against the codec/PS members they mirror.
+struct BackendHandoff {
+  /// Which codec produced the residuals below (kNone = no codec state).
+  CompressionKind codec_kind = CompressionKind::kNone;
+  /// Per-rank full-vector error-feedback residual + last wire ratio
+  /// (GradientCompressor state; shared-memory / PS data planes).
+  std::vector<std::vector<float>> codec_residuals;
+  std::vector<double> codec_ratios;
+  /// Per-rank per-slice residual maps (the backend-owned slice ChunkCodec).
+  std::vector<std::map<size_t, std::vector<float>>> slice_residuals;
+  /// Per-rank per-slot residual maps (the ring/tree chunk ChunkCodec).
+  std::vector<std::map<size_t, std::vector<float>>> chunk_residuals;
+  /// Central store (PS-style backends): the parameters at the boundary and
+  /// the SSP staleness clocks. has_store false on store-less backends.
+  bool has_store = false;
+  std::vector<float> store_params;
+  SspClockState ssp_clocks;
+};
+
 class CommBackend {
  public:
   virtual ~CommBackend();  // out of line: owns a forward-declared ChunkCodec
@@ -315,6 +343,26 @@ class CommBackend {
   /// Teardown: unblock any worker parked inside a backend primitive
   /// (channel recv, PS condition wait). Wired to run_cluster's abort hook.
   virtual void abort() {}
+
+  /// ---- SyncPlan phase lifecycle (DESIGN.md §14) --------------------------
+  /// Quiesces in-flight rounds before extract_handoff(). The phased trainer
+  /// only calls this after every worker thread has exited at the phase's
+  /// iteration boundary, so for the in-tree backends there is nothing left
+  /// in flight and the base no-op suffices; the hook exists so a backend
+  /// with genuinely asynchronous machinery can flush it here.
+  virtual void drain() {}
+
+  /// Captures the state the next phase's backend may need. Base: the
+  /// gradient codec's per-rank residuals (full-vector + slice). Overridden
+  /// by the chunked transports (per-chunk-slot residuals) and the PS
+  /// backend (central store + SSP clocks).
+  virtual BackendHandoff extract_handoff() const;
+
+  /// Installs whatever this backend can reuse from a predecessor's capture:
+  /// codec residuals when the codec kind matches (a codec change makes the
+  /// old residuals meaningless — they are dropped, exactly like a cold
+  /// start), store parameters and clocks on PS-style backends.
+  virtual void adopt_handoff(const BackendHandoff& state);
 
   /// The codec fused into this backend's data plane (kind kNone = dense).
   const CompressionConfig& codec() const { return codec_; }

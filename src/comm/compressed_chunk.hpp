@@ -61,6 +61,24 @@ class ChunkCodec {
 
   const CompressionConfig& config() const { return config_; }
 
+  /// ---- SyncPlan handoff (DESIGN.md §14) ----------------------------------
+  /// Per-(rank, slot) error-feedback residuals, exported at a phase boundary
+  /// and adopted by the successor's codec when the kind matches. Only the
+  /// residual maps travel: wire accounts and slot bases are per-round state
+  /// that begin_round() resets anyway.
+  std::vector<std::map<size_t, std::vector<float>>> export_residuals() const {
+    std::vector<std::map<size_t, std::vector<float>>> out;
+    out.reserve(ranks_.size());
+    for (const RankState& state : ranks_) out.push_back(state.residuals);
+    return out;
+  }
+  void adopt_residuals(
+      const std::vector<std::map<size_t, std::vector<float>>>& residuals) {
+    for (size_t r = 0; r < ranks_.size() && r < residuals.size(); ++r) {
+      ranks_[r].residuals = residuals[r];
+    }
+  }
+
  private:
   struct RankState {
     CompressionConfig effective;

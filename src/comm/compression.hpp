@@ -95,6 +95,17 @@ class GradientCompressor {
 
   const CompressionConfig& config() const { return config_; }
 
+  /// ---- SyncPlan handoff (DESIGN.md §14) ----------------------------------
+  /// The error-feedback residual is the codec's only cross-iteration state;
+  /// dropping it at a phase boundary would silently bias the first post-
+  /// switch update. The phased trainer exports it from the outgoing backend
+  /// and adopts it into the successor when the codec kind matches.
+  const std::vector<float>& residual() const { return residual_; }
+  void adopt_residual(std::vector<float> residual, double last_ratio) {
+    residual_ = std::move(residual);
+    last_ratio_ = last_ratio;
+  }
+
   /// Wire payload for a `values`-element gradient under this codec (0 for an
   /// empty gradient regardless of codec):
   ///   TopK:   k * (4 value bytes + 4 index bytes), k clamped to [1, values]

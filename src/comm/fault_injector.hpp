@@ -240,25 +240,40 @@ class FaultInjector {
   std::vector<std::vector<StragglerEvent>> stragglers_by_rank_;
 };
 
+/// How a wait_for_rejoin() call was resolved (see RejoinCoordinator).
+enum class RejoinWait {
+  kReleased,  ///< released for rejoin at the top of the rejoin iteration
+  kStopped,   ///< the cluster stopped first — the rank stays a casualty
+  kPaused,    ///< a SyncPlan phase boundary drained the cluster; the rank
+              ///< re-parks in the next phase and keeps waiting there
+};
+
 /// Rendezvous used by restarting workers in the bulk-synchronous path. A
 /// worker that is down parks here; the surviving leader releases it at the
 /// top of the rejoin iteration (so the rejoiner cannot enter a barrier
 /// generation it is not part of), and any worker leaving the training loop
 /// calls shutdown() so parked workers cannot outlive the cluster.
+///
+/// SyncPlan phase boundaries (DESIGN.md §14) add a third resolution: the
+/// phased trainer pause()s the coordinator when the surviving workers hit
+/// the boundary, which returns kPaused to every parked rank so its thread
+/// can exit the phase; the same coordinator is resume()d for the next
+/// phase and the rank parks again with its rejoin schedule intact.
 class RejoinCoordinator {
  public:
   explicit RejoinCoordinator(size_t workers) : released_(workers, false) {}
 
-  /// Blocks until release(rank) or shutdown(). Returns true when released
-  /// for rejoin, false when the cluster stopped first.
-  bool wait_for_rejoin(size_t rank) {
+  /// Blocks until release(rank), pause() or shutdown(). A pending release
+  /// wins over a concurrent pause — the rejoin happens at the boundary
+  /// iteration itself rather than being deferred a phase.
+  RejoinWait wait_for_rejoin(size_t rank) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return released_[rank] || stopped_; });
+    cv_.wait(lock, [&] { return released_[rank] || stopped_ || paused_; });
     if (released_[rank]) {
       released_[rank] = false;  // re-arm for a later crash of the same rank
-      return true;
+      return RejoinWait::kReleased;
     }
-    return false;
+    return stopped_ ? RejoinWait::kStopped : RejoinWait::kPaused;
   }
 
   void release(size_t rank) {
@@ -267,6 +282,21 @@ class RejoinCoordinator {
       released_[rank] = true;
     }
     cv_.notify_all();
+  }
+
+  /// Drains parked ranks out of the current phase (idempotent).
+  void pause() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      paused_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Re-arms the coordinator for the next phase (idempotent).
+  void resume() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
   }
 
   void shutdown() {
@@ -282,6 +312,7 @@ class RejoinCoordinator {
   WaitSlot cv_;
   std::vector<bool> released_;
   bool stopped_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace selsync

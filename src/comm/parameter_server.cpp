@@ -113,6 +113,29 @@ uint64_t ParameterServer::async_updates() const {
   return async_updates_;
 }
 
+SspClockState ParameterServer::ssp_clocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {worker_iteration_, worker_done_, async_updates_};
+}
+
+void ParameterServer::restore_ssp_clocks(const SspClockState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state.worker_iteration.size() != workers_ ||
+      state.worker_done.size() != workers_)
+    throw std::invalid_argument("restore_ssp_clocks: worker count mismatch");
+  worker_iteration_ = state.worker_iteration;
+  worker_done_ = state.worker_done;
+  async_updates_ = state.async_updates;
+  cv_.notify_all();
+}
+
+void ParameterServer::seed_worker_clocks(uint64_t iteration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(worker_iteration_.begin(), worker_iteration_.end(), iteration);
+  std::fill(worker_done_.begin(), worker_done_.end(), false);
+  cv_.notify_all();
+}
+
 // ---------------------------------------------------------------------------
 // ShardedParameterServer
 // ---------------------------------------------------------------------------

@@ -49,6 +49,17 @@ inline constexpr EnumEntry<AggregationMode> kAggregationModeCliNames[] = {
     {AggregationMode::kGradients, "ga"},
 };
 
+/// A capture of one shard's SSP bookkeeping — the per-worker staleness
+/// clocks, finish flags, and absorbed-push counter — carried across SyncPlan
+/// phase boundaries so an SSP phase resumed after a switch sees the same
+/// staleness picture the predecessor left (DESIGN.md §14). The handoff-sync
+/// lint pass pins these fields against ParameterServer's members.
+struct SspClockState {
+  std::vector<uint64_t> worker_iteration;
+  std::vector<bool> worker_done;
+  uint64_t async_updates = 0;
+};
+
 const char* aggregation_mode_name(AggregationMode mode);
 
 /// "pa" | "ga" -> mode; nullopt for anything else.
@@ -100,6 +111,18 @@ class ParameterServer {
 
   /// How many async pushes the shard has absorbed (test/metric hook).
   uint64_t async_updates() const;
+
+  /// ---- SyncPlan handoff (DESIGN.md §14) ----------------------------------
+  /// Captures the staleness clocks for a phase handoff.
+  SspClockState ssp_clocks() const;
+
+  /// Restores a capture taken by ssp_clocks() (SSP -> SSP switch).
+  void restore_ssp_clocks(const SspClockState& state);
+
+  /// Seeds every worker's clock at `iteration` with no one finished — the
+  /// sync -> SSP switch case, where all workers provably exited the previous
+  /// phase at the same iteration.
+  void seed_worker_clocks(uint64_t iteration);
 
  private:
   uint64_t min_active_iteration_locked() const;
@@ -157,6 +180,16 @@ class ShardedParameterServer {
   bool aborted() const;
   /// Facade pushes absorbed (counted once per push, not per shard).
   uint64_t async_updates() const;
+
+  /// SyncPlan handoff: the staleness gate (and the facade's push count)
+  /// lives on shard 0, so the clock capture does too.
+  SspClockState ssp_clocks() const { return shards_.front()->ssp_clocks(); }
+  void restore_ssp_clocks(const SspClockState& state) {
+    shards_.front()->restore_ssp_clocks(state);
+  }
+  void seed_worker_clocks(uint64_t iteration) {
+    shards_.front()->seed_worker_clocks(iteration);
+  }
 
  private:
   size_t dim_;

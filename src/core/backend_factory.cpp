@@ -114,4 +114,33 @@ std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
   return make_comm_backend(config);
 }
 
+CommBackend& BackendLifecycle::create(const TrainJob& phase_job,
+                                      FaultInjector* faults,
+                                      const BackendHandoff* carried) {
+  if (backend_)
+    throw std::logic_error(
+        "BackendLifecycle: create() with a live backend — teardown() the "
+        "previous phase first");
+  backend_ = make_backend(phase_job, faults);
+  // Note the order: a carried central store overwrites the iteration-0 seed
+  // make_backend gave a fresh PS tier — a later phase must resume from the
+  // boundary model, not the initial one.
+  if (carried) backend_->adopt_handoff(*carried);
+  return *backend_;
+}
+
+void BackendLifecycle::drain() {
+  if (!backend_)
+    throw std::logic_error("BackendLifecycle: drain() — no live backend");
+  backend_->drain();
+}
+
+BackendHandoff BackendLifecycle::handoff() const {
+  if (!backend_)
+    throw std::logic_error("BackendLifecycle: handoff() — no live backend");
+  return backend_->extract_handoff();
+}
+
+void BackendLifecycle::teardown() { backend_.reset(); }
+
 }  // namespace selsync

@@ -30,7 +30,45 @@ void validate_backend_choice(const TrainJob& job);
 /// parameter-server tier (SSP is defined against a central store, whatever
 /// the job's backend knob says — the knob selects how *synchronous*
 /// payloads move). Central stores are seeded from the job's model.
+/// Equivalent to BackendLifecycle::create for phase 0 of a one-phase plan;
+/// kept as the direct entry for benches and tests that drive a backend
+/// without a trainer.
 std::unique_ptr<CommBackend> make_backend(const TrainJob& job,
                                           FaultInjector* faults = nullptr);
+
+/// The phased backend lifecycle the trainer drives (DESIGN.md §14):
+///
+///   create(phase 0) -> [cluster runs] -> drain -> handoff
+///     -> create(phase 1, carried handoff) -> ... -> teardown
+///
+/// The lifecycle owns the live backend between calls, so backend
+/// destruction is an explicit lifecycle step instead of ad-hoc scope exit
+/// in the trainer. A legacy single-phase run is the degenerate lifecycle:
+/// one create, no handoff, teardown at the end.
+class BackendLifecycle {
+ public:
+  /// Phase-0 create is exactly make_backend(); later phases additionally
+  /// adopt `carried` (the previous phase's handoff — codec residuals,
+  /// central-store contents, SSP clocks) into the fresh backend. Throws
+  /// std::logic_error if a backend is still live (teardown first).
+  CommBackend& create(const TrainJob& phase_job, FaultInjector* faults,
+                      const BackendHandoff* carried = nullptr);
+
+  /// Quiesces in-flight rounds after the phase's workers joined at the
+  /// boundary; must precede handoff().
+  void drain();
+
+  /// Extracts the live backend's carry-over state for the next create().
+  BackendHandoff handoff() const;
+
+  /// Destroys the live backend — the explicit end of its lifecycle.
+  void teardown();
+
+  /// The live backend (null between teardown and the next create).
+  CommBackend* live() { return backend_.get(); }
+
+ private:
+  std::unique_ptr<CommBackend> backend_;
+};
 
 }  // namespace selsync

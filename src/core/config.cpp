@@ -66,6 +66,11 @@ void TrainJob::validate() const {
   // backend, ps_shards vs the PS tier) live with backend construction so
   // the two cannot drift (DESIGN.md §10).
   validate_backend_choice(*this);
+  // Per-phase validation of the switch schedule: trigger ordering plus a
+  // full re-validate of every derived phase job, so an invalid later phase
+  // fails here — at parse time, with the phase index in the message — not
+  // mid-run (DESIGN.md §14).
+  validate_sync_plan(*this);
 }
 
 }  // namespace selsync

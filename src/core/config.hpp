@@ -13,6 +13,7 @@
 #include "comm/fault_injector.hpp"
 #include "comm/parameter_server.hpp"
 #include "comm/compression.hpp"
+#include "core/sync_plan.hpp"
 #include "data/partition.hpp"
 #include "nn/models.hpp"
 #include "nn/paper_profiles.hpp"
@@ -218,6 +219,13 @@ struct TrainJob {
   /// in gradient-readiness order, which is what overlap can hide); input-
   /// first is the anti-priority baseline the benches contrast against.
   SliceScheduleKind slice_order = SliceScheduleKind::kOutputFirst;
+  /// Mid-run switch schedule (DESIGN.md §14): ordered switch points, each
+  /// a trigger plus the {strategy, backend, codec, slices, ps_shards}
+  /// overrides the next phase applies. Empty — the default — is the legacy
+  /// single-phase run, and the run-record serializer emits nothing for it
+  /// (golden records stay byte-identical). validate() re-validates every
+  /// derived phase job with the phase index in the message.
+  SyncPlan sync_plan;
 
   /// Early stopping: stop once worker 0's evaluation reaches the target
   /// (accuracy >= target_top1, or perplexity <= target_perplexity).

@@ -1,0 +1,83 @@
+// Phase-boundary handoff state for SyncPlan switching (DESIGN.md §14).
+//
+// A switch point drains the cluster at an iteration boundary: every worker
+// exits its loop at the same iteration k, the outgoing backend's state is
+// extracted (comm/comm_backend.hpp: BackendHandoff), and the next phase's
+// loops resume from the per-worker captures below. Replicas themselves are
+// NOT part of the handoff — they are created once per rank and persist
+// across phases (which is what carries optimizer moments, EMA trackers and
+// data cursors for free, and why the TCP wire needs no new verbs: remote
+// replicas never learn a switch happened).
+//
+// The handoff-sync pass of selsync_lint pins WorkerHandoff's fields against
+// the WorkerLoop members they mirror (tools/lint/handoff_state.manifest),
+// so loop state added without a matching handoff field — which would be
+// silently dropped at every switch — fails the lint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "comm/comm_backend.hpp"
+#include "core/metrics.hpp"
+#include "stats/grad_change.hpp"
+
+namespace selsync {
+
+/// One worker's loop state captured at a phase boundary (or at its final
+/// exit — the trainer reads `casualty`/`paused_at_boundary` to decide
+/// whether the rank runs in the next phase and whether the run is over).
+struct WorkerHandoff {
+  /// Where the loop stopped: the boundary iteration on a pause, the last
+  /// iteration on a finish. The resumed loop starts here.
+  uint64_t iteration = 0;
+  uint64_t executed = 0;
+  double sim_time = 0.0;
+  double comm_bytes = 0.0;
+  bool reached = false;
+  bool diverged = false;
+  /// true when the worker exited at the phase boundary (Stage::kPause);
+  /// false when it finished the run (budget spent / stop agreed / retired).
+  bool paused_at_boundary = false;
+  /// The worker left the run for good (permanent crash, or the cluster
+  /// stopped while it was parked); it does not run in later phases.
+  bool casualty = false;
+  /// The worker was parked awaiting rejoin when the boundary drained the
+  /// cluster; it re-parks in the next phase (iteration holds its crash
+  /// point) and its rejoin schedule continues there.
+  bool parked = false;
+
+  // ---- bulk-synchronous loop state ----------------------------------------
+  uint64_t sync_steps = 0;
+  uint64_t local_steps = 0;
+  uint64_t sync_rounds = 0;
+  SyncCostTotals sync_cost;
+  GradChangeSnapshot grad_change;
+  bool ema_enabled = false;
+  std::vector<double> delta_trace;
+  std::vector<double> grad_sq_trace;
+  std::map<double, std::vector<float>> snapshots;
+  size_t next_snapshot = 0;
+
+  // ---- SSP loop state -----------------------------------------------------
+  uint64_t crash_fired_until = 0;
+
+  // ---- root observability -------------------------------------------------
+  std::vector<EvalPoint> eval_history;
+  TrainResult local_bests;
+};
+
+/// Everything that crosses one phase boundary: the outgoing backend's
+/// capture plus one WorkerHandoff per rank. `model_params` is the root
+/// replica's parameters at the boundary, fetched only when the next phase
+/// needs a seed the handoff cannot provide (a central store where the
+/// predecessor had none, or a switch into EASGD whose elastic center must
+/// start at the boundary model, not the iteration-0 one).
+struct HandoffState {
+  BackendHandoff backend;
+  std::vector<WorkerHandoff> workers;
+  std::vector<float> model_params;
+};
+
+}  // namespace selsync

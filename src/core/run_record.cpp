@@ -85,6 +85,36 @@ JsonValue job_to_json(const TrainJob& job) {
     j.set("compression", std::move(c));
   }
   if (job.faults.enabled()) j.set("faults", fault_plan_to_json(job.faults));
+  // Mid-run switch schedule (DESIGN.md §14). Same gate rule as ps_shards:
+  // the empty plan predates the knob, emits nothing, and the golden records
+  // stay byte-identical — a planless job takes this exact legacy path.
+  if (!job.sync_plan.empty()) {
+    JsonValue phases = JsonValue::array();
+    for (const SyncPhase& phase : job.sync_plan.phases) {
+      JsonValue p = JsonValue::object();
+      p.set("trigger", switch_trigger_kind_name(phase.trigger.kind));
+      switch (phase.trigger.kind) {
+        case SwitchTriggerKind::kAtIteration:
+          p.set("at_iteration",
+                static_cast<double>(phase.trigger.at_iteration));
+          break;
+        case SwitchTriggerKind::kOnGradChange:
+          p.set("gradchange_below", phase.trigger.gradchange_below);
+          p.set("min_iteration",
+                static_cast<double>(phase.trigger.min_iteration));
+          break;
+      }
+      if (phase.strategy) p.set("strategy", strategy_kind_name(*phase.strategy));
+      if (phase.backend) p.set("backend", backend_kind_name(*phase.backend));
+      if (phase.compression)
+        p.set("codec", compression_kind_name(phase.compression->kind));
+      if (phase.slices) p.set("slices", static_cast<double>(*phase.slices));
+      if (phase.ps_shards)
+        p.set("ps_shards", static_cast<double>(*phase.ps_shards));
+      phases.push(std::move(p));
+    }
+    j.set("sync_plan", std::move(phases));
+  }
   return j;
 }
 

@@ -1,0 +1,212 @@
+#include "core/sync_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace selsync {
+
+const char* switch_trigger_kind_name(SwitchTriggerKind kind) {
+  return enum_name(kSwitchTriggerKindNames, kind);
+}
+
+std::optional<SwitchTriggerKind> switch_trigger_kind_from_name(
+    std::string_view name) {
+  return enum_from_name(kSwitchTriggerKindCliNames, name);
+}
+
+std::string switch_trigger_kind_names() {
+  return enum_names(kSwitchTriggerKindCliNames);
+}
+
+namespace {
+
+size_t parse_count(std::string_view key, std::string_view value) {
+  size_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument(std::string("--switch-to: ") +
+                                  std::string(key) + "='" + std::string(value) +
+                                  "' is not a number");
+    parsed = parsed * 10 + static_cast<size_t>(c - '0');
+  }
+  if (value.empty())
+    throw std::invalid_argument(std::string("--switch-to: ") +
+                                std::string(key) + " needs a value");
+  return parsed;
+}
+
+}  // namespace
+
+SyncPhase parse_sync_phase_spec(std::string_view spec) {
+  if (spec.empty())
+    throw std::invalid_argument(
+        "--switch-to: empty phase spec (expected a strategy name or "
+        "comma-separated key=value overrides)");
+  SyncPhase phase;
+  // A bare strategy name is the common Sync-Switch case: switch strategy,
+  // keep everything else.
+  if (spec.find('=') == std::string_view::npos &&
+      spec.find(',') == std::string_view::npos) {
+    const auto strategy = strategy_kind_from_name(spec);
+    if (!strategy)
+      throw std::invalid_argument(
+          std::string("--switch-to: unknown strategy '") + std::string(spec) +
+          "' (expected one of " + strategy_kind_names() +
+          ", or key=value overrides: strategy=, backend=, codec=, slices=, "
+          "ps-shards=)");
+    phase.strategy = *strategy;
+    return phase;
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty())
+      throw std::invalid_argument(
+          "--switch-to: empty override in phase spec '" + std::string(spec) +
+          "'");
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument(
+          std::string("--switch-to: override '") + std::string(item) +
+          "' is not key=value (keys: strategy, backend, codec, slices, "
+          "ps-shards)");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "strategy") {
+      const auto strategy = strategy_kind_from_name(value);
+      if (!strategy)
+        throw std::invalid_argument(
+            std::string("--switch-to: unknown strategy '") +
+            std::string(value) + "' (expected one of " +
+            strategy_kind_names() + ")");
+      phase.strategy = *strategy;
+    } else if (key == "backend") {
+      const auto backend = backend_kind_from_name(value);
+      if (!backend)
+        throw std::invalid_argument(
+            std::string("--switch-to: unknown backend '") +
+            std::string(value) + "' (expected one of " + backend_kind_names() +
+            ")");
+      phase.backend = *backend;
+    } else if (key == "codec") {
+      const auto codec = compression_kind_from_name(value);
+      if (!codec)
+        throw std::invalid_argument(
+            std::string("--switch-to: unknown codec '") + std::string(value) +
+            "' (expected one of " + compression_kind_names() + ")");
+      CompressionConfig compression;
+      compression.kind = *codec;
+      phase.compression = compression;
+    } else if (key == "slices") {
+      phase.slices = parse_count(key, value);
+    } else if (key == "ps-shards") {
+      phase.ps_shards = parse_count(key, value);
+    } else {
+      throw std::invalid_argument(
+          std::string("--switch-to: unknown override key '") +
+          std::string(key) +
+          "' (keys: strategy, backend, codec, slices, ps-shards)");
+    }
+    if (comma == spec.size()) break;
+  }
+  return phase;
+}
+
+TrainJob derive_phase_job(const TrainJob& base, size_t index) {
+  if (index >= base.sync_plan.phase_count())
+    throw std::out_of_range("derive_phase_job: phase index out of range");
+  TrainJob job = base;
+  job.sync_plan = SyncPlan{};  // derived jobs run as plain single-phase jobs
+  if (index == 0) return job;
+  const SyncPhase& phase = base.sync_plan.phases[index - 1];
+  if (phase.strategy) job.strategy = *phase.strategy;
+  if (phase.backend) job.backend = *phase.backend;
+  if (phase.compression) job.compression = *phase.compression;
+  if (phase.slices) job.slices = *phase.slices;
+  if (phase.ps_shards) job.ps_shards = *phase.ps_shards;
+  return job;
+}
+
+void validate_sync_plan(const TrainJob& job) {
+  const SyncPlan& plan = job.sync_plan;
+  if (plan.empty()) return;
+  const bool has_crashes = !job.faults.crashes.empty();
+  uint64_t floor = 0;
+  StrategyKind prev_strategy = job.strategy;
+  bool saw_gradchange = false;
+  for (size_t i = 0; i < plan.phases.size(); ++i) {
+    const std::string where =
+        "TrainJob: sync_plan phase " + std::to_string(i + 1) + ": ";
+    if (saw_gradchange)
+      throw std::invalid_argument(
+          where +
+          "an on-gradchange switch point must be the final one — its "
+          "boundary iteration is dynamic, so a later switch point cannot be "
+          "ordered against it");
+    const SwitchTrigger& trigger = plan.phases[i].trigger;
+    switch (trigger.kind) {
+      case SwitchTriggerKind::kAtIteration:
+        if (trigger.at_iteration <= floor)
+          throw std::invalid_argument(
+              where +
+              "at-iteration trigger must be strictly after the previous "
+              "boundary (iteration " +
+              std::to_string(floor) + ")");
+        if (trigger.at_iteration >= job.max_iterations)
+          throw std::invalid_argument(
+              where +
+              "at-iteration trigger at or past max_iterations (" +
+              std::to_string(job.max_iterations) +
+              ") — the phase would never run");
+        floor = trigger.at_iteration;
+        break;
+      case SwitchTriggerKind::kOnGradChange:
+        if (trigger.gradchange_below <= 0.0)
+          throw std::invalid_argument(
+              where + "on-gradchange threshold must be > 0");
+        if (trigger.min_iteration >= job.max_iterations)
+          throw std::invalid_argument(
+              where +
+              "on-gradchange min_iteration at or past max_iterations (" +
+              std::to_string(job.max_iterations) +
+              ") — the trigger could never fire");
+        if (prev_strategy == StrategyKind::kSsp)
+          throw std::invalid_argument(
+              where +
+              "an on-gradchange trigger ends a phase by evaluating the "
+              "cluster-max Δ(g) on the control plane, which the asynchronous "
+              "SSP loop never runs — use an at-iteration trigger to leave an "
+              "SSP phase");
+        saw_gradchange = true;
+        break;
+    }
+    // Re-validate the derived phase job so an invalid later phase fails at
+    // parse time, with the phase index prefixed to the underlying message.
+    const TrainJob derived = derive_phase_job(job, i + 1);
+    try {
+      derived.validate();
+    } catch (const std::invalid_argument& e) {
+      std::string what = e.what();
+      constexpr std::string_view kPrefix = "TrainJob: ";
+      if (what.rfind(kPrefix, 0) == 0) what.erase(0, kPrefix.size());
+      throw std::invalid_argument(where + what);
+    }
+    if (has_crashes &&
+        (prev_strategy == StrategyKind::kSsp) !=
+            (derived.strategy == StrategyKind::kSsp))
+      throw std::invalid_argument(
+          where +
+          "a crash plan cannot cross a switch between the synchronous and "
+          "SSP loop families — a worker parked for rejoin in one family "
+          "cannot resume in the other; drop the crash plan or keep every "
+          "phase in one family");
+    prev_strategy = derived.strategy;
+  }
+}
+
+}  // namespace selsync

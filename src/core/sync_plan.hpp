@@ -1,0 +1,124 @@
+// SyncPlan: mid-run strategy/backend switching (DESIGN.md §14).
+//
+// The paper's core claim is that the best synchronization choice is
+// workload-dependent; Sync-Switch (PAPERS.md) shows it is also
+// *time*-dependent — hybrid BSP→asynchronous schedules beat either pure
+// policy — and ACE-Sync argues the knobs (codec, shards, strategy) should
+// adapt as the run evolves. A SyncPlan encodes such a schedule: an ordered
+// list of switch points, each carrying the config overrides the next phase
+// applies on top of the base TrainJob and a trigger that says when the
+// switch happens — a fixed iteration count, or the cluster's Δ(g) statistic
+// dropping below a threshold (closing the adaptive loop the paper only
+// gestures at).
+//
+// Execution is phased: the trainer runs the base job until the first
+// trigger fires, drains the backend at that iteration boundary, hands its
+// state (codec residuals, central store, SSP clocks — comm/comm_backend.hpp
+// BackendHandoff) plus each worker's loop state (core/handoff.hpp) to the
+// next phase's backend, and resumes. An empty plan is exactly the legacy
+// single-phase run; the run-record serializer emits nothing for it, so the
+// golden records stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/comm_backend.hpp"
+#include "comm/compression.hpp"
+#include "util/enum_names.hpp"
+
+namespace selsync {
+
+enum class StrategyKind;
+struct TrainJob;
+
+/// What fires a switch point.
+enum class SwitchTriggerKind { kAtIteration, kOnGradChange };
+
+/// Display names, used by the run-record serializer (pinned spellings);
+/// selsync_lint (enum-table) keeps both tables in lockstep with the
+/// enumerator list above.
+inline constexpr EnumEntry<SwitchTriggerKind> kSwitchTriggerKindNames[] = {
+    {SwitchTriggerKind::kAtIteration, "AtIteration"},
+    {SwitchTriggerKind::kOnGradChange, "OnGradChange"},
+};
+
+/// The trigger spellings accepted by the CLI tools.
+inline constexpr EnumEntry<SwitchTriggerKind> kSwitchTriggerKindCliNames[] = {
+    {SwitchTriggerKind::kAtIteration, "at-iteration"},
+    {SwitchTriggerKind::kOnGradChange, "on-gradchange"},
+};
+
+const char* switch_trigger_kind_name(SwitchTriggerKind kind);
+
+/// "at-iteration" | "on-gradchange" -> kind; nullopt for anything else.
+std::optional<SwitchTriggerKind> switch_trigger_kind_from_name(
+    std::string_view name);
+
+/// The accepted trigger spellings, for CLI help and error messages.
+std::string switch_trigger_kind_names();
+
+/// When a phase starts. kAtIteration fires when every worker reaches
+/// `at_iteration` (the phase boundary is a plain iteration count, so DES
+/// and thread runs replay the identical schedule). kOnGradChange fires at
+/// the first iteration >= `min_iteration` whose cluster-max Δ(g) is at or
+/// below `gradchange_below` — evaluated on the control plane, so every
+/// worker agrees on the boundary bit-for-bit.
+struct SwitchTrigger {
+  SwitchTriggerKind kind = SwitchTriggerKind::kAtIteration;
+  uint64_t at_iteration = 0;
+  double gradchange_below = 0.0;
+  /// Warmup floor for kOnGradChange: the EWMA needs observations before
+  /// Δ(g) means anything, so the trigger stays cold before this iteration.
+  uint64_t min_iteration = 0;
+};
+
+/// One switch point: the trigger that starts the phase plus the config
+/// overrides it applies on top of the base TrainJob. Unset fields keep the
+/// base job's value, so a phase with no overrides is the degenerate switch
+/// (same config, fresh backend) the parity tier pins bit-exact.
+struct SyncPhase {
+  SwitchTrigger trigger;
+  std::optional<StrategyKind> strategy;
+  std::optional<BackendKind> backend;
+  std::optional<CompressionConfig> compression;
+  std::optional<size_t> slices;
+  std::optional<size_t> ps_shards;
+};
+
+/// An ordered switch schedule. `phases` holds the switch points only — the
+/// base TrainJob is phase 0 — so empty() means the legacy single-phase run.
+struct SyncPlan {
+  std::vector<SyncPhase> phases;
+
+  bool empty() const { return phases.empty(); }
+  /// Total execution phases: the base phase plus one per switch point.
+  size_t phase_count() const { return phases.size() + 1; }
+};
+
+/// Parses a `--switch-to` phase spec: either a bare strategy name
+/// ("selsync") or comma-separated `key=value` overrides with keys
+/// `strategy`, `backend`, `codec`, `slices`, `ps-shards`
+/// ("strategy=selsync,backend=ring,codec=topk,slices=4,ps-shards=2").
+/// Throws std::invalid_argument with a pointed message on anything else.
+/// The returned phase has a default trigger — the caller sets it.
+SyncPhase parse_sync_phase_spec(std::string_view spec);
+
+/// The TrainJob executed for phase `index` (0 = the base job): the base
+/// config with every override of plan phase index-1 applied and the
+/// sync_plan itself cleared, so the derived job validates and runs as a
+/// plain single-phase job.
+TrainJob derive_phase_job(const TrainJob& base, size_t index);
+
+/// Per-phase validation (the TrainJob::validate() slice for plans): checks
+/// trigger ordering/ranges, rejects schedules the runtime cannot execute
+/// (a Δ(g) trigger ending an SSP phase, crash plans mixing the synchronous
+/// and SSP loop families), and re-validates every derived phase job so an
+/// invalid *later* phase fails at parse time with the phase index in the
+/// message, not mid-run.
+void validate_sync_plan(const TrainJob& job);
+
+}  // namespace selsync

@@ -1,14 +1,17 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "comm/cluster.hpp"
 #include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
 #include "core/backend_factory.hpp"
+#include "core/handoff.hpp"
 #include "core/replica.hpp"
+#include "core/sync_plan.hpp"
 #include "core/trainer_internal.hpp"
 #include "core/worker_loop.hpp"
 #include "data/injection.hpp"
@@ -22,103 +25,233 @@ using detail::SharedSspState;
 using detail::SharedSyncState;
 using detail::SspWorkerLoop;
 using detail::SynchronousWorkerLoop;
+using detail::WorkerPhase;
 
-/// Drives the cluster and guarantees the transport session is torn down —
-/// shutdown verbs, closed connections, reaped worker processes — on the
-/// error path too, before the first worker error propagates.
-void run_cluster_over(TransportSession& session, const TrainJob& job,
-                      const std::function<void(WorkerContext&)>& worker_body,
-                      const std::function<void()>& on_abort) {
-  try {
-    run_cluster(job.engine, job.workers, worker_body, on_abort);
-  } catch (...) {
-    session.finish();
-    throw;
+/// Everything that outlives a single phase (DESIGN.md §14): built once per
+/// run, shared by every per-phase run_cluster invocation. A legacy
+/// single-phase job is simply a RunContext that runs one phase.
+struct RunContext {
+  explicit RunContext(const TrainJob& run_job) : job(run_job) {
+    if (job.injection.enabled)
+      injector = std::make_unique<DataInjector>(
+          InjectionConfig{job.injection.alpha, job.injection.beta,
+                          job.seed ^ 0x12171217ULL},
+          job.workers);
+    if (job.faults.enabled()) {
+      // One injector for the whole run keeps the per-rank decision streams
+      // and the event log continuous across phases — the fault schedule of
+      // a switched run reads like one run, and a degenerate switch draws
+      // the exact same stream a no-plan run does.
+      faults = std::make_unique<FaultInjector>(job.faults, job.workers);
+      rejoin = std::make_unique<RejoinCoordinator>(job.workers);
+    }
+    sync_shared.injection_proposals.resize(job.workers);
+    sync_shared.worker_sim_time.assign(job.workers, 0.0);
+    ssp_shared.worker_sim_time.assign(job.workers, 0.0);
+
+    // The transport opens before any cluster thread exists: the tcp session
+    // forks its worker processes here, from a single-threaded master. The
+    // replicas are created once per rank and persist across every phase —
+    // that persistence is what carries optimizer moments, EMA trackers and
+    // data cursors through a switch, and why the wire protocol needs no new
+    // verbs (remote replicas never learn a switch happened).
+    session = open_transport(job);
+    replicas.reserve(job.workers);
+    for (size_t r = 0; r < job.workers; ++r)
+      replicas.push_back(session->make_replica(r));
+    captures.resize(job.workers);
   }
-  session.finish();
-}
 
-TrainResult run_synchronous(const TrainJob& job) {
+  /// Lowest rank still in the run — the model representative for
+  /// boundary-time seeding (casualties cannot occur where seeding is
+  /// needed, but the lowest survivor is the same rank recovery syncs use).
+  size_t root_rank() const {
+    for (size_t r = 0; r < job.workers; ++r)
+      if (!captures[r].casualty) return r;
+    return 0;
+  }
+
+  const TrainJob& job;
   std::unique_ptr<DataInjector> injector;
-  if (job.injection.enabled)
-    injector = std::make_unique<DataInjector>(
-        InjectionConfig{job.injection.alpha, job.injection.beta,
-                        job.seed ^ 0x12171217ULL},
-        job.workers);
   std::unique_ptr<FaultInjector> faults;
   std::unique_ptr<RejoinCoordinator> rejoin;
-  if (job.faults.enabled()) {
-    faults = std::make_unique<FaultInjector>(job.faults, job.workers);
-    rejoin = std::make_unique<RejoinCoordinator>(job.workers);
+  SharedSyncState sync_shared;
+  SharedSspState ssp_shared;
+  std::unique_ptr<TransportSession> session;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  /// Per-rank captures from the most recent phase exit; the next phase
+  /// resumes from them.
+  std::vector<WorkerHandoff> captures;
+};
+
+/// Runs one phase of the plan on the already-created backend and leaves the
+/// per-rank captures in ctx.captures. `phased` gates every capture/resume
+/// path: a legacy run passes false and takes the pre-SyncPlan code paths
+/// exactly (null handoff pointers, no capture work, bit-identical records).
+void run_phase(RunContext& ctx, const TrainJob& phase_job, size_t index,
+               bool phased, CommBackend& backend) {
+  uint64_t end_iteration = std::numeric_limits<uint64_t>::max();
+  double gradchange_below = 0.0;
+  uint64_t gradchange_min = 0;
+  if (index < ctx.job.sync_plan.phases.size()) {
+    const SwitchTrigger& trigger = ctx.job.sync_plan.phases[index].trigger;
+    if (trigger.kind == SwitchTriggerKind::kAtIteration)
+      end_iteration = trigger.at_iteration;
+    else {
+      gradchange_below = trigger.gradchange_below;
+      gradchange_min = trigger.min_iteration;
+    }
   }
 
-  SharedSyncState shared;
-  shared.injection_proposals.resize(job.workers);
-  shared.worker_sim_time.assign(job.workers, 0.0);
-  if (job.strategy == StrategyKind::kEasgd)
-    shared.easgd_center = job.model_factory(job.seed)->get_flat_params();
+  // Exits at a boundary write into `fresh`; ranks that no longer run (prior
+  // casualties) keep their old capture via the copy.
+  std::vector<WorkerHandoff> fresh = ctx.captures;
+  if (ctx.rejoin) ctx.rejoin->resume();
 
-  std::unique_ptr<CommBackend> backend = make_backend(job, faults.get());
-  // The transport opens before any cluster thread exists: the tcp session
-  // forks its worker processes here, from a single-threaded master.
-  std::unique_ptr<TransportSession> session = open_transport(job);
+  const auto make_phase = [&](size_t rank) {
+    WorkerPhase phase;
+    phase.end_iteration = end_iteration;
+    phase.gradchange_below = gradchange_below;
+    phase.gradchange_min_iteration = gradchange_min;
+    if (phased) {
+      if (index > 0) phase.resume = &ctx.captures[rank];
+      phase.handoff = &fresh[rank];
+    }
+    return phase;
+  };
 
-  WallTimer wall;
-  run_cluster_over(
-      *session, job,
-      [&](WorkerContext& ctx) {
-        SynchronousWorkerLoop loop(job, ctx, session->make_replica(ctx.rank),
-                                   injector.get(), *backend, faults.get(),
-                                   rejoin.get(), shared);
-        loop.run();
-      },
-      [&] {
-        backend->abort();
-        if (rejoin) rejoin->shutdown();
-        session->abort();
-      });
-  shared.result.sim_time_s = *std::max_element(
-      shared.worker_sim_time.begin(), shared.worker_sim_time.end());
-  shared.result.wall_time_s = wall.elapsed_s();
-  if (faults) shared.result.faults = faults->summary();
-  return shared.result;
-}
+  const auto body = [&](WorkerContext& wctx) {
+    if (phased && ctx.captures[wctx.rank].casualty) return;
+    const WorkerPhase phase = make_phase(wctx.rank);
+    if (phase_job.strategy == StrategyKind::kSsp) {
+      SspWorkerLoop loop(phase_job, wctx, ctx.replicas[wctx.rank].get(),
+                         backend, ctx.faults.get(), ctx.ssp_shared, phase);
+      loop.run();
+    } else {
+      SynchronousWorkerLoop loop(phase_job, wctx,
+                                 ctx.replicas[wctx.rank].get(),
+                                 ctx.injector.get(), backend,
+                                 ctx.faults.get(), ctx.rejoin.get(),
+                                 ctx.sync_shared, phase);
+      loop.run();
+    }
+  };
 
-TrainResult run_ssp(const TrainJob& job) {
-  std::unique_ptr<FaultInjector> faults;
-  if (job.faults.enabled())
-    faults = std::make_unique<FaultInjector>(job.faults, job.workers);
-
-  std::unique_ptr<CommBackend> backend = make_backend(job, faults.get());
-  std::unique_ptr<TransportSession> session = open_transport(job);
-
-  SharedSspState shared;
-  shared.worker_sim_time.assign(job.workers, 0.0);
-  WallTimer wall;
-  run_cluster_over(
-      *session, job,
-      [&](WorkerContext& ctx) {
-        SspWorkerLoop loop(job, ctx, session->make_replica(ctx.rank),
-                           *backend, faults.get(), shared);
-        loop.run();
-      },
-      [&] {
-        backend->abort();
-        session->abort();
-      });
-  shared.result.sim_time_s = *std::max_element(shared.worker_sim_time.begin(),
-                                               shared.worker_sim_time.end());
-  shared.result.wall_time_s = wall.elapsed_s();
-  if (faults) shared.result.faults = faults->summary();
-  return shared.result;
+  run_cluster(phase_job.engine, ctx.job.workers, body, [&] {
+    backend.abort();
+    if (ctx.rejoin) ctx.rejoin->shutdown();
+    ctx.session->abort();
+  });
+  ctx.captures = std::move(fresh);
 }
 
 }  // namespace
 
 TrainResult run_training(const TrainJob& job) {
   job.validate();
-  return job.strategy == StrategyKind::kSsp ? run_ssp(job)
-                                            : run_synchronous(job);
+
+  const bool phased = !job.sync_plan.empty();
+  const size_t phase_count = job.sync_plan.phase_count();
+
+  RunContext ctx(job);
+  BackendLifecycle lifecycle;
+  BackendHandoff carried;
+  bool have_carried = false;
+  StrategyKind prev_strategy = job.strategy;
+  StrategyKind final_family = job.strategy;
+  uint64_t boundary = 0;  // iteration of the most recent switch point
+
+  WallTimer wall;
+  try {
+    for (size_t index = 0; index < phase_count; ++index) {
+      const TrainJob phase_job = derive_phase_job(job, index);
+      final_family = phase_job.strategy;
+      const bool has_store =
+          phase_job.strategy == StrategyKind::kSsp ||
+          phase_job.backend == BackendKind::kParameterServer;
+
+      if (index > 0) {
+        // A phase that needs a central store the predecessor did not have
+        // seeds it from the boundary model — the run must resume from where
+        // training got to, not from the iteration-0 model make_backend
+        // would install.
+        if (has_store && !carried.has_store) {
+          carried.store_params =
+              ctx.replicas[ctx.root_rank()]->flat_params();
+          carried.has_store = true;
+        }
+        // Same for a switch INTO EASGD: its elastic center starts at the
+        // boundary model. EASGD -> EASGD keeps the live center untouched.
+        if (phase_job.strategy == StrategyKind::kEasgd &&
+            prev_strategy != StrategyKind::kEasgd)
+          ctx.sync_shared.easgd_center =
+              ctx.replicas[ctx.root_rank()]->flat_params();
+      } else if (phase_job.strategy == StrategyKind::kEasgd) {
+        ctx.sync_shared.easgd_center =
+            job.model_factory(job.seed)->get_flat_params();
+      }
+
+      CommBackend& backend = lifecycle.create(
+          phase_job, ctx.faults.get(), have_carried ? &carried : nullptr);
+      if (index > 0 && phase_job.strategy == StrategyKind::kSsp &&
+          prev_strategy != StrategyKind::kSsp)
+        // Entering SSP from a synchronous phase: every worker resumes at
+        // the boundary iteration, so the staleness clocks start there (the
+        // carried clocks, if any, describe a store no SSP loop ran
+        // against).
+        backend.central_store()->seed_worker_clocks(boundary);
+
+      run_phase(ctx, phase_job, index, phased, backend);
+
+      // Quiesce and decide: switch to the next phase, or the run is over
+      // (budget spent / stop agreed / SSP stop flag) and later phases never
+      // execute.
+      lifecycle.drain();
+      bool switch_pending = false;
+      if (phased && index + 1 < phase_count) {
+        for (const WorkerHandoff& capture : ctx.captures)
+          if (!capture.casualty && capture.paused_at_boundary &&
+              !capture.parked) {
+            switch_pending = true;
+            boundary = std::max(boundary, capture.iteration);
+          }
+        if (phase_job.strategy == StrategyKind::kSsp &&
+            ctx.ssp_shared.stop.load())
+          switch_pending = false;
+      }
+      if (!switch_pending) {
+        lifecycle.teardown();
+        break;
+      }
+      carried = lifecycle.handoff();
+      have_carried = true;
+      lifecycle.teardown();
+      prev_strategy = phase_job.strategy;
+    }
+  } catch (...) {
+    // The transport session must be torn down — shutdown verbs, closed
+    // connections, reaped worker processes — before the first worker error
+    // propagates.
+    ctx.session->finish();
+    throw;
+  }
+  ctx.session->finish();
+
+  const bool ssp_final = final_family == StrategyKind::kSsp;
+  TrainResult result = ssp_final ? std::move(ctx.ssp_shared.result)
+                                 : std::move(ctx.sync_shared.result);
+  // Every rank's final clock lives in the shared state of the family it
+  // exited in; a run cannot mix families per rank (crash plans may not
+  // cross a family switch, and without casualties every rank finishes in
+  // the last phase), so the final family's vector is complete.
+  const std::vector<double>& sim_time = ssp_final
+                                            ? ctx.ssp_shared.worker_sim_time
+                                            : ctx.sync_shared.worker_sim_time;
+  result.sim_time_s =
+      *std::max_element(sim_time.begin(), sim_time.end());
+  result.wall_time_s = wall.elapsed_s();
+  if (ctx.faults) result.faults = ctx.faults->summary();
+  return result;
 }
 
 }  // namespace selsync

@@ -8,18 +8,58 @@
 namespace selsync::detail {
 
 WorkerLoop::WorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                       std::unique_ptr<Replica> replica, CommBackend& backend,
-                       FaultInjector* faults)
+                       Replica* replica, CommBackend& backend,
+                       FaultInjector* faults, const WorkerPhase& phase)
     : job_(job),
       ctx_(ctx),
       backend_(backend),
       faults_(faults),
-      replica_(std::move(replica)),
+      replica_(replica),
       time_(job.paper_model, job.device, job.network, job.topology,
             job.workers),
       steps_per_epoch_(job.steps_per_epoch()),
       speed_(job.worker_speed.empty() ? 1.0 : job.worker_speed[ctx.rank]),
-      take_checkpoints_(faults && faults->needs_checkpoints(ctx.rank)) {}
+      end_iteration_(phase.end_iteration),
+      gradchange_below_(phase.gradchange_below),
+      gradchange_min_iteration_(phase.gradchange_min_iteration),
+      handoff_out_(phase.handoff),
+      take_checkpoints_(faults && faults->needs_checkpoints(ctx.rank)) {
+  // Resume the loop-generic counters from the previous phase's capture; the
+  // concrete loops restore their own state on top (DESIGN.md §14).
+  if (const WorkerHandoff* r = phase.resume) {
+    it_ = r->iteration;
+    executed_ = r->executed;
+    sim_time_ = r->sim_time;
+    comm_bytes_ = r->comm_bytes;
+    reached_ = r->reached;
+    diverged_ = r->diverged;
+    eval_history_ = r->eval_history;
+    local_bests_ = r->local_bests;
+  }
+}
+
+void WorkerLoop::capture_handoff(WorkerHandoff& out) const {
+  out.iteration = it_;
+  out.executed = executed_;
+  out.sim_time = sim_time_;
+  out.comm_bytes = comm_bytes_;
+  out.reached = reached_;
+  out.diverged = diverged_;
+  out.casualty = casualty_;
+  // Overwritten by pause_worker() / the concrete loop where applicable; set
+  // here so a finish capture cannot inherit a stale pause from the capture
+  // slot's previous phase.
+  out.paused_at_boundary = false;
+  out.parked = false;
+  out.eval_history = eval_history_;
+  out.local_bests = local_bests_;
+}
+
+void WorkerLoop::pause_worker() {
+  if (!handoff_out_) return;
+  capture_handoff(*handoff_out_);
+  handoff_out_->paused_at_boundary = true;
+}
 
 void WorkerLoop::run() {
   while (step()) {
@@ -37,6 +77,13 @@ bool WorkerLoop::step() {
         stage_ = Stage::kFinish;
         return true;
       }
+      // Phase boundary (DESIGN.md §14): checked before fault_stage so a
+      // crash or checkpoint scheduled exactly at the boundary iteration
+      // fires once, in the next phase — never in both.
+      if (it_ >= end_iteration_) {
+        stage_ = Stage::kPause;
+        return true;
+      }
       switch (fault_stage()) {
         case FaultAction::kExit:
           stage_ = Stage::kFinish;
@@ -44,6 +91,11 @@ bool WorkerLoop::step() {
         case FaultAction::kRetry:
           // Re-enter kFault without advancing (checkpoint rewind), exactly
           // the old loop's `continue` — budget/stop are re-checked first.
+          return true;
+        case FaultAction::kPause:
+          // Parked worker drained at the boundary: exit without teardown so
+          // the next phase can re-park it at its crash point.
+          stage_ = Stage::kPause;
           return true;
         case FaultAction::kProceed:
           stage_ = Stage::kData;
@@ -73,8 +125,21 @@ bool WorkerLoop::step() {
         stage_ = Stage::kFault;
       }
       return true;
+    case Stage::kPause:
+      // Exit at the phase boundary: capture the handoff, skip the finish
+      // teardown (the rendezvous and PS carry into the next phase), and
+      // leave the shared result untouched — only a finishing phase writes
+      // it.
+      pause_worker();
+      des_tick(sim_time_);
+      stage_ = Stage::kDone;
+      return false;
     case Stage::kFinish:
       finish_worker();
+      // Capture BEFORE publish(): publish moves eval_history_/traces into
+      // the shared result, and the trainer still reads the capture to learn
+      // the run is over (paused_at_boundary stays false).
+      if (handoff_out_) capture_handoff(*handoff_out_);
       publish();
       des_tick(sim_time_);
       stage_ = Stage::kDone;
@@ -90,10 +155,11 @@ bool WorkerLoop::step() {
 // ---------------------------------------------------------------------------
 
 SynchronousWorkerLoop::SynchronousWorkerLoop(
-    const TrainJob& job, WorkerContext& ctx, std::unique_ptr<Replica> replica,
+    const TrainJob& job, WorkerContext& ctx, Replica* replica,
     const DataInjector* injector, CommBackend& backend, FaultInjector* faults,
-    RejoinCoordinator* rejoin, SharedSyncState& shared)
-    : WorkerLoop(job, ctx, std::move(replica), backend, faults),
+    RejoinCoordinator* rejoin, SharedSyncState& shared,
+    const WorkerPhase& phase)
+    : WorkerLoop(job, ctx, replica, backend, faults, phase),
       injector_(injector),
       rejoin_(rejoin),
       shared_(shared),
@@ -102,7 +168,27 @@ SynchronousWorkerLoop::SynchronousWorkerLoop(
       agg_(aggregation_for(job)),
       full_group_(CommGroup::full(job.workers)),
       group_(full_group_) {
-  if (is_root() && job.ema_decay > 0.0) {
+  if (const WorkerHandoff* r = phase.resume) {
+    // Resume the bulk-synchronous state the previous phase captured. The
+    // replica's EMA tracker (if any) lives inside the persistent replica,
+    // so it is never re-initialized — only the armed flag carries over.
+    sync_steps_ = r->sync_steps;
+    local_steps_ = r->local_steps;
+    sync_rounds_ = r->sync_rounds;
+    sync_cost_totals_ = r->sync_cost;
+    grad_change_.restore(r->grad_change);
+    ema_enabled_ = r->ema_enabled;
+    delta_trace_ = r->delta_trace;
+    grad_sq_trace_ = r->grad_sq_trace;
+    snapshots_ = r->snapshots;
+    next_snapshot_ = r->next_snapshot;
+    resume_parked_ = r->parked;
+    // A policy without flag exchange schedules rounds by iteration count;
+    // realign its round counter when the previous phase ran a different
+    // policy (e.g. BSP every-step rounds -> LocalSGD interval rounds).
+    if (!policy_->needs_flag_exchange())
+      sync_rounds_ = policy_->rounds_before(it_);
+  } else if (is_root() && job.ema_decay > 0.0) {
     replica_->ema_init(job.ema_decay);
     ema_enabled_ = true;
   }
@@ -118,27 +204,44 @@ SynchronousWorkerLoop::SynchronousWorkerLoop(
 
 WorkerLoop::FaultAction SynchronousWorkerLoop::fault_stage() {
   // ---- checkpoint, crash, park, restart -----------------------------------
+  // A worker the previous phase drained while parked re-enters the wait at
+  // its crash iteration without re-recording the crash (or the checkpoint
+  // it already took there) — the fault log must read like one run.
+  const bool replay_park = resume_parked_;
+  resume_parked_ = false;
   if (faults_) {
     faults_->set_current_iteration(ctx_.rank, it_);
-    if (take_checkpoints_ &&
+    if (!replay_park && take_checkpoints_ &&
         it_ % faults_->plan().checkpoint_interval == 0) {
       replica_->save_checkpoint(it_);
       faults_->record(ctx_.rank, FaultKind::kCheckpoint, it_);
     }
     if (const CrashEvent* crash =
             faults_->crash_starting_at(ctx_.rank, it_)) {
-      faults_->record(ctx_.rank, FaultKind::kCrash, it_,
-                      crash->restart
-                          ? static_cast<double>(crash->downtime_iterations)
-                          : -1.0);
-      // A non-restarting crash — or a cluster that stops while this worker
-      // is parked — removes the rank for good; the survivors carry the run.
-      // The rendezvous keeps the restart out of barrier generations it is
-      // not part of: the worker sleeps until the lowest surviving rank
-      // reaches the top of the rejoin iteration.
-      if (!crash->restart || !rejoin_->wait_for_rejoin(ctx_.rank)) {
+      if (!replay_park)
+        faults_->record(ctx_.rank, FaultKind::kCrash, it_,
+                        crash->restart
+                            ? static_cast<double>(crash->downtime_iterations)
+                            : -1.0);
+      // A non-restarting crash removes the rank for good; the survivors
+      // carry the run. A restarting one parks: the rendezvous keeps the
+      // restart out of barrier generations it is not part of — the worker
+      // sleeps until the lowest surviving rank reaches the top of the
+      // rejoin iteration, the cluster stops, or a phase boundary drains it.
+      if (!crash->restart) {
         casualty_ = true;
         return FaultAction::kExit;
+      }
+      switch (rejoin_->wait_for_rejoin(ctx_.rank)) {
+        case RejoinWait::kStopped:
+          casualty_ = true;
+          return FaultAction::kExit;
+        case RejoinWait::kPaused:
+          parked_ = true;
+          return FaultAction::kPause;
+        case RejoinWait::kReleased:
+          parked_ = false;
+          break;
       }
       it_ = crash->at_iteration + crash->downtime_iterations;
       faults_->set_current_iteration(ctx_.rank, it_);
@@ -412,7 +515,43 @@ bool SynchronousWorkerLoop::instrumentation_stage() {
       return true;
     }
   }
+
+  // ---- Δ(g) switch trigger (DESIGN.md §14) --------------------------------
+  // An armed on-gradchange trigger ends the phase at the first iteration
+  // past its warmup whose cluster-max Δ(g) falls to the threshold. Every
+  // group member reduces the same value, so all agree on the boundary
+  // bit-for-bit; the exchange is priced like a flag round.
+  if (gradchange_below_ > 0.0 && it_ + 1 >= gradchange_min_iteration_) {
+    const double cluster_delta = backend_.allreduce_max(ctx_, delta_, group_);
+    sim_time_ += time_.flag_time();
+    comm_bytes_ += static_cast<double>(group_.size) / 8.0;
+    if (cluster_delta <= gradchange_below_) end_iteration_ = it_ + 1;
+  }
   return false;
+}
+
+void SynchronousWorkerLoop::capture_handoff(WorkerHandoff& out) const {
+  WorkerLoop::capture_handoff(out);
+  out.parked = parked_;
+  out.sync_steps = sync_steps_;
+  out.local_steps = local_steps_;
+  out.sync_rounds = sync_rounds_;
+  out.sync_cost = sync_cost_totals_;
+  out.grad_change = grad_change_.snapshot();
+  out.ema_enabled = ema_enabled_;
+  out.delta_trace = delta_trace_;
+  out.grad_sq_trace = grad_sq_trace_;
+  out.snapshots = snapshots_;
+  out.next_snapshot = next_snapshot_;
+}
+
+void SynchronousWorkerLoop::pause_worker() {
+  // The first survivor to reach the boundary drains the rejoin rendezvous
+  // so workers parked for rejoin exit this phase too (idempotent for the
+  // rest). A release racing the boundary still wins inside the rendezvous:
+  // a released worker rejoins in whichever phase its release landed in.
+  if (rejoin_) rejoin_->pause();
+  WorkerLoop::pause_worker();
 }
 
 void SynchronousWorkerLoop::finish_worker() {
@@ -452,12 +591,15 @@ void SynchronousWorkerLoop::publish() {
 // ---------------------------------------------------------------------------
 
 SspWorkerLoop::SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                             std::unique_ptr<Replica> replica,
-                             CommBackend& backend, FaultInjector* faults,
-                             SharedSspState& shared)
-    : WorkerLoop(job, ctx, std::move(replica), backend, faults),
+                             Replica* replica, CommBackend& backend,
+                             FaultInjector* faults, SharedSspState& shared,
+                             const WorkerPhase& phase)
+    : WorkerLoop(job, ctx, replica, backend, faults, phase),
       shared_(shared),
-      ps_(*backend.central_store()) {}
+      ps_(*backend.central_store()) {
+  if (const WorkerHandoff* r = phase.resume)
+    crash_fired_until_ = r->crash_fired_until;
+}
 
 WorkerLoop::FaultAction SspWorkerLoop::fault_stage() {
   compute_factor_ = speed_;
@@ -476,8 +618,10 @@ WorkerLoop::FaultAction SspWorkerLoop::fault_stage() {
                       crash->restart
                           ? static_cast<double>(crash->downtime_iterations)
                           : -1.0);
-      if (!crash->restart)
-        return FaultAction::kExit;  // permanent: survivors carry the run
+      if (!crash->restart) {
+        casualty_ = true;  // permanent: survivors carry the run
+        return FaultAction::kExit;
+      }
       // SSP has no collective coupling, so a restart is a plain rewind to
       // the last checkpoint: the replayed iterations are the lost work,
       // and the staleness bound then holds fast workers to the rewound
@@ -557,6 +701,11 @@ bool SspWorkerLoop::instrumentation_stage() {
     }
   }
   return false;  // stop propagates through stop_requested()
+}
+
+void SspWorkerLoop::capture_handoff(WorkerHandoff& out) const {
+  WorkerLoop::capture_handoff(out);
+  out.crash_fired_until = crash_fired_until_;
 }
 
 void SspWorkerLoop::finish_worker() { ps_.finish(ctx_.rank); }

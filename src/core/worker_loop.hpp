@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,7 @@
 #include "comm/comm_backend.hpp"
 #include "comm/fault_injector.hpp"
 #include "core/config.hpp"
+#include "core/handoff.hpp"
 #include "core/metrics.hpp"
 #include "core/replica.hpp"
 #include "core/sync_policy.hpp"
@@ -45,6 +47,27 @@
 #include "stats/grad_change.hpp"
 
 namespace selsync::detail {
+
+/// The SyncPlan execution window one loop instance runs inside
+/// (DESIGN.md §14). The phased trainer builds one per (phase, rank); the
+/// defaults describe the legacy single-phase run: no boundary, no trigger,
+/// nothing to resume, nothing to capture.
+struct WorkerPhase {
+  /// Pause boundary: the loop exits via Stage::kPause once it_ reaches
+  /// this iteration (the next phase resumes there). max() = run to the end.
+  uint64_t end_iteration = std::numeric_limits<uint64_t>::max();
+  /// kOnGradChange trigger, armed when > 0: the phase ends at the first
+  /// iteration >= gradchange_min_iteration whose cluster-max Δ(g) falls to
+  /// this threshold — evaluated on the control plane, so every worker
+  /// agrees on the boundary bit-for-bit.
+  double gradchange_below = 0.0;
+  uint64_t gradchange_min_iteration = 0;
+  /// The previous phase's capture for this rank (null on the first phase).
+  const WorkerHandoff* resume = nullptr;
+  /// Where this phase's exit — pause or finish — writes the rank's carried
+  /// state (null on legacy single-phase runs: nothing is captured).
+  WorkerHandoff* handoff = nullptr;
+};
 
 /// State shared by the bulk-synchronous workers of one run.
 struct SharedSyncState {
@@ -82,13 +105,17 @@ class WorkerLoop {
   /// The explicit state machine run()/step() walk. One iteration is
   /// kFault -> kData -> kCompute -> kAggregate -> kInstrument -> kFault;
   /// any stage may divert to kFinish (budget spent, stop agreed, worker
-  /// retired), which runs the teardown and lands in kDone.
+  /// retired), which runs the teardown and lands in kDone. Reaching the
+  /// phase's end_iteration diverts to kPause instead: the worker captures
+  /// its handoff and exits withOUT the finish teardown, so the next phase
+  /// can resume it (DESIGN.md §14).
   enum class Stage {
     kFault,
     kData,
     kCompute,
     kAggregate,
     kInstrument,
+    kPause,
     kFinish,
     kDone,
   };
@@ -111,12 +138,14 @@ class WorkerLoop {
   enum class FaultAction {
     kProceed,  // run this iteration
     kRetry,    // re-enter the loop without advancing (checkpoint rewind)
-    kExit      // worker leaves the run (permanent crash / cluster stopped)
+    kExit,     // worker leaves the run (permanent crash / cluster stopped)
+    kPause     // a phase boundary drained the cluster while parked; the
+               // worker exits via kPause and re-parks in the next phase
   };
 
-  WorkerLoop(const TrainJob& job, WorkerContext& ctx,
-             std::unique_ptr<Replica> replica, CommBackend& backend,
-             FaultInjector* faults);
+  WorkerLoop(const TrainJob& job, WorkerContext& ctx, Replica* replica,
+             CommBackend& backend, FaultInjector* faults,
+             const WorkerPhase& phase);
 
   /// Checked before every iteration (SSP's cross-worker stop flag).
   virtual bool stop_requested() const { return false; }
@@ -130,6 +159,13 @@ class WorkerLoop {
   /// detach), before publish().
   virtual void finish_worker() {}
   virtual void publish() = 0;
+  /// Fills the rank's phase-boundary capture; subclasses extend with their
+  /// own state (the handoff-sync lint pins the field set).
+  virtual void capture_handoff(WorkerHandoff& out) const;
+  /// Stage::kPause body: captures the handoff (paused_at_boundary set).
+  /// The synchronous loop overrides it to also drain the rejoin rendezvous
+  /// so workers parked for rejoin exit this phase too.
+  virtual void pause_worker();
 
   bool is_root() const { return ctx_.is_root(); }
 
@@ -141,8 +177,11 @@ class WorkerLoop {
   /// This rank's model/optimizer/data plane behind the transport seam
   /// (DESIGN.md §13): a LocalReplica in-proc, a RemoteReplica proxying a
   /// worker process over framed TCP. The loop's protocol logic is
-  /// carrier-blind — it issues the same verbs either way.
-  std::unique_ptr<Replica> replica_;
+  /// carrier-blind — it issues the same verbs either way. Owned by the
+  /// trainer, not the loop: replicas are created once per rank and persist
+  /// across SyncPlan phases (optimizer moments, EMA state and data cursors
+  /// carry over for free — DESIGN.md §14).
+  Replica* replica_;
   StepTimeModel time_;
   const uint64_t steps_per_epoch_;
   /// Systems heterogeneity (§II-A): this worker's compute-speed multiplier.
@@ -156,6 +195,17 @@ class WorkerLoop {
   double comm_bytes_ = 0.0;
   bool reached_ = false;
   bool diverged_ = false;
+  /// The worker left the run for good (permanent crash, or the cluster
+  /// stopped while it was parked); it does not run in later phases.
+  bool casualty_ = false;
+
+  // SyncPlan phase window (DESIGN.md §14): the pause boundary — which the
+  // armed Δ(g) trigger may pull in at run time — and where the exit writes
+  // this rank's carried state.
+  uint64_t end_iteration_;
+  const double gradchange_below_;
+  const uint64_t gradchange_min_iteration_;
+  WorkerHandoff* handoff_out_;
 
   // Fault-injection state: whether this rank maintains the replica's
   // standing checkpoint (only ranks the plan can crash-and-restart do).
@@ -171,10 +221,10 @@ class WorkerLoop {
 class SynchronousWorkerLoop final : public WorkerLoop {
  public:
   SynchronousWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                        std::unique_ptr<Replica> replica,
-                        const DataInjector* injector, CommBackend& backend,
-                        FaultInjector* faults, RejoinCoordinator* rejoin,
-                        SharedSyncState& shared);
+                        Replica* replica, const DataInjector* injector,
+                        CommBackend& backend, FaultInjector* faults,
+                        RejoinCoordinator* rejoin, SharedSyncState& shared,
+                        const WorkerPhase& phase);
 
  protected:
   FaultAction fault_stage() override;
@@ -185,6 +235,8 @@ class SynchronousWorkerLoop final : public WorkerLoop {
   bool instrumentation_stage() override;
   void finish_worker() override;
   void publish() override;
+  void capture_handoff(WorkerHandoff& out) const override;
+  void pause_worker() override;
 
  private:
   const DataInjector* injector_;
@@ -201,9 +253,11 @@ class SynchronousWorkerLoop final : public WorkerLoop {
   /// synchronization round (aggregation rounds and recovery syncs); the
   /// root's copy lands in TrainResult::sync_cost.
   SyncCostTotals sync_cost_totals_;
-  /// Whether this worker left the run as a casualty (permanent crash, or
-  /// cluster stopped while parked).
-  bool casualty_ = false;
+  /// Whether this worker is parked awaiting rejoin (crash fired, restart
+  /// pending). A phase boundary drains parked workers too — they re-park in
+  /// the next phase without re-recording the crash (resume_parked_).
+  bool parked_ = false;
+  bool resume_parked_ = false;
   double compute_factor_ = 1.0;
   std::vector<float> grads_;
   double delta_ = 0.0;
@@ -226,9 +280,9 @@ class SynchronousWorkerLoop final : public WorkerLoop {
 /// staleness bound (paper §II-C).
 class SspWorkerLoop final : public WorkerLoop {
  public:
-  SspWorkerLoop(const TrainJob& job, WorkerContext& ctx,
-                std::unique_ptr<Replica> replica, CommBackend& backend,
-                FaultInjector* faults, SharedSspState& shared);
+  SspWorkerLoop(const TrainJob& job, WorkerContext& ctx, Replica* replica,
+                CommBackend& backend, FaultInjector* faults,
+                SharedSspState& shared, const WorkerPhase& phase);
 
  protected:
   bool stop_requested() const override { return shared_.stop.load(); }
@@ -240,6 +294,7 @@ class SspWorkerLoop final : public WorkerLoop {
   bool instrumentation_stage() override;
   void finish_worker() override;
   void publish() override;
+  void capture_handoff(WorkerHandoff& out) const override;
 
  private:
   SharedSspState& shared_;

@@ -8,6 +8,16 @@
 
 namespace selsync {
 
+/// A copyable capture of an Ewma's full mutable state. Carried across phase
+/// boundaries by the SyncPlan handoff (DESIGN.md §14); the handoff-sync
+/// lint pass pins these fields against Ewma's members, so adding state to
+/// one without the other fails `selsync_lint --rules handoff-sync`.
+struct EwmaSnapshot {
+  double value = 0.0;
+  bool initialized = false;
+  std::deque<double> history;
+};
+
 class Ewma {
  public:
   /// `alpha` in (0, 1]: weight of the newest observation. The paper uses
@@ -29,6 +39,19 @@ class Ewma {
   /// paper's RelativeGradChange maintains; O(window) — this is exactly the
   /// cost Fig. 8a measures growing with the window size).
   double windowed_variance() const;
+
+  /// Captures the mutable state (not alpha/window — those are config and
+  /// travel with the phase's TrainJob, not the handoff).
+  EwmaSnapshot snapshot() const { return {value_, initialized_, history_}; }
+
+  /// Restores a capture taken by snapshot(); alpha/window keep the values
+  /// this Ewma was constructed with.
+  void restore(const EwmaSnapshot& snap) {
+    value_ = snap.value;
+    initialized_ = snap.initialized;
+    history_ = snap.history;
+    while (history_.size() > window_) history_.pop_front();
+  }
 
  private:
   double alpha_;

@@ -12,6 +12,17 @@
 
 namespace selsync {
 
+/// A copyable capture of a RelativeGradChange's full mutable state,
+/// carried across SyncPlan phase boundaries so a successor backend sees
+/// the same Δ(g) trajectory the predecessor did (DESIGN.md §14). The
+/// handoff-sync lint pass pins these fields against the class members.
+struct GradChangeSnapshot {
+  EwmaSnapshot ewma;
+  double prev_smoothed = 0.0;
+  double last_delta = 0.0;
+  size_t iterations = 0;
+};
+
 class RelativeGradChange {
  public:
   /// `alpha`/`window` parameterize the EWMA (paper: window 25, alpha N/100).
@@ -31,6 +42,20 @@ class RelativeGradChange {
   /// Variance of the retained norm window; part of the per-iteration
   /// statistic whose cost Fig. 8a measures.
   double windowed_variance() const { return ewma_.windowed_variance(); }
+
+  /// Captures the mutable state for a SyncPlan phase handoff.
+  GradChangeSnapshot snapshot() const {
+    return {ewma_.snapshot(), prev_smoothed_, last_delta_, iterations_};
+  }
+
+  /// Restores a capture taken by snapshot(); alpha/window stay as
+  /// constructed (they are phase config, not handoff state).
+  void restore(const GradChangeSnapshot& snap) {
+    ewma_.restore(snap.ewma);
+    prev_smoothed_ = snap.prev_smoothed;
+    last_delta_ = snap.last_delta;
+    iterations_ = snap.iterations;
+  }
 
  private:
   Ewma ewma_;

@@ -309,7 +309,7 @@ TEST(RejoinCoordinator, ReleaseWakesParkedWorker) {
   RejoinCoordinator coord(2);
   std::atomic<int> state{0};
   std::thread parked([&] {
-    const bool released = coord.wait_for_rejoin(1);
+    const bool released = coord.wait_for_rejoin(1) == RejoinWait::kReleased;
     state.store(released ? 1 : -1);
   });
   coord.release(1);
@@ -318,12 +318,45 @@ TEST(RejoinCoordinator, ReleaseWakesParkedWorker) {
   // The slot re-arms: a second crash of the same rank parks again and a
   // shutdown lets it exit as a casualty.
   std::thread parked_again([&] {
-    const bool released = coord.wait_for_rejoin(1);
+    const bool released = coord.wait_for_rejoin(1) == RejoinWait::kReleased;
     state.store(released ? 2 : -2);
   });
   coord.shutdown();
   parked_again.join();
   EXPECT_EQ(state.load(), -2);
+}
+
+TEST(RejoinCoordinator, PauseDrainsAndResumeRearms) {
+  RejoinCoordinator coord(2);
+  std::atomic<int> state{0};
+  // A phase boundary drains a parked rank with kPaused...
+  std::thread parked([&] {
+    state.store(coord.wait_for_rejoin(1) == RejoinWait::kPaused ? 1 : -1);
+  });
+  coord.pause();
+  parked.join();
+  EXPECT_EQ(state.load(), 1);
+  // ...and after resume() the same rank parks again in the next phase and
+  // a normal release still wins.
+  coord.resume();
+  std::thread reparked([&] {
+    state.store(coord.wait_for_rejoin(1) == RejoinWait::kReleased ? 2 : -2);
+  });
+  coord.release(1);
+  reparked.join();
+  EXPECT_EQ(state.load(), 2);
+}
+
+TEST(RejoinCoordinator, ReleaseWinsOverConcurrentPause) {
+  // A release landing before the pause is observed must resolve kReleased:
+  // the rejoin belongs to the boundary iteration itself, not the next
+  // phase.
+  RejoinCoordinator coord(2);
+  coord.release(1);
+  coord.pause();
+  EXPECT_EQ(coord.wait_for_rejoin(1), RejoinWait::kReleased);
+  // With the release consumed, the still-pending pause drains the rank.
+  EXPECT_EQ(coord.wait_for_rejoin(1), RejoinWait::kPaused);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// SyncPlan surface tests (DESIGN.md §14): the --switch-to spec parser,
+// phase-job derivation, parse-time plan validation (an invalid *later*
+// phase must fail with its phase index in the message), and the run-record
+// gate — a planless job serializes without any sync_plan key, byte for
+// byte as before the feature existed.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/run_record.hpp"
+#include "core/sync_plan.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+SyncPhase switch_at(uint64_t iteration) {
+  SyncPhase phase;
+  phase.trigger.kind = SwitchTriggerKind::kAtIteration;
+  phase.trigger.at_iteration = iteration;
+  return phase;
+}
+
+void expect_invalid(const TrainJob& job, const std::string& needle) {
+  try {
+    job.validate();
+    FAIL() << "expected std::invalid_argument containing '" << needle << "'";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "actual message: " << error.what();
+  }
+}
+
+template <typename Fn>
+std::string invalid_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return {};
+}
+
+// ---- parse_sync_phase_spec ------------------------------------------------
+
+TEST(SyncPhaseSpec, BareStrategyName) {
+  const SyncPhase phase = parse_sync_phase_spec("selsync");
+  ASSERT_TRUE(phase.strategy.has_value());
+  EXPECT_TRUE(*phase.strategy == StrategyKind::kSelSync);
+  EXPECT_FALSE(phase.backend.has_value());
+  EXPECT_FALSE(phase.compression.has_value());
+  EXPECT_FALSE(phase.slices.has_value());
+  EXPECT_FALSE(phase.ps_shards.has_value());
+}
+
+TEST(SyncPhaseSpec, KeyValueOverrides) {
+  const SyncPhase phase = parse_sync_phase_spec(
+      "strategy=bsp,backend=ring,codec=topk,slices=4,ps-shards=2");
+  ASSERT_TRUE(phase.strategy.has_value());
+  EXPECT_TRUE(*phase.strategy == StrategyKind::kBsp);
+  ASSERT_TRUE(phase.backend.has_value());
+  EXPECT_TRUE(*phase.backend == BackendKind::kRing);
+  ASSERT_TRUE(phase.compression.has_value());
+  EXPECT_TRUE(phase.compression->kind == CompressionKind::kTopK);
+  EXPECT_EQ(phase.slices.value_or(0), 4u);
+  EXPECT_EQ(phase.ps_shards.value_or(0), 2u);
+}
+
+TEST(SyncPhaseSpec, PartialOverridesLeaveTheRestUnset) {
+  const SyncPhase phase = parse_sync_phase_spec("backend=tree");
+  EXPECT_FALSE(phase.strategy.has_value());
+  ASSERT_TRUE(phase.backend.has_value());
+  EXPECT_TRUE(*phase.backend == BackendKind::kTree);
+}
+
+TEST(SyncPhaseSpec, RejectsBadSpecsWithPointedMessages) {
+  EXPECT_NE(invalid_message([] { parse_sync_phase_spec(""); })
+                .find("empty phase spec"),
+            std::string::npos);
+  const std::string unknown =
+      invalid_message([] { parse_sync_phase_spec("selsnyc"); });
+  EXPECT_NE(unknown.find("unknown strategy 'selsnyc'"), std::string::npos);
+  EXPECT_NE(unknown.find("selsync"), std::string::npos);  // the accepted set
+  EXPECT_NE(invalid_message([] { parse_sync_phase_spec("topology=ring"); })
+                .find("unknown override key 'topology'"),
+            std::string::npos);
+  EXPECT_NE(invalid_message([] { parse_sync_phase_spec("backend=ring,"); })
+                .find("empty override"),
+            std::string::npos);
+  EXPECT_NE(invalid_message([] { parse_sync_phase_spec("slices=four"); })
+                .find("not a number"),
+            std::string::npos);
+  EXPECT_NE(invalid_message([] { parse_sync_phase_spec("ring,tree"); })
+                .find("not key=value"),
+            std::string::npos);
+}
+
+// ---- derive_phase_job -----------------------------------------------------
+
+TEST(DerivePhaseJob, PhaseZeroIsTheBaseJobWithoutThePlan) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.sync_plan.phases.push_back(switch_at(20));
+  const TrainJob derived = derive_phase_job(job, 0);
+  EXPECT_TRUE(derived.sync_plan.empty());
+  EXPECT_TRUE(derived.strategy == StrategyKind::kBsp);
+}
+
+TEST(DerivePhaseJob, AppliesOverridesOnTopOfTheBase) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  SyncPhase phase = switch_at(20);
+  phase.strategy = StrategyKind::kSelSync;
+  phase.backend = BackendKind::kRing;
+  phase.slices = 4;
+  job.sync_plan.phases.push_back(phase);
+  const TrainJob derived = derive_phase_job(job, 1);
+  EXPECT_TRUE(derived.sync_plan.empty());
+  EXPECT_TRUE(derived.strategy == StrategyKind::kSelSync);
+  EXPECT_TRUE(derived.backend == BackendKind::kRing);
+  EXPECT_EQ(derived.slices, 4u);
+  // Untouched knobs keep the base values.
+  EXPECT_EQ(derived.workers, job.workers);
+  EXPECT_EQ(derived.max_iterations, job.max_iterations);
+}
+
+TEST(DerivePhaseJob, IndexPastThePlanThrows) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.sync_plan.phases.push_back(switch_at(20));
+  EXPECT_THROW(derive_phase_job(job, 2), std::out_of_range);
+}
+
+// ---- validate_sync_plan (via TrainJob::validate) --------------------------
+
+TEST(SyncPlanValidate, AcceptsAWellFormedTwoPointPlan) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  SyncPhase mid = switch_at(10);
+  mid.strategy = StrategyKind::kSelSync;
+  job.sync_plan.phases.push_back(mid);
+  job.sync_plan.phases.push_back(switch_at(20));
+  EXPECT_NO_THROW(job.validate());
+}
+
+TEST(SyncPlanValidate, BoundariesMustStrictlyIncrease) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.sync_plan.phases.push_back(switch_at(20));
+  job.sync_plan.phases.push_back(switch_at(20));
+  expect_invalid(job,
+                 "sync_plan phase 2: at-iteration trigger must be strictly "
+                 "after the previous boundary (iteration 20)");
+}
+
+TEST(SyncPlanValidate, BoundaryPastTheBudgetNeverRuns) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.sync_plan.phases.push_back(switch_at(40));
+  expect_invalid(job,
+                 "sync_plan phase 1: at-iteration trigger at or past "
+                 "max_iterations (40)");
+}
+
+TEST(SyncPlanValidate, GradChangeMustBeFinalAndPositive) {
+  TrainJob job = small_class_job(StrategyKind::kSelSync, 40);
+  SyncPhase calm = switch_at(0);
+  calm.trigger.kind = SwitchTriggerKind::kOnGradChange;
+  calm.trigger.gradchange_below = 0.1;
+  calm.trigger.min_iteration = 5;
+  job.sync_plan.phases.push_back(calm);
+  job.sync_plan.phases.push_back(switch_at(30));
+  expect_invalid(job,
+                 "sync_plan phase 2: an on-gradchange switch point must be "
+                 "the final one");
+
+  job.sync_plan.phases.clear();
+  calm.trigger.gradchange_below = 0.0;
+  job.sync_plan.phases.push_back(calm);
+  expect_invalid(job, "sync_plan phase 1: on-gradchange threshold must be > 0");
+}
+
+TEST(SyncPlanValidate, GradChangeCannotEndAnSspPhase) {
+  TrainJob job = small_class_job(StrategyKind::kSsp, 40);
+  job.backend = BackendKind::kParameterServer;
+  job.ssp.staleness = 3;
+  SyncPhase calm;
+  calm.trigger.kind = SwitchTriggerKind::kOnGradChange;
+  calm.trigger.gradchange_below = 0.1;
+  calm.strategy = StrategyKind::kBsp;
+  job.sync_plan.phases.push_back(calm);
+  expect_invalid(job, "use an at-iteration trigger to leave an SSP phase");
+}
+
+TEST(SyncPlanValidate, InvalidLaterPhaseFailsAtParseTimeWithItsIndex) {
+  // Phase 2's override is illegal on its own (ps_shards on a non-PS
+  // backend); the plan must reject it now, with the phase index prefixed,
+  // not blow up mid-run after phase 1 trained.
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  SyncPhase fine = switch_at(10);
+  SyncPhase broken = switch_at(20);
+  broken.ps_shards = 4;
+  job.sync_plan.phases.push_back(fine);
+  job.sync_plan.phases.push_back(broken);
+  expect_invalid(job, "sync_plan phase 2: ");
+}
+
+TEST(SyncPlanValidate, CrashPlansCannotCrossLoopFamilies) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  job.faults.crashes.push_back({2, 10, 5, true});
+  SyncPhase to_ssp = switch_at(20);
+  to_ssp.strategy = StrategyKind::kSsp;
+  job.sync_plan.phases.push_back(to_ssp);
+  expect_invalid(job,
+                 "a crash plan cannot cross a switch between the synchronous "
+                 "and SSP loop families");
+}
+
+// ---- run-record gate ------------------------------------------------------
+
+TEST(SyncPlanRecord, PlanlessJobsSerializeNoSyncPlanKey) {
+  const TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  EXPECT_EQ(job_to_json(job).dump().find("sync_plan"), std::string::npos);
+}
+
+TEST(SyncPlanRecord, PlanSerializesTriggersAndOverridesByName) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, 40);
+  SyncPhase mid = switch_at(10);
+  mid.strategy = StrategyKind::kSelSync;
+  mid.backend = BackendKind::kRing;
+  SyncPhase calm;
+  calm.trigger.kind = SwitchTriggerKind::kOnGradChange;
+  calm.trigger.gradchange_below = 0.25;
+  calm.trigger.min_iteration = 15;
+  job.sync_plan.phases.push_back(mid);
+  job.sync_plan.phases.push_back(calm);
+
+  const std::string json = job_to_json(job).dump();
+  EXPECT_NE(json.find("\"sync_plan\""), std::string::npos);
+  // Pinned serialized spellings: records written today must parse forever.
+  EXPECT_NE(json.find("\"AtIteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"OnGradChange\""), std::string::npos);
+  EXPECT_NE(json.find("\"at_iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"gradchange_below\""), std::string::npos);
+  EXPECT_NE(json.find("\"min_iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"SelSync\""), std::string::npos);
+  EXPECT_NE(json.find("\"ring\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -1,0 +1,161 @@
+// Chaos at the switch boundary (DESIGN.md §14): the fault machinery and
+// the SyncPlan drain interact at exactly one point — a worker can crash,
+// park, or leave for good at the same iteration a phase boundary drains
+// the cluster. Every combination must release all waiters in both the old
+// and the new backend (no stranded collective, no deadlock under TSan),
+// keep the fault log reading like one run, and finish with a usable model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/run_record.hpp"
+#include "core/sync_plan.hpp"
+#include "core/trainer.hpp"
+#include "tests/core/test_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using testing::small_class_job;
+
+SyncPhase switch_at(uint64_t iteration) {
+  SyncPhase phase;
+  phase.trigger.kind = SwitchTriggerKind::kAtIteration;
+  phase.trigger.at_iteration = iteration;
+  return phase;
+}
+
+TrainJob switching_job(const FaultPlan& plan, uint64_t iterations = 120) {
+  TrainJob job = small_class_job(StrategyKind::kBsp, iterations);
+  job.workers = 8;
+  job.selsync.delta = 0.02;
+  job.faults = plan;
+  return job;
+}
+
+void expect_trained(const TrainResult& r) {
+  EXPECT_FALSE(r.diverged);
+  EXPECT_TRUE(std::isfinite(r.final_eval.loss));
+  EXPECT_LT(r.final_eval.loss, 2.2);
+  EXPECT_GT(r.best_top1, 0.2);
+}
+
+// The crash lands exactly ON the boundary iteration. The pause check runs
+// before the fault stage, so the crash must fire once — in the new phase —
+// not once per phase, and the rejoin waiters parked in the old backend
+// must all be released by the drain.
+TEST(SwitchChaos, CrashExactlyAtBoundaryFiresOnce) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.checkpoint_interval = 20;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({2, 50, 20, true});
+  TrainJob job = switching_job(plan);
+  SyncPhase to_selsync = switch_at(50);
+  to_selsync.strategy = StrategyKind::kSelSync;
+  job.sync_plan.phases.push_back(to_selsync);
+
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 1u);
+  EXPECT_EQ(r.faults.recovery_syncs, 1u);
+}
+
+// The crash downtime spans the boundary: the worker parks in phase 0, the
+// boundary drains it, it re-parks in phase 1 without re-recording the
+// crash, and the survivors' rejoin release finds it in the new backend.
+TEST(SwitchChaos, ParkSpansBoundaryWithoutDuplicateEvents) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.checkpoint_interval = 20;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({3, 45, 20, true});
+  TrainJob job = switching_job(plan);
+  job.sync_plan.phases.push_back(switch_at(55));
+
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 1u);
+  size_t crash_events = 0;
+  for (const FaultEvent& e : r.faults.events)
+    if (e.kind == FaultKind::kCrash) ++crash_events;
+  EXPECT_EQ(crash_events, 1u);
+}
+
+// A permanent casualty before the boundary: the rank must sit out every
+// later phase (its capture is frozen), while the survivors cross the
+// switch and finish the full budget.
+TEST(SwitchChaos, CasualtySitsOutLaterPhases) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.crashes.push_back({5, 40, 0, false});
+  TrainJob job = switching_job(plan);
+  SyncPhase to_selsync = switch_at(60);
+  to_selsync.strategy = StrategyKind::kSelSync;
+  job.sync_plan.phases.push_back(to_selsync);
+
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.restarts, 0u);
+}
+
+// The permanent crash lands exactly ON the boundary: the pause wins (the
+// worker reaches the boundary *before* the fault stage runs), the rank
+// crosses into phase 1, and the crash retires it there.
+TEST(SwitchChaos, PermanentCrashOnBoundaryRetiresInNextPhase) {
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.crashes.push_back({4, 50, 0, false});
+  TrainJob job = switching_job(plan);
+  job.sync_plan.phases.push_back(switch_at(50));
+
+  const TrainResult r = run_training(job);
+  EXPECT_EQ(r.iterations, 120u);
+  expect_trained(r);
+  EXPECT_EQ(r.faults.crashes, 1u);
+}
+
+// Two switch points with faults active throughout: stragglers and message
+// chaos across three phases, a crash parked across the middle one. The
+// run record must be byte-stable across invocations — the fault decision
+// streams are continuous across phases, so a re-run replays the identical
+// schedule.
+TEST(SwitchChaos, ThreePhaseChaosIsReproducible) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.checkpoint_interval = 20;
+  plan.restart_cost_s = 0.5;
+  plan.crashes.push_back({2, 38, 14, true});
+  plan.stragglers.push_back({1, 20, 30, 3.0});
+  plan.messages.drop_prob = 0.05;
+  plan.messages.delay_prob = 0.1;
+  TrainJob job = switching_job(plan);
+  SyncPhase mid = switch_at(40);
+  mid.strategy = StrategyKind::kSelSync;
+  SyncPhase tail = switch_at(80);
+  tail.strategy = StrategyKind::kBsp;
+  job.sync_plan.phases.push_back(mid);
+  job.sync_plan.phases.push_back(tail);
+
+  const auto record = [&] {
+    TrainResult r = run_training(job);
+    expect_trained(r);
+    r.wall_time_s = 0.0;
+    JsonValue rec = JsonValue::object();
+    rec.set("job", job_to_json(job));
+    rec.set("result", result_to_json(r));
+    return rec.dump();
+  };
+  const std::string first = record();
+  const std::string second = record();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace selsync

@@ -15,6 +15,7 @@
 #include "comm/parameter_server.hpp"
 #include "comm/slice_schedule.hpp"
 #include "core/config.hpp"
+#include "core/sync_plan.hpp"
 #include "data/partition.hpp"
 #include "nn/models.hpp"
 #include "util/enum_names.hpp"
@@ -88,6 +89,14 @@ TEST(EnumRoundTrip, TransportKind) {
   ExpectTableRoundTrips(kTransportKindNames);
 }
 
+TEST(EnumRoundTrip, SwitchTriggerKindDisplay) {
+  ExpectTableRoundTrips(kSwitchTriggerKindNames);
+}
+
+TEST(EnumRoundTrip, SwitchTriggerKindCli) {
+  ExpectTableRoundTrips(kSwitchTriggerKindCliNames);
+}
+
 // The golden run records pin these exact serialized spellings; a renamed
 // table entry must fail here before it reaches the parity grid.
 TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {
@@ -102,6 +111,16 @@ TEST(EnumRoundTrip, GoldenRecordSpellingsArePinned) {
                "output-first");
   EXPECT_STREQ(slice_schedule_kind_name(SliceScheduleKind::kInputFirst),
                "input-first");
+  // Plan-bearing run records (sync_plan non-empty) serialize the trigger
+  // kind by name; the CLI accepts the kebab-case twins.
+  EXPECT_STREQ(switch_trigger_kind_name(SwitchTriggerKind::kAtIteration),
+               "AtIteration");
+  EXPECT_STREQ(switch_trigger_kind_name(SwitchTriggerKind::kOnGradChange),
+               "OnGradChange");
+  EXPECT_TRUE(switch_trigger_kind_from_name("at-iteration") ==
+              SwitchTriggerKind::kAtIteration);
+  EXPECT_TRUE(switch_trigger_kind_from_name("on-gradchange") ==
+              SwitchTriggerKind::kOnGradChange);
 }
 
 // The CLI parse glue advertises the accepted set on a typo.

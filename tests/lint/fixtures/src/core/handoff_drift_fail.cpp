@@ -1,0 +1,21 @@
+// handoff-sync fail fixture: the loop grew a stateful member (momentum_)
+// that is neither carried into DemoSnapshot nor skip-listed — the exact
+// silently-dropped-at-a-switch drift the rule exists to catch.
+#include <cstdint>
+
+struct DemoSnapshot {
+  uint64_t cursor = 0;
+  double total = 0.0;
+  bool boundary_exit = false;
+};
+
+class DemoLoop {
+ public:
+  void run();
+
+ private:
+  uint64_t cursor_ = 0;
+  double total_ = 0.0;
+  double scratch_ = 0.0;
+  double momentum_ = 0.0;
+};

@@ -1,0 +1,19 @@
+// handoff-sync fail fixture: the loop member total_ was deleted but the
+// manifest still carries it — a stale pin must fail loudly so the contract
+// and the source move in the same commit.
+#include <cstdint>
+
+struct DemoSnapshot {
+  uint64_t cursor = 0;
+  double total = 0.0;
+  bool boundary_exit = false;
+};
+
+class DemoLoop {
+ public:
+  void run();
+
+ private:
+  uint64_t cursor_ = 0;
+  double scratch_ = 0.0;
+};

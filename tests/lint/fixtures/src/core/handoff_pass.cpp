@@ -1,0 +1,21 @@
+// handoff-sync pass fixture: the snapshot and the loop agree with the
+// fixture manifest — every loop member is carried or skip-listed, every
+// snapshot field is covered by a carry/pin line.
+#include <cstdint>
+
+struct DemoSnapshot {
+  uint64_t cursor = 0;
+  double total = 0.0;
+  bool boundary_exit = false;
+};
+
+class DemoLoop {
+ public:
+  void run();
+  uint64_t cursor() const { return cursor_; }
+
+ private:
+  uint64_t cursor_ = 0;
+  double total_ = 0.0;
+  double scratch_ = 0.0;
+};

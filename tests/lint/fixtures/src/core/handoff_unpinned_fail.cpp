@@ -1,0 +1,21 @@
+// handoff-sync fail fixture: the snapshot grew a field (debt) no carry or
+// pin line covers — either dead weight or a deleted manifest line; both
+// must fail.
+#include <cstdint>
+
+struct DemoSnapshot {
+  uint64_t cursor = 0;
+  double total = 0.0;
+  bool boundary_exit = false;
+  double debt = 0.0;
+};
+
+class DemoLoop {
+ public:
+  void run();
+
+ private:
+  uint64_t cursor_ = 0;
+  double total_ = 0.0;
+  double scratch_ = 0.0;
+};

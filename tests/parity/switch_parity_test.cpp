@@ -1,0 +1,257 @@
+// SyncPlan switch parity (DESIGN.md §14).
+//
+// Two bit-identity claims anchor the phased lifecycle:
+//
+//  1. Degenerate switch: a plan that switches to an *identical* config at
+//     iteration k — drain the backend, extract/adopt the whole handoff,
+//     rebuild the backend, resume every loop — must be byte-identical to
+//     the same job run with no plan at all, on BOTH engines. Any state the
+//     handoff fails to carry (codec residuals, the PS store, the Δ(g)
+//     EWMA, a parked worker's rejoin schedule) shows up here as a bit
+//     divergence.
+//
+//  2. Real switches replay identically across engines: a thread run and a
+//     DES run of the same switching job produce the same record and the
+//     same final float32 weights, because the boundary is a plain
+//     iteration count (or a control-plane Δ(g) agreement) either engine
+//     reaches deterministically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sync_plan.hpp"
+#include "tests/parity/parity_jobs.hpp"
+
+namespace selsync {
+namespace {
+
+using parity::ParityCase;
+using parity::crash_rejoin_plan;
+using parity::sized_job;
+
+SyncPhase switch_at(uint64_t iteration) {
+  SyncPhase phase;
+  phase.trigger.kind = SwitchTriggerKind::kAtIteration;
+  phase.trigger.at_iteration = iteration;
+  return phase;
+}
+
+/// The degenerate-switch matrix: each case stresses one handoff payload.
+std::vector<ParityCase> degenerate_matrix() {
+  std::vector<ParityCase> cases;
+  auto add = [&](std::string name, TrainJob job, uint64_t boundary) {
+    job.sync_plan.phases.push_back(switch_at(boundary));
+    cases.push_back({std::move(name), std::move(job)});
+  };
+
+  // Plain BSP: loop counters, eval history, the root's observability.
+  add("bsp_shared", sized_job(StrategyKind::kBsp, 4, 24), 12);
+
+  // SelSync: the Δ(g) EWMA window and the sync/local step split must
+  // resume mid-trajectory.
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    add("selsync_shared", job, 12);
+  }
+
+  // Top-k in gradient space: per-rank error-feedback residuals cross the
+  // boundary through BackendHandoff.
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    job.compression.kind = CompressionKind::kTopK;
+    job.compression.topk_fraction = 0.25;
+    add("selsync_ga_topk_shared", job, 12);
+  }
+
+  // Chunked transport: the ring's per-(rank, slot) ChunkCodec residuals.
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    job.compression.kind = CompressionKind::kTopK;
+    job.compression.topk_fraction = 0.25;
+    job.backend = BackendKind::kRing;
+    add("selsync_ga_topk_ring", job, 12);
+  }
+
+  // Central store: the PS backend's global parameters carry over instead
+  // of being re-seeded from the iteration-0 model.
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.backend = BackendKind::kParameterServer;
+    add("bsp_ps", job, 12);
+  }
+
+  // EASGD: the elastic center lives in shared state and must NOT be
+  // re-seeded on an EASGD -> EASGD boundary.
+  add("easgd_shared", sized_job(StrategyKind::kEasgd, 4, 24), 12);
+
+  // Sliced data plane with a codec: the backend-owned slice ChunkCodec.
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    job.compression.kind = CompressionKind::kTopK;
+    job.compression.topk_fraction = 0.25;
+    job.slices = 4;
+    add("selsync_ga_topk_sliced", job, 12);
+  }
+
+  // The boundary lands while rank 2 is parked awaiting rejoin (crash at
+  // 14, downtime 6, boundary 17): the park must span the switch without
+  // re-recording the crash, and the rejoin must fire in the next phase.
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 30);
+    job.faults = crash_rejoin_plan(4);
+    add("bsp_crash_park_spans_boundary", job, 17);
+  }
+
+  return cases;
+}
+
+class DegenerateSwitch : public ::testing::TestWithParam<ParityCase> {};
+
+/// Runs the planned job and its plan-less twin under one engine and
+/// asserts bit-identity of the result record and the final weights.
+void expect_degenerate_parity(TrainJob planned, EngineKind engine,
+                              const std::string& label) {
+  planned.engine = engine;
+  TrainJob legacy = planned;
+  legacy.sync_plan.phases.clear();
+  const TrainResult with_plan = run_training(planned);
+  const TrainResult without = run_training(legacy);
+  parity::expect_bitwise_equal(with_plan, without, label);
+}
+
+TEST_P(DegenerateSwitch, ThreadsBitIdenticalToNoPlan) {
+  const ParityCase& c = GetParam();
+  expect_degenerate_parity(c.job, EngineKind::kThreads, c.name + "_threads");
+}
+
+TEST_P(DegenerateSwitch, DesBitIdenticalToNoPlan) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const ParityCase& c = GetParam();
+  expect_degenerate_parity(c.job, EngineKind::kDes, c.name + "_des");
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, DegenerateSwitch,
+                         ::testing::ValuesIn(degenerate_matrix()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+/// Real switches: thread-vs-DES bit-identity for plans that change the
+/// strategy, the backend, the codec, the slicing, or the shard count —
+/// and one Δ(g)-triggered switch, whose boundary both engines must agree
+/// on through the control-plane allreduce.
+std::vector<ParityCase> switch_matrix() {
+  std::vector<ParityCase> cases;
+  auto add = [&](std::string name, TrainJob job) {
+    cases.push_back({std::move(name), std::move(job)});
+  };
+
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.selsync.delta = 0.05;
+    SyncPhase to_selsync = switch_at(12);
+    to_selsync.strategy = StrategyKind::kSelSync;
+    job.sync_plan.phases.push_back(to_selsync);
+    add("bsp_to_selsync", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    SyncPhase to_ring = switch_at(12);
+    to_ring.backend = BackendKind::kRing;
+    job.sync_plan.phases.push_back(to_ring);
+    add("bsp_shared_to_ring", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    job.selsync.aggregation = AggregationMode::kGradients;
+    SyncPhase to_topk = switch_at(12);
+    CompressionConfig codec;
+    codec.kind = CompressionKind::kTopK;
+    codec.topk_fraction = 0.25;
+    to_topk.compression = codec;
+    job.sync_plan.phases.push_back(to_topk);
+    add("selsync_dense_to_topk", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    SyncPhase to_sliced = switch_at(12);
+    to_sliced.slices = 4;
+    job.sync_plan.phases.push_back(to_sliced);
+    add("bsp_to_sliced", job);
+  }
+  {
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+    job.backend = BackendKind::kParameterServer;
+    SyncPhase to_sharded = switch_at(12);
+    to_sharded.ps_shards = 2;
+    job.sync_plan.phases.push_back(to_sharded);
+    add("bsp_ps_to_sharded", job);
+  }
+  {
+    // Two switch points: BSP warmup, SelSync middle, BSP finish.
+    TrainJob job = sized_job(StrategyKind::kBsp, 4, 30);
+    job.selsync.delta = 0.05;
+    SyncPhase mid = switch_at(10);
+    mid.strategy = StrategyKind::kSelSync;
+    SyncPhase tail = switch_at(20);
+    tail.strategy = StrategyKind::kBsp;
+    job.sync_plan.phases.push_back(mid);
+    job.sync_plan.phases.push_back(tail);
+    add("bsp_selsync_bsp_two_points", job);
+  }
+  {
+    // Δ(g) trigger: the switch fires when the cluster-max Δ(g) settles
+    // below the threshold, decided identically by both engines.
+    TrainJob job = sized_job(StrategyKind::kSelSync, 4, 24);
+    job.selsync.delta = 0.05;
+    SyncPhase calm = switch_at(0);
+    calm.trigger.kind = SwitchTriggerKind::kOnGradChange;
+    calm.trigger.gradchange_below = 0.5;
+    calm.trigger.min_iteration = 6;
+    calm.strategy = StrategyKind::kBsp;
+    job.sync_plan.phases.push_back(calm);
+    add("selsync_to_bsp_on_gradchange", job);
+  }
+
+  return cases;
+}
+
+class SwitchEngineParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(SwitchEngineParity, DesMatchesThreadsBitForBit) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  const ParityCase& c = GetParam();
+  parity::expect_engine_parity(c.job, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SwitchEngineParity,
+                         ::testing::ValuesIn(switch_matrix()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+// A switch INTO SSP leaves the reproducible-thread-schedule world, so the
+// claim weakens to DES determinism: two DES runs of the same BSP -> SSP
+// plan are bit-identical (the thread twin still runs, it just cannot be
+// compared bitwise — SSP's thread interleaving is not a function of the
+// job).
+TEST(SwitchDeterminism, BspToSspIsDesDeterministic) {
+  SELSYNC_REQUIRE_DES_ENGINE();
+  TrainJob job = sized_job(StrategyKind::kBsp, 4, 24);
+  job.backend = BackendKind::kParameterServer;
+  job.ssp.staleness = 3;
+  SyncPhase to_ssp = switch_at(12);
+  to_ssp.strategy = StrategyKind::kSsp;
+  job.sync_plan.phases.push_back(to_ssp);
+  job.engine = EngineKind::kDes;
+  const TrainResult first = run_training(job);
+  const TrainResult second = run_training(job);
+  parity::expect_bitwise_equal(first, second, "bsp_to_ssp_des");
+}
+
+}  // namespace
+}  // namespace selsync

@@ -20,9 +20,12 @@
 # The optional parity stage re-runs the `parity` label on the tier-1 build:
 # thread-vs-DES bit-identity across the backend/strategy/codec matrix, the
 # DES determinism fuzz grid, the DES re-run of the 12 golden records
-# (DESIGN.md §11), and the sliced-data-plane matrix (--slices/--overlap on
+# (DESIGN.md §11), the sliced-data-plane matrix (--slices/--overlap on
 # every transport, incl. crash/rejoin with slices in flight — DESIGN.md
-# §12). It runs on the plain build on purpose — the DES engine is
+# §12), and the SyncPlan switching matrix (DESIGN.md §14): degenerate
+# switches byte-identical to plan-less runs on both engines, and real
+# strategy/backend/codec/slices/shards switches replaying thread-vs-DES
+# bit-for-bit. It runs on the plain build on purpose — the DES engine is
 # fiber-based and refuses to start under ThreadSanitizer, so the sanitizer
 # legs below stay pinned to the thread engine, where the real locks live.
 #
@@ -38,9 +41,11 @@
 # cross-thread teardown, channel aborts and PS waits. That label now also
 # covers the compressed-transport chaos matrix (ring/tree allreduce with a
 # Top-k codec fused into the data plane, over lossy links), so TSan sees the
-# codec's per-(rank, slot) state being driven from worker threads, and the
+# codec's per-(rank, slot) state being driven from worker threads, the
 # sliced-overlap chaos cases (a crash mid-slice must release waiters on
-# every pending slice round, mirroring the sharded-PS partial-abort cases).
+# every pending slice round, mirroring the sharded-PS partial-abort cases),
+# and the switch-boundary chaos cases (crashes landing exactly on a SyncPlan
+# phase boundary, parks spanning the backend teardown/rebuild — §14).
 # The stage finishes with the golden-drift gate: the `golden` label re-runs
 # the 12-config parity grid under TSan — now also with --slices 1
 # --overlap off pinned explicitly — and fails on any byte drift in the
@@ -53,7 +58,8 @@
 #   2. selsync_lint, the token-level repo analyzer — the five confinement
 #      rules (rng / raw-thread / des-thread-free / socket-confine /
 #      sync-cost-json) plus the structural passes (enum-table /
-#      lock-discipline / layer-dag / wire-schema) — repo-wide, emitting
+#      lock-discipline / layer-dag / wire-schema / handoff-sync) — repo-wide,
+#      emitting
 #      build/lint_report.json and the lock-order DOT artifact, plus its
 #      fixture + lexer-unit suite (ctest -L lint).
 #   3. An ASan+UBSan build (-DSELSYNC_SANITIZE=address,undefined) running
@@ -121,7 +127,7 @@ if [[ "$RUN_ANALYZE" -eq 1 ]]; then
          "database: build/compile_commands.json)"
   fi
 
-  echo "=== analyze: repo-invariant analyzer (selsync_lint, 9 rules) ==="
+  echo "=== analyze: repo-invariant analyzer (selsync_lint, 10 rules) ==="
   # Human-readable pass first (failure output lands in the CI log), then a
   # second run emitting the machine-readable artifacts: the JSON report and
   # the lock-order graph the lock-discipline pass derived for

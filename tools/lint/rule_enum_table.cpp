@@ -30,6 +30,7 @@ const char* const kRequiredTables[] = {
     "BackendKind",     "CompressionKind",   "StrategyKind",  "ModelKind",
     "PartitionScheme", "AggregationMode",   "FaultKind",     "Topology",
     "EngineKind",      "SliceScheduleKind", "TransportKind",
+    "SwitchTriggerKind",
 };
 
 bool is_kw(const Token& t, const char* word) {

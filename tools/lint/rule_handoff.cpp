@@ -1,0 +1,389 @@
+// handoff-sync: the SyncPlan handoff structs (core/handoff.hpp,
+// comm/comm_backend.hpp, the stats snapshots) must stay in sync with the
+// live state they mirror. The checked-in manifest
+// (tools/lint/handoff_state.manifest) pins each snapshot struct against the
+// class whose members it carries across a phase boundary; this pass
+// re-derives both field sets from the token streams and fails on drift in
+// either direction:
+//
+//   * a state member that is neither carried into the snapshot nor
+//     skip-listed — new loop/codec/PS state silently dropped at every
+//     switch, the exact bug class the pass exists for;
+//   * a snapshot field no carry/pin line covers — dead weight, or a carry
+//     line someone deleted without deleting the field;
+//   * a manifest line naming a field or member that no longer exists —
+//     stale pins rot the contract.
+//
+// A tree with no manifest skips the pass — the tool stays usable on
+// fixture trees that exercise other rules (same rule as wire-schema).
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace selsync_lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_ident(const Token& t, const char* w) {
+  return t.kind == TokKind::kIdent && t.text == w;
+}
+
+struct ManifestCarry {
+  std::string field, member;
+  size_t line = 0;
+};
+struct ManifestName {
+  std::string name;  // a pinned-without-mirror field, or a skipped member
+  size_t line = 0;
+};
+
+/// One `pair <Snapshot> <State>` block: the carries that move state into
+/// the snapshot, the snapshot fields pinned without a mirror (flags the
+/// trainer itself writes), and the state members deliberately left behind.
+struct ManifestPair {
+  std::string snapshot, state;
+  size_t line = 0;
+  std::vector<ManifestCarry> carries;
+  std::vector<ManifestName> pins;
+  std::vector<ManifestName> skips;
+};
+
+struct Manifest {
+  std::string rel_path;
+  std::vector<ManifestPair> pairs;
+};
+
+bool parse_manifest(const fs::path& path, const std::string& rel,
+                    Manifest& out, std::vector<Violation>& violations) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out.rel_path = rel;
+  std::string line;
+  size_t line_no = 0;
+  auto bad = [&](const std::string& why) {
+    violations.push_back({rel, line_no, "handoff-sync",
+                          "manifest syntax: " + why + " in '" + line + "'"});
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream words(line);
+    std::string kind;
+    if (!(words >> kind) || kind[0] == '#') continue;
+    if (kind == "pair") {
+      ManifestPair p;
+      if (!(words >> p.snapshot >> p.state)) {
+        bad("expected `pair <Snapshot> <StateClass>`");
+        continue;
+      }
+      p.line = line_no;
+      out.pairs.push_back(std::move(p));
+      continue;
+    }
+    if (out.pairs.empty()) {
+      bad("`" + kind + "` before the first `pair`");
+      continue;
+    }
+    ManifestPair& p = out.pairs.back();
+    if (kind == "carry") {
+      ManifestCarry c;
+      if (!(words >> c.field >> c.member)) {
+        bad("expected `carry <snapshot_field> <state_member>`");
+        continue;
+      }
+      c.line = line_no;
+      p.carries.push_back(std::move(c));
+    } else if (kind == "pin" || kind == "skip") {
+      ManifestName n;
+      std::string reason;
+      if (!(words >> n.name) || !(words >> reason)) {
+        bad("expected `" + kind + " <name> <reason...>` — the reason is "
+            "mandatory, like a waiver's");
+        continue;
+      }
+      n.line = line_no;
+      (kind == "pin" ? p.pins : p.skips).push_back(std::move(n));
+    } else {
+      bad("unknown directive `" + kind + "`");
+    }
+  }
+  return true;
+}
+
+struct Member {
+  std::string name;
+  size_t line = 0;
+};
+
+struct TypeDef {
+  std::string file;
+  size_t line = 0;
+  std::vector<Member> members;
+};
+
+bool is_access_spec(const Token& t) {
+  return is_ident(t, "public") || is_ident(t, "private") ||
+         is_ident(t, "protected");
+}
+
+/// Statements that open a nested entity or a non-member declaration; their
+/// trailing identifier is not a data member.
+bool skips_statement(const Token& first) {
+  return is_access_spec(first) || is_ident(first, "enum") ||
+         is_ident(first, "struct") || is_ident(first, "class") ||
+         is_ident(first, "using") || is_ident(first, "typedef") ||
+         is_ident(first, "friend") || is_ident(first, "static") ||
+         is_ident(first, "template") || is_ident(first, "operator");
+}
+
+/// Extracts the declarator names from one member statement: splits on
+/// commas outside braces and template angles (the lexer folds `>>` into
+/// one token, so a closed nested template costs two), then takes the
+/// identifier before the initializer (`=` / `{`) or the statement end.
+void emit_declarators(const std::vector<const Token*>& buf, TypeDef& def) {
+  if (buf.empty() || skips_statement(*buf.front())) return;
+  for (const Token* t : buf)
+    if (is_punct(*t, "(") || is_punct(*t, ")")) return;  // a function
+  size_t brace = 0;
+  int angle = 0;
+  size_t start = 0;
+  auto emit = [&](size_t b, size_t e) {
+    size_t name_at = e;
+    for (size_t k = b; k < e; ++k)
+      if (is_punct(*buf[k], "=") || is_punct(*buf[k], "{")) {
+        name_at = k;
+        break;
+      }
+    if (name_at > b && is_ident(*buf[name_at - 1]))
+      def.members.push_back({buf[name_at - 1]->text, buf[name_at - 1]->line});
+  };
+  for (size_t k = 0; k < buf.size(); ++k) {
+    const Token& t = *buf[k];
+    if (is_punct(t, "{")) ++brace;
+    else if (is_punct(t, "}")) --brace;
+    else if (is_punct(t, "<")) ++angle;
+    else if (is_punct(t, ">") && angle > 0) --angle;
+    else if (is_punct(t, ">>") && angle > 0) angle -= angle >= 2 ? 2 : 1;
+    else if (is_punct(t, ",") && brace == 0 && angle == 0) {
+      emit(start, k);
+      start = k + 1;
+    }
+  }
+  emit(start, buf.size());
+}
+
+/// Collects the data members of the struct/class body in (open, close):
+/// depth-1 statements split at `;`, access specifiers reset the statement,
+/// nested entities and anything with parentheses (every function) skipped.
+void collect_members(const std::vector<Token>& toks, size_t open,
+                     size_t close, TypeDef& def) {
+  size_t depth = 0;
+  std::vector<const Token*> buf;
+  for (size_t j = open + 1; j < close; ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) ++depth;
+    if (is_punct(t, "}")) {
+      --depth;
+      if (depth == 0) {
+        // A brace group closing back at class level: an inline function
+        // body ends its (semicolon-less) declaration right here, so the
+        // statement resets; a member brace-init or a nested entity keeps
+        // accumulating until its `;`.
+        bool has_paren = false;
+        for (const Token* b : buf)
+          if (is_punct(*b, "(")) {
+            has_paren = true;
+            break;
+          }
+        if (has_paren) {
+          buf.clear();
+          continue;
+        }
+      }
+      buf.push_back(&t);
+      continue;
+    }
+    if (depth == 0) {
+      if (is_punct(t, ";")) {
+        emit_declarators(buf, def);
+        buf.clear();
+        continue;
+      }
+      if (is_punct(t, ":") && buf.size() == 1 && is_access_spec(*buf[0])) {
+        buf.clear();
+        continue;
+      }
+    }
+    buf.push_back(&t);
+  }
+}
+
+size_t match_brace(const std::vector<Token>& toks, size_t open) {
+  size_t depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+void scan_types(const SourceFile& file, const std::set<std::string>& wanted,
+                std::map<std::string, TypeDef>& defs) {
+  const std::vector<Token>& toks = file.toks.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "struct") && !is_ident(toks[i], "class")) continue;
+    if (!is_ident(toks[i + 1]) || !wanted.count(toks[i + 1].text)) continue;
+    const std::string name = toks[i + 1].text;
+    size_t at = i + 2;
+    // Skip a final/base-clause up to `{`; bail on `;` (forward decl) and
+    // on `(` (constructor-style mention, not a definition).
+    while (at < toks.size() && !is_punct(toks[at], "{") &&
+           !is_punct(toks[at], ";") && !is_punct(toks[at], "("))
+      ++at;
+    if (at >= toks.size() || !is_punct(toks[at], "{")) continue;
+    if (defs.count(name)) continue;  // first definition wins
+    const size_t close = match_brace(toks, at);
+    TypeDef def;
+    def.file = file.rel_path;
+    def.line = toks[i].line;
+    collect_members(toks, at, close, def);
+    defs[name] = std::move(def);
+    i = close;
+  }
+}
+
+const Member* find_member(const TypeDef& def, const std::string& name) {
+  for (const Member& m : def.members)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+}  // namespace
+
+void check_handoff_sync(const std::vector<SourceFile>& files,
+                        const std::filesystem::path& root,
+                        std::vector<Violation>& violations) {
+  Manifest manifest;
+  const std::string rel = "tools/lint/handoff_state.manifest";
+  if (!parse_manifest(root / rel, rel, manifest, violations)) return;
+  if (manifest.pairs.empty()) return;
+
+  std::set<std::string> wanted;
+  for (const ManifestPair& pair : manifest.pairs) {
+    wanted.insert(pair.snapshot);
+    wanted.insert(pair.state);
+  }
+  std::map<std::string, TypeDef> defs;
+  std::map<std::string, const SourceFile*> file_of;
+  for (const SourceFile& file : files) {
+    scan_types(file, wanted, defs);
+    file_of[file.rel_path] = &file;
+  }
+
+  // A snapshot may gather from several classes (WorkerHandoff carries all
+  // three loop hierarchies) and a class may feed several snapshots
+  // (ParameterServer feeds both the clock capture and the store), so the
+  // coverage sets union over every pair before the drift checks run.
+  std::map<std::string, std::set<std::string>> covered_fields;
+  std::map<std::string, std::set<std::string>> mentioned_members;
+  std::map<std::string, std::string> partner_of;  // state -> first snapshot
+
+  for (const ManifestPair& pair : manifest.pairs) {
+    const auto snap_it = defs.find(pair.snapshot);
+    const auto state_it = defs.find(pair.state);
+    if (snap_it == defs.end())
+      violations.push_back(
+          {rel, pair.line, "handoff-sync",
+           "manifest pairs " + pair.snapshot + " with " + pair.state +
+               ", but struct " + pair.snapshot +
+               " was not found in the scanned sources"});
+    if (state_it == defs.end())
+      violations.push_back(
+          {rel, pair.line, "handoff-sync",
+           "manifest pairs " + pair.snapshot + " with " + pair.state +
+               ", but class " + pair.state +
+               " was not found in the scanned sources"});
+    if (snap_it == defs.end() || state_it == defs.end()) continue;
+    partner_of.try_emplace(pair.state, pair.snapshot);
+
+    for (const ManifestCarry& carry : pair.carries) {
+      covered_fields[pair.snapshot].insert(carry.field);
+      mentioned_members[pair.state].insert(carry.member);
+      if (!find_member(snap_it->second, carry.field))
+        violations.push_back(
+            {rel, carry.line, "handoff-sync",
+             pair.snapshot + "::" + carry.field +
+                 " is pinned by this carry line but no longer exists — "
+                 "the snapshot dropped a field the manifest still promises"});
+      if (!find_member(state_it->second, carry.member))
+        violations.push_back(
+            {rel, carry.line, "handoff-sync",
+             "carry names " + pair.state + "::" + carry.member +
+                 ", but the class has no such member — update the manifest "
+                 "in the same commit as the state change"});
+    }
+    for (const ManifestName& pin : pair.pins) {
+      covered_fields[pair.snapshot].insert(pin.name);
+      if (!find_member(snap_it->second, pin.name))
+        violations.push_back({rel, pin.line, "handoff-sync",
+                              pair.snapshot + "::" + pin.name +
+                                  " is pinned but no longer exists — delete "
+                                  "the stale pin line"});
+    }
+    for (const ManifestName& skip : pair.skips) {
+      mentioned_members[pair.state].insert(skip.name);
+      if (!find_member(state_it->second, skip.name))
+        violations.push_back({rel, skip.line, "handoff-sync",
+                              pair.state + "::" + skip.name +
+                                  " is skip-listed but no longer exists — "
+                                  "delete the stale skip line"});
+    }
+  }
+
+  std::set<std::string> checked;
+  for (const ManifestPair& pair : manifest.pairs) {
+    const auto snap_it = defs.find(pair.snapshot);
+    const auto state_it = defs.find(pair.state);
+    if (snap_it == defs.end() || state_it == defs.end()) continue;
+
+    if (checked.insert(pair.snapshot).second) {
+      const TypeDef& def = snap_it->second;
+      const auto& covered = covered_fields[pair.snapshot];
+      for (const Member& field : def.members) {
+        if (covered.count(field.name)) continue;
+        if (file_of.at(def.file)->waivers.allows("handoff-sync", field.line))
+          continue;
+        violations.push_back(
+            {def.file, field.line, "handoff-sync",
+             pair.snapshot + "::" + field.name +
+                 " is not pinned by any carry/pin line in " + rel +
+                 " — add the line naming the state it mirrors"});
+      }
+    }
+    if (checked.insert(pair.state).second) {
+      const TypeDef& def = state_it->second;
+      const auto& mentioned = mentioned_members[pair.state];
+      for (const Member& member : def.members) {
+        if (mentioned.count(member.name)) continue;
+        if (file_of.at(def.file)->waivers.allows("handoff-sync", member.line))
+          continue;
+        violations.push_back(
+            {def.file, member.line, "handoff-sync",
+             pair.state + "::" + member.name + " is neither carried into " +
+                 partner_of.at(pair.state) + " nor skip-listed in " + rel +
+                 " — state added here is silently dropped at every SyncPlan "
+                 "phase switch"});
+      }
+    }
+  }
+}
+
+}  // namespace selsync_lint

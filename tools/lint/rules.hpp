@@ -1,4 +1,4 @@
-// The nine selsync_lint rule families (DESIGN.md §9).
+// The ten selsync_lint rule families (DESIGN.md §9).
 //
 // Per-file identifier/confinement rules (ported from the PR 4 scanner onto
 // the token stream, which removes their comment/string false positives):
@@ -18,6 +18,10 @@
 //                    cycle detection
 //   wire-schema      the checked-in wire_schema.manifest matches the source
 //                    frame structs / verbs byte for byte; append-only
+//   handoff-sync     the SyncPlan handoff snapshots (WorkerHandoff,
+//                    BackendHandoff, the stats captures) stay in sync with
+//                    the state classes they mirror, per the checked-in
+//                    handoff_state.manifest
 #pragma once
 
 #include <filesystem>
@@ -58,5 +62,10 @@ void check_layer_dag(const std::vector<SourceFile>& files,
 void check_wire_schema(const std::vector<SourceFile>& files,
                        const std::filesystem::path& root,
                        std::vector<Violation>& violations);
+
+/// Handoff-sync pass; `root` locates tools/lint/handoff_state.manifest.
+void check_handoff_sync(const std::vector<SourceFile>& files,
+                        const std::filesystem::path& root,
+                        std::vector<Violation>& violations);
 
 }  // namespace selsync_lint

@@ -74,6 +74,24 @@ int run(int argc, const char* const* argv) {
   args.add_option("target-ppl", "stop when perplexity reaches this", "");
   args.add_option("fault-plan",
                   "fault-injection plan: JSON file path or inline {...}", "");
+  // Mid-run switching (DESIGN.md §14). Master-only knobs: the plan never
+  // crosses the wire — the master re-plans and the replicas are oblivious —
+  // so these stay out of job_flags.hpp (which selsync_worker shares).
+  args.add_option("switch-to",
+                  "mid-run switch target: a strategy name (bsp | local | "
+                  "fedavg | ssp | selsync | easgd) or comma-separated "
+                  "key=value overrides (strategy=, backend=, codec=, "
+                  "slices=, ps-shards=)",
+                  "");
+  args.add_option("switch-at",
+                  "iteration to switch at; with --switch-on-gradchange it is "
+                  "the trigger's warmup iteration instead",
+                  "");
+  args.add_option("switch-on-gradchange",
+                  "switch when the cluster-max EWMA gradient change Δ(g) "
+                  "falls to this threshold (Sync-Switch-style dynamic "
+                  "boundary)",
+                  "");
   args.add_option("json", "write the run record to this file", "");
   args.add_option("save-checkpoint", "write a model checkpoint here", "");
   args.add_switch("quiet", "suppress the evaluation trajectory");
@@ -102,6 +120,33 @@ int run(int argc, const char* const* argv) {
     job.target_perplexity = args.get_double("target-ppl");
   if (!args.get("fault-plan").empty())
     job.faults = load_fault_plan(args.get("fault-plan"));
+  const std::string switch_to = args.get("switch-to");
+  const std::string switch_at = args.get("switch-at");
+  const std::string switch_gc = args.get("switch-on-gradchange");
+  if (!switch_to.empty()) {
+    SyncPhase phase = parse_sync_phase_spec(switch_to);
+    if (!switch_gc.empty()) {
+      phase.trigger.kind = SwitchTriggerKind::kOnGradChange;
+      phase.trigger.gradchange_below = args.get_double("switch-on-gradchange");
+      if (!switch_at.empty())
+        phase.trigger.min_iteration =
+            static_cast<uint64_t>(args.get_int("switch-at"));
+    } else if (!switch_at.empty()) {
+      phase.trigger.kind = SwitchTriggerKind::kAtIteration;
+      phase.trigger.at_iteration =
+          static_cast<uint64_t>(args.get_int("switch-at"));
+    } else {
+      throw std::invalid_argument(
+          "--switch-to needs a trigger: --switch-at N (iteration boundary) "
+          "or --switch-on-gradchange T (Δ(g) threshold; --switch-at then "
+          "sets the warmup iteration)");
+    }
+    job.sync_plan.phases.push_back(phase);
+  } else if (!switch_at.empty() || !switch_gc.empty()) {
+    throw std::invalid_argument(
+        "--switch-at/--switch-on-gradchange set a switch trigger, but no "
+        "--switch-to says what the next phase runs");
+  }
 
   if (args.get_bool("describe")) {
     auto model = job.model_factory(job.seed);

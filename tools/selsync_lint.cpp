@@ -6,7 +6,7 @@
 // lint/lexer.*, and runs the selected rule families from lint/rules.hpp
 // over the shared token streams. Per-file rules see one file at a time;
 // the whole-program rules (enum-table, lock-discipline, layer-dag,
-// wire-schema) see the full file set.
+// wire-schema, handoff-sync) see the full file set.
 //
 //   selsync_lint [--root DIR] [--rules r1,r2] [--expect-fail]
 //                [--json] [--dot FILE] [files...]
@@ -36,6 +36,7 @@ const char* const kAllRules[] = {
     "rng",          "raw-thread",      "des-thread-free",
     "socket-confine", "sync-cost-json", "enum-table",
     "lock-discipline", "layer-dag",     "wire-schema",
+    "handoff-sync",
 };
 
 bool has_prefix(const std::string& s, const std::string& p) {
@@ -97,7 +98,7 @@ int usage() {
       "[--json] [--dot FILE] [files...]\n"
       "rules: rng, raw-thread, des-thread-free, socket-confine, "
       "sync-cost-json,\n       enum-table, lock-discipline, layer-dag, "
-      "wire-schema (default: all)\n");
+      "wire-schema, handoff-sync\n       (default: all)\n");
   return 2;
 }
 
@@ -174,6 +175,7 @@ int main(int argc, char** argv) {
     check_lock_discipline(files, dot_path, violations);
   if (rules.count("layer-dag")) check_layer_dag(files, violations);
   if (rules.count("wire-schema")) check_wire_schema(files, root, violations);
+  if (rules.count("handoff-sync")) check_handoff_sync(files, root, violations);
 
   std::sort(violations.begin(), violations.end(),
             [](const Violation& a, const Violation& b) {
